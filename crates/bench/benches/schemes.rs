@@ -1,0 +1,116 @@
+//! Whole-network benchmark: simulated cycles per second for each scheme at a
+//! moderate uniform-random load on the paper's 64-node configuration. This is
+//! the cost that bounds every figure harness.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use pnoc_noc::{Network, NetworkConfig, PacketKind, Scheme, SyntheticSource, TrafficSource};
+
+fn bench_network_step(c: &mut Criterion) {
+    let mut group = c.benchmark_group("network_step_64n");
+    group.throughput(Throughput::Elements(1));
+    for scheme in Scheme::paper_set(8) {
+        let cfg = NetworkConfig::paper_default(scheme);
+        let mut net = Network::new(cfg).expect("valid config");
+        let mut src = SyntheticSource::new(
+            pnoc_traffic::pattern::TrafficPattern::UniformRandom,
+            0.09,
+            cfg.nodes,
+            cfg.cores_per_node,
+            42,
+        );
+        // Reach steady state before measuring.
+        let mut buf = Vec::new();
+        for _ in 0..5_000 {
+            buf.clear();
+            src.generate(net.now(), &mut buf);
+            for &(core, dst, kind) in &buf {
+                net.inject(core, dst, kind, 0, false);
+            }
+            net.step();
+        }
+        group.bench_function(BenchmarkId::from_parameter(scheme.label()), |b| {
+            b.iter(|| {
+                buf.clear();
+                src.generate(net.now(), &mut buf);
+                for &(core, dst, _) in &buf {
+                    net.inject(core, dst, PacketKind::Data, 0, false);
+                }
+                net.step();
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_other_fabrics(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fabric_step_64n");
+    group.throughput(Throughput::Elements(1));
+
+    // SWMR with handshake + setaside.
+    {
+        let cfg = pnoc_noc::swmr::SwmrConfig::paper_handshake(8);
+        let mut net = pnoc_noc::swmr::SwmrNetwork::new(cfg).expect("valid config");
+        let mut src = SyntheticSource::new(
+            pnoc_traffic::pattern::TrafficPattern::UniformRandom,
+            0.09,
+            cfg.nodes,
+            cfg.cores_per_node,
+            42,
+        );
+        let mut buf = Vec::new();
+        for _ in 0..5_000 {
+            buf.clear();
+            src.generate(net.now(), &mut buf);
+            for &(core, dst, kind) in &buf {
+                net.inject(core, dst, kind, 0, false);
+            }
+            net.step();
+        }
+        group.bench_function(BenchmarkId::from_parameter("SWMR handshake+SA8"), |b| {
+            b.iter(|| {
+                buf.clear();
+                src.generate(net.now(), &mut buf);
+                for &(core, dst, _) in &buf {
+                    net.inject(core, dst, PacketKind::Data, 0, false);
+                }
+                net.step();
+            });
+        });
+    }
+
+    // Electrical 8×8 mesh.
+    {
+        let cfg = pnoc_noc::emesh::MeshConfig::paper_comparable();
+        let mut net = pnoc_noc::emesh::MeshNetwork::new(cfg).expect("valid config");
+        let mut src = SyntheticSource::new(
+            pnoc_traffic::pattern::TrafficPattern::UniformRandom,
+            0.05,
+            cfg.nodes(),
+            cfg.cores_per_node,
+            42,
+        );
+        let mut buf = Vec::new();
+        for _ in 0..5_000 {
+            buf.clear();
+            src.generate(net.now(), &mut buf);
+            for &(core, dst, kind) in &buf {
+                net.inject(core, dst, kind, 0, false);
+            }
+            net.step();
+        }
+        group.bench_function(BenchmarkId::from_parameter("mesh 8x8"), |b| {
+            b.iter(|| {
+                buf.clear();
+                src.generate(net.now(), &mut buf);
+                for &(core, dst, _) in &buf {
+                    net.inject(core, dst, PacketKind::Data, 0, false);
+                }
+                net.step();
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_network_step, bench_other_fabrics);
+criterion_main!(benches);

@@ -1,0 +1,36 @@
+//! Fig. 11: sensitivity studies under Uniform Random traffic.
+//!
+//! (a–e) credit sensitivity: the handshake schemes carry no credit
+//! information in their tokens, so their latency-vs-load curves are nearly
+//! independent of the buffer/credit count (contrast Fig. 2(b)).
+//! (f) setaside size: a small setaside buffer already removes HOL blocking.
+
+use pnoc_bench::{Fidelity, Table};
+
+fn main() {
+    let fid = Fidelity::from_args();
+
+    let credit_curves = pnoc_bench::figures::fig11_credits(fid);
+    let setaside_study = pnoc_bench::figures::fig11_setaside(fid);
+    pnoc_bench::export::maybe_export("fig11", &(&credit_curves, &setaside_study));
+
+    for (scheme, curves) in credit_curves {
+        let rates: Vec<f64> = curves[0].points.iter().map(|(r, _)| *r).collect();
+        let mut header = vec!["credits".to_string()];
+        header.extend(rates.iter().map(|r| format!("{r}")));
+        let mut t = Table::new(header);
+        for c in &curves {
+            t.row_f64(&c.label, &c.latencies(), 1);
+        }
+        println!("Fig. 11 — {scheme}: credit sensitivity, UR");
+        println!("{}", t.render());
+    }
+
+    println!("Fig. 11(f) — setaside size study, UR @ 0.11 pkt/cycle/core");
+    let mut t = Table::new(["scheme", "SA_1", "SA_2", "SA_4", "SA_8", "SA_16"]);
+    for (label, points) in setaside_study {
+        let values: Vec<f64> = points.iter().map(|(_, v)| *v).collect();
+        t.row_f64(&label, &values, 1);
+    }
+    println!("{}", t.render());
+}

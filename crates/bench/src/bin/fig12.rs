@@ -1,0 +1,41 @@
+//! Fig. 12: power and energy analysis.
+//!
+//! (a) total power breakdown per scheme: laser + ring heating dominate;
+//! global-arbitration schemes burn more laser power (relayed 2-loop token;
+//! token channel also carries credit bits); token slot is cheapest; the
+//! handshake waveguide's overhead is negligible.
+//! (b) energy per delivered packet: all schemes similar; circulation adds
+//! essentially nothing thanks to nanophotonics' passive writing.
+
+use pnoc_bench::{Fidelity, Table};
+
+fn main() {
+    let fid = Fidelity::from_args();
+    let rows = pnoc_bench::figures::fig12(fid);
+    pnoc_bench::export::maybe_export("fig12", &rows);
+
+    println!("Fig. 12(a) — total power breakdown (watts)");
+    let mut t = Table::new(["scheme", "Laser", "Heating", "E/O", "O/E", "Router", "Total"]);
+    for r in &rows {
+        let b = &r.breakdown;
+        t.row_f64(
+            &r.label,
+            &[b.laser_w, b.heating_w, b.eo_w, b.oe_w, b.router_w, b.total_w()],
+            2,
+        );
+    }
+    println!("{}", t.render());
+
+    println!("Fig. 12(b) — energy per packet (nJ)");
+    let mut t = Table::new(["scheme", "nJ/packet"]);
+    for r in &rows {
+        t.row_f64(&r.label, &[r.energy_per_packet_j * 1e9], 2);
+    }
+    println!("{}", t.render());
+
+    let static_min = rows
+        .iter()
+        .map(|r| r.breakdown.static_fraction())
+        .fold(f64::INFINITY, f64::min);
+    println!("minimum static (laser+heating) share across schemes: {:.0}%", static_min * 100.0);
+}

@@ -1,0 +1,33 @@
+//! Fig. 2(b): token slot latency vs load with credits ∈ {4, 8, 16, 32}, UR.
+//!
+//! Shape to reproduce: saturation bandwidth scales with the credit count —
+//! credit-based flow control coupled with token arbitration needs buffers
+//! sized to the credit round-trip to perform.
+
+use pnoc_bench::{Fidelity, Table};
+
+fn main() {
+    let fid = Fidelity::from_args();
+    let curves = pnoc_bench::figures::fig2b(fid);
+    let rates: Vec<f64> = curves[0].points.iter().map(|(r, _)| *r).collect();
+    let mut header = vec!["credits".to_string()];
+    header.extend(rates.iter().map(|r| format!("{r}")));
+    let mut t = Table::new(header);
+    for c in &curves {
+        t.row_f64(&c.label, &c.latencies(), 1);
+    }
+    println!("Fig. 2(b) — Token Slot, Uniform Random, latency (cycles) vs load (pkt/cycle/core)");
+    println!("{}", t.render());
+    println!("saturation bandwidth per curve:");
+    for c in &curves {
+        println!("  {:<10} {:.3}", c.label, c.saturation_rate());
+    }
+    pnoc_bench::export::maybe_export("fig2b", &curves);
+    if let Some(dir) = pnoc_bench::plot::svg_dir_from_args() {
+        let spec = pnoc_bench::PlotSpec::latency("Fig. 2(b) — Token Slot credit study (UR)");
+        let charts = vec![("fig2b".to_string(), spec, curves)];
+        for p in pnoc_bench::plot::write_charts(&dir, &charts).expect("write svg") {
+            println!("wrote {}", p.display());
+        }
+    }
+}

@@ -1,0 +1,37 @@
+//! Fig. 8: Global Handshake evaluation — token channel vs GHS vs
+//! GHS w/ setaside under UR (a), BC (b) and TOR (c).
+//!
+//! Shape to reproduce: GHS beats token channel (no credit piggybacking, so no
+//! empty-token round trips); the setaside buffer lifts GHS further by
+//! removing HOL blocking, most visibly under the BC permutation.
+
+use pnoc_bench::{Fidelity, Table};
+
+fn main() {
+    let fid = Fidelity::from_args();
+    let mut charts = Vec::new();
+    for (pattern, curves) in pnoc_bench::figures::fig8(fid) {
+        let rates: Vec<f64> = curves[0].points.iter().map(|(r, _)| *r).collect();
+        let mut header = vec!["scheme".to_string()];
+        header.extend(rates.iter().map(|r| format!("{r}")));
+        let mut t = Table::new(header);
+        for c in &curves {
+            t.row_f64(&c.label, &c.latencies(), 1);
+        }
+        println!("Fig. 8 ({pattern}) — latency (cycles) vs load (pkt/cycle/core)");
+        println!("{}", t.render());
+        let max_drop = curves
+            .iter()
+            .flat_map(|c| c.points.iter().map(|(_, s)| s.drop_rate))
+            .fold(0.0f64, f64::max);
+        println!("max drop/retransmission rate across points: {:.4}%\n", max_drop * 100.0);
+        let spec = pnoc_bench::PlotSpec::latency(format!("Fig. 8 ({pattern})"));
+        charts.push((format!("fig8_{pattern}"), spec, curves));
+    }
+    pnoc_bench::export::maybe_export("fig8", &charts.iter().map(|(n, _, c)| (n.clone(), c.clone())).collect::<Vec<_>>());
+    if let Some(dir) = pnoc_bench::plot::svg_dir_from_args() {
+        for p in pnoc_bench::plot::write_charts(&dir, &charts).expect("write svg") {
+            println!("wrote {}", p.display());
+        }
+    }
+}

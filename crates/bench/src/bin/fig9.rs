@@ -1,0 +1,54 @@
+//! Fig. 9: Distributed Handshake evaluation — token slot vs DHS vs
+//! DHS w/ setaside vs DHS w/ circulation under UR (a), BC (b) and TOR (c).
+//!
+//! Shapes to reproduce: DHS variants beat token slot under UR/TOR (tokens
+//! every cycle, no credit gating); basic DHS *loses* to token slot under BC
+//! (HOL blocking serializes each sender to one packet per handshake round
+//! trip); setaside and circulation recover, circulation without any extra
+//! buffer.
+
+use pnoc_bench::{Fidelity, Table};
+
+fn main() {
+    let fid = Fidelity::from_args();
+    let mut charts = Vec::new();
+    for (pattern, curves) in pnoc_bench::figures::fig9(fid) {
+        let rates: Vec<f64> = curves[0].points.iter().map(|(r, _)| *r).collect();
+        let mut header = vec!["scheme".to_string()];
+        header.extend(rates.iter().map(|r| format!("{r}")));
+        let mut t = Table::new(header);
+        for c in &curves {
+            t.row_f64(&c.label, &c.latencies(), 1);
+        }
+        println!("Fig. 9 ({pattern}) — latency (cycles) vs load (pkt/cycle/core)");
+        println!("{}", t.render());
+        for c in &curves {
+            let max_drop = c
+                .points
+                .iter()
+                .map(|(_, s)| s.drop_rate)
+                .fold(0.0f64, f64::max);
+            let max_circ = c
+                .points
+                .iter()
+                .map(|(_, s)| s.circulation_rate)
+                .fold(0.0f64, f64::max);
+            println!(
+                "  {:<20} saturation {:.3}  max drop {:.4}%  max circulation {:.4}%",
+                c.label,
+                c.saturation_rate(),
+                max_drop * 100.0,
+                max_circ * 100.0
+            );
+        }
+        println!();
+        let spec = pnoc_bench::PlotSpec::latency(format!("Fig. 9 ({pattern})"));
+        charts.push((format!("fig9_{pattern}"), spec, curves));
+    }
+    pnoc_bench::export::maybe_export("fig9", &charts.iter().map(|(n, _, c)| (n.clone(), c.clone())).collect::<Vec<_>>());
+    if let Some(dir) = pnoc_bench::plot::svg_dir_from_args() {
+        for p in pnoc_bench::plot::write_charts(&dir, &charts).expect("write svg") {
+            println!("wrote {}", p.display());
+        }
+    }
+}

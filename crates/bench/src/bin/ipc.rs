@@ -1,0 +1,43 @@
+//! IPC experiment (§V-B): closed-loop CMP — 128 four-MSHR cores self-throttle
+//! on network latency.
+//!
+//! Shape to reproduce: GHS w/ setaside improves IPC over token channel
+//! substantially (paper: ~15 % average), DHS w/ setaside over token slot
+//! marginally (~1.3 %) — the distributed baselines were already close to
+//! channel capacity.
+
+use pnoc_bench::figures::mean_ipc_improvement;
+use pnoc_bench::{Fidelity, Table};
+
+fn main() {
+    let fid = Fidelity::from_args();
+    let rows = pnoc_bench::figures::ipc(fid);
+    pnoc_bench::export::maybe_export("ipc", &rows);
+
+    let mut header = vec!["workload".to_string()];
+    header.extend(rows[0].results.iter().map(|(l, _)| l.clone()));
+    let mut t = Table::new(header);
+    for r in &rows {
+        let values: Vec<f64> = r.results.iter().map(|(_, s)| s.ipc).collect();
+        t.row_f64(&r.workload, &values, 3);
+    }
+    println!("IPC per scheme (instructions/cycle/core)");
+    println!("{}", t.render());
+
+    println!(
+        "mean IPC improvement, GHS w/ Setaside vs Token Channel: {:.1}%",
+        mean_ipc_improvement(&rows, 1, 0) * 100.0
+    );
+    println!(
+        "mean IPC improvement, DHS w/ Setaside vs Token Slot:    {:.1}%",
+        mean_ipc_improvement(&rows, 3, 2) * 100.0
+    );
+
+    println!("\nnetwork latency seen by the CMP (cycles)");
+    let mut t = Table::new(["workload", "TC", "GHS+SB", "TS", "DHS+SB"]);
+    for r in &rows {
+        let values: Vec<f64> = r.results.iter().map(|(_, s)| s.avg_net_latency).collect();
+        t.row_f64(&r.workload, &values, 1);
+    }
+    println!("{}", t.render());
+}

@@ -1,0 +1,74 @@
+//! JSON export for harness results (`--json <dir>`), so downstream tooling
+//! (plots, EXPERIMENTS.md regeneration, CI diffs) can consume the numbers
+//! without scraping tables.
+
+use serde::Serialize;
+use std::path::{Path, PathBuf};
+
+/// Parse an optional `--json <dir>` argument from the process args.
+pub fn json_dir_from_args() -> Option<PathBuf> {
+    let args: Vec<String> = std::env::args().collect();
+    args.iter()
+        .position(|a| a == "--json")
+        .and_then(|i| args.get(i + 1))
+        .map(PathBuf::from)
+}
+
+/// Serialize `value` to `<dir>/<name>.json` (pretty-printed, stable field
+/// order via serde derive ordering).
+pub fn write_json<T: Serialize>(dir: &Path, name: &str, value: &T) -> std::io::Result<PathBuf> {
+    std::fs::create_dir_all(dir)?;
+    let path = dir.join(format!("{name}.json"));
+    let json = serde_json::to_string_pretty(value)?;
+    std::fs::write(&path, json)?;
+    Ok(path)
+}
+
+/// Write results if `--json` was passed; report the path on stdout.
+pub fn maybe_export<T: Serialize>(name: &str, value: &T) {
+    if let Some(dir) = json_dir_from_args() {
+        match write_json(&dir, name, value) {
+            Ok(path) => println!("wrote {}", path.display()),
+            Err(e) => eprintln!("json export failed: {e}"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[derive(Serialize)]
+    struct Sample {
+        x: f64,
+        label: String,
+    }
+
+    #[test]
+    fn writes_parseable_json() {
+        let dir = std::env::temp_dir().join("pnoc_export_test");
+        let _ = std::fs::remove_dir_all(&dir);
+        let path = write_json(
+            &dir,
+            "sample",
+            &Sample {
+                x: 1.5,
+                label: "hello".into(),
+            },
+        )
+        .unwrap();
+        let text = std::fs::read_to_string(&path).unwrap();
+        let back: serde_json::Value = serde_json::from_str(&text).unwrap();
+        assert_eq!(back["x"], 1.5);
+        assert_eq!(back["label"], "hello");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn curves_serialize() {
+        // The figure payloads must be JSON-serializable end to end.
+        let rows = crate::figures::table1();
+        let json = serde_json::to_string(&rows).unwrap();
+        assert!(json.contains("1028K"));
+    }
+}

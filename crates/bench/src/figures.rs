@@ -1,0 +1,584 @@
+//! The computations behind every figure/table harness.
+//!
+//! Each `figN` function returns structured data; the binaries print it and
+//! the integration tests assert the paper's qualitative claims on it.
+
+use pnoc_cmp::{workload::all_paper_workloads, CmpConfig, CmpSystem, IpcSummary};
+use pnoc_noc::metrics::RunSummary;
+use pnoc_noc::network::run_synthetic_point;
+use pnoc_noc::{Network, NetworkConfig, Scheme, TraceSource};
+use pnoc_photonics::{ComponentBudget, NetworkDims};
+use pnoc_power::{ActivityProfile, PowerBreakdown, PowerReport};
+use pnoc_sim::{run_parallel, RunPlan};
+use pnoc_traffic::apps::all_paper_apps;
+use pnoc_traffic::pattern::TrafficPattern;
+use serde::Serialize;
+
+/// Setaside size the paper's "w/ Setaside" curves use (sized like the
+/// per-destination buffer/credit count of 8).
+pub const PAPER_SETASIDE: usize = 8;
+
+/// Fidelity of a harness run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Fidelity {
+    /// Short windows, thinned grids (CI smoke).
+    Quick,
+    /// The full experiment.
+    Full,
+}
+
+impl Fidelity {
+    /// Parse from process args (`--quick` selects [`Fidelity::Quick`]).
+    pub fn from_args() -> Self {
+        if std::env::args().any(|a| a == "--quick") {
+            Fidelity::Quick
+        } else {
+            Fidelity::Full
+        }
+    }
+
+    /// The measurement plan for this fidelity.
+    pub fn plan(self) -> RunPlan {
+        match self {
+            Fidelity::Quick => crate::grids::quick_plan(),
+            Fidelity::Full => crate::grids::full_plan(),
+        }
+    }
+
+    /// Possibly thin a rate grid.
+    pub fn rates(self, grid: Vec<f64>) -> Vec<f64> {
+        match self {
+            Fidelity::Quick => crate::grids::thin(&grid),
+            Fidelity::Full => grid,
+        }
+    }
+}
+
+/// One latency-vs-load curve.
+#[derive(Debug, Clone, Serialize)]
+pub struct Curve {
+    /// Legend label.
+    pub label: String,
+    /// `(offered rate, run summary)` per grid point.
+    pub points: Vec<(f64, RunSummary)>,
+}
+
+impl Curve {
+    /// Latency values with saturated points rendered as `+∞`.
+    pub fn latencies(&self) -> Vec<f64> {
+        self.points
+            .iter()
+            .map(|(_, s)| if s.saturated { f64::INFINITY } else { s.avg_latency })
+            .collect()
+    }
+
+    /// Highest offered rate this curve sustains without saturating.
+    pub fn saturation_rate(&self) -> f64 {
+        self.points
+            .iter()
+            .filter(|(_, s)| !s.saturated)
+            .map(|(r, _)| *r)
+            .fold(0.0, f64::max)
+    }
+}
+
+/// Sweep `schemes × rates` under `pattern`, one simulation per point, in
+/// parallel. `configure` may adjust the per-run config (credits, fairness…).
+pub fn latency_curves(
+    schemes: &[(String, Scheme)],
+    pattern: TrafficPattern,
+    rates: &[f64],
+    plan: RunPlan,
+    configure: impl Fn(&mut NetworkConfig) + Sync,
+) -> Vec<Curve> {
+    let jobs: Vec<(usize, Scheme, f64)> = schemes
+        .iter()
+        .enumerate()
+        .flat_map(|(i, &(_, s))| rates.iter().map(move |&r| (i, s, r)))
+        .collect();
+    let summaries = run_parallel(&jobs, |_, &(_, scheme, rate)| {
+        let mut cfg = NetworkConfig::paper_default(scheme);
+        configure(&mut cfg);
+        run_synthetic_point(cfg, pattern, rate, plan)
+    });
+    schemes
+        .iter()
+        .enumerate()
+        .map(|(i, (label, _))| Curve {
+            label: label.clone(),
+            points: rates
+                .iter()
+                .copied()
+                .zip(summaries[i * rates.len()..(i + 1) * rates.len()].iter().cloned())
+                .collect(),
+        })
+        .collect()
+}
+
+// ---------------------------------------------------------------------------
+// Fig. 2(b): token slot with different credit counts, UR.
+// ---------------------------------------------------------------------------
+
+/// Fig. 2(b): one curve per credit count ∈ {4, 8, 16, 32}.
+pub fn fig2b(fid: Fidelity) -> Vec<Curve> {
+    let rates = fid.rates(crate::grids::ur_rates_dense());
+    let credits = [4usize, 8, 16, 32];
+    let jobs: Vec<(usize, f64)> = credits
+        .iter()
+        .flat_map(|&c| rates.iter().map(move |&r| (c, r)))
+        .collect();
+    let summaries = run_parallel(&jobs, |_, &(c, rate)| {
+        let mut cfg = NetworkConfig::paper_default(Scheme::TokenSlot);
+        cfg.input_buffer = c;
+        run_synthetic_point(cfg, TrafficPattern::UniformRandom, rate, fid.plan())
+    });
+    credits
+        .iter()
+        .enumerate()
+        .map(|(i, &c)| Curve {
+            label: format!("Credit_{c}"),
+            points: rates
+                .iter()
+                .copied()
+                .zip(summaries[i * rates.len()..(i + 1) * rates.len()].iter().cloned())
+                .collect(),
+        })
+        .collect()
+}
+
+// ---------------------------------------------------------------------------
+// Figs. 8 and 9: scheme comparisons per traffic pattern.
+// ---------------------------------------------------------------------------
+
+/// The global-arbitration group of Fig. 8.
+pub fn global_group() -> Vec<(String, Scheme)> {
+    vec![
+        ("Token Channel".into(), Scheme::TokenChannel),
+        ("GHS".into(), Scheme::Ghs { setaside: 0 }),
+        (
+            "GHS w/ Setaside".into(),
+            Scheme::Ghs {
+                setaside: PAPER_SETASIDE,
+            },
+        ),
+    ]
+}
+
+/// The distributed-arbitration group of Fig. 9.
+pub fn distributed_group() -> Vec<(String, Scheme)> {
+    vec![
+        ("Token Slot".into(), Scheme::TokenSlot),
+        ("DHS".into(), Scheme::Dhs { setaside: 0 }),
+        (
+            "DHS w/ Setaside".into(),
+            Scheme::Dhs {
+                setaside: PAPER_SETASIDE,
+            },
+        ),
+        ("DHS w/ Circulation".into(), Scheme::DhsCirculation),
+    ]
+}
+
+/// The three paper patterns with their figure-specific rate grids.
+fn pattern_grids(fid: Fidelity) -> Vec<(TrafficPattern, Vec<f64>)> {
+    vec![
+        (
+            TrafficPattern::UniformRandom,
+            fid.rates(crate::grids::ur_rates()),
+        ),
+        (
+            TrafficPattern::BitComplement,
+            fid.rates(crate::grids::bc_rates()),
+        ),
+        (TrafficPattern::Tornado, fid.rates(crate::grids::tor_rates())),
+    ]
+}
+
+/// Fig. 8: `(pattern label, curves)` for the global group.
+pub fn fig8(fid: Fidelity) -> Vec<(String, Vec<Curve>)> {
+    pattern_grids(fid)
+        .into_iter()
+        .map(|(p, rates)| {
+            let curves = latency_curves(&global_group(), p, &rates, fid.plan(), |_| {});
+            (p.label().to_string(), curves)
+        })
+        .collect()
+}
+
+/// Fig. 9: `(pattern label, curves)` for the distributed group.
+pub fn fig9(fid: Fidelity) -> Vec<(String, Vec<Curve>)> {
+    pattern_grids(fid)
+        .into_iter()
+        .map(|(p, rates)| {
+            let curves = latency_curves(&distributed_group(), p, &rates, fid.plan(), |_| {});
+            (p.label().to_string(), curves)
+        })
+        .collect()
+}
+
+// ---------------------------------------------------------------------------
+// Fig. 10: application traces.
+// ---------------------------------------------------------------------------
+
+/// Per-application average latency for one scheme group.
+#[derive(Debug, Clone, Serialize)]
+pub struct TraceResult {
+    /// Application name.
+    pub app: String,
+    /// `(scheme label, average latency)` in group order.
+    pub latencies: Vec<(String, f64)>,
+}
+
+/// Fig. 10: replay the 13 synthesized application traces through both scheme
+/// groups. Returns `(global group results, distributed group results)`.
+pub fn fig10(fid: Fidelity) -> (Vec<TraceResult>, Vec<TraceResult>) {
+    let (length, warmup) = match fid {
+        Fidelity::Quick => (12_000u64, 2_000u64),
+        Fidelity::Full => (40_000, 5_000),
+    };
+    let apps = all_paper_apps();
+    let dims = NetworkConfig::paper_default(Scheme::TokenSlot);
+    // Synthesize each trace once, in parallel.
+    let traces = run_parallel(&apps, |_, app| {
+        app.synthesize(dims.cores(), dims.nodes, length, 0x00F1_6010)
+    });
+    let groups: [Vec<(String, Scheme)>; 2] = [global_group(), distributed_group()];
+    let mut out: Vec<Vec<TraceResult>> = Vec::new();
+    for group in &groups {
+        let jobs: Vec<(usize, Scheme)> = (0..traces.len())
+            .flat_map(|t| group.iter().map(move |&(_, s)| (t, s)))
+            .collect();
+        let plan = RunPlan::new(warmup, length - warmup, 2_000);
+        let lat = run_parallel(&jobs, |_, &(t, scheme)| {
+            let cfg = NetworkConfig::paper_default(scheme);
+            let mut net = Network::new(cfg).expect("valid config");
+            let mut src = TraceSource::new(&traces[t], cfg.cores_per_node);
+            let summary = net.run_open_loop(&mut src, plan);
+            summary.avg_latency
+        });
+        let per_app = traces
+            .iter()
+            .enumerate()
+            .map(|(t, trace)| TraceResult {
+                app: trace.name.clone(),
+                latencies: group
+                    .iter()
+                    .enumerate()
+                    .map(|(gi, (label, _))| (label.clone(), lat[t * group.len() + gi]))
+                    .collect(),
+            })
+            .collect();
+        out.push(per_app);
+    }
+    let distributed = out.pop().expect("two groups");
+    let global = out.pop().expect("two groups");
+    (global, distributed)
+}
+
+/// Geometric-mean latency reduction of `scheme_idx` relative to column 0
+/// (the baseline) across a Fig. 10 group.
+pub fn mean_latency_reduction(results: &[TraceResult], scheme_idx: usize) -> f64 {
+    let mut log_sum = 0.0;
+    let mut n = 0usize;
+    for r in results {
+        let base = r.latencies[0].1;
+        let other = r.latencies[scheme_idx].1;
+        if base.is_finite() && other.is_finite() && base > 0.0 && other > 0.0 {
+            log_sum += (other / base).ln();
+            n += 1;
+        }
+    }
+    if n == 0 {
+        return f64::NAN;
+    }
+    1.0 - (log_sum / n as f64).exp()
+}
+
+// ---------------------------------------------------------------------------
+// Fig. 11: sensitivity studies.
+// ---------------------------------------------------------------------------
+
+/// Fig. 11(a–e): for each handshake scheme, one latency-vs-load curve per
+/// credit count — showing the handshake schemes are credit-independent.
+pub fn fig11_credits(fid: Fidelity) -> Vec<(String, Vec<Curve>)> {
+    let schemes: Vec<(String, Scheme)> = vec![
+        ("GHS".into(), Scheme::Ghs { setaside: 0 }),
+        (
+            "GHS w/ Setaside".into(),
+            Scheme::Ghs {
+                setaside: PAPER_SETASIDE,
+            },
+        ),
+        ("DHS".into(), Scheme::Dhs { setaside: 0 }),
+        (
+            "DHS w/ Setaside".into(),
+            Scheme::Dhs {
+                setaside: PAPER_SETASIDE,
+            },
+        ),
+        ("DHS w/ Circulation".into(), Scheme::DhsCirculation),
+    ];
+    let rates = fid.rates(crate::grids::ur_rates_dense());
+    let credits = [4usize, 8, 16, 32];
+    schemes
+        .into_iter()
+        .map(|(label, scheme)| {
+            let credit_curves: Vec<(String, Scheme)> = credits
+                .iter()
+                .map(|&c| (format!("Credit_{c}"), scheme))
+                .collect();
+            // Each "scheme" row is the same scheme at a different buffer size.
+            let jobs: Vec<(usize, f64)> = credits
+                .iter()
+                .flat_map(|&c| rates.iter().map(move |&r| (c, r)))
+                .collect();
+            let summaries = run_parallel(&jobs, |_, &(c, rate)| {
+                let mut cfg = NetworkConfig::paper_default(scheme);
+                cfg.input_buffer = c;
+                run_synthetic_point(cfg, TrafficPattern::UniformRandom, rate, fid.plan())
+            });
+            let curves = credit_curves
+                .iter()
+                .enumerate()
+                .map(|(i, (clabel, _))| Curve {
+                    label: clabel.clone(),
+                    points: rates
+                        .iter()
+                        .copied()
+                        .zip(
+                            summaries[i * rates.len()..(i + 1) * rates.len()]
+                                .iter()
+                                .cloned(),
+                        )
+                        .collect(),
+                })
+                .collect();
+            (label, curves)
+        })
+        .collect()
+}
+
+/// Fig. 11(f): GHS and DHS latency at UR 0.11 for setaside ∈ {1,2,4,8,16}.
+pub fn fig11_setaside(fid: Fidelity) -> Vec<(String, Vec<(usize, f64)>)> {
+    let sizes = [1usize, 2, 4, 8, 16];
+    let rate = 0.11;
+    let mut out = Vec::new();
+    for (label, make) in [
+        (
+            "GHS",
+            Box::new(|s: usize| Scheme::Ghs { setaside: s }) as Box<dyn Fn(usize) -> Scheme + Sync>,
+        ),
+        ("DHS", Box::new(|s: usize| Scheme::Dhs { setaside: s })),
+    ] {
+        let points = run_parallel(&sizes, |_, &s| {
+            let cfg = NetworkConfig::paper_default(make(s));
+            let summary =
+                run_synthetic_point(cfg, TrafficPattern::UniformRandom, rate, fid.plan());
+            if summary.saturated {
+                f64::INFINITY
+            } else {
+                summary.avg_latency
+            }
+        });
+        out.push((
+            label.to_string(),
+            sizes.iter().copied().zip(points).collect(),
+        ));
+    }
+    out
+}
+
+// ---------------------------------------------------------------------------
+// Fig. 12: power and energy.
+// ---------------------------------------------------------------------------
+
+/// One scheme's Fig. 12 row.
+#[derive(Debug, Clone, Serialize)]
+pub struct PowerRow {
+    /// Scheme label.
+    pub label: String,
+    /// Fig. 12(a) breakdown, watts.
+    pub breakdown: PowerBreakdown,
+    /// Fig. 12(b) energy per packet, joules.
+    pub energy_per_packet_j: f64,
+}
+
+/// Fig. 12: run every scheme at a common sustainable UR load, extract
+/// activity, and price it with the power models.
+pub fn fig12(fid: Fidelity) -> Vec<PowerRow> {
+    let schemes = Scheme::paper_set(PAPER_SETASIDE);
+    let plan = fid.plan();
+    // 0.05 pkt/cycle/core is sustainable by every scheme (Fig. 8/9).
+    let rate = 0.05;
+    let rows = run_parallel(&schemes, |_, &scheme| {
+        let cfg = NetworkConfig::paper_default(scheme);
+        let mut net = Network::new(cfg).expect("valid config");
+        let mut src = pnoc_noc::SyntheticSource::new(
+            TrafficPattern::UniformRandom,
+            rate,
+            cfg.nodes,
+            cfg.cores_per_node,
+            cfg.seed,
+        );
+        net.run_open_loop(&mut src, plan);
+        let activity = ActivityProfile::from_metrics(net.metrics(), plan.total());
+        let report = PowerReport::paper_default();
+        PowerRow {
+            label: scheme.label(),
+            breakdown: report.breakdown(scheme, &activity),
+            energy_per_packet_j: report.energy_per_packet_j(scheme, &activity),
+        }
+    });
+    rows
+}
+
+// ---------------------------------------------------------------------------
+// Table I: component budgets.
+// ---------------------------------------------------------------------------
+
+/// Table I rows: `(label, data WG, token WG, handshake WG, rings string)`.
+pub fn table1() -> Vec<(String, u64, u64, u64, String)> {
+    let dims = NetworkDims::paper_default();
+    [
+        ("Token Slot".to_string(), Scheme::TokenSlot),
+        ("GHS".to_string(), Scheme::Ghs { setaside: 0 }),
+        ("DHS".to_string(), Scheme::Dhs { setaside: 0 }),
+        ("DHS-cir".to_string(), Scheme::DhsCirculation),
+    ]
+    .into_iter()
+    .map(|(label, scheme)| {
+        let b = ComponentBudget::for_scheme(dims, scheme.features());
+        let (d, t, h, rings) = b.table1_row();
+        (label, d, t, h, rings)
+    })
+    .collect()
+}
+
+// ---------------------------------------------------------------------------
+// IPC experiment (§V-B).
+// ---------------------------------------------------------------------------
+
+/// One workload's IPC under the four compared schemes.
+#[derive(Debug, Clone, Serialize)]
+pub struct IpcRow {
+    /// Workload name.
+    pub workload: String,
+    /// `(scheme label, summary)` for token channel, GHS w/SB, token slot,
+    /// DHS w/SB — the comparison the paper reports.
+    pub results: Vec<(String, IpcSummary)>,
+}
+
+/// The IPC experiment: 128 cores, 4 MSHRs each, closed loop.
+pub fn ipc(fid: Fidelity) -> Vec<IpcRow> {
+    let (warmup, measure) = match fid {
+        Fidelity::Quick => (1_000u64, 6_000u64),
+        Fidelity::Full => (3_000, 20_000),
+    };
+    let schemes: Vec<(String, Scheme)> = vec![
+        ("Token Channel".into(), Scheme::TokenChannel),
+        (
+            "GHS w/ Setaside".into(),
+            Scheme::Ghs {
+                setaside: PAPER_SETASIDE,
+            },
+        ),
+        ("Token Slot".into(), Scheme::TokenSlot),
+        (
+            "DHS w/ Setaside".into(),
+            Scheme::Dhs {
+                setaside: PAPER_SETASIDE,
+            },
+        ),
+    ];
+    let workloads = all_paper_workloads();
+    let jobs: Vec<(usize, usize)> = (0..workloads.len())
+        .flat_map(|w| (0..schemes.len()).map(move |s| (w, s)))
+        .collect();
+    let results = run_parallel(&jobs, |_, &(w, s)| {
+        let mut net_cfg = NetworkConfig::paper_default(schemes[s].1);
+        net_cfg.cores_per_node = 2; // 128 cores, as in the paper's CMP
+        let mut sys = CmpSystem::new(net_cfg, CmpConfig::paper_default(), workloads[w].clone());
+        sys.run(warmup, measure)
+    });
+    workloads
+        .iter()
+        .enumerate()
+        .map(|(w, wl)| IpcRow {
+            workload: wl.name.to_string(),
+            results: schemes
+                .iter()
+                .enumerate()
+                .map(|(s, (label, _))| (label.clone(), results[w * schemes.len() + s]))
+                .collect(),
+        })
+        .collect()
+}
+
+/// Mean IPC improvement of scheme column `a` over column `b` across rows.
+pub fn mean_ipc_improvement(rows: &[IpcRow], a: usize, b: usize) -> f64 {
+    let mut log_sum = 0.0;
+    for r in rows {
+        log_sum += (r.results[a].1.ipc / r.results[b].1.ipc).ln();
+    }
+    (log_sum / rows.len() as f64).exp() - 1.0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn groups_have_paper_membership() {
+        assert_eq!(global_group().len(), 3);
+        assert_eq!(distributed_group().len(), 4);
+    }
+
+    #[test]
+    fn table1_matches_paper_exactly() {
+        let rows = table1();
+        assert_eq!(rows.len(), 4);
+        let expect = [
+            ("Token Slot", 256, 1, 0, "1024K"),
+            ("GHS", 256, 1, 1, "1028K"),
+            ("DHS", 256, 1, 1, "1028K"),
+            ("DHS-cir", 256, 1, 0, "1040K"),
+        ];
+        for (row, exp) in rows.iter().zip(expect) {
+            assert_eq!(row.0, exp.0);
+            assert_eq!(row.1, exp.1);
+            assert_eq!(row.2, exp.2);
+            assert_eq!(row.3, exp.3);
+            assert_eq!(row.4, exp.4);
+        }
+    }
+
+    #[test]
+    fn curve_helpers() {
+        use pnoc_noc::metrics::NetworkMetrics;
+        let mk = |saturated: bool| {
+            let mut m = NetworkMetrics::new();
+            m.generated_measured = 100;
+            m.delivered_measured = if saturated { 10 } else { 100 };
+            for _ in 0..m.delivered_measured {
+                m.latency.record(12.0);
+                m.latency_hist.record(12.0);
+            }
+            RunSummary::from_metrics(&m, &[], 1000, 4, 0.1)
+        };
+        let c = Curve {
+            label: "x".into(),
+            points: vec![(0.05, mk(false)), (0.1, mk(false)), (0.2, mk(true))],
+        };
+        assert_eq!(c.saturation_rate(), 0.1);
+        let l = c.latencies();
+        assert!(l[0].is_finite());
+        assert!(l[2].is_infinite());
+    }
+
+    #[test]
+    fn fidelity_thins() {
+        let full = Fidelity::Full.rates(crate::grids::ur_rates());
+        let quick = Fidelity::Quick.rates(crate::grids::ur_rates());
+        assert!(quick.len() < full.len());
+    }
+}

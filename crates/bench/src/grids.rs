@@ -1,0 +1,74 @@
+//! Load grids and run plans for each figure (the paper's x-axes).
+
+use pnoc_sim::RunPlan;
+
+/// The x-axis of Fig. 2(b) / Fig. 11(c–e): UR loads up to 0.23.
+pub fn ur_rates_dense() -> Vec<f64> {
+    vec![
+        0.005, 0.01, 0.015, 0.02, 0.025, 0.03, 0.05, 0.07, 0.09, 0.11, 0.13, 0.15, 0.17, 0.19,
+        0.21, 0.23,
+    ]
+}
+
+/// The x-axis of Fig. 8(a) / Fig. 9(a): UR loads up to 0.25.
+pub fn ur_rates() -> Vec<f64> {
+    vec![0.01, 0.03, 0.05, 0.07, 0.09, 0.11, 0.13, 0.15, 0.17, 0.19, 0.21, 0.23, 0.25]
+}
+
+/// The x-axis of Fig. 8(b) / 9(b): BC loads up to ~0.19.
+pub fn bc_rates() -> Vec<f64> {
+    vec![0.01, 0.03, 0.05, 0.07, 0.09, 0.11, 0.13, 0.15, 0.17, 0.19]
+}
+
+/// The x-axis of Fig. 8(c) / 9(c): TOR loads up to ~0.07.
+/// (Tornado concentrates node-pair traffic, so rings saturate earlier.)
+pub fn tor_rates() -> Vec<f64> {
+    vec![0.005, 0.01, 0.015, 0.02, 0.025, 0.03, 0.04, 0.05, 0.06, 0.07]
+}
+
+/// Thin a grid for `--quick` runs (every other point, keeping endpoints).
+pub fn thin(rates: &[f64]) -> Vec<f64> {
+    if rates.len() <= 3 {
+        return rates.to_vec();
+    }
+    let mut out: Vec<f64> = rates.iter().copied().step_by(2).collect();
+    if (out.last() != rates.last()) && rates.last().is_some() {
+        out.push(*rates.last().expect("non-empty"));
+    }
+    out
+}
+
+/// Full-fidelity measurement plan.
+pub fn full_plan() -> RunPlan {
+    RunPlan::new(10_000, 40_000, 3_000)
+}
+
+/// Quick plan for smoke runs and CI.
+pub fn quick_plan() -> RunPlan {
+    RunPlan::new(3_000, 10_000, 1_500)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn grids_are_sorted_and_positive() {
+        for g in [ur_rates_dense(), ur_rates(), bc_rates(), tor_rates()] {
+            assert!(!g.is_empty());
+            assert!(g.iter().all(|&r| r > 0.0 && r < 0.5));
+            assert!(g.windows(2).all(|w| w[0] < w[1]), "grid must ascend");
+        }
+    }
+
+    #[test]
+    fn thin_keeps_endpoints() {
+        let g = ur_rates();
+        let t = thin(&g);
+        assert!(t.len() < g.len());
+        assert_eq!(t.first(), g.first());
+        assert_eq!(t.last(), g.last());
+        let tiny = vec![0.1, 0.2];
+        assert_eq!(thin(&tiny), tiny);
+    }
+}

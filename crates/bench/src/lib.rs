@@ -1,0 +1,39 @@
+//! # pnoc-bench — paper-reproduction harnesses
+//!
+//! One binary per table/figure of the paper (run with `--release`):
+//!
+//! | Binary      | Reproduces | Content |
+//! |-------------|-----------|---------|
+//! | `fig2b`     | Fig. 2(b) | token slot latency vs load, credits ∈ {4, 8, 16, 32}, UR |
+//! | `fig8`      | Fig. 8    | token channel vs GHS vs GHS w/setaside; UR / BC / TOR |
+//! | `fig9`      | Fig. 9    | token slot vs DHS vs DHS w/setaside vs DHS w/circulation; UR / BC / TOR |
+//! | `fig10`     | Fig. 10   | latency on the 13 application traces, both scheme groups |
+//! | `fig11`     | Fig. 11   | credit sensitivity (a–e) and setaside-size study (f) |
+//! | `fig12`     | Fig. 12   | power breakdown (a) and energy per packet (b) |
+//! | `table1`    | Table I   | per-scheme optical component budgets |
+//! | `ipc`       | §V-B text | IPC comparison on the closed-loop CMP |
+//! | `ablations` | DESIGN.md §7 | ring size, ejection bandwidth, fairness policy |
+//! | `swmr`      | §II-B     | handshake vs partitioned credits on an SWMR fabric |
+//! | `mesh_vs_ring` | §II-C  | electrical 2D-mesh baseline vs the photonic ring |
+//! | `calibrate` | (dev)     | quick sweep for model sanity-checking |
+//!
+//! Every binary accepts `--quick` for a reduced-fidelity pass (shorter
+//! windows, sparser grids) used by CI-style smoke checks; the default is the
+//! full experiment. The figure binaries also accept `--svg <dir>` (rendered
+//! charts via [`plot`]) and `--json <dir>` (structured results via
+//! [`export`]). The computation lives in [`figures`] so integration tests
+//! can assert the paper's qualitative claims on the same code the binaries
+//! print from.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod export;
+pub mod figures;
+pub mod grids;
+pub mod plot;
+pub mod table;
+
+pub use figures::Fidelity;
+pub use plot::{render_latency_svg, PlotSpec};
+pub use table::Table;

@@ -1,0 +1,116 @@
+//! Plain-text table rendering for harness output.
+
+/// A simple right-aligned text table with a left-aligned label column.
+#[derive(Debug, Clone, Default)]
+pub struct Table {
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// A table with the given column headers (first column is the label).
+    pub fn new<S: Into<String>>(header: impl IntoIterator<Item = S>) -> Self {
+        Self {
+            header: header.into_iter().map(Into::into).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Append a row (must match the header length).
+    pub fn row<S: Into<String>>(&mut self, cells: impl IntoIterator<Item = S>) -> &mut Self {
+        let row: Vec<String> = cells.into_iter().map(Into::into).collect();
+        assert_eq!(row.len(), self.header.len(), "row width mismatch");
+        self.rows.push(row);
+        self
+    }
+
+    /// Convenience: label + f64 cells with the given precision; NaN renders
+    /// as `-`, infinite values as `SAT` (the curve ran away).
+    pub fn row_f64(&mut self, label: &str, values: &[f64], precision: usize) -> &mut Self {
+        let mut cells = vec![label.to_string()];
+        for &v in values {
+            cells.push(fmt_f64(v, precision));
+        }
+        self.row(cells)
+    }
+
+    /// Render with aligned columns.
+    pub fn render(&self) -> String {
+        let cols = self.header.len();
+        let mut widths = vec![0usize; cols];
+        for (i, h) in self.header.iter().enumerate() {
+            widths[i] = widths[i].max(h.chars().count());
+        }
+        for row in &self.rows {
+            for (i, c) in row.iter().enumerate() {
+                widths[i] = widths[i].max(c.chars().count());
+            }
+        }
+        let mut out = String::new();
+        let fmt_row = |cells: &[String], widths: &[usize]| {
+            let mut line = String::new();
+            for (i, c) in cells.iter().enumerate() {
+                if i == 0 {
+                    line.push_str(&format!("{:<w$}", c, w = widths[0]));
+                } else {
+                    line.push_str(&format!("  {:>w$}", c, w = widths[i]));
+                }
+            }
+            line
+        };
+        out.push_str(&fmt_row(&self.header, &widths));
+        out.push('\n');
+        let total: usize = widths.iter().sum::<usize>() + 2 * (cols - 1);
+        out.push_str(&"-".repeat(total));
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&fmt_row(row, &widths));
+            out.push('\n');
+        }
+        out
+    }
+}
+
+/// Format a float cell: NaN → `-`, ±∞ → `SAT`.
+pub fn fmt_f64(v: f64, precision: usize) -> String {
+    if v.is_nan() {
+        "-".to_string()
+    } else if v.is_infinite() {
+        "SAT".to_string()
+    } else {
+        format!("{v:.precision$}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_aligned() {
+        let mut t = Table::new(["scheme", "0.01", "0.05"]);
+        t.row_f64("DHS", &[9.5, 10.2], 1);
+        t.row_f64("Token Slot", &[9.6, f64::INFINITY], 1);
+        let s = t.render();
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[2].starts_with("DHS"));
+        assert!(lines[3].contains("SAT"));
+        // all lines same width
+        assert_eq!(lines[0].len(), lines[2].len());
+    }
+
+    #[test]
+    fn special_values() {
+        assert_eq!(fmt_f64(f64::NAN, 1), "-");
+        assert_eq!(fmt_f64(f64::INFINITY, 1), "SAT");
+        assert_eq!(fmt_f64(1.25, 1), "1.2");
+    }
+
+    #[test]
+    #[should_panic]
+    fn row_width_mismatch_panics() {
+        let mut t = Table::new(["a", "b"]);
+        t.row(["only one"]);
+    }
+}

@@ -1,0 +1,63 @@
+//! Quick-fidelity smoke runs of the figure computations themselves, so the
+//! exact code the harness binaries execute is covered by `cargo test`.
+
+use pnoc_bench::figures::{self, Fidelity};
+
+#[test]
+fn fig12_pipeline_produces_paper_shapes() {
+    let rows = figures::fig12(Fidelity::Quick);
+    assert_eq!(rows.len(), 7, "all seven schemes priced");
+    // Laser + heating dominate everywhere.
+    for r in &rows {
+        assert!(
+            r.breakdown.static_fraction() > 0.6,
+            "{}: static share {}",
+            r.label,
+            r.breakdown.static_fraction()
+        );
+        assert!(r.energy_per_packet_j.is_finite() && r.energy_per_packet_j > 0.0);
+    }
+    // Token slot is the cheapest total.
+    let ts = rows
+        .iter()
+        .find(|r| r.label == "Token Slot")
+        .expect("token slot row");
+    for r in &rows {
+        assert!(
+            r.breakdown.total_w() >= ts.breakdown.total_w() - 1e-9,
+            "{} cheaper than token slot",
+            r.label
+        );
+    }
+    // Circulation's energy/packet within 10% of DHS w/ setaside.
+    let dhs = rows.iter().find(|r| r.label == "DHS w/ Setaside").unwrap();
+    let cir = rows.iter().find(|r| r.label == "DHS w/ Circulation").unwrap();
+    let rel = (cir.energy_per_packet_j - dhs.energy_per_packet_j).abs() / dhs.energy_per_packet_j;
+    assert!(rel < 0.1, "circulation energy overhead {rel}");
+}
+
+#[test]
+fn fig11_setaside_study_shows_small_buffers_suffice() {
+    let rows = figures::fig11_setaside(Fidelity::Quick);
+    assert_eq!(rows.len(), 2, "GHS and DHS rows");
+    for (label, points) in &rows {
+        assert_eq!(points.len(), 5, "{label}: sizes 1,2,4,8,16");
+        let l2 = points[1].1; // setaside = 2
+        let l16 = points[4].1; // setaside = 16
+        assert!(
+            l2.is_finite() && l16.is_finite(),
+            "{label}: UR 0.11 must be sustainable at small setaside"
+        );
+        assert!(
+            (l2 - l16).abs() < 0.25 * l16.max(1.0),
+            "{label}: setaside 2 within 25% of 16 ({l2} vs {l16})"
+        );
+    }
+}
+
+#[test]
+fn table1_is_exact() {
+    let rows = figures::table1();
+    let rings: Vec<&str> = rows.iter().map(|r| r.4.as_str()).collect();
+    assert_eq!(rings, ["1024K", "1028K", "1028K", "1040K"]);
+}

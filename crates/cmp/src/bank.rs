@@ -1,0 +1,125 @@
+//! L2 cache banks (S-NUCA slices co-located with network nodes).
+
+use pnoc_sim::Cycle;
+use serde::Serialize;
+use std::collections::VecDeque;
+
+/// A pending L2 access.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize)]
+pub struct BankRequest {
+    /// Core that issued the miss (reply target).
+    pub requester_core: usize,
+}
+
+/// One L2 bank: accepts up to `accept_per_cycle` requests per cycle and
+/// completes each after `service_latency` cycles.
+#[derive(Debug, Clone, Serialize)]
+pub struct L2Bank {
+    service_latency: Cycle,
+    accept_per_cycle: usize,
+    waiting: VecDeque<BankRequest>,
+    in_service: VecDeque<(Cycle, BankRequest)>,
+    served: u64,
+}
+
+impl L2Bank {
+    /// A bank with the given service latency and acceptance bandwidth.
+    pub fn new(service_latency: Cycle, accept_per_cycle: usize) -> Self {
+        assert!(accept_per_cycle > 0);
+        Self {
+            service_latency,
+            accept_per_cycle,
+            waiting: VecDeque::new(),
+            in_service: VecDeque::new(),
+            served: 0,
+        }
+    }
+
+    /// The paper-scale default: 15-cycle L2 access, two banks' worth of
+    /// bandwidth per node (128 banks on 64 nodes).
+    pub fn paper_default() -> Self {
+        Self::new(15, 2)
+    }
+
+    /// Queue an incoming request.
+    pub fn accept(&mut self, req: BankRequest) {
+        self.waiting.push_back(req);
+    }
+
+    /// Advance one cycle: move accepted requests into service and return the
+    /// requests whose data is ready this cycle.
+    pub fn tick(&mut self, now: Cycle) -> Vec<BankRequest> {
+        for _ in 0..self.accept_per_cycle {
+            let Some(req) = self.waiting.pop_front() else {
+                break;
+            };
+            self.in_service.push_back((now + self.service_latency, req));
+        }
+        let mut done = Vec::new();
+        while self.in_service.front().is_some_and(|&(due, _)| due <= now) {
+            let (_, req) = self.in_service.pop_front().expect("checked front");
+            self.served += 1;
+            done.push(req);
+        }
+        done
+    }
+
+    /// Requests completed so far.
+    pub fn served(&self) -> u64 {
+        self.served
+    }
+
+    /// Whether no request is queued or in flight.
+    pub fn is_idle(&self) -> bool {
+        self.waiting.is_empty() && self.in_service.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn service_takes_latency_cycles() {
+        let mut b = L2Bank::new(5, 1);
+        b.accept(BankRequest { requester_core: 7 });
+        // Accepted at t=0, due at t=5.
+        for t in 0..5 {
+            assert!(b.tick(t).is_empty(), "not done at {t}");
+        }
+        let done = b.tick(5);
+        assert_eq!(done.len(), 1);
+        assert_eq!(done[0].requester_core, 7);
+        assert!(b.is_idle());
+        assert_eq!(b.served(), 1);
+    }
+
+    #[test]
+    fn acceptance_bandwidth_limits_start() {
+        let mut b = L2Bank::new(3, 1);
+        for c in 0..3 {
+            b.accept(BankRequest { requester_core: c });
+        }
+        // One starts per cycle: completions at 3, 4, 5.
+        let mut completions = Vec::new();
+        for t in 0..=6 {
+            for r in b.tick(t) {
+                completions.push((t, r.requester_core));
+            }
+        }
+        assert_eq!(completions, vec![(3, 0), (4, 1), (5, 2)]);
+    }
+
+    #[test]
+    fn wider_banks_serve_in_parallel() {
+        let mut b = L2Bank::new(3, 2);
+        for c in 0..2 {
+            b.accept(BankRequest { requester_core: c });
+        }
+        let mut done = Vec::new();
+        for t in 0..=3 {
+            done.extend(b.tick(t));
+        }
+        assert_eq!(done.len(), 2, "both served after one latency");
+    }
+}

@@ -1,0 +1,151 @@
+//! The MSHR-limited core model.
+//!
+//! The paper models out-of-order cores with 4 MSHRs each to implement a
+//! *self-throttling* CMP network \[15\]: a core retires instructions until all
+//! its miss-status-holding registers are occupied, then stalls until a reply
+//! returns. This is exactly the feedback loop that turns network latency into
+//! IPC, so it is all the core model needs.
+
+use pnoc_sim::SimRng;
+use serde::Serialize;
+
+/// One processing core.
+#[derive(Debug, Clone, Serialize)]
+pub struct CoreModel {
+    mshrs: u32,
+    outstanding: u32,
+    miss_per_instr: f64,
+    retired: u64,
+    stalled_cycles: u64,
+    issued: u64,
+}
+
+impl CoreModel {
+    /// A core with `mshrs` miss registers and `miss_per_instr` probability of
+    /// an instruction missing to a remote L2 bank.
+    pub fn new(mshrs: u32, miss_per_instr: f64) -> Self {
+        assert!(mshrs > 0, "need at least one MSHR");
+        assert!((0.0..=1.0).contains(&miss_per_instr));
+        Self {
+            mshrs,
+            outstanding: 0,
+            miss_per_instr,
+            retired: 0,
+            stalled_cycles: 0,
+            issued: 0,
+        }
+    }
+
+    /// The paper's 4-MSHR configuration.
+    pub fn paper_default(miss_per_instr: f64) -> Self {
+        Self::new(4, miss_per_instr)
+    }
+
+    /// Advance one cycle: returns `true` if an L2 request is issued this
+    /// cycle. A stalled core (all MSHRs busy) retires nothing.
+    pub fn tick(&mut self, rng: &mut SimRng) -> bool {
+        if self.outstanding >= self.mshrs {
+            self.stalled_cycles += 1;
+            return false;
+        }
+        self.retired += 1;
+        if rng.chance(self.miss_per_instr) {
+            self.outstanding += 1;
+            self.issued += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// A reply returned: one MSHR frees.
+    pub fn complete_miss(&mut self) {
+        assert!(self.outstanding > 0, "reply without outstanding miss");
+        self.outstanding -= 1;
+    }
+
+    /// Instructions retired so far.
+    pub fn retired(&self) -> u64 {
+        self.retired
+    }
+
+    /// Cycles spent fully stalled.
+    pub fn stalled_cycles(&self) -> u64 {
+        self.stalled_cycles
+    }
+
+    /// Requests issued so far.
+    pub fn issued(&self) -> u64 {
+        self.issued
+    }
+
+    /// Outstanding misses right now.
+    pub fn outstanding(&self) -> u32 {
+        self.outstanding
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn no_misses_means_ipc_one() {
+        let mut c = CoreModel::paper_default(0.0);
+        let mut rng = SimRng::seed_from(1);
+        for _ in 0..1000 {
+            assert!(!c.tick(&mut rng));
+        }
+        assert_eq!(c.retired(), 1000);
+        assert_eq!(c.stalled_cycles(), 0);
+    }
+
+    #[test]
+    fn stalls_when_mshrs_full() {
+        let mut c = CoreModel::new(2, 1.0); // every instruction misses
+        let mut rng = SimRng::seed_from(2);
+        assert!(c.tick(&mut rng));
+        assert!(c.tick(&mut rng));
+        assert_eq!(c.outstanding(), 2);
+        assert!(!c.tick(&mut rng), "third tick must stall");
+        assert_eq!(c.retired(), 2);
+        assert_eq!(c.stalled_cycles(), 1);
+        c.complete_miss();
+        assert!(c.tick(&mut rng), "freed MSHR resumes execution");
+        assert_eq!(c.retired(), 3);
+    }
+
+    #[test]
+    fn ipc_degrades_with_reply_latency() {
+        // Simulate fixed round-trip latencies by queueing completions.
+        let ipc_with_rtt = |rtt: u64| {
+            let mut c = CoreModel::paper_default(0.2);
+            let mut rng = SimRng::seed_from(3);
+            let mut inflight: std::collections::VecDeque<u64> = Default::default();
+            let cycles = 20_000u64;
+            for t in 0..cycles {
+                while inflight.front().is_some_and(|&due| due <= t) {
+                    inflight.pop_front();
+                    c.complete_miss();
+                }
+                if c.tick(&mut rng) {
+                    inflight.push_back(t + rtt);
+                }
+            }
+            c.retired() as f64 / cycles as f64
+        };
+        let fast = ipc_with_rtt(10);
+        let slow = ipc_with_rtt(60);
+        assert!(fast > slow, "longer RTT must reduce IPC ({fast} vs {slow})");
+        // 4 MSHRs / (0.2 misses/instr) = 20 instr per RTT window:
+        // RTT 60 → IPC ≈ 20/60 ≈ 0.33; RTT 10 → ≈ 1.0.
+        assert!(slow < 0.5);
+        assert!(fast > 0.8);
+    }
+
+    #[test]
+    #[should_panic]
+    fn reply_without_miss_panics() {
+        CoreModel::paper_default(0.1).complete_miss();
+    }
+}

@@ -1,0 +1,31 @@
+//! # pnoc-cmp — closed-loop CMP model
+//!
+//! Reproduces the paper's IPC experiment (§V-A/§V-B): a 128-core, 128-L2-bank
+//! S-NUCA CMP on 64 network nodes (concentration), where each out-of-order
+//! core has **4 MSHRs** and therefore *self-throttles* — when all MSHRs are
+//! occupied by outstanding cache misses the core stalls, so network latency
+//! feeds directly back into instruction throughput.
+//!
+//! The pieces:
+//!
+//! * [`core`] — the MSHR-limited core model (retire 1 instr/cycle unless
+//!   blocked; misses allocate an MSHR and issue a request),
+//! * [`bank`] — L2 banks with a fixed service latency and 1-request/cycle
+//!   acceptance,
+//! * [`workload`] — per-benchmark miss intensities and bank-skew,
+//!   derived from the same 13 application profiles as `pnoc-traffic::apps`,
+//! * [`system`] — the closed loop: cores → network → banks → network →
+//!   MSHR release, measuring IPC.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod bank;
+pub mod core;
+pub mod system;
+pub mod workload;
+
+pub use bank::L2Bank;
+pub use core::CoreModel;
+pub use system::{CmpConfig, CmpSystem, IpcSummary};
+pub use workload::CmpWorkload;

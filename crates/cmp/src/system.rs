@@ -1,0 +1,259 @@
+//! The closed loop: cores → network → banks → network → MSHR release.
+
+use crate::bank::{BankRequest, L2Bank};
+use crate::core::CoreModel;
+use crate::workload::CmpWorkload;
+use pnoc_noc::{Network, NetworkConfig, PacketKind};
+use pnoc_sim::{Cycle, SimRng};
+use serde::Serialize;
+
+/// Configuration of the CMP around the network.
+#[derive(Debug, Clone, Copy, Serialize)]
+pub struct CmpConfig {
+    /// MSHRs per core (paper: 4).
+    pub mshrs: u32,
+    /// L2 bank service latency, cycles.
+    pub l2_latency: Cycle,
+    /// Bank acceptance bandwidth per node per cycle.
+    pub l2_accept_per_cycle: usize,
+    /// RNG seed for core miss processes.
+    pub seed: u64,
+}
+
+impl CmpConfig {
+    /// The paper's system: 4 MSHRs, 15-cycle L2, 2 banks per node.
+    pub fn paper_default() -> Self {
+        Self {
+            mshrs: 4,
+            l2_latency: 15,
+            l2_accept_per_cycle: 2,
+            seed: 0xCAFE,
+        }
+    }
+}
+
+/// IPC run digest.
+#[derive(Debug, Clone, Copy, Serialize)]
+pub struct IpcSummary {
+    /// Instructions per cycle per core.
+    pub ipc: f64,
+    /// Fraction of core-cycles fully stalled on MSHRs.
+    pub stall_fraction: f64,
+    /// Mean network latency observed by measured packets.
+    pub avg_net_latency: f64,
+    /// Requests issued per core per cycle.
+    pub request_rate: f64,
+}
+
+/// The full CMP: cores and banks closed over a [`Network`].
+#[derive(Debug)]
+pub struct CmpSystem {
+    cores: Vec<CoreModel>,
+    banks: Vec<L2Bank>,
+    network: Network,
+    workload: CmpWorkload,
+    hot_banks: Vec<usize>,
+    rng: SimRng,
+    cores_per_node: usize,
+    /// Local (same-node) requests complete without touching the ring; they
+    /// are modelled as a bank access plus router latency.
+    local_completions: Vec<(Cycle, usize)>,
+}
+
+impl CmpSystem {
+    /// Build the CMP around a fresh network.
+    pub fn new(net_cfg: NetworkConfig, cmp_cfg: CmpConfig, workload: CmpWorkload) -> Self {
+        let network = Network::new(net_cfg).expect("invalid network config");
+        let mut rng = SimRng::seed_from(cmp_cfg.seed ^ 0x1234_5678);
+        let cores = (0..net_cfg.cores())
+            .map(|_| {
+                // Small per-core jitter keeps cores from phase-locking.
+                let jitter = 1.0 + (rng.f64() - 0.5) * 0.1;
+                CoreModel::new(cmp_cfg.mshrs, (workload.miss_per_instr * jitter).min(1.0))
+            })
+            .collect();
+        let banks = (0..net_cfg.nodes)
+            .map(|_| L2Bank::new(cmp_cfg.l2_latency, cmp_cfg.l2_accept_per_cycle))
+            .collect();
+        let hot_banks = workload.hot_banks(net_cfg.nodes, cmp_cfg.seed);
+        Self {
+            cores,
+            banks,
+            network,
+            workload,
+            hot_banks,
+            rng,
+            cores_per_node: net_cfg.cores_per_node,
+            local_completions: Vec::new(),
+        }
+    }
+
+    /// The underlying network (for metrics inspection).
+    pub fn network(&self) -> &Network {
+        &self.network
+    }
+
+    /// Advance one cycle of the whole system.
+    pub fn step(&mut self, measured: bool) {
+        let now = self.network.now();
+        let nodes = self.banks.len();
+
+        // 1. Cores issue misses.
+        for core_id in 0..self.cores.len() {
+            if self.cores[core_id].tick(&mut self.rng) {
+                let src_node = core_id / self.cores_per_node;
+                let bank =
+                    self.workload
+                        .pick_bank(src_node, nodes, &self.hot_banks, &mut self.rng);
+                debug_assert_ne!(bank, src_node);
+                self.network
+                    .inject(core_id, bank, PacketKind::Request, core_id as u64, measured);
+            }
+        }
+
+        // 2. Network moves.
+        self.network.step();
+
+        // 3. Deliveries: requests reach banks, replies release MSHRs.
+        for d in self.network.deliveries().to_vec() {
+            match d.pkt.kind {
+                PacketKind::Request => {
+                    self.banks[d.pkt.dst_node as usize].accept(BankRequest {
+                        requester_core: d.pkt.tag as usize,
+                    });
+                }
+                PacketKind::Reply | PacketKind::Data => {
+                    self.cores[d.pkt.tag as usize].complete_miss();
+                }
+            }
+        }
+
+        // 4. Banks complete accesses; replies go back through the network
+        //    (or complete locally when requester and bank share a node).
+        for node in 0..nodes {
+            for done in self.banks[node].tick(now) {
+                let req_node = done.requester_core / self.cores_per_node;
+                if req_node == node {
+                    self.local_completions.push((now + 2, done.requester_core));
+                } else {
+                    let bank_core = node * self.cores_per_node;
+                    self.network.inject(
+                        bank_core,
+                        req_node,
+                        PacketKind::Reply,
+                        done.requester_core as u64,
+                        measured,
+                    );
+                }
+            }
+        }
+
+        // 5. Local completions mature.
+        let mut idx = 0;
+        while idx < self.local_completions.len() {
+            if self.local_completions[idx].0 <= now {
+                let (_, core) = self.local_completions.swap_remove(idx);
+                self.cores[core].complete_miss();
+            } else {
+                idx += 1;
+            }
+        }
+    }
+
+    /// Run `warmup` unmeasured + `measure` measured cycles; summarize IPC.
+    pub fn run(&mut self, warmup: Cycle, measure: Cycle) -> IpcSummary {
+        for _ in 0..warmup {
+            self.step(false);
+        }
+        let retired_before: u64 = self.cores.iter().map(|c| c.retired()).sum();
+        let stalled_before: u64 = self.cores.iter().map(|c| c.stalled_cycles()).sum();
+        let issued_before: u64 = self.cores.iter().map(|c| c.issued()).sum();
+        for _ in 0..measure {
+            self.step(true);
+        }
+        let retired: u64 = self.cores.iter().map(|c| c.retired()).sum::<u64>() - retired_before;
+        let stalled: u64 =
+            self.cores.iter().map(|c| c.stalled_cycles()).sum::<u64>() - stalled_before;
+        let issued: u64 = self.cores.iter().map(|c| c.issued()).sum::<u64>() - issued_before;
+        let core_cycles = (measure as f64) * self.cores.len() as f64;
+        IpcSummary {
+            ipc: retired as f64 / core_cycles,
+            stall_fraction: stalled as f64 / core_cycles,
+            avg_net_latency: self.network.metrics().latency.mean(),
+            request_rate: issued as f64 / core_cycles,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::workload::paper_workload;
+    use pnoc_noc::Scheme;
+
+    fn small_system(scheme: Scheme, miss: f64) -> CmpSystem {
+        let mut net = NetworkConfig::small(scheme);
+        net.cores_per_node = 2;
+        let cmp = CmpConfig::paper_default();
+        let wl = CmpWorkload {
+            name: "unit",
+            miss_per_instr: miss,
+            hot_fraction: 0.1,
+            hot_nodes: 2,
+        };
+        CmpSystem::new(net, cmp, wl)
+    }
+
+    #[test]
+    fn zero_miss_rate_gives_ipc_one() {
+        let mut sys = small_system(Scheme::Dhs { setaside: 8 }, 0.0);
+        let s = sys.run(200, 2_000);
+        assert!((s.ipc - 1.0).abs() < 1e-9, "ipc = {}", s.ipc);
+        assert_eq!(s.stall_fraction, 0.0);
+    }
+
+    #[test]
+    fn heavier_misses_lower_ipc() {
+        let light = small_system(Scheme::Dhs { setaside: 8 }, 0.01).run(500, 4_000);
+        let heavy = small_system(Scheme::Dhs { setaside: 8 }, 0.20).run(500, 4_000);
+        assert!(light.ipc > heavy.ipc, "{} vs {}", light.ipc, heavy.ipc);
+        assert!(heavy.stall_fraction > 0.05, "heavy load must stall cores");
+    }
+
+    #[test]
+    fn mshrs_bound_outstanding() {
+        let mut sys = small_system(Scheme::TokenSlot, 0.5);
+        for _ in 0..2_000 {
+            sys.step(false);
+        }
+        for c in &sys.cores {
+            assert!(c.outstanding() <= 4);
+        }
+    }
+
+    #[test]
+    fn better_network_gives_higher_ipc() {
+        // At a miss rate that pressures MSHRs, the scheme with lower network
+        // latency must retire more instructions.
+        let tc = small_system(Scheme::TokenChannel, 0.12).run(500, 6_000);
+        let dhs = small_system(Scheme::Dhs { setaside: 8 }, 0.12).run(500, 6_000);
+        assert!(
+            dhs.ipc > tc.ipc,
+            "DHS should beat token channel ({} vs {})",
+            dhs.ipc,
+            tc.ipc
+        );
+    }
+
+    #[test]
+    fn paper_workload_runs() {
+        let mut net = NetworkConfig::small(Scheme::Ghs { setaside: 8 });
+        net.cores_per_node = 2;
+        let wl = paper_workload("fft").unwrap();
+        let mut sys = CmpSystem::new(net, CmpConfig::paper_default(), wl);
+        let s = sys.run(500, 3_000);
+        assert!(s.ipc > 0.1 && s.ipc <= 1.0, "ipc = {}", s.ipc);
+        assert!(s.request_rate > 0.0);
+        assert!(s.avg_net_latency > 0.0);
+    }
+}

@@ -1,0 +1,134 @@
+//! Per-benchmark CMP workload intensities.
+//!
+//! These mirror the 13 application profiles of `pnoc_traffic::apps` but at
+//! the architectural level the IPC experiment needs: a per-instruction remote
+//! L2 miss probability and the bank-access skew. Miss intensities are scaled
+//! so the network-heavy NAS kernels push per-core request rates toward the
+//! MSHR/round-trip bound (where flow control matters) while PARSEC barely
+//! loads the network — matching the paper's observation that handshake gains
+//! track network intensity.
+
+use pnoc_sim::SimRng;
+use serde::Serialize;
+
+/// A closed-loop workload description.
+#[derive(Debug, Clone, Serialize)]
+pub struct CmpWorkload {
+    /// Benchmark name (matches `pnoc_traffic::apps` naming).
+    pub name: &'static str,
+    /// Probability an instruction misses to a *remote* L2 bank.
+    pub miss_per_instr: f64,
+    /// Fraction of misses going to one of the hot banks.
+    pub hot_fraction: f64,
+    /// Number of hot banks.
+    pub hot_nodes: usize,
+}
+
+impl CmpWorkload {
+    /// Pick a destination node for a miss from a core on `src_node`.
+    pub fn pick_bank(&self, src_node: usize, nodes: usize, hot: &[usize], rng: &mut SimRng) -> usize {
+        if !hot.is_empty() && rng.chance(self.hot_fraction) {
+            let d = hot[rng.index(hot.len())];
+            if d != src_node {
+                return d;
+            }
+        }
+        let d = rng.index(nodes - 1);
+        if d >= src_node {
+            d + 1
+        } else {
+            d
+        }
+    }
+
+    /// Deterministic hot-bank placement for this workload.
+    pub fn hot_banks(&self, nodes: usize, seed: u64) -> Vec<usize> {
+        let mut rng = SimRng::seed_from(seed ^ fnv(self.name));
+        let mut hot = Vec::new();
+        while hot.len() < self.hot_nodes.min(nodes) {
+            let candidate = rng.index(nodes);
+            if !hot.contains(&candidate) {
+                hot.push(candidate);
+            }
+        }
+        hot
+    }
+}
+
+fn fnv(name: &str) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in name.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x100_0000_01b3);
+    }
+    h
+}
+
+/// The 13 workloads of Fig. 10 / the IPC experiment.
+pub fn all_paper_workloads() -> Vec<CmpWorkload> {
+    let w = |name, miss_per_instr, hot_fraction, hot_nodes| CmpWorkload {
+        name,
+        miss_per_instr,
+        hot_fraction,
+        hot_nodes,
+    };
+    vec![
+        w("fma3d", 0.080, 0.10, 4),
+        w("equake", 0.065, 0.15, 4),
+        w("mgrid", 0.090, 0.10, 4),
+        w("blackscholes", 0.008, 0.05, 2),
+        w("freqmine", 0.012, 0.10, 2),
+        w("streamcluster", 0.060, 0.20, 4),
+        w("swaptions", 0.008, 0.05, 2),
+        w("fft", 0.115, 0.15, 8),
+        w("lu", 0.095, 0.20, 8),
+        w("radix", 0.135, 0.15, 8),
+        w("nas.cg", 0.190, 0.25, 8),
+        w("nas.is", 0.210, 0.25, 8),
+        w("specjbb", 0.060, 0.15, 4),
+    ]
+}
+
+/// Find a workload by name.
+pub fn paper_workload(name: &str) -> Option<CmpWorkload> {
+    all_paper_workloads().into_iter().find(|w| w.name == name)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn thirteen_workloads_unique() {
+        let ws = all_paper_workloads();
+        assert_eq!(ws.len(), 13);
+        let names: std::collections::HashSet<_> = ws.iter().map(|w| w.name).collect();
+        assert_eq!(names.len(), 13);
+    }
+
+    #[test]
+    fn nas_missier_than_parsec() {
+        let nas = paper_workload("nas.is").unwrap().miss_per_instr;
+        let parsec = paper_workload("blackscholes").unwrap().miss_per_instr;
+        assert!(nas > 5.0 * parsec);
+    }
+
+    #[test]
+    fn pick_bank_never_self() {
+        let w = paper_workload("fft").unwrap();
+        let hot = w.hot_banks(64, 1);
+        let mut rng = SimRng::seed_from(2);
+        for _ in 0..5000 {
+            let d = w.pick_bank(10, 64, &hot, &mut rng);
+            assert!(d < 64);
+            assert_ne!(d, 10);
+        }
+    }
+
+    #[test]
+    fn hot_banks_deterministic_per_workload() {
+        let w = paper_workload("lu").unwrap();
+        assert_eq!(w.hot_banks(64, 9), w.hot_banks(64, 9));
+        assert_eq!(w.hot_banks(64, 9).len(), 8);
+    }
+}

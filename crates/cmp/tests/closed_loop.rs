@@ -1,0 +1,90 @@
+//! Closed-loop CMP integration tests: MSHR scaling, bank stability, and the
+//! latency→IPC feedback across schemes.
+
+use pnoc_cmp::workload::paper_workload;
+use pnoc_cmp::{CmpConfig, CmpSystem, CmpWorkload};
+use pnoc_noc::{NetworkConfig, Scheme};
+
+fn system(scheme: Scheme, mshrs: u32, miss: f64) -> CmpSystem {
+    let mut net = NetworkConfig::small(scheme);
+    net.cores_per_node = 2;
+    let mut cmp = CmpConfig::paper_default();
+    cmp.mshrs = mshrs;
+    let wl = CmpWorkload {
+        name: "itest",
+        miss_per_instr: miss,
+        hot_fraction: 0.15,
+        hot_nodes: 2,
+    };
+    CmpSystem::new(net, cmp, wl)
+}
+
+#[test]
+fn more_mshrs_more_ipc_under_pressure() {
+    // With heavy misses, memory-level parallelism (MSHRs) bounds throughput:
+    // 2 MSHRs per core must retire fewer instructions than 8.
+    let narrow = system(Scheme::Dhs { setaside: 8 }, 2, 0.15).run(500, 5_000);
+    let wide = system(Scheme::Dhs { setaside: 8 }, 8, 0.15).run(500, 5_000);
+    assert!(
+        wide.ipc > narrow.ipc * 1.05,
+        "8 MSHRs should clearly beat 2 ({} vs {})",
+        wide.ipc,
+        narrow.ipc
+    );
+}
+
+#[test]
+fn request_rate_equals_miss_rate_times_ipc() {
+    // Conservation: requests are issued only by retired instructions.
+    let s = system(Scheme::TokenSlot, 4, 0.10).run(500, 8_000);
+    let expected = s.ipc * 0.10;
+    assert!(
+        (s.request_rate - expected).abs() < expected * 0.1,
+        "request rate {} should track ipc × miss rate {}",
+        s.request_rate,
+        expected
+    );
+}
+
+#[test]
+fn ipc_never_exceeds_one() {
+    for miss in [0.0, 0.05, 0.3] {
+        let s = system(Scheme::Ghs { setaside: 8 }, 4, miss).run(200, 3_000);
+        assert!(s.ipc <= 1.0 + 1e-9, "single-issue cores cap at IPC 1");
+        assert!(s.ipc > 0.0 || miss == 0.0);
+    }
+}
+
+#[test]
+fn stall_fraction_complements_ipc_under_saturation() {
+    // When cores are heavily stalled, ipc + stall_fraction ≈ 1 (a core each
+    // cycle either retires or is stalled).
+    let s = system(Scheme::TokenChannel, 4, 0.25).run(500, 5_000);
+    assert!(
+        (s.ipc + s.stall_fraction - 1.0).abs() < 1e-9,
+        "retire/stall must partition core cycles ({} + {})",
+        s.ipc,
+        s.stall_fraction
+    );
+}
+
+#[test]
+fn paper_workload_gap_tracks_network_intensity() {
+    // The handshake IPC advantage must be bigger on a network-bound workload
+    // than on a compute-bound one (the Fig. 10 / §V-B pattern).
+    let run = |name: &str, scheme| {
+        let mut net = NetworkConfig::paper_default(scheme);
+        net.cores_per_node = 2;
+        let wl = paper_workload(name).unwrap();
+        CmpSystem::new(net, CmpConfig::paper_default(), wl).run(1_000, 5_000)
+    };
+    let heavy_gap = run("nas.is", Scheme::Ghs { setaside: 8 }).ipc
+        / run("nas.is", Scheme::TokenChannel).ipc;
+    let light_gap = run("blackscholes", Scheme::Ghs { setaside: 8 }).ipc
+        / run("blackscholes", Scheme::TokenChannel).ipc;
+    assert!(
+        heavy_gap > light_gap,
+        "handshake gains must track network intensity ({heavy_gap:.3} vs {light_gap:.3})"
+    );
+    assert!((0.98..1.05).contains(&light_gap), "compute-bound ≈ no gap");
+}

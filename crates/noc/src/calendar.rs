@@ -1,0 +1,123 @@
+//! A bucket calendar queue for short fixed-horizon event scheduling.
+//!
+//! The simulator schedules only near-future events (handshake arrivals at
+//! `send + R + 1`, router-pipeline exits at `+2`), so a ring of cycle buckets
+//! beats a priority queue: O(1) insert, O(bucket) drain, no allocation in the
+//! steady state.
+
+use pnoc_sim::Cycle;
+
+/// Events scheduled at absolute cycles within a bounded horizon.
+#[derive(Debug, Clone)]
+pub struct Calendar<T> {
+    buckets: Vec<Vec<T>>,
+    /// The earliest cycle that may still hold events; buckets before it are
+    /// drained. Used to catch horizon violations.
+    drained_up_to: Cycle,
+}
+
+impl<T> Calendar<T> {
+    /// A calendar able to schedule up to `horizon` cycles ahead.
+    pub fn new(horizon: usize) -> Self {
+        assert!(horizon > 0, "horizon must be positive");
+        Self {
+            buckets: (0..horizon).map(|_| Vec::new()).collect(),
+            drained_up_to: 0,
+        }
+    }
+
+    /// Maximum look-ahead in cycles.
+    pub fn horizon(&self) -> usize {
+        self.buckets.len()
+    }
+
+    /// Schedule `event` at absolute cycle `at`. `at` must be within
+    /// `[now, now + horizon)` where `now` is the next cycle to be drained.
+    pub fn schedule(&mut self, at: Cycle, event: T) {
+        assert!(
+            at >= self.drained_up_to,
+            "scheduling into the past: {} < {}",
+            at,
+            self.drained_up_to
+        );
+        assert!(
+            at < self.drained_up_to + self.buckets.len() as Cycle,
+            "event at {} beyond calendar horizon {}",
+            at,
+            self.buckets.len()
+        );
+        let idx = (at % self.buckets.len() as Cycle) as usize;
+        self.buckets[idx].push(event);
+    }
+
+    /// Drain every event scheduled for cycle `now`. Must be called with
+    /// strictly increasing `now` values (one drain per cycle).
+    pub fn drain(&mut self, now: Cycle) -> Vec<T> {
+        debug_assert!(
+            now >= self.drained_up_to,
+            "draining cycle {now} twice (already at {})",
+            self.drained_up_to
+        );
+        self.drained_up_to = now + 1;
+        let idx = (now % self.buckets.len() as Cycle) as usize;
+        std::mem::take(&mut self.buckets[idx])
+    }
+
+    /// Total scheduled events not yet drained.
+    pub fn pending(&self) -> usize {
+        self.buckets.iter().map(Vec::len).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn schedule_and_drain_in_order() {
+        let mut c: Calendar<u32> = Calendar::new(8);
+        c.schedule(3, 30);
+        c.schedule(1, 10);
+        c.schedule(3, 31);
+        assert_eq!(c.pending(), 3);
+        assert!(c.drain(0).is_empty());
+        assert_eq!(c.drain(1), vec![10]);
+        assert!(c.drain(2).is_empty());
+        assert_eq!(c.drain(3), vec![30, 31]);
+        assert_eq!(c.pending(), 0);
+    }
+
+    #[test]
+    fn wraps_around_horizon() {
+        let mut c: Calendar<u32> = Calendar::new(4);
+        for t in 0..20 {
+            c.schedule(t + 3, t as u32);
+            let drained = c.drain(t);
+            if t >= 3 {
+                assert_eq!(drained, vec![(t - 3) as u32]);
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "beyond calendar horizon")]
+    fn rejects_beyond_horizon() {
+        let mut c: Calendar<u32> = Calendar::new(4);
+        c.schedule(4, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "scheduling into the past")]
+    fn rejects_past() {
+        let mut c: Calendar<u32> = Calendar::new(4);
+        c.drain(0);
+        c.schedule(0, 1);
+    }
+
+    #[test]
+    fn schedule_at_now_is_legal_before_drain() {
+        let mut c: Calendar<u32> = Calendar::new(4);
+        c.schedule(0, 5);
+        assert_eq!(c.drain(0), vec![5]);
+    }
+}

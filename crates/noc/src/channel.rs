@@ -1,0 +1,860 @@
+//! One MWSR data channel: home-node logic, token arbitration, transmission.
+//!
+//! A [`Channel`] owns everything associated with one destination (home) node:
+//! the wave-pipelined data [`SlotRing`], the per-sender [`OutQueue`]s, the
+//! home input buffer, the handshake calendar, and the scheme-specific token
+//! state. The [`crate::network::Network`] orchestrator calls the `phase_*`
+//! methods in a fixed order each cycle:
+//!
+//! 1. `phase_advance`  — light moves one segment,
+//! 2. `phase_arrival`  — the home inspects the slot at its segment
+//!    (accept / drop+NACK / reinject),
+//! 3. `phase_acks`     — handshakes scheduled `R + 1` cycles after each
+//!    transmission reach their senders,
+//! 4. `phase_transmit` — senders holding grants place flits on free slots,
+//! 5. `phase_tokens`   — token emission, sweeping, grabbing, reimbursement,
+//! 6. `phase_eject`    — the home drains its input buffer to local cores.
+//!
+//! A token granted in cycle *t* is used to transmit in *t + 1* (paper Figs. 3
+//! and 5: the token arrives one cycle before the data flit follows it).
+
+use crate::calendar::Calendar;
+use crate::config::{FairnessPolicy, NetworkConfig, Scheme};
+use crate::metrics::NetworkMetrics;
+use crate::outqueue::{OutQueue, SendMode};
+use crate::packet::Packet;
+use crate::slots::SlotRing;
+use crate::topology::Topology;
+use pnoc_sim::Cycle;
+use std::collections::VecDeque;
+
+/// A packet handed to the home node's local cores.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Delivery {
+    /// The delivered packet.
+    pub pkt: Packet,
+    /// Cycle at which the local core sees it (ejection router pipeline
+    /// included).
+    pub available_at: Cycle,
+}
+
+/// State of the single global-arbitration token (token channel, GHS).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum GlobalTokenState {
+    /// Travelling; `next` is the first downstream distance not yet examined.
+    Sweeping { next: usize },
+    /// Held by the sender at the given node while it transmits.
+    Held { node: usize },
+}
+
+/// Scheme-specific arbitration state.
+#[derive(Debug, Clone)]
+enum Arbiter {
+    /// Token channel / GHS: one token; `credits` is `None` for GHS.
+    Global {
+        state: GlobalTokenState,
+        credits: Option<u32>,
+    },
+    /// Token slot / DHS / DHS-circulation: tokens indexed oldest-first;
+    /// each holds the first distance not yet examined.
+    Distributed { tokens: VecDeque<usize> },
+}
+
+/// An ACK/NACK in flight on the handshake channel.
+#[derive(Debug, Clone, Copy)]
+struct AckEvent {
+    sender: usize,
+    id: u64,
+    ok: bool,
+}
+
+/// One MWSR channel (see module docs).
+#[derive(Debug)]
+pub struct Channel {
+    home: usize,
+    topo: Topology,
+    scheme: Scheme,
+    fairness: FairnessPolicy,
+    buffer_cap: usize,
+    ejection_per_cycle: usize,
+    eject_latency: u64,
+
+    /// Per-sender output queues, indexed by node id (`senders[home]` unused).
+    senders: Vec<OutQueue>,
+    /// The wave-pipelined data ring.
+    data: SlotRing<Packet>,
+    /// The home input buffer (≤ `buffer_cap` entries including draining).
+    input_queue: VecDeque<Packet>,
+    /// Buffer slots still held by flits traversing the ejection router
+    /// (a slot is freed only when its flit *leaves* the node, the same rule
+    /// credit-based flow control uses for credit return).
+    draining: u32,
+    /// Slot-release events for draining flits.
+    releases: Calendar<()>,
+    /// Handshake events in flight.
+    acks: Calendar<AckEvent>,
+    arbiter: Arbiter,
+
+    /// Senders with unconsumed grants (kept sorted by downstream distance).
+    active_senders: Vec<usize>,
+    /// Total queued packets across senders (cheap idle check).
+    queued_total: usize,
+    /// Token-channel: credits freed by ejections, awaiting the token's next
+    /// home pass.
+    uncommitted: u32,
+    /// Token-slot: reservations travelling with granted tokens / flits.
+    inflight: u32,
+    /// DHS-circulation: a reinjection this cycle suppresses token emission.
+    suppress_token: bool,
+    /// Measured deliveries per sender (fairness accounting).
+    pub served_by_sender: Vec<u64>,
+}
+
+impl Channel {
+    /// Build the channel homed at `home`.
+    pub fn new(home: usize, cfg: &NetworkConfig) -> Self {
+        let topo = Topology::new(cfg.nodes, cfg.ring_segments);
+        let mode = match cfg.scheme {
+            Scheme::TokenChannel | Scheme::TokenSlot | Scheme::DhsCirculation => SendMode::Forget,
+            Scheme::Ghs { setaside } | Scheme::Dhs { setaside } => {
+                if setaside == 0 {
+                    SendMode::HoldHead
+                } else {
+                    SendMode::Setaside(setaside)
+                }
+            }
+        };
+        let arbiter = match cfg.scheme {
+            Scheme::TokenChannel => Arbiter::Global {
+                state: GlobalTokenState::Sweeping { next: 0 },
+                credits: Some(cfg.input_buffer as u32),
+            },
+            Scheme::Ghs { .. } => Arbiter::Global {
+                state: GlobalTokenState::Sweeping { next: 0 },
+                credits: None,
+            },
+            Scheme::TokenSlot | Scheme::Dhs { .. } | Scheme::DhsCirculation => {
+                Arbiter::Distributed {
+                    tokens: VecDeque::new(),
+                }
+            }
+        };
+        Self {
+            home,
+            topo,
+            scheme: cfg.scheme,
+            fairness: cfg.fairness,
+            buffer_cap: cfg.input_buffer,
+            ejection_per_cycle: cfg.ejection_per_cycle,
+            eject_latency: cfg.router_latency,
+            senders: (0..cfg.nodes).map(|_| OutQueue::new(mode)).collect(),
+            data: SlotRing::new(cfg.ring_segments),
+            input_queue: VecDeque::with_capacity(cfg.input_buffer),
+            draining: 0,
+            releases: Calendar::new(cfg.router_latency as usize + 2),
+            acks: Calendar::new(cfg.ring_segments + 2),
+            arbiter,
+            active_senders: Vec::new(),
+            queued_total: 0,
+            uncommitted: 0,
+            inflight: 0,
+            suppress_token: false,
+            served_by_sender: vec![0; cfg.nodes],
+        }
+    }
+
+    /// The home node id.
+    pub fn home(&self) -> usize {
+        self.home
+    }
+
+    /// Enqueue a packet into its sender's output queue (called when the
+    /// packet exits the injection router pipeline).
+    pub fn enqueue(&mut self, pkt: Packet) {
+        debug_assert_eq!(pkt.dst_node as usize, self.home);
+        debug_assert_ne!(pkt.src_node as usize, self.home, "no self-send");
+        self.senders[pkt.src_node as usize].push(pkt);
+        self.queued_total += 1;
+    }
+
+    /// Whether every queue, slot, buffer and grant is empty (drain check).
+    pub fn is_drained(&self) -> bool {
+        self.queued_total == 0
+            && self.data.is_empty()
+            && self.input_queue.is_empty()
+            && self.draining == 0
+            && self.acks.pending() == 0
+            && self.active_senders.is_empty()
+            && self.senders.iter().all(|q| q.is_idle())
+    }
+
+    /// Home input-buffer occupancy, including slots held by flits still in
+    /// the ejection router (for tests/inspection).
+    pub fn buffer_occupancy(&self) -> usize {
+        self.input_queue.len() + self.draining as usize
+    }
+
+    /// Chaos/test hook: throttle the home's ejection bandwidth to force
+    /// buffer pressure (drops, retransmissions, circulation). The normal
+    /// configuration path validates `ejection_per_cycle ≥ 1`; this setter
+    /// deliberately allows 0 to model a stalled ejection port.
+    pub fn set_ejection_per_cycle(&mut self, n: usize) {
+        self.ejection_per_cycle = n;
+    }
+
+    /// Phase 1: light advances one segment.
+    pub fn phase_advance(&mut self) {
+        self.data.advance();
+    }
+
+    /// Phase 2: the home inspects the slot at its segment.
+    pub fn phase_arrival(&mut self, now: Cycle, m: &mut NetworkMetrics) {
+        let home_seg = self.topo.segment_of(self.home);
+        if self.data.at(home_seg).is_none() {
+            return;
+        }
+        m.arrivals += 1;
+        let has_room = self.input_queue.len() + (self.draining as usize) < self.buffer_cap;
+        match self.scheme {
+            Scheme::TokenChannel | Scheme::TokenSlot => {
+                // Credit-reserved: space is guaranteed by construction.
+                let pkt = self.data.take(home_seg).expect("checked above");
+                debug_assert!(has_room, "reservation accounting violated");
+                if self.scheme == Scheme::TokenSlot {
+                    debug_assert!(self.inflight > 0);
+                    self.inflight -= 1;
+                }
+                self.input_queue.push_back(pkt);
+            }
+            Scheme::Ghs { .. } | Scheme::Dhs { .. } => {
+                let pkt = self.data.take(home_seg).expect("checked above");
+                let ack_at = pkt.sent_at + self.topo.handshake_delay();
+                debug_assert!(ack_at > now, "handshake must arrive in the future");
+                if has_room {
+                    self.acks.schedule(
+                        ack_at,
+                        AckEvent {
+                            sender: pkt.src_node as usize,
+                            id: pkt.id,
+                            ok: true,
+                        },
+                    );
+                    self.input_queue.push_back(pkt);
+                } else {
+                    // Drop; the sender retransmits on NACK (§III-A).
+                    m.drops += 1;
+                    self.acks.schedule(
+                        ack_at,
+                        AckEvent {
+                            sender: pkt.src_node as usize,
+                            id: pkt.id,
+                            ok: false,
+                        },
+                    );
+                }
+            }
+            Scheme::DhsCirculation => {
+                if has_room {
+                    let pkt = self.data.take(home_seg).expect("checked above");
+                    self.input_queue.push_back(pkt);
+                } else {
+                    // Reinject: the packet stays on the ring for another
+                    // loop; the home consumes this cycle's token virtually
+                    // (§III-C).
+                    let mut pkt = self.data.take(home_seg).expect("checked above");
+                    pkt.sends += 1;
+                    pkt.sent_at = now; // next arrival check in R cycles
+                    self.data.put(home_seg, pkt);
+                    self.suppress_token = true;
+                    m.circulations += 1;
+                }
+            }
+        }
+    }
+
+    /// Phase 3: handshakes reach their senders.
+    pub fn phase_acks(&mut self, now: Cycle, m: &mut NetworkMetrics) {
+        for ev in self.acks.drain(now) {
+            let q = &mut self.senders[ev.sender];
+            if ev.ok {
+                let acked = q.ack(ev.id);
+                debug_assert!(acked.is_some(), "ACK for unknown packet {}", ev.id);
+                // HoldHead keeps the packet queued until the ACK: account for
+                // its departure now. Setaside removed it from the queue at
+                // transmission time.
+                if matches!(self.scheme, Scheme::Ghs { setaside: 0 } | Scheme::Dhs { setaside: 0 })
+                {
+                    self.queued_total -= 1;
+                }
+            } else {
+                let requeued = q.nack(ev.id);
+                debug_assert!(requeued, "NACK for unknown packet {}", ev.id);
+                m.retransmissions += 1;
+                // Setaside NACK pushes the packet back into the queue.
+                if self.scheme.setaside() > 0 {
+                    self.queued_total += 1;
+                }
+            }
+        }
+    }
+
+    /// Phase 4: senders with grants place flits on free slots at their
+    /// segments (one per sender per cycle).
+    pub fn phase_transmit(&mut self, now: Cycle, m: &mut NetworkMetrics) {
+        if self.active_senders.is_empty() {
+            return;
+        }
+        // Deterministic service order: by downstream distance from home.
+        let topo = self.topo;
+        let home = self.home;
+        self.active_senders
+            .sort_unstable_by_key(|&n| topo.downstream_distance(home, n));
+        let mut still_active = Vec::new();
+        for i in 0..self.active_senders.len() {
+            let node = self.active_senders[i];
+            let seg = self.topo.segment_of(node);
+            let mut remaining = self.senders[node].granted();
+            if remaining > 0 && self.data.is_free(seg) {
+                if let Some(pkt) = self.senders[node].transmit(now) {
+                    if pkt.sends == 1 && pkt.measured {
+                        m.queue_wait.record((now - pkt.enqueued_at) as f64);
+                    }
+                    m.sends += 1;
+                    if matches!(self.scheme, Scheme::TokenChannel | Scheme::TokenSlot)
+                        || self.scheme == Scheme::DhsCirculation
+                        || self.scheme.setaside() > 0
+                    {
+                        // The packet left the queue (Forget or Setaside).
+                        self.queued_total -= 1;
+                    }
+                    self.data.put(seg, pkt);
+                    remaining = self.senders[node].granted();
+                }
+            }
+            if remaining > 0 {
+                still_active.push(node);
+            }
+        }
+        self.active_senders = still_active;
+    }
+
+    /// Phase 5: token emission, sweeping, grabbing, reimbursement.
+    pub fn phase_tokens(&mut self, now: Cycle, _m: &mut NetworkMetrics) {
+        // Split-borrow helpers capture everything phase_tokens needs.
+        let fairness = self.fairness;
+        match &mut self.arbiter {
+            Arbiter::Global { state, credits } => {
+                match *state {
+                    GlobalTokenState::Held { node } => {
+                        let has_credit = credits.is_none_or(|c| c > 0);
+                        let q = &mut self.senders[node];
+                        if q.granted() > 0 {
+                            // Transmission still owed; keep holding.
+                        } else if has_credit && q.eligible(now, fairness) {
+                            q.take_grant(now, fairness);
+                            if let Some(c) = credits.as_mut() {
+                                *c -= 1;
+                            }
+                            if !self.active_senders.contains(&node) {
+                                self.active_senders.push(node);
+                            }
+                        } else {
+                            // Release: the token resumes its sweep from just
+                            // past the holder; downstream nodes see it from
+                            // the next cycle (paper Fig. 3c→d).
+                            let next = self.topo.downstream_distance(self.home, node) + 1;
+                            *state = Self::wrap_or_continue(
+                                next,
+                                self.topo.nodes,
+                                credits,
+                                &mut self.uncommitted,
+                                self.buffer_cap,
+                            );
+                        }
+                    }
+                    GlobalTokenState::Sweeping { next } => {
+                        let step = self.topo.step();
+                        let hi = (next + step).min(self.topo.nodes - 1);
+                        let has_credit = credits.is_none_or(|c| c > 0);
+                        let mut grabbed = None;
+                        if has_credit && self.queued_total > 0 {
+                            for d in next..hi {
+                                let node = self.topo.node_at_distance(self.home, d);
+                                if self.senders[node].eligible(now, fairness) {
+                                    grabbed = Some(node);
+                                    break;
+                                }
+                            }
+                        }
+                        if let Some(node) = grabbed {
+                            self.senders[node].take_grant(now, fairness);
+                            if let Some(c) = credits.as_mut() {
+                                *c -= 1;
+                            }
+                            if !self.active_senders.contains(&node) {
+                                self.active_senders.push(node);
+                            }
+                            *state = GlobalTokenState::Held { node };
+                        } else {
+                            *state = Self::wrap_or_continue(
+                                hi,
+                                self.topo.nodes,
+                                credits,
+                                &mut self.uncommitted,
+                                self.buffer_cap,
+                            );
+                        }
+                    }
+                }
+            }
+            Arbiter::Distributed { tokens } => {
+                // Emission.
+                let emit = match self.scheme {
+                    Scheme::TokenSlot => {
+                        let committed = self.input_queue.len()
+                            + self.draining as usize
+                            + self.inflight as usize
+                            + tokens.len();
+                        committed < self.buffer_cap
+                    }
+                    Scheme::Dhs { .. } => true,
+                    Scheme::DhsCirculation => !self.suppress_token,
+                    _ => unreachable!("global schemes use Arbiter::Global"),
+                };
+                self.suppress_token = false;
+                if emit {
+                    tokens.push_back(0);
+                }
+                // Sweep every live token. Windows are disjoint: the token
+                // emitted `a` cycles ago covers distances
+                // [(a)·step, (a+1)·step) this cycle... maintained per token
+                // as `next`.
+                let step = self.topo.step();
+                let nodes = self.topo.nodes;
+                let mut idx = 0;
+                while idx < tokens.len() {
+                    let next = tokens[idx];
+                    let hi = (next + step).min(nodes - 1);
+                    let mut grabbed = false;
+                    if self.queued_total > 0 {
+                        for d in next..hi {
+                            let node = self.topo.node_at_distance(self.home, d);
+                            if self.senders[node].eligible(now, fairness) {
+                                self.senders[node].take_grant(now, fairness);
+                                if !self.active_senders.contains(&node) {
+                                    self.active_senders.push(node);
+                                }
+                                if self.scheme == Scheme::TokenSlot {
+                                    self.inflight += 1;
+                                }
+                                grabbed = true;
+                                break;
+                            }
+                        }
+                    }
+                    if grabbed {
+                        tokens.remove(idx);
+                        // do not advance idx: the next token shifted in
+                    } else {
+                        tokens[idx] = hi;
+                        if hi >= nodes - 1 {
+                            // Token completed the loop un-taken and dies at
+                            // the home (the home re-emits fresh ones; for
+                            // token slot the reservation returns to the pool
+                            // implicitly).
+                            tokens.remove(idx);
+                        } else {
+                            idx += 1;
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    fn wrap_or_continue(
+        next: usize,
+        nodes: usize,
+        credits: &mut Option<u32>,
+        uncommitted: &mut u32,
+        _buffer_cap: usize,
+    ) -> GlobalTokenState {
+        if next >= nodes - 1 {
+            // Home pass: the token channel reimburses every credit freed
+            // since the last pass (paper Fig. 2a); GHS has nothing to do.
+            if let Some(c) = credits.as_mut() {
+                *c += *uncommitted;
+                *uncommitted = 0;
+            }
+            GlobalTokenState::Sweeping { next: 0 }
+        } else {
+            GlobalTokenState::Sweeping { next }
+        }
+    }
+
+    /// Phase 6: the home drains its input buffer toward the local cores.
+    pub fn phase_eject(
+        &mut self,
+        now: Cycle,
+        m: &mut NetworkMetrics,
+        deliveries: &mut Vec<Delivery>,
+    ) {
+        // Flits leaving the ejection router release their buffer slots; only
+        // now does a freed slot become a reimbursable credit.
+        for () in self.releases.drain(now) {
+            debug_assert!(self.draining > 0);
+            self.draining -= 1;
+            if self.scheme == Scheme::TokenChannel {
+                self.uncommitted += 1;
+            }
+        }
+        for _ in 0..self.ejection_per_cycle {
+            let Some(pkt) = self.input_queue.pop_front() else {
+                break;
+            };
+            let available_at = now + self.eject_latency;
+            if self.eject_latency == 0 {
+                // Zero-latency ejection frees the slot immediately.
+                if self.scheme == Scheme::TokenChannel {
+                    self.uncommitted += 1;
+                }
+            } else {
+                self.draining += 1;
+                self.releases.schedule(available_at, ());
+            }
+            m.delivered += 1;
+            if pkt.measured {
+                m.delivered_measured += 1;
+                let lat = pkt.latency_at(available_at) as f64;
+                m.latency.record(lat);
+                m.latency_hist.record(lat);
+                m.latency_batches.record(lat);
+                self.served_by_sender[pkt.src_node as usize] += 1;
+            }
+            deliveries.push(Delivery { pkt, available_at });
+        }
+    }
+
+    /// Assert the channel's internal invariants (buffer bounds, queue
+    /// accounting, reservation conservation). Tests call this after every
+    /// cycle; it is cheap enough to use while debugging scheme changes.
+    pub fn check_invariants(&self) {
+        assert!(
+            self.input_queue.len() + self.draining as usize <= self.buffer_cap,
+            "buffer overflow"
+        );
+        let queued: usize = self.senders.iter().map(|q| q.backlog()).sum();
+        assert_eq!(queued, self.queued_total, "queued_total drifted");
+        if let Arbiter::Distributed { tokens } = &self.arbiter {
+            if self.scheme == Scheme::TokenSlot {
+                assert!(
+                    self.input_queue.len()
+                        + self.draining as usize
+                        + self.inflight as usize
+                        + tokens.len()
+                        <= self.buffer_cap,
+                    "token-slot reservation accounting violated"
+                );
+            }
+        }
+        for &n in &self.active_senders {
+            assert!(self.senders[n].granted() > 0, "stale active sender");
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::packet::PacketKind;
+
+    fn cfg(scheme: Scheme) -> NetworkConfig {
+        NetworkConfig::small(scheme) // 16 nodes, 4 segments, buffer 4
+    }
+
+    fn pkt(id: u64, src: usize, dst: usize, now: Cycle) -> Packet {
+        Packet {
+            id,
+            src_core: (src * 2) as u32,
+            src_node: src as u32,
+            dst_node: dst as u32,
+            kind: PacketKind::Data,
+            generated_at: now,
+            enqueued_at: now,
+            sent_at: 0,
+            sends: 0,
+            measured: true,
+            tag: 0,
+        }
+    }
+
+    /// Run `cycles` cycles of a single channel in isolation.
+    fn run(
+        ch: &mut Channel,
+        m: &mut NetworkMetrics,
+        deliveries: &mut Vec<Delivery>,
+        from: Cycle,
+        cycles: u64,
+    ) {
+        for now in from..from + cycles {
+            ch.phase_advance();
+            ch.phase_arrival(now, m);
+            ch.phase_acks(now, m);
+            ch.phase_transmit(now, m);
+            ch.phase_tokens(now, m);
+            ch.phase_eject(now, m, deliveries);
+            ch.check_invariants();
+        }
+    }
+
+    fn deliver_one(scheme: Scheme, src: usize) -> (Vec<Delivery>, NetworkMetrics) {
+        let mut ch = Channel::new(0, &cfg(scheme));
+        let mut m = NetworkMetrics::new();
+        let mut d = Vec::new();
+        ch.enqueue(pkt(1, src, 0, 0));
+        run(&mut ch, &mut m, &mut d, 0, 64);
+        (d, m)
+    }
+
+    #[test]
+    fn every_scheme_delivers_a_single_packet() {
+        for scheme in Scheme::paper_set(2) {
+            let (d, m) = deliver_one(scheme, 9);
+            assert_eq!(d.len(), 1, "{scheme:?} failed to deliver");
+            assert_eq!(d[0].pkt.id, 1);
+            assert_eq!(m.delivered_measured, 1);
+            assert_eq!(m.drops, 0);
+        }
+    }
+
+    #[test]
+    fn ring_latency_is_distance_independent_at_zero_load() {
+        // In a token ring, token-wait + data-flight ≈ one full loop no matter
+        // where the sender sits: a sender near the home waits longer for the
+        // token but its data arrives quickly, and vice versa. Check the two
+        // extremes agree to within a couple of cycles and land near the
+        // round-trip time.
+        let (d_near, _) = deliver_one(Scheme::Dhs { setaside: 2 }, 15); // 1 hop upstream of home
+        let (d_far, _) = deliver_one(Scheme::Dhs { setaside: 2 }, 1); // almost a full loop
+        let lat_near = d_near[0].pkt.latency_at(d_near[0].available_at) as i64;
+        let lat_far = d_far[0].pkt.latency_at(d_far[0].available_at) as i64;
+        assert!(
+            (lat_far - lat_near).abs() <= 2,
+            "ring latency should be ~flat ({lat_far} vs {lat_near})"
+        );
+        // 4-segment ring + 2-cycle eject router: zero-load latency ≈ 6–9.
+        assert!((4..=10).contains(&lat_near), "zero-load latency {lat_near}");
+    }
+
+    #[test]
+    fn channel_drains_after_burst() {
+        for scheme in Scheme::paper_set(2) {
+            let mut ch = Channel::new(3, &cfg(scheme));
+            let mut m = NetworkMetrics::new();
+            let mut d = Vec::new();
+            let mut id = 0;
+            for src in [0usize, 5, 9, 12] {
+                for _ in 0..5 {
+                    id += 1;
+                    ch.enqueue(pkt(id, src, 3, 0));
+                }
+            }
+            run(&mut ch, &mut m, &mut d, 0, 600);
+            assert_eq!(d.len(), 20, "{scheme:?} lost packets: {}", d.len());
+            assert!(ch.is_drained(), "{scheme:?} did not drain");
+        }
+    }
+
+    #[test]
+    fn deliveries_preserve_per_sender_order() {
+        for scheme in Scheme::paper_set(2) {
+            let mut ch = Channel::new(0, &cfg(scheme));
+            let mut m = NetworkMetrics::new();
+            let mut d = Vec::new();
+            for i in 0..8 {
+                ch.enqueue(pkt(i, 5, 0, 0));
+            }
+            run(&mut ch, &mut m, &mut d, 0, 400);
+            let ids: Vec<u64> = d.iter().map(|x| x.pkt.id).collect();
+            let mut sorted = ids.clone();
+            sorted.sort_unstable();
+            assert_eq!(ids, sorted, "{scheme:?} reordered a sender's packets");
+        }
+    }
+
+    /// Run with the home's ejection stalled except every `period`-th cycle,
+    /// which builds real buffer pressure (drops / circulation).
+    fn run_with_slow_ejection(
+        ch: &mut Channel,
+        m: &mut NetworkMetrics,
+        d: &mut Vec<Delivery>,
+        cycles: u64,
+        period: u64,
+    ) {
+        for now in 0..cycles {
+            ch.set_ejection_per_cycle(if now % period == 0 { 1 } else { 0 });
+            ch.phase_advance();
+            ch.phase_arrival(now, m);
+            ch.phase_acks(now, m);
+            ch.phase_transmit(now, m);
+            ch.phase_tokens(now, m);
+            ch.phase_eject(now, m, d);
+            ch.check_invariants();
+        }
+    }
+
+    #[test]
+    fn handshake_drops_trigger_retransmission_not_loss() {
+        // A small buffer plus a slow home port forces drops.
+        let mut config = cfg(Scheme::Dhs { setaside: 2 });
+        config.input_buffer = 2;
+        let mut ch = Channel::new(0, &config);
+        let mut m = NetworkMetrics::new();
+        let mut d = Vec::new();
+        for i in 0..12 {
+            ch.enqueue(pkt(i, 4, 0, 0));
+            ch.enqueue(pkt(100 + i, 9, 0, 0));
+        }
+        run_with_slow_ejection(&mut ch, &mut m, &mut d, 2000, 4);
+        assert_eq!(d.len(), 24, "all packets eventually delivered");
+        assert!(ch.is_drained());
+        assert!(m.drops > 0, "slow ejection must force drops");
+        assert_eq!(m.drops, m.retransmissions, "every drop is retransmitted");
+    }
+
+    #[test]
+    fn circulation_never_drops_and_counts_loops() {
+        let mut config = cfg(Scheme::DhsCirculation);
+        config.input_buffer = 2;
+        let mut ch = Channel::new(0, &config);
+        let mut m = NetworkMetrics::new();
+        let mut d = Vec::new();
+        for i in 0..12 {
+            ch.enqueue(pkt(i, 4, 0, 0));
+            ch.enqueue(pkt(100 + i, 9, 0, 0));
+        }
+        run_with_slow_ejection(&mut ch, &mut m, &mut d, 2000, 4);
+        assert_eq!(d.len(), 24);
+        assert_eq!(m.drops, 0, "circulation never drops");
+        assert!(m.circulations > 0, "buffer pressure must force circulation");
+        assert!(ch.is_drained());
+    }
+
+    #[test]
+    fn token_slot_respects_credit_limit() {
+        // With buffer 4 and ejection stalled... ejection always runs; instead
+        // check the reservation invariant holds while many senders compete.
+        let mut ch = Channel::new(0, &cfg(Scheme::TokenSlot));
+        let mut m = NetworkMetrics::new();
+        let mut d = Vec::new();
+        let mut id = 0;
+        for src in 1..16 {
+            for _ in 0..4 {
+                id += 1;
+                ch.enqueue(pkt(id, src, 0, 0));
+            }
+        }
+        run(&mut ch, &mut m, &mut d, 0, 3000);
+        assert_eq!(d.len(), 60);
+        assert!(ch.is_drained());
+        assert_eq!(m.drops, 0, "credit reservation prevents drops");
+    }
+
+    #[test]
+    fn token_channel_reimburses_credits() {
+        let mut ch = Channel::new(0, &cfg(Scheme::TokenChannel));
+        let mut m = NetworkMetrics::new();
+        let mut d = Vec::new();
+        // More packets than the 4 credits the token starts with.
+        for i in 0..20 {
+            ch.enqueue(pkt(i, 8, 0, 0));
+        }
+        run(&mut ch, &mut m, &mut d, 0, 3000);
+        assert_eq!(d.len(), 20, "credits must be reimbursed to finish");
+        assert!(ch.is_drained());
+    }
+
+    #[test]
+    fn basic_dhs_hol_blocks_harder_than_setaside() {
+        // One sender, many packets: basic DHS sends 1 per handshake round
+        // trip; setaside pipelines them.
+        let run_scheme = |scheme| {
+            let mut ch = Channel::new(0, &cfg(scheme));
+            let mut m = NetworkMetrics::new();
+            let mut d = Vec::new();
+            for i in 0..30 {
+                ch.enqueue(pkt(i, 8, 0, 0));
+            }
+            let mut cycles = 0;
+            for now in 0..5000u64 {
+                ch.phase_advance();
+                ch.phase_arrival(now, &mut m);
+                ch.phase_acks(now, &mut m);
+                ch.phase_transmit(now, &mut m);
+                ch.phase_tokens(now, &mut m);
+                ch.phase_eject(now, &mut m, &mut d);
+                if d.len() == 30 {
+                    cycles = now;
+                    break;
+                }
+            }
+            assert!(cycles > 0, "{scheme:?} never finished");
+            cycles
+        };
+        let basic = run_scheme(Scheme::Dhs { setaside: 0 });
+        let setaside = run_scheme(Scheme::Dhs { setaside: 4 });
+        assert!(
+            basic > setaside + 30,
+            "setaside should finish much sooner (basic {basic} vs setaside {setaside})"
+        );
+    }
+
+    #[test]
+    fn ghs_holder_sends_back_to_back() {
+        // A single GHS sender with setaside should stream packets once it
+        // holds the token (1/cycle), unlike basic GHS.
+        let mut ch = Channel::new(0, &cfg(Scheme::Ghs { setaside: 4 }));
+        let mut m = NetworkMetrics::new();
+        let mut d = Vec::new();
+        for i in 0..4 {
+            ch.enqueue(pkt(i, 8, 0, 0));
+        }
+        run(&mut ch, &mut m, &mut d, 0, 40);
+        assert_eq!(d.len(), 4);
+        // Sends should be on consecutive cycles: check sent_at spacing.
+        let mut sent: Vec<Cycle> = d.iter().map(|x| x.pkt.sent_at).collect();
+        sent.sort_unstable();
+        for w in sent.windows(2) {
+            assert_eq!(w[1] - w[0], 1, "holder should transmit back-to-back");
+        }
+    }
+
+    #[test]
+    fn fairness_sitout_spreads_service() {
+        // Two senders, one near the home and one far; near sender floods.
+        let run_with = |fairness| {
+            let mut config = cfg(Scheme::Dhs { setaside: 4 });
+            config.fairness = fairness;
+            let mut ch = Channel::new(0, &config);
+            let mut m = NetworkMetrics::new();
+            let mut d = Vec::new();
+            // Both senders keep a deep backlog for the whole horizon; the
+            // near node (distance 0) sees every token first.
+            for i in 0..300 {
+                ch.enqueue(pkt(i, 1, 0, 0)); // near (distance 0)
+                ch.enqueue(pkt(1000 + i, 15, 0, 0)); // far (distance 14)
+            }
+            run(&mut ch, &mut m, &mut d, 0, 150);
+            d.iter().filter(|x| x.pkt.src_node == 15).count()
+        };
+        let without = run_with(FairnessPolicy::None);
+        let with = run_with(FairnessPolicy::SitOut {
+            serve_quota: 4,
+            sit_out: 8,
+        });
+        assert!(
+            with > without,
+            "sit-out should help the far node ({with} vs {without})"
+        );
+    }
+}

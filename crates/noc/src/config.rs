@@ -1,0 +1,289 @@
+//! Network configuration: dimensions, scheme selection, fairness policy.
+
+use pnoc_photonics::SchemeFeatures;
+use serde::{Deserialize, Serialize};
+
+/// Arbitration + flow-control scheme (paper §II-C, §III).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Scheme {
+    /// Global arbitration; the single token carries the home's credits,
+    /// reimbursed only when the token passes home. Baseline.
+    TokenChannel,
+    /// Distributed arbitration; one token = one credit; the home regenerates
+    /// tokens only while it has uncommitted buffer space. Baseline.
+    TokenSlot,
+    /// Global Handshake: single credit-less token plus ACK/NACK handshake.
+    /// `setaside = 0` is the basic scheme (the sent packet blocks the queue
+    /// head until its handshake arrives); `setaside > 0` moves sent packets
+    /// into that many setaside slots.
+    Ghs {
+        /// Setaside-buffer slots per (sender, channel); 0 = basic GHS.
+        setaside: usize,
+    },
+    /// Distributed Handshake: the home emits a token every cycle; taken
+    /// tokens are removed from the network. Same setaside semantics as GHS.
+    Dhs {
+        /// Setaside-buffer slots per (sender, channel); 0 = basic DHS.
+        setaside: usize,
+    },
+    /// DHS with circulation: no handshake channel; senders forget packets on
+    /// transmission and a full home reinjects arrivals into its own data
+    /// channel, suppressing that cycle's token.
+    DhsCirculation,
+}
+
+impl Scheme {
+    /// All schemes the paper evaluates, in Table I / Fig. 12 order
+    /// (with the default setaside size used by the figures).
+    pub fn paper_set(setaside: usize) -> Vec<Scheme> {
+        vec![
+            Scheme::TokenChannel,
+            Scheme::Ghs { setaside: 0 },
+            Scheme::Ghs { setaside },
+            Scheme::TokenSlot,
+            Scheme::Dhs { setaside: 0 },
+            Scheme::Dhs { setaside },
+            Scheme::DhsCirculation,
+        ]
+    }
+
+    /// Display label matching the paper's legends.
+    pub fn label(&self) -> String {
+        match self {
+            Scheme::TokenChannel => "Token Channel".into(),
+            Scheme::TokenSlot => "Token Slot".into(),
+            Scheme::Ghs { setaside: 0 } => "GHS".into(),
+            Scheme::Ghs { .. } => "GHS w/ Setaside".into(),
+            Scheme::Dhs { setaside: 0 } => "DHS".into(),
+            Scheme::Dhs { .. } => "DHS w/ Setaside".into(),
+            Scheme::DhsCirculation => "DHS w/ Circulation".into(),
+        }
+    }
+
+    /// Whether arbitration is global (one token relayed among senders) or
+    /// distributed (tokens per segment).
+    pub fn is_global(&self) -> bool {
+        matches!(self, Scheme::TokenChannel | Scheme::Ghs { .. })
+    }
+
+    /// Whether the scheme uses the ACK/NACK handshake channel.
+    pub fn uses_handshake(&self) -> bool {
+        matches!(self, Scheme::Ghs { .. } | Scheme::Dhs { .. })
+    }
+
+    /// Whether sent packets leave the sender immediately (credit-reserved
+    /// schemes and circulation) or must await a handshake.
+    pub fn forgets_on_send(&self) -> bool {
+        !self.uses_handshake()
+    }
+
+    /// Setaside slots per (sender, channel) output queue.
+    pub fn setaside(&self) -> usize {
+        match self {
+            Scheme::Ghs { setaside } | Scheme::Dhs { setaside } => *setaside,
+            _ => 0,
+        }
+    }
+
+    /// The optical features this scheme needs, for component budgeting
+    /// (Table I) and power modelling.
+    pub fn features(&self) -> SchemeFeatures {
+        match self {
+            Scheme::TokenChannel | Scheme::TokenSlot => SchemeFeatures::credit_baseline(),
+            Scheme::Ghs { .. } | Scheme::Dhs { .. } => SchemeFeatures::handshake(),
+            Scheme::DhsCirculation => SchemeFeatures::circulation(),
+        }
+    }
+}
+
+/// Optional fairness policy (paper §III-D, after Vantrease's Fair Slot):
+/// well-served nodes sit out for a while, yielding tokens downstream.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub enum FairnessPolicy {
+    /// No explicit policy (basic GHS/DHS get partial fairness from HOL
+    /// blocking itself, as the paper notes).
+    #[default]
+    None,
+    /// After `serve_quota` consecutive grants on one channel, a sender
+    /// becomes ineligible on that channel for `sit_out` cycles.
+    SitOut {
+        /// Grants allowed before sitting out.
+        serve_quota: u32,
+        /// Ineligibility period in cycles.
+        sit_out: u32,
+    },
+}
+
+/// Full network configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct NetworkConfig {
+    /// Network nodes (each the home of one MWSR channel).
+    pub nodes: usize,
+    /// Cores concentrated on each node (paper: 4).
+    pub cores_per_node: usize,
+    /// Ring segments = full-ring traversal time in cycles (paper: 8).
+    pub ring_segments: usize,
+    /// Home input-buffer slots = credits per destination (paper default: 8).
+    pub input_buffer: usize,
+    /// Packets the home can eject to its local cores per cycle.
+    pub ejection_per_cycle: usize,
+    /// Electrical router pipeline depth at injection and ejection
+    /// (paper: 2 stages — RC+SA, ST).
+    pub router_latency: u64,
+    /// Arbitration + flow-control scheme.
+    pub scheme: Scheme,
+    /// Fairness policy.
+    pub fairness: FairnessPolicy,
+    /// Master RNG seed.
+    pub seed: u64,
+}
+
+impl NetworkConfig {
+    /// The paper's evaluation configuration: 64 nodes × 4 cores, 8-segment
+    /// ring, 8 buffers/credits per destination, 2-stage routers.
+    pub fn paper_default(scheme: Scheme) -> Self {
+        Self {
+            nodes: 64,
+            cores_per_node: 4,
+            ring_segments: 8,
+            input_buffer: 8,
+            ejection_per_cycle: 1,
+            router_latency: 2,
+            scheme,
+            fairness: FairnessPolicy::None,
+            seed: 0xC0FFEE,
+        }
+    }
+
+    /// A small configuration for fast tests: 16 nodes, 4 segments.
+    pub fn small(scheme: Scheme) -> Self {
+        Self {
+            nodes: 16,
+            cores_per_node: 2,
+            ring_segments: 4,
+            input_buffer: 4,
+            ejection_per_cycle: 1,
+            router_latency: 2,
+            scheme,
+            fairness: FairnessPolicy::None,
+            seed: 0xBEEF,
+        }
+    }
+
+    /// Total cores.
+    pub fn cores(&self) -> usize {
+        self.nodes * self.cores_per_node
+    }
+
+    /// Nodes swept by a token per cycle.
+    pub fn sweep_step(&self) -> usize {
+        self.nodes / self.ring_segments
+    }
+
+    /// Check structural invariants.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.nodes < 2 {
+            return Err("need at least 2 nodes".into());
+        }
+        if self.cores_per_node == 0 {
+            return Err("need at least 1 core per node".into());
+        }
+        if self.ring_segments == 0 || !self.nodes.is_multiple_of(self.ring_segments) {
+            return Err(format!(
+                "ring_segments ({}) must divide nodes ({})",
+                self.ring_segments, self.nodes
+            ));
+        }
+        if self.input_buffer == 0 {
+            return Err("input buffer must hold at least one flit".into());
+        }
+        if self.ejection_per_cycle == 0 {
+            return Err("ejection bandwidth must be positive".into());
+        }
+        if let FairnessPolicy::SitOut { serve_quota, .. } = self.fairness {
+            if serve_quota == 0 {
+                return Err("serve_quota must be positive".into());
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_default_is_valid() {
+        let c = NetworkConfig::paper_default(Scheme::Dhs { setaside: 4 });
+        assert!(c.validate().is_ok());
+        assert_eq!(c.cores(), 256);
+        assert_eq!(c.sweep_step(), 8);
+    }
+
+    #[test]
+    fn small_is_valid() {
+        let c = NetworkConfig::small(Scheme::TokenSlot);
+        assert!(c.validate().is_ok());
+        assert_eq!(c.sweep_step(), 4);
+    }
+
+    #[test]
+    fn validation_catches_bad_configs() {
+        let mut c = NetworkConfig::paper_default(Scheme::TokenChannel);
+        c.ring_segments = 7; // 64 % 7 != 0
+        assert!(c.validate().is_err());
+        c = NetworkConfig::paper_default(Scheme::TokenChannel);
+        c.nodes = 1;
+        assert!(c.validate().is_err());
+        c = NetworkConfig::paper_default(Scheme::TokenChannel);
+        c.input_buffer = 0;
+        assert!(c.validate().is_err());
+        c = NetworkConfig::paper_default(Scheme::TokenChannel);
+        c.fairness = FairnessPolicy::SitOut {
+            serve_quota: 0,
+            sit_out: 8,
+        };
+        assert!(c.validate().is_err());
+    }
+
+    #[test]
+    fn scheme_properties() {
+        assert!(Scheme::TokenChannel.is_global());
+        assert!(Scheme::Ghs { setaside: 0 }.is_global());
+        assert!(!Scheme::Dhs { setaside: 0 }.is_global());
+        assert!(!Scheme::TokenSlot.is_global());
+        assert!(Scheme::Ghs { setaside: 2 }.uses_handshake());
+        assert!(!Scheme::DhsCirculation.uses_handshake());
+        assert!(Scheme::TokenSlot.forgets_on_send());
+        assert!(Scheme::DhsCirculation.forgets_on_send());
+        assert!(!Scheme::Dhs { setaside: 4 }.forgets_on_send());
+        assert_eq!(Scheme::Dhs { setaside: 4 }.setaside(), 4);
+        assert_eq!(Scheme::TokenChannel.setaside(), 0);
+    }
+
+    #[test]
+    fn scheme_labels_match_paper() {
+        assert_eq!(Scheme::Ghs { setaside: 0 }.label(), "GHS");
+        assert_eq!(Scheme::Ghs { setaside: 4 }.label(), "GHS w/ Setaside");
+        assert_eq!(Scheme::DhsCirculation.label(), "DHS w/ Circulation");
+    }
+
+    #[test]
+    fn paper_set_has_seven_schemes() {
+        let set = Scheme::paper_set(4);
+        assert_eq!(set.len(), 7);
+    }
+
+    #[test]
+    fn features_map_to_table1() {
+        use pnoc_photonics::{ComponentBudget, NetworkDims};
+        let dims = NetworkDims::paper_default();
+        let ts = ComponentBudget::for_scheme(dims, Scheme::TokenSlot.features());
+        let ghs = ComponentBudget::for_scheme(dims, Scheme::Ghs { setaside: 0 }.features());
+        let cir = ComponentBudget::for_scheme(dims, Scheme::DhsCirculation.features());
+        assert_eq!(ts.table1_rings() / 1024, 1024);
+        assert_eq!(ghs.table1_rings() / 1024, 1028);
+        assert_eq!(cir.table1_rings() / 1024, 1040);
+    }
+}

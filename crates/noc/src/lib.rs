@@ -1,0 +1,53 @@
+//! # pnoc-noc — the nanophotonic ring NoC simulator
+//!
+//! Cycle-accurate model of the paper's evaluation platform: a ring-based
+//! MWSR (multiple-writer, single-reader) nanophotonic network in which every
+//! node is the *home* (single reader) of one data channel and a writer on all
+//! others. Packets travel wave-pipelined: the ring is divided into `R`
+//! segments (one cycle each; 8 for the paper's 64-node, 5 GHz configuration),
+//! so a flit needs 1–`R` cycles depending on sender→home distance and the
+//! arbitration token sweeps `N/R` nodes per cycle.
+//!
+//! Five arbitration + flow-control schemes are implemented (see
+//! [`config::Scheme`]):
+//!
+//! * **Token channel** — global arbitration, credits piggybacked on the
+//!   single token, reimbursed only when the token passes home (baseline,
+//!   Vantrease et al. MICRO'09),
+//! * **Token slot** — distributed arbitration, one credit per token, tokens
+//!   regenerated only while the home has uncommitted buffer space (baseline),
+//! * **GHS** — Global Handshake: single credit-less token, ACK/NACK
+//!   handshake, optional setaside buffer (the paper's §III-A),
+//! * **DHS** — Distributed Handshake: a token generated *every* cycle,
+//!   ACK/NACK handshake, optional setaside buffer (§III-B),
+//! * **DHS-circulation** — no handshake channel at all; the home reinjects
+//!   packets into its own channel when its buffer is full, suppressing that
+//!   cycle's token (§III-C).
+//!
+//! The top-level entry point is [`network::Network`]; open-loop experiments
+//! use [`network::Network::run_open_loop`] with a [`sources::TrafficSource`].
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod calendar;
+pub mod channel;
+pub mod config;
+pub mod emesh;
+pub mod metrics;
+pub mod network;
+pub mod outqueue;
+pub mod packet;
+pub mod slots;
+pub mod sources;
+pub mod swmr;
+pub mod topology;
+
+pub use config::{FairnessPolicy, NetworkConfig, Scheme};
+pub use emesh::{MeshConfig, MeshNetwork};
+pub use metrics::{NetworkMetrics, RunSummary};
+pub use network::Network;
+pub use packet::{Packet, PacketKind};
+pub use sources::{SyntheticSource, TraceSource, TrafficSource};
+pub use swmr::{SwmrConfig, SwmrFlowControl, SwmrNetwork};
+pub use topology::Topology;

@@ -1,0 +1,218 @@
+//! Measurement: per-run counters and the derived run summary.
+
+use pnoc_sim::stats::{jain_index, Histogram, Running};
+use pnoc_sim::{BatchMeans, Cycle};
+use serde::Serialize;
+
+/// Raw counters accumulated while the network runs.
+#[derive(Debug, Clone)]
+pub struct NetworkMetrics {
+    /// End-to-end latency of measured packets (generation → ejection).
+    pub latency: Running,
+    /// Latency histogram (1-cycle bins) for percentiles.
+    pub latency_hist: Histogram,
+    /// Batch-means accumulator for a confidence interval on the mean latency
+    /// (consecutive packet latencies are autocorrelated; see
+    /// [`pnoc_sim::batch`]).
+    pub latency_batches: BatchMeans,
+    /// Output-queue wait of measured packets (enqueue → first transmission);
+    /// this is the paper's "token waiting time" component.
+    pub queue_wait: Running,
+    /// Packets generated (all / measured window).
+    pub generated: u64,
+    /// Packets generated inside the measurement window.
+    pub generated_measured: u64,
+    /// Packets delivered to their destination cores (all / measured).
+    pub delivered: u64,
+    /// Measured packets delivered.
+    pub delivered_measured: u64,
+    /// Ring transmissions (including retransmissions and recirculated loops).
+    pub sends: u64,
+    /// Packets that reached a full home buffer and were dropped (NACKed).
+    pub drops: u64,
+    /// Retransmissions performed after NACKs.
+    pub retransmissions: u64,
+    /// Extra loops taken by packets under circulation.
+    pub circulations: u64,
+    /// Packets that arrived at a home (pre-buffer-check).
+    pub arrivals: u64,
+}
+
+impl NetworkMetrics {
+    /// Zeroed counters. The histogram covers 0..2048 cycles.
+    pub fn new() -> Self {
+        Self {
+            latency: Running::new(),
+            latency_hist: Histogram::cycles(2048),
+            latency_batches: BatchMeans::new(256),
+            queue_wait: Running::new(),
+            generated: 0,
+            generated_measured: 0,
+            delivered: 0,
+            delivered_measured: 0,
+            sends: 0,
+            drops: 0,
+            retransmissions: 0,
+            circulations: 0,
+            arrivals: 0,
+        }
+    }
+
+    /// Drop-plus-retransmission rate relative to arrivals — the quantity the
+    /// paper reports as "below 1 % even in high workloads".
+    pub fn drop_rate(&self) -> f64 {
+        if self.arrivals == 0 {
+            0.0
+        } else {
+            self.drops as f64 / self.arrivals as f64
+        }
+    }
+
+    /// Circulation rate relative to arrivals.
+    pub fn circulation_rate(&self) -> f64 {
+        if self.arrivals == 0 {
+            0.0
+        } else {
+            self.circulations as f64 / self.arrivals as f64
+        }
+    }
+}
+
+impl Default for NetworkMetrics {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// Digest of one open-loop run — one point on a paper figure.
+#[derive(Debug, Clone, Serialize)]
+pub struct RunSummary {
+    /// Offered load, packets/cycle/core (what the x-axes of Figs. 2, 8, 9 show).
+    pub offered_per_core: f64,
+    /// Mean latency of measured packets, cycles (the y-axes).
+    pub avg_latency: f64,
+    /// 95% confidence half-width on the mean latency (batch means, batches
+    /// of 256 packets); `NaN` when fewer than two batches completed.
+    pub latency_ci95: f64,
+    /// 99th-percentile latency, cycles.
+    pub p99_latency: f64,
+    /// Mean output-queue wait, cycles.
+    pub avg_queue_wait: f64,
+    /// Delivered measured packets per cycle per core (accepted throughput).
+    pub throughput_per_core: f64,
+    /// Measured packets delivered.
+    pub delivered: u64,
+    /// Drop (NACK) rate per arrival.
+    pub drop_rate: f64,
+    /// Circulation rate per arrival.
+    pub circulation_rate: f64,
+    /// Jain fairness index over sender service counts, averaged across
+    /// channels that saw traffic.
+    pub jain_fairness: f64,
+    /// Jain index of the *least fair* channel — the number positional
+    /// starvation shows up in (hotspot channels dilute out of the average).
+    pub jain_worst: f64,
+    /// Whether the run saturated (latency ran away past the histogram or a
+    /// large fraction of measured packets never finished).
+    pub saturated: bool,
+}
+
+impl RunSummary {
+    /// Build a summary from metrics plus run geometry.
+    pub fn from_metrics(
+        m: &NetworkMetrics,
+        per_channel_service: &[Vec<u64>],
+        measure_cycles: Cycle,
+        cores: usize,
+        offered_per_core: f64,
+    ) -> Self {
+        let denom = (measure_cycles.max(1) as f64) * cores as f64;
+        let throughput = m.delivered_measured as f64 / denom;
+        let jains: Vec<f64> = per_channel_service
+            .iter()
+            .filter(|s| s.iter().any(|&c| c > 0))
+            .map(|s| {
+                let v: Vec<f64> = s.iter().map(|&c| c as f64).collect();
+                jain_index(&v)
+            })
+            .collect();
+        let jain = if jains.is_empty() {
+            f64::NAN
+        } else {
+            jains.iter().sum::<f64>() / jains.len() as f64
+        };
+        let jain_worst = jains.iter().copied().fold(f64::NAN, |acc, j| {
+            if acc.is_nan() {
+                j
+            } else {
+                acc.min(j)
+            }
+        });
+        let unfinished = m.generated_measured.saturating_sub(m.delivered_measured);
+        let saturated = m.generated_measured > 0
+            && (unfinished as f64 > 0.10 * m.generated_measured as f64
+                || m.latency_hist.overflow() > m.delivered_measured / 20);
+        Self {
+            offered_per_core,
+            avg_latency: m.latency.mean(),
+            latency_ci95: m.latency_batches.ci95_half_width(),
+            p99_latency: m.latency_hist.quantile(0.99),
+            avg_queue_wait: m.queue_wait.mean(),
+            throughput_per_core: throughput,
+            delivered: m.delivered_measured,
+            drop_rate: m.drop_rate(),
+            circulation_rate: m.circulation_rate(),
+            jain_fairness: jain,
+            jain_worst,
+            saturated,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rates_with_no_arrivals_are_zero() {
+        let m = NetworkMetrics::new();
+        assert_eq!(m.drop_rate(), 0.0);
+        assert_eq!(m.circulation_rate(), 0.0);
+    }
+
+    #[test]
+    fn drop_rate_ratio() {
+        let mut m = NetworkMetrics::new();
+        m.arrivals = 200;
+        m.drops = 2;
+        assert!((m.drop_rate() - 0.01).abs() < 1e-12);
+    }
+
+    #[test]
+    fn summary_throughput_and_jain() {
+        let mut m = NetworkMetrics::new();
+        m.generated_measured = 1000;
+        m.delivered_measured = 1000;
+        for _ in 0..1000 {
+            m.latency.record(20.0);
+            m.latency_hist.record(20.0);
+        }
+        let service = vec![vec![10, 10, 10, 10], vec![0, 0, 0, 0], vec![20, 0, 0, 0]];
+        let s = RunSummary::from_metrics(&m, &service, 1000, 4, 0.25);
+        assert!((s.throughput_per_core - 0.25).abs() < 1e-12);
+        // Average of 1.0 (even channel) and 0.25 (hog channel); idle excluded.
+        assert!((s.jain_fairness - 0.625).abs() < 1e-12, "idle channel excluded");
+        assert!((s.jain_worst - 0.25).abs() < 1e-12, "worst channel surfaced");
+        assert!(!s.saturated);
+        assert!((s.avg_latency - 20.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn summary_flags_saturation() {
+        let mut m = NetworkMetrics::new();
+        m.generated_measured = 1000;
+        m.delivered_measured = 500; // half never finished
+        let s = RunSummary::from_metrics(&m, &[], 1000, 4, 0.5);
+        assert!(s.saturated);
+    }
+}

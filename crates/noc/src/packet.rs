@@ -1,0 +1,99 @@
+//! Packets (single-flit, per the paper's wide-channel assumption).
+
+use pnoc_sim::Cycle;
+use serde::{Deserialize, Serialize};
+
+/// Protocol role of a packet, used by the closed-loop CMP model; the open-loop
+/// network treats all kinds identically.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum PacketKind {
+    /// Cache-miss request (core → L2 bank).
+    Request,
+    /// Data reply (L2 bank → core).
+    Reply,
+    /// Anything else.
+    Data,
+}
+
+/// One single-flit packet.
+///
+/// `Copy` by design: packets are small scalar records that get duplicated
+/// between a sender's queue/setaside and the in-flight ring slot (a sent
+/// packet cannot leave the sender until its handshake arrives — §III-A).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Packet {
+    /// Unique id within a simulation run.
+    pub id: u64,
+    /// Injecting core (global index).
+    pub src_core: u32,
+    /// Node of the injecting core.
+    pub src_node: u32,
+    /// Destination (home) node.
+    pub dst_node: u32,
+    /// Protocol role.
+    pub kind: PacketKind,
+    /// Cycle the core generated the packet.
+    pub generated_at: Cycle,
+    /// Cycle the packet entered the sender's output queue (after the
+    /// injection router pipeline).
+    pub enqueued_at: Cycle,
+    /// Cycle of the most recent transmission onto the ring (0 = never sent).
+    pub sent_at: Cycle,
+    /// Number of transmissions so far (>1 means retransmitted after NACK or
+    /// recirculated past a full home buffer).
+    pub sends: u32,
+    /// Whether this packet is inside the measurement window.
+    pub measured: bool,
+    /// Caller-provided correlation tag (the CMP model stores MSHR ids here).
+    pub tag: u64,
+}
+
+impl Packet {
+    /// Latency from generation to a given delivery cycle.
+    pub fn latency_at(&self, delivered: Cycle) -> u64 {
+        delivered.saturating_sub(self.generated_at)
+    }
+
+    /// Retransmission count (transmissions beyond the first).
+    pub fn retransmissions(&self) -> u32 {
+        self.sends.saturating_sub(1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pkt() -> Packet {
+        Packet {
+            id: 1,
+            src_core: 3,
+            src_node: 0,
+            dst_node: 5,
+            kind: PacketKind::Request,
+            generated_at: 10,
+            enqueued_at: 12,
+            sent_at: 0,
+            sends: 0,
+            measured: true,
+            tag: 0,
+        }
+    }
+
+    #[test]
+    fn latency_is_from_generation() {
+        let p = pkt();
+        assert_eq!(p.latency_at(30), 20);
+        assert_eq!(p.latency_at(5), 0, "saturates instead of underflowing");
+    }
+
+    #[test]
+    fn retransmissions_counted_from_second_send() {
+        let mut p = pkt();
+        assert_eq!(p.retransmissions(), 0);
+        p.sends = 1;
+        assert_eq!(p.retransmissions(), 0);
+        p.sends = 3;
+        assert_eq!(p.retransmissions(), 2);
+    }
+}

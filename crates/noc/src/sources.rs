@@ -1,0 +1,192 @@
+//! Traffic sources that drive open-loop experiments.
+
+use crate::packet::PacketKind;
+use pnoc_sim::{Cycle, SimRng};
+use pnoc_traffic::injection::BernoulliInjector;
+use pnoc_traffic::pattern::TrafficPattern;
+use pnoc_traffic::trace::{MessageKind, Trace, TraceCursor};
+
+/// A request to inject one packet: `(source core, destination node, kind)`.
+pub type InjectionRequest = (usize, usize, PacketKind);
+
+/// Anything that can feed packets to [`crate::network::Network::run_open_loop`].
+pub trait TrafficSource {
+    /// Append this cycle's injections to `out`.
+    fn generate(&mut self, now: Cycle, out: &mut Vec<InjectionRequest>);
+    /// Whether the source has no future events (always `false` for
+    /// rate-driven sources).
+    fn exhausted(&self) -> bool {
+        false
+    }
+}
+
+/// Synthetic traffic: every core runs an independent Bernoulli process at the
+/// given rate; destinations follow a [`TrafficPattern`] applied at node
+/// granularity (the paper's methodology, §V-A).
+#[derive(Debug, Clone)]
+pub struct SyntheticSource {
+    pattern: TrafficPattern,
+    nodes: usize,
+    cores_per_node: usize,
+    injectors: Vec<BernoulliInjector>,
+    rng: SimRng,
+}
+
+impl SyntheticSource {
+    /// Build a source for `nodes × cores_per_node` cores injecting
+    /// `rate` packets/cycle/core.
+    pub fn new(
+        pattern: TrafficPattern,
+        rate: f64,
+        nodes: usize,
+        cores_per_node: usize,
+        seed: u64,
+    ) -> Self {
+        pattern
+            .validate(nodes)
+            .expect("pattern incompatible with node count");
+        let mut rng = SimRng::seed_from(seed);
+        let injectors = (0..nodes * cores_per_node)
+            .map(|_| BernoulliInjector::new(rate, &mut rng))
+            .collect();
+        Self {
+            pattern,
+            nodes,
+            cores_per_node,
+            injectors,
+            rng,
+        }
+    }
+
+    /// The pattern in use.
+    pub fn pattern(&self) -> TrafficPattern {
+        self.pattern
+    }
+}
+
+impl TrafficSource for SyntheticSource {
+    fn generate(&mut self, now: Cycle, out: &mut Vec<InjectionRequest>) {
+        for (core, inj) in self.injectors.iter_mut().enumerate() {
+            for _ in 0..inj.fire(now, &mut self.rng) {
+                let src_node = core / self.cores_per_node;
+                let dst = self.pattern.destination(src_node, self.nodes, &mut self.rng);
+                out.push((core, dst, PacketKind::Data));
+            }
+        }
+    }
+}
+
+/// Replays a [`Trace`] (the application-trace experiments of Fig. 10).
+#[derive(Debug, Clone)]
+pub struct TraceSource<'a> {
+    cursor: TraceCursor<'a>,
+    cores_per_node: usize,
+}
+
+impl<'a> TraceSource<'a> {
+    /// Replay `trace` on a network with `cores_per_node`-way concentration.
+    pub fn new(trace: &'a Trace, cores_per_node: usize) -> Self {
+        Self {
+            cursor: trace.cursor(),
+            cores_per_node,
+        }
+    }
+}
+
+impl TrafficSource for TraceSource<'_> {
+    fn generate(&mut self, now: Cycle, out: &mut Vec<InjectionRequest>) {
+        for ev in self.cursor.events_at(now) {
+            let src_node = ev.src_core / self.cores_per_node;
+            if src_node == ev.dst_node {
+                // Local delivery bypasses the optical network.
+                continue;
+            }
+            let kind = match ev.kind {
+                MessageKind::Request => PacketKind::Request,
+                MessageKind::Reply => PacketKind::Reply,
+                MessageKind::Data => PacketKind::Data,
+            };
+            out.push((ev.src_core, ev.dst_node, kind));
+        }
+    }
+
+    fn exhausted(&self) -> bool {
+        self.cursor.exhausted()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pnoc_traffic::trace::TraceEvent;
+
+    #[test]
+    fn synthetic_rate_and_destinations() {
+        let mut src = SyntheticSource::new(TrafficPattern::UniformRandom, 0.1, 16, 2, 99);
+        let mut out = Vec::new();
+        for t in 0..20_000 {
+            src.generate(t, &mut out);
+        }
+        let per_core = out.len() as f64 / 20_000.0 / 32.0;
+        assert!((per_core - 0.1).abs() < 0.01, "rate {per_core}");
+        for &(core, dst, _) in &out {
+            assert!(core < 32);
+            assert!(dst < 16);
+            assert_ne!(dst, core / 2, "no self-node traffic");
+        }
+    }
+
+    #[test]
+    fn synthetic_is_deterministic() {
+        let collect = |seed| {
+            let mut s = SyntheticSource::new(TrafficPattern::Tornado, 0.05, 16, 2, seed);
+            let mut out = Vec::new();
+            for t in 0..5_000 {
+                s.generate(t, &mut out);
+            }
+            out
+        };
+        assert_eq!(collect(1), collect(1));
+        assert_ne!(collect(1), collect(2));
+    }
+
+    #[test]
+    fn trace_source_replays_and_skips_local() {
+        let mut trace = Trace::new("t", 8, 4, 100);
+        // core 0 lives on node 0: send to node 0 is local (skipped).
+        trace.push(TraceEvent {
+            cycle: 3,
+            src_core: 0,
+            dst_node: 0,
+            kind: MessageKind::Request,
+        });
+        trace.push(TraceEvent {
+            cycle: 3,
+            src_core: 0,
+            dst_node: 2,
+            kind: MessageKind::Request,
+        });
+        trace.push(TraceEvent {
+            cycle: 7,
+            src_core: 5,
+            dst_node: 1,
+            kind: MessageKind::Reply,
+        });
+        let mut src = TraceSource::new(&trace, 2);
+        let mut out = Vec::new();
+        for t in 0..10 {
+            src.generate(t, &mut out);
+        }
+        assert_eq!(out.len(), 2);
+        assert_eq!(out[0], (0, 2, PacketKind::Request));
+        assert_eq!(out[1], (5, 1, PacketKind::Reply));
+        assert!(src.exhausted());
+    }
+
+    #[test]
+    #[should_panic]
+    fn synthetic_rejects_incompatible_pattern() {
+        // Bit complement needs a power-of-two node count.
+        SyntheticSource::new(TrafficPattern::BitComplement, 0.1, 12, 2, 1);
+    }
+}

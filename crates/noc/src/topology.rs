@@ -1,0 +1,169 @@
+//! Ring topology arithmetic: segments, distances, traversal delays.
+//!
+//! The unidirectional ring has `nodes` nodes and `segments` wave-pipeline
+//! segments; a signal crosses one segment per cycle, passing `nodes/segments`
+//! nodes (Corona: "a token can pass eight nodes in one cycle"). All per-node
+//! positions are expressed as *downstream distance* from a channel's home:
+//! `d = (i - home - 1) mod N`, so `d = 0` is the node immediately after the
+//! home and `d = N − 2` the node immediately before it.
+
+use serde::{Deserialize, Serialize};
+
+/// Ring dimensions and derived timing.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Topology {
+    /// Node count.
+    pub nodes: usize,
+    /// Segment count = full-ring traversal cycles.
+    pub segments: usize,
+}
+
+impl Topology {
+    /// Build and validate (segments must divide nodes).
+    pub fn new(nodes: usize, segments: usize) -> Self {
+        assert!(nodes >= 2, "need at least two nodes");
+        assert!(
+            segments > 0 && nodes.is_multiple_of(segments),
+            "segments ({segments}) must divide nodes ({nodes})"
+        );
+        Self { nodes, segments }
+    }
+
+    /// Nodes per segment = nodes a signal passes per cycle.
+    #[inline]
+    pub fn step(&self) -> usize {
+        self.nodes / self.segments
+    }
+
+    /// Segment containing node `i`.
+    #[inline]
+    pub fn segment_of(&self, node: usize) -> usize {
+        debug_assert!(node < self.nodes);
+        node / self.step()
+    }
+
+    /// Downstream distance of node `i` from `home` (0 = immediately after
+    /// the home). `i` must differ from `home`.
+    #[inline]
+    pub fn downstream_distance(&self, home: usize, i: usize) -> usize {
+        debug_assert!(i != home, "home has no distance from itself");
+        (i + self.nodes - home - 1) % self.nodes
+    }
+
+    /// Inverse of [`Topology::downstream_distance`].
+    #[inline]
+    pub fn node_at_distance(&self, home: usize, d: usize) -> usize {
+        debug_assert!(d < self.nodes - 1);
+        (home + 1 + d) % self.nodes
+    }
+
+    /// Data-flit traversal time from node `src` to its home `dst`, in cycles
+    /// (1..=segments): hop distance divided by the per-cycle sweep, rounded
+    /// up. Matches the paper's "1 to 8 cycles based on the distance".
+    #[inline]
+    pub fn data_delay(&self, src: usize, dst: usize) -> u64 {
+        debug_assert!(src != dst);
+        let hops = (dst + self.nodes - src) % self.nodes;
+        hops.div_ceil(self.step()) as u64
+    }
+
+    /// Cycle at which a sender learns its packet's fate: the handshake
+    /// arrives a fixed `segments + 1` cycles after transmission (§IV-C:
+    /// "if the round-trip time is 8 cycles, a sender will receive the
+    /// handshake message in 9 cycles").
+    #[inline]
+    pub fn handshake_delay(&self) -> u64 {
+        self.segments as u64 + 1
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn paper() -> Topology {
+        Topology::new(64, 8)
+    }
+
+    #[test]
+    fn step_and_segments() {
+        let t = paper();
+        assert_eq!(t.step(), 8);
+        assert_eq!(t.segment_of(0), 0);
+        assert_eq!(t.segment_of(7), 0);
+        assert_eq!(t.segment_of(8), 1);
+        assert_eq!(t.segment_of(63), 7);
+    }
+
+    #[test]
+    fn distance_roundtrip() {
+        let t = paper();
+        for home in [0usize, 13, 63] {
+            for i in 0..64 {
+                if i == home {
+                    continue;
+                }
+                let d = t.downstream_distance(home, i);
+                assert!(d < 63);
+                assert_eq!(t.node_at_distance(home, d), i);
+            }
+        }
+    }
+
+    #[test]
+    fn distance_zero_is_next_node() {
+        let t = paper();
+        assert_eq!(t.downstream_distance(5, 6), 0);
+        assert_eq!(t.downstream_distance(63, 0), 0);
+        assert_eq!(t.downstream_distance(0, 63), 62);
+    }
+
+    #[test]
+    fn data_delay_bounds_match_paper() {
+        // "the nanophotonic link traversal time amounts to be 1 to 8 cycles"
+        let t = paper();
+        let mut min = u64::MAX;
+        let mut max = 0;
+        for src in 0..64 {
+            for dst in 0..64 {
+                if src == dst {
+                    continue;
+                }
+                let d = t.data_delay(src, dst);
+                min = min.min(d);
+                max = max.max(d);
+            }
+        }
+        assert_eq!(min, 1);
+        assert_eq!(max, 8);
+    }
+
+    #[test]
+    fn data_delay_examples() {
+        let t = paper();
+        assert_eq!(t.data_delay(63, 0), 1); // one hop forward
+        assert_eq!(t.data_delay(1, 0), 8); // almost a full loop
+        assert_eq!(t.data_delay(0, 32), 4); // half ring
+        assert_eq!(t.data_delay(56, 0), 1); // 8 hops = exactly one segment
+        assert_eq!(t.data_delay(55, 0), 2); // 9 hops
+    }
+
+    #[test]
+    fn handshake_is_round_trip_plus_one() {
+        assert_eq!(paper().handshake_delay(), 9);
+    }
+
+    #[test]
+    fn small_ring() {
+        let t = Topology::new(16, 4);
+        assert_eq!(t.step(), 4);
+        assert_eq!(t.data_delay(15, 0), 1);
+        assert_eq!(t.data_delay(1, 0), 4);
+    }
+
+    #[test]
+    #[should_panic]
+    fn rejects_non_dividing_segments() {
+        Topology::new(10, 3);
+    }
+}

@@ -1,0 +1,203 @@
+//! Property tests for the simulator's core data structures: the rotating
+//! slot ring, the bucket calendar, ring-topology arithmetic, and a
+//! model-based check of the output-queue send disciplines.
+
+use pnoc_noc::calendar::Calendar;
+use pnoc_noc::config::FairnessPolicy;
+use pnoc_noc::outqueue::{OutQueue, SendMode};
+use pnoc_noc::packet::{Packet, PacketKind};
+use pnoc_noc::slots::SlotRing;
+use pnoc_noc::topology::Topology;
+use proptest::prelude::*;
+
+fn pkt(id: u64) -> Packet {
+    Packet {
+        id,
+        src_core: 0,
+        src_node: 1,
+        dst_node: 0,
+        kind: PacketKind::Data,
+        generated_at: 0,
+        enqueued_at: 0,
+        sent_at: 0,
+        sends: 0,
+        measured: false,
+        tag: 0,
+    }
+}
+
+proptest! {
+    /// A payload placed at segment `g` is found at `(g + k) mod R` after `k`
+    /// advances, for any ring size and distance.
+    #[test]
+    fn slot_ring_rotation(segments in 1usize..32, g in 0usize..32, k in 0usize..200) {
+        let g = g % segments;
+        let mut ring: SlotRing<u64> = SlotRing::new(segments);
+        ring.put(g, 77);
+        for _ in 0..k {
+            ring.advance();
+        }
+        let expected = (g + k) % segments;
+        prop_assert_eq!(ring.at(expected), Some(&77));
+        prop_assert_eq!(ring.occupied(), 1);
+        prop_assert_eq!(ring.take(expected), Some(77));
+        prop_assert!(ring.is_empty());
+    }
+
+    /// Every event scheduled within the horizon is drained exactly at its
+    /// cycle, independent of interleaving.
+    #[test]
+    fn calendar_drains_exactly_once(
+        horizon in 2usize..32,
+        offsets in proptest::collection::vec(0u64..31, 1..64),
+    ) {
+        let mut cal: Calendar<(u64, u64)> = Calendar::new(horizon);
+        let mut pending: std::collections::BTreeMap<u64, Vec<u64>> = Default::default();
+        let mut next_tag = 0u64;
+        let total = offsets.len();
+        let mut drained = 0usize;
+        for now in 0..(total as u64 + horizon as u64 + 2) {
+            if let Some(&off) = offsets.get(now as usize) {
+                let at = now + off % horizon as u64;
+                cal.schedule(at, (at, next_tag));
+                pending.entry(at).or_default().push(next_tag);
+                next_tag += 1;
+            }
+            for (at, tag) in cal.drain(now) {
+                prop_assert_eq!(at, now, "event fired at wrong cycle");
+                let bucket = pending.get_mut(&now).expect("expected bucket");
+                let idx = bucket.iter().position(|&t| t == tag).expect("unexpected event");
+                bucket.remove(idx);
+                drained += 1;
+            }
+        }
+        prop_assert_eq!(drained, total, "events lost in the calendar");
+    }
+
+    /// `downstream_distance` and `node_at_distance` are inverse bijections,
+    /// and data delays are within `[1, segments]` for every pair.
+    #[test]
+    fn topology_arithmetic(
+        seg_pow in 1u32..4,      // 2..8 segments
+        per_seg in 1usize..9,    // 1..8 nodes per segment
+    ) {
+        let segments = 1usize << seg_pow;
+        let nodes = segments * per_seg;
+        if nodes < 2 {
+            return Ok(());
+        }
+        let t = Topology::new(nodes, segments);
+        for home in 0..nodes {
+            let mut seen = vec![false; nodes - 1];
+            for i in 0..nodes {
+                if i == home {
+                    continue;
+                }
+                let d = t.downstream_distance(home, i);
+                prop_assert!(d < nodes - 1);
+                prop_assert!(!seen[d], "distance collision");
+                seen[d] = true;
+                prop_assert_eq!(t.node_at_distance(home, d), i);
+                let delay = t.data_delay(i, home);
+                prop_assert!(delay >= 1 && delay <= segments as u64);
+            }
+        }
+    }
+
+    /// Model-based OutQueue check: against a simple reference model, the
+    /// grant/transmit/ack/nack state machine never loses or duplicates a
+    /// packet, in any discipline and any operation order.
+    #[test]
+    fn outqueue_model_based(
+        mode_sel in 0usize..3,
+        setaside in 1usize..5,
+        ops in proptest::collection::vec(0u8..4, 1..200),
+    ) {
+        let mode = match mode_sel {
+            0 => SendMode::HoldHead,
+            1 => SendMode::Setaside(setaside),
+            _ => SendMode::Forget,
+        };
+        let mut q = OutQueue::new(mode);
+        let mut next_id = 0u64;
+        // Reference model: ids currently queued (order matters) and ids
+        // in-flight awaiting a handshake.
+        let mut queued: Vec<u64> = Vec::new();
+        let mut inflight: Vec<u64> = Vec::new();
+        let mut completed: Vec<u64> = Vec::new();
+        let mut now = 0u64;
+
+        for op in ops {
+            now += 1;
+            match op {
+                0 => {
+                    q.push(pkt(next_id));
+                    queued.push(next_id);
+                    next_id += 1;
+                }
+                1 => {
+                    // grant+transmit if allowed
+                    if q.eligible(now, FairnessPolicy::None) {
+                        q.take_grant(now, FairnessPolicy::None);
+                        let sent = q.transmit(now).expect("grant implies transmit");
+                        match mode {
+                            SendMode::HoldHead => {
+                                prop_assert_eq!(sent.id, queued[0]);
+                                inflight.push(sent.id);
+                            }
+                            SendMode::Setaside(_) => {
+                                prop_assert_eq!(sent.id, queued[0]);
+                                queued.remove(0);
+                                inflight.push(sent.id);
+                            }
+                            SendMode::Forget => {
+                                prop_assert_eq!(sent.id, queued.remove(0));
+                                completed.push(sent.id);
+                            }
+                        }
+                    }
+                }
+                2 => {
+                    // ack the oldest in-flight
+                    if let Some(&id) = inflight.first() {
+                        let acked = q.ack(id);
+                        prop_assert!(acked.is_some());
+                        inflight.remove(0);
+                        if mode == SendMode::HoldHead {
+                            prop_assert_eq!(queued.remove(0), id);
+                        }
+                        completed.push(id);
+                    } else {
+                        prop_assert!(q.ack(9999).is_none());
+                    }
+                }
+                _ => {
+                    // nack the oldest in-flight: it returns to the head
+                    if let Some(&id) = inflight.first() {
+                        prop_assert!(q.nack(id));
+                        inflight.remove(0);
+                        if mode != SendMode::HoldHead {
+                            queued.insert(0, id);
+                        }
+                        // HoldHead: stays at head already.
+                    } else {
+                        prop_assert!(!q.nack(9999));
+                    }
+                }
+            }
+            // Invariants after every operation.
+            prop_assert_eq!(q.backlog(), queued.len(), "backlog diverged");
+            prop_assert_eq!(
+                q.setaside_len(),
+                if matches!(mode, SendMode::Setaside(_)) { inflight.len() } else { 0 }
+            );
+        }
+        // Nothing vanished: every id is queued, in flight, or completed.
+        // (In HoldHead mode the in-flight packet is still *in* the queue.)
+        let accounted = match mode {
+            SendMode::HoldHead => queued.len() + completed.len(),
+            _ => queued.len() + inflight.len() + completed.len(),
+        };
+        prop_assert_eq!(accounted as u64, next_id, "packets lost by the model");
+    }
+}

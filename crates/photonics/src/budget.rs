@@ -1,0 +1,302 @@
+//! Per-scheme component budgets — reproduces **Table I** of the paper.
+//!
+//! For a 64-node MWSR network the paper counts, per scheme:
+//!
+//! | Scheme      | Data WG | Token WG | Handshake WG | Micro-rings |
+//! |-------------|---------|----------|--------------|-------------|
+//! | Token slot  | 256     | 1        | 0            | 1024 K      |
+//! | GHS         | 256     | 1        | 1            | 1028 K      |
+//! | DHS         | 256     | 1        | 1            | 1028 K      |
+//! | DHS-cir     | 256     | 1        | 0            | 1040 K      |
+//!
+//! The counting rules (paper §IV-C): each of the 64 MWSR data channels uses 4
+//! waveguides × 64 wavelengths, and every wavelength needs a ring at each of
+//! the 64 nodes (writers modulate, the home detects) — 256 · 64 · 64 =
+//! 1 048 576 rings ("1024 K"). The single handshake waveguide dedicates one
+//! wavelength to each node and each wavelength again needs 64 rings → 4 K more
+//! (0.4 % overhead). Circulation instead lets every home *reinject* into its
+//! own channel, adding modulators on all 4 × 64 wavelengths of each of the 64
+//! channels → 16 K more (1.5 %). Token-channel arbitration rings are not
+//! included in the paper's micro-ring column; [`ComponentBudget::token_rings`]
+//! reports them separately.
+
+use crate::wavelength::MAX_DWDM_WAVELENGTHS;
+use serde::{Deserialize, Serialize};
+
+/// Structural dimensions of the network being budgeted.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct NetworkDims {
+    /// Number of network nodes (each node is home of one MWSR channel).
+    pub nodes: u64,
+    /// Waveguides per data channel (channel width = this × wavelengths).
+    pub waveguides_per_channel: u64,
+    /// DWDM wavelengths per waveguide.
+    pub wavelengths_per_waveguide: u64,
+}
+
+impl NetworkDims {
+    /// The paper's 64-node, 4-WG-per-channel, 64-λ configuration.
+    pub fn paper_default() -> Self {
+        Self {
+            nodes: 64,
+            waveguides_per_channel: 4,
+            wavelengths_per_waveguide: 64,
+        }
+    }
+
+    /// Validate physical constraints (DWDM limit, handshake fit).
+    pub fn validate(&self) -> Result<(), String> {
+        if self.nodes == 0 || self.waveguides_per_channel == 0 {
+            return Err("nodes and waveguides-per-channel must be positive".into());
+        }
+        if self.wavelengths_per_waveguide == 0
+            || self.wavelengths_per_waveguide > MAX_DWDM_WAVELENGTHS as u64
+        {
+            return Err(format!(
+                "wavelengths per waveguide must be in 1..={MAX_DWDM_WAVELENGTHS}"
+            ));
+        }
+        Ok(())
+    }
+
+    /// Waveguides needed so every node gets a dedicated handshake wavelength.
+    pub fn handshake_waveguides(&self) -> u64 {
+        self.nodes.div_ceil(self.wavelengths_per_waveguide)
+    }
+
+    /// Bits per cycle on one data channel (single-flit packet width).
+    pub fn channel_width_bits(&self) -> u64 {
+        self.waveguides_per_channel * self.wavelengths_per_waveguide
+    }
+}
+
+impl Default for NetworkDims {
+    fn default() -> Self {
+        Self::paper_default()
+    }
+}
+
+/// Which optical features a flow-control scheme needs, for budgeting.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct SchemeFeatures {
+    /// Scheme uses an ACK/NACK handshake back-channel (GHS, DHS).
+    pub handshake_channel: bool,
+    /// Home nodes can reinject packets into their own data channel
+    /// (DHS with circulation).
+    pub reinjection: bool,
+}
+
+impl SchemeFeatures {
+    /// Credit-based baselines: token channel, token slot.
+    pub fn credit_baseline() -> Self {
+        Self::default()
+    }
+
+    /// GHS / DHS with ACK-NACK handshake.
+    pub fn handshake() -> Self {
+        Self {
+            handshake_channel: true,
+            reinjection: false,
+        }
+    }
+
+    /// DHS with circulation: no handshake channel, but reinjection rings.
+    pub fn circulation() -> Self {
+        Self {
+            handshake_channel: false,
+            reinjection: true,
+        }
+    }
+}
+
+/// The optical component inventory of one network configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ComponentBudget {
+    /// Data waveguides (all channels).
+    pub data_waveguides: u64,
+    /// Token (arbitration) waveguides.
+    pub token_waveguides: u64,
+    /// Handshake waveguides (0 when the scheme has no ACK channel).
+    pub handshake_waveguides: u64,
+    /// Rings on the data channels (modulators + home detectors).
+    pub data_rings: u64,
+    /// Rings on the handshake waveguide(s).
+    pub handshake_rings: u64,
+    /// Extra home-reinjection modulator rings (circulation only).
+    pub reinjection_rings: u64,
+    /// Arbitration-token rings (reported separately; the paper's Table I
+    /// micro-ring column does not include them).
+    pub token_rings: u64,
+}
+
+impl ComponentBudget {
+    /// Budget for a network of `dims` running a scheme with `features`.
+    pub fn for_scheme(dims: NetworkDims, features: SchemeFeatures) -> Self {
+        dims.validate().expect("invalid network dimensions");
+        let data_waveguides = dims.nodes * dims.waveguides_per_channel;
+        let lambda = dims.wavelengths_per_waveguide;
+        let data_rings = data_waveguides * lambda * dims.nodes;
+        let handshake_waveguides = if features.handshake_channel {
+            dims.handshake_waveguides()
+        } else {
+            0
+        };
+        // One wavelength per node on the handshake channel; every wavelength
+        // needs a ring at each node (sender detectors + home modulator).
+        let handshake_rings = if features.handshake_channel {
+            dims.nodes * dims.nodes
+        } else {
+            0
+        };
+        // Circulation: each home gains modulators on every wavelength of its
+        // own channel (waveguides_per_channel × λ), across all homes.
+        let reinjection_rings = if features.reinjection {
+            dims.nodes * dims.waveguides_per_channel * lambda
+        } else {
+            0
+        };
+        // One token wavelength per home on a shared token waveguide; each
+        // node carries a detector/modulator pair per home wavelength it uses.
+        let token_waveguides = dims.nodes.div_ceil(lambda);
+        let token_rings = dims.nodes * dims.nodes;
+        Self {
+            data_waveguides,
+            token_waveguides,
+            handshake_waveguides,
+            data_rings,
+            handshake_rings,
+            reinjection_rings,
+            token_rings,
+        }
+    }
+
+    /// Total micro-rings as Table I counts them (data + handshake +
+    /// reinjection; token rings excluded, matching the paper).
+    pub fn table1_rings(&self) -> u64 {
+        self.data_rings + self.handshake_rings + self.reinjection_rings
+    }
+
+    /// All rings including arbitration-token rings (used by the thermal
+    /// tuning power model, which must heat every ring on the die).
+    pub fn total_rings(&self) -> u64 {
+        self.table1_rings() + self.token_rings
+    }
+
+    /// Total waveguides of all kinds.
+    pub fn total_waveguides(&self) -> u64 {
+        self.data_waveguides + self.token_waveguides + self.handshake_waveguides
+    }
+
+    /// Micro-ring overhead of this budget relative to a baseline, as a
+    /// fraction (the paper quotes 0.4 % for handshake, 1.5 % for
+    /// circulation).
+    pub fn ring_overhead_vs(&self, baseline: &ComponentBudget) -> f64 {
+        let b = baseline.table1_rings() as f64;
+        (self.table1_rings() as f64 - b) / b
+    }
+
+    /// Table I row formatted with rings in binary-K units (e.g. `1028K`).
+    pub fn table1_row(&self) -> (u64, u64, u64, String) {
+        (
+            self.data_waveguides,
+            self.token_waveguides,
+            self.handshake_waveguides,
+            format!("{}K", self.table1_rings() / 1024),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn dims() -> NetworkDims {
+        NetworkDims::paper_default()
+    }
+
+    #[test]
+    fn table1_token_slot() {
+        let b = ComponentBudget::for_scheme(dims(), SchemeFeatures::credit_baseline());
+        assert_eq!(b.data_waveguides, 256);
+        assert_eq!(b.token_waveguides, 1);
+        assert_eq!(b.handshake_waveguides, 0);
+        assert_eq!(b.table1_rings(), 1024 * 1024);
+        assert_eq!(b.table1_row().3, "1024K");
+    }
+
+    #[test]
+    fn table1_ghs_dhs() {
+        let b = ComponentBudget::for_scheme(dims(), SchemeFeatures::handshake());
+        assert_eq!(b.data_waveguides, 256);
+        assert_eq!(b.token_waveguides, 1);
+        assert_eq!(b.handshake_waveguides, 1);
+        assert_eq!(b.table1_rings(), 1028 * 1024);
+        assert_eq!(b.table1_row().3, "1028K");
+    }
+
+    #[test]
+    fn table1_dhs_circulation() {
+        let b = ComponentBudget::for_scheme(dims(), SchemeFeatures::circulation());
+        assert_eq!(b.handshake_waveguides, 0);
+        assert_eq!(b.reinjection_rings, 16 * 1024);
+        assert_eq!(b.table1_rings(), 1040 * 1024);
+        assert_eq!(b.table1_row().3, "1040K");
+    }
+
+    #[test]
+    fn paper_overhead_percentages() {
+        let base = ComponentBudget::for_scheme(dims(), SchemeFeatures::credit_baseline());
+        let hs = ComponentBudget::for_scheme(dims(), SchemeFeatures::handshake());
+        let cir = ComponentBudget::for_scheme(dims(), SchemeFeatures::circulation());
+        // Paper: handshake adds 0.4 %, circulation 1.5 %.
+        assert!((hs.ring_overhead_vs(&base) - 0.004).abs() < 0.001);
+        assert!((cir.ring_overhead_vs(&base) - 0.015).abs() < 0.002);
+    }
+
+    #[test]
+    fn small_network_fits_one_handshake_waveguide() {
+        let d = NetworkDims {
+            nodes: 16,
+            waveguides_per_channel: 2,
+            wavelengths_per_waveguide: 64,
+        };
+        let b = ComponentBudget::for_scheme(d, SchemeFeatures::handshake());
+        assert_eq!(b.handshake_waveguides, 1);
+        assert_eq!(b.data_waveguides, 32);
+        assert_eq!(b.data_rings, 32 * 64 * 16);
+    }
+
+    #[test]
+    fn big_network_needs_more_handshake_waveguides() {
+        let d = NetworkDims {
+            nodes: 128,
+            waveguides_per_channel: 4,
+            wavelengths_per_waveguide: 64,
+        };
+        assert_eq!(d.handshake_waveguides(), 2);
+        let b = ComponentBudget::for_scheme(d, SchemeFeatures::handshake());
+        assert_eq!(b.handshake_waveguides, 2);
+    }
+
+    #[test]
+    fn channel_width_matches_single_flit_assumption() {
+        // 4 WG × 64 λ = 256 bits per cycle: wide enough that a packet is one flit.
+        assert_eq!(dims().channel_width_bits(), 256);
+    }
+
+    #[test]
+    fn validate_rejects_bad_dims() {
+        let mut d = dims();
+        d.wavelengths_per_waveguide = 500;
+        assert!(d.validate().is_err());
+        d.wavelengths_per_waveguide = 64;
+        d.nodes = 0;
+        assert!(d.validate().is_err());
+    }
+
+    #[test]
+    fn total_rings_include_token() {
+        let b = ComponentBudget::for_scheme(dims(), SchemeFeatures::handshake());
+        assert_eq!(b.total_rings(), b.table1_rings() + 64 * 64);
+    }
+}

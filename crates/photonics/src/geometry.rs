@@ -1,0 +1,118 @@
+//! Die and ring-path geometry.
+//!
+//! The paper evaluates a 400 mm² die at 5 GHz where a nanophotonic link
+//! traversal costs 1–8 cycles depending on sender→receiver distance, and the
+//! full ring round trip is 8 cycles (Corona's figure for 576 mm²). This module
+//! derives ring length and round-trip time from die geometry so that the loss
+//! model (waveguide loss is length-dependent) and the timing model agree.
+
+use serde::{Deserialize, Serialize};
+
+/// Effective group velocity of light in a silicon waveguide, m/s.
+/// (~c / 4.2 group index, the figure behind Corona's 8-cycle round trip.)
+pub const GROUP_VELOCITY_M_PER_S: f64 = 7.14e7;
+
+/// Die geometry from which ring length and timing derive.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct DieGeometry {
+    /// Die area in mm².
+    pub die_area_mm2: f64,
+    /// Network clock in Hz.
+    pub clock_hz: f64,
+    /// Serpentine factor: ratio of actual waveguide path length to the die
+    /// perimeter (layout detours, ring must visit every node).
+    pub path_factor: f64,
+}
+
+impl DieGeometry {
+    /// The paper's evaluation die: 400 mm², 5 GHz.
+    pub fn paper_default() -> Self {
+        Self {
+            die_area_mm2: 400.0,
+            clock_hz: 5e9,
+            path_factor: 1.4,
+        }
+    }
+
+    /// Corona's die: 576 mm², 5 GHz — the configuration whose ring round trip
+    /// is the oft-quoted 8 cycles.
+    pub fn corona() -> Self {
+        Self {
+            die_area_mm2: 576.0,
+            clock_hz: 5e9,
+            path_factor: 1.2,
+        }
+    }
+
+    /// Die edge length in mm (square die assumed).
+    pub fn edge_mm(&self) -> f64 {
+        self.die_area_mm2.sqrt()
+    }
+
+    /// Physical length of the optical ring in mm.
+    pub fn ring_length_mm(&self) -> f64 {
+        4.0 * self.edge_mm() * self.path_factor
+    }
+
+    /// Ring length in cm (the unit loss coefficients use).
+    pub fn ring_length_cm(&self) -> f64 {
+        self.ring_length_mm() / 10.0
+    }
+
+    /// One-way full-ring propagation time in cycles (the round-trip time `R`
+    /// of a unidirectional ring), rounded up to a whole cycle.
+    pub fn round_trip_cycles(&self) -> u64 {
+        let metres = self.ring_length_mm() / 1000.0;
+        let seconds = metres / GROUP_VELOCITY_M_PER_S;
+        (seconds * self.clock_hz).ceil() as u64
+    }
+
+    /// Light travel distance per clock cycle, in mm.
+    pub fn mm_per_cycle(&self) -> f64 {
+        GROUP_VELOCITY_M_PER_S / self.clock_hz * 1000.0
+    }
+}
+
+impl Default for DieGeometry {
+    fn default() -> Self {
+        Self::paper_default()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn corona_round_trip_is_about_8_cycles() {
+        let rt = DieGeometry::corona().round_trip_cycles();
+        assert!((7..=9).contains(&rt), "round trip = {rt}");
+    }
+
+    #[test]
+    fn paper_die_round_trip_is_8_or_less_neighbourhood() {
+        let rt = DieGeometry::paper_default().round_trip_cycles();
+        assert!((6..=10).contains(&rt), "round trip = {rt}");
+    }
+
+    #[test]
+    fn bigger_die_longer_ring() {
+        let small = DieGeometry {
+            die_area_mm2: 100.0,
+            ..DieGeometry::paper_default()
+        };
+        let big = DieGeometry {
+            die_area_mm2: 900.0,
+            ..DieGeometry::paper_default()
+        };
+        assert!(big.ring_length_mm() > small.ring_length_mm());
+        assert!(big.round_trip_cycles() > small.round_trip_cycles());
+    }
+
+    #[test]
+    fn length_units_consistent() {
+        let g = DieGeometry::paper_default();
+        assert!((g.ring_length_cm() * 10.0 - g.ring_length_mm()).abs() < 1e-9);
+        assert!(g.mm_per_cycle() > 0.0);
+    }
+}

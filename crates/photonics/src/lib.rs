@@ -1,0 +1,53 @@
+//! # pnoc-photonics — silicon-photonic component substrate
+//!
+//! Physical-layer models for the nanophotonic ring interconnect of the
+//! handshake paper (§II-A, §IV-C, §V-C):
+//!
+//! * [`wavelength`] — DWDM wavelength grids (up to 128 λ per waveguide, 64
+//!   used per the paper's counting),
+//! * [`waveguide`] — waveguides with length-dependent propagation loss and a
+//!   non-linearity power ceiling,
+//! * [`ring`] — micro-ring resonators (modulator / detector / switch roles)
+//!   and their thermal-tuning requirements,
+//! * [`geometry`] — die and ring-path geometry (die area → ring length →
+//!   round-trip time at 5 GHz),
+//! * [`loss`] — optical loss chains in dB and the laser power a chain implies
+//!   given receiver sensitivity,
+//! * [`budget`] — per-scheme component budgets reproducing **Table I** of the
+//!   paper (waveguide and micro-ring counts for token slot, GHS, DHS and
+//!   DHS-circulation).
+//!
+//! The electrical/power side (tuning watts, conversion energy, router power)
+//! is assembled in `pnoc-power` from the inventories produced here.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod budget;
+pub mod geometry;
+pub mod loss;
+pub mod ring;
+pub mod waveguide;
+pub mod wavelength;
+
+pub use budget::{ComponentBudget, NetworkDims, SchemeFeatures};
+pub use geometry::DieGeometry;
+pub use loss::{LossChain, LossElement};
+pub use ring::{MicroRing, RingRole};
+pub use waveguide::Waveguide;
+pub use wavelength::{Wavelength, WavelengthGrid};
+
+/// Receiver (photodetector) sensitivity assumed by the paper: 10 µW.
+pub const PHOTODETECTOR_SENSITIVITY_W: f64 = 10e-6;
+
+/// Waveguide non-linearity power ceiling: 30 mW (paper §V-C).
+pub const WAVEGUIDE_NONLINEARITY_LIMIT_W: f64 = 30e-3;
+
+/// Energy per E/O or O/E signal conversion: 158 fJ/bit (paper §V-C, \[12\]).
+pub const CONVERSION_ENERGY_J_PER_BIT: f64 = 158e-15;
+
+/// Thermal ring-tuning power: 1 µW per ring per kelvin (paper §V-C, \[13\]).
+pub const RING_TUNING_W_PER_RING_PER_K: f64 = 1e-6;
+
+/// On-die temperature range the rings must be tuned across: 20 K.
+pub const TUNING_TEMPERATURE_RANGE_K: f64 = 20.0;

@@ -1,0 +1,153 @@
+//! Optical loss chains and the laser power they imply.
+//!
+//! Laser power is static: the off-chip laser must deliver enough power that
+//! after every loss element along the worst-case path, each wavelength still
+//! reaches its photodetector above sensitivity (10 µW). This is the model
+//! behind the paper's Fig. 12(a) laser component (following Batten et al. and
+//! Joshi et al., the paper's citations \[12\], \[13\]).
+
+use crate::PHOTODETECTOR_SENSITIVITY_W;
+use serde::{Deserialize, Serialize};
+
+/// One element of a loss chain.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LossElement {
+    /// Human-readable label (appears in power reports).
+    pub name: String,
+    /// Attenuation contributed, in dB (non-negative).
+    pub db: f64,
+}
+
+impl LossElement {
+    /// A named loss contribution.
+    pub fn new(name: impl Into<String>, db: f64) -> Self {
+        assert!(db >= 0.0, "loss cannot be negative");
+        Self { name: name.into(), db }
+    }
+}
+
+/// A worst-case optical path from laser to photodetector.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct LossChain {
+    elements: Vec<LossElement>,
+}
+
+/// Typical per-element loss coefficients (dB), following the silicon-photonic
+/// link budgets in Batten et al. / Joshi et al.
+pub mod coefficients {
+    /// Laser-to-chip coupler.
+    pub const COUPLER_DB: f64 = 1.0;
+    /// Splitter tap per branch.
+    pub const SPLITTER_DB: f64 = 0.2;
+    /// Through-loss per micro-ring physically passed on the waveguide
+    /// (off-resonance rings attenuate weakly; an MWSR data wavelength passes
+    /// `nodes × wavelengths` of them).
+    pub const RING_THROUGH_DB: f64 = 0.003;
+    /// Drop loss into the detector at the destination ring.
+    pub const RING_DROP_DB: f64 = 0.5;
+    /// Modulator insertion loss.
+    pub const MODULATOR_INSERTION_DB: f64 = 1.0;
+    /// Photodetector interface loss.
+    pub const PHOTODETECTOR_DB: f64 = 0.1;
+}
+
+impl LossChain {
+    /// An empty chain.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Append an element, builder-style.
+    pub fn with(mut self, name: impl Into<String>, db: f64) -> Self {
+        self.elements.push(LossElement::new(name, db));
+        self
+    }
+
+    /// The standard worst-case data-channel chain for a ring of
+    /// `ring_length_cm` passing `rings_on_path` off-resonance rings, with
+    /// waveguide loss `wg_db_per_cm`.
+    pub fn data_channel(ring_length_cm: f64, rings_on_path: u64, wg_db_per_cm: f64) -> Self {
+        use coefficients::*;
+        Self::new()
+            .with("coupler", COUPLER_DB)
+            .with("splitter", SPLITTER_DB)
+            .with("modulator insertion", MODULATOR_INSERTION_DB)
+            .with("waveguide propagation", wg_db_per_cm * ring_length_cm)
+            .with("ring through", RING_THROUGH_DB * rings_on_path as f64)
+            .with("ring drop", RING_DROP_DB)
+            .with("photodetector", PHOTODETECTOR_DB)
+    }
+
+    /// Total attenuation (dB).
+    pub fn total_db(&self) -> f64 {
+        self.elements.iter().map(|e| e.db).sum()
+    }
+
+    /// Linear power ratio `P_in / P_out` for this chain.
+    pub fn linear_ratio(&self) -> f64 {
+        10f64.powf(self.total_db() / 10.0)
+    }
+
+    /// Laser power (watts) one wavelength needs at the chip input so the
+    /// detector at the end of this chain still sees its sensitivity floor.
+    pub fn laser_power_per_wavelength_w(&self) -> f64 {
+        PHOTODETECTOR_SENSITIVITY_W * self.linear_ratio()
+    }
+
+    /// The chain's elements (for reporting).
+    pub fn elements(&self) -> &[LossElement] {
+        &self.elements
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn total_is_sum() {
+        let c = LossChain::new().with("a", 1.0).with("b", 2.5);
+        assert!((c.total_db() - 3.5).abs() < 1e-12);
+        assert_eq!(c.elements().len(), 2);
+    }
+
+    #[test]
+    fn ten_db_is_ratio_ten() {
+        let c = LossChain::new().with("x", 10.0);
+        assert!((c.linear_ratio() - 10.0).abs() < 1e-9);
+        assert!((c.laser_power_per_wavelength_w() - 100e-6).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_chain_is_lossless() {
+        let c = LossChain::new();
+        assert_eq!(c.total_db(), 0.0);
+        assert!((c.linear_ratio() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn data_channel_chain_is_plausible() {
+        // ~11 cm ring, 64 nodes × 64 λ = 4096 rings passed, 0.3 dB/cm.
+        let c = LossChain::data_channel(11.2, 4096, 0.3);
+        let db = c.total_db();
+        assert!(
+            (10.0..25.0).contains(&db),
+            "data-channel worst-case loss should be ~15-20 dB, got {db}"
+        );
+        // Laser per λ should be well under the 30 mW waveguide ceiling.
+        assert!(c.laser_power_per_wavelength_w() < 5e-3);
+    }
+
+    #[test]
+    fn more_rings_more_loss() {
+        let few = LossChain::data_channel(8.0, 10, 0.3).total_db();
+        let many = LossChain::data_channel(8.0, 1000, 0.3).total_db();
+        assert!(many > few);
+    }
+
+    #[test]
+    #[should_panic]
+    fn negative_loss_rejected() {
+        LossElement::new("bad", -1.0);
+    }
+}

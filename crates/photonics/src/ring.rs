@@ -1,0 +1,73 @@
+//! Micro-ring resonators.
+//!
+//! Micro-rings tuned to a wavelength modulate, detect, or divert light (paper
+//! §II-A). Each physical ring contributes optical *through loss* to every
+//! wavelength passing it and draws thermal-tuning power; the per-scheme ring
+//! inventories (Table I) are assembled in [`crate::budget`].
+
+use crate::{RING_TUNING_W_PER_RING_PER_K, TUNING_TEMPERATURE_RANGE_K};
+use serde::{Deserialize, Serialize};
+
+/// What a micro-ring does on its waveguide.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum RingRole {
+    /// Imprints an electrical bit stream onto a passing laser wavelength.
+    Modulator,
+    /// Couples a wavelength out of the waveguide onto a photodetector.
+    Detector,
+    /// Switches a wavelength from one waveguide to another.
+    Switch,
+}
+
+/// A micro-ring resonator tuned to one wavelength.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct MicroRing {
+    /// Function of this ring.
+    pub role: RingRole,
+    /// Grid index of the wavelength this ring is tuned to.
+    pub wavelength_index: u32,
+}
+
+impl MicroRing {
+    /// Thermal tuning power for one ring across the assumed on-die
+    /// temperature range (1 µW/ring/K × 20 K = 20 µW).
+    pub fn tuning_power_w() -> f64 {
+        RING_TUNING_W_PER_RING_PER_K * TUNING_TEMPERATURE_RANGE_K
+    }
+
+    /// Whether this ring performs an O/E or E/O conversion when active
+    /// (switch rings divert light without conversion).
+    pub fn converts_signal(&self) -> bool {
+        matches!(self.role, RingRole::Modulator | RingRole::Detector)
+    }
+}
+
+/// Aggregate tuning power for a population of rings, in watts.
+pub fn tuning_power_w(ring_count: u64) -> f64 {
+    ring_count as f64 * MicroRing::tuning_power_w()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn per_ring_tuning_power_is_20_microwatts() {
+        assert!((MicroRing::tuning_power_w() - 20e-6).abs() < 1e-12);
+    }
+
+    #[test]
+    fn million_rings_cost_about_21_watts() {
+        // The paper's 64-node network has ~1.04M rings; tuning should land
+        // near 21 W, which Fig. 12(a) shows as a dominant component.
+        let p = tuning_power_w(1_048_576);
+        assert!((20.0..22.0).contains(&p), "tuning power = {p} W");
+    }
+
+    #[test]
+    fn conversion_roles() {
+        assert!(MicroRing { role: RingRole::Modulator, wavelength_index: 0 }.converts_signal());
+        assert!(MicroRing { role: RingRole::Detector, wavelength_index: 0 }.converts_signal());
+        assert!(!MicroRing { role: RingRole::Switch, wavelength_index: 0 }.converts_signal());
+    }
+}

@@ -1,0 +1,93 @@
+//! Waveguides.
+//!
+//! Light travels unidirectionally in on-chip waveguides with low but
+//! length-dependent loss; a non-linearity ceiling caps how much optical power
+//! one waveguide may carry (30 mW, paper §V-C). A [`Waveguide`] couples a
+//! physical length with a wavelength grid and a propagation-loss coefficient.
+
+use crate::wavelength::WavelengthGrid;
+use crate::WAVEGUIDE_NONLINEARITY_LIMIT_W;
+use serde::{Deserialize, Serialize};
+
+/// Default propagation loss per centimetre of silicon waveguide, in dB.
+/// (Monolithic silicon photonics figures range 0.3–1 dB/cm; Batten et al.
+/// assume the low end for optimized process.)
+pub const DEFAULT_PROPAGATION_LOSS_DB_PER_CM: f64 = 0.3;
+
+/// One unidirectional on-chip waveguide.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Waveguide {
+    /// Physical length in cm.
+    pub length_cm: f64,
+    /// Wavelengths multiplexed on this waveguide.
+    pub grid: WavelengthGrid,
+    /// Propagation loss coefficient, dB/cm.
+    pub loss_db_per_cm: f64,
+}
+
+impl Waveguide {
+    /// A waveguide of `length_cm` carrying `grid`, with the default loss
+    /// coefficient.
+    pub fn new(length_cm: f64, grid: WavelengthGrid) -> Self {
+        assert!(length_cm >= 0.0, "length cannot be negative");
+        Self {
+            length_cm,
+            grid,
+            loss_db_per_cm: DEFAULT_PROPAGATION_LOSS_DB_PER_CM,
+        }
+    }
+
+    /// Propagation loss over a travelled distance (dB). Distances longer than
+    /// the waveguide are legal for rings (multiple loops).
+    pub fn propagation_loss_db(&self, distance_cm: f64) -> f64 {
+        assert!(distance_cm >= 0.0);
+        self.loss_db_per_cm * distance_cm
+    }
+
+    /// Loss over the full length (dB).
+    pub fn full_length_loss_db(&self) -> f64 {
+        self.propagation_loss_db(self.length_cm)
+    }
+
+    /// Maximum optical input power this waveguide may carry without
+    /// non-linear distortion, in watts.
+    pub fn power_ceiling_w(&self) -> f64 {
+        WAVEGUIDE_NONLINEARITY_LIMIT_W
+    }
+
+    /// Whether `input_power_w` (total across all wavelengths) respects the
+    /// non-linearity ceiling.
+    pub fn power_ok(&self, input_power_w: f64) -> bool {
+        input_power_w <= self.power_ceiling_w()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn wg() -> Waveguide {
+        Waveguide::new(8.0, WavelengthGrid::standard64())
+    }
+
+    #[test]
+    fn loss_scales_with_length() {
+        let w = wg();
+        assert!((w.propagation_loss_db(1.0) - 0.3).abs() < 1e-12);
+        assert!((w.full_length_loss_db() - 2.4).abs() < 1e-12);
+        assert_eq!(w.propagation_loss_db(0.0), 0.0);
+    }
+
+    #[test]
+    fn power_ceiling_is_30_milliwatts() {
+        let w = wg();
+        assert!(w.power_ok(0.03));
+        assert!(!w.power_ok(0.031));
+    }
+
+    #[test]
+    #[should_panic]
+    fn negative_length_rejected() {
+        Waveguide::new(-1.0, WavelengthGrid::standard64());
+    }
+}

@@ -1,0 +1,106 @@
+//! DWDM wavelengths and wavelength grids.
+//!
+//! With dense wavelength-division multiplexing, up to 128 wavelengths can be
+//! generated and carried per waveguide (paper §II-A, citing Zhang & Louri).
+//! The paper's component accounting (§IV-C) uses 64 wavelengths per waveguide,
+//! which is also the channel width that lets a 64-node network fit all
+//! handshake bits on a single extra waveguide.
+
+use serde::{Deserialize, Serialize};
+
+/// Physical upper bound on DWDM channels per waveguide.
+pub const MAX_DWDM_WAVELENGTHS: u32 = 128;
+
+/// ITU-style C-band anchor used to synthesize nominal wavelengths (nm).
+const BASE_NM: f64 = 1550.0;
+/// Nominal DWDM grid spacing (nm) — ~100 GHz at 1550 nm.
+const SPACING_NM: f64 = 0.8;
+
+/// One DWDM wavelength, identified by its index on the grid.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Wavelength(pub u32);
+
+impl Wavelength {
+    /// Nominal free-space wavelength in nanometres for this grid slot.
+    pub fn nanometres(self) -> f64 {
+        BASE_NM + self.0 as f64 * SPACING_NM
+    }
+}
+
+/// A contiguous block of DWDM wavelengths assigned to one waveguide.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct WavelengthGrid {
+    count: u32,
+}
+
+impl WavelengthGrid {
+    /// A grid of `count` wavelengths. Panics if the count exceeds the DWDM
+    /// limit or is zero.
+    pub fn new(count: u32) -> Self {
+        assert!(count > 0, "a waveguide carries at least one wavelength");
+        assert!(
+            count <= MAX_DWDM_WAVELENGTHS,
+            "DWDM supports at most {MAX_DWDM_WAVELENGTHS} wavelengths per waveguide, got {count}"
+        );
+        Self { count }
+    }
+
+    /// The paper's standard 64-wavelength grid.
+    pub fn standard64() -> Self {
+        Self::new(64)
+    }
+
+    /// Number of wavelengths on the grid.
+    pub fn count(&self) -> u32 {
+        self.count
+    }
+
+    /// Iterate the wavelengths.
+    pub fn iter(&self) -> impl Iterator<Item = Wavelength> + '_ {
+        (0..self.count).map(Wavelength)
+    }
+
+    /// Bits transferable per cycle on this grid (1 bit per λ per cycle).
+    pub fn bits_per_cycle(&self) -> u32 {
+        self.count
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn standard_grid_is_64() {
+        let g = WavelengthGrid::standard64();
+        assert_eq!(g.count(), 64);
+        assert_eq!(g.bits_per_cycle(), 64);
+        assert_eq!(g.iter().count(), 64);
+    }
+
+    #[test]
+    fn wavelengths_are_distinct_and_ordered() {
+        let g = WavelengthGrid::new(8);
+        let nm: Vec<f64> = g.iter().map(|w| w.nanometres()).collect();
+        for pair in nm.windows(2) {
+            assert!(pair[1] > pair[0]);
+        }
+    }
+
+    #[test]
+    #[should_panic]
+    fn grid_rejects_zero() {
+        WavelengthGrid::new(0);
+    }
+
+    #[test]
+    #[should_panic]
+    fn grid_rejects_beyond_dwdm_limit() {
+        WavelengthGrid::new(MAX_DWDM_WAVELENGTHS + 1);
+    }
+
+    #[test]
+    fn max_grid_allowed() {
+        assert_eq!(WavelengthGrid::new(128).count(), 128);
+    }
+}

@@ -1,0 +1,84 @@
+//! Property tests for the photonic substrate: component budgets must scale
+//! sanely with network dimensions and loss chains must stay physical.
+
+use pnoc_photonics::budget::SchemeFeatures;
+use pnoc_photonics::loss::LossChain;
+use pnoc_photonics::{ComponentBudget, NetworkDims};
+use proptest::prelude::*;
+
+fn arb_dims() -> impl Strategy<Value = NetworkDims> {
+    (2u64..=128, 1u64..=8, 1u64..=128).prop_map(|(nodes, wg, lambda)| NetworkDims {
+        nodes,
+        waveguides_per_channel: wg,
+        wavelengths_per_waveguide: lambda,
+    })
+}
+
+proptest! {
+    /// Data-ring count is exactly waveguides × wavelengths × nodes, and the
+    /// per-feature increments are always non-negative and ordered:
+    /// baseline ≤ handshake, baseline ≤ circulation.
+    #[test]
+    fn budget_scaling_and_ordering(dims in arb_dims()) {
+        prop_assume!(dims.validate().is_ok());
+        let base = ComponentBudget::for_scheme(dims, SchemeFeatures::credit_baseline());
+        let hs = ComponentBudget::for_scheme(dims, SchemeFeatures::handshake());
+        let cir = ComponentBudget::for_scheme(dims, SchemeFeatures::circulation());
+
+        prop_assert_eq!(
+            base.data_rings,
+            dims.nodes * dims.waveguides_per_channel * dims.wavelengths_per_waveguide * dims.nodes
+        );
+        prop_assert_eq!(base.handshake_waveguides, 0);
+        prop_assert!(hs.handshake_waveguides >= 1);
+        prop_assert_eq!(cir.handshake_waveguides, 0);
+        prop_assert!(hs.table1_rings() > base.table1_rings());
+        prop_assert!(cir.table1_rings() > base.table1_rings());
+        prop_assert!(hs.ring_overhead_vs(&base) > 0.0);
+        prop_assert!(cir.ring_overhead_vs(&base) > 0.0);
+        // The handshake overhead shrinks as channels widen (fixed 1 λ/node
+        // cost vs growing data rings) — the paper's 0.4 % at full width.
+        prop_assert!(hs.ring_overhead_vs(&base) <= 1.0);
+    }
+
+    /// Bigger networks never need fewer handshake waveguides.
+    #[test]
+    fn handshake_waveguides_monotone_in_nodes(
+        small_nodes in 2u64..=64,
+        extra in 1u64..=64,
+        lambda in 1u64..=128,
+    ) {
+        let mk = |nodes| NetworkDims {
+            nodes,
+            waveguides_per_channel: 4,
+            wavelengths_per_waveguide: lambda,
+        };
+        prop_assert!(
+            mk(small_nodes + extra).handshake_waveguides()
+                >= mk(small_nodes).handshake_waveguides()
+        );
+    }
+
+    /// Loss chains: total dB is additive, the linear ratio is ≥ 1 and
+    /// monotone, and laser power is monotone in every knob.
+    #[test]
+    fn loss_chain_monotonicity(
+        length_cm in 0.0f64..50.0,
+        rings in 0u64..100_000,
+        extra_rings in 1u64..10_000,
+        coeff in 0.01f64..1.0,
+    ) {
+        let base = LossChain::data_channel(length_cm, rings, coeff);
+        prop_assert!(base.linear_ratio() >= 1.0);
+        let more_rings = LossChain::data_channel(length_cm, rings + extra_rings, coeff);
+        prop_assert!(more_rings.total_db() > base.total_db());
+        prop_assert!(
+            more_rings.laser_power_per_wavelength_w() > base.laser_power_per_wavelength_w()
+        );
+        let longer = LossChain::data_channel(length_cm + 1.0, rings, coeff);
+        prop_assert!(longer.total_db() > base.total_db());
+        // dB additivity: chains compose by summing elements.
+        let sum: f64 = base.elements().iter().map(|e| e.db).sum();
+        prop_assert!((sum - base.total_db()).abs() < 1e-9);
+    }
+}

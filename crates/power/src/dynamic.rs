@@ -1,0 +1,65 @@
+//! Dynamic E/O and O/E conversion power (158 fJ/bit, paper §V-C).
+
+use pnoc_photonics::CONVERSION_ENERGY_J_PER_BIT;
+use serde::Serialize;
+
+/// Converts measured transmission activity into conversion power.
+#[derive(Debug, Clone, Copy, Serialize)]
+pub struct ConversionModel {
+    /// Bits per single-flit packet (channel width; paper: 256).
+    pub bits_per_flit: u64,
+    /// Network clock, Hz.
+    pub clock_hz: f64,
+    /// Energy per converted bit, joules.
+    pub energy_per_bit_j: f64,
+}
+
+impl ConversionModel {
+    /// The paper's configuration: 256-bit flits at 5 GHz, 158 fJ/b.
+    pub fn paper_default() -> Self {
+        Self {
+            bits_per_flit: 256,
+            clock_hz: 5e9,
+            energy_per_bit_j: CONVERSION_ENERGY_J_PER_BIT,
+        }
+    }
+
+    /// Energy of one conversion (E/O *or* O/E) of one flit, joules.
+    pub fn energy_per_flit_j(&self) -> f64 {
+        self.bits_per_flit as f64 * self.energy_per_bit_j
+    }
+
+    /// E/O power given `sends_per_cycle` flits modulated per cycle
+    /// (retransmissions included; circulation's passive reinjection imprints
+    /// onto the existing beam and is *not* billed — the paper's point that
+    /// circulation has nearly no energy overhead).
+    pub fn eo_power_w(&self, sends_per_cycle: f64) -> f64 {
+        sends_per_cycle * self.clock_hz * self.energy_per_flit_j()
+    }
+
+    /// O/E power given `receives_per_cycle` flits detected per cycle.
+    pub fn oe_power_w(&self, receives_per_cycle: f64) -> f64 {
+        receives_per_cycle * self.clock_hz * self.energy_per_flit_j()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn per_flit_energy() {
+        let m = ConversionModel::paper_default();
+        // 256 bits × 158 fJ ≈ 40.4 pJ.
+        assert!((m.energy_per_flit_j() - 40.448e-12).abs() < 1e-15);
+    }
+
+    #[test]
+    fn power_scales_with_activity() {
+        let m = ConversionModel::paper_default();
+        let p1 = m.eo_power_w(1.0); // one flit per cycle at 5 GHz
+        assert!((p1 - 0.2022).abs() < 0.01, "1 flit/cycle ≈ 0.2 W, got {p1}");
+        assert!((m.eo_power_w(32.0) - 32.0 * p1).abs() < 1e-9);
+        assert_eq!(m.oe_power_w(0.0), 0.0);
+    }
+}

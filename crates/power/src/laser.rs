@@ -1,0 +1,171 @@
+//! Laser and thermal-tuning (static) power.
+//!
+//! The off-chip laser must be provisioned so the *worst-case* wavelength
+//! still reaches its photodetector above sensitivity. Per the paper's §V-C,
+//! schemes with global arbitration pay more: the single shared token is
+//! relayed around the ring without regeneration at the home, so its
+//! wavelength is provisioned for a double loop, and a token-channel token
+//! additionally carries the credit count (⌈log₂(credits+1)⌉ bits) instead of
+//! GHS's bare 1-bit token.
+
+use pnoc_noc::Scheme;
+use pnoc_photonics::geometry::DieGeometry;
+use pnoc_photonics::loss::LossChain;
+use pnoc_photonics::ring::tuning_power_w;
+use pnoc_photonics::{ComponentBudget, NetworkDims};
+use serde::Serialize;
+
+/// Default wall-plug efficiency of the off-chip laser source.
+pub const LASER_WALL_PLUG_EFFICIENCY: f64 = 0.30;
+
+/// Static optical power model for one network configuration.
+#[derive(Debug, Clone, Serialize)]
+pub struct LaserModel {
+    /// Die/ring geometry.
+    pub die: DieGeometry,
+    /// Network dimensions.
+    pub dims: NetworkDims,
+    /// Wall-plug efficiency (electrical → optical).
+    pub efficiency: f64,
+}
+
+impl LaserModel {
+    /// Model with the paper's defaults.
+    pub fn paper_default() -> Self {
+        Self {
+            die: DieGeometry::paper_default(),
+            dims: NetworkDims::paper_default(),
+            efficiency: LASER_WALL_PLUG_EFFICIENCY,
+        }
+    }
+
+    /// Worst-case loss chain for a data wavelength: it traverses the full
+    /// ring passing every ring resonator on its waveguide.
+    pub fn data_chain(&self) -> LossChain {
+        let rings_on_waveguide = self.dims.nodes * self.dims.wavelengths_per_waveguide;
+        LossChain::data_channel(
+            self.die.ring_length_cm(),
+            rings_on_waveguide,
+            pnoc_photonics::waveguide::DEFAULT_PROPAGATION_LOSS_DB_PER_CM,
+        )
+    }
+
+    /// Loss chain for an arbitration-token wavelength. Global tokens are
+    /// provisioned for `loops` ring traversals (2 for the relayed global
+    /// token, 1 for distributed tokens that die at the home).
+    pub fn token_chain(&self, loops: u64) -> LossChain {
+        let rings = self.dims.nodes * loops; // one token ring per node per loop
+        LossChain::data_channel(
+            self.die.ring_length_cm() * loops as f64,
+            rings,
+            pnoc_photonics::waveguide::DEFAULT_PROPAGATION_LOSS_DB_PER_CM,
+        )
+    }
+
+    /// Wall-plug laser power (watts) for `scheme`.
+    pub fn laser_power_w(&self, scheme: Scheme) -> f64 {
+        let data_lambdas = (self.dims.nodes
+            * self.dims.waveguides_per_channel
+            * self.dims.wavelengths_per_waveguide) as f64;
+        let per_data = self.data_chain().laser_power_per_wavelength_w();
+        let mut optical = data_lambdas * per_data;
+
+        // Arbitration-token wavelengths.
+        let (token_loops, token_bits) = match scheme {
+            Scheme::TokenChannel => {
+                // credits fit in ⌈log2(B+1)⌉ bits; B is not known here, the
+                // paper's 8 credits → 4 bits.
+                (2u64, 4u64)
+            }
+            Scheme::Ghs { .. } => (2, 1),
+            Scheme::TokenSlot | Scheme::Dhs { .. } | Scheme::DhsCirculation => (1, 1),
+        };
+        let token_lambdas = (self.dims.nodes * token_bits) as f64;
+        optical += token_lambdas * self.token_chain(token_loops).laser_power_per_wavelength_w();
+
+        // Handshake wavelengths: one per node, single loop.
+        if scheme.uses_handshake() {
+            let hs_lambdas = self.dims.nodes as f64;
+            optical += hs_lambdas * self.token_chain(1).laser_power_per_wavelength_w();
+        }
+        optical / self.efficiency
+    }
+
+    /// Thermal tuning ("heating") power for `scheme`, in watts: every ring
+    /// on the die must hold resonance across the temperature range.
+    pub fn heating_power_w(&self, scheme: Scheme) -> f64 {
+        let budget = ComponentBudget::for_scheme(self.dims, scheme.features());
+        tuning_power_w(budget.total_rings())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn model() -> LaserModel {
+        LaserModel::paper_default()
+    }
+
+    #[test]
+    fn laser_power_in_paper_ballpark() {
+        // Fig. 12(a): laser is a dominant, tens-of-watts component.
+        for scheme in Scheme::paper_set(8) {
+            let p = model().laser_power_w(scheme);
+            assert!(
+                (10.0..80.0).contains(&p),
+                "{scheme:?}: laser power {p} W outside plausible band"
+            );
+        }
+    }
+
+    #[test]
+    fn global_arbitration_costs_more_laser() {
+        let m = model();
+        let tc = m.laser_power_w(Scheme::TokenChannel);
+        let ghs = m.laser_power_w(Scheme::Ghs { setaside: 8 });
+        let ts = m.laser_power_w(Scheme::TokenSlot);
+        let dhs = m.laser_power_w(Scheme::Dhs { setaside: 8 });
+        assert!(tc > ghs, "credit-carrying token beats GHS's 1-bit token");
+        assert!(ghs > dhs, "global token (2 loops) beats distributed");
+        assert!(ts < dhs, "token slot lacks the handshake waveguide");
+    }
+
+    #[test]
+    fn token_slot_is_cheapest() {
+        // Paper: "Among all the schemes, token slot has the lowest power
+        // consumption because the handshake schemes add additional handshake
+        // waveguides."
+        let m = model();
+        let ts = m.laser_power_w(Scheme::TokenSlot) + m.heating_power_w(Scheme::TokenSlot);
+        for scheme in Scheme::paper_set(8) {
+            if scheme == Scheme::TokenSlot {
+                continue;
+            }
+            let p = m.laser_power_w(scheme) + m.heating_power_w(scheme);
+            assert!(ts <= p, "{scheme:?} should not be cheaper than token slot");
+        }
+    }
+
+    #[test]
+    fn handshake_overhead_is_negligible() {
+        // Paper: the handshake waveguide's power overhead is negligible.
+        let m = model();
+        let ts = m.laser_power_w(Scheme::TokenSlot);
+        let dhs = m.laser_power_w(Scheme::Dhs { setaside: 8 });
+        assert!((dhs - ts) / ts < 0.05, "handshake laser overhead should be <5%");
+        let heat_ts = m.heating_power_w(Scheme::TokenSlot);
+        let heat_dhs = m.heating_power_w(Scheme::Dhs { setaside: 8 });
+        assert!((heat_dhs - heat_ts) / heat_ts < 0.01);
+    }
+
+    #[test]
+    fn heating_tracks_ring_count() {
+        let m = model();
+        let cir = m.heating_power_w(Scheme::DhsCirculation);
+        let ts = m.heating_power_w(Scheme::TokenSlot);
+        assert!(cir > ts, "circulation adds reinjection rings");
+        // ~1.05M rings × 20 µW ≈ 21 W.
+        assert!((19.0..23.0).contains(&ts), "heating {ts} W");
+    }
+}

@@ -1,0 +1,34 @@
+//! # pnoc-power — power and energy models
+//!
+//! Reproduces the paper's §V-C power methodology (Fig. 12):
+//!
+//! * **Laser power** (static, dominant): computed from the worst-case optical
+//!   loss chain per wavelength — coupler, modulator insertion, waveguide
+//!   propagation (length-dependent), through-loss of every ring the
+//!   wavelength passes, drop loss, photodetector — multiplied up from the
+//!   10 µW receiver sensitivity and divided by wall-plug efficiency
+//!   ([`laser`]).
+//! * **Ring tuning (heating) power** (static, dominant): 1 µW/ring/K over a
+//!   20 K range, across the full ring inventory of [`pnoc_photonics::budget`]
+//!   (`pnoc_photonics::ring::tuning_power_w` via the [`laser`] model).
+//! * **E/O and O/E conversion power** (dynamic): 158 fJ/bit per conversion,
+//!   driven by the simulator's measured transmission activity ([`dynamic`]).
+//! * **Electrical router power**: an Orion-2.0-style decomposition into
+//!   buffer read/write, crossbar, arbitration and static components
+//!   ([`orion`]).
+//!
+//! [`report::PowerReport`] assembles the Fig. 12(a) breakdown and the
+//! Fig. 12(b) energy-per-packet figure for any scheme + measured activity.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod dynamic;
+pub mod laser;
+pub mod orion;
+pub mod report;
+
+pub use dynamic::ConversionModel;
+pub use laser::LaserModel;
+pub use orion::RouterPowerModel;
+pub use report::{ActivityProfile, PowerBreakdown, PowerReport};

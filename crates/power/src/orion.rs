@@ -1,0 +1,86 @@
+//! Orion-2.0-style electrical router power.
+//!
+//! The paper estimates electrical router power with Orion 2.0 \[23\]. We
+//! implement the same decomposition — per-event buffer write/read, crossbar
+//! traversal and arbitration energies plus a static (clock + leakage)
+//! component per router — with coefficients in the published ballpark for a
+//! 32 nm, 5 GHz, 2-stage concentrated router. The Fig. 12 conclusions depend
+//! only on router power being a small, scheme-independent slice next to the
+//! optical static power, which this preserves (DESIGN.md, substitution #3).
+
+use serde::Serialize;
+
+/// Per-event energies and static power for one electrical router.
+#[derive(Debug, Clone, Copy, Serialize)]
+pub struct RouterPowerModel {
+    /// Buffer write energy per flit, joules.
+    pub e_buffer_write_j: f64,
+    /// Buffer read energy per flit, joules.
+    pub e_buffer_read_j: f64,
+    /// Crossbar traversal energy per flit, joules.
+    pub e_crossbar_j: f64,
+    /// Arbitration energy per flit, joules.
+    pub e_arbitration_j: f64,
+    /// Static (clock tree + leakage) power per router, watts.
+    pub p_static_w: f64,
+    /// Network clock, Hz.
+    pub clock_hz: f64,
+}
+
+impl RouterPowerModel {
+    /// 32 nm / 5 GHz coefficients for a 256-bit, 2-stage router.
+    pub fn paper_default() -> Self {
+        Self {
+            e_buffer_write_j: 2.0e-12,
+            e_buffer_read_j: 1.5e-12,
+            e_crossbar_j: 3.0e-12,
+            e_arbitration_j: 0.5e-12,
+            p_static_w: 0.06,
+            clock_hz: 5e9,
+        }
+    }
+
+    /// Energy of one flit passing through one router (write + read +
+    /// crossbar + arbitration).
+    pub fn energy_per_flit_j(&self) -> f64 {
+        self.e_buffer_write_j + self.e_buffer_read_j + self.e_crossbar_j + self.e_arbitration_j
+    }
+
+    /// Total router power: `routers` routers with `flit_hops_per_cycle`
+    /// aggregate flit-router traversals per cycle (each packet crosses two
+    /// routers: inject + eject).
+    pub fn power_w(&self, routers: usize, flit_hops_per_cycle: f64) -> f64 {
+        self.p_static_w * routers as f64
+            + flit_hops_per_cycle * self.clock_hz * self.energy_per_flit_j()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn static_floor() {
+        let m = RouterPowerModel::paper_default();
+        let idle = m.power_w(64, 0.0);
+        assert!((idle - 64.0 * 0.06).abs() < 1e-9);
+        assert!((3.0..6.0).contains(&idle), "64 idle routers ≈ 4 W");
+    }
+
+    #[test]
+    fn dynamic_adds_with_activity() {
+        let m = RouterPowerModel::paper_default();
+        let idle = m.power_w(64, 0.0);
+        // Near saturation: 64 channels × 1 flit/cycle × 2 router hops.
+        let busy = m.power_w(64, 128.0);
+        assert!(busy > idle);
+        // Total router power stays a small slice (≲ 15 W) next to ~50 W optical.
+        assert!(busy < 70.0 * 0.25, "router power {busy} W too large");
+    }
+
+    #[test]
+    fn per_flit_energy_sums_components() {
+        let m = RouterPowerModel::paper_default();
+        assert!((m.energy_per_flit_j() - 7e-12).abs() < 1e-15);
+    }
+}

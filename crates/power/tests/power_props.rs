@@ -1,0 +1,83 @@
+//! Property tests for the power models: physical monotonicity and the
+//! scheme orderings Fig. 12 depends on must hold for *any* activity level.
+
+use pnoc_noc::Scheme;
+use pnoc_power::{ActivityProfile, PowerReport};
+use proptest::prelude::*;
+
+fn arb_activity() -> impl Strategy<Value = ActivityProfile> {
+    (0.0f64..64.0, 0.0f64..64.0, 0.0f64..128.0, 0.001f64..64.0).prop_map(
+        |(sends, receives, hops, delivered)| ActivityProfile {
+            sends_per_cycle: sends,
+            receives_per_cycle: receives,
+            router_hops_per_cycle: hops,
+            delivered_per_cycle: delivered,
+        },
+    )
+}
+
+fn arb_scheme() -> impl Strategy<Value = Scheme> {
+    prop_oneof![
+        Just(Scheme::TokenChannel),
+        Just(Scheme::TokenSlot),
+        Just(Scheme::Ghs { setaside: 8 }),
+        Just(Scheme::Dhs { setaside: 8 }),
+        Just(Scheme::DhsCirculation),
+    ]
+}
+
+proptest! {
+    /// Every component is non-negative; static power is activity-independent;
+    /// dynamic power is monotone in activity.
+    #[test]
+    fn breakdown_is_physical(scheme in arb_scheme(), act in arb_activity()) {
+        let rep = PowerReport::paper_default();
+        let b = rep.breakdown(scheme, &act);
+        prop_assert!(b.laser_w > 0.0);
+        prop_assert!(b.heating_w > 0.0);
+        prop_assert!(b.eo_w >= 0.0 && b.oe_w >= 0.0 && b.router_w > 0.0);
+        prop_assert!(b.total_w() >= b.laser_w + b.heating_w);
+
+        let mut busier = act;
+        busier.sends_per_cycle += 1.0;
+        busier.receives_per_cycle += 1.0;
+        busier.router_hops_per_cycle += 2.0;
+        let b2 = rep.breakdown(scheme, &busier);
+        prop_assert!(b2.total_w() > b.total_w());
+        prop_assert!((b2.laser_w - b.laser_w).abs() < 1e-12, "laser is static");
+        prop_assert!((b2.heating_w - b.heating_w).abs() < 1e-12, "heating is static");
+    }
+
+    /// Fig. 12 orderings hold at any activity: token slot is the cheapest
+    /// scheme and the token channel burns the most laser.
+    #[test]
+    fn scheme_orderings_hold_for_any_activity(act in arb_activity()) {
+        let rep = PowerReport::paper_default();
+        let ts = rep.breakdown(Scheme::TokenSlot, &act).total_w();
+        for scheme in [
+            Scheme::TokenChannel,
+            Scheme::Ghs { setaside: 8 },
+            Scheme::Dhs { setaside: 8 },
+            Scheme::DhsCirculation,
+        ] {
+            prop_assert!(rep.breakdown(scheme, &act).total_w() >= ts - 1e-9);
+        }
+        let tc_laser = rep.breakdown(Scheme::TokenChannel, &act).laser_w;
+        let ghs_laser = rep.breakdown(Scheme::Ghs { setaside: 8 }, &act).laser_w;
+        prop_assert!(tc_laser > ghs_laser, "credit token costs more laser than 1-bit token");
+    }
+
+    /// Energy per packet is inversely monotone in delivery rate (static power
+    /// amortizes) and always positive.
+    #[test]
+    fn energy_per_packet_amortizes(act in arb_activity(), scale in 1.1f64..10.0) {
+        let rep = PowerReport::paper_default();
+        let scheme = Scheme::Dhs { setaside: 8 };
+        let e1 = rep.energy_per_packet_j(scheme, &act);
+        prop_assert!(e1 > 0.0);
+        let mut denser = act;
+        denser.delivered_per_cycle *= scale;
+        let e2 = rep.energy_per_packet_j(scheme, &denser);
+        prop_assert!(e2 < e1, "more packets must amortize static power");
+    }
+}

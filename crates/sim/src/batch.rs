@@ -1,0 +1,176 @@
+//! Batch-means confidence intervals for steady-state simulation output.
+//!
+//! Latency observations from a single simulation run are autocorrelated
+//! (consecutive packets share queue state), so the naive standard error is
+//! too optimistic. The batch-means method groups consecutive observations
+//! into `k` batches, treats batch means as approximately independent, and
+//! builds a confidence interval from their variance — the standard
+//! methodology for steady-state NoC measurements.
+
+use crate::stats::Running;
+use serde::{Deserialize, Serialize};
+
+/// Two-sided 95 % t-distribution quantiles for small degrees of freedom;
+/// indexed by `df - 1`, falling back to the normal 1.96 beyond the table.
+const T_95: [f64; 30] = [
+    12.706, 4.303, 3.182, 2.776, 2.571, 2.447, 2.365, 2.306, 2.262, 2.228, 2.201, 2.179, 2.160,
+    2.145, 2.131, 2.120, 2.110, 2.101, 2.093, 2.086, 2.080, 2.074, 2.069, 2.064, 2.060, 2.056,
+    2.052, 2.048, 2.045, 2.042,
+];
+
+fn t_quantile_95(df: usize) -> f64 {
+    if df == 0 {
+        f64::NAN
+    } else if df <= T_95.len() {
+        T_95[df - 1]
+    } else {
+        1.96
+    }
+}
+
+/// Streaming batch-means accumulator.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct BatchMeans {
+    batch_size: u64,
+    current: Running,
+    batch_means: Vec<f64>,
+    overall: Running,
+}
+
+impl BatchMeans {
+    /// Accumulator with `batch_size` observations per batch.
+    pub fn new(batch_size: u64) -> Self {
+        assert!(batch_size > 0, "batch size must be positive");
+        Self {
+            batch_size,
+            current: Running::new(),
+            batch_means: Vec::new(),
+            overall: Running::new(),
+        }
+    }
+
+    /// Record one observation.
+    pub fn record(&mut self, x: f64) {
+        self.overall.record(x);
+        self.current.record(x);
+        if self.current.count() == self.batch_size {
+            self.batch_means.push(self.current.mean());
+            self.current = Running::new();
+        }
+    }
+
+    /// Total observations recorded.
+    pub fn count(&self) -> u64 {
+        self.overall.count()
+    }
+
+    /// Completed batches.
+    pub fn batches(&self) -> usize {
+        self.batch_means.len()
+    }
+
+    /// Overall mean of all observations.
+    pub fn mean(&self) -> f64 {
+        self.overall.mean()
+    }
+
+    /// Half-width of the 95 % confidence interval on the mean, from the
+    /// variance of batch means. `NaN` with fewer than two complete batches.
+    pub fn ci95_half_width(&self) -> f64 {
+        let k = self.batch_means.len();
+        if k < 2 {
+            return f64::NAN;
+        }
+        let mut r = Running::new();
+        for &m in &self.batch_means {
+            r.record(m);
+        }
+        // Sample variance of batch means.
+        let var = r.variance() * k as f64 / (k as f64 - 1.0);
+        t_quantile_95(k - 1) * (var / k as f64).sqrt()
+    }
+
+    /// Whether the CI half-width is below `rel` × mean (run-length control).
+    pub fn converged(&self, rel: f64) -> bool {
+        let hw = self.ci95_half_width();
+        let m = self.mean();
+        hw.is_finite() && m.is_finite() && m != 0.0 && hw / m.abs() <= rel
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::SimRng;
+
+    #[test]
+    fn needs_two_batches() {
+        let mut b = BatchMeans::new(10);
+        for i in 0..15 {
+            b.record(i as f64);
+        }
+        assert_eq!(b.batches(), 1);
+        assert!(b.ci95_half_width().is_nan());
+        for i in 0..10 {
+            b.record(i as f64);
+        }
+        assert_eq!(b.batches(), 2);
+        assert!(b.ci95_half_width().is_finite());
+    }
+
+    #[test]
+    fn ci_covers_true_mean_for_iid_noise() {
+        let mut rng = SimRng::seed_from(42);
+        let mut b = BatchMeans::new(100);
+        for _ in 0..20_000 {
+            b.record(5.0 + (rng.f64() - 0.5)); // uniform noise around 5
+        }
+        let hw = b.ci95_half_width();
+        assert!(hw > 0.0 && hw < 0.1, "half width {hw}");
+        assert!(
+            (b.mean() - 5.0).abs() < 2.0 * hw + 0.02,
+            "mean {} ± {hw} should cover 5.0",
+            b.mean()
+        );
+        assert!(b.converged(0.05));
+    }
+
+    #[test]
+    fn more_data_narrows_ci() {
+        let mut rng = SimRng::seed_from(7);
+        let mut small = BatchMeans::new(50);
+        let mut big = BatchMeans::new(50);
+        for i in 0..40_000 {
+            let x = rng.f64() * 10.0;
+            if i < 1_000 {
+                small.record(x);
+            }
+            big.record(x);
+        }
+        assert!(big.ci95_half_width() < small.ci95_half_width());
+    }
+
+    #[test]
+    fn constant_stream_has_zero_width() {
+        let mut b = BatchMeans::new(5);
+        for _ in 0..50 {
+            b.record(3.0);
+        }
+        assert_eq!(b.ci95_half_width(), 0.0);
+        assert!(b.converged(0.01));
+    }
+
+    #[test]
+    fn t_table_monotone_to_normal() {
+        assert!(t_quantile_95(1) > t_quantile_95(5));
+        assert!(t_quantile_95(5) > t_quantile_95(30));
+        assert_eq!(t_quantile_95(100), 1.96);
+        assert!(t_quantile_95(0).is_nan());
+    }
+
+    #[test]
+    #[should_panic]
+    fn zero_batch_size_rejected() {
+        BatchMeans::new(0);
+    }
+}

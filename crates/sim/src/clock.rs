@@ -1,0 +1,108 @@
+//! Discrete simulation time.
+//!
+//! The whole reproduction is a synchronous, cycle-driven simulation: every
+//! component is ticked once per [`Cycle`]. A [`Clock`] is just a monotonically
+//! advancing cycle counter with a few conveniences used by phase bookkeeping.
+
+use serde::{Deserialize, Serialize};
+
+/// Simulation time, measured in clock cycles of the 5 GHz network clock.
+pub type Cycle = u64;
+
+/// A monotonically advancing cycle counter.
+///
+/// `Clock` is intentionally minimal: the simulation is synchronous, so there is
+/// no event queue — components are ticked once per cycle and the clock only
+/// needs to advance and report the current time.
+///
+/// ```
+/// use pnoc_sim::Clock;
+/// let mut clk = Clock::new();
+/// assert_eq!(clk.now(), 0);
+/// clk.tick();
+/// clk.tick();
+/// assert_eq!(clk.now(), 2);
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Clock {
+    now: Cycle,
+}
+
+impl Clock {
+    /// A clock starting at cycle 0.
+    pub fn new() -> Self {
+        Self { now: 0 }
+    }
+
+    /// A clock starting at an arbitrary cycle (useful when resuming a run).
+    pub fn starting_at(now: Cycle) -> Self {
+        Self { now }
+    }
+
+    /// The current cycle.
+    #[inline]
+    pub fn now(&self) -> Cycle {
+        self.now
+    }
+
+    /// Advance time by one cycle and return the new current cycle.
+    #[inline]
+    pub fn tick(&mut self) -> Cycle {
+        self.now += 1;
+        self.now
+    }
+
+    /// Advance time by `n` cycles.
+    #[inline]
+    pub fn advance(&mut self, n: Cycle) -> Cycle {
+        self.now += n;
+        self.now
+    }
+
+    /// Cycles elapsed since `earlier`. Panics in debug builds if `earlier` is
+    /// in the future.
+    #[inline]
+    pub fn since(&self, earlier: Cycle) -> Cycle {
+        debug_assert!(earlier <= self.now, "`earlier` is in the future");
+        self.now - earlier
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn starts_at_zero() {
+        assert_eq!(Clock::new().now(), 0);
+    }
+
+    #[test]
+    fn tick_advances_by_one() {
+        let mut c = Clock::new();
+        assert_eq!(c.tick(), 1);
+        assert_eq!(c.tick(), 2);
+        assert_eq!(c.now(), 2);
+    }
+
+    #[test]
+    fn advance_jumps() {
+        let mut c = Clock::new();
+        c.advance(100);
+        assert_eq!(c.now(), 100);
+    }
+
+    #[test]
+    fn since_measures_elapsed() {
+        let mut c = Clock::starting_at(10);
+        c.advance(5);
+        assert_eq!(c.since(10), 5);
+        assert_eq!(c.since(15), 0);
+    }
+
+    #[test]
+    fn starting_at_resumes() {
+        let c = Clock::starting_at(42);
+        assert_eq!(c.now(), 42);
+    }
+}

@@ -1,0 +1,119 @@
+//! Warmup / measure / drain phase protocol.
+//!
+//! Every latency-vs-load experiment in the paper runs the network to steady
+//! state before measuring. [`RunPlan`] encodes the standard open-loop
+//! methodology: ignore packets generated during *warmup*, measure packets
+//! generated during the *measure* window, then keep simulating through a
+//! *drain* window so in-flight measured packets can complete.
+
+use crate::clock::Cycle;
+use serde::{Deserialize, Serialize};
+
+/// Which measurement phase a given cycle falls into.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Phase {
+    /// Statistics are not recorded; the network is filling to steady state.
+    Warmup,
+    /// Packets *generated* in this window are tagged for measurement.
+    Measure,
+    /// No new packets are tagged; tagged in-flight packets still complete.
+    Drain,
+    /// The run is over.
+    Done,
+}
+
+/// Cycle budget for one simulation run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RunPlan {
+    /// Cycles before measurement starts.
+    pub warmup: Cycle,
+    /// Cycles during which generated packets are measured.
+    pub measure: Cycle,
+    /// Cycles after measurement for in-flight packets to finish.
+    pub drain: Cycle,
+}
+
+impl RunPlan {
+    /// A plan with explicit phase lengths.
+    pub fn new(warmup: Cycle, measure: Cycle, drain: Cycle) -> Self {
+        Self {
+            warmup,
+            measure,
+            drain,
+        }
+    }
+
+    /// The configuration used by the paper-reproduction harnesses: long
+    /// enough for 64-node rings to reach steady state at saturation.
+    pub fn standard() -> Self {
+        Self::new(20_000, 80_000, 5_000)
+    }
+
+    /// A short plan for unit/integration tests.
+    pub fn quick() -> Self {
+        Self::new(2_000, 8_000, 1_000)
+    }
+
+    /// Total simulated cycles.
+    pub fn total(&self) -> Cycle {
+        self.warmup + self.measure + self.drain
+    }
+
+    /// Phase classification for cycle `now`.
+    pub fn phase(&self, now: Cycle) -> Phase {
+        if now < self.warmup {
+            Phase::Warmup
+        } else if now < self.warmup + self.measure {
+            Phase::Measure
+        } else if now < self.total() {
+            Phase::Drain
+        } else {
+            Phase::Done
+        }
+    }
+
+    /// Whether packets generated at `now` should be measured.
+    pub fn measures(&self, now: Cycle) -> bool {
+        self.phase(now) == Phase::Measure
+    }
+}
+
+impl Default for RunPlan {
+    fn default() -> Self {
+        Self::standard()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn phases_partition_time() {
+        let p = RunPlan::new(10, 20, 5);
+        assert_eq!(p.phase(0), Phase::Warmup);
+        assert_eq!(p.phase(9), Phase::Warmup);
+        assert_eq!(p.phase(10), Phase::Measure);
+        assert_eq!(p.phase(29), Phase::Measure);
+        assert_eq!(p.phase(30), Phase::Drain);
+        assert_eq!(p.phase(34), Phase::Drain);
+        assert_eq!(p.phase(35), Phase::Done);
+        assert_eq!(p.total(), 35);
+    }
+
+    #[test]
+    fn measures_only_in_window() {
+        let p = RunPlan::new(5, 5, 5);
+        assert!(!p.measures(4));
+        assert!(p.measures(5));
+        assert!(p.measures(9));
+        assert!(!p.measures(10));
+    }
+
+    #[test]
+    fn zero_phases_are_legal() {
+        let p = RunPlan::new(0, 10, 0);
+        assert_eq!(p.phase(0), Phase::Measure);
+        assert_eq!(p.phase(10), Phase::Done);
+    }
+}

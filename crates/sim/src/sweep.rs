@@ -1,0 +1,133 @@
+//! Parallel parameter sweeps.
+//!
+//! A figure in the paper is a sweep over injection rates (and schemes, and
+//! traffic patterns); each sweep point is an independent simulation, so the
+//! harness fans them out across cores with crossbeam scoped threads. Results
+//! come back in input order regardless of completion order.
+
+use parking_lot::Mutex;
+use std::num::NonZeroUsize;
+
+/// Number of worker threads to use: the available parallelism, capped by the
+/// number of jobs (and at least 1).
+pub fn worker_count(jobs: usize) -> usize {
+    let hw = std::thread::available_parallelism()
+        .map(NonZeroUsize::get)
+        .unwrap_or(1);
+    hw.min(jobs).max(1)
+}
+
+/// Run `f` over every input in parallel, returning outputs in input order.
+///
+/// `f` must be `Sync` (it is shared by worker threads) and is handed
+/// `(index, &input)`. Panics in workers propagate after the scope joins.
+///
+/// ```
+/// let squares = pnoc_sim::run_parallel(&[1u64, 2, 3, 4], |_, &x| x * x);
+/// assert_eq!(squares, vec![1, 4, 9, 16]);
+/// ```
+pub fn run_parallel<I, O, F>(inputs: &[I], f: F) -> Vec<O>
+where
+    I: Sync,
+    O: Send,
+    F: Fn(usize, &I) -> O + Sync,
+{
+    run_parallel_with_threads(inputs, worker_count(inputs.len()), f)
+}
+
+/// [`run_parallel`] with an explicit worker-thread count (useful in tests and
+/// when the caller wants to leave cores free for other work).
+pub fn run_parallel_with_threads<I, O, F>(inputs: &[I], threads: usize, f: F) -> Vec<O>
+where
+    I: Sync,
+    O: Send,
+    F: Fn(usize, &I) -> O + Sync,
+{
+    if inputs.is_empty() {
+        return Vec::new();
+    }
+    let threads = threads.clamp(1, inputs.len());
+    if threads == 1 {
+        return inputs.iter().enumerate().map(|(i, x)| f(i, x)).collect();
+    }
+
+    let next = std::sync::atomic::AtomicUsize::new(0);
+    let slots: Vec<Mutex<Option<O>>> = (0..inputs.len()).map(|_| Mutex::new(None)).collect();
+    let f = &f;
+    let next = &next;
+    let slots_ref = &slots;
+
+    crossbeam::thread::scope(|scope| {
+        for _ in 0..threads {
+            scope.spawn(move |_| loop {
+                let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                if i >= inputs.len() {
+                    break;
+                }
+                let out = f(i, &inputs[i]);
+                *slots_ref[i].lock() = Some(out);
+            });
+        }
+    })
+    .expect("sweep worker panicked");
+
+    slots
+        .into_iter()
+        .map(|slot| slot.into_inner().expect("worker skipped a sweep point"))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn empty_input() {
+        let out: Vec<u32> = run_parallel(&[] as &[u32], |_, &x| x);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn preserves_order() {
+        let inputs: Vec<u64> = (0..257).collect();
+        let out = run_parallel(&inputs, |_, &x| x * 2);
+        assert_eq!(out, inputs.iter().map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn index_matches_input() {
+        let inputs: Vec<u64> = (100..164).collect();
+        let out = run_parallel(&inputs, |i, &x| (i as u64, x));
+        for (i, (idx, x)) in out.iter().enumerate() {
+            assert_eq!(*idx, i as u64);
+            assert_eq!(*x, inputs[i]);
+        }
+    }
+
+    #[test]
+    fn every_job_runs_exactly_once() {
+        let calls = AtomicUsize::new(0);
+        let inputs: Vec<u32> = (0..500).collect();
+        let out = run_parallel_with_threads(&inputs, 8, |_, &x| {
+            calls.fetch_add(1, Ordering::Relaxed);
+            x
+        });
+        assert_eq!(out.len(), 500);
+        assert_eq!(calls.load(Ordering::Relaxed), 500);
+    }
+
+    #[test]
+    fn single_thread_path() {
+        let inputs = [5u8, 6, 7];
+        let out = run_parallel_with_threads(&inputs, 1, |_, &x| x + 1);
+        assert_eq!(out, vec![6, 7, 8]);
+    }
+
+    #[test]
+    fn worker_count_bounds() {
+        assert_eq!(worker_count(0), 1);
+        assert!(worker_count(1) == 1);
+        assert!(worker_count(1000) >= 1);
+    }
+}

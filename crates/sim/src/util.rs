@@ -1,0 +1,89 @@
+//! Small numeric helpers shared across crates.
+
+/// Ceiling division for unsigned integers.
+///
+/// ```
+/// assert_eq!(pnoc_sim::util::ceil_div(9, 4), 3);
+/// assert_eq!(pnoc_sim::util::ceil_div(8, 4), 2);
+/// ```
+#[inline]
+pub fn ceil_div(a: u64, b: u64) -> u64 {
+    assert!(b > 0, "division by zero");
+    a.div_ceil(b)
+}
+
+/// Linearly spaced `n` points from `lo` to `hi` inclusive.
+pub fn linspace(lo: f64, hi: f64, n: usize) -> Vec<f64> {
+    match n {
+        0 => Vec::new(),
+        1 => vec![lo],
+        _ => {
+            let step = (hi - lo) / (n - 1) as f64;
+            (0..n).map(|i| lo + step * i as f64).collect()
+        }
+    }
+}
+
+/// Relative difference `|a - b| / max(|a|, |b|)`; 0 when both are 0.
+/// Handy for "shape" assertions in the reproduction tests.
+pub fn rel_diff(a: f64, b: f64) -> f64 {
+    let m = a.abs().max(b.abs());
+    if m == 0.0 {
+        0.0
+    } else {
+        (a - b).abs() / m
+    }
+}
+
+/// Format a fraction as a percent string with one decimal, e.g. `12.3%`.
+pub fn percent(frac: f64) -> String {
+    format!("{:.1}%", frac * 100.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ceil_div_cases() {
+        assert_eq!(ceil_div(0, 3), 0);
+        assert_eq!(ceil_div(1, 3), 1);
+        assert_eq!(ceil_div(3, 3), 1);
+        assert_eq!(ceil_div(4, 3), 2);
+        assert_eq!(ceil_div(64, 8), 8);
+    }
+
+    #[test]
+    #[should_panic]
+    fn ceil_div_zero_divisor() {
+        ceil_div(1, 0);
+    }
+
+    #[test]
+    fn linspace_endpoints() {
+        let v = linspace(0.0, 1.0, 5);
+        assert_eq!(v.len(), 5);
+        assert_eq!(v[0], 0.0);
+        assert_eq!(v[4], 1.0);
+        assert!((v[2] - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn linspace_degenerate() {
+        assert!(linspace(0.0, 1.0, 0).is_empty());
+        assert_eq!(linspace(3.0, 9.0, 1), vec![3.0]);
+    }
+
+    #[test]
+    fn rel_diff_cases() {
+        assert_eq!(rel_diff(0.0, 0.0), 0.0);
+        assert!((rel_diff(1.0, 2.0) - 0.5).abs() < 1e-12);
+        assert!((rel_diff(2.0, 1.0) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn percent_formats() {
+        assert_eq!(percent(0.123), "12.3%");
+        assert_eq!(percent(1.0), "100.0%");
+    }
+}

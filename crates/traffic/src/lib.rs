@@ -1,0 +1,30 @@
+//! # pnoc-traffic — workload substrate
+//!
+//! Everything that generates packets for the NoC simulator:
+//!
+//! * [`pattern`] — the synthetic destination patterns of the paper's §V
+//!   (Uniform Random, Bit Complement, Tornado) plus the usual extras
+//!   (transpose, bit reversal, hotspot, nearest neighbour),
+//! * [`injection`] — open-loop injection processes: Bernoulli (the paper's
+//!   methodology) and an on/off bursty process used for application traces,
+//! * [`trace`] — a serializable message-trace format with replay cursors,
+//!   standing in for the paper's Simics-extracted traces,
+//! * [`apps`] — per-benchmark traffic profiles for the 13 applications of
+//!   Fig. 10 (SPEComp 2001, PARSEC, SPLASH-2, NAS, SPECjbb), with a
+//!   deterministic trace synthesizer. See DESIGN.md §"Substitutions" for why
+//!   this preserves the experiment's behaviour.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod apps;
+pub mod injection;
+pub mod pattern;
+pub mod stats;
+pub mod trace;
+
+pub use apps::{all_paper_apps, AppProfile, Suite};
+pub use injection::{BernoulliInjector, OnOffInjector};
+pub use pattern::TrafficPattern;
+pub use stats::TraceStats;
+pub use trace::{Trace, TraceCursor, TraceEvent};

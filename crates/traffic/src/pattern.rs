@@ -1,0 +1,276 @@
+//! Synthetic destination patterns.
+//!
+//! Patterns map a *source node* to a *destination node* (the simulator applies
+//! them at node granularity; with 4-way concentration the 4 cores of a node
+//! share the node's pattern, matching how the paper's 256-core / 64-node
+//! system is driven). The paper evaluates Uniform Random (UR), Bit Complement
+//! (BC) and Tornado (TOR); the extra patterns are standard in the NoC
+//! literature and exercised by the ablation benches.
+
+use pnoc_sim::SimRng;
+use serde::{Deserialize, Serialize};
+
+/// A synthetic traffic pattern.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum TrafficPattern {
+    /// Every packet picks a uniformly random destination ≠ source.
+    UniformRandom,
+    /// Destination is the bitwise complement of the source
+    /// (requires a power-of-two node count).
+    BitComplement,
+    /// Destination is `(src + ⌈N/2⌉ − 1) mod N` — adversarial for rings.
+    Tornado,
+    /// Matrix transpose: on a √N×√N grid, `(x, y) → (y, x)`
+    /// (requires a perfect-square node count).
+    Transpose,
+    /// Destination is the bit-reversal of the source
+    /// (requires a power-of-two node count).
+    BitReversal,
+    /// With probability `fraction`, send to node `target`; otherwise uniform
+    /// random.
+    Hotspot {
+        /// The hot node every source occasionally targets.
+        target: usize,
+        /// Fraction of traffic aimed at the hot node (`0..=1`).
+        fraction: f64,
+    },
+    /// Destination is the next node around the ring.
+    NearestNeighbor,
+}
+
+impl TrafficPattern {
+    /// The three patterns the paper evaluates, in figure order.
+    pub fn paper_set() -> [TrafficPattern; 3] {
+        [
+            TrafficPattern::UniformRandom,
+            TrafficPattern::BitComplement,
+            TrafficPattern::Tornado,
+        ]
+    }
+
+    /// Short label used in harness output (`UR`, `BC`, `TOR`, ...).
+    pub fn label(&self) -> &'static str {
+        match self {
+            TrafficPattern::UniformRandom => "UR",
+            TrafficPattern::BitComplement => "BC",
+            TrafficPattern::Tornado => "TOR",
+            TrafficPattern::Transpose => "TP",
+            TrafficPattern::BitReversal => "BR",
+            TrafficPattern::Hotspot { .. } => "HS",
+            TrafficPattern::NearestNeighbor => "NN",
+        }
+    }
+
+    /// Whether this pattern is a fixed permutation (every source always sends
+    /// to the same destination). Permutations concentrate each source's
+    /// traffic on one queue, which is what exposes HOL blocking (paper §V-B).
+    pub fn is_permutation(&self) -> bool {
+        matches!(
+            self,
+            TrafficPattern::BitComplement
+                | TrafficPattern::Tornado
+                | TrafficPattern::Transpose
+                | TrafficPattern::BitReversal
+                | TrafficPattern::NearestNeighbor
+        )
+    }
+
+    /// Check the pattern is usable on a network of `nodes` nodes.
+    pub fn validate(&self, nodes: usize) -> Result<(), String> {
+        if nodes < 2 {
+            return Err("patterns need at least two nodes".into());
+        }
+        match self {
+            TrafficPattern::BitComplement | TrafficPattern::BitReversal => {
+                if !nodes.is_power_of_two() {
+                    return Err(format!("{} requires a power-of-two node count", self.label()));
+                }
+                Ok(())
+            }
+            TrafficPattern::Transpose => {
+                let side = (nodes as f64).sqrt().round() as usize;
+                if side * side != nodes {
+                    return Err("transpose requires a perfect-square node count".into());
+                }
+                Ok(())
+            }
+            TrafficPattern::Hotspot { target, fraction } => {
+                if *target >= nodes {
+                    return Err("hotspot target out of range".into());
+                }
+                if !(0.0..=1.0).contains(fraction) {
+                    return Err("hotspot fraction must be in [0, 1]".into());
+                }
+                Ok(())
+            }
+            _ => Ok(()),
+        }
+    }
+
+    /// Destination node for a packet from `src`. Randomized patterns draw
+    /// from `rng`; permutations ignore it. A destination equal to the source
+    /// (possible for some permutations at some sizes) is remapped to the next
+    /// node so traffic always crosses the network.
+    pub fn destination(&self, src: usize, nodes: usize, rng: &mut SimRng) -> usize {
+        debug_assert!(src < nodes);
+        let raw = match self {
+            TrafficPattern::UniformRandom => {
+                // Uniform over the other N-1 nodes.
+                let d = rng.index(nodes - 1);
+                return if d >= src { d + 1 } else { d };
+            }
+            TrafficPattern::BitComplement => !src & (nodes - 1),
+            TrafficPattern::Tornado => (src + nodes.div_ceil(2) - 1) % nodes,
+            TrafficPattern::Transpose => {
+                let side = (nodes as f64).sqrt().round() as usize;
+                let (x, y) = (src % side, src / side);
+                x * side + y
+            }
+            TrafficPattern::BitReversal => {
+                let bits = nodes.trailing_zeros();
+                src.reverse_bits() >> (usize::BITS - bits)
+            }
+            TrafficPattern::Hotspot { target, fraction } => {
+                if rng.chance(*fraction) {
+                    *target
+                } else {
+                    let d = rng.index(nodes - 1);
+                    return if d >= src { d + 1 } else { d };
+                }
+            }
+            TrafficPattern::NearestNeighbor => (src + 1) % nodes,
+        };
+        if raw == src {
+            (raw + 1) % nodes
+        } else {
+            raw
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const N: usize = 64;
+
+    fn rng() -> SimRng {
+        SimRng::seed_from(42)
+    }
+
+    #[test]
+    fn uniform_random_never_self_and_covers() {
+        let mut r = rng();
+        let mut seen = [false; N];
+        for _ in 0..10_000 {
+            let d = TrafficPattern::UniformRandom.destination(5, N, &mut r);
+            assert_ne!(d, 5);
+            assert!(d < N);
+            seen[d] = true;
+        }
+        assert_eq!(seen.iter().filter(|&&s| s).count(), N - 1);
+    }
+
+    #[test]
+    fn bit_complement_is_involution() {
+        let mut r = rng();
+        for s in 0..N {
+            let d = TrafficPattern::BitComplement.destination(s, N, &mut r);
+            assert_eq!(d, !s & (N - 1));
+            let back = TrafficPattern::BitComplement.destination(d, N, &mut r);
+            assert_eq!(back, s);
+        }
+    }
+
+    #[test]
+    fn tornado_half_ring() {
+        let mut r = rng();
+        let d = TrafficPattern::Tornado.destination(0, N, &mut r);
+        assert_eq!(d, 31);
+        let d = TrafficPattern::Tornado.destination(40, N, &mut r);
+        assert_eq!(d, (40 + 31) % 64);
+    }
+
+    #[test]
+    fn transpose_is_involution_off_diagonal() {
+        let mut r = rng();
+        let side = 8;
+        for s in 0..N {
+            let (x, y) = (s % side, s / side);
+            if x == y {
+                // Diagonal sources are remapped away from self-send; no
+                // involution expected there.
+                continue;
+            }
+            let d = TrafficPattern::Transpose.destination(s, N, &mut r);
+            assert_eq!(d, x * side + y);
+            let back = TrafficPattern::Transpose.destination(d, N, &mut r);
+            assert_eq!(back, s);
+        }
+    }
+
+    #[test]
+    fn bit_reversal_reverses() {
+        let mut r = rng();
+        // 64 nodes => 6 bits. 0b000001 -> 0b100000 = 32.
+        assert_eq!(TrafficPattern::BitReversal.destination(1, 64, &mut r), 32);
+        assert_eq!(TrafficPattern::BitReversal.destination(32, 64, &mut r), 1);
+    }
+
+    #[test]
+    fn permutations_never_return_self() {
+        let mut r = rng();
+        for p in [
+            TrafficPattern::BitComplement,
+            TrafficPattern::Tornado,
+            TrafficPattern::Transpose,
+            TrafficPattern::BitReversal,
+            TrafficPattern::NearestNeighbor,
+        ] {
+            for s in 0..N {
+                assert_ne!(p.destination(s, N, &mut r), s, "{p:?} self-send at {s}");
+            }
+        }
+    }
+
+    #[test]
+    fn hotspot_concentrates() {
+        let mut r = rng();
+        let p = TrafficPattern::Hotspot {
+            target: 7,
+            fraction: 0.5,
+        };
+        let hits = (0..10_000)
+            .filter(|_| p.destination(3, N, &mut r) == 7)
+            .count();
+        // ~50% direct + ~0.8% of the uniform remainder
+        assert!((4_500..5_800).contains(&hits), "hits = {hits}");
+    }
+
+    #[test]
+    fn validation() {
+        assert!(TrafficPattern::BitComplement.validate(64).is_ok());
+        assert!(TrafficPattern::BitComplement.validate(63).is_err());
+        assert!(TrafficPattern::Transpose.validate(64).is_ok());
+        assert!(TrafficPattern::Transpose.validate(32).is_err());
+        assert!(TrafficPattern::Hotspot { target: 70, fraction: 0.1 }
+            .validate(64)
+            .is_err());
+        assert!(TrafficPattern::Hotspot { target: 7, fraction: 1.5 }
+            .validate(64)
+            .is_err());
+        assert!(TrafficPattern::UniformRandom.validate(1).is_err());
+    }
+
+    #[test]
+    fn paper_set_and_labels() {
+        let set = TrafficPattern::paper_set();
+        assert_eq!(set.len(), 3);
+        assert_eq!(set[0].label(), "UR");
+        assert_eq!(set[1].label(), "BC");
+        assert_eq!(set[2].label(), "TOR");
+        assert!(!set[0].is_permutation());
+        assert!(set[1].is_permutation());
+        assert!(set[2].is_permutation());
+    }
+}

@@ -1,0 +1,168 @@
+//! Workload characterization: the summary numbers evaluation sections print
+//! about their traces (rate, burstiness, destination skew).
+
+use crate::trace::{MessageKind, Trace};
+use serde::Serialize;
+
+/// Digest of one trace's traffic characteristics.
+#[derive(Debug, Clone, Serialize)]
+pub struct TraceStats {
+    /// Workload name.
+    pub name: String,
+    /// Messages in the trace.
+    pub messages: usize,
+    /// Average injection rate, packets/cycle/core.
+    pub rate_per_core: f64,
+    /// Fraction of messages that are requests.
+    pub request_fraction: f64,
+    /// Index of dispersion of per-window message counts (1 ≈ Poisson,
+    /// larger = burstier). Windows of `window` cycles.
+    pub burstiness: f64,
+    /// Normalized destination entropy: 1.0 = perfectly uniform over nodes,
+    /// 0.0 = a single hot node receives everything.
+    pub destination_entropy: f64,
+    /// Ratio of the hottest destination's share to the uniform share.
+    pub hotspot_factor: f64,
+}
+
+impl TraceStats {
+    /// Characterize `trace` using `window`-cycle bins for burstiness.
+    pub fn analyze(trace: &Trace, window: u64) -> Self {
+        assert!(window > 0, "window must be positive");
+        let messages = trace.len();
+        let mut requests = 0usize;
+        let mut dest_counts = vec![0u64; trace.nodes];
+        let windows = trace.length.div_ceil(window) as usize;
+        let mut window_counts = vec![0u64; windows.max(1)];
+        for ev in trace.events() {
+            if ev.kind == MessageKind::Request {
+                requests += 1;
+            }
+            dest_counts[ev.dst_node] += 1;
+            window_counts[(ev.cycle / window) as usize] += 1;
+        }
+
+        let burstiness = index_of_dispersion(&window_counts);
+        let (entropy, hotspot) = destination_skew(&dest_counts, messages);
+        Self {
+            name: trace.name.clone(),
+            messages,
+            rate_per_core: trace.rate_per_core(),
+            request_fraction: if messages == 0 {
+                0.0
+            } else {
+                requests as f64 / messages as f64
+            },
+            burstiness,
+            destination_entropy: entropy,
+            hotspot_factor: hotspot,
+        }
+    }
+}
+
+/// Variance-to-mean ratio of counts (≈ 1 for a Poisson stream).
+fn index_of_dispersion(counts: &[u64]) -> f64 {
+    if counts.is_empty() {
+        return f64::NAN;
+    }
+    let n = counts.len() as f64;
+    let mean = counts.iter().sum::<u64>() as f64 / n;
+    if mean == 0.0 {
+        return f64::NAN;
+    }
+    let var = counts
+        .iter()
+        .map(|&c| {
+            let d = c as f64 - mean;
+            d * d
+        })
+        .sum::<f64>()
+        / n;
+    var / mean
+}
+
+/// `(normalized entropy, hottest-destination factor)`.
+fn destination_skew(dest_counts: &[u64], total: usize) -> (f64, f64) {
+    if total == 0 || dest_counts.len() < 2 {
+        return (f64::NAN, f64::NAN);
+    }
+    let total_f = total as f64;
+    let mut entropy = 0.0;
+    let mut max_share = 0.0f64;
+    for &c in dest_counts {
+        if c == 0 {
+            continue;
+        }
+        let p = c as f64 / total_f;
+        entropy -= p * p.ln();
+        max_share = max_share.max(p);
+    }
+    let norm = entropy / (dest_counts.len() as f64).ln();
+    let hotspot = max_share * dest_counts.len() as f64;
+    (norm, hotspot)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::apps::paper_app;
+    use crate::trace::TraceEvent;
+
+    #[test]
+    fn uniform_trace_has_high_entropy_low_dispersion() {
+        let mut t = Trace::new("u", 16, 8, 1600);
+        for i in 0..1600u64 {
+            t.push(TraceEvent {
+                cycle: i,
+                src_core: (i % 16) as usize,
+                dst_node: (i % 8) as usize,
+                kind: MessageKind::Data,
+            });
+        }
+        let s = TraceStats::analyze(&t, 100);
+        assert!(s.destination_entropy > 0.99, "entropy {}", s.destination_entropy);
+        assert!((s.hotspot_factor - 1.0).abs() < 0.05);
+        assert!(s.burstiness < 0.2, "constant stream disperses ~0");
+        assert_eq!(s.messages, 1600);
+    }
+
+    #[test]
+    fn hot_trace_has_low_entropy() {
+        let mut t = Trace::new("h", 16, 8, 1000);
+        for i in 0..1000u64 {
+            t.push(TraceEvent {
+                cycle: i,
+                src_core: 0,
+                dst_node: 7,
+                kind: MessageKind::Request,
+            });
+        }
+        let s = TraceStats::analyze(&t, 100);
+        assert!(s.destination_entropy < 0.01);
+        assert!((s.hotspot_factor - 8.0).abs() < 1e-9);
+        assert_eq!(s.request_fraction, 1.0);
+    }
+
+    #[test]
+    fn bursty_app_traces_are_bursty() {
+        let app = paper_app("nas.is").unwrap();
+        let trace = app.synthesize(64, 16, 20_000, 4);
+        let s = TraceStats::analyze(&trace, 50);
+        assert!(
+            s.burstiness > 2.0,
+            "on/off injection must look over-dispersed, got {}",
+            s.burstiness
+        );
+        assert!(s.rate_per_core > 0.01);
+        assert!(s.request_fraction > 0.4 && s.request_fraction < 0.7);
+    }
+
+    #[test]
+    fn empty_trace_degenerates_gracefully() {
+        let t = Trace::new("e", 4, 4, 100);
+        let s = TraceStats::analyze(&t, 10);
+        assert_eq!(s.messages, 0);
+        assert!(s.burstiness.is_nan());
+        assert!(s.destination_entropy.is_nan());
+    }
+}

@@ -1,0 +1,278 @@
+//! Message traces: the stand-in for the paper's Simics-extracted traffic.
+//!
+//! A [`Trace`] is a cycle-ordered list of [`TraceEvent`]s ("core c injects a
+//! packet for node d at cycle t"). Traces serialize to JSON-lines so they can
+//! be inspected, diffed, and replayed; [`TraceCursor`] feeds them to the
+//! simulator cycle by cycle.
+
+use pnoc_sim::Cycle;
+use serde::{Deserialize, Serialize};
+use std::io::{BufRead, Write};
+
+/// The protocol role of a traced message (affects reply generation in the
+/// closed-loop CMP model; the open-loop NoC replay treats all kinds alike).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum MessageKind {
+    /// A cache-miss request travelling core → L2 bank.
+    Request,
+    /// A data reply travelling L2 bank → core.
+    Reply,
+    /// Other traffic (coherence, writebacks).
+    Data,
+}
+
+/// One injected message.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TraceEvent {
+    /// Injection cycle.
+    pub cycle: Cycle,
+    /// Injecting core (global core id).
+    pub src_core: usize,
+    /// Destination *node*.
+    pub dst_node: usize,
+    /// Protocol role.
+    pub kind: MessageKind,
+}
+
+/// A cycle-ordered message trace plus the dimensions it was generated for.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Trace {
+    /// Human-readable workload name (e.g. `"fft"`).
+    pub name: String,
+    /// Number of cores the trace addresses.
+    pub cores: usize,
+    /// Number of nodes the trace addresses.
+    pub nodes: usize,
+    /// Total cycles the trace spans (events all satisfy `cycle < length`).
+    pub length: Cycle,
+    events: Vec<TraceEvent>,
+}
+
+impl Trace {
+    /// An empty trace for the given dimensions.
+    pub fn new(name: impl Into<String>, cores: usize, nodes: usize, length: Cycle) -> Self {
+        assert!(cores > 0 && nodes > 0, "dimensions must be positive");
+        Self {
+            name: name.into(),
+            cores,
+            nodes,
+            length,
+            events: Vec::new(),
+        }
+    }
+
+    /// Append an event. Events must be pushed in non-decreasing cycle order
+    /// and respect the trace dimensions.
+    pub fn push(&mut self, ev: TraceEvent) {
+        assert!(ev.src_core < self.cores, "src core out of range");
+        assert!(ev.dst_node < self.nodes, "dst node out of range");
+        assert!(ev.cycle < self.length, "event beyond trace length");
+        if let Some(last) = self.events.last() {
+            assert!(ev.cycle >= last.cycle, "events must be cycle-ordered");
+        }
+        self.events.push(ev);
+    }
+
+    /// All events, cycle-ordered.
+    pub fn events(&self) -> &[TraceEvent] {
+        &self.events
+    }
+
+    /// Number of events.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// True if no events.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Average injection rate in packets/cycle/core.
+    pub fn rate_per_core(&self) -> f64 {
+        if self.length == 0 {
+            return 0.0;
+        }
+        self.events.len() as f64 / self.length as f64 / self.cores as f64
+    }
+
+    /// Serialize as JSON lines: one header object, then one object per event.
+    pub fn save<W: Write>(&self, mut w: W) -> std::io::Result<()> {
+        #[derive(Serialize)]
+        struct Header<'a> {
+            name: &'a str,
+            cores: usize,
+            nodes: usize,
+            length: Cycle,
+        }
+        let header = Header {
+            name: &self.name,
+            cores: self.cores,
+            nodes: self.nodes,
+            length: self.length,
+        };
+        writeln!(w, "{}", serde_json::to_string(&header)?)?;
+        for ev in &self.events {
+            writeln!(w, "{}", serde_json::to_string(ev)?)?;
+        }
+        Ok(())
+    }
+
+    /// Deserialize from the JSON-lines format written by [`Trace::save`].
+    pub fn load<R: BufRead>(r: R) -> std::io::Result<Self> {
+        #[derive(Deserialize)]
+        struct Header {
+            name: String,
+            cores: usize,
+            nodes: usize,
+            length: Cycle,
+        }
+        let mut lines = r.lines();
+        let header_line = lines
+            .next()
+            .ok_or_else(|| std::io::Error::new(std::io::ErrorKind::UnexpectedEof, "empty trace"))??;
+        let header: Header = serde_json::from_str(&header_line)?;
+        let mut trace = Trace::new(header.name, header.cores, header.nodes, header.length);
+        for line in lines {
+            let line = line?;
+            if line.trim().is_empty() {
+                continue;
+            }
+            let ev: TraceEvent = serde_json::from_str(&line)?;
+            trace.push(ev);
+        }
+        Ok(trace)
+    }
+
+    /// A replay cursor positioned at the start.
+    pub fn cursor(&self) -> TraceCursor<'_> {
+        TraceCursor {
+            trace: self,
+            next: 0,
+        }
+    }
+}
+
+/// Replays a [`Trace`] cycle by cycle.
+#[derive(Debug, Clone)]
+pub struct TraceCursor<'a> {
+    trace: &'a Trace,
+    next: usize,
+}
+
+impl<'a> TraceCursor<'a> {
+    /// All events injected at exactly cycle `now`. Must be called with
+    /// non-decreasing `now`; skipped cycles' events are skipped too.
+    pub fn events_at(&mut self, now: Cycle) -> &'a [TraceEvent] {
+        let events = self.trace.events();
+        // Skip anything earlier than `now` (caller jumped ahead).
+        while self.next < events.len() && events[self.next].cycle < now {
+            self.next += 1;
+        }
+        let start = self.next;
+        while self.next < events.len() && events[self.next].cycle == now {
+            self.next += 1;
+        }
+        &events[start..self.next]
+    }
+
+    /// Whether every event has been consumed.
+    pub fn exhausted(&self) -> bool {
+        self.next >= self.trace.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ev(cycle: Cycle, src_core: usize, dst_node: usize) -> TraceEvent {
+        TraceEvent {
+            cycle,
+            src_core,
+            dst_node,
+            kind: MessageKind::Request,
+        }
+    }
+
+    fn sample() -> Trace {
+        let mut t = Trace::new("unit", 8, 4, 100);
+        t.push(ev(1, 0, 1));
+        t.push(ev(1, 3, 2));
+        t.push(ev(5, 7, 0));
+        t
+    }
+
+    #[test]
+    fn push_and_rate() {
+        let t = sample();
+        assert_eq!(t.len(), 3);
+        assert!((t.rate_per_core() - 3.0 / 100.0 / 8.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic]
+    fn push_rejects_disorder() {
+        let mut t = sample();
+        t.push(ev(0, 0, 0));
+    }
+
+    #[test]
+    #[should_panic]
+    fn push_rejects_out_of_range_core() {
+        let mut t = sample();
+        t.push(ev(6, 8, 0));
+    }
+
+    #[test]
+    #[should_panic]
+    fn push_rejects_beyond_length() {
+        let mut t = sample();
+        t.push(ev(100, 0, 0));
+    }
+
+    #[test]
+    fn cursor_replays_in_order() {
+        let t = sample();
+        let mut c = t.cursor();
+        assert_eq!(c.events_at(0).len(), 0);
+        let at1 = c.events_at(1);
+        assert_eq!(at1.len(), 2);
+        assert_eq!(at1[0].src_core, 0);
+        assert_eq!(c.events_at(2).len(), 0);
+        assert_eq!(c.events_at(5).len(), 1);
+        assert!(c.exhausted());
+    }
+
+    #[test]
+    fn cursor_skips_jumped_cycles() {
+        let t = sample();
+        let mut c = t.cursor();
+        // Jump straight to 5: the cycle-1 events are skipped.
+        assert_eq!(c.events_at(5).len(), 1);
+        assert!(c.exhausted());
+    }
+
+    #[test]
+    fn save_load_roundtrip() {
+        let t = sample();
+        let mut buf = Vec::new();
+        t.save(&mut buf).unwrap();
+        let back = Trace::load(std::io::BufReader::new(buf.as_slice())).unwrap();
+        assert_eq!(back, t);
+    }
+
+    #[test]
+    fn load_rejects_empty() {
+        let r = std::io::BufReader::new(&b""[..]);
+        assert!(Trace::load(r).is_err());
+    }
+
+    #[test]
+    fn empty_trace() {
+        let t = Trace::new("e", 1, 1, 0);
+        assert!(t.is_empty());
+        assert_eq!(t.rate_per_core(), 0.0);
+        assert!(t.cursor().exhausted());
+    }
+}

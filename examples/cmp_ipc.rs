@@ -1,0 +1,57 @@
+//! Closed-loop CMP: how flow control reaches application IPC.
+//!
+//! 128 out-of-order cores with 4 MSHRs each self-throttle on network latency
+//! (paper §V-A); this example runs one workload under all four compared
+//! schemes and shows latency turning into instructions per cycle.
+//!
+//! Run with: `cargo run --release --example cmp_ipc [workload]`
+
+use nanophotonic_handshake::cmp::workload::paper_workload;
+use nanophotonic_handshake::prelude::*;
+
+fn main() {
+    let name = std::env::args().nth(1).unwrap_or_else(|| "nas.cg".to_string());
+    let workload =
+        paper_workload(&name).unwrap_or_else(|| panic!("unknown workload {name}"));
+    println!(
+        "workload '{}': {:.1}% of instructions miss to a remote L2 bank\n",
+        workload.name,
+        workload.miss_per_instr * 100.0
+    );
+
+    let schemes = [
+        Scheme::TokenChannel,
+        Scheme::Ghs { setaside: 8 },
+        Scheme::TokenSlot,
+        Scheme::Dhs { setaside: 8 },
+    ];
+    println!(
+        "{:<18} {:>8} {:>10} {:>12} {:>12}",
+        "scheme", "IPC", "stall %", "net latency", "req/core/cyc"
+    );
+    let mut baseline_ipc = None;
+    for scheme in schemes {
+        let mut net_cfg = NetworkConfig::paper_default(scheme);
+        net_cfg.cores_per_node = 2; // 128 cores + 128 L2 banks on 64 nodes
+        let mut sys = CmpSystem::new(net_cfg, CmpConfig::paper_default(), workload.clone());
+        let s = sys.run(2_000, 12_000);
+        println!(
+            "{:<18} {:>8.3} {:>9.1}% {:>12.1} {:>12.4}",
+            scheme.label(),
+            s.ipc,
+            s.stall_fraction * 100.0,
+            s.avg_net_latency,
+            s.request_rate
+        );
+        if scheme == Scheme::TokenChannel {
+            baseline_ipc = Some(s.ipc);
+        } else if scheme == (Scheme::Ghs { setaside: 8 }) {
+            if let Some(base) = baseline_ipc {
+                println!(
+                    "{:<18} GHS w/ Setaside vs Token Channel: {:+.1}% IPC",
+                    "", (s.ipc / base - 1.0) * 100.0
+                );
+            }
+        }
+    }
+}

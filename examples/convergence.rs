@@ -1,0 +1,83 @@
+//! Simulation methodology: run-length control with batch-means confidence
+//! intervals. Instead of guessing a measurement window, keep simulating until
+//! the 95 % CI on mean latency is tighter than a target — then report the
+//! mean *with* its uncertainty.
+//!
+//! Run with: `cargo run --release --example convergence [rate]`
+
+use nanophotonic_handshake::prelude::*;
+
+fn main() {
+    let rate: f64 = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(0.17);
+    let cfg = NetworkConfig::paper_default(Scheme::Dhs { setaside: 8 });
+    let mut net = Network::new(cfg).expect("valid config");
+    let mut src = SyntheticSource::new(
+        TrafficPattern::UniformRandom,
+        rate,
+        cfg.nodes,
+        cfg.cores_per_node,
+        99,
+    );
+    let target_rel = 0.005; // ±0.5 % of the mean
+
+    // Warm up without measuring.
+    let warmup = 5_000u64;
+    let mut buf = Vec::new();
+    for _ in 0..warmup {
+        buf.clear();
+        src.generate(net.now(), &mut buf);
+        for &(core, dst, kind) in &buf {
+            net.inject(core, dst, kind, 0, false);
+        }
+        net.step();
+    }
+
+    println!(
+        "DHS w/ Setaside, UR @ {rate}: extending measurement until CI95 ≤ {:.1}% of mean\n",
+        target_rel * 100.0
+    );
+    println!(
+        "{:>10} {:>10} {:>12} {:>12} {:>10}",
+        "cycles", "packets", "mean (cyc)", "CI95 ±", "rel"
+    );
+
+    let chunk = 2_000u64;
+    let mut measured_cycles = 0u64;
+    loop {
+        for _ in 0..chunk {
+            buf.clear();
+            src.generate(net.now(), &mut buf);
+            for &(core, dst, kind) in &buf {
+                net.inject(core, dst, kind, 0, true);
+            }
+            net.step();
+        }
+        measured_cycles += chunk;
+        let b = &net.metrics().latency_batches;
+        let mean = b.mean();
+        let hw = b.ci95_half_width();
+        let rel = hw / mean;
+        println!(
+            "{:>10} {:>10} {:>12.2} {:>12.3} {:>9.2}%",
+            measured_cycles,
+            b.count(),
+            mean,
+            hw,
+            rel * 100.0
+        );
+        if b.converged(target_rel) {
+            println!(
+                "\nconverged: mean latency = {mean:.2} ± {hw:.2} cycles (95% CI) after {} packets",
+                b.count()
+            );
+            break;
+        }
+        if measured_cycles > 400_000 {
+            println!("\nnot converged within 400k cycles (offered load may be at saturation)");
+            break;
+        }
+    }
+}

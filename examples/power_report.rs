@@ -1,0 +1,62 @@
+//! Hardware cost and power: Table I component budgets plus a Fig. 12-style
+//! power breakdown for a live traffic run.
+//!
+//! Run with: `cargo run --release --example power_report`
+
+use nanophotonic_handshake::photonics::budget::SchemeFeatures;
+use nanophotonic_handshake::prelude::*;
+
+fn main() {
+    // Table I: optical component budgets for a 64-node network.
+    let dims = NetworkDims::paper_default();
+    println!("Table I — optical component budgets (64 nodes)");
+    println!(
+        "{:<14} {:>8} {:>9} {:>13} {:>12}",
+        "scheme", "data WG", "token WG", "handshake WG", "micro-rings"
+    );
+    for (label, features) in [
+        ("Token Slot", SchemeFeatures::credit_baseline()),
+        ("GHS / DHS", SchemeFeatures::handshake()),
+        ("DHS-cir", SchemeFeatures::circulation()),
+    ] {
+        let b = ComponentBudget::for_scheme(dims, features);
+        let (d, t, h, rings) = b.table1_row();
+        println!("{label:<14} {d:>8} {t:>9} {h:>13} {rings:>12}");
+    }
+
+    // Fig. 12-style breakdown: run traffic, convert activity into watts.
+    println!("\nFig. 12(a)-style breakdown at UR 0.05 pkt/cycle/core (watts)");
+    println!(
+        "{:<20} {:>7} {:>8} {:>6} {:>6} {:>7} {:>7} {:>10}",
+        "scheme", "laser", "heating", "E/O", "O/E", "router", "total", "nJ/packet"
+    );
+    let plan = RunPlan::new(3_000, 12_000, 1_500);
+    for scheme in Scheme::paper_set(8) {
+        let cfg = NetworkConfig::paper_default(scheme);
+        let mut net = Network::new(cfg).expect("valid config");
+        let mut src = SyntheticSource::new(
+            TrafficPattern::UniformRandom,
+            0.05,
+            cfg.nodes,
+            cfg.cores_per_node,
+            11,
+        );
+        net.run_open_loop(&mut src, plan);
+        let activity = ActivityProfile::from_metrics(net.metrics(), plan.total());
+        let report = PowerReport::paper_default();
+        let b = report.breakdown(scheme, &activity);
+        let epp = report.energy_per_packet_j(scheme, &activity) * 1e9;
+        println!(
+            "{:<20} {:>7.2} {:>8.2} {:>6.2} {:>6.2} {:>7.2} {:>7.2} {:>10.2}",
+            scheme.label(),
+            b.laser_w,
+            b.heating_w,
+            b.eo_w,
+            b.oe_w,
+            b.router_w,
+            b.total_w(),
+            epp
+        );
+    }
+    println!("\n(laser + ring heating dominate, as in the paper's Fig. 12a)");
+}

@@ -1,0 +1,72 @@
+//! Replay an application trace through the network — the Fig. 10 flow.
+//!
+//! Synthesizes the `fft` workload trace (a stand-in for the paper's
+//! Simics-extracted traces), saves it to disk in the JSON-lines trace format,
+//! loads it back, and replays it under a baseline and a handshake scheme.
+//!
+//! Run with: `cargo run --release --example trace_replay [app-name]`
+
+use nanophotonic_handshake::prelude::*;
+use nanophotonic_handshake::traffic::apps::Suite;
+use std::io::BufReader;
+
+fn main() {
+    let app_name = std::env::args().nth(1).unwrap_or_else(|| "fft".to_string());
+    let app = nanophotonic_handshake::traffic::apps::paper_app(&app_name)
+        .unwrap_or_else(|| panic!("unknown workload {app_name}; see apps::all_paper_apps()"));
+
+    let cfg = NetworkConfig::paper_default(Scheme::TokenSlot);
+    let length = 30_000;
+    println!(
+        "synthesizing '{}' ({}): {} cores, {} nodes, {} cycles",
+        app.name,
+        match app.suite {
+            Suite::SpecOmp => "SPEComp 2001",
+            Suite::Parsec => "PARSEC",
+            Suite::Splash2 => "SPLASH-2",
+            Suite::Nas => "NAS",
+            Suite::SpecJbb => "SPECjbb",
+        },
+        cfg.cores(),
+        cfg.nodes,
+        length
+    );
+    let trace = app.synthesize(cfg.cores(), cfg.nodes, length, 2024);
+    println!(
+        "  {} messages, {:.4} packets/cycle/core",
+        trace.len(),
+        trace.rate_per_core()
+    );
+
+    // Round-trip through the on-disk format.
+    let path = std::env::temp_dir().join(format!("pnoc_trace_{}.jsonl", app.name));
+    trace
+        .save(std::fs::File::create(&path).expect("create trace file"))
+        .expect("write trace");
+    let loaded =
+        Trace::load(BufReader::new(std::fs::File::open(&path).expect("open"))).expect("parse");
+    assert_eq!(loaded, trace);
+    println!("  saved + reloaded {} ({} bytes)\n", path.display(), std::fs::metadata(&path).map(|m| m.len()).unwrap_or(0));
+
+    // Replay under both flow-control families.
+    let plan = RunPlan::new(5_000, length - 10_000, 3_000);
+    for scheme in [
+        Scheme::TokenChannel,
+        Scheme::Ghs { setaside: 8 },
+        Scheme::TokenSlot,
+        Scheme::Dhs { setaside: 8 },
+    ] {
+        let cfg = NetworkConfig::paper_default(scheme);
+        let mut net = Network::new(cfg).expect("valid config");
+        let mut src = TraceSource::new(&loaded, cfg.cores_per_node);
+        let s = net.run_open_loop(&mut src, plan);
+        println!(
+            "{:<18} avg latency {:>6.1} cycles   p99 {:>6.1}   queue wait {:>5.1}",
+            scheme.label(),
+            s.avg_latency,
+            s.p99_latency,
+            s.avg_queue_wait
+        );
+    }
+    let _ = std::fs::remove_file(&path);
+}
