@@ -1,0 +1,17 @@
+#!/bin/bash
+# Repo CI gate: formatting, lints, and the full test suite.
+# Run before committing; run_harnesses.sh invokes it first so harness
+# results always come from a clean tree.
+set -e
+cd "$(dirname "$0")"
+
+echo "== cargo fmt --check =="
+cargo fmt --all -- --check
+
+echo "== cargo clippy (deny warnings) =="
+cargo clippy --workspace --all-targets --offline -- -D warnings
+
+echo "== cargo test =="
+cargo test -q --workspace --offline
+
+echo CI_OK

@@ -63,5 +63,11 @@ fn bench_histogram(c: &mut Criterion) {
     });
 }
 
-criterion_group!(benches, bench_rng, bench_slot_ring, bench_calendar, bench_histogram);
+criterion_group!(
+    benches,
+    bench_rng,
+    bench_slot_ring,
+    bench_calendar,
+    bench_histogram
+);
 criterion_main!(benches);

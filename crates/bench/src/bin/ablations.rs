@@ -88,7 +88,13 @@ fn main() {
             },
         ),
     ];
-    let mut t = Table::new(["policy", "Jain worst", "Jain avg", "avg latency", "throughput"]);
+    let mut t = Table::new([
+        "policy",
+        "Jain worst",
+        "Jain avg",
+        "avg latency",
+        "throughput",
+    ]);
     let rows = run_parallel(&policies, |_, &(_, policy)| {
         let mut cfg = NetworkConfig::paper_default(Scheme::DhsCirculation);
         cfg.fairness = policy;
@@ -105,7 +111,12 @@ fn main() {
     for ((name, _), s) in policies.iter().zip(rows) {
         t.row_f64(
             name,
-            &[s.jain_worst, s.jain_fairness, s.avg_latency, s.throughput_per_core],
+            &[
+                s.jain_worst,
+                s.jain_fairness,
+                s.avg_latency,
+                s.throughput_per_core,
+            ],
             3,
         );
     }

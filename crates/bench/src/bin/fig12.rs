@@ -15,12 +15,21 @@ fn main() {
     pnoc_bench::export::maybe_export("fig12", &rows);
 
     println!("Fig. 12(a) — total power breakdown (watts)");
-    let mut t = Table::new(["scheme", "Laser", "Heating", "E/O", "O/E", "Router", "Total"]);
+    let mut t = Table::new([
+        "scheme", "Laser", "Heating", "E/O", "O/E", "Router", "Total",
+    ]);
     for r in &rows {
         let b = &r.breakdown;
         t.row_f64(
             &r.label,
-            &[b.laser_w, b.heating_w, b.eo_w, b.oe_w, b.router_w, b.total_w()],
+            &[
+                b.laser_w,
+                b.heating_w,
+                b.eo_w,
+                b.oe_w,
+                b.router_w,
+                b.total_w(),
+            ],
             2,
         );
     }
@@ -37,5 +46,8 @@ fn main() {
         .iter()
         .map(|r| r.breakdown.static_fraction())
         .fold(f64::INFINITY, f64::min);
-    println!("minimum static (laser+heating) share across schemes: {:.0}%", static_min * 100.0);
+    println!(
+        "minimum static (laser+heating) share across schemes: {:.0}%",
+        static_min * 100.0
+    );
 }

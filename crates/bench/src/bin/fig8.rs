@@ -24,11 +24,20 @@ fn main() {
             .iter()
             .flat_map(|c| c.points.iter().map(|(_, s)| s.drop_rate))
             .fold(0.0f64, f64::max);
-        println!("max drop/retransmission rate across points: {:.4}%\n", max_drop * 100.0);
+        println!(
+            "max drop/retransmission rate across points: {:.4}%\n",
+            max_drop * 100.0
+        );
         let spec = pnoc_bench::PlotSpec::latency(format!("Fig. 8 ({pattern})"));
         charts.push((format!("fig8_{pattern}"), spec, curves));
     }
-    pnoc_bench::export::maybe_export("fig8", &charts.iter().map(|(n, _, c)| (n.clone(), c.clone())).collect::<Vec<_>>());
+    pnoc_bench::export::maybe_export(
+        "fig8",
+        &charts
+            .iter()
+            .map(|(n, _, c)| (n.clone(), c.clone()))
+            .collect::<Vec<_>>(),
+    );
     if let Some(dir) = pnoc_bench::plot::svg_dir_from_args() {
         for p in pnoc_bench::plot::write_charts(&dir, &charts).expect("write svg") {
             println!("wrote {}", p.display());

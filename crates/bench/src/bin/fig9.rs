@@ -45,7 +45,13 @@ fn main() {
         let spec = pnoc_bench::PlotSpec::latency(format!("Fig. 9 ({pattern})"));
         charts.push((format!("fig9_{pattern}"), spec, curves));
     }
-    pnoc_bench::export::maybe_export("fig9", &charts.iter().map(|(n, _, c)| (n.clone(), c.clone())).collect::<Vec<_>>());
+    pnoc_bench::export::maybe_export(
+        "fig9",
+        &charts
+            .iter()
+            .map(|(n, _, c)| (n.clone(), c.clone()))
+            .collect::<Vec<_>>(),
+    );
     if let Some(dir) = pnoc_bench::plot::svg_dir_from_args() {
         for p in pnoc_bench::plot::write_charts(&dir, &charts).expect("write svg") {
             println!("wrote {}", p.display());

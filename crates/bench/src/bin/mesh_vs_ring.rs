@@ -14,7 +14,11 @@ use pnoc_noc::{NetworkConfig, Scheme, SyntheticSource};
 use pnoc_sim::run_parallel;
 use pnoc_traffic::pattern::TrafficPattern;
 
-fn mesh_point(cfg: MeshConfig, rate: f64, plan: pnoc_sim::RunPlan) -> pnoc_noc::metrics::RunSummary {
+fn mesh_point(
+    cfg: MeshConfig,
+    rate: f64,
+    plan: pnoc_sim::RunPlan,
+) -> pnoc_noc::metrics::RunSummary {
     let mut net = MeshNetwork::new(cfg).expect("valid config");
     let mut src = SyntheticSource::new(
         TrafficPattern::UniformRandom,

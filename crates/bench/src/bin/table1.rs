@@ -8,7 +8,13 @@ use pnoc_bench::Table;
 fn main() {
     println!("Table I — component budgets, 64-node network");
     pnoc_bench::export::maybe_export("table1", &pnoc_bench::figures::table1());
-    let mut t = Table::new(["scheme", "Data WG", "Token WG", "Handshake WG", "Micro-rings"]);
+    let mut t = Table::new([
+        "scheme",
+        "Data WG",
+        "Token WG",
+        "Handshake WG",
+        "Micro-rings",
+    ]);
     for (label, d, tok, h, rings) in pnoc_bench::figures::table1() {
         t.row([label, d.to_string(), tok.to_string(), h.to_string(), rings]);
     }

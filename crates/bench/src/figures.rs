@@ -68,7 +68,13 @@ impl Curve {
     pub fn latencies(&self) -> Vec<f64> {
         self.points
             .iter()
-            .map(|(_, s)| if s.saturated { f64::INFINITY } else { s.avg_latency })
+            .map(|(_, s)| {
+                if s.saturated {
+                    f64::INFINITY
+                } else {
+                    s.avg_latency
+                }
+            })
             .collect()
     }
 
@@ -109,7 +115,11 @@ pub fn latency_curves(
             points: rates
                 .iter()
                 .copied()
-                .zip(summaries[i * rates.len()..(i + 1) * rates.len()].iter().cloned())
+                .zip(
+                    summaries[i * rates.len()..(i + 1) * rates.len()]
+                        .iter()
+                        .cloned(),
+                )
                 .collect(),
         })
         .collect()
@@ -140,7 +150,11 @@ pub fn fig2b(fid: Fidelity) -> Vec<Curve> {
             points: rates
                 .iter()
                 .copied()
-                .zip(summaries[i * rates.len()..(i + 1) * rates.len()].iter().cloned())
+                .zip(
+                    summaries[i * rates.len()..(i + 1) * rates.len()]
+                        .iter()
+                        .cloned(),
+                )
                 .collect(),
         })
         .collect()
@@ -190,7 +204,10 @@ fn pattern_grids(fid: Fidelity) -> Vec<(TrafficPattern, Vec<f64>)> {
             TrafficPattern::BitComplement,
             fid.rates(crate::grids::bc_rates()),
         ),
-        (TrafficPattern::Tornado, fid.rates(crate::grids::tor_rates())),
+        (
+            TrafficPattern::Tornado,
+            fid.rates(crate::grids::tor_rates()),
+        ),
     ]
 }
 
@@ -372,8 +389,7 @@ pub fn fig11_setaside(fid: Fidelity) -> Vec<(String, Vec<(usize, f64)>)> {
     ] {
         let points = run_parallel(&sizes, |_, &s| {
             let cfg = NetworkConfig::paper_default(make(s));
-            let summary =
-                run_synthetic_point(cfg, TrafficPattern::UniformRandom, rate, fid.plan());
+            let summary = run_synthetic_point(cfg, TrafficPattern::UniformRandom, rate, fid.plan());
             if summary.saturated {
                 f64::INFINITY
             } else {
@@ -430,6 +446,88 @@ pub fn fig12(fid: Fidelity) -> Vec<PowerRow> {
         }
     });
     rows
+}
+
+// ---------------------------------------------------------------------------
+// Resilience: fault-rate sweep (DESIGN.md "Fault model & reliability").
+// ---------------------------------------------------------------------------
+
+/// Per-cycle fault rates the resilience harness sweeps (0 = fault engine
+/// engaged but silent — must reproduce healthy latency exactly).
+pub const FAULT_RATES: [f64; 5] = [0.0, 1e-6, 1e-5, 1e-4, 1e-3];
+
+/// Offered load for the resilience sweep: sustainable by every scheme when
+/// healthy (Fig. 8/9), so any collapse is attributable to faults.
+pub const RESILIENCE_LOAD: f64 = 0.05;
+
+/// The resilience comparison set: both credit baselines, one scheme per
+/// handshake family, and circulation (backpressure without a handshake).
+pub fn resilience_group() -> Vec<(String, Scheme)> {
+    vec![
+        ("Token Channel".into(), Scheme::TokenChannel),
+        ("Token Slot".into(), Scheme::TokenSlot),
+        ("GHS".into(), Scheme::Ghs { setaside: 0 }),
+        (
+            "DHS w/ Setaside".into(),
+            Scheme::Dhs {
+                setaside: PAPER_SETASIDE,
+            },
+        ),
+        ("DHS w/ Circulation".into(), Scheme::DhsCirculation),
+    ]
+}
+
+/// Sweep `resilience_group()` across `fault_rates` under UR at `load`, one
+/// run per (scheme, rate), in parallel. `base` builds the per-scheme healthy
+/// config; each run layers `FaultConfig::uniform(rate)` on top (which arms
+/// timeout/retransmit recovery for the handshake schemes). Curve x-values
+/// are *fault rates*, not offered loads.
+pub fn resilience_curves(
+    fault_rates: &[f64],
+    load: f64,
+    plan: RunPlan,
+    base: impl Fn(Scheme) -> NetworkConfig + Sync,
+) -> Vec<Curve> {
+    let schemes = resilience_group();
+    let jobs: Vec<(usize, Scheme, f64)> = schemes
+        .iter()
+        .enumerate()
+        .flat_map(|(i, &(_, s))| fault_rates.iter().map(move |&f| (i, s, f)))
+        .collect();
+    let summaries = run_parallel(&jobs, |_, &(_, scheme, fault_rate)| {
+        let cfg = base(scheme).with_faults(pnoc_noc::FaultConfig::uniform(fault_rate));
+        run_synthetic_point(cfg, TrafficPattern::UniformRandom, load, plan)
+    });
+    schemes
+        .iter()
+        .enumerate()
+        .map(|(i, (label, _))| Curve {
+            label: label.clone(),
+            points: fault_rates
+                .iter()
+                .copied()
+                .zip(
+                    summaries[i * fault_rates.len()..(i + 1) * fault_rates.len()]
+                        .iter()
+                        .cloned(),
+                )
+                .collect(),
+        })
+        .collect()
+}
+
+/// The `resilience` harness: the paper-scale network under the standard
+/// fault-rate grid. Expected shape: the handshake schemes deliver every
+/// packet at every rate (bounded latency inflation, retransmit rate tracking
+/// the fault rate), while the credit baselines leak unreturnable credits and
+/// lose packets outright.
+pub fn resilience(fid: Fidelity) -> Vec<Curve> {
+    resilience_curves(
+        &FAULT_RATES,
+        RESILIENCE_LOAD,
+        fid.plan(),
+        NetworkConfig::paper_default,
+    )
 }
 
 // ---------------------------------------------------------------------------

@@ -12,7 +12,9 @@ pub fn ur_rates_dense() -> Vec<f64> {
 
 /// The x-axis of Fig. 8(a) / Fig. 9(a): UR loads up to 0.25.
 pub fn ur_rates() -> Vec<f64> {
-    vec![0.01, 0.03, 0.05, 0.07, 0.09, 0.11, 0.13, 0.15, 0.17, 0.19, 0.21, 0.23, 0.25]
+    vec![
+        0.01, 0.03, 0.05, 0.07, 0.09, 0.11, 0.13, 0.15, 0.17, 0.19, 0.21, 0.23, 0.25,
+    ]
 }
 
 /// The x-axis of Fig. 8(b) / 9(b): BC loads up to ~0.19.
@@ -23,7 +25,9 @@ pub fn bc_rates() -> Vec<f64> {
 /// The x-axis of Fig. 8(c) / 9(c): TOR loads up to ~0.07.
 /// (Tornado concentrates node-pair traffic, so rings saturate earlier.)
 pub fn tor_rates() -> Vec<f64> {
-    vec![0.005, 0.01, 0.015, 0.02, 0.025, 0.03, 0.04, 0.05, 0.06, 0.07]
+    vec![
+        0.005, 0.01, 0.015, 0.02, 0.025, 0.03, 0.04, 0.05, 0.06, 0.07,
+    ]
 }
 
 /// Thin a grid for `--quick` runs (every other point, keeping endpoints).

@@ -12,9 +12,10 @@
 //! | `fig12`     | Fig. 12   | power breakdown (a) and energy per packet (b) |
 //! | `table1`    | Table I   | per-scheme optical component budgets |
 //! | `ipc`       | §V-B text | IPC comparison on the closed-loop CMP |
-//! | `ablations` | DESIGN.md §7 | ring size, ejection bandwidth, fairness policy |
+//! | `ablations` | DESIGN.md §8 | ring size, ejection bandwidth, fairness policy |
 //! | `swmr`      | §II-B     | handshake vs partitioned credits on an SWMR fabric |
 //! | `mesh_vs_ring` | §II-C  | electrical 2D-mesh baseline vs the photonic ring |
+//! | `resilience` | DESIGN.md §7 | fault-rate sweep: handshake recovery vs credit-leak collapse |
 //! | `calibrate` | (dev)     | quick sweep for model sanity-checking |
 //!
 //! Every binary accepts `--quick` for a reduced-fidelity pass (shorter

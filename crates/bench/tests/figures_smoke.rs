@@ -31,7 +31,10 @@ fn fig12_pipeline_produces_paper_shapes() {
     }
     // Circulation's energy/packet within 10% of DHS w/ setaside.
     let dhs = rows.iter().find(|r| r.label == "DHS w/ Setaside").unwrap();
-    let cir = rows.iter().find(|r| r.label == "DHS w/ Circulation").unwrap();
+    let cir = rows
+        .iter()
+        .find(|r| r.label == "DHS w/ Circulation")
+        .unwrap();
     let rel = (cir.energy_per_packet_j - dhs.energy_per_packet_j).abs() / dhs.energy_per_packet_j;
     assert!(rel < 0.1, "circulation energy overhead {rel}");
 }
@@ -60,4 +63,66 @@ fn table1_is_exact() {
     let rows = figures::table1();
     let rings: Vec<&str> = rows.iter().map(|r| r.4.as_str()).collect();
     assert_eq!(rings, ["1024K", "1028K", "1028K", "1040K"]);
+}
+
+#[test]
+fn resilience_handshake_survives_credit_schemes_collapse() {
+    // The resilience sweep on the small geometry (fast enough for a debug
+    // test); the binary runs the same code on the paper-scale network.
+    use pnoc_noc::NetworkConfig;
+    use pnoc_sim::RunPlan;
+    let rates = [0.0, 1e-5, 1e-3];
+    let curves = figures::resilience_curves(
+        &rates,
+        figures::RESILIENCE_LOAD,
+        RunPlan::quick(),
+        NetworkConfig::small,
+    );
+    assert_eq!(curves.len(), 5, "five schemes swept");
+    for c in &curves {
+        assert_eq!(c.points.len(), rates.len());
+        // Fault rate 0 through the engine must look healthy for everyone.
+        let (r0, s0) = &c.points[0];
+        assert_eq!(*r0, 0.0);
+        assert_eq!(s0.lost_packets, 0, "{}: loss without faults", c.label);
+        assert_eq!(s0.credit_leaks, 0, "{}: leak without faults", c.label);
+        assert!(!s0.saturated, "{}: saturated at healthy load", c.label);
+    }
+    let handshake = |label: &str| label.contains("GHS") || label == "DHS w/ Setaside";
+    for c in curves.iter().filter(|c| handshake(&c.label)) {
+        for (rate, s) in &c.points {
+            assert_eq!(s.lost_packets, 0, "{} lost packets at {rate:e}", c.label);
+            assert_eq!(s.abandoned, 0, "{} abandoned at {rate:e}", c.label);
+            assert_eq!(s.credit_leaks, 0, "{} leaked at {rate:e}", c.label);
+        }
+        // Latency inflation stays bounded even at the harshest rate.
+        let healthy = c.points[0].1.avg_latency;
+        let worst = c.points.last().expect("points").1.avg_latency;
+        assert!(
+            worst < 2.0 * healthy,
+            "{}: latency inflated {healthy} -> {worst}",
+            c.label
+        );
+        assert!(
+            c.points.last().expect("points").1.timeout_retransmissions > 0,
+            "{}: recovery never exercised at 1e-3",
+            c.label
+        );
+    }
+    // Both credit baselines lose packets and leak credits at the top rate.
+    for label in ["Token Channel", "Token Slot"] {
+        let c = curves
+            .iter()
+            .find(|c| c.label == label)
+            .expect("baseline row");
+        let (_, worst) = c.points.last().expect("points");
+        assert!(
+            worst.lost_packets > 0,
+            "{label} should lose packets at 1e-3"
+        );
+        assert!(
+            worst.credit_leaks > 0,
+            "{label} should leak credits at 1e-3"
+        );
+    }
 }

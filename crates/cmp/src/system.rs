@@ -102,9 +102,9 @@ impl CmpSystem {
         for core_id in 0..self.cores.len() {
             if self.cores[core_id].tick(&mut self.rng) {
                 let src_node = core_id / self.cores_per_node;
-                let bank =
-                    self.workload
-                        .pick_bank(src_node, nodes, &self.hot_banks, &mut self.rng);
+                let bank = self
+                    .workload
+                    .pick_bank(src_node, nodes, &self.hot_banks, &mut self.rng);
                 debug_assert_ne!(bank, src_node);
                 self.network
                     .inject(core_id, bank, PacketKind::Request, core_id as u64, measured);

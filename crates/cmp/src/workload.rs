@@ -26,7 +26,13 @@ pub struct CmpWorkload {
 
 impl CmpWorkload {
     /// Pick a destination node for a miss from a core on `src_node`.
-    pub fn pick_bank(&self, src_node: usize, nodes: usize, hot: &[usize], rng: &mut SimRng) -> usize {
+    pub fn pick_bank(
+        &self,
+        src_node: usize,
+        nodes: usize,
+        hot: &[usize],
+        rng: &mut SimRng,
+    ) -> usize {
         if !hot.is_empty() && rng.chance(self.hot_fraction) {
             let d = hot[rng.index(hot.len())];
             if d != src_node {

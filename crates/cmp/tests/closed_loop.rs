@@ -78,8 +78,8 @@ fn paper_workload_gap_tracks_network_intensity() {
         let wl = paper_workload(name).unwrap();
         CmpSystem::new(net, CmpConfig::paper_default(), wl).run(1_000, 5_000)
     };
-    let heavy_gap = run("nas.is", Scheme::Ghs { setaside: 8 }).ipc
-        / run("nas.is", Scheme::TokenChannel).ipc;
+    let heavy_gap =
+        run("nas.is", Scheme::Ghs { setaside: 8 }).ipc / run("nas.is", Scheme::TokenChannel).ipc;
     let light_gap = run("blackscholes", Scheme::Ghs { setaside: 8 }).ipc
         / run("blackscholes", Scheme::TokenChannel).ipc;
     assert!(

@@ -1,0 +1,254 @@
+//! Fault-injection and recovery configuration.
+
+use serde::{Deserialize, Serialize};
+
+/// Per-cycle fault probabilities plus optional fault budgets.
+///
+/// All probabilities are *per cycle of exposure* of the faultable object: a
+/// flit that spends `R` cycles on the ring is exposed `R` times (the engine
+/// compounds this into a single per-traversal draw), an ACK is exposed for
+/// its `R + 1`-cycle handshake flight, a circulating token is exposed every
+/// cycle it is in flight.
+///
+/// The default is all-zero: a zero-rate config draws no randomness and
+/// perturbs nothing, so runs through the fault engine reproduce fault-free
+/// results exactly.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct FaultConfig {
+    /// P(an in-flight data flit is destroyed outright) per cycle.
+    pub data_loss: f64,
+    /// P(an in-flight data flit's payload is corrupted — detected by the
+    /// home's CRC on arrival) per cycle.
+    pub data_corrupt: f64,
+    /// P(an in-flight ACK/NACK pulse is lost) per cycle.
+    pub ack_loss: f64,
+    /// P(an in-flight arbitration token is dropped) per cycle.
+    pub token_loss: f64,
+    /// P(a home ejection-port stall begins) per cycle (while not stalled).
+    pub stall_start: f64,
+    /// Length of one ejection stall, in cycles.
+    pub stall_cycles: u64,
+    /// Budget: total data-flit faults (loss + corruption) injected per
+    /// channel before the data fault processes go quiet. `u64::MAX` = no cap;
+    /// small values make targeted drills and tests deterministic.
+    pub max_data_faults: u64,
+    /// Budget: total ACK/NACK losses injected per channel.
+    pub max_ack_faults: u64,
+}
+
+impl Default for FaultConfig {
+    fn default() -> Self {
+        Self::none()
+    }
+}
+
+impl FaultConfig {
+    /// No faults at all (the default; behaviorally identical to not having a
+    /// fault engine).
+    pub fn none() -> Self {
+        Self {
+            data_loss: 0.0,
+            data_corrupt: 0.0,
+            ack_loss: 0.0,
+            token_loss: 0.0,
+            stall_start: 0.0,
+            stall_cycles: 0,
+            max_data_faults: u64::MAX,
+            max_ack_faults: u64::MAX,
+        }
+    }
+
+    /// The `resilience` harness profile: every transient fault class at the
+    /// same per-cycle `rate` (ring degradation and stalls are studied
+    /// separately).
+    pub fn uniform(rate: f64) -> Self {
+        Self {
+            data_loss: rate,
+            data_corrupt: rate,
+            ack_loss: rate,
+            token_loss: rate,
+            ..Self::none()
+        }
+    }
+
+    /// True if any stochastic fault process can fire.
+    pub fn enabled(&self) -> bool {
+        self.data_loss > 0.0
+            || self.data_corrupt > 0.0
+            || self.ack_loss > 0.0
+            || self.token_loss > 0.0
+            || self.stall_start > 0.0
+    }
+
+    /// Check probabilities are in `[0, 1]` and stall parameters consistent.
+    pub fn validate(&self) -> Result<(), String> {
+        for (name, p) in [
+            ("data_loss", self.data_loss),
+            ("data_corrupt", self.data_corrupt),
+            ("ack_loss", self.ack_loss),
+            ("token_loss", self.token_loss),
+            ("stall_start", self.stall_start),
+        ] {
+            if !(0.0..=1.0).contains(&p) {
+                return Err(format!("{name} = {p} is not a probability"));
+            }
+        }
+        if self.stall_start > 0.0 && self.stall_cycles == 0 {
+            return Err("stall_start > 0 requires stall_cycles > 0".into());
+        }
+        Ok(())
+    }
+}
+
+/// Sender-side ACK-timeout retransmission parameters.
+///
+/// A lost flit or lost ACK leaves the sender waiting for a handshake that
+/// never comes; with recovery enabled, the sender re-arms a timer at every
+/// transmission and treats an expired timer like a NACK (retransmit the
+/// packet), with exponential backoff and a bounded retry count.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RecoveryConfig {
+    /// Master switch. Disabled ⇒ no timers are armed and behavior (and
+    /// performance) is identical to the seed simulator.
+    pub enabled: bool,
+    /// Base ACK timeout in cycles. Must exceed the handshake round trip
+    /// (`ring_segments + 1`) or healthy ACKs would race the timer.
+    pub timeout_cycles: u64,
+    /// Transmissions allowed per packet before it is abandoned (counted
+    /// including the first one). With ACK-loss probability `p` per
+    /// handshake, abandonment probability is ~`p^max_retries`.
+    pub max_retries: u32,
+    /// Cap on exponential-backoff doublings: attempt `k` times out after
+    /// `timeout_cycles << min(k - 1, backoff_doublings)`.
+    pub backoff_doublings: u32,
+}
+
+impl Default for RecoveryConfig {
+    fn default() -> Self {
+        Self::disabled()
+    }
+}
+
+impl RecoveryConfig {
+    /// Recovery off (seed behavior).
+    pub fn disabled() -> Self {
+        Self {
+            enabled: false,
+            timeout_cycles: 0,
+            max_retries: 0,
+            backoff_doublings: 0,
+        }
+    }
+
+    /// Sensible defaults for a ring with `segments` pipeline segments: the
+    /// timer fires only after a healthy handshake (arriving at `segments+1`
+    /// cycles) is provably overdue, and 16 attempts push the abandonment
+    /// probability below `p^16` (≈ 10⁻⁴⁸ at p = 10⁻³).
+    pub fn for_ring(segments: usize) -> Self {
+        Self {
+            enabled: true,
+            timeout_cycles: 2 * segments as u64 + 4,
+            max_retries: 16,
+            backoff_doublings: 5,
+        }
+    }
+
+    /// Timeout for the `attempt`-th transmission (1-based).
+    pub fn timeout_for_attempt(&self, attempt: u32) -> u64 {
+        let doublings = attempt.saturating_sub(1).min(self.backoff_doublings);
+        self.timeout_cycles << doublings
+    }
+
+    /// Largest timeout the backoff can reach (bounds calendar horizons).
+    pub fn max_timeout(&self) -> u64 {
+        self.timeout_cycles << self.backoff_doublings
+    }
+
+    /// Check parameters are mutually consistent for a `segments`-segment ring.
+    pub fn validate(&self, segments: usize) -> Result<(), String> {
+        if !self.enabled {
+            return Ok(());
+        }
+        let handshake = segments as u64 + 1;
+        if self.timeout_cycles <= handshake {
+            return Err(format!(
+                "timeout_cycles = {} must exceed the handshake delay {}",
+                self.timeout_cycles, handshake
+            ));
+        }
+        if self.max_retries == 0 {
+            return Err("max_retries must be at least 1 when recovery is enabled".into());
+        }
+        if self.backoff_doublings >= 16 {
+            return Err("backoff_doublings ≥ 16 produces absurd timeouts".into());
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_are_inert() {
+        let f = FaultConfig::default();
+        assert!(!f.enabled());
+        assert!(f.validate().is_ok());
+        let r = RecoveryConfig::default();
+        assert!(!r.enabled);
+        assert!(r.validate(8).is_ok());
+    }
+
+    #[test]
+    fn uniform_sets_transient_rates() {
+        let f = FaultConfig::uniform(1e-4);
+        assert!(f.enabled());
+        assert_eq!(f.data_loss, 1e-4);
+        assert_eq!(f.token_loss, 1e-4);
+        assert_eq!(f.stall_start, 0.0);
+        assert!(f.validate().is_ok());
+    }
+
+    #[test]
+    fn validation_rejects_bad_probabilities() {
+        let mut f = FaultConfig::none();
+        f.ack_loss = 1.5;
+        assert!(f.validate().is_err());
+        f.ack_loss = -0.1;
+        assert!(f.validate().is_err());
+        let mut f = FaultConfig::none();
+        f.stall_start = 0.1;
+        assert!(f.validate().is_err(), "stall without a length");
+    }
+
+    #[test]
+    fn recovery_timeout_backs_off_and_caps() {
+        let r = RecoveryConfig::for_ring(8);
+        assert!(r.validate(8).is_ok());
+        assert_eq!(r.timeout_for_attempt(1), 20);
+        assert_eq!(r.timeout_for_attempt(2), 40);
+        assert_eq!(r.timeout_for_attempt(6), 20 << 5);
+        assert_eq!(r.timeout_for_attempt(12), 20 << 5, "backoff must cap");
+        assert_eq!(r.max_timeout(), 20 << 5);
+    }
+
+    #[test]
+    fn recovery_rejects_timer_racing_the_handshake() {
+        let mut r = RecoveryConfig::for_ring(8);
+        r.timeout_cycles = 9; // == segments + 1
+        assert!(r.validate(8).is_err());
+    }
+
+    #[test]
+    fn configs_serde_round_trip() {
+        let f = FaultConfig::uniform(1e-3);
+        let json = serde_json::to_string(&f).unwrap();
+        let back: FaultConfig = serde_json::from_str(&json).unwrap();
+        assert_eq!(f, back);
+        let r = RecoveryConfig::for_ring(4);
+        let json = serde_json::to_string(&r).unwrap();
+        let back: RecoveryConfig = serde_json::from_str(&json).unwrap();
+        assert_eq!(r, back);
+    }
+}

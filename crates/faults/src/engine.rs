@@ -1,0 +1,339 @@
+//! The fault engine: deterministic, seeded stochastic fault processes.
+//!
+//! A [`FaultEngine`] is created once per simulation from the run's master
+//! seed; it derives its randomness from a dedicated stream
+//! ([`FAULT_STREAM`] via `pnoc_sim::rng::stream_seed`), so fault schedules
+//! are reproducible and never perturb traffic randomness. Each MWSR channel
+//! then forks a [`ChannelInjector`] keyed by its home node, which answers
+//! the per-event questions the simulator asks: *did this flit survive its
+//! flight? did this ACK arrive? did the token vanish this cycle? is the
+//! ejection port stalled?*
+//!
+//! Per-cycle probabilities are compounded over the exposure window: a flit
+//! that spends `n` cycles on the ring survives with probability
+//! `(1 - p)^n`, so a single draw at arrival with probability
+//! `1 - (1 - p)^n` reproduces per-cycle exposure without per-cycle draws.
+
+use crate::config::FaultConfig;
+use pnoc_sim::rng::{stream_seed, SimRng};
+
+/// Stream id of the fault subsystem in `pnoc_sim::rng::stream_seed`
+/// (traffic synthesis owns its own, different constant).
+pub const FAULT_STREAM: u64 = 0xFA01;
+
+/// What happened to a data flit during its flight to the home node.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DataFate {
+    /// Arrived unharmed.
+    Intact,
+    /// Destroyed in flight: the home never sees it (and so never ACKs it).
+    Lost,
+    /// Arrived, but the home's CRC rejects the payload; handshake schemes
+    /// NACK it, credit schemes silently discard a corrupt delivery.
+    Corrupt,
+}
+
+/// What happened to an ACK/NACK pulse on the handshake waveguide.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AckFate {
+    /// The handshake reached the sender.
+    Delivered,
+    /// The pulse was lost; the sender learns nothing this round trip.
+    Lost,
+}
+
+/// Per-simulation fault-event source. Fork one [`ChannelInjector`] per MWSR
+/// channel with [`FaultEngine::channel`].
+#[derive(Debug, Clone)]
+pub struct FaultEngine {
+    cfg: FaultConfig,
+    root: SimRng,
+}
+
+impl FaultEngine {
+    /// Build the engine for a run. `master_seed` is the same seed the rest
+    /// of the simulation uses; the engine internally switches to the
+    /// dedicated fault stream.
+    pub fn new(cfg: FaultConfig, master_seed: u64) -> Self {
+        debug_assert!(cfg.validate().is_ok(), "invalid FaultConfig");
+        Self {
+            cfg,
+            root: SimRng::seed_from(stream_seed(master_seed, FAULT_STREAM)),
+        }
+    }
+
+    /// The configuration this engine injects.
+    pub fn config(&self) -> &FaultConfig {
+        &self.cfg
+    }
+
+    /// True if this engine can ever inject anything.
+    pub fn enabled(&self) -> bool {
+        self.cfg.enabled()
+    }
+
+    /// Fork the injector for the channel homed at node `home`.
+    pub fn channel(&mut self, home: usize) -> ChannelInjector {
+        ChannelInjector {
+            rng: self.root.fork(home as u64),
+            cfg: self.cfg,
+            active: self.cfg.enabled(),
+            data_budget: self.cfg.max_data_faults,
+            ack_budget: self.cfg.max_ack_faults,
+            stalled_until: 0,
+            data_lost: 0,
+            data_corrupted: 0,
+            acks_lost: 0,
+            tokens_lost: 0,
+        }
+    }
+}
+
+/// Per-channel fault decisions, with an independent forked RNG stream so
+/// channels never correlate and per-channel replay is stable.
+#[derive(Debug, Clone)]
+pub struct ChannelInjector {
+    rng: SimRng,
+    cfg: FaultConfig,
+    active: bool,
+    data_budget: u64,
+    ack_budget: u64,
+    stalled_until: u64,
+    data_lost: u64,
+    data_corrupted: u64,
+    acks_lost: u64,
+    tokens_lost: u64,
+}
+
+/// `1 - (1 - p)^n`: probability that at least one per-cycle event with
+/// probability `p` fires during an `n`-cycle exposure.
+fn compound(p: f64, cycles: u64) -> f64 {
+    if p <= 0.0 || cycles == 0 {
+        0.0
+    } else if p >= 1.0 {
+        1.0
+    } else {
+        1.0 - (1.0 - p).powi(cycles.min(i32::MAX as u64) as i32)
+    }
+}
+
+impl ChannelInjector {
+    /// True if any fault process on this channel can still fire. Callers may
+    /// use this to skip hook bookkeeping entirely on healthy runs.
+    pub fn active(&self) -> bool {
+        self.active
+    }
+
+    /// Decide the fate of a data flit that spent `flight_cycles` on the
+    /// ring. Called once, at (would-be) arrival.
+    pub fn data_fate(&mut self, flight_cycles: u64) -> DataFate {
+        if !self.active || self.data_budget == 0 {
+            return DataFate::Intact;
+        }
+        if self.rng.chance(compound(self.cfg.data_loss, flight_cycles)) {
+            self.data_budget -= 1;
+            self.data_lost += 1;
+            return DataFate::Lost;
+        }
+        if self
+            .rng
+            .chance(compound(self.cfg.data_corrupt, flight_cycles))
+        {
+            self.data_budget -= 1;
+            self.data_corrupted += 1;
+            return DataFate::Corrupt;
+        }
+        DataFate::Intact
+    }
+
+    /// Decide the fate of an ACK/NACK pulse whose handshake flight lasts
+    /// `flight_cycles`. Called once, when the handshake would land.
+    pub fn ack_fate(&mut self, flight_cycles: u64) -> AckFate {
+        if !self.active || self.ack_budget == 0 {
+            return AckFate::Delivered;
+        }
+        if self.rng.chance(compound(self.cfg.ack_loss, flight_cycles)) {
+            self.ack_budget -= 1;
+            self.acks_lost += 1;
+            AckFate::Lost
+        } else {
+            AckFate::Delivered
+        }
+    }
+
+    /// One cycle of exposure for an in-flight arbitration token: `true` if
+    /// the token is destroyed this cycle. Call once per cycle per token.
+    pub fn token_lost(&mut self) -> bool {
+        if self.active && self.rng.chance(self.cfg.token_loss) {
+            self.tokens_lost += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Whether the home's ejection port is stalled at `now`, starting a new
+    /// stall with probability `stall_start` when idle. Call once per cycle.
+    pub fn eject_stalled(&mut self, now: u64) -> bool {
+        if now < self.stalled_until {
+            return true;
+        }
+        if self.active && self.cfg.stall_start > 0.0 && self.rng.chance(self.cfg.stall_start) {
+            self.stalled_until = now + self.cfg.stall_cycles;
+            return true;
+        }
+        false
+    }
+
+    /// Data flits destroyed in flight so far.
+    pub fn data_lost(&self) -> u64 {
+        self.data_lost
+    }
+
+    /// Data flits delivered corrupt so far.
+    pub fn data_corrupted(&self) -> u64 {
+        self.data_corrupted
+    }
+
+    /// Handshake pulses lost so far.
+    pub fn acks_lost(&self) -> u64 {
+        self.acks_lost
+    }
+
+    /// Tokens destroyed so far.
+    pub fn tokens_lost(&self) -> u64 {
+        self.tokens_lost
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_seed_same_fault_schedule() {
+        let mk = || {
+            let mut eng = FaultEngine::new(FaultConfig::uniform(0.01), 42);
+            let mut inj = eng.channel(3);
+            (0..2000).map(|_| inj.data_fate(8)).collect::<Vec<_>>()
+        };
+        assert_eq!(mk(), mk());
+    }
+
+    #[test]
+    fn different_channels_decorrelate() {
+        let mut eng = FaultEngine::new(FaultConfig::uniform(0.05), 7);
+        let mut a = eng.channel(0);
+        let mut b = eng.channel(1);
+        let fa: Vec<_> = (0..500).map(|_| a.data_fate(8)).collect();
+        let fb: Vec<_> = (0..500).map(|_| b.data_fate(8)).collect();
+        assert_ne!(fa, fb);
+    }
+
+    #[test]
+    fn zero_rate_engine_is_inert_and_drawless() {
+        let mut eng = FaultEngine::new(FaultConfig::none(), 9);
+        assert!(!eng.enabled());
+        let mut inj = eng.channel(0);
+        assert!(!inj.active());
+        let before = inj.rng.clone();
+        for now in 0..100 {
+            assert_eq!(inj.data_fate(8), DataFate::Intact);
+            assert_eq!(inj.ack_fate(9), AckFate::Delivered);
+            assert!(!inj.token_lost());
+            assert!(!inj.eject_stalled(now));
+        }
+        assert_eq!(
+            inj.rng, before,
+            "zero-rate hooks must not consume randomness"
+        );
+    }
+
+    #[test]
+    fn loss_rate_matches_compounded_probability() {
+        let p = 1e-3;
+        let flight = 8;
+        let mut eng = FaultEngine::new(
+            FaultConfig {
+                data_loss: p,
+                ..FaultConfig::none()
+            },
+            1234,
+        );
+        let mut inj = eng.channel(0);
+        let n = 200_000u64;
+        let lost = (0..n)
+            .filter(|_| inj.data_fate(flight) == DataFate::Lost)
+            .count();
+        let expect = compound(p, flight);
+        let rate = lost as f64 / n as f64;
+        assert!(
+            (rate - expect).abs() < expect * 0.15,
+            "rate {rate} vs expected {expect}"
+        );
+        assert_eq!(inj.data_lost(), lost as u64);
+    }
+
+    #[test]
+    fn budgets_cap_injected_faults() {
+        let cfg = FaultConfig {
+            data_loss: 1.0,
+            ack_loss: 1.0,
+            max_data_faults: 3,
+            max_ack_faults: 1,
+            ..FaultConfig::none()
+        };
+        let mut eng = FaultEngine::new(cfg, 5);
+        let mut inj = eng.channel(0);
+        let lost = (0..10)
+            .filter(|_| inj.data_fate(8) == DataFate::Lost)
+            .count();
+        assert_eq!(lost, 3);
+        let acks = (0..10).filter(|_| inj.ack_fate(9) == AckFate::Lost).count();
+        assert_eq!(acks, 1);
+    }
+
+    #[test]
+    fn corrupt_and_lost_are_both_drawn() {
+        let cfg = FaultConfig {
+            data_loss: 0.2,
+            data_corrupt: 0.2,
+            ..FaultConfig::none()
+        };
+        let mut eng = FaultEngine::new(cfg, 77);
+        let mut inj = eng.channel(2);
+        let fates: Vec<_> = (0..5000).map(|_| inj.data_fate(4)).collect();
+        assert!(fates.contains(&DataFate::Lost));
+        assert!(fates.contains(&DataFate::Corrupt));
+        assert!(fates.contains(&DataFate::Intact));
+        assert_eq!(
+            inj.data_lost() + inj.data_corrupted(),
+            fates.iter().filter(|f| **f != DataFate::Intact).count() as u64
+        );
+    }
+
+    #[test]
+    fn stalls_last_their_configured_length() {
+        let cfg = FaultConfig {
+            stall_start: 1.0,
+            stall_cycles: 5,
+            ..FaultConfig::none()
+        };
+        let mut eng = FaultEngine::new(cfg, 3);
+        let mut inj = eng.channel(0);
+        // Cycle 0 starts a stall lasting through cycle 4; cycle 5 starts the
+        // next one immediately (start probability 1).
+        for now in 0..12 {
+            assert!(inj.eject_stalled(now), "cycle {now} should be stalled");
+        }
+    }
+
+    #[test]
+    fn compound_edge_cases() {
+        assert_eq!(compound(0.0, 100), 0.0);
+        assert_eq!(compound(0.5, 0), 0.0);
+        assert_eq!(compound(1.0, 1), 1.0);
+        let p = compound(0.1, 2);
+        assert!((p - 0.19).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,38 @@
+//! # pnoc-faults — deterministic fault injection & reliability modeling
+//!
+//! The paper's core argument is qualitative: credit-based flow control
+//! (token channel / token slot) is only correct while *nothing is ever
+//! lost*, because credits are state distributed between the token and the
+//! home buffer with no recovery path; the handshake schemes (GHS/DHS) keep
+//! all recovery state at the sender, so a lost flit or a lost ACK costs
+//! latency, not correctness. This crate makes that argument testable by
+//! injecting the device-level faults nanophotonic links actually face:
+//!
+//! * **data-slot faults** — a flit in flight is destroyed outright (laser
+//!   droop, stuck ring) or arrives with a payload the home's CRC rejects;
+//! * **token faults** — an arbitration token in flight is dropped;
+//! * **handshake faults** — an ACK/NACK pulse is lost on the handshake
+//!   waveguide;
+//! * **micro-ring degradation** — thermally detuned or stuck rings raise the
+//!   optical loss chain and hence provisioned laser power
+//!   (see [`rings::RingFaultModel`], hooked into `pnoc-photonics` /
+//!   `pnoc-power`);
+//! * **drain stalls** — the home's ejection port transiently stops draining
+//!   (modeling back-pressure from the receiving core).
+//!
+//! All stochastic fault decisions flow through a dedicated RNG stream forked
+//! off the run seed (`pnoc-sim::rng::stream_seed`), so a fault schedule is
+//! (a) reproducible bit-for-bit and (b) independent of traffic randomness:
+//! enabling faults never perturbs which packets the workload injects, and a
+//! zero-rate [`FaultConfig`] draws nothing at all.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod config;
+pub mod engine;
+pub mod rings;
+
+pub use config::{FaultConfig, RecoveryConfig};
+pub use engine::{AckFate, ChannelInjector, DataFate, FaultEngine};
+pub use rings::RingFaultModel;

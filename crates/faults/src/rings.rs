@@ -1,0 +1,133 @@
+//! Micro-ring degradation: stuck and thermally detuned resonators.
+//!
+//! Unlike the transient faults in [`crate::engine`], ring faults are
+//! *parametric*: a detuned ring does not destroy individual flits, it shifts
+//! the resonance so every passing wavelength sees extra through-loss, and a
+//! ring stuck near resonance bleeds a large fraction of the carrier into its
+//! drop port. Both raise the worst-case optical loss chain and therefore the
+//! laser power that must be provisioned (`pnoc-power` exposes the resulting
+//! wall-plug overhead). This couples reliability to the paper's power
+//! argument: a design that needs many rings per channel pays for ring faults
+//! in watts even when no packet is ever lost.
+
+use pnoc_photonics::LossChain;
+use serde::{Deserialize, Serialize};
+
+/// A population of degraded micro-rings on one data path.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct RingFaultModel {
+    /// Rings drifted off their thermal set point (mild extra through-loss).
+    pub detuned_rings: u32,
+    /// Extra through-loss per detuned ring, in dB.
+    pub detune_through_db: f64,
+    /// Rings stuck near resonance (severe loss: the carrier partially drops
+    /// into a port nobody is reading).
+    pub stuck_rings: u32,
+    /// Extra loss per stuck ring, in dB.
+    pub stuck_db: f64,
+}
+
+impl Default for RingFaultModel {
+    fn default() -> Self {
+        Self::none()
+    }
+}
+
+impl RingFaultModel {
+    /// A healthy ring population (adds nothing to the loss chain).
+    pub fn none() -> Self {
+        Self {
+            detuned_rings: 0,
+            detune_through_db: 0.0,
+            stuck_rings: 0,
+            stuck_db: 0.0,
+        }
+    }
+
+    /// Typical thermal-drift scenario: `detuned` rings each adding 0.05 dB of
+    /// through-loss (an order of magnitude above the nominal 0.003 dB/ring,
+    /// consistent with a ring pulled partway off resonance).
+    pub fn thermal_drift(detuned: u32) -> Self {
+        Self {
+            detuned_rings: detuned,
+            detune_through_db: 0.05,
+            ..Self::none()
+        }
+    }
+
+    /// Hard-failure scenario: `stuck` rings each parked near resonance and
+    /// bleeding ~3 dB (half the carrier) into their drop port.
+    pub fn stuck(stuck: u32) -> Self {
+        Self {
+            stuck_rings: stuck,
+            stuck_db: 3.0,
+            ..Self::none()
+        }
+    }
+
+    /// True if this population degrades the link at all.
+    pub fn degrades(&self) -> bool {
+        self.extra_loss_db() > 0.0
+    }
+
+    /// Total extra optical loss contributed by the degraded rings, in dB.
+    pub fn extra_loss_db(&self) -> f64 {
+        f64::from(self.detuned_rings) * self.detune_through_db
+            + f64::from(self.stuck_rings) * self.stuck_db
+    }
+
+    /// Append this population's loss to a data-path loss chain.
+    pub fn degrade(&self, chain: LossChain) -> LossChain {
+        if self.degrades() {
+            chain.with("ring faults (detuned/stuck)", self.extra_loss_db())
+        } else {
+            chain
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn healthy_population_is_free() {
+        let m = RingFaultModel::none();
+        assert!(!m.degrades());
+        assert_eq!(m.extra_loss_db(), 0.0);
+        let chain = LossChain::data_channel(4.0, 64, 0.3);
+        let base = chain.total_db();
+        assert_eq!(m.degrade(chain).total_db(), base);
+    }
+
+    #[test]
+    fn extra_loss_scales_with_population() {
+        let a = RingFaultModel::thermal_drift(10);
+        let b = RingFaultModel::thermal_drift(20);
+        assert!(a.degrades());
+        assert!((b.extra_loss_db() - 2.0 * a.extra_loss_db()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn stuck_rings_dominate_detuned_ones() {
+        let drift = RingFaultModel::thermal_drift(10);
+        let stuck = RingFaultModel::stuck(2);
+        assert!(stuck.extra_loss_db() > drift.extra_loss_db());
+    }
+
+    #[test]
+    fn degrade_raises_chain_loss_by_exact_amount() {
+        let m = RingFaultModel {
+            detuned_rings: 8,
+            detune_through_db: 0.05,
+            stuck_rings: 1,
+            stuck_db: 3.0,
+        };
+        let chain = LossChain::data_channel(4.0, 64, 0.3);
+        let base = chain.total_db();
+        let degraded = m.degrade(chain);
+        assert!((degraded.total_db() - base - m.extra_loss_db()).abs() < 1e-9);
+        // More loss ⇒ more provisioned laser power.
+        assert!(degraded.linear_ratio() > 1.0);
+    }
+}

@@ -21,12 +21,14 @@
 use crate::calendar::Calendar;
 use crate::config::{FairnessPolicy, NetworkConfig, Scheme};
 use crate::metrics::NetworkMetrics;
-use crate::outqueue::{OutQueue, SendMode};
+use crate::outqueue::{OutQueue, SendMode, TimeoutAction};
 use crate::packet::Packet;
 use crate::slots::SlotRing;
 use crate::topology::Topology;
+use pnoc_faults::{AckFate, ChannelInjector, DataFate, FaultEngine, RecoveryConfig};
 use pnoc_sim::Cycle;
-use std::collections::VecDeque;
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashSet, VecDeque};
 
 /// A packet handed to the home node's local cores.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -45,6 +47,9 @@ enum GlobalTokenState {
     Sweeping { next: usize },
     /// Held by the sender at the given node while it transmits.
     Held { node: usize },
+    /// Destroyed by an injected fault; the home re-emits a replacement after
+    /// a watchdog period of two silent loop times.
+    Lost { since: Cycle },
 }
 
 /// Scheme-specific arbitration state.
@@ -108,6 +113,24 @@ pub struct Channel {
     suppress_token: bool,
     /// Measured deliveries per sender (fairness accounting).
     pub served_by_sender: Vec<u64>,
+
+    /// Fault injection for this channel (`None` on fault-free runs — every
+    /// fault hook below is skipped entirely).
+    injector: Option<ChannelInjector>,
+    /// Sender-side ACK-timeout retransmission parameters.
+    recovery: RecoveryConfig,
+    /// Armed ACK timers, earliest deadline first: `(deadline, sender, id)`.
+    /// Entries are validated lazily against the sender queue when they fire,
+    /// so stale timers (handshake arrived first) are harmless.
+    ack_timers: BinaryHeap<Reverse<(Cycle, usize, u64)>>,
+    /// Packet ids already accepted into the input buffer, kept while
+    /// recovery is enabled so a retransmission after a *lost ACK* is
+    /// discarded (and re-ACKed) instead of delivered twice.
+    accepted_ids: HashSet<u64>,
+    /// Token-slot: reservations destroyed by faults (lost tokens). The home
+    /// cannot observe the destruction, so the slots stay committed forever —
+    /// this is the credit leak the handshake schemes are immune to.
+    lost_reservations: u32,
 }
 
 impl Channel {
@@ -139,6 +162,13 @@ impl Channel {
                 }
             }
         };
+        // Each channel forks its own injector stream; forking from a fresh
+        // engine per channel is deterministic in (seed, home).
+        let injector = if cfg.faults.enabled() {
+            Some(FaultEngine::new(cfg.faults, cfg.seed).channel(home))
+        } else {
+            None
+        };
         Self {
             home,
             topo,
@@ -160,6 +190,11 @@ impl Channel {
             inflight: 0,
             suppress_token: false,
             served_by_sender: vec![0; cfg.nodes],
+            injector,
+            recovery: cfg.recovery,
+            ack_timers: BinaryHeap::new(),
+            accepted_ids: HashSet::new(),
+            lost_reservations: 0,
         }
     }
 
@@ -213,7 +248,88 @@ impl Channel {
         if self.data.at(home_seg).is_none() {
             return;
         }
+        // Fault fate for the flit's whole flight, decided at the observation
+        // point (one draw per arrival, compounded over the flight length).
+        if let Some(inj) = self.injector.as_mut() {
+            if inj.active() {
+                let sent_at = self.data.at(home_seg).expect("checked above").sent_at;
+                let flight = now.saturating_sub(sent_at).max(1);
+                match inj.data_fate(flight) {
+                    DataFate::Intact => {}
+                    DataFate::Lost => {
+                        // Destroyed in flight: the home never sees it, so no
+                        // handshake fires and no buffer slot is touched.
+                        let _ = self.data.take(home_seg).expect("checked above");
+                        m.faults_data_lost += 1;
+                        match self.scheme {
+                            // The credit reserved for this flit can never be
+                            // reimbursed (the slot is never occupied, so it
+                            // is never ejected): a permanent leak.
+                            Scheme::TokenChannel => m.credit_leaks += 1,
+                            // The in-flight reservation is never returned
+                            // (`inflight` stays elevated forever).
+                            Scheme::TokenSlot => m.credit_leaks += 1,
+                            // Handshake senders recover by ACK timeout;
+                            // circulation has no sender copy — a true loss.
+                            _ => {}
+                        }
+                        return;
+                    }
+                    DataFate::Corrupt => {
+                        let pkt = self.data.take(home_seg).expect("checked above");
+                        m.arrivals += 1;
+                        m.faults_data_corrupt += 1;
+                        match self.scheme {
+                            Scheme::TokenChannel => {
+                                // Discarded at the home; generously return
+                                // the credit (the flit itself is still gone
+                                // for good — credit schemes cannot ask for a
+                                // retransmission).
+                                self.uncommitted += 1;
+                            }
+                            Scheme::TokenSlot => {
+                                debug_assert!(self.inflight > 0);
+                                self.inflight -= 1;
+                            }
+                            Scheme::Ghs { .. } | Scheme::Dhs { .. } => {
+                                // CRC failure ⇒ NACK; the sender retransmits
+                                // exactly as after a full-buffer drop.
+                                self.acks.schedule(
+                                    pkt.sent_at + self.topo.handshake_delay(),
+                                    AckEvent {
+                                        sender: pkt.src_node as usize,
+                                        id: pkt.id,
+                                        ok: false,
+                                    },
+                                );
+                            }
+                            Scheme::DhsCirculation => {}
+                        }
+                        return;
+                    }
+                }
+            }
+        }
         m.arrivals += 1;
+        // Duplicate suppression (recovery only): a retransmission whose
+        // original was accepted but whose ACK was lost must not be delivered
+        // twice. Discard it and re-ACK so the sender can release its copy.
+        if self.recovery.enabled {
+            let id = self.data.at(home_seg).expect("checked above").id;
+            if self.accepted_ids.contains(&id) {
+                let pkt = self.data.take(home_seg).expect("checked above");
+                m.duplicates_suppressed += 1;
+                self.acks.schedule(
+                    pkt.sent_at + self.topo.handshake_delay(),
+                    AckEvent {
+                        sender: pkt.src_node as usize,
+                        id: pkt.id,
+                        ok: true,
+                    },
+                );
+                return;
+            }
+        }
         let has_room = self.input_queue.len() + (self.draining as usize) < self.buffer_cap;
         match self.scheme {
             Scheme::TokenChannel | Scheme::TokenSlot => {
@@ -239,6 +355,9 @@ impl Channel {
                             ok: true,
                         },
                     );
+                    if self.recovery.enabled {
+                        self.accepted_ids.insert(pkt.id);
+                    }
                     self.input_queue.push_back(pkt);
                 } else {
                     // Drop; the sender retransmits on NACK (§III-A).
@@ -272,28 +391,74 @@ impl Channel {
         }
     }
 
-    /// Phase 3: handshakes reach their senders.
+    /// Phase 3: handshakes reach their senders, and expired ACK timers fire.
     pub fn phase_acks(&mut self, now: Cycle, m: &mut NetworkMetrics) {
         for ev in self.acks.drain(now) {
+            // Handshake-channel fault: the pulse never reaches the sender.
+            // The sender learns nothing; with recovery enabled its ACK timer
+            // eventually retransmits, without it the packet wedges.
+            if let Some(inj) = self.injector.as_mut() {
+                if inj.active() && inj.ack_fate(self.topo.handshake_delay()) == AckFate::Lost {
+                    m.faults_acks_lost += 1;
+                    continue;
+                }
+            }
             let q = &mut self.senders[ev.sender];
             if ev.ok {
-                let acked = q.ack(ev.id);
-                debug_assert!(acked.is_some(), "ACK for unknown packet {}", ev.id);
-                // HoldHead keeps the packet queued until the ACK: account for
-                // its departure now. Setaside removed it from the queue at
-                // transmission time.
-                if matches!(self.scheme, Scheme::Ghs { setaside: 0 } | Scheme::Dhs { setaside: 0 })
-                {
-                    self.queued_total -= 1;
+                if q.ack(ev.id).is_some() {
+                    // HoldHead keeps the packet queued until the ACK: account
+                    // for its departure now. Setaside removed it from the
+                    // queue at transmission time.
+                    if matches!(
+                        self.scheme,
+                        Scheme::Ghs { setaside: 0 } | Scheme::Dhs { setaside: 0 }
+                    ) {
+                        self.queued_total -= 1;
+                    }
+                } else {
+                    // A re-ACK for a suppressed duplicate can land after the
+                    // first ACK already released the packet; only recovery
+                    // produces that.
+                    debug_assert!(self.recovery.enabled, "ACK for unknown packet {}", ev.id);
                 }
-            } else {
-                let requeued = q.nack(ev.id);
-                debug_assert!(requeued, "NACK for unknown packet {}", ev.id);
+            } else if q.nack(ev.id) {
                 m.retransmissions += 1;
                 // Setaside NACK pushes the packet back into the queue.
                 if self.scheme.setaside() > 0 {
                     self.queued_total += 1;
                 }
+            } else {
+                // The packet already timed out and retransmitted; this NACK
+                // answers a transmission the sender no longer tracks.
+                debug_assert!(self.recovery.enabled, "NACK for unknown packet {}", ev.id);
+            }
+        }
+        // Expired ACK timers (armed per transmission when recovery is on).
+        // A timer firing while the packet still awaits its handshake means
+        // the flit or its ACK was lost: retransmit, like a NACK, under
+        // exponential backoff and a bounded retry budget.
+        while let Some(&Reverse((deadline, sender, id))) = self.ack_timers.peek() {
+            if deadline > now {
+                break;
+            }
+            self.ack_timers.pop();
+            match self.senders[sender].timeout(id, self.recovery.max_retries) {
+                TimeoutAction::Retry => {
+                    m.timeout_retransmissions += 1;
+                    // Setaside: the packet moved back from setaside into the
+                    // queue, mirroring the NACK bookkeeping above.
+                    if self.scheme.setaside() > 0 {
+                        self.queued_total += 1;
+                    }
+                }
+                TimeoutAction::Abandon => {
+                    m.abandoned += 1;
+                    // A HoldHead abandon pops the pending head off the queue.
+                    if self.scheme.setaside() == 0 {
+                        self.queued_total -= 1;
+                    }
+                }
+                TimeoutAction::Stale => {}
             }
         }
     }
@@ -327,6 +492,14 @@ impl Channel {
                         // The packet left the queue (Forget or Setaside).
                         self.queued_total -= 1;
                     }
+                    if self.recovery.enabled && self.scheme.uses_handshake() {
+                        // Arm the ACK timer for this attempt. The base
+                        // timeout exceeds the handshake round trip, so on a
+                        // healthy channel the ACK always wins the race and
+                        // the timer goes stale.
+                        let deadline = now + self.recovery.timeout_for_attempt(pkt.sends);
+                        self.ack_timers.push(Reverse((deadline, node, pkt.id)));
+                    }
                     self.data.put(seg, pkt);
                     remaining = self.senders[node].granted();
                 }
@@ -339,12 +512,40 @@ impl Channel {
     }
 
     /// Phase 5: token emission, sweeping, grabbing, reimbursement.
-    pub fn phase_tokens(&mut self, now: Cycle, _m: &mut NetworkMetrics) {
+    pub fn phase_tokens(&mut self, now: Cycle, m: &mut NetworkMetrics) {
         // Split-borrow helpers capture everything phase_tokens needs.
         let fairness = self.fairness;
         match &mut self.arbiter {
             Arbiter::Global { state, credits } => {
+                // Fault: the circulating token is destroyed. Only a sweeping
+                // token is exposed (a held one is latched at its sender).
+                if let Some(inj) = self.injector.as_mut() {
+                    if inj.active()
+                        && matches!(*state, GlobalTokenState::Sweeping { .. })
+                        && inj.token_lost()
+                    {
+                        m.faults_tokens_lost += 1;
+                        if let Some(c) = credits.as_mut() {
+                            // Token-channel credits ride on the token and
+                            // die with it — an unrecoverable leak. (The GHS
+                            // token carries nothing; it is fully replaced.)
+                            m.credit_leaks += u64::from(*c);
+                            *c = 0;
+                        }
+                        *state = GlobalTokenState::Lost { since: now };
+                    }
+                }
                 match *state {
+                    GlobalTokenState::Lost { since } => {
+                        // Watchdog: after two silent loop times the home
+                        // emits a replacement. It cannot know how many
+                        // credits died with the old token, so the
+                        // replacement starts empty and must live off future
+                        // ejection reimbursements.
+                        if now.saturating_sub(since) >= 2 * self.topo.handshake_delay() {
+                            *state = GlobalTokenState::Sweeping { next: 0 };
+                        }
+                    }
                     GlobalTokenState::Held { node } => {
                         let has_credit = credits.is_none_or(|c| c > 0);
                         let q = &mut self.senders[node];
@@ -408,12 +609,34 @@ impl Channel {
                 }
             }
             Arbiter::Distributed { tokens } => {
+                // Fault: in-flight tokens are exposed every cycle.
+                if let Some(inj) = self.injector.as_mut() {
+                    if inj.active() && !tokens.is_empty() {
+                        let before = tokens.len();
+                        tokens.retain(|_| !inj.token_lost());
+                        let destroyed = (before - tokens.len()) as u64;
+                        if destroyed > 0 {
+                            m.faults_tokens_lost += destroyed;
+                            if self.scheme == Scheme::TokenSlot {
+                                // The home cannot observe the destruction:
+                                // each lost token's reservation stays
+                                // committed forever — a permanent leak of
+                                // buffer capacity. (DHS re-emits every
+                                // cycle, so a lost token costs one cycle of
+                                // arbitration, nothing more.)
+                                self.lost_reservations += destroyed as u32;
+                                m.credit_leaks += destroyed;
+                            }
+                        }
+                    }
+                }
                 // Emission.
                 let emit = match self.scheme {
                     Scheme::TokenSlot => {
                         let committed = self.input_queue.len()
                             + self.draining as usize
                             + self.inflight as usize
+                            + self.lost_reservations as usize
                             + tokens.len();
                         committed < self.buffer_cap
                     }
@@ -508,6 +731,15 @@ impl Channel {
                 self.uncommitted += 1;
             }
         }
+        // Fault: transient drain stall — the receiving core stops accepting.
+        // Flits already inside the ejection router (above) still complete;
+        // no new ejection starts this cycle.
+        if let Some(inj) = self.injector.as_mut() {
+            if inj.eject_stalled(now) {
+                m.stall_cycles += 1;
+                return;
+            }
+        }
         for _ in 0..self.ejection_per_cycle {
             let Some(pkt) = self.input_queue.pop_front() else {
                 break;
@@ -551,6 +783,7 @@ impl Channel {
                     self.input_queue.len()
                         + self.draining as usize
                         + self.inflight as usize
+                        + self.lost_reservations as usize
                         + tokens.len()
                         <= self.buffer_cap,
                     "token-slot reservation accounting violated"

@@ -1,5 +1,6 @@
 //! Network configuration: dimensions, scheme selection, fairness policy.
 
+use pnoc_faults::{FaultConfig, RecoveryConfig};
 use pnoc_photonics::SchemeFeatures;
 use serde::{Deserialize, Serialize};
 
@@ -136,6 +137,12 @@ pub struct NetworkConfig {
     pub fairness: FairnessPolicy,
     /// Master RNG seed.
     pub seed: u64,
+    /// Fault-injection rates (default: all zero — no fault engine is built
+    /// and behavior is identical to a fault-free simulator).
+    pub faults: FaultConfig,
+    /// Sender-side ACK-timeout retransmission (handshake schemes only;
+    /// inert for credit schemes, which have no handshake to time out).
+    pub recovery: RecoveryConfig,
 }
 
 impl NetworkConfig {
@@ -152,6 +159,8 @@ impl NetworkConfig {
             scheme,
             fairness: FairnessPolicy::None,
             seed: 0xC0FFEE,
+            faults: FaultConfig::none(),
+            recovery: RecoveryConfig::disabled(),
         }
     }
 
@@ -167,7 +176,19 @@ impl NetworkConfig {
             scheme,
             fairness: FairnessPolicy::None,
             seed: 0xBEEF,
+            faults: FaultConfig::none(),
+            recovery: RecoveryConfig::disabled(),
         }
+    }
+
+    /// Enable fault injection at the given rates, turning on timeout/
+    /// retransmit recovery when the scheme has a handshake to arm it on.
+    pub fn with_faults(mut self, faults: FaultConfig) -> Self {
+        self.faults = faults;
+        if self.scheme.uses_handshake() {
+            self.recovery = RecoveryConfig::for_ring(self.ring_segments);
+        }
+        self
     }
 
     /// Total cores.
@@ -205,6 +226,8 @@ impl NetworkConfig {
                 return Err("serve_quota must be positive".into());
             }
         }
+        self.faults.validate()?;
+        self.recovery.validate(self.ring_segments)?;
         Ok(())
     }
 }
@@ -273,6 +296,38 @@ mod tests {
     fn paper_set_has_seven_schemes() {
         let set = Scheme::paper_set(4);
         assert_eq!(set.len(), 7);
+    }
+
+    #[test]
+    fn with_faults_arms_recovery_only_for_handshake_schemes() {
+        let rate = FaultConfig::uniform(1e-4);
+        let dhs = NetworkConfig::small(Scheme::Dhs { setaside: 2 }).with_faults(rate);
+        assert!(dhs.recovery.enabled);
+        assert!(dhs.validate().is_ok());
+        let tc = NetworkConfig::small(Scheme::TokenChannel).with_faults(rate);
+        assert!(
+            !tc.recovery.enabled,
+            "credit schemes have no handshake to time out"
+        );
+        assert!(tc.validate().is_ok());
+    }
+
+    #[test]
+    fn validation_covers_fault_and_recovery_configs() {
+        let mut c = NetworkConfig::small(Scheme::Ghs { setaside: 0 });
+        c.faults.data_loss = 2.0;
+        assert!(c.validate().is_err());
+        let mut c = NetworkConfig::small(Scheme::Ghs { setaside: 0 });
+        c.recovery = RecoveryConfig {
+            enabled: true,
+            timeout_cycles: 2,
+            max_retries: 4,
+            backoff_doublings: 2,
+        };
+        assert!(
+            c.validate().is_err(),
+            "timeout racing the handshake must be rejected"
+        );
     }
 
     #[test]

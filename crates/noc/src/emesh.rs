@@ -537,9 +537,8 @@ mod tests {
         );
         let mesh_summary = mesh.run_open_loop(&mut src, RunPlan::new(1_000, 4_000, 1_000));
 
-        let rc = crate::config::NetworkConfig::paper_default(crate::config::Scheme::Dhs {
-            setaside: 8,
-        });
+        let rc =
+            crate::config::NetworkConfig::paper_default(crate::config::Scheme::Dhs { setaside: 8 });
         let ring_summary = crate::network::run_synthetic_point(
             rc,
             TrafficPattern::UniformRandom,

@@ -48,6 +48,7 @@ pub use emesh::{MeshConfig, MeshNetwork};
 pub use metrics::{NetworkMetrics, RunSummary};
 pub use network::Network;
 pub use packet::{Packet, PacketKind};
+pub use pnoc_faults::{FaultConfig, RecoveryConfig};
 pub use sources::{SyntheticSource, TraceSource, TrafficSource};
 pub use swmr::{SwmrConfig, SwmrFlowControl, SwmrNetwork};
 pub use topology::Topology;

@@ -36,6 +36,30 @@ pub struct NetworkMetrics {
     pub circulations: u64,
     /// Packets that arrived at a home (pre-buffer-check).
     pub arrivals: u64,
+
+    // --- reliability counters (all zero on fault-free runs) ---
+    /// Data flits destroyed in flight by the fault engine.
+    pub faults_data_lost: u64,
+    /// Data flits that arrived corrupt (failed the home's CRC).
+    pub faults_data_corrupt: u64,
+    /// ACK/NACK pulses lost on the handshake channel.
+    pub faults_acks_lost: u64,
+    /// Arbitration tokens destroyed in flight.
+    pub faults_tokens_lost: u64,
+    /// Home-ejection cycles lost to injected drain stalls.
+    pub stall_cycles: u64,
+    /// Retransmissions triggered by an ACK timeout (as opposed to a NACK).
+    pub timeout_retransmissions: u64,
+    /// Duplicate arrivals the home discarded (retransmit after a lost ACK);
+    /// each was re-ACKed so the sender could release its copy.
+    pub duplicates_suppressed: u64,
+    /// Packets abandoned after exhausting `max_retries` transmissions.
+    pub abandoned: u64,
+    /// Flow-control credits permanently destroyed by faults: token-channel
+    /// credits on lost flits/tokens and token-slot reservations that can
+    /// never be returned. Nonzero here is the credit-leak signature the
+    /// handshake schemes are immune to.
+    pub credit_leaks: u64,
 }
 
 impl NetworkMetrics {
@@ -55,6 +79,24 @@ impl NetworkMetrics {
             retransmissions: 0,
             circulations: 0,
             arrivals: 0,
+            faults_data_lost: 0,
+            faults_data_corrupt: 0,
+            faults_acks_lost: 0,
+            faults_tokens_lost: 0,
+            stall_cycles: 0,
+            timeout_retransmissions: 0,
+            duplicates_suppressed: 0,
+            abandoned: 0,
+            credit_leaks: 0,
+        }
+    }
+
+    /// Retransmissions (NACK- plus timeout-triggered) per ring transmission.
+    pub fn retransmit_rate(&self) -> f64 {
+        if self.sends == 0 {
+            0.0
+        } else {
+            (self.retransmissions + self.timeout_retransmissions) as f64 / self.sends as f64
         }
     }
 
@@ -115,6 +157,24 @@ pub struct RunSummary {
     /// Whether the run saturated (latency ran away past the histogram or a
     /// large fraction of measured packets never finished).
     pub saturated: bool,
+
+    // --- reliability digest (zero on fault-free runs) ---
+    /// Packets generated but never delivered to a core, counted after the
+    /// drain grace period: flits destroyed by faults, corrupt deliveries
+    /// credit schemes cannot retransmit, and traffic wedged behind leaked
+    /// credits all land here.
+    pub lost_packets: u64,
+    /// Duplicate arrivals suppressed at homes (each re-ACKed; cores never
+    /// see a packet twice).
+    pub duplicates: u64,
+    /// Retransmissions per ring transmission (NACK- plus timeout-triggered).
+    pub retransmit_rate: f64,
+    /// Retransmissions triggered specifically by ACK timeouts.
+    pub timeout_retransmissions: u64,
+    /// Packets abandoned after `max_retries` attempts.
+    pub abandoned: u64,
+    /// Flow-control credits/reservations permanently destroyed by faults.
+    pub credit_leaks: u64,
 }
 
 impl RunSummary {
@@ -141,13 +201,17 @@ impl RunSummary {
         } else {
             jains.iter().sum::<f64>() / jains.len() as f64
         };
-        let jain_worst = jains.iter().copied().fold(f64::NAN, |acc, j| {
-            if acc.is_nan() {
-                j
-            } else {
-                acc.min(j)
-            }
-        });
+        let jain_worst =
+            jains.iter().copied().fold(
+                f64::NAN,
+                |acc, j| {
+                    if acc.is_nan() {
+                        j
+                    } else {
+                        acc.min(j)
+                    }
+                },
+            );
         let unfinished = m.generated_measured.saturating_sub(m.delivered_measured);
         let saturated = m.generated_measured > 0
             && (unfinished as f64 > 0.10 * m.generated_measured as f64
@@ -165,6 +229,12 @@ impl RunSummary {
             jain_fairness: jain,
             jain_worst,
             saturated,
+            lost_packets: m.generated.saturating_sub(m.delivered),
+            duplicates: m.duplicates_suppressed,
+            retransmit_rate: m.retransmit_rate(),
+            timeout_retransmissions: m.timeout_retransmissions,
+            abandoned: m.abandoned,
+            credit_leaks: m.credit_leaks,
         }
     }
 }
@@ -201,10 +271,35 @@ mod tests {
         let s = RunSummary::from_metrics(&m, &service, 1000, 4, 0.25);
         assert!((s.throughput_per_core - 0.25).abs() < 1e-12);
         // Average of 1.0 (even channel) and 0.25 (hog channel); idle excluded.
-        assert!((s.jain_fairness - 0.625).abs() < 1e-12, "idle channel excluded");
-        assert!((s.jain_worst - 0.25).abs() < 1e-12, "worst channel surfaced");
+        assert!(
+            (s.jain_fairness - 0.625).abs() < 1e-12,
+            "idle channel excluded"
+        );
+        assert!(
+            (s.jain_worst - 0.25).abs() < 1e-12,
+            "worst channel surfaced"
+        );
         assert!(!s.saturated);
         assert!((s.avg_latency - 20.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn reliability_digest_mirrors_counters() {
+        let mut m = NetworkMetrics::new();
+        m.generated = 100;
+        m.delivered = 90;
+        m.sends = 200;
+        m.retransmissions = 6;
+        m.timeout_retransmissions = 4;
+        m.duplicates_suppressed = 3;
+        m.credit_leaks = 7;
+        assert!((m.retransmit_rate() - 0.05).abs() < 1e-12);
+        let s = RunSummary::from_metrics(&m, &[], 1000, 4, 0.1);
+        assert_eq!(s.lost_packets, 10);
+        assert_eq!(s.duplicates, 3);
+        assert_eq!(s.timeout_retransmissions, 4);
+        assert_eq!(s.credit_leaks, 7);
+        assert!((s.retransmit_rate - 0.05).abs() < 1e-12);
     }
 
     #[test]

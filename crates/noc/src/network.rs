@@ -81,7 +81,10 @@ impl Network {
         assert!(src_core < self.cfg.cores(), "core {src_core} out of range");
         assert!(dst_node < self.cfg.nodes, "node {dst_node} out of range");
         let src_node = src_core / self.cfg.cores_per_node;
-        assert_ne!(src_node, dst_node, "self-node traffic never enters the ring");
+        assert_ne!(
+            src_node, dst_node,
+            "self-node traffic never enters the ring"
+        );
         let now = self.clock.now();
         let id = self.next_id;
         self.next_id += 1;
@@ -164,8 +167,15 @@ impl Network {
             self.step();
         }
         // Give stragglers a bounded grace period so latency averages are not
-        // truncated at the drain boundary (matters near saturation).
-        let mut grace = 4 * self.cfg.ring_segments as u64 + 64;
+        // truncated at the drain boundary (matters near saturation). Fault
+        // injection needs a much longer horizon: timeout recovery with
+        // exponential backoff can take thousands of cycles, and the loop
+        // exits early once drained, so healthy runs never pay for it.
+        let mut grace = if self.cfg.faults.enabled() {
+            200_000
+        } else {
+            4 * self.cfg.ring_segments as u64 + 64
+        };
         while grace > 0 && !self.is_drained() {
             self.step();
             grace -= 1;
@@ -233,7 +243,11 @@ mod tests {
                 "{scheme:?} lost packets"
             );
             assert!(!s.saturated, "{scheme:?} saturated at 0.02?");
-            assert!(s.avg_latency > 0.0 && s.avg_latency < 40.0, "{scheme:?}: {}", s.avg_latency);
+            assert!(
+                s.avg_latency > 0.0 && s.avg_latency < 40.0,
+                "{scheme:?}: {}",
+                s.avg_latency
+            );
         }
     }
 
@@ -304,5 +318,186 @@ mod tests {
         let mut cfg = NetworkConfig::small(Scheme::TokenSlot);
         cfg.ring_segments = 3;
         assert!(Network::new(cfg).is_err());
+    }
+
+    // --- fault injection & recovery ---
+
+    use pnoc_faults::FaultConfig;
+
+    /// Run one faulted point; returns (summary, metrics, drained). Credit
+    /// schemes may legitimately wedge (leaked credits never come back), so
+    /// the drain check is left to each test.
+    fn faulted_point(cfg: NetworkConfig, rate: f64) -> (RunSummary, NetworkMetrics, bool) {
+        let mut net = Network::new(cfg).expect("invalid config");
+        let mut src = SyntheticSource::new(
+            TrafficPattern::UniformRandom,
+            rate,
+            cfg.nodes,
+            cfg.cores_per_node,
+            cfg.seed ^ 0x5EED_0001,
+        );
+        let s = net.run_open_loop(&mut src, RunPlan::quick());
+        let drained = net.is_drained();
+        (s, net.metrics().clone(), drained)
+    }
+
+    #[test]
+    fn zero_rate_faults_and_armed_recovery_change_nothing() {
+        // Acceptance: routing a run "through the fault engine" at rate 0 —
+        // recovery armed, timers pushed and going stale every packet — must
+        // reproduce the seed latency bit-for-bit.
+        let base = NetworkConfig::small(Scheme::Dhs { setaside: 2 });
+        let with_engine = base.with_faults(FaultConfig::uniform(0.0));
+        assert!(
+            with_engine.recovery.enabled,
+            "handshake scheme must arm recovery"
+        );
+        let a = run_synthetic_point(base, TrafficPattern::UniformRandom, 0.05, RunPlan::quick());
+        let b = run_synthetic_point(
+            with_engine,
+            TrafficPattern::UniformRandom,
+            0.05,
+            RunPlan::quick(),
+        );
+        assert_eq!(a.avg_latency.to_bits(), b.avg_latency.to_bits());
+        assert_eq!(a.delivered, b.delivered);
+        assert_eq!(
+            b.timeout_retransmissions, 0,
+            "no timer may fire on a healthy network"
+        );
+        assert_eq!(b.duplicates, 0);
+    }
+
+    #[test]
+    fn handshake_schemes_deliver_everything_under_faults() {
+        for scheme in [Scheme::Ghs { setaside: 0 }, Scheme::Dhs { setaside: 2 }] {
+            let cfg = NetworkConfig::small(scheme).with_faults(FaultConfig::uniform(5e-4));
+            let (s, m, drained) = faulted_point(cfg, 0.05);
+            assert!(drained, "{scheme:?} failed to drain under recovery");
+            assert_eq!(
+                m.generated, m.delivered,
+                "{scheme:?} lost or duplicated packets"
+            );
+            assert_eq!(s.lost_packets, 0, "{scheme:?}");
+            assert_eq!(
+                s.abandoned, 0,
+                "{scheme:?} gave up on a packet at a mild fault rate"
+            );
+            let injected = m.faults_data_lost
+                + m.faults_data_corrupt
+                + m.faults_acks_lost
+                + m.faults_tokens_lost;
+            assert!(injected > 0, "{scheme:?}: fault engine never fired at 5e-4");
+            assert!(
+                m.timeout_retransmissions > 0,
+                "{scheme:?}: losses must be recovered via timeout"
+            );
+        }
+    }
+
+    #[test]
+    fn lost_acks_are_recovered_without_duplicate_delivery() {
+        let faults = FaultConfig {
+            ack_loss: 2e-3,
+            ..FaultConfig::none()
+        };
+        let cfg = NetworkConfig::small(Scheme::Dhs { setaside: 2 }).with_faults(faults);
+        let (s, m, drained) = faulted_point(cfg, 0.05);
+        assert!(drained, "recovery failed to drain the network");
+        assert!(m.faults_acks_lost > 0, "ACK-loss process never fired");
+        assert!(
+            m.timeout_retransmissions > 0,
+            "lost ACKs must trigger timeouts"
+        );
+        assert!(
+            m.duplicates_suppressed > 0,
+            "a retransmit after a lost ACK arrives as a duplicate and must be filtered"
+        );
+        assert_eq!(m.generated, m.delivered, "exactly-once delivery violated");
+        assert_eq!(s.lost_packets, 0);
+    }
+
+    #[test]
+    fn credit_schemes_leak_and_lose_under_data_loss() {
+        let faults = FaultConfig {
+            data_loss: 1e-3,
+            ..FaultConfig::none()
+        };
+        for scheme in [Scheme::TokenChannel, Scheme::TokenSlot] {
+            let cfg = NetworkConfig::small(scheme).with_faults(faults);
+            assert!(
+                !cfg.recovery.enabled,
+                "credit schemes have no handshake to arm"
+            );
+            let (s, m, _) = faulted_point(cfg, 0.05);
+            assert!(
+                m.faults_data_lost > 0,
+                "{scheme:?}: loss process never fired"
+            );
+            assert!(
+                s.lost_packets > 0,
+                "{scheme:?} cannot recover destroyed flits"
+            );
+            assert!(
+                s.credit_leaks > 0,
+                "{scheme:?}: every destroyed flit leaks an unreturnable credit"
+            );
+        }
+    }
+
+    #[test]
+    fn global_token_loss_recovers_via_watchdog() {
+        let faults = FaultConfig {
+            token_loss: 2e-3,
+            ..FaultConfig::none()
+        };
+        // GHS: the token carries no credits, so the watchdog re-emission makes
+        // token loss fully survivable.
+        let cfg = NetworkConfig::small(Scheme::Ghs { setaside: 0 }).with_faults(faults);
+        let (s, m, drained) = faulted_point(cfg, 0.03);
+        assert!(drained, "GHS failed to drain after token loss");
+        assert!(m.faults_tokens_lost > 0, "token-loss process never fired");
+        assert_eq!(m.generated, m.delivered, "GHS must survive token loss");
+        assert_eq!(s.lost_packets, 0);
+        // Token channel: the same watchdog restores arbitration, but the
+        // credits the token carried are destroyed with it.
+        let cfg = NetworkConfig::small(Scheme::TokenChannel).with_faults(faults);
+        let (_, m, _) = faulted_point(cfg, 0.03);
+        assert!(m.faults_tokens_lost > 0);
+        assert!(m.credit_leaks > 0, "carried credits die with the token");
+    }
+
+    #[test]
+    fn ejection_stalls_are_absorbed_by_handshake_recovery() {
+        let faults = FaultConfig {
+            stall_start: 5e-4,
+            stall_cycles: 16,
+            ..FaultConfig::none()
+        };
+        let cfg = NetworkConfig::small(Scheme::Dhs { setaside: 2 }).with_faults(faults);
+        let (s, m, drained) = faulted_point(cfg, 0.05);
+        assert!(drained, "stalls must not wedge a recovering network");
+        assert!(m.stall_cycles > 0, "stall process never fired");
+        assert_eq!(
+            m.generated, m.delivered,
+            "stalls must only delay, never lose"
+        );
+        assert_eq!(s.lost_packets, 0);
+    }
+
+    #[test]
+    fn faulted_runs_are_deterministic_given_seed() {
+        let mk = || {
+            NetworkConfig::small(Scheme::Dhs { setaside: 2 })
+                .with_faults(FaultConfig::uniform(1e-4))
+        };
+        let (a, ma, _) = faulted_point(mk(), 0.05);
+        let (b, mb, _) = faulted_point(mk(), 0.05);
+        assert_eq!(a.avg_latency.to_bits(), b.avg_latency.to_bits());
+        assert_eq!(a.delivered, b.delivered);
+        assert_eq!(ma.faults_data_lost, mb.faults_data_lost);
+        assert_eq!(ma.faults_acks_lost, mb.faults_acks_lost);
+        assert_eq!(ma.timeout_retransmissions, mb.timeout_retransmissions);
+        assert_eq!(ma.duplicates_suppressed, mb.duplicates_suppressed);
     }
 }

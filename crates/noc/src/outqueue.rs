@@ -28,6 +28,21 @@ pub enum SendMode {
     Forget,
 }
 
+/// Outcome of an ACK-timeout firing against this queue (reliability
+/// extension: recovery from *lost* flits and handshakes, where no NACK will
+/// ever arrive).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TimeoutAction {
+    /// The packet was still awaiting its handshake; it is sendable again and
+    /// will be retransmitted under the next grant.
+    Retry,
+    /// The packet exhausted its retry budget and was discarded.
+    Abandon,
+    /// The timer was stale — the packet's handshake already arrived (or a
+    /// NACK already requeued it). Nothing changed.
+    Stale,
+}
+
 /// Per-(sender, channel) output queue.
 #[derive(Debug, Clone)]
 pub struct OutQueue {
@@ -47,7 +62,10 @@ impl OutQueue {
     /// An empty queue with the given send discipline.
     pub fn new(mode: SendMode) -> Self {
         if let SendMode::Setaside(cap) = mode {
-            assert!(cap > 0, "setaside capacity must be ≥ 1 (use HoldHead for 0)");
+            assert!(
+                cap > 0,
+                "setaside capacity must be ≥ 1 (use HoldHead for 0)"
+            );
         }
         Self {
             mode,
@@ -199,6 +217,44 @@ impl OutQueue {
         }
     }
 
+    /// ACK-timeout expiry for packet `id` after its latest transmission.
+    /// If the packet is still awaiting its handshake, it is treated like a
+    /// NACK (made sendable again) unless it has already been transmitted
+    /// `max_retries` times, in which case it is dropped for good. Timers are
+    /// validated lazily, so expiries for packets whose handshake already
+    /// arrived return [`TimeoutAction::Stale`].
+    pub fn timeout(&mut self, id: u64, max_retries: u32) -> TimeoutAction {
+        match self.mode {
+            SendMode::HoldHead => {
+                if self.head_pending && self.queue.front().map(|p| p.id) == Some(id) {
+                    self.head_pending = false;
+                    if self.queue.front().is_some_and(|p| p.sends >= max_retries) {
+                        self.queue.pop_front();
+                        TimeoutAction::Abandon
+                    } else {
+                        TimeoutAction::Retry
+                    }
+                } else {
+                    TimeoutAction::Stale
+                }
+            }
+            SendMode::Setaside(_) => {
+                if let Some(idx) = self.setaside.iter().position(|p| p.id == id) {
+                    let pkt = self.setaside.swap_remove(idx);
+                    if pkt.sends >= max_retries {
+                        TimeoutAction::Abandon
+                    } else {
+                        self.queue.push_front(pkt);
+                        TimeoutAction::Retry
+                    }
+                } else {
+                    TimeoutAction::Stale
+                }
+            }
+            SendMode::Forget => TimeoutAction::Stale,
+        }
+    }
+
     /// Queued packets (including a pending head).
     pub fn backlog(&self) -> usize {
         self.queue.len()
@@ -345,6 +401,79 @@ mod tests {
         q.transmit(1).unwrap();
         assert!(q.ack(99).is_none());
         assert!(!q.nack(99));
+    }
+
+    #[test]
+    fn timeout_retries_a_pending_head() {
+        let mut q = OutQueue::new(SendMode::HoldHead);
+        q.push(pkt(1));
+        q.take_grant(0, NOFAIR);
+        q.transmit(1).unwrap();
+        assert_eq!(q.sendable(), 0, "pending head blocks");
+        assert_eq!(q.timeout(1, 16), TimeoutAction::Retry);
+        assert_eq!(q.sendable(), 1, "timeout makes the head sendable again");
+        q.take_grant(2, NOFAIR);
+        let again = q.transmit(3).unwrap();
+        assert_eq!(again.id, 1);
+        assert_eq!(again.sends, 2);
+    }
+
+    #[test]
+    fn timeout_requeues_a_setaside_packet_ahead_of_followers() {
+        let mut q = OutQueue::new(SendMode::Setaside(2));
+        q.push(pkt(1));
+        q.push(pkt(2));
+        q.take_grant(0, NOFAIR);
+        q.transmit(1).unwrap();
+        assert_eq!(q.timeout(1, 16), TimeoutAction::Retry);
+        assert_eq!(q.setaside_len(), 0);
+        q.take_grant(2, NOFAIR);
+        let next = q.transmit(3).unwrap();
+        assert_eq!(next.id, 1, "timed-out packet retransmits before followers");
+    }
+
+    #[test]
+    fn timeout_is_stale_after_ack_nack_or_for_forget_mode() {
+        let mut q = OutQueue::new(SendMode::Setaside(2));
+        q.push(pkt(1));
+        q.take_grant(0, NOFAIR);
+        q.transmit(1).unwrap();
+        q.ack(1).unwrap();
+        assert_eq!(q.timeout(1, 16), TimeoutAction::Stale, "ACK beat the timer");
+
+        let mut q = OutQueue::new(SendMode::HoldHead);
+        q.push(pkt(7));
+        q.take_grant(0, NOFAIR);
+        q.transmit(1).unwrap();
+        assert!(q.nack(7));
+        assert_eq!(
+            q.timeout(7, 16),
+            TimeoutAction::Stale,
+            "NACK already requeued it"
+        );
+
+        let mut q = OutQueue::new(SendMode::Forget);
+        q.push(pkt(9));
+        q.take_grant(0, NOFAIR);
+        q.transmit(1).unwrap();
+        assert_eq!(q.timeout(9, 16), TimeoutAction::Stale);
+    }
+
+    #[test]
+    fn timeout_abandons_after_retry_budget() {
+        let mut q = OutQueue::new(SendMode::HoldHead);
+        q.push(pkt(1));
+        for attempt in 1..=3u64 {
+            q.take_grant(attempt, NOFAIR);
+            q.transmit(attempt).unwrap();
+            let action = q.timeout(1, 3);
+            if attempt < 3 {
+                assert_eq!(action, TimeoutAction::Retry);
+            } else {
+                assert_eq!(action, TimeoutAction::Abandon);
+            }
+        }
+        assert!(q.is_idle(), "abandoned packet leaves the queue");
     }
 
     #[test]

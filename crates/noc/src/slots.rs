@@ -58,7 +58,10 @@ impl<T> SlotRing<T> {
     /// arbitration layer must only grant free slots.
     pub fn put(&mut self, segment: usize, value: T) {
         let idx = self.index_of(segment);
-        assert!(self.slots[idx].is_none(), "slot collision at segment {segment}");
+        assert!(
+            self.slots[idx].is_none(),
+            "slot collision at segment {segment}"
+        );
         self.slots[idx] = Some(value);
     }
 

@@ -69,7 +69,9 @@ impl TrafficSource for SyntheticSource {
         for (core, inj) in self.injectors.iter_mut().enumerate() {
             for _ in 0..inj.fire(now, &mut self.rng) {
                 let src_node = core / self.cores_per_node;
-                let dst = self.pattern.destination(src_node, self.nodes, &mut self.rng);
+                let dst = self
+                    .pattern
+                    .destination(src_node, self.nodes, &mut self.rng);
                 out.push((core, dst, PacketKind::Data));
             }
         }

@@ -252,7 +252,10 @@ impl SwmrNetwork {
         assert!(src_core < self.cfg.cores());
         assert!(dst_node < self.cfg.nodes);
         let src_node = src_core / self.cfg.cores_per_node;
-        assert_ne!(src_node, dst_node, "self-node traffic never enters the ring");
+        assert_ne!(
+            src_node, dst_node,
+            "self-node traffic never enters the ring"
+        );
         let now = self.clock.now();
         let id = self.next_id;
         self.next_id += 1;
@@ -280,9 +283,10 @@ impl SwmrNetwork {
     /// Whether everything has drained.
     pub fn is_drained(&self) -> bool {
         self.inject_cal.pending() == 0
-            && self.channels.iter().all(|c| {
-                c.queue.is_idle() && c.data.is_empty() && c.acks.pending() == 0
-            })
+            && self
+                .channels
+                .iter()
+                .all(|c| c.queue.is_idle() && c.data.is_empty() && c.acks.pending() == 0)
             && self
                 .receivers
                 .iter()
@@ -339,7 +343,9 @@ impl SwmrNetwork {
                 if handshake {
                     let ack_at = pkt.sent_at + self.topo.handshake_delay();
                     let ok = has_room;
-                    self.channels[src].acks.schedule(ack_at, SwmrAck { id: pkt.id, ok });
+                    self.channels[src]
+                        .acks
+                        .schedule(ack_at, SwmrAck { id: pkt.id, ok });
                     if has_room {
                         rx.input_queue.push_back(pkt);
                     } else {
@@ -421,8 +427,7 @@ impl SwmrNetwork {
                     let src = pkt.src_node as usize;
                     // The credit signal travels the remaining ring arc back
                     // to the sender (one full trip minus the data leg, +1).
-                    let back = self.topo.segments as u64 + 1
-                        - self.topo.data_delay(src, dst);
+                    let back = self.topo.segments as u64 + 1 - self.topo.data_delay(src, dst);
                     self.channels[src]
                         .credits_in
                         .schedule(now + back.max(1), CreditReturn { dst });
@@ -436,8 +441,7 @@ impl SwmrNetwork {
                 if self.cfg.router_latency == 0 {
                     if self.cfg.flow == SwmrFlowControl::PartitionedCredit {
                         let src = pkt.src_node as usize;
-                        let back = self.topo.segments as u64 + 1
-                            - self.topo.data_delay(src, dst);
+                        let back = self.topo.segments as u64 + 1 - self.topo.data_delay(src, dst);
                         self.channels[src]
                             .credits_in
                             .schedule(now + back.max(1), CreditReturn { dst });

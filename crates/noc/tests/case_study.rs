@@ -35,7 +35,7 @@ fn s2_first_send(scheme: Scheme) -> u64 {
     let mut deliveries = Vec::new();
     let s1 = 8usize; // distance 7 from home
     let s2 = 24usize; // distance 23, downstream of S1
-    // S1 floods (more than the 8 credits the token carries), S2 has one.
+                      // S1 floods (more than the 8 credits the token carries), S2 has one.
     for i in 0..12 {
         ch.enqueue(pkt(i, s1));
     }
@@ -114,7 +114,10 @@ fn s2_wait_is_credit_independent_under_handshake() {
     // the allowance so a single full burst happens).
     let tc4 = wait_with(Scheme::TokenChannel, 4, 4);
     let tc16 = wait_with(Scheme::TokenChannel, 16, 16);
-    assert!(tc16 > tc4, "bigger credit burst delays S2 more ({tc16} vs {tc4})");
+    assert!(
+        tc16 > tc4,
+        "bigger credit burst delays S2 more ({tc16} vs {tc4})"
+    );
     // DHS with a *fixed* S1 backlog: varying the buffer/credit count alone
     // must not move S2's wait at all — tokens carry no credit information.
     let d4 = wait_with(Scheme::Dhs { setaside: 8 }, 4, 8);

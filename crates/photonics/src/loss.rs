@@ -22,7 +22,10 @@ impl LossElement {
     /// A named loss contribution.
     pub fn new(name: impl Into<String>, db: f64) -> Self {
         assert!(db >= 0.0, "loss cannot be negative");
-        Self { name: name.into(), db }
+        Self {
+            name: name.into(),
+            db,
+        }
     }
 }
 

@@ -66,8 +66,20 @@ mod tests {
 
     #[test]
     fn conversion_roles() {
-        assert!(MicroRing { role: RingRole::Modulator, wavelength_index: 0 }.converts_signal());
-        assert!(MicroRing { role: RingRole::Detector, wavelength_index: 0 }.converts_signal());
-        assert!(!MicroRing { role: RingRole::Switch, wavelength_index: 0 }.converts_signal());
+        assert!(MicroRing {
+            role: RingRole::Modulator,
+            wavelength_index: 0
+        }
+        .converts_signal());
+        assert!(MicroRing {
+            role: RingRole::Detector,
+            wavelength_index: 0
+        }
+        .converts_signal());
+        assert!(!MicroRing {
+            role: RingRole::Switch,
+            wavelength_index: 0
+        }
+        .converts_signal());
     }
 }

@@ -97,6 +97,20 @@ impl LaserModel {
         let budget = ComponentBudget::for_scheme(self.dims, scheme.features());
         tuning_power_w(budget.total_rings())
     }
+
+    /// Wall-plug laser power when every data/token/handshake path suffers an
+    /// extra `extra_loss_db` of optical loss — stuck or thermally detuned
+    /// micro-rings (see `pnoc_faults::RingFaultModel::extra_loss_db`). The
+    /// laser is provisioned for the worst-case path, so `x` dB of added loss
+    /// scales the required power by `10^(x/10)`; a single stuck ring (≈3 dB)
+    /// doubles the laser budget.
+    pub fn laser_power_w_degraded(&self, scheme: Scheme, extra_loss_db: f64) -> f64 {
+        assert!(
+            extra_loss_db >= 0.0,
+            "ring faults cannot reduce loss ({extra_loss_db} dB)"
+        );
+        self.laser_power_w(scheme) * 10f64.powf(extra_loss_db / 10.0)
+    }
 }
 
 #[cfg(test)]
@@ -153,10 +167,36 @@ mod tests {
         let m = model();
         let ts = m.laser_power_w(Scheme::TokenSlot);
         let dhs = m.laser_power_w(Scheme::Dhs { setaside: 8 });
-        assert!((dhs - ts) / ts < 0.05, "handshake laser overhead should be <5%");
+        assert!(
+            (dhs - ts) / ts < 0.05,
+            "handshake laser overhead should be <5%"
+        );
         let heat_ts = m.heating_power_w(Scheme::TokenSlot);
         let heat_dhs = m.heating_power_w(Scheme::Dhs { setaside: 8 });
         assert!((heat_dhs - heat_ts) / heat_ts < 0.01);
+    }
+
+    #[test]
+    fn ring_faults_scale_laser_power() {
+        let m = model();
+        let scheme = Scheme::Dhs { setaside: 8 };
+        let healthy = m.laser_power_w(scheme);
+        assert_eq!(
+            m.laser_power_w_degraded(scheme, 0.0),
+            healthy,
+            "0 dB is free"
+        );
+        // One stuck ring (3 dB) costs a factor of 10^0.3 ≈ 2.
+        let stuck = pnoc_faults::RingFaultModel::stuck(1);
+        let degraded = m.laser_power_w_degraded(scheme, stuck.extra_loss_db());
+        assert!(
+            (degraded / healthy - 2.0).abs() < 0.01,
+            "3 dB ≈ 2× ({degraded} vs {healthy})"
+        );
+        // Detuning (0.05 dB/ring) is mild but monotone.
+        let drift = pnoc_faults::RingFaultModel::thermal_drift(8);
+        let drifted = m.laser_power_w_degraded(scheme, drift.extra_loss_db());
+        assert!(drifted > healthy && drifted < degraded);
     }
 
     #[test]

@@ -8,7 +8,7 @@
 //!   so that every experiment is reproducible from a seed,
 //! * [`stats`] — streaming statistics (Welford mean/variance, histograms with
 //!   percentiles, rate meters, Jain fairness index),
-//! * [`sweep`] — a parallel parameter-sweep runner built on crossbeam scoped
+//! * [`sweep`] — a parallel parameter-sweep runner built on std scoped
 //!   threads (each sweep point is an independent simulation),
 //! * [`plan::RunPlan`] — the warmup/measure/drain phase protocol used by all
 //!   latency-vs-load experiments.

@@ -2,11 +2,11 @@
 //!
 //! A figure in the paper is a sweep over injection rates (and schemes, and
 //! traffic patterns); each sweep point is an independent simulation, so the
-//! harness fans them out across cores with crossbeam scoped threads. Results
+//! harness fans them out across cores with std scoped threads. Results
 //! come back in input order regardless of completion order.
 
-use parking_lot::Mutex;
 use std::num::NonZeroUsize;
+use std::sync::Mutex;
 
 /// Number of worker threads to use: the available parallelism, capped by the
 /// number of jobs (and at least 1).
@@ -57,23 +57,26 @@ where
     let next = &next;
     let slots_ref = &slots;
 
-    crossbeam::thread::scope(|scope| {
+    std::thread::scope(|scope| {
         for _ in 0..threads {
-            scope.spawn(move |_| loop {
+            scope.spawn(move || loop {
                 let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
                 if i >= inputs.len() {
                     break;
                 }
                 let out = f(i, &inputs[i]);
-                *slots_ref[i].lock() = Some(out);
+                *slots_ref[i].lock().expect("sweep slot poisoned") = Some(out);
             });
         }
-    })
-    .expect("sweep worker panicked");
+    });
 
     slots
         .into_iter()
-        .map(|slot| slot.into_inner().expect("worker skipped a sweep point"))
+        .map(|slot| {
+            slot.into_inner()
+                .expect("sweep slot poisoned")
+                .expect("worker skipped a sweep point")
+        })
         .collect()
 }
 

@@ -105,12 +105,8 @@ impl AppProfile {
         // together, as barrier-synchronized kernels do.
         let phase_open: Vec<bool> = if self.phase_on > 0.0 && self.phase_off > 0.0 {
             let mut rng = root.fork(u64::MAX);
-            let mut gate = crate::injection::OnOffInjector::new(
-                1.0,
-                self.phase_on,
-                self.phase_off,
-                &mut rng,
-            );
+            let mut gate =
+                crate::injection::OnOffInjector::new(1.0, self.phase_on, self.phase_off, &mut rng);
             (0..length).map(|_| gate.fire(&mut rng) > 0).collect()
         } else {
             vec![true; length as usize]
@@ -232,7 +228,17 @@ pub fn all_paper_apps() -> Vec<AppProfile> {
         app("mgrid", SpecOmp, 0.16, 60.0, 440.0, 0.30, 4, 200.0, 600.0),
         app("blackscholes", Parsec, 0.06, 30.0, 720.0, 0.20, 2, 0.0, 0.0),
         app("freqmine", Parsec, 0.08, 30.0, 570.0, 0.25, 2, 0.0, 0.0),
-        app("streamcluster", Parsec, 0.12, 50.0, 550.0, 0.35, 4, 250.0, 550.0),
+        app(
+            "streamcluster",
+            Parsec,
+            0.12,
+            50.0,
+            550.0,
+            0.35,
+            4,
+            250.0,
+            550.0,
+        ),
         app("swaptions", Parsec, 0.06, 25.0, 600.0, 0.20, 2, 0.0, 0.0),
         app("fft", Splash2, 0.20, 60.0, 440.0, 0.30, 5, 250.0, 450.0),
         app("lu", Splash2, 0.18, 50.0, 450.0, 0.30, 5, 250.0, 450.0),

@@ -67,7 +67,10 @@ impl OnOffInjector {
     /// Build from mean burst (`mean_on`) and gap (`mean_off`) lengths in
     /// cycles, both ≥ 1.
     pub fn new(on_rate: f64, mean_on: f64, mean_off: f64, rng: &mut SimRng) -> Self {
-        assert!(mean_on >= 1.0 && mean_off >= 1.0, "dwell means must be ≥ 1 cycle");
+        assert!(
+            mean_on >= 1.0 && mean_off >= 1.0,
+            "dwell means must be ≥ 1 cycle"
+        );
         Self {
             on_rate: on_rate.clamp(0.0, 1.0),
             p_leave_on: 1.0 / mean_on,
@@ -84,9 +87,17 @@ impl OnOffInjector {
 
     /// Advance one cycle; returns packets generated this cycle.
     pub fn fire(&mut self, rng: &mut SimRng) -> u32 {
-        let fired = if self.on && rng.chance(self.on_rate) { 1 } else { 0 };
+        let fired = if self.on && rng.chance(self.on_rate) {
+            1
+        } else {
+            0
+        };
         // State transition after emission, so a 1-cycle dwell can still fire.
-        let leave = if self.on { self.p_leave_on } else { self.p_leave_off };
+        let leave = if self.on {
+            self.p_leave_on
+        } else {
+            self.p_leave_off
+        };
         if rng.chance(leave) {
             self.on = !self.on;
         }

@@ -83,7 +83,10 @@ impl TrafficPattern {
         match self {
             TrafficPattern::BitComplement | TrafficPattern::BitReversal => {
                 if !nodes.is_power_of_two() {
-                    return Err(format!("{} requires a power-of-two node count", self.label()));
+                    return Err(format!(
+                        "{} requires a power-of-two node count",
+                        self.label()
+                    ));
                 }
                 Ok(())
             }
@@ -253,12 +256,18 @@ mod tests {
         assert!(TrafficPattern::BitComplement.validate(63).is_err());
         assert!(TrafficPattern::Transpose.validate(64).is_ok());
         assert!(TrafficPattern::Transpose.validate(32).is_err());
-        assert!(TrafficPattern::Hotspot { target: 70, fraction: 0.1 }
-            .validate(64)
-            .is_err());
-        assert!(TrafficPattern::Hotspot { target: 7, fraction: 1.5 }
-            .validate(64)
-            .is_err());
+        assert!(TrafficPattern::Hotspot {
+            target: 70,
+            fraction: 0.1
+        }
+        .validate(64)
+        .is_err());
+        assert!(TrafficPattern::Hotspot {
+            target: 7,
+            fraction: 1.5
+        }
+        .validate(64)
+        .is_err());
         assert!(TrafficPattern::UniformRandom.validate(1).is_err());
     }
 

@@ -120,7 +120,11 @@ mod tests {
             });
         }
         let s = TraceStats::analyze(&t, 100);
-        assert!(s.destination_entropy > 0.99, "entropy {}", s.destination_entropy);
+        assert!(
+            s.destination_entropy > 0.99,
+            "entropy {}",
+            s.destination_entropy
+        );
         assert!((s.hotspot_factor - 1.0).abs() < 0.05);
         assert!(s.burstiness < 0.2, "constant stream disperses ~0");
         assert_eq!(s.messages, 1600);

@@ -128,9 +128,9 @@ impl Trace {
             length: Cycle,
         }
         let mut lines = r.lines();
-        let header_line = lines
-            .next()
-            .ok_or_else(|| std::io::Error::new(std::io::ErrorKind::UnexpectedEof, "empty trace"))??;
+        let header_line = lines.next().ok_or_else(|| {
+            std::io::Error::new(std::io::ErrorKind::UnexpectedEof, "empty trace")
+        })??;
         let header: Header = serde_json::from_str(&header_line)?;
         let mut trace = Trace::new(header.name, header.cores, header.nodes, header.length);
         for line in lines {

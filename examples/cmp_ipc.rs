@@ -10,9 +10,10 @@ use nanophotonic_handshake::cmp::workload::paper_workload;
 use nanophotonic_handshake::prelude::*;
 
 fn main() {
-    let name = std::env::args().nth(1).unwrap_or_else(|| "nas.cg".to_string());
-    let workload =
-        paper_workload(&name).unwrap_or_else(|| panic!("unknown workload {name}"));
+    let name = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "nas.cg".to_string());
+    let workload = paper_workload(&name).unwrap_or_else(|| panic!("unknown workload {name}"));
     println!(
         "workload '{}': {:.1}% of instructions miss to a remote L2 bank\n",
         workload.name,
@@ -49,7 +50,8 @@ fn main() {
             if let Some(base) = baseline_ipc {
                 println!(
                     "{:<18} GHS w/ Setaside vs Token Channel: {:+.1}% IPC",
-                    "", (s.ipc / base - 1.0) * 100.0
+                    "",
+                    (s.ipc / base - 1.0) * 100.0
                 );
             }
         }

@@ -53,7 +53,12 @@ fn main() {
         let s = run_synthetic_point(cfg, pattern, rate, plan);
         println!(
             "{:<14} {:>11.3} {:>9.3} {:>12.1} {:>12.4} {:>8.0}",
-            name, s.jain_worst, s.jain_fairness, s.avg_latency, s.throughput_per_core, s.p99_latency
+            name,
+            s.jain_worst,
+            s.jain_fairness,
+            s.avg_latency,
+            s.throughput_per_core,
+            s.p99_latency
         );
     }
     println!(

@@ -26,8 +26,14 @@ fn main() {
     let summary = network.run_open_loop(&mut source, RunPlan::new(5_000, 20_000, 2_000));
 
     println!("scheme            : {}", cfg.scheme.label());
-    println!("offered load      : {:.3} packets/cycle/core", summary.offered_per_core);
-    println!("accepted load     : {:.3} packets/cycle/core", summary.throughput_per_core);
+    println!(
+        "offered load      : {:.3} packets/cycle/core",
+        summary.offered_per_core
+    );
+    println!(
+        "accepted load     : {:.3} packets/cycle/core",
+        summary.throughput_per_core
+    );
     println!("average latency   : {:.1} cycles", summary.avg_latency);
     println!("p99 latency       : {:.1} cycles", summary.p99_latency);
     println!("queue wait        : {:.1} cycles", summary.avg_queue_wait);

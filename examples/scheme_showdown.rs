@@ -21,7 +21,10 @@ fn main() {
     let schemes = Scheme::paper_set(8);
     let plan = RunPlan::new(4_000, 16_000, 2_000);
 
-    println!("pattern: {}  (latency in cycles; SAT = saturated)\n", pattern.label());
+    println!(
+        "pattern: {}  (latency in cycles; SAT = saturated)\n",
+        pattern.label()
+    );
     print!("{:<20}", "scheme");
     for r in rates {
         print!("{r:>8.2}");

@@ -46,7 +46,11 @@ fn main() {
     let loaded =
         Trace::load(BufReader::new(std::fs::File::open(&path).expect("open"))).expect("parse");
     assert_eq!(loaded, trace);
-    println!("  saved + reloaded {} ({} bytes)\n", path.display(), std::fs::metadata(&path).map(|m| m.len()).unwrap_or(0));
+    println!(
+        "  saved + reloaded {} ({} bytes)\n",
+        path.display(),
+        std::fs::metadata(&path).map(|m| m.len()).unwrap_or(0)
+    );
 
     // Replay under both flow-control families.
     let plan = RunPlan::new(5_000, length - 10_000, 3_000);

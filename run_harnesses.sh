@@ -2,8 +2,9 @@
 # Run every paper-reproduction harness at full fidelity, saving text output,
 # rendered SVG figures, and JSON results.
 cd /root/repo
+./ci.sh || exit 1
 mkdir -p results results/json
-for bin in table1 fig12 fig2b fig8 fig9 fig10 ipc ablations swmr mesh_vs_ring fig11; do
+for bin in table1 fig12 fig2b fig8 fig9 fig10 ipc ablations swmr mesh_vs_ring fig11 resilience; do
   echo "== running $bin =="
   ./target/release/$bin --svg results --json results/json > results/$bin.txt 2>&1
   echo "== $bin done rc=$? =="

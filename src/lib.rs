@@ -43,6 +43,10 @@ pub use pnoc_traffic as traffic;
 /// The ring NoC simulator and all arbitration/flow-control schemes.
 pub use pnoc_noc as noc;
 
+/// Deterministic fault injection (bit errors, lost tokens/ACKs, degraded
+/// rings, drain stalls) and the timeout/retransmit recovery parameters.
+pub use pnoc_faults as faults;
+
 /// Power and energy models (laser, tuning, conversion, router).
 pub use pnoc_power as power;
 
@@ -52,6 +56,7 @@ pub use pnoc_cmp as cmp;
 /// The items most experiments need.
 pub mod prelude {
     pub use crate::cmp::{CmpConfig, CmpSystem, CmpWorkload};
+    pub use crate::faults::{FaultConfig, RecoveryConfig, RingFaultModel};
     pub use crate::noc::network::run_synthetic_point;
     pub use crate::noc::{
         FairnessPolicy, Network, NetworkConfig, Packet, PacketKind, Scheme, SyntheticSource,

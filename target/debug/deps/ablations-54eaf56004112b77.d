@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablations-54eaf56004112b77.d: crates/bench/src/bin/ablations.rs
+
+/root/repo/target/debug/deps/ablations-54eaf56004112b77: crates/bench/src/bin/ablations.rs
+
+crates/bench/src/bin/ablations.rs:

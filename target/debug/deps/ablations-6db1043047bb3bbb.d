@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablations-6db1043047bb3bbb.d: crates/bench/src/bin/ablations.rs
+
+/root/repo/target/debug/deps/ablations-6db1043047bb3bbb: crates/bench/src/bin/ablations.rs
+
+crates/bench/src/bin/ablations.rs:

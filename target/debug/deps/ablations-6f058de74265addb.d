@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablations-6f058de74265addb.d: crates/bench/src/bin/ablations.rs
+
+/root/repo/target/debug/deps/ablations-6f058de74265addb: crates/bench/src/bin/ablations.rs
+
+crates/bench/src/bin/ablations.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablations-96457e77396744b8.d: crates/bench/src/bin/ablations.rs
+
+/root/repo/target/debug/deps/ablations-96457e77396744b8: crates/bench/src/bin/ablations.rs
+
+crates/bench/src/bin/ablations.rs:

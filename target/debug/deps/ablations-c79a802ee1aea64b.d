@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablations-c79a802ee1aea64b.d: crates/bench/src/bin/ablations.rs
+
+/root/repo/target/debug/deps/ablations-c79a802ee1aea64b: crates/bench/src/bin/ablations.rs
+
+crates/bench/src/bin/ablations.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/budget_props-1e03228754996adf.d: crates/photonics/tests/budget_props.rs Cargo.toml
+
+/root/repo/target/debug/deps/libbudget_props-1e03228754996adf.rmeta: crates/photonics/tests/budget_props.rs Cargo.toml
+
+crates/photonics/tests/budget_props.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/budget_props-84d161d30e929b05.d: crates/photonics/tests/budget_props.rs
+
+/root/repo/target/debug/deps/budget_props-84d161d30e929b05: crates/photonics/tests/budget_props.rs
+
+crates/photonics/tests/budget_props.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/calibrate-0576c8c263f422c3.d: crates/bench/src/bin/calibrate.rs
+
+/root/repo/target/debug/deps/calibrate-0576c8c263f422c3: crates/bench/src/bin/calibrate.rs
+
+crates/bench/src/bin/calibrate.rs:

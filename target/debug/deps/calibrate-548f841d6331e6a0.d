@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/calibrate-548f841d6331e6a0.d: crates/bench/src/bin/calibrate.rs
+
+/root/repo/target/debug/deps/calibrate-548f841d6331e6a0: crates/bench/src/bin/calibrate.rs
+
+crates/bench/src/bin/calibrate.rs:

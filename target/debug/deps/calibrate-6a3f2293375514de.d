@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/calibrate-6a3f2293375514de.d: crates/bench/src/bin/calibrate.rs
+
+/root/repo/target/debug/deps/calibrate-6a3f2293375514de: crates/bench/src/bin/calibrate.rs
+
+crates/bench/src/bin/calibrate.rs:

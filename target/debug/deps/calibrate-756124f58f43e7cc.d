@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/calibrate-756124f58f43e7cc.d: crates/bench/src/bin/calibrate.rs
+
+/root/repo/target/debug/deps/calibrate-756124f58f43e7cc: crates/bench/src/bin/calibrate.rs
+
+crates/bench/src/bin/calibrate.rs:

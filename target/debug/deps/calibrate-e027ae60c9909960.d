@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/calibrate-e027ae60c9909960.d: crates/bench/src/bin/calibrate.rs
+
+/root/repo/target/debug/deps/calibrate-e027ae60c9909960: crates/bench/src/bin/calibrate.rs
+
+crates/bench/src/bin/calibrate.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/case_study-12d76c8b866800c4.d: crates/noc/tests/case_study.rs
+
+/root/repo/target/debug/deps/case_study-12d76c8b866800c4: crates/noc/tests/case_study.rs
+
+crates/noc/tests/case_study.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/case_study-21b534ac0af44ad2.d: crates/noc/tests/case_study.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcase_study-21b534ac0af44ad2.rmeta: crates/noc/tests/case_study.rs Cargo.toml
+
+crates/noc/tests/case_study.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/case_study-93515ec35926e945.d: crates/noc/tests/case_study.rs
+
+/root/repo/target/debug/deps/case_study-93515ec35926e945: crates/noc/tests/case_study.rs
+
+crates/noc/tests/case_study.rs:

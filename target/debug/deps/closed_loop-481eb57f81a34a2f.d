@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/closed_loop-481eb57f81a34a2f.d: crates/cmp/tests/closed_loop.rs
+
+/root/repo/target/debug/deps/closed_loop-481eb57f81a34a2f: crates/cmp/tests/closed_loop.rs
+
+crates/cmp/tests/closed_loop.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/closed_loop-5606a952b96f773a.d: crates/cmp/tests/closed_loop.rs Cargo.toml
+
+/root/repo/target/debug/deps/libclosed_loop-5606a952b96f773a.rmeta: crates/cmp/tests/closed_loop.rs Cargo.toml
+
+crates/cmp/tests/closed_loop.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

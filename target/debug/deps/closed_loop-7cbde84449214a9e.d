@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/closed_loop-7cbde84449214a9e.d: crates/cmp/tests/closed_loop.rs
+
+/root/repo/target/debug/deps/closed_loop-7cbde84449214a9e: crates/cmp/tests/closed_loop.rs
+
+crates/cmp/tests/closed_loop.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/conservation_prop-77a22f2675c70387.d: tests/conservation_prop.rs
+
+/root/repo/target/debug/deps/conservation_prop-77a22f2675c70387: tests/conservation_prop.rs
+
+tests/conservation_prop.rs:

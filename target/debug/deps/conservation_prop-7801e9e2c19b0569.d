@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/conservation_prop-7801e9e2c19b0569.d: tests/conservation_prop.rs Cargo.toml
+
+/root/repo/target/debug/deps/libconservation_prop-7801e9e2c19b0569.rmeta: tests/conservation_prop.rs Cargo.toml
+
+tests/conservation_prop.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/conservation_prop-7cd3fdc7d7d91e39.d: tests/conservation_prop.rs
+
+/root/repo/target/debug/deps/conservation_prop-7cd3fdc7d7d91e39: tests/conservation_prop.rs
+
+tests/conservation_prop.rs:

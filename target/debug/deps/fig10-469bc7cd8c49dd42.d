@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig10-469bc7cd8c49dd42.d: crates/bench/src/bin/fig10.rs
+
+/root/repo/target/debug/deps/fig10-469bc7cd8c49dd42: crates/bench/src/bin/fig10.rs
+
+crates/bench/src/bin/fig10.rs:

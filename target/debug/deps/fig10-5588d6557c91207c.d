@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig10-5588d6557c91207c.d: crates/bench/src/bin/fig10.rs
+
+/root/repo/target/debug/deps/fig10-5588d6557c91207c: crates/bench/src/bin/fig10.rs
+
+crates/bench/src/bin/fig10.rs:

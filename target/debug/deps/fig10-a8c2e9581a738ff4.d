@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig10-a8c2e9581a738ff4.d: crates/bench/src/bin/fig10.rs
+
+/root/repo/target/debug/deps/fig10-a8c2e9581a738ff4: crates/bench/src/bin/fig10.rs
+
+crates/bench/src/bin/fig10.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig10-c2f60424724783f1.d: crates/bench/src/bin/fig10.rs
+
+/root/repo/target/debug/deps/fig10-c2f60424724783f1: crates/bench/src/bin/fig10.rs
+
+crates/bench/src/bin/fig10.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig10-e1599b3e637114fe.d: crates/bench/src/bin/fig10.rs
+
+/root/repo/target/debug/deps/fig10-e1599b3e637114fe: crates/bench/src/bin/fig10.rs
+
+crates/bench/src/bin/fig10.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig11-292d62e489c1b708.d: crates/bench/src/bin/fig11.rs
+
+/root/repo/target/debug/deps/fig11-292d62e489c1b708: crates/bench/src/bin/fig11.rs
+
+crates/bench/src/bin/fig11.rs:

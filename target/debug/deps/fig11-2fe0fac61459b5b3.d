@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig11-2fe0fac61459b5b3.d: crates/bench/src/bin/fig11.rs
+
+/root/repo/target/debug/deps/fig11-2fe0fac61459b5b3: crates/bench/src/bin/fig11.rs
+
+crates/bench/src/bin/fig11.rs:

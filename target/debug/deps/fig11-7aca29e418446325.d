@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig11-7aca29e418446325.d: crates/bench/src/bin/fig11.rs
+
+/root/repo/target/debug/deps/fig11-7aca29e418446325: crates/bench/src/bin/fig11.rs
+
+crates/bench/src/bin/fig11.rs:

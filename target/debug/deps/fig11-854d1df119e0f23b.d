@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig11-854d1df119e0f23b.d: crates/bench/src/bin/fig11.rs
+
+/root/repo/target/debug/deps/fig11-854d1df119e0f23b: crates/bench/src/bin/fig11.rs
+
+crates/bench/src/bin/fig11.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig11-b2f1e49d1cfd3136.d: crates/bench/src/bin/fig11.rs
+
+/root/repo/target/debug/deps/fig11-b2f1e49d1cfd3136: crates/bench/src/bin/fig11.rs
+
+crates/bench/src/bin/fig11.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig12-370a5163b3c81548.d: crates/bench/src/bin/fig12.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig12-370a5163b3c81548.rmeta: crates/bench/src/bin/fig12.rs Cargo.toml
+
+crates/bench/src/bin/fig12.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig12-6cadaa64b2fce028.d: crates/bench/src/bin/fig12.rs
+
+/root/repo/target/debug/deps/fig12-6cadaa64b2fce028: crates/bench/src/bin/fig12.rs
+
+crates/bench/src/bin/fig12.rs:

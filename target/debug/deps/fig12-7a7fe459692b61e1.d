@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig12-7a7fe459692b61e1.d: crates/bench/src/bin/fig12.rs
+
+/root/repo/target/debug/deps/fig12-7a7fe459692b61e1: crates/bench/src/bin/fig12.rs
+
+crates/bench/src/bin/fig12.rs:

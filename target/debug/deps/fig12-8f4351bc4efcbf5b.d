@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig12-8f4351bc4efcbf5b.d: crates/bench/src/bin/fig12.rs
+
+/root/repo/target/debug/deps/fig12-8f4351bc4efcbf5b: crates/bench/src/bin/fig12.rs
+
+crates/bench/src/bin/fig12.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig12-aff3526e611e15be.d: crates/bench/src/bin/fig12.rs
+
+/root/repo/target/debug/deps/fig12-aff3526e611e15be: crates/bench/src/bin/fig12.rs
+
+crates/bench/src/bin/fig12.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig12-e68c21351df90e05.d: crates/bench/src/bin/fig12.rs
+
+/root/repo/target/debug/deps/fig12-e68c21351df90e05: crates/bench/src/bin/fig12.rs
+
+crates/bench/src/bin/fig12.rs:

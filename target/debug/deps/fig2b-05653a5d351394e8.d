@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig2b-05653a5d351394e8.d: crates/bench/src/bin/fig2b.rs
+
+/root/repo/target/debug/deps/fig2b-05653a5d351394e8: crates/bench/src/bin/fig2b.rs
+
+crates/bench/src/bin/fig2b.rs:

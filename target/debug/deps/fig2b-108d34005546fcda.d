@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig2b-108d34005546fcda.d: crates/bench/src/bin/fig2b.rs
+
+/root/repo/target/debug/deps/fig2b-108d34005546fcda: crates/bench/src/bin/fig2b.rs
+
+crates/bench/src/bin/fig2b.rs:

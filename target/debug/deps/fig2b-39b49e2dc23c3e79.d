@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig2b-39b49e2dc23c3e79.d: crates/bench/src/bin/fig2b.rs
+
+/root/repo/target/debug/deps/fig2b-39b49e2dc23c3e79: crates/bench/src/bin/fig2b.rs
+
+crates/bench/src/bin/fig2b.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig2b-6b631b4dce870d3f.d: crates/bench/src/bin/fig2b.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig2b-6b631b4dce870d3f.rmeta: crates/bench/src/bin/fig2b.rs Cargo.toml
+
+crates/bench/src/bin/fig2b.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig2b-830e8a7d0e37183a.d: crates/bench/src/bin/fig2b.rs
+
+/root/repo/target/debug/deps/fig2b-830e8a7d0e37183a: crates/bench/src/bin/fig2b.rs
+
+crates/bench/src/bin/fig2b.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig2b-a04a51129cf40398.d: crates/bench/src/bin/fig2b.rs
+
+/root/repo/target/debug/deps/fig2b-a04a51129cf40398: crates/bench/src/bin/fig2b.rs
+
+crates/bench/src/bin/fig2b.rs:

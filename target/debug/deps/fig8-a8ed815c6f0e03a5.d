@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig8-a8ed815c6f0e03a5.d: crates/bench/src/bin/fig8.rs
+
+/root/repo/target/debug/deps/fig8-a8ed815c6f0e03a5: crates/bench/src/bin/fig8.rs
+
+crates/bench/src/bin/fig8.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig8-c4d498ce5e4bd16c.d: crates/bench/src/bin/fig8.rs
+
+/root/repo/target/debug/deps/fig8-c4d498ce5e4bd16c: crates/bench/src/bin/fig8.rs
+
+crates/bench/src/bin/fig8.rs:

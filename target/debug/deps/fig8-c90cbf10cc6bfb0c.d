@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig8-c90cbf10cc6bfb0c.d: crates/bench/src/bin/fig8.rs
+
+/root/repo/target/debug/deps/fig8-c90cbf10cc6bfb0c: crates/bench/src/bin/fig8.rs
+
+crates/bench/src/bin/fig8.rs:

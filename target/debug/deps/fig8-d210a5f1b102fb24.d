@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig8-d210a5f1b102fb24.d: crates/bench/src/bin/fig8.rs
+
+/root/repo/target/debug/deps/fig8-d210a5f1b102fb24: crates/bench/src/bin/fig8.rs
+
+crates/bench/src/bin/fig8.rs:

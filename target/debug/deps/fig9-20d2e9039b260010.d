@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig9-20d2e9039b260010.d: crates/bench/src/bin/fig9.rs
+
+/root/repo/target/debug/deps/fig9-20d2e9039b260010: crates/bench/src/bin/fig9.rs
+
+crates/bench/src/bin/fig9.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig9-8123b8e6297f8878.d: crates/bench/src/bin/fig9.rs
+
+/root/repo/target/debug/deps/fig9-8123b8e6297f8878: crates/bench/src/bin/fig9.rs
+
+crates/bench/src/bin/fig9.rs:

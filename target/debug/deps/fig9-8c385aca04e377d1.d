@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig9-8c385aca04e377d1.d: crates/bench/src/bin/fig9.rs
+
+/root/repo/target/debug/deps/fig9-8c385aca04e377d1: crates/bench/src/bin/fig9.rs
+
+crates/bench/src/bin/fig9.rs:

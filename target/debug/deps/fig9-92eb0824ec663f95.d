@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig9-92eb0824ec663f95.d: crates/bench/src/bin/fig9.rs
+
+/root/repo/target/debug/deps/fig9-92eb0824ec663f95: crates/bench/src/bin/fig9.rs
+
+crates/bench/src/bin/fig9.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig9-ab6f6e1dd9c0fe08.d: crates/bench/src/bin/fig9.rs
+
+/root/repo/target/debug/deps/fig9-ab6f6e1dd9c0fe08: crates/bench/src/bin/fig9.rs
+
+crates/bench/src/bin/fig9.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/figures_smoke-bab888f0d41b0967.d: crates/bench/tests/figures_smoke.rs
+
+/root/repo/target/debug/deps/figures_smoke-bab888f0d41b0967: crates/bench/tests/figures_smoke.rs
+
+crates/bench/tests/figures_smoke.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/figures_smoke-c2edd4a646e2aa11.d: crates/bench/tests/figures_smoke.rs
+
+/root/repo/target/debug/deps/figures_smoke-c2edd4a646e2aa11: crates/bench/tests/figures_smoke.rs
+
+crates/bench/tests/figures_smoke.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/golden-90e96d2bda004720.d: tests/golden.rs
+
+/root/repo/target/debug/deps/golden-90e96d2bda004720: tests/golden.rs
+
+tests/golden.rs:

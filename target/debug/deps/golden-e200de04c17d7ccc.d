@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/golden-e200de04c17d7ccc.d: tests/golden.rs
+
+/root/repo/target/debug/deps/golden-e200de04c17d7ccc: tests/golden.rs
+
+tests/golden.rs:

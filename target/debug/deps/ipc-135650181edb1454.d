@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ipc-135650181edb1454.d: crates/bench/src/bin/ipc.rs Cargo.toml
+
+/root/repo/target/debug/deps/libipc-135650181edb1454.rmeta: crates/bench/src/bin/ipc.rs Cargo.toml
+
+crates/bench/src/bin/ipc.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

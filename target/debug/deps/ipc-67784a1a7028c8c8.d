@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ipc-67784a1a7028c8c8.d: crates/bench/src/bin/ipc.rs
+
+/root/repo/target/debug/deps/ipc-67784a1a7028c8c8: crates/bench/src/bin/ipc.rs
+
+crates/bench/src/bin/ipc.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ipc-843deeaa3f7457bb.d: crates/bench/src/bin/ipc.rs
+
+/root/repo/target/debug/deps/ipc-843deeaa3f7457bb: crates/bench/src/bin/ipc.rs
+
+crates/bench/src/bin/ipc.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ipc-adc3c2042a1a6aab.d: crates/bench/src/bin/ipc.rs
+
+/root/repo/target/debug/deps/ipc-adc3c2042a1a6aab: crates/bench/src/bin/ipc.rs
+
+crates/bench/src/bin/ipc.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ipc-d00d410389cfded4.d: crates/bench/src/bin/ipc.rs Cargo.toml
+
+/root/repo/target/debug/deps/libipc-d00d410389cfded4.rmeta: crates/bench/src/bin/ipc.rs Cargo.toml
+
+crates/bench/src/bin/ipc.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

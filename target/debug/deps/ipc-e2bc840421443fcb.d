@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ipc-e2bc840421443fcb.d: crates/bench/src/bin/ipc.rs
+
+/root/repo/target/debug/deps/ipc-e2bc840421443fcb: crates/bench/src/bin/ipc.rs
+
+crates/bench/src/bin/ipc.rs:

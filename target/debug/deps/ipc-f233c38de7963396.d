@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ipc-f233c38de7963396.d: crates/bench/src/bin/ipc.rs
+
+/root/repo/target/debug/deps/ipc-f233c38de7963396: crates/bench/src/bin/ipc.rs
+
+crates/bench/src/bin/ipc.rs:

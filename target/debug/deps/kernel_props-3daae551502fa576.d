@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/kernel_props-3daae551502fa576.d: crates/sim/tests/kernel_props.rs
+
+/root/repo/target/debug/deps/kernel_props-3daae551502fa576: crates/sim/tests/kernel_props.rs
+
+crates/sim/tests/kernel_props.rs:

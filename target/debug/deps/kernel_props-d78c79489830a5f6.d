@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/kernel_props-d78c79489830a5f6.d: crates/sim/tests/kernel_props.rs Cargo.toml
+
+/root/repo/target/debug/deps/libkernel_props-d78c79489830a5f6.rmeta: crates/sim/tests/kernel_props.rs Cargo.toml
+
+crates/sim/tests/kernel_props.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/mesh_vs_ring-1b7702d5f426baf1.d: crates/bench/src/bin/mesh_vs_ring.rs
+
+/root/repo/target/debug/deps/mesh_vs_ring-1b7702d5f426baf1: crates/bench/src/bin/mesh_vs_ring.rs
+
+crates/bench/src/bin/mesh_vs_ring.rs:

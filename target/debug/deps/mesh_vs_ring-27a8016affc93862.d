@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/mesh_vs_ring-27a8016affc93862.d: crates/bench/src/bin/mesh_vs_ring.rs
+
+/root/repo/target/debug/deps/mesh_vs_ring-27a8016affc93862: crates/bench/src/bin/mesh_vs_ring.rs
+
+crates/bench/src/bin/mesh_vs_ring.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/mesh_vs_ring-3ce60fb34c7b4e46.d: crates/bench/src/bin/mesh_vs_ring.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmesh_vs_ring-3ce60fb34c7b4e46.rmeta: crates/bench/src/bin/mesh_vs_ring.rs Cargo.toml
+
+crates/bench/src/bin/mesh_vs_ring.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

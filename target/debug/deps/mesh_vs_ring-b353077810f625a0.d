@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/mesh_vs_ring-b353077810f625a0.d: crates/bench/src/bin/mesh_vs_ring.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmesh_vs_ring-b353077810f625a0.rmeta: crates/bench/src/bin/mesh_vs_ring.rs Cargo.toml
+
+crates/bench/src/bin/mesh_vs_ring.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/mesh_vs_ring-ced03f472810041e.d: crates/bench/src/bin/mesh_vs_ring.rs
+
+/root/repo/target/debug/deps/mesh_vs_ring-ced03f472810041e: crates/bench/src/bin/mesh_vs_ring.rs
+
+crates/bench/src/bin/mesh_vs_ring.rs:

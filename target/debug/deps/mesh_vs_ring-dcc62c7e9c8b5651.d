@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/mesh_vs_ring-dcc62c7e9c8b5651.d: crates/bench/src/bin/mesh_vs_ring.rs
+
+/root/repo/target/debug/deps/mesh_vs_ring-dcc62c7e9c8b5651: crates/bench/src/bin/mesh_vs_ring.rs
+
+crates/bench/src/bin/mesh_vs_ring.rs:

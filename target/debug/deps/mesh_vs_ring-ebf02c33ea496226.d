@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/mesh_vs_ring-ebf02c33ea496226.d: crates/bench/src/bin/mesh_vs_ring.rs
+
+/root/repo/target/debug/deps/mesh_vs_ring-ebf02c33ea496226: crates/bench/src/bin/mesh_vs_ring.rs
+
+crates/bench/src/bin/mesh_vs_ring.rs:

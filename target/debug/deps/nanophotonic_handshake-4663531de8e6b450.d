@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/nanophotonic_handshake-4663531de8e6b450.d: src/lib.rs
+
+/root/repo/target/debug/deps/libnanophotonic_handshake-4663531de8e6b450.rlib: src/lib.rs
+
+/root/repo/target/debug/deps/libnanophotonic_handshake-4663531de8e6b450.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/nanophotonic_handshake-4fb371db978f341a.d: src/lib.rs
+
+/root/repo/target/debug/deps/libnanophotonic_handshake-4fb371db978f341a.rlib: src/lib.rs
+
+/root/repo/target/debug/deps/libnanophotonic_handshake-4fb371db978f341a.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/nanophotonic_handshake-7363c45f4f89a17b.d: src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libnanophotonic_handshake-7363c45f4f89a17b.rmeta: src/lib.rs Cargo.toml
+
+src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/nanophotonic_handshake-a1d02b9ce5307eec.d: src/lib.rs
+
+/root/repo/target/debug/deps/libnanophotonic_handshake-a1d02b9ce5307eec.rlib: src/lib.rs
+
+/root/repo/target/debug/deps/libnanophotonic_handshake-a1d02b9ce5307eec.rmeta: src/lib.rs
+
+src/lib.rs:

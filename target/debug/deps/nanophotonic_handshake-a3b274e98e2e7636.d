@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/nanophotonic_handshake-a3b274e98e2e7636.d: src/lib.rs
+
+/root/repo/target/debug/deps/nanophotonic_handshake-a3b274e98e2e7636: src/lib.rs
+
+src/lib.rs:

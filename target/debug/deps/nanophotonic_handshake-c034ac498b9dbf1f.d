@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/nanophotonic_handshake-c034ac498b9dbf1f.d: src/lib.rs
+
+/root/repo/target/debug/deps/nanophotonic_handshake-c034ac498b9dbf1f: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/nanophotonic_handshake-fb4481a17d41f83e.d: src/lib.rs
+
+/root/repo/target/debug/deps/libnanophotonic_handshake-fb4481a17d41f83e.rlib: src/lib.rs
+
+/root/repo/target/debug/deps/libnanophotonic_handshake-fb4481a17d41f83e.rmeta: src/lib.rs
+
+src/lib.rs:

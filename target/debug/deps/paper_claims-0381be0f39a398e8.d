@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/paper_claims-0381be0f39a398e8.d: tests/paper_claims.rs
+
+/root/repo/target/debug/deps/paper_claims-0381be0f39a398e8: tests/paper_claims.rs
+
+tests/paper_claims.rs:

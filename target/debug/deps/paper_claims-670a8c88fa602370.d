@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/paper_claims-670a8c88fa602370.d: tests/paper_claims.rs
+
+/root/repo/target/debug/deps/paper_claims-670a8c88fa602370: tests/paper_claims.rs
+
+tests/paper_claims.rs:

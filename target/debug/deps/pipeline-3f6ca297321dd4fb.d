@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/pipeline-3f6ca297321dd4fb.d: tests/pipeline.rs
+
+/root/repo/target/debug/deps/pipeline-3f6ca297321dd4fb: tests/pipeline.rs
+
+tests/pipeline.rs:

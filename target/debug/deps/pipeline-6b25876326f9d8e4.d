@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/pipeline-6b25876326f9d8e4.d: tests/pipeline.rs
+
+/root/repo/target/debug/deps/pipeline-6b25876326f9d8e4: tests/pipeline.rs
+
+tests/pipeline.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/pnoc_bench-3d3c86ed26a648ae.d: crates/bench/src/lib.rs crates/bench/src/export.rs crates/bench/src/figures.rs crates/bench/src/grids.rs crates/bench/src/plot.rs crates/bench/src/table.rs
+
+/root/repo/target/debug/deps/pnoc_bench-3d3c86ed26a648ae: crates/bench/src/lib.rs crates/bench/src/export.rs crates/bench/src/figures.rs crates/bench/src/grids.rs crates/bench/src/plot.rs crates/bench/src/table.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/export.rs:
+crates/bench/src/figures.rs:
+crates/bench/src/grids.rs:
+crates/bench/src/plot.rs:
+crates/bench/src/table.rs:

@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/pnoc_bench-4781514aea30519b.d: crates/bench/src/lib.rs crates/bench/src/export.rs crates/bench/src/figures.rs crates/bench/src/grids.rs crates/bench/src/plot.rs crates/bench/src/table.rs Cargo.toml
+
+/root/repo/target/debug/deps/libpnoc_bench-4781514aea30519b.rmeta: crates/bench/src/lib.rs crates/bench/src/export.rs crates/bench/src/figures.rs crates/bench/src/grids.rs crates/bench/src/plot.rs crates/bench/src/table.rs Cargo.toml
+
+crates/bench/src/lib.rs:
+crates/bench/src/export.rs:
+crates/bench/src/figures.rs:
+crates/bench/src/grids.rs:
+crates/bench/src/plot.rs:
+crates/bench/src/table.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

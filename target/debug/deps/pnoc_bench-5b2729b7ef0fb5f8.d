@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/pnoc_bench-5b2729b7ef0fb5f8.d: crates/bench/src/lib.rs crates/bench/src/export.rs crates/bench/src/figures.rs crates/bench/src/grids.rs crates/bench/src/plot.rs crates/bench/src/table.rs
+
+/root/repo/target/debug/deps/libpnoc_bench-5b2729b7ef0fb5f8.rlib: crates/bench/src/lib.rs crates/bench/src/export.rs crates/bench/src/figures.rs crates/bench/src/grids.rs crates/bench/src/plot.rs crates/bench/src/table.rs
+
+/root/repo/target/debug/deps/libpnoc_bench-5b2729b7ef0fb5f8.rmeta: crates/bench/src/lib.rs crates/bench/src/export.rs crates/bench/src/figures.rs crates/bench/src/grids.rs crates/bench/src/plot.rs crates/bench/src/table.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/export.rs:
+crates/bench/src/figures.rs:
+crates/bench/src/grids.rs:
+crates/bench/src/plot.rs:
+crates/bench/src/table.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/pnoc_cmp-42621f5750f6b9ff.d: crates/cmp/src/lib.rs crates/cmp/src/bank.rs crates/cmp/src/core.rs crates/cmp/src/system.rs crates/cmp/src/workload.rs
+
+/root/repo/target/debug/deps/pnoc_cmp-42621f5750f6b9ff: crates/cmp/src/lib.rs crates/cmp/src/bank.rs crates/cmp/src/core.rs crates/cmp/src/system.rs crates/cmp/src/workload.rs
+
+crates/cmp/src/lib.rs:
+crates/cmp/src/bank.rs:
+crates/cmp/src/core.rs:
+crates/cmp/src/system.rs:
+crates/cmp/src/workload.rs:

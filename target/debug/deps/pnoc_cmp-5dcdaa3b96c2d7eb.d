@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/pnoc_cmp-5dcdaa3b96c2d7eb.d: crates/cmp/src/lib.rs crates/cmp/src/bank.rs crates/cmp/src/core.rs crates/cmp/src/system.rs crates/cmp/src/workload.rs
+
+/root/repo/target/debug/deps/libpnoc_cmp-5dcdaa3b96c2d7eb.rlib: crates/cmp/src/lib.rs crates/cmp/src/bank.rs crates/cmp/src/core.rs crates/cmp/src/system.rs crates/cmp/src/workload.rs
+
+/root/repo/target/debug/deps/libpnoc_cmp-5dcdaa3b96c2d7eb.rmeta: crates/cmp/src/lib.rs crates/cmp/src/bank.rs crates/cmp/src/core.rs crates/cmp/src/system.rs crates/cmp/src/workload.rs
+
+crates/cmp/src/lib.rs:
+crates/cmp/src/bank.rs:
+crates/cmp/src/core.rs:
+crates/cmp/src/system.rs:
+crates/cmp/src/workload.rs:

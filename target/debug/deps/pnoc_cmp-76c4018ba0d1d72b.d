@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/pnoc_cmp-76c4018ba0d1d72b.d: crates/cmp/src/lib.rs crates/cmp/src/bank.rs crates/cmp/src/core.rs crates/cmp/src/system.rs crates/cmp/src/workload.rs
+
+/root/repo/target/debug/deps/libpnoc_cmp-76c4018ba0d1d72b.rlib: crates/cmp/src/lib.rs crates/cmp/src/bank.rs crates/cmp/src/core.rs crates/cmp/src/system.rs crates/cmp/src/workload.rs
+
+/root/repo/target/debug/deps/libpnoc_cmp-76c4018ba0d1d72b.rmeta: crates/cmp/src/lib.rs crates/cmp/src/bank.rs crates/cmp/src/core.rs crates/cmp/src/system.rs crates/cmp/src/workload.rs
+
+crates/cmp/src/lib.rs:
+crates/cmp/src/bank.rs:
+crates/cmp/src/core.rs:
+crates/cmp/src/system.rs:
+crates/cmp/src/workload.rs:

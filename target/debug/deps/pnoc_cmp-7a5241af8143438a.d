@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/pnoc_cmp-7a5241af8143438a.d: crates/cmp/src/lib.rs crates/cmp/src/bank.rs crates/cmp/src/core.rs crates/cmp/src/system.rs crates/cmp/src/workload.rs Cargo.toml
+
+/root/repo/target/debug/deps/libpnoc_cmp-7a5241af8143438a.rmeta: crates/cmp/src/lib.rs crates/cmp/src/bank.rs crates/cmp/src/core.rs crates/cmp/src/system.rs crates/cmp/src/workload.rs Cargo.toml
+
+crates/cmp/src/lib.rs:
+crates/cmp/src/bank.rs:
+crates/cmp/src/core.rs:
+crates/cmp/src/system.rs:
+crates/cmp/src/workload.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

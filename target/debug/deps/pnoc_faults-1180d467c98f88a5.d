@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/pnoc_faults-1180d467c98f88a5.d: crates/faults/src/lib.rs crates/faults/src/config.rs crates/faults/src/engine.rs crates/faults/src/rings.rs Cargo.toml
+
+/root/repo/target/debug/deps/libpnoc_faults-1180d467c98f88a5.rmeta: crates/faults/src/lib.rs crates/faults/src/config.rs crates/faults/src/engine.rs crates/faults/src/rings.rs Cargo.toml
+
+crates/faults/src/lib.rs:
+crates/faults/src/config.rs:
+crates/faults/src/engine.rs:
+crates/faults/src/rings.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/pnoc_faults-5f52a353bb56370a.d: crates/faults/src/lib.rs crates/faults/src/config.rs crates/faults/src/engine.rs crates/faults/src/rings.rs
+
+/root/repo/target/debug/deps/libpnoc_faults-5f52a353bb56370a.rlib: crates/faults/src/lib.rs crates/faults/src/config.rs crates/faults/src/engine.rs crates/faults/src/rings.rs
+
+/root/repo/target/debug/deps/libpnoc_faults-5f52a353bb56370a.rmeta: crates/faults/src/lib.rs crates/faults/src/config.rs crates/faults/src/engine.rs crates/faults/src/rings.rs
+
+crates/faults/src/lib.rs:
+crates/faults/src/config.rs:
+crates/faults/src/engine.rs:
+crates/faults/src/rings.rs:

@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/pnoc_faults-e67c197586baea08.d: crates/faults/src/lib.rs crates/faults/src/config.rs crates/faults/src/engine.rs crates/faults/src/rings.rs
+
+/root/repo/target/debug/deps/pnoc_faults-e67c197586baea08: crates/faults/src/lib.rs crates/faults/src/config.rs crates/faults/src/engine.rs crates/faults/src/rings.rs
+
+crates/faults/src/lib.rs:
+crates/faults/src/config.rs:
+crates/faults/src/engine.rs:
+crates/faults/src/rings.rs:

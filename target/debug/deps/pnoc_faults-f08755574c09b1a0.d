@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/pnoc_faults-f08755574c09b1a0.d: crates/faults/src/lib.rs crates/faults/src/config.rs crates/faults/src/engine.rs crates/faults/src/rings.rs
+
+/root/repo/target/debug/deps/libpnoc_faults-f08755574c09b1a0.rlib: crates/faults/src/lib.rs crates/faults/src/config.rs crates/faults/src/engine.rs crates/faults/src/rings.rs
+
+/root/repo/target/debug/deps/libpnoc_faults-f08755574c09b1a0.rmeta: crates/faults/src/lib.rs crates/faults/src/config.rs crates/faults/src/engine.rs crates/faults/src/rings.rs
+
+crates/faults/src/lib.rs:
+crates/faults/src/config.rs:
+crates/faults/src/engine.rs:
+crates/faults/src/rings.rs:

@@ -1,0 +1,21 @@
+/root/repo/target/debug/deps/pnoc_noc-ec773cd24676853b.d: crates/noc/src/lib.rs crates/noc/src/calendar.rs crates/noc/src/channel.rs crates/noc/src/config.rs crates/noc/src/emesh.rs crates/noc/src/metrics.rs crates/noc/src/network.rs crates/noc/src/outqueue.rs crates/noc/src/packet.rs crates/noc/src/slots.rs crates/noc/src/sources.rs crates/noc/src/swmr.rs crates/noc/src/topology.rs Cargo.toml
+
+/root/repo/target/debug/deps/libpnoc_noc-ec773cd24676853b.rmeta: crates/noc/src/lib.rs crates/noc/src/calendar.rs crates/noc/src/channel.rs crates/noc/src/config.rs crates/noc/src/emesh.rs crates/noc/src/metrics.rs crates/noc/src/network.rs crates/noc/src/outqueue.rs crates/noc/src/packet.rs crates/noc/src/slots.rs crates/noc/src/sources.rs crates/noc/src/swmr.rs crates/noc/src/topology.rs Cargo.toml
+
+crates/noc/src/lib.rs:
+crates/noc/src/calendar.rs:
+crates/noc/src/channel.rs:
+crates/noc/src/config.rs:
+crates/noc/src/emesh.rs:
+crates/noc/src/metrics.rs:
+crates/noc/src/network.rs:
+crates/noc/src/outqueue.rs:
+crates/noc/src/packet.rs:
+crates/noc/src/slots.rs:
+crates/noc/src/sources.rs:
+crates/noc/src/swmr.rs:
+crates/noc/src/topology.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/pnoc_photonics-11c61295ff023aba.d: crates/photonics/src/lib.rs crates/photonics/src/budget.rs crates/photonics/src/geometry.rs crates/photonics/src/loss.rs crates/photonics/src/ring.rs crates/photonics/src/waveguide.rs crates/photonics/src/wavelength.rs
+
+/root/repo/target/debug/deps/libpnoc_photonics-11c61295ff023aba.rlib: crates/photonics/src/lib.rs crates/photonics/src/budget.rs crates/photonics/src/geometry.rs crates/photonics/src/loss.rs crates/photonics/src/ring.rs crates/photonics/src/waveguide.rs crates/photonics/src/wavelength.rs
+
+/root/repo/target/debug/deps/libpnoc_photonics-11c61295ff023aba.rmeta: crates/photonics/src/lib.rs crates/photonics/src/budget.rs crates/photonics/src/geometry.rs crates/photonics/src/loss.rs crates/photonics/src/ring.rs crates/photonics/src/waveguide.rs crates/photonics/src/wavelength.rs
+
+crates/photonics/src/lib.rs:
+crates/photonics/src/budget.rs:
+crates/photonics/src/geometry.rs:
+crates/photonics/src/loss.rs:
+crates/photonics/src/ring.rs:
+crates/photonics/src/waveguide.rs:
+crates/photonics/src/wavelength.rs:

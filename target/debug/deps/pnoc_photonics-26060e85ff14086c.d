@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/pnoc_photonics-26060e85ff14086c.d: crates/photonics/src/lib.rs crates/photonics/src/budget.rs crates/photonics/src/geometry.rs crates/photonics/src/loss.rs crates/photonics/src/ring.rs crates/photonics/src/waveguide.rs crates/photonics/src/wavelength.rs
+
+/root/repo/target/debug/deps/pnoc_photonics-26060e85ff14086c: crates/photonics/src/lib.rs crates/photonics/src/budget.rs crates/photonics/src/geometry.rs crates/photonics/src/loss.rs crates/photonics/src/ring.rs crates/photonics/src/waveguide.rs crates/photonics/src/wavelength.rs
+
+crates/photonics/src/lib.rs:
+crates/photonics/src/budget.rs:
+crates/photonics/src/geometry.rs:
+crates/photonics/src/loss.rs:
+crates/photonics/src/ring.rs:
+crates/photonics/src/waveguide.rs:
+crates/photonics/src/wavelength.rs:

@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/pnoc_photonics-2eb3877bed48d4cf.d: crates/photonics/src/lib.rs crates/photonics/src/budget.rs crates/photonics/src/geometry.rs crates/photonics/src/loss.rs crates/photonics/src/ring.rs crates/photonics/src/waveguide.rs crates/photonics/src/wavelength.rs Cargo.toml
+
+/root/repo/target/debug/deps/libpnoc_photonics-2eb3877bed48d4cf.rmeta: crates/photonics/src/lib.rs crates/photonics/src/budget.rs crates/photonics/src/geometry.rs crates/photonics/src/loss.rs crates/photonics/src/ring.rs crates/photonics/src/waveguide.rs crates/photonics/src/wavelength.rs Cargo.toml
+
+crates/photonics/src/lib.rs:
+crates/photonics/src/budget.rs:
+crates/photonics/src/geometry.rs:
+crates/photonics/src/loss.rs:
+crates/photonics/src/ring.rs:
+crates/photonics/src/waveguide.rs:
+crates/photonics/src/wavelength.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

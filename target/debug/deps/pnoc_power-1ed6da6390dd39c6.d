@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/pnoc_power-1ed6da6390dd39c6.d: crates/power/src/lib.rs crates/power/src/dynamic.rs crates/power/src/laser.rs crates/power/src/orion.rs crates/power/src/report.rs
+
+/root/repo/target/debug/deps/libpnoc_power-1ed6da6390dd39c6.rlib: crates/power/src/lib.rs crates/power/src/dynamic.rs crates/power/src/laser.rs crates/power/src/orion.rs crates/power/src/report.rs
+
+/root/repo/target/debug/deps/libpnoc_power-1ed6da6390dd39c6.rmeta: crates/power/src/lib.rs crates/power/src/dynamic.rs crates/power/src/laser.rs crates/power/src/orion.rs crates/power/src/report.rs
+
+crates/power/src/lib.rs:
+crates/power/src/dynamic.rs:
+crates/power/src/laser.rs:
+crates/power/src/orion.rs:
+crates/power/src/report.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/pnoc_power-7383212fe9c13629.d: crates/power/src/lib.rs crates/power/src/dynamic.rs crates/power/src/laser.rs crates/power/src/orion.rs crates/power/src/report.rs
+
+/root/repo/target/debug/deps/libpnoc_power-7383212fe9c13629.rlib: crates/power/src/lib.rs crates/power/src/dynamic.rs crates/power/src/laser.rs crates/power/src/orion.rs crates/power/src/report.rs
+
+/root/repo/target/debug/deps/libpnoc_power-7383212fe9c13629.rmeta: crates/power/src/lib.rs crates/power/src/dynamic.rs crates/power/src/laser.rs crates/power/src/orion.rs crates/power/src/report.rs
+
+crates/power/src/lib.rs:
+crates/power/src/dynamic.rs:
+crates/power/src/laser.rs:
+crates/power/src/orion.rs:
+crates/power/src/report.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/pnoc_power-adcea149c9e804bf.d: crates/power/src/lib.rs crates/power/src/dynamic.rs crates/power/src/laser.rs crates/power/src/orion.rs crates/power/src/report.rs
+
+/root/repo/target/debug/deps/pnoc_power-adcea149c9e804bf: crates/power/src/lib.rs crates/power/src/dynamic.rs crates/power/src/laser.rs crates/power/src/orion.rs crates/power/src/report.rs
+
+crates/power/src/lib.rs:
+crates/power/src/dynamic.rs:
+crates/power/src/laser.rs:
+crates/power/src/orion.rs:
+crates/power/src/report.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/pnoc_power-e55b0ca37358da9b.d: crates/power/src/lib.rs crates/power/src/dynamic.rs crates/power/src/laser.rs crates/power/src/orion.rs crates/power/src/report.rs
+
+/root/repo/target/debug/deps/pnoc_power-e55b0ca37358da9b: crates/power/src/lib.rs crates/power/src/dynamic.rs crates/power/src/laser.rs crates/power/src/orion.rs crates/power/src/report.rs
+
+crates/power/src/lib.rs:
+crates/power/src/dynamic.rs:
+crates/power/src/laser.rs:
+crates/power/src/orion.rs:
+crates/power/src/report.rs:

@@ -1,0 +1,16 @@
+/root/repo/target/debug/deps/pnoc_sim-622cd2a263911539.d: crates/sim/src/lib.rs crates/sim/src/batch.rs crates/sim/src/clock.rs crates/sim/src/plan.rs crates/sim/src/rng.rs crates/sim/src/stats.rs crates/sim/src/sweep.rs crates/sim/src/util.rs Cargo.toml
+
+/root/repo/target/debug/deps/libpnoc_sim-622cd2a263911539.rmeta: crates/sim/src/lib.rs crates/sim/src/batch.rs crates/sim/src/clock.rs crates/sim/src/plan.rs crates/sim/src/rng.rs crates/sim/src/stats.rs crates/sim/src/sweep.rs crates/sim/src/util.rs Cargo.toml
+
+crates/sim/src/lib.rs:
+crates/sim/src/batch.rs:
+crates/sim/src/clock.rs:
+crates/sim/src/plan.rs:
+crates/sim/src/rng.rs:
+crates/sim/src/stats.rs:
+crates/sim/src/sweep.rs:
+crates/sim/src/util.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/pnoc_traffic-35850004e8714ac4.d: crates/traffic/src/lib.rs crates/traffic/src/apps.rs crates/traffic/src/injection.rs crates/traffic/src/pattern.rs crates/traffic/src/stats.rs crates/traffic/src/trace.rs Cargo.toml
+
+/root/repo/target/debug/deps/libpnoc_traffic-35850004e8714ac4.rmeta: crates/traffic/src/lib.rs crates/traffic/src/apps.rs crates/traffic/src/injection.rs crates/traffic/src/pattern.rs crates/traffic/src/stats.rs crates/traffic/src/trace.rs Cargo.toml
+
+crates/traffic/src/lib.rs:
+crates/traffic/src/apps.rs:
+crates/traffic/src/injection.rs:
+crates/traffic/src/pattern.rs:
+crates/traffic/src/stats.rs:
+crates/traffic/src/trace.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/pnoc_traffic-7c77aaef4d8ea8f4.d: crates/traffic/src/lib.rs crates/traffic/src/apps.rs crates/traffic/src/injection.rs crates/traffic/src/pattern.rs crates/traffic/src/stats.rs crates/traffic/src/trace.rs
+
+/root/repo/target/debug/deps/libpnoc_traffic-7c77aaef4d8ea8f4.rlib: crates/traffic/src/lib.rs crates/traffic/src/apps.rs crates/traffic/src/injection.rs crates/traffic/src/pattern.rs crates/traffic/src/stats.rs crates/traffic/src/trace.rs
+
+/root/repo/target/debug/deps/libpnoc_traffic-7c77aaef4d8ea8f4.rmeta: crates/traffic/src/lib.rs crates/traffic/src/apps.rs crates/traffic/src/injection.rs crates/traffic/src/pattern.rs crates/traffic/src/stats.rs crates/traffic/src/trace.rs
+
+crates/traffic/src/lib.rs:
+crates/traffic/src/apps.rs:
+crates/traffic/src/injection.rs:
+crates/traffic/src/pattern.rs:
+crates/traffic/src/stats.rs:
+crates/traffic/src/trace.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/pnoc_traffic-f017a8b62db2f288.d: crates/traffic/src/lib.rs crates/traffic/src/apps.rs crates/traffic/src/injection.rs crates/traffic/src/pattern.rs crates/traffic/src/stats.rs crates/traffic/src/trace.rs
+
+/root/repo/target/debug/deps/libpnoc_traffic-f017a8b62db2f288.rlib: crates/traffic/src/lib.rs crates/traffic/src/apps.rs crates/traffic/src/injection.rs crates/traffic/src/pattern.rs crates/traffic/src/stats.rs crates/traffic/src/trace.rs
+
+/root/repo/target/debug/deps/libpnoc_traffic-f017a8b62db2f288.rmeta: crates/traffic/src/lib.rs crates/traffic/src/apps.rs crates/traffic/src/injection.rs crates/traffic/src/pattern.rs crates/traffic/src/stats.rs crates/traffic/src/trace.rs
+
+crates/traffic/src/lib.rs:
+crates/traffic/src/apps.rs:
+crates/traffic/src/injection.rs:
+crates/traffic/src/pattern.rs:
+crates/traffic/src/stats.rs:
+crates/traffic/src/trace.rs:

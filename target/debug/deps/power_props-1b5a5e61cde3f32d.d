@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/power_props-1b5a5e61cde3f32d.d: crates/power/tests/power_props.rs
+
+/root/repo/target/debug/deps/power_props-1b5a5e61cde3f32d: crates/power/tests/power_props.rs
+
+crates/power/tests/power_props.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/power_props-49d78a007430c4b3.d: crates/power/tests/power_props.rs Cargo.toml
+
+/root/repo/target/debug/deps/libpower_props-49d78a007430c4b3.rmeta: crates/power/tests/power_props.rs Cargo.toml
+
+crates/power/tests/power_props.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/power_props-b48b0e7da8bcb6a4.d: crates/power/tests/power_props.rs
+
+/root/repo/target/debug/deps/power_props-b48b0e7da8bcb6a4: crates/power/tests/power_props.rs
+
+crates/power/tests/power_props.rs:

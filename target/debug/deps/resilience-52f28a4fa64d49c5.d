@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/resilience-52f28a4fa64d49c5.d: crates/bench/src/bin/resilience.rs
+
+/root/repo/target/debug/deps/resilience-52f28a4fa64d49c5: crates/bench/src/bin/resilience.rs
+
+crates/bench/src/bin/resilience.rs:

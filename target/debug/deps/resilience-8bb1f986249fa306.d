@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/resilience-8bb1f986249fa306.d: crates/bench/src/bin/resilience.rs
+
+/root/repo/target/debug/deps/resilience-8bb1f986249fa306: crates/bench/src/bin/resilience.rs
+
+crates/bench/src/bin/resilience.rs:

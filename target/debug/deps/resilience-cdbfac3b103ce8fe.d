@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/resilience-cdbfac3b103ce8fe.d: crates/bench/src/bin/resilience.rs
+
+/root/repo/target/debug/deps/resilience-cdbfac3b103ce8fe: crates/bench/src/bin/resilience.rs
+
+crates/bench/src/bin/resilience.rs:

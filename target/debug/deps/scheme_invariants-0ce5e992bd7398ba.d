@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/scheme_invariants-0ce5e992bd7398ba.d: crates/noc/tests/scheme_invariants.rs Cargo.toml
+
+/root/repo/target/debug/deps/libscheme_invariants-0ce5e992bd7398ba.rmeta: crates/noc/tests/scheme_invariants.rs Cargo.toml
+
+crates/noc/tests/scheme_invariants.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/scheme_invariants-4942cfd57d828493.d: crates/noc/tests/scheme_invariants.rs
+
+/root/repo/target/debug/deps/scheme_invariants-4942cfd57d828493: crates/noc/tests/scheme_invariants.rs
+
+crates/noc/tests/scheme_invariants.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/scheme_invariants-9ad2950e0d34096b.d: crates/noc/tests/scheme_invariants.rs
+
+/root/repo/target/debug/deps/scheme_invariants-9ad2950e0d34096b: crates/noc/tests/scheme_invariants.rs
+
+crates/noc/tests/scheme_invariants.rs:

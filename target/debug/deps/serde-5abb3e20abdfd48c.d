@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/serde-5abb3e20abdfd48c.d: vendor/serde/src/lib.rs vendor/serde/src/de.rs Cargo.toml
+
+/root/repo/target/debug/deps/libserde-5abb3e20abdfd48c.rmeta: vendor/serde/src/lib.rs vendor/serde/src/de.rs Cargo.toml
+
+vendor/serde/src/lib.rs:
+vendor/serde/src/de.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=--no-deps__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/serde_derive-5b2cc9c0e0bbcbc1.d: vendor/serde_derive/src/lib.rs
+
+/root/repo/target/debug/deps/serde_derive-5b2cc9c0e0bbcbc1: vendor/serde_derive/src/lib.rs
+
+vendor/serde_derive/src/lib.rs:

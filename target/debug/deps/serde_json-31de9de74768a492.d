@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/serde_json-31de9de74768a492.d: vendor/serde_json/src/lib.rs
+
+/root/repo/target/debug/deps/serde_json-31de9de74768a492: vendor/serde_json/src/lib.rs
+
+vendor/serde_json/src/lib.rs:

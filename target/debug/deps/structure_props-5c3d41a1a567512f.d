@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/structure_props-5c3d41a1a567512f.d: crates/noc/tests/structure_props.rs
+
+/root/repo/target/debug/deps/structure_props-5c3d41a1a567512f: crates/noc/tests/structure_props.rs
+
+crates/noc/tests/structure_props.rs:

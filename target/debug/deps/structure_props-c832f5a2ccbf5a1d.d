@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/structure_props-c832f5a2ccbf5a1d.d: crates/noc/tests/structure_props.rs
+
+/root/repo/target/debug/deps/structure_props-c832f5a2ccbf5a1d: crates/noc/tests/structure_props.rs
+
+crates/noc/tests/structure_props.rs:

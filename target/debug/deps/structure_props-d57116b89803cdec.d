@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/structure_props-d57116b89803cdec.d: crates/noc/tests/structure_props.rs Cargo.toml
+
+/root/repo/target/debug/deps/libstructure_props-d57116b89803cdec.rmeta: crates/noc/tests/structure_props.rs Cargo.toml
+
+crates/noc/tests/structure_props.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

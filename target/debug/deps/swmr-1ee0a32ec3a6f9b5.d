@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/swmr-1ee0a32ec3a6f9b5.d: crates/bench/src/bin/swmr.rs Cargo.toml
+
+/root/repo/target/debug/deps/libswmr-1ee0a32ec3a6f9b5.rmeta: crates/bench/src/bin/swmr.rs Cargo.toml
+
+crates/bench/src/bin/swmr.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

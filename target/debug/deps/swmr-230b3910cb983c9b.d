@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/swmr-230b3910cb983c9b.d: crates/bench/src/bin/swmr.rs
+
+/root/repo/target/debug/deps/swmr-230b3910cb983c9b: crates/bench/src/bin/swmr.rs
+
+crates/bench/src/bin/swmr.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/swmr-43c910ee4a171809.d: crates/bench/src/bin/swmr.rs
+
+/root/repo/target/debug/deps/swmr-43c910ee4a171809: crates/bench/src/bin/swmr.rs
+
+crates/bench/src/bin/swmr.rs:

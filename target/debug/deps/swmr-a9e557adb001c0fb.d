@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/swmr-a9e557adb001c0fb.d: crates/bench/src/bin/swmr.rs Cargo.toml
+
+/root/repo/target/debug/deps/libswmr-a9e557adb001c0fb.rmeta: crates/bench/src/bin/swmr.rs Cargo.toml
+
+crates/bench/src/bin/swmr.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/swmr-ad069fa0ae1b1545.d: crates/bench/src/bin/swmr.rs
+
+/root/repo/target/debug/deps/swmr-ad069fa0ae1b1545: crates/bench/src/bin/swmr.rs
+
+crates/bench/src/bin/swmr.rs:

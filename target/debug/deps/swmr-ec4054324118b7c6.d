@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/swmr-ec4054324118b7c6.d: crates/bench/src/bin/swmr.rs
+
+/root/repo/target/debug/deps/swmr-ec4054324118b7c6: crates/bench/src/bin/swmr.rs
+
+crates/bench/src/bin/swmr.rs:

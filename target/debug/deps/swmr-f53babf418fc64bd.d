@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/swmr-f53babf418fc64bd.d: crates/bench/src/bin/swmr.rs
+
+/root/repo/target/debug/deps/swmr-f53babf418fc64bd: crates/bench/src/bin/swmr.rs
+
+crates/bench/src/bin/swmr.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table1-3c5f28533e4887b6.d: crates/bench/src/bin/table1.rs
+
+/root/repo/target/debug/deps/table1-3c5f28533e4887b6: crates/bench/src/bin/table1.rs
+
+crates/bench/src/bin/table1.rs:

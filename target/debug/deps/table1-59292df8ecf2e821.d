@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table1-59292df8ecf2e821.d: crates/bench/src/bin/table1.rs
+
+/root/repo/target/debug/deps/table1-59292df8ecf2e821: crates/bench/src/bin/table1.rs
+
+crates/bench/src/bin/table1.rs:

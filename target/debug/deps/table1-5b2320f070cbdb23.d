@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table1-5b2320f070cbdb23.d: crates/bench/src/bin/table1.rs
+
+/root/repo/target/debug/deps/table1-5b2320f070cbdb23: crates/bench/src/bin/table1.rs
+
+crates/bench/src/bin/table1.rs:

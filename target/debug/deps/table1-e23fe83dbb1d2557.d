@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table1-e23fe83dbb1d2557.d: crates/bench/src/bin/table1.rs
+
+/root/repo/target/debug/deps/table1-e23fe83dbb1d2557: crates/bench/src/bin/table1.rs
+
+crates/bench/src/bin/table1.rs:

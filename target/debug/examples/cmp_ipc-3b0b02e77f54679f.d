@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/cmp_ipc-3b0b02e77f54679f.d: examples/cmp_ipc.rs Cargo.toml
+
+/root/repo/target/debug/examples/libcmp_ipc-3b0b02e77f54679f.rmeta: examples/cmp_ipc.rs Cargo.toml
+
+examples/cmp_ipc.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

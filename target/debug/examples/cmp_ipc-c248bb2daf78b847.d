@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/cmp_ipc-c248bb2daf78b847.d: examples/cmp_ipc.rs
+
+/root/repo/target/debug/examples/cmp_ipc-c248bb2daf78b847: examples/cmp_ipc.rs
+
+examples/cmp_ipc.rs:

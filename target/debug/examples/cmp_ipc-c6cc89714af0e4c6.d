@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/cmp_ipc-c6cc89714af0e4c6.d: examples/cmp_ipc.rs
+
+/root/repo/target/debug/examples/cmp_ipc-c6cc89714af0e4c6: examples/cmp_ipc.rs
+
+examples/cmp_ipc.rs:

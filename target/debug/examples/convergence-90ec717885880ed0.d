@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/convergence-90ec717885880ed0.d: examples/convergence.rs
+
+/root/repo/target/debug/examples/convergence-90ec717885880ed0: examples/convergence.rs
+
+examples/convergence.rs:

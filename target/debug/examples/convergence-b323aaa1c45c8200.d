@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/convergence-b323aaa1c45c8200.d: examples/convergence.rs Cargo.toml
+
+/root/repo/target/debug/examples/libconvergence-b323aaa1c45c8200.rmeta: examples/convergence.rs Cargo.toml
+
+examples/convergence.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/convergence-fa21d3ca0b982e14.d: examples/convergence.rs
+
+/root/repo/target/debug/examples/convergence-fa21d3ca0b982e14: examples/convergence.rs
+
+examples/convergence.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/fairness_audit-f917de3f78154918.d: examples/fairness_audit.rs
+
+/root/repo/target/debug/examples/fairness_audit-f917de3f78154918: examples/fairness_audit.rs
+
+examples/fairness_audit.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/fairness_audit-fe64a2e033817ed3.d: examples/fairness_audit.rs
+
+/root/repo/target/debug/examples/fairness_audit-fe64a2e033817ed3: examples/fairness_audit.rs
+
+examples/fairness_audit.rs:

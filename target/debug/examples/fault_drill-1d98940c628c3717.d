@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/fault_drill-1d98940c628c3717.d: examples/fault_drill.rs
+
+/root/repo/target/debug/examples/fault_drill-1d98940c628c3717: examples/fault_drill.rs
+
+examples/fault_drill.rs:

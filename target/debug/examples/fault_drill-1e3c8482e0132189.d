@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/fault_drill-1e3c8482e0132189.d: examples/fault_drill.rs
+
+/root/repo/target/debug/examples/fault_drill-1e3c8482e0132189: examples/fault_drill.rs
+
+examples/fault_drill.rs:

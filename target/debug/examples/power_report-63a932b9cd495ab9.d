@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/power_report-63a932b9cd495ab9.d: examples/power_report.rs Cargo.toml
+
+/root/repo/target/debug/examples/libpower_report-63a932b9cd495ab9.rmeta: examples/power_report.rs Cargo.toml
+
+examples/power_report.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

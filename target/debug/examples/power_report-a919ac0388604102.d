@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/power_report-a919ac0388604102.d: examples/power_report.rs
+
+/root/repo/target/debug/examples/power_report-a919ac0388604102: examples/power_report.rs
+
+examples/power_report.rs:

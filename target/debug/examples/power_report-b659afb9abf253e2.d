@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/power_report-b659afb9abf253e2.d: examples/power_report.rs
+
+/root/repo/target/debug/examples/power_report-b659afb9abf253e2: examples/power_report.rs
+
+examples/power_report.rs:

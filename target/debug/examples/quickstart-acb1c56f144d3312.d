@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-acb1c56f144d3312.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-acb1c56f144d3312: examples/quickstart.rs
+
+examples/quickstart.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-c0081a2344c906e0.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-c0081a2344c906e0: examples/quickstart.rs
+
+examples/quickstart.rs:

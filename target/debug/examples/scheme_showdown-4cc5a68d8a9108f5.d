@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/scheme_showdown-4cc5a68d8a9108f5.d: examples/scheme_showdown.rs
+
+/root/repo/target/debug/examples/scheme_showdown-4cc5a68d8a9108f5: examples/scheme_showdown.rs
+
+examples/scheme_showdown.rs:

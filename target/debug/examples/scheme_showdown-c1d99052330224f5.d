@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/scheme_showdown-c1d99052330224f5.d: examples/scheme_showdown.rs Cargo.toml
+
+/root/repo/target/debug/examples/libscheme_showdown-c1d99052330224f5.rmeta: examples/scheme_showdown.rs Cargo.toml
+
+examples/scheme_showdown.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/scheme_showdown-cdff9f9d04c2583f.d: examples/scheme_showdown.rs
+
+/root/repo/target/debug/examples/scheme_showdown-cdff9f9d04c2583f: examples/scheme_showdown.rs
+
+examples/scheme_showdown.rs:

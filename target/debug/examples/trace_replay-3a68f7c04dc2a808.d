@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/trace_replay-3a68f7c04dc2a808.d: examples/trace_replay.rs
+
+/root/repo/target/debug/examples/trace_replay-3a68f7c04dc2a808: examples/trace_replay.rs
+
+examples/trace_replay.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/trace_replay-95b058f09c95ec4f.d: examples/trace_replay.rs
+
+/root/repo/target/debug/examples/trace_replay-95b058f09c95ec4f: examples/trace_replay.rs
+
+examples/trace_replay.rs:

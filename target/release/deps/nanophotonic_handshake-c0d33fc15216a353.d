@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/nanophotonic_handshake-c0d33fc15216a353.d: src/lib.rs
+
+/root/repo/target/release/deps/libnanophotonic_handshake-c0d33fc15216a353.rlib: src/lib.rs
+
+/root/repo/target/release/deps/libnanophotonic_handshake-c0d33fc15216a353.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/pnoc_bench-9e4adb12bb85bc82.d: crates/bench/src/lib.rs crates/bench/src/export.rs crates/bench/src/figures.rs crates/bench/src/grids.rs crates/bench/src/plot.rs crates/bench/src/table.rs
+
+/root/repo/target/release/deps/libpnoc_bench-9e4adb12bb85bc82.rlib: crates/bench/src/lib.rs crates/bench/src/export.rs crates/bench/src/figures.rs crates/bench/src/grids.rs crates/bench/src/plot.rs crates/bench/src/table.rs
+
+/root/repo/target/release/deps/libpnoc_bench-9e4adb12bb85bc82.rmeta: crates/bench/src/lib.rs crates/bench/src/export.rs crates/bench/src/figures.rs crates/bench/src/grids.rs crates/bench/src/plot.rs crates/bench/src/table.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/export.rs:
+crates/bench/src/figures.rs:
+crates/bench/src/grids.rs:
+crates/bench/src/plot.rs:
+crates/bench/src/table.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/pnoc_cmp-2bbbaf80dd9c145d.d: crates/cmp/src/lib.rs crates/cmp/src/bank.rs crates/cmp/src/core.rs crates/cmp/src/system.rs crates/cmp/src/workload.rs
+
+/root/repo/target/release/deps/libpnoc_cmp-2bbbaf80dd9c145d.rlib: crates/cmp/src/lib.rs crates/cmp/src/bank.rs crates/cmp/src/core.rs crates/cmp/src/system.rs crates/cmp/src/workload.rs
+
+/root/repo/target/release/deps/libpnoc_cmp-2bbbaf80dd9c145d.rmeta: crates/cmp/src/lib.rs crates/cmp/src/bank.rs crates/cmp/src/core.rs crates/cmp/src/system.rs crates/cmp/src/workload.rs
+
+crates/cmp/src/lib.rs:
+crates/cmp/src/bank.rs:
+crates/cmp/src/core.rs:
+crates/cmp/src/system.rs:
+crates/cmp/src/workload.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/release/deps/pnoc_faults-eb8e83d0a35700bd.d: crates/faults/src/lib.rs crates/faults/src/config.rs crates/faults/src/engine.rs crates/faults/src/rings.rs
+
+/root/repo/target/release/deps/libpnoc_faults-eb8e83d0a35700bd.rlib: crates/faults/src/lib.rs crates/faults/src/config.rs crates/faults/src/engine.rs crates/faults/src/rings.rs
+
+/root/repo/target/release/deps/libpnoc_faults-eb8e83d0a35700bd.rmeta: crates/faults/src/lib.rs crates/faults/src/config.rs crates/faults/src/engine.rs crates/faults/src/rings.rs
+
+crates/faults/src/lib.rs:
+crates/faults/src/config.rs:
+crates/faults/src/engine.rs:
+crates/faults/src/rings.rs:

@@ -1,0 +1,19 @@
+/root/repo/target/release/deps/pnoc_noc-f1ad6010334f157d.d: crates/noc/src/lib.rs crates/noc/src/calendar.rs crates/noc/src/channel.rs crates/noc/src/config.rs crates/noc/src/emesh.rs crates/noc/src/metrics.rs crates/noc/src/network.rs crates/noc/src/outqueue.rs crates/noc/src/packet.rs crates/noc/src/slots.rs crates/noc/src/sources.rs crates/noc/src/swmr.rs crates/noc/src/topology.rs
+
+/root/repo/target/release/deps/libpnoc_noc-f1ad6010334f157d.rlib: crates/noc/src/lib.rs crates/noc/src/calendar.rs crates/noc/src/channel.rs crates/noc/src/config.rs crates/noc/src/emesh.rs crates/noc/src/metrics.rs crates/noc/src/network.rs crates/noc/src/outqueue.rs crates/noc/src/packet.rs crates/noc/src/slots.rs crates/noc/src/sources.rs crates/noc/src/swmr.rs crates/noc/src/topology.rs
+
+/root/repo/target/release/deps/libpnoc_noc-f1ad6010334f157d.rmeta: crates/noc/src/lib.rs crates/noc/src/calendar.rs crates/noc/src/channel.rs crates/noc/src/config.rs crates/noc/src/emesh.rs crates/noc/src/metrics.rs crates/noc/src/network.rs crates/noc/src/outqueue.rs crates/noc/src/packet.rs crates/noc/src/slots.rs crates/noc/src/sources.rs crates/noc/src/swmr.rs crates/noc/src/topology.rs
+
+crates/noc/src/lib.rs:
+crates/noc/src/calendar.rs:
+crates/noc/src/channel.rs:
+crates/noc/src/config.rs:
+crates/noc/src/emesh.rs:
+crates/noc/src/metrics.rs:
+crates/noc/src/network.rs:
+crates/noc/src/outqueue.rs:
+crates/noc/src/packet.rs:
+crates/noc/src/slots.rs:
+crates/noc/src/sources.rs:
+crates/noc/src/swmr.rs:
+crates/noc/src/topology.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/release/deps/pnoc_photonics-d7d29064f9f6f097.d: crates/photonics/src/lib.rs crates/photonics/src/budget.rs crates/photonics/src/geometry.rs crates/photonics/src/loss.rs crates/photonics/src/ring.rs crates/photonics/src/waveguide.rs crates/photonics/src/wavelength.rs
+
+/root/repo/target/release/deps/libpnoc_photonics-d7d29064f9f6f097.rlib: crates/photonics/src/lib.rs crates/photonics/src/budget.rs crates/photonics/src/geometry.rs crates/photonics/src/loss.rs crates/photonics/src/ring.rs crates/photonics/src/waveguide.rs crates/photonics/src/wavelength.rs
+
+/root/repo/target/release/deps/libpnoc_photonics-d7d29064f9f6f097.rmeta: crates/photonics/src/lib.rs crates/photonics/src/budget.rs crates/photonics/src/geometry.rs crates/photonics/src/loss.rs crates/photonics/src/ring.rs crates/photonics/src/waveguide.rs crates/photonics/src/wavelength.rs
+
+crates/photonics/src/lib.rs:
+crates/photonics/src/budget.rs:
+crates/photonics/src/geometry.rs:
+crates/photonics/src/loss.rs:
+crates/photonics/src/ring.rs:
+crates/photonics/src/waveguide.rs:
+crates/photonics/src/wavelength.rs:

@@ -1,0 +1,14 @@
+/root/repo/target/release/deps/pnoc_sim-74d8bdbc6c6ad2c8.d: crates/sim/src/lib.rs crates/sim/src/batch.rs crates/sim/src/clock.rs crates/sim/src/plan.rs crates/sim/src/rng.rs crates/sim/src/stats.rs crates/sim/src/sweep.rs crates/sim/src/util.rs
+
+/root/repo/target/release/deps/libpnoc_sim-74d8bdbc6c6ad2c8.rlib: crates/sim/src/lib.rs crates/sim/src/batch.rs crates/sim/src/clock.rs crates/sim/src/plan.rs crates/sim/src/rng.rs crates/sim/src/stats.rs crates/sim/src/sweep.rs crates/sim/src/util.rs
+
+/root/repo/target/release/deps/libpnoc_sim-74d8bdbc6c6ad2c8.rmeta: crates/sim/src/lib.rs crates/sim/src/batch.rs crates/sim/src/clock.rs crates/sim/src/plan.rs crates/sim/src/rng.rs crates/sim/src/stats.rs crates/sim/src/sweep.rs crates/sim/src/util.rs
+
+crates/sim/src/lib.rs:
+crates/sim/src/batch.rs:
+crates/sim/src/clock.rs:
+crates/sim/src/plan.rs:
+crates/sim/src/rng.rs:
+crates/sim/src/stats.rs:
+crates/sim/src/sweep.rs:
+crates/sim/src/util.rs:

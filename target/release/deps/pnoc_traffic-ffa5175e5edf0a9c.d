@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/pnoc_traffic-ffa5175e5edf0a9c.d: crates/traffic/src/lib.rs crates/traffic/src/apps.rs crates/traffic/src/injection.rs crates/traffic/src/pattern.rs crates/traffic/src/stats.rs crates/traffic/src/trace.rs
+
+/root/repo/target/release/deps/libpnoc_traffic-ffa5175e5edf0a9c.rlib: crates/traffic/src/lib.rs crates/traffic/src/apps.rs crates/traffic/src/injection.rs crates/traffic/src/pattern.rs crates/traffic/src/stats.rs crates/traffic/src/trace.rs
+
+/root/repo/target/release/deps/libpnoc_traffic-ffa5175e5edf0a9c.rmeta: crates/traffic/src/lib.rs crates/traffic/src/apps.rs crates/traffic/src/injection.rs crates/traffic/src/pattern.rs crates/traffic/src/stats.rs crates/traffic/src/trace.rs
+
+crates/traffic/src/lib.rs:
+crates/traffic/src/apps.rs:
+crates/traffic/src/injection.rs:
+crates/traffic/src/pattern.rs:
+crates/traffic/src/stats.rs:
+crates/traffic/src/trace.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/resilience-38ecba7317efe111.d: crates/bench/src/bin/resilience.rs
+
+/root/repo/target/release/deps/resilience-38ecba7317efe111: crates/bench/src/bin/resilience.rs
+
+crates/bench/src/bin/resilience.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/fault_drill-c4223f3ab6abc4ad.d: examples/fault_drill.rs
+
+/root/repo/target/release/examples/fault_drill-c4223f3ab6abc4ad: examples/fault_drill.rs
+
+examples/fault_drill.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/quickstart-845025879a0b7352.d: examples/quickstart.rs
+
+/root/repo/target/release/examples/quickstart-845025879a0b7352: examples/quickstart.rs
+
+examples/quickstart.rs:

@@ -21,8 +21,16 @@ use nanophotonic_handshake::noc;
 fn ghs_beats_token_channel_under_ur() {
     let rate = 0.11;
     let tc = point(Scheme::TokenChannel, TrafficPattern::UniformRandom, rate);
-    let ghs = point(Scheme::Ghs { setaside: 0 }, TrafficPattern::UniformRandom, rate);
-    let ghs_sb = point(Scheme::Ghs { setaside: 8 }, TrafficPattern::UniformRandom, rate);
+    let ghs = point(
+        Scheme::Ghs { setaside: 0 },
+        TrafficPattern::UniformRandom,
+        rate,
+    );
+    let ghs_sb = point(
+        Scheme::Ghs { setaside: 8 },
+        TrafficPattern::UniformRandom,
+        rate,
+    );
     assert!(tc.saturated, "token channel should be saturated at 0.11 UR");
     assert!(!ghs_sb.saturated, "GHS w/ setaside must sustain 0.11 UR");
     // Basic GHS sustains it too (paper Fig. 8a saturates past 0.11).
@@ -62,8 +70,16 @@ fn dhs_throughput_gain_over_token_slot() {
 fn bc_exposes_hol_blocking_in_basic_dhs() {
     let rate = 0.05;
     let ts = point(Scheme::TokenSlot, TrafficPattern::BitComplement, rate);
-    let basic = point(Scheme::Dhs { setaside: 0 }, TrafficPattern::BitComplement, rate);
-    let sb = point(Scheme::Dhs { setaside: 8 }, TrafficPattern::BitComplement, rate);
+    let basic = point(
+        Scheme::Dhs { setaside: 0 },
+        TrafficPattern::BitComplement,
+        rate,
+    );
+    let sb = point(
+        Scheme::Dhs { setaside: 8 },
+        TrafficPattern::BitComplement,
+        rate,
+    );
     let cir = point(Scheme::DhsCirculation, TrafficPattern::BitComplement, rate);
     assert!(!ts.saturated, "token slot sustains 0.05 BC");
     assert!(basic.saturated, "basic DHS must collapse under BC (HOL)");
@@ -125,7 +141,13 @@ fn handshake_is_credit_independent_token_slot_is_not() {
 /// Fig. 11(f): a small setaside buffer is enough at UR 0.11.
 #[test]
 fn small_setaside_suffices() {
-    let at = |s: usize| point(Scheme::Dhs { setaside: s }, TrafficPattern::UniformRandom, 0.11);
+    let at = |s: usize| {
+        point(
+            Scheme::Dhs { setaside: s },
+            TrafficPattern::UniformRandom,
+            0.11,
+        )
+    };
     let s2 = at(2);
     let s16 = at(16);
     assert!(!s2.saturated && !s16.saturated);
@@ -142,7 +164,11 @@ fn small_setaside_suffices() {
 #[test]
 fn circulation_matches_setaside() {
     for rate in [0.09, 0.17] {
-        let sb = point(Scheme::Dhs { setaside: 8 }, TrafficPattern::UniformRandom, rate);
+        let sb = point(
+            Scheme::Dhs { setaside: 8 },
+            TrafficPattern::UniformRandom,
+            rate,
+        );
         let cir = point(Scheme::DhsCirculation, TrafficPattern::UniformRandom, rate);
         assert_eq!(sb.saturated, cir.saturated, "at rate {rate}");
         if !sb.saturated {

@@ -67,7 +67,10 @@ fn budgets_and_power_are_wired_together() {
         Scheme::DhsCirculation.features(),
         SchemeFeatures::circulation()
     );
-    assert_eq!(Scheme::TokenSlot.features(), SchemeFeatures::credit_baseline());
+    assert_eq!(
+        Scheme::TokenSlot.features(),
+        SchemeFeatures::credit_baseline()
+    );
 }
 
 /// Closed loop: the CMP sees the network — a latency-heavier scheme yields
@@ -94,7 +97,11 @@ fn cmp_ipc_orders_schemes() {
         "the IPC gain must come from network latency"
     );
     let ghs2 = run(Scheme::Ghs { setaside: 8 });
-    assert_eq!(ghs.ipc.to_bits(), ghs2.ipc.to_bits(), "IPC runs are deterministic");
+    assert_eq!(
+        ghs.ipc.to_bits(),
+        ghs2.ipc.to_bits(),
+        "IPC runs are deterministic"
+    );
 }
 
 /// The power report reproduces the qualitative Fig. 12 statements when fed
@@ -104,7 +111,11 @@ fn fig12_claims_from_live_activity() {
     let plan = RunPlan::new(1_000, 5_000, 1_000);
     let report = PowerReport::paper_default();
     let mut totals = Vec::new();
-    for scheme in [Scheme::TokenSlot, Scheme::Dhs { setaside: 8 }, Scheme::DhsCirculation] {
+    for scheme in [
+        Scheme::TokenSlot,
+        Scheme::Dhs { setaside: 8 },
+        Scheme::DhsCirculation,
+    ] {
         let cfg = NetworkConfig::paper_default(scheme);
         let mut net = Network::new(cfg).unwrap();
         let mut src = SyntheticSource::new(
@@ -117,8 +128,15 @@ fn fig12_claims_from_live_activity() {
         net.run_open_loop(&mut src, plan);
         let act = ActivityProfile::from_metrics(net.metrics(), plan.total());
         let b = report.breakdown(scheme, &act);
-        assert!(b.static_fraction() > 0.6, "{scheme:?}: static must dominate");
-        totals.push((scheme, b.total_w(), report.energy_per_packet_j(scheme, &act)));
+        assert!(
+            b.static_fraction() > 0.6,
+            "{scheme:?}: static must dominate"
+        );
+        totals.push((
+            scheme,
+            b.total_w(),
+            report.energy_per_packet_j(scheme, &act),
+        ));
     }
     // Token slot cheapest; circulation's energy/packet ≈ DHS's.
     assert!(totals[0].1 <= totals[1].1 + 1e-9);

@@ -1,0 +1,200 @@
+//! The deterministic case runner behind the `proptest!` macro.
+
+/// Runner configuration (field-compatible subset of the real crate).
+#[derive(Debug, Clone)]
+pub struct Config {
+    /// Number of successful cases required.
+    pub cases: u32,
+    /// Total rejected cases (`prop_assume!`) tolerated before giving up.
+    pub max_global_rejects: u32,
+}
+
+impl Default for Config {
+    fn default() -> Self {
+        Self {
+            cases: 256,
+            max_global_rejects: 65_536,
+        }
+    }
+}
+
+/// Why a single case did not pass.
+#[derive(Debug, Clone)]
+pub enum TestCaseError {
+    /// The case failed an assertion.
+    Fail(String),
+    /// The case was discarded by `prop_assume!`.
+    Reject(String),
+}
+
+impl TestCaseError {
+    /// A failed assertion.
+    pub fn fail(msg: impl Into<String>) -> Self {
+        TestCaseError::Fail(msg.into())
+    }
+
+    /// A discarded case.
+    pub fn reject(msg: impl Into<String>) -> Self {
+        TestCaseError::Reject(msg.into())
+    }
+}
+
+/// Deterministic split-mix / xoshiro256** generator for case values.
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    state: [u64; 4],
+}
+
+fn splitmix64(x: &mut u64) -> u64 {
+    *x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *x;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+impl TestRng {
+    /// Seed deterministically.
+    pub fn from_seed(seed: u64) -> Self {
+        let mut x = seed;
+        Self {
+            state: [
+                splitmix64(&mut x),
+                splitmix64(&mut x),
+                splitmix64(&mut x),
+                splitmix64(&mut x),
+            ],
+        }
+    }
+
+    /// Next raw 64-bit draw.
+    pub fn next_u64(&mut self) -> u64 {
+        let [s0, s1, s2, s3] = self.state;
+        let result = s1.wrapping_mul(5).rotate_left(7).wrapping_mul(9);
+        let t = s1 << 17;
+        let mut s = [s0, s1, s2, s3];
+        s[2] ^= s[0];
+        s[3] ^= s[1];
+        s[1] ^= s[2];
+        s[0] ^= s[3];
+        s[2] ^= t;
+        s[3] = s[3].rotate_left(45);
+        self.state = s;
+        result
+    }
+
+    /// Uniform draw in `[0, bound)` (Lemire-style rejection).
+    pub fn below(&mut self, bound: u64) -> u64 {
+        assert!(bound > 0, "below(0)");
+        let threshold = bound.wrapping_neg() % bound;
+        loop {
+            let r = self.next_u64();
+            if r >= threshold {
+                return r % bound;
+            }
+        }
+    }
+
+    /// Uniform draw in `[0, 1)`.
+    pub fn f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+/// Hash a test name into a stable base seed.
+fn name_seed(name: &str) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64; // FNV-1a
+    for b in name.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    h
+}
+
+/// Run `config.cases` cases of `body`, panicking on the first failure.
+pub fn run(
+    config: Config,
+    name: &str,
+    mut body: impl FnMut(&mut TestRng) -> Result<(), TestCaseError>,
+) {
+    let base = name_seed(name);
+    let mut rejects = 0u32;
+    let mut case = 0u32;
+    let mut sub = 0u64;
+    while case < config.cases {
+        let mut rng = TestRng::from_seed(base ^ (case as u64) << 20 ^ sub);
+        match body(&mut rng) {
+            Ok(()) => case += 1,
+            Err(TestCaseError::Reject(_)) => {
+                rejects += 1;
+                sub += 1;
+                assert!(
+                    rejects <= config.max_global_rejects,
+                    "{name}: too many prop_assume! rejections ({rejects})"
+                );
+            }
+            Err(TestCaseError::Fail(msg)) => {
+                panic!("{name}: case {case} (seed {base:#x}/{sub}) failed: {msg}");
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn runner_is_deterministic() {
+        let collect = |n: u32| {
+            let mut seen = Vec::new();
+            run(
+                Config {
+                    cases: n,
+                    ..Config::default()
+                },
+                "det",
+                |rng| {
+                    seen.push(rng.next_u64());
+                    Ok(())
+                },
+            );
+            seen
+        };
+        assert_eq!(collect(16), collect(16));
+    }
+
+    #[test]
+    fn rejections_are_retried() {
+        let mut total = 0u32;
+        run(
+            Config {
+                cases: 8,
+                ..Config::default()
+            },
+            "rej",
+            |rng| {
+                total += 1;
+                if rng.next_u64() % 3 == 0 {
+                    Err(TestCaseError::reject("skip"))
+                } else {
+                    Ok(())
+                }
+            },
+        );
+        assert!(total >= 8);
+    }
+
+    #[test]
+    #[should_panic(expected = "boom")]
+    fn failures_panic() {
+        run(
+            Config {
+                cases: 4,
+                ..Config::default()
+            },
+            "fail",
+            |_| Err(TestCaseError::fail("boom")),
+        );
+    }
+}

@@ -1,0 +1,47 @@
+//! Deserialization support types: the error type and helpers the derive
+//! macro expands to.
+
+use crate::{Content, Deserialize};
+
+/// Deserialization failure with a human-readable message.
+#[derive(Debug, Clone)]
+pub struct Error {
+    msg: String,
+}
+
+impl Error {
+    /// An error with a custom message.
+    pub fn custom(msg: impl Into<String>) -> Self {
+        Self { msg: msg.into() }
+    }
+
+    /// An "expected X, found Y" error.
+    pub fn unexpected(expected: &str, found: &Content) -> Self {
+        let kind = match found {
+            Content::Null => "null",
+            Content::Bool(_) => "bool",
+            Content::U64(_) | Content::I64(_) => "integer",
+            Content::F64(_) => "float",
+            Content::Str(_) => "string",
+            Content::Seq(_) => "sequence",
+            Content::Map(_) => "map",
+        };
+        Self::custom(format!("expected {expected}, found {kind}"))
+    }
+}
+
+impl std::fmt::Display for Error {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.msg)
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Look up and deserialize a struct field (used by the derive expansion).
+pub fn field<T: Deserialize>(entries: &[(String, Content)], name: &str) -> Result<T, Error> {
+    match entries.iter().find(|(k, _)| k == name) {
+        Some((_, v)) => T::deserialize(v),
+        None => Err(Error::custom(format!("missing field `{name}`"))),
+    }
+}

@@ -1,0 +1,501 @@
+//! Offline stand-in for the `serde` crate.
+//!
+//! The build environment has no registry access, so this workspace vendors a
+//! minimal serialization framework under the same crate name. It keeps the
+//! parts the workspace actually uses — `#[derive(Serialize, Deserialize)]`
+//! on plain structs and enums, field-order-preserving maps, and a
+//! self-describing [`Content`] value tree that `serde_json` renders — and
+//! nothing else. The data model mirrors serde's JSON mapping: structs become
+//! maps, newtype structs are transparent, unit enum variants become strings,
+//! and struct enum variants become single-entry maps.
+
+#![forbid(unsafe_code)]
+
+use std::collections::{BTreeMap, HashMap, VecDeque};
+
+pub use serde_derive::{Deserialize, Serialize};
+
+pub mod de;
+
+/// A self-describing value: the intermediate form between Rust values and
+/// any rendered format (JSON via the vendored `serde_json`).
+#[derive(Debug, Clone, PartialEq)]
+pub enum Content {
+    /// JSON `null` (also `Option::None` and non-finite floats).
+    Null,
+    /// A boolean.
+    Bool(bool),
+    /// An unsigned integer.
+    U64(u64),
+    /// A signed (negative) integer.
+    I64(i64),
+    /// A finite float.
+    F64(f64),
+    /// A string.
+    Str(String),
+    /// An ordered sequence.
+    Seq(Vec<Content>),
+    /// An ordered map (field order preserved, keys are strings).
+    Map(Vec<(String, Content)>),
+}
+
+static NULL: Content = Content::Null;
+
+impl Content {
+    /// Entries if this is a map.
+    pub fn as_map(&self) -> Option<&[(String, Content)]> {
+        match self {
+            Content::Map(entries) => Some(entries),
+            _ => None,
+        }
+    }
+
+    /// Elements if this is a sequence.
+    pub fn as_seq(&self) -> Option<&[Content]> {
+        match self {
+            Content::Seq(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    /// Numeric view (integers widen losslessly, floats pass through).
+    pub fn as_f64(&self) -> Option<f64> {
+        match *self {
+            Content::U64(v) => Some(v as f64),
+            Content::I64(v) => Some(v as f64),
+            Content::F64(v) => Some(v),
+            _ => None,
+        }
+    }
+
+    /// String view.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Content::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Map lookup by key; `None` when absent or not a map.
+    pub fn get(&self, key: &str) -> Option<&Content> {
+        self.as_map()?
+            .iter()
+            .find(|(k, _)| k == key)
+            .map(|(_, v)| v)
+    }
+}
+
+impl std::ops::Index<&str> for Content {
+    type Output = Content;
+
+    fn index(&self, key: &str) -> &Content {
+        self.get(key).unwrap_or(&NULL)
+    }
+}
+
+impl std::ops::Index<usize> for Content {
+    type Output = Content;
+
+    fn index(&self, idx: usize) -> &Content {
+        self.as_seq().and_then(|s| s.get(idx)).unwrap_or(&NULL)
+    }
+}
+
+impl PartialEq<f64> for Content {
+    fn eq(&self, other: &f64) -> bool {
+        self.as_f64() == Some(*other)
+    }
+}
+
+impl PartialEq<i64> for Content {
+    fn eq(&self, other: &i64) -> bool {
+        self.as_f64() == Some(*other as f64)
+    }
+}
+
+impl PartialEq<u64> for Content {
+    fn eq(&self, other: &u64) -> bool {
+        self.as_f64() == Some(*other as f64)
+    }
+}
+
+impl PartialEq<bool> for Content {
+    fn eq(&self, other: &bool) -> bool {
+        matches!(self, Content::Bool(b) if b == other)
+    }
+}
+
+impl PartialEq<&str> for Content {
+    fn eq(&self, other: &&str) -> bool {
+        self.as_str() == Some(*other)
+    }
+}
+
+impl PartialEq<str> for Content {
+    fn eq(&self, other: &str) -> bool {
+        self.as_str() == Some(other)
+    }
+}
+
+impl PartialEq<String> for Content {
+    fn eq(&self, other: &String) -> bool {
+        self.as_str() == Some(other.as_str())
+    }
+}
+
+/// Types that can render themselves into a [`Content`] tree.
+pub trait Serialize {
+    /// Convert to the self-describing value tree.
+    fn to_content(&self) -> Content;
+}
+
+/// Types that can be rebuilt from a [`Content`] tree.
+pub trait Deserialize: Sized {
+    /// Rebuild from the self-describing value tree.
+    fn deserialize(value: &Content) -> Result<Self, de::Error>;
+}
+
+// --- Serialize impls -------------------------------------------------------
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_content(&self) -> Content {
+        (**self).to_content()
+    }
+}
+
+impl Serialize for bool {
+    fn to_content(&self) -> Content {
+        Content::Bool(*self)
+    }
+}
+
+macro_rules! ser_uint {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_content(&self) -> Content {
+                Content::U64(*self as u64)
+            }
+        }
+    )*};
+}
+ser_uint!(u8, u16, u32, u64, usize);
+
+macro_rules! ser_int {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_content(&self) -> Content {
+                let v = *self as i64;
+                if v >= 0 {
+                    Content::U64(v as u64)
+                } else {
+                    Content::I64(v)
+                }
+            }
+        }
+    )*};
+}
+ser_int!(i8, i16, i32, i64, isize);
+
+impl Serialize for f32 {
+    fn to_content(&self) -> Content {
+        Content::F64(*self as f64)
+    }
+}
+
+impl Serialize for f64 {
+    fn to_content(&self) -> Content {
+        Content::F64(*self)
+    }
+}
+
+impl Serialize for str {
+    fn to_content(&self) -> Content {
+        Content::Str(self.to_string())
+    }
+}
+
+impl Serialize for String {
+    fn to_content(&self) -> Content {
+        Content::Str(self.clone())
+    }
+}
+
+impl Serialize for char {
+    fn to_content(&self) -> Content {
+        Content::Str(self.to_string())
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_content(&self) -> Content {
+        match self {
+            Some(v) => v.to_content(),
+            None => Content::Null,
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_content(&self) -> Content {
+        Content::Seq(self.iter().map(Serialize::to_content).collect())
+    }
+}
+
+impl<T: Serialize> Serialize for VecDeque<T> {
+    fn to_content(&self) -> Content {
+        Content::Seq(self.iter().map(Serialize::to_content).collect())
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn to_content(&self) -> Content {
+        Content::Seq(self.iter().map(Serialize::to_content).collect())
+    }
+}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn to_content(&self) -> Content {
+        Content::Seq(self.iter().map(Serialize::to_content).collect())
+    }
+}
+
+impl<V: Serialize> Serialize for BTreeMap<String, V> {
+    fn to_content(&self) -> Content {
+        Content::Map(
+            self.iter()
+                .map(|(k, v)| (k.clone(), v.to_content()))
+                .collect(),
+        )
+    }
+}
+
+impl<V: Serialize> Serialize for HashMap<String, V> {
+    fn to_content(&self) -> Content {
+        let mut entries: Vec<(String, Content)> = self
+            .iter()
+            .map(|(k, v)| (k.clone(), v.to_content()))
+            .collect();
+        entries.sort_by(|a, b| a.0.cmp(&b.0)); // deterministic output
+        Content::Map(entries)
+    }
+}
+
+macro_rules! ser_tuple {
+    ($(($($name:ident . $idx:tt),+)),+ $(,)?) => {$(
+        impl<$($name: Serialize),+> Serialize for ($($name,)+) {
+            fn to_content(&self) -> Content {
+                Content::Seq(vec![$(self.$idx.to_content()),+])
+            }
+        }
+    )+};
+}
+ser_tuple!(
+    (A.0),
+    (A.0, B.1),
+    (A.0, B.1, C.2),
+    (A.0, B.1, C.2, D.3),
+    (A.0, B.1, C.2, D.3, E.4),
+    (A.0, B.1, C.2, D.3, E.4, F.5),
+    (A.0, B.1, C.2, D.3, E.4, F.5, G.6),
+    (A.0, B.1, C.2, D.3, E.4, F.5, G.6, H.7),
+);
+
+impl Serialize for Content {
+    fn to_content(&self) -> Content {
+        self.clone()
+    }
+}
+
+// --- Deserialize impls -----------------------------------------------------
+
+impl Deserialize for bool {
+    fn deserialize(value: &Content) -> Result<Self, de::Error> {
+        match value {
+            Content::Bool(b) => Ok(*b),
+            other => Err(de::Error::unexpected("bool", other)),
+        }
+    }
+}
+
+macro_rules! de_uint {
+    ($($t:ty),*) => {$(
+        impl Deserialize for $t {
+            fn deserialize(value: &Content) -> Result<Self, de::Error> {
+                let wide = match value {
+                    Content::U64(v) => Some(*v),
+                    Content::I64(v) if *v >= 0 => Some(*v as u64),
+                    _ => None,
+                };
+                wide.and_then(|v| <$t>::try_from(v).ok())
+                    .ok_or_else(|| de::Error::unexpected(stringify!($t), value))
+            }
+        }
+    )*};
+}
+de_uint!(u8, u16, u32, u64, usize);
+
+macro_rules! de_int {
+    ($($t:ty),*) => {$(
+        impl Deserialize for $t {
+            fn deserialize(value: &Content) -> Result<Self, de::Error> {
+                let wide = match value {
+                    Content::U64(v) => i64::try_from(*v).ok(),
+                    Content::I64(v) => Some(*v),
+                    _ => None,
+                };
+                wide.and_then(|v| <$t>::try_from(v).ok())
+                    .ok_or_else(|| de::Error::unexpected(stringify!($t), value))
+            }
+        }
+    )*};
+}
+de_int!(i8, i16, i32, i64, isize);
+
+impl Deserialize for f64 {
+    fn deserialize(value: &Content) -> Result<Self, de::Error> {
+        value
+            .as_f64()
+            .ok_or_else(|| de::Error::unexpected("f64", value))
+    }
+}
+
+impl Deserialize for f32 {
+    fn deserialize(value: &Content) -> Result<Self, de::Error> {
+        f64::deserialize(value).map(|v| v as f32)
+    }
+}
+
+impl Deserialize for String {
+    fn deserialize(value: &Content) -> Result<Self, de::Error> {
+        match value {
+            Content::Str(s) => Ok(s.clone()),
+            other => Err(de::Error::unexpected("string", other)),
+        }
+    }
+}
+
+/// `&'static str` fields (used by const benchmark tables) deserialize by
+/// leaking the decoded string. Real serde borrows from the input instead;
+/// this stand-in has no borrowed deserialization, and the few bytes leaked
+/// per decode are irrelevant for test/bench usage.
+impl Deserialize for &'static str {
+    fn deserialize(value: &Content) -> Result<Self, de::Error> {
+        match value {
+            Content::Str(s) => Ok(Box::leak(s.clone().into_boxed_str())),
+            other => Err(de::Error::unexpected("string", other)),
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn deserialize(value: &Content) -> Result<Self, de::Error> {
+        match value {
+            Content::Null => Ok(None),
+            other => T::deserialize(other).map(Some),
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn deserialize(value: &Content) -> Result<Self, de::Error> {
+        value
+            .as_seq()
+            .ok_or_else(|| de::Error::unexpected("sequence", value))?
+            .iter()
+            .map(T::deserialize)
+            .collect()
+    }
+}
+
+impl<T: Deserialize> Deserialize for VecDeque<T> {
+    fn deserialize(value: &Content) -> Result<Self, de::Error> {
+        Vec::<T>::deserialize(value).map(VecDeque::from)
+    }
+}
+
+impl<T: Deserialize, const N: usize> Deserialize for [T; N] {
+    fn deserialize(value: &Content) -> Result<Self, de::Error> {
+        let items = Vec::<T>::deserialize(value)?;
+        let len = items.len();
+        <[T; N]>::try_from(items)
+            .map_err(|_| de::Error::custom(format!("expected array of {N} elements, got {len}")))
+    }
+}
+
+macro_rules! de_tuple {
+    ($(($($name:ident . $idx:tt),+ ; $len:expr)),+ $(,)?) => {$(
+        impl<$($name: Deserialize),+> Deserialize for ($($name,)+) {
+            fn deserialize(value: &Content) -> Result<Self, de::Error> {
+                let items = value
+                    .as_seq()
+                    .ok_or_else(|| de::Error::unexpected("tuple", value))?;
+                if items.len() != $len {
+                    return Err(de::Error::custom(format!(
+                        "expected tuple of {} elements, got {}", $len, items.len()
+                    )));
+                }
+                Ok(($($name::deserialize(&items[$idx])?,)+))
+            }
+        }
+    )+};
+}
+de_tuple!(
+    (A.0; 1),
+    (A.0, B.1; 2),
+    (A.0, B.1, C.2; 3),
+    (A.0, B.1, C.2, D.3; 4),
+    (A.0, B.1, C.2, D.3, E.4; 5),
+    (A.0, B.1, C.2, D.3, E.4, F.5; 6),
+);
+
+impl Deserialize for Content {
+    fn deserialize(value: &Content) -> Result<Self, de::Error> {
+        Ok(value.clone())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scalars_round_trip() {
+        assert_eq!(u64::deserialize(&42u64.to_content()).unwrap(), 42);
+        assert_eq!(i64::deserialize(&(-7i64).to_content()).unwrap(), -7);
+        assert_eq!(f64::deserialize(&1.5f64.to_content()).unwrap(), 1.5);
+        assert!(bool::deserialize(&true.to_content()).unwrap());
+        assert_eq!(String::deserialize(&"hi".to_content()).unwrap(), "hi");
+    }
+
+    #[test]
+    fn containers_round_trip() {
+        let v = vec![1u64, 2, 3];
+        assert_eq!(Vec::<u64>::deserialize(&v.to_content()).unwrap(), v);
+        let arr = [5u64, 6, 7, 8];
+        assert_eq!(<[u64; 4]>::deserialize(&arr.to_content()).unwrap(), arr);
+        let opt: Option<u32> = None;
+        assert_eq!(Option::<u32>::deserialize(&opt.to_content()).unwrap(), None);
+        let pair = (1.5f64, "x".to_string());
+        assert_eq!(
+            <(f64, String)>::deserialize(&pair.to_content()).unwrap(),
+            pair
+        );
+    }
+
+    #[test]
+    fn index_and_eq_sugar() {
+        let map = Content::Map(vec![
+            ("x".into(), Content::F64(1.5)),
+            ("label".into(), Content::Str("hello".into())),
+        ]);
+        assert_eq!(map["x"], 1.5);
+        assert_eq!(map["label"], "hello");
+        assert_eq!(map["missing"], Content::Null);
+    }
+
+    #[test]
+    fn out_of_range_ints_are_rejected() {
+        assert!(u8::deserialize(&Content::U64(300)).is_err());
+        assert!(u64::deserialize(&Content::I64(-1)).is_err());
+    }
+}

@@ -1,0 +1,504 @@
+//! Derive macros for the vendored `serde` stand-in.
+//!
+//! Implements `#[derive(Serialize)]` and `#[derive(Deserialize)]` with a
+//! hand-written token-tree parser (the registry-free build cannot use
+//! `syn`/`quote`). Supported item shapes — which cover everything in this
+//! workspace — are:
+//!
+//! * structs with named fields (optionally lifetime-generic),
+//! * tuple structs (newtypes serialize transparently, wider tuples as
+//!   sequences),
+//! * unit structs,
+//! * enums whose variants are unit or struct-like (serialized serde-style:
+//!   `"Variant"` / `{"Variant": {fields…}}`).
+//!
+//! `#[serde(...)]` attributes are not supported and anything unparsable is
+//! reported with `compile_error!` rather than silently mis-serialized.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// Derive `serde::Serialize`.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    expand(input, Trait::Serialize)
+}
+
+/// Derive `serde::Deserialize`.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    expand(input, Trait::Deserialize)
+}
+
+#[derive(Clone, Copy, PartialEq)]
+enum Trait {
+    Serialize,
+    Deserialize,
+}
+
+fn expand(input: TokenStream, which: Trait) -> TokenStream {
+    let item = match Parser::new(input).parse_item() {
+        Ok(item) => item,
+        Err(msg) => return compile_error(&msg),
+    };
+    let code = match which {
+        Trait::Serialize => gen_serialize(&item),
+        Trait::Deserialize => gen_deserialize(&item),
+    };
+    match code {
+        Ok(code) => code.parse().expect("derive expansion must be valid Rust"),
+        Err(msg) => compile_error(&msg),
+    }
+}
+
+fn compile_error(msg: &str) -> TokenStream {
+    format!("compile_error!({:?});", msg).parse().unwrap()
+}
+
+// --- item model ------------------------------------------------------------
+
+struct Item {
+    name: String,
+    /// Lifetime parameter names (without the tick), e.g. `["a"]`.
+    lifetimes: Vec<String>,
+    kind: ItemKind,
+}
+
+enum ItemKind {
+    NamedStruct { fields: Vec<String> },
+    TupleStruct { arity: usize },
+    UnitStruct,
+    Enum { variants: Vec<Variant> },
+}
+
+struct Variant {
+    name: String,
+    /// `None` for unit variants, `Some(fields)` for struct variants.
+    fields: Option<Vec<String>>,
+}
+
+impl Item {
+    /// `<'a, 'b>` or the empty string.
+    fn generics(&self) -> String {
+        if self.lifetimes.is_empty() {
+            String::new()
+        } else {
+            let list: Vec<String> = self.lifetimes.iter().map(|l| format!("'{l}")).collect();
+            format!("<{}>", list.join(", "))
+        }
+    }
+}
+
+// --- parser ----------------------------------------------------------------
+
+struct Parser {
+    tokens: Vec<TokenTree>,
+    pos: usize,
+}
+
+impl Parser {
+    fn new(input: TokenStream) -> Self {
+        Self {
+            tokens: input.into_iter().collect(),
+            pos: 0,
+        }
+    }
+
+    fn peek(&self) -> Option<&TokenTree> {
+        self.tokens.get(self.pos)
+    }
+
+    fn next(&mut self) -> Option<TokenTree> {
+        let t = self.tokens.get(self.pos).cloned();
+        if t.is_some() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn skip_attributes(&mut self) {
+        while let Some(TokenTree::Punct(p)) = self.peek() {
+            if p.as_char() != '#' {
+                break;
+            }
+            self.pos += 1; // '#'
+            if let Some(TokenTree::Punct(p)) = self.peek() {
+                // inner attribute `#![...]`
+                if p.as_char() == '!' {
+                    self.pos += 1;
+                }
+            }
+            match self.next() {
+                Some(TokenTree::Group(_)) => {}
+                _ => break, // malformed; let rustc complain
+            }
+        }
+    }
+
+    fn skip_visibility(&mut self) {
+        if let Some(TokenTree::Ident(id)) = self.peek() {
+            if id.to_string() == "pub" {
+                self.pos += 1;
+                if let Some(TokenTree::Group(g)) = self.peek() {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        self.pos += 1; // pub(crate) etc.
+                    }
+                }
+            }
+        }
+    }
+
+    fn parse_item(&mut self) -> Result<Item, String> {
+        self.skip_attributes();
+        self.skip_visibility();
+        let keyword = match self.next() {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            other => return Err(format!("expected `struct` or `enum`, found {other:?}")),
+        };
+        let name = match self.next() {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            other => return Err(format!("expected item name, found {other:?}")),
+        };
+        let lifetimes = self.parse_generics()?;
+        match keyword.as_str() {
+            "struct" => self.parse_struct_body(name, lifetimes),
+            "enum" => self.parse_enum_body(name, lifetimes),
+            other => Err(format!("cannot derive serde traits for `{other}` items")),
+        }
+    }
+
+    fn parse_generics(&mut self) -> Result<Vec<String>, String> {
+        match self.peek() {
+            Some(TokenTree::Punct(p)) if p.as_char() == '<' => {}
+            _ => return Ok(Vec::new()),
+        }
+        self.pos += 1; // '<'
+        let mut lifetimes = Vec::new();
+        let mut depth = 1usize;
+        while depth > 0 {
+            match self.next() {
+                Some(TokenTree::Punct(p)) if p.as_char() == '<' => depth += 1,
+                Some(TokenTree::Punct(p)) if p.as_char() == '>' => depth -= 1,
+                Some(TokenTree::Punct(p)) if p.as_char() == '\'' && depth == 1 => {
+                    match self.next() {
+                        Some(TokenTree::Ident(id)) => lifetimes.push(id.to_string()),
+                        other => return Err(format!("expected lifetime name, found {other:?}")),
+                    }
+                }
+                Some(TokenTree::Punct(p)) if p.as_char() == ',' => {}
+                Some(TokenTree::Ident(id)) if depth == 1 => {
+                    return Err(format!(
+                        "type parameter `{id}` is not supported by the vendored serde derive"
+                    ));
+                }
+                Some(_) => {}
+                None => return Err("unclosed generics".into()),
+            }
+        }
+        Ok(lifetimes)
+    }
+
+    fn parse_struct_body(&mut self, name: String, lifetimes: Vec<String>) -> Result<Item, String> {
+        if let Some(TokenTree::Ident(id)) = self.peek() {
+            if id.to_string() == "where" {
+                return Err(
+                    "`where` clauses are not supported by the vendored serde derive".into(),
+                );
+            }
+        }
+        let kind = match self.next() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                ItemKind::NamedStruct {
+                    fields: parse_named_fields(g.stream())?,
+                }
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                ItemKind::TupleStruct {
+                    arity: count_tuple_fields(g.stream()),
+                }
+            }
+            Some(TokenTree::Punct(p)) if p.as_char() == ';' => ItemKind::UnitStruct,
+            other => return Err(format!("unexpected struct body: {other:?}")),
+        };
+        Ok(Item {
+            name,
+            lifetimes,
+            kind,
+        })
+    }
+
+    fn parse_enum_body(&mut self, name: String, lifetimes: Vec<String>) -> Result<Item, String> {
+        let group = match self.next() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => g,
+            other => return Err(format!("expected enum body, found {other:?}")),
+        };
+        let mut inner = Parser::new(group.stream());
+        let mut variants = Vec::new();
+        loop {
+            inner.skip_attributes();
+            let vname = match inner.next() {
+                Some(TokenTree::Ident(id)) => id.to_string(),
+                None => break,
+                other => return Err(format!("expected variant name, found {other:?}")),
+            };
+            let mut fields = None;
+            match inner.peek() {
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                    fields = Some(parse_named_fields(g.stream())?);
+                    inner.pos += 1;
+                }
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                    return Err(format!(
+                        "tuple variant `{vname}` is not supported by the vendored serde derive"
+                    ));
+                }
+                _ => {}
+            }
+            // Skip an explicit discriminant (`= expr`) up to the comma.
+            while let Some(t) = inner.peek() {
+                if matches!(t, TokenTree::Punct(p) if p.as_char() == ',') {
+                    inner.pos += 1;
+                    break;
+                }
+                inner.pos += 1;
+            }
+            variants.push(Variant {
+                name: vname,
+                fields,
+            });
+        }
+        Ok(Item {
+            name,
+            lifetimes,
+            kind: ItemKind::Enum { variants },
+        })
+    }
+}
+
+/// Parse `name: Type, ...` field lists, returning the field names.
+fn parse_named_fields(stream: TokenStream) -> Result<Vec<String>, String> {
+    let mut p = Parser::new(stream);
+    let mut fields = Vec::new();
+    loop {
+        p.skip_attributes();
+        p.skip_visibility();
+        let name = match p.next() {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            None => break,
+            other => return Err(format!("expected field name, found {other:?}")),
+        };
+        match p.next() {
+            Some(TokenTree::Punct(c)) if c.as_char() == ':' => {}
+            other => {
+                return Err(format!(
+                    "expected `:` after field `{name}`, found {other:?}"
+                ))
+            }
+        }
+        // Skip the type: everything up to a comma outside `<...>`.
+        let mut angle = 0usize;
+        while let Some(t) = p.peek() {
+            match t {
+                TokenTree::Punct(c) if c.as_char() == '<' => angle += 1,
+                TokenTree::Punct(c) if c.as_char() == '>' => angle = angle.saturating_sub(1),
+                TokenTree::Punct(c) if c.as_char() == ',' && angle == 0 => {
+                    p.pos += 1;
+                    break;
+                }
+                _ => {}
+            }
+            p.pos += 1;
+        }
+        fields.push(name);
+    }
+    Ok(fields)
+}
+
+/// Count tuple-struct fields (top-level commas + 1).
+fn count_tuple_fields(stream: TokenStream) -> usize {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    if tokens.is_empty() {
+        return 0;
+    }
+    let mut angle = 0usize;
+    let mut fields = 1usize;
+    let mut trailing_comma = false;
+    for t in &tokens {
+        match t {
+            TokenTree::Punct(c) if c.as_char() == '<' => angle += 1,
+            TokenTree::Punct(c) if c.as_char() == '>' => angle = angle.saturating_sub(1),
+            TokenTree::Punct(c) if c.as_char() == ',' && angle == 0 => {
+                fields += 1;
+                trailing_comma = true;
+                continue;
+            }
+            _ => {}
+        }
+        trailing_comma = false;
+    }
+    if trailing_comma {
+        fields -= 1;
+    }
+    fields
+}
+
+// --- codegen ---------------------------------------------------------------
+
+const ALLOWS: &str = "#[automatically_derived]\n\
+    #[allow(unknown_lints, unused_variables, unreachable_patterns, unreachable_code, \
+    clippy::all, clippy::pedantic, clippy::nursery)]\n";
+
+fn gen_serialize(item: &Item) -> Result<String, String> {
+    let name = &item.name;
+    let generics = item.generics();
+    let body = match &item.kind {
+        ItemKind::NamedStruct { fields } => {
+            let entries: Vec<String> = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "(::std::string::String::from({f:?}), \
+                         ::serde::Serialize::to_content(&self.{f}))"
+                    )
+                })
+                .collect();
+            format!("::serde::Content::Map(::std::vec![{}])", entries.join(", "))
+        }
+        ItemKind::TupleStruct { arity: 1 } => "::serde::Serialize::to_content(&self.0)".to_string(),
+        ItemKind::TupleStruct { arity } => {
+            let items: Vec<String> = (0..*arity)
+                .map(|i| format!("::serde::Serialize::to_content(&self.{i})"))
+                .collect();
+            format!("::serde::Content::Seq(::std::vec![{}])", items.join(", "))
+        }
+        ItemKind::UnitStruct => "::serde::Content::Null".to_string(),
+        ItemKind::Enum { variants } => {
+            if variants.is_empty() {
+                return Err(format!("cannot serialize empty enum `{name}`"));
+            }
+            let arms: Vec<String> = variants
+                .iter()
+                .map(|v| {
+                    let vname = &v.name;
+                    match &v.fields {
+                        None => format!(
+                            "{name}::{vname} => \
+                             ::serde::Content::Str(::std::string::String::from({vname:?})),"
+                        ),
+                        Some(fields) => {
+                            let binds = fields.join(", ");
+                            let entries: Vec<String> = fields
+                                .iter()
+                                .map(|f| {
+                                    format!(
+                                        "(::std::string::String::from({f:?}), \
+                                         ::serde::Serialize::to_content({f}))"
+                                    )
+                                })
+                                .collect();
+                            format!(
+                                "{name}::{vname} {{ {binds} }} => ::serde::Content::Map(\
+                                 ::std::vec![(::std::string::String::from({vname:?}), \
+                                 ::serde::Content::Map(::std::vec![{}]))]),",
+                                entries.join(", ")
+                            )
+                        }
+                    }
+                })
+                .collect();
+            format!("match self {{\n{}\n}}", arms.join("\n"))
+        }
+    };
+    Ok(format!(
+        "{ALLOWS}impl{generics} ::serde::Serialize for {name}{generics} {{\n\
+         fn to_content(&self) -> ::serde::Content {{\n{body}\n}}\n}}"
+    ))
+}
+
+fn gen_deserialize(item: &Item) -> Result<String, String> {
+    let name = &item.name;
+    if !item.lifetimes.is_empty() {
+        return Err(format!(
+            "cannot derive Deserialize for lifetime-generic `{name}` with the vendored serde"
+        ));
+    }
+    let body = match &item.kind {
+        ItemKind::NamedStruct { fields } => {
+            let inits: Vec<String> = fields
+                .iter()
+                .map(|f| format!("{f}: ::serde::de::field(entries, {f:?})?,"))
+                .collect();
+            format!(
+                "let entries = value.as_map().ok_or_else(|| \
+                 ::serde::de::Error::unexpected(\"struct {name}\", value))?;\n\
+                 ::std::result::Result::Ok({name} {{\n{}\n}})",
+                inits.join("\n")
+            )
+        }
+        ItemKind::TupleStruct { arity: 1 } => {
+            format!("::std::result::Result::Ok({name}(::serde::Deserialize::deserialize(value)?))")
+        }
+        ItemKind::TupleStruct { arity } => {
+            let inits: Vec<String> = (0..*arity)
+                .map(|i| format!("::serde::Deserialize::deserialize(&items[{i}])?,"))
+                .collect();
+            format!(
+                "let items = value.as_seq().ok_or_else(|| \
+                 ::serde::de::Error::unexpected(\"tuple struct {name}\", value))?;\n\
+                 if items.len() != {arity} {{\n\
+                 return ::std::result::Result::Err(::serde::de::Error::custom(\
+                 \"wrong tuple length for {name}\"));\n}}\n\
+                 ::std::result::Result::Ok({name}({}))",
+                inits.join(" ")
+            )
+        }
+        ItemKind::UnitStruct => format!("::std::result::Result::Ok({name})"),
+        ItemKind::Enum { variants } => {
+            let unit_arms: Vec<String> = variants
+                .iter()
+                .filter(|v| v.fields.is_none())
+                .map(|v| {
+                    let vname = &v.name;
+                    format!("{vname:?} => ::std::result::Result::Ok({name}::{vname}),")
+                })
+                .collect();
+            let struct_arms: Vec<String> = variants
+                .iter()
+                .filter_map(|v| v.fields.as_ref().map(|fields| (&v.name, fields)))
+                .map(|(vname, fields)| {
+                    let inits: Vec<String> = fields
+                        .iter()
+                        .map(|f| format!("{f}: ::serde::de::field(entries, {f:?})?,"))
+                        .collect();
+                    format!(
+                        "{vname:?} => {{\n\
+                         let entries = inner.as_map().ok_or_else(|| \
+                         ::serde::de::Error::unexpected(\"variant {name}::{vname}\", inner))?;\n\
+                         ::std::result::Result::Ok({name}::{vname} {{\n{}\n}})\n}}",
+                        inits.join("\n")
+                    )
+                })
+                .collect();
+            format!(
+                "match value {{\n\
+                 ::serde::Content::Str(s) => match s.as_str() {{\n{unit}\n\
+                 other => ::std::result::Result::Err(::serde::de::Error::custom(\
+                 ::std::format!(\"unknown variant `{{other}}` of {name}\"))),\n}},\n\
+                 ::serde::Content::Map(entries) if entries.len() == 1 => {{\n\
+                 let tag = entries[0].0.as_str();\n\
+                 let inner = &entries[0].1;\n\
+                 match tag {{\n{strct}\n\
+                 other => ::std::result::Result::Err(::serde::de::Error::custom(\
+                 ::std::format!(\"unknown variant `{{other}}` of {name}\"))),\n}}\n}}\n\
+                 other => ::std::result::Result::Err(\
+                 ::serde::de::Error::unexpected(\"enum {name}\", other)),\n}}",
+                unit = unit_arms.join("\n"),
+                strct = struct_arms.join("\n"),
+            )
+        }
+    };
+    Ok(format!(
+        "{ALLOWS}impl ::serde::Deserialize for {name} {{\n\
+         fn deserialize(value: &::serde::Content) \
+         -> ::std::result::Result<Self, ::serde::de::Error> {{\n{body}\n}}\n}}"
+    ))
+}
