@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablations-a11267a411e69288.d: crates/bench/src/bin/ablations.rs
+
+/root/repo/target/debug/deps/libablations-a11267a411e69288.rmeta: crates/bench/src/bin/ablations.rs
+
+crates/bench/src/bin/ablations.rs:

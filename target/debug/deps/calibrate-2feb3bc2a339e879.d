@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/calibrate-2feb3bc2a339e879.d: crates/bench/src/bin/calibrate.rs
+
+/root/repo/target/debug/deps/libcalibrate-2feb3bc2a339e879.rmeta: crates/bench/src/bin/calibrate.rs
+
+crates/bench/src/bin/calibrate.rs:

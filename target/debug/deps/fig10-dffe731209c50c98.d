@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig10-dffe731209c50c98.d: crates/bench/src/bin/fig10.rs
+
+/root/repo/target/debug/deps/libfig10-dffe731209c50c98.rmeta: crates/bench/src/bin/fig10.rs
+
+crates/bench/src/bin/fig10.rs:

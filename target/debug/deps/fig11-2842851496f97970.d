@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig11-2842851496f97970.d: crates/bench/src/bin/fig11.rs
+
+/root/repo/target/debug/deps/libfig11-2842851496f97970.rmeta: crates/bench/src/bin/fig11.rs
+
+crates/bench/src/bin/fig11.rs:

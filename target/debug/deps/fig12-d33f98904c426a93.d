@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig12-d33f98904c426a93.d: crates/bench/src/bin/fig12.rs
+
+/root/repo/target/debug/deps/libfig12-d33f98904c426a93.rmeta: crates/bench/src/bin/fig12.rs
+
+crates/bench/src/bin/fig12.rs:

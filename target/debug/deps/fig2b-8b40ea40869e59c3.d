@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig2b-8b40ea40869e59c3.d: crates/bench/src/bin/fig2b.rs
+
+/root/repo/target/debug/deps/libfig2b-8b40ea40869e59c3.rmeta: crates/bench/src/bin/fig2b.rs
+
+crates/bench/src/bin/fig2b.rs:

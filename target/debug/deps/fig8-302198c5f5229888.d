@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig8-302198c5f5229888.d: crates/bench/src/bin/fig8.rs
+
+/root/repo/target/debug/deps/libfig8-302198c5f5229888.rmeta: crates/bench/src/bin/fig8.rs
+
+crates/bench/src/bin/fig8.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig9-37f7ad356aae3c3c.d: crates/bench/src/bin/fig9.rs
+
+/root/repo/target/debug/deps/libfig9-37f7ad356aae3c3c.rmeta: crates/bench/src/bin/fig9.rs
+
+crates/bench/src/bin/fig9.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ipc-e361722f14821277.d: crates/bench/src/bin/ipc.rs
+
+/root/repo/target/debug/deps/libipc-e361722f14821277.rmeta: crates/bench/src/bin/ipc.rs
+
+crates/bench/src/bin/ipc.rs:

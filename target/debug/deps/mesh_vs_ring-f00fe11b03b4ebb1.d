@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/mesh_vs_ring-f00fe11b03b4ebb1.d: crates/bench/src/bin/mesh_vs_ring.rs
+
+/root/repo/target/debug/deps/libmesh_vs_ring-f00fe11b03b4ebb1.rmeta: crates/bench/src/bin/mesh_vs_ring.rs
+
+crates/bench/src/bin/mesh_vs_ring.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/nanophotonic_handshake-6c26672f0187960f.d: src/lib.rs
+
+/root/repo/target/debug/deps/libnanophotonic_handshake-6c26672f0187960f.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/pnoc_bench-0727371478985fd1.d: crates/bench/src/lib.rs crates/bench/src/export.rs crates/bench/src/figures.rs crates/bench/src/grids.rs crates/bench/src/plot.rs crates/bench/src/table.rs
+
+/root/repo/target/debug/deps/libpnoc_bench-0727371478985fd1.rmeta: crates/bench/src/lib.rs crates/bench/src/export.rs crates/bench/src/figures.rs crates/bench/src/grids.rs crates/bench/src/plot.rs crates/bench/src/table.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/export.rs:
+crates/bench/src/figures.rs:
+crates/bench/src/grids.rs:
+crates/bench/src/plot.rs:
+crates/bench/src/table.rs:

@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/pnoc_faults-de58e4a412fe20d4.d: crates/faults/src/lib.rs crates/faults/src/config.rs crates/faults/src/engine.rs crates/faults/src/rings.rs
+
+/root/repo/target/debug/deps/libpnoc_faults-de58e4a412fe20d4.rmeta: crates/faults/src/lib.rs crates/faults/src/config.rs crates/faults/src/engine.rs crates/faults/src/rings.rs
+
+crates/faults/src/lib.rs:
+crates/faults/src/config.rs:
+crates/faults/src/engine.rs:
+crates/faults/src/rings.rs:

@@ -1,0 +1,17 @@
+/root/repo/target/debug/deps/pnoc_noc-590eb5605d063f45.d: crates/noc/src/lib.rs crates/noc/src/calendar.rs crates/noc/src/channel.rs crates/noc/src/config.rs crates/noc/src/emesh.rs crates/noc/src/metrics.rs crates/noc/src/network.rs crates/noc/src/outqueue.rs crates/noc/src/packet.rs crates/noc/src/slots.rs crates/noc/src/sources.rs crates/noc/src/swmr.rs crates/noc/src/topology.rs
+
+/root/repo/target/debug/deps/libpnoc_noc-590eb5605d063f45.rmeta: crates/noc/src/lib.rs crates/noc/src/calendar.rs crates/noc/src/channel.rs crates/noc/src/config.rs crates/noc/src/emesh.rs crates/noc/src/metrics.rs crates/noc/src/network.rs crates/noc/src/outqueue.rs crates/noc/src/packet.rs crates/noc/src/slots.rs crates/noc/src/sources.rs crates/noc/src/swmr.rs crates/noc/src/topology.rs
+
+crates/noc/src/lib.rs:
+crates/noc/src/calendar.rs:
+crates/noc/src/channel.rs:
+crates/noc/src/config.rs:
+crates/noc/src/emesh.rs:
+crates/noc/src/metrics.rs:
+crates/noc/src/network.rs:
+crates/noc/src/outqueue.rs:
+crates/noc/src/packet.rs:
+crates/noc/src/slots.rs:
+crates/noc/src/sources.rs:
+crates/noc/src/swmr.rs:
+crates/noc/src/topology.rs:

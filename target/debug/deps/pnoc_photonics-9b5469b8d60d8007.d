@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/pnoc_photonics-9b5469b8d60d8007.d: crates/photonics/src/lib.rs crates/photonics/src/budget.rs crates/photonics/src/geometry.rs crates/photonics/src/loss.rs crates/photonics/src/ring.rs crates/photonics/src/waveguide.rs crates/photonics/src/wavelength.rs
+
+/root/repo/target/debug/deps/libpnoc_photonics-9b5469b8d60d8007.rmeta: crates/photonics/src/lib.rs crates/photonics/src/budget.rs crates/photonics/src/geometry.rs crates/photonics/src/loss.rs crates/photonics/src/ring.rs crates/photonics/src/waveguide.rs crates/photonics/src/wavelength.rs
+
+crates/photonics/src/lib.rs:
+crates/photonics/src/budget.rs:
+crates/photonics/src/geometry.rs:
+crates/photonics/src/loss.rs:
+crates/photonics/src/ring.rs:
+crates/photonics/src/waveguide.rs:
+crates/photonics/src/wavelength.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/pnoc_power-fda3a6f582a755c2.d: crates/power/src/lib.rs crates/power/src/dynamic.rs crates/power/src/laser.rs crates/power/src/orion.rs crates/power/src/report.rs
+
+/root/repo/target/debug/deps/libpnoc_power-fda3a6f582a755c2.rmeta: crates/power/src/lib.rs crates/power/src/dynamic.rs crates/power/src/laser.rs crates/power/src/orion.rs crates/power/src/report.rs
+
+crates/power/src/lib.rs:
+crates/power/src/dynamic.rs:
+crates/power/src/laser.rs:
+crates/power/src/orion.rs:
+crates/power/src/report.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/pnoc_sim-061975dc8ed596c9.d: crates/sim/src/lib.rs crates/sim/src/batch.rs crates/sim/src/clock.rs crates/sim/src/plan.rs crates/sim/src/rng.rs crates/sim/src/stats.rs crates/sim/src/sweep.rs crates/sim/src/util.rs
+
+/root/repo/target/debug/deps/libpnoc_sim-061975dc8ed596c9.rmeta: crates/sim/src/lib.rs crates/sim/src/batch.rs crates/sim/src/clock.rs crates/sim/src/plan.rs crates/sim/src/rng.rs crates/sim/src/stats.rs crates/sim/src/sweep.rs crates/sim/src/util.rs
+
+crates/sim/src/lib.rs:
+crates/sim/src/batch.rs:
+crates/sim/src/clock.rs:
+crates/sim/src/plan.rs:
+crates/sim/src/rng.rs:
+crates/sim/src/stats.rs:
+crates/sim/src/sweep.rs:
+crates/sim/src/util.rs:

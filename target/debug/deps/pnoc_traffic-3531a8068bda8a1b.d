@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/pnoc_traffic-3531a8068bda8a1b.d: crates/traffic/src/lib.rs crates/traffic/src/apps.rs crates/traffic/src/injection.rs crates/traffic/src/pattern.rs crates/traffic/src/stats.rs crates/traffic/src/trace.rs
+
+/root/repo/target/debug/deps/libpnoc_traffic-3531a8068bda8a1b.rmeta: crates/traffic/src/lib.rs crates/traffic/src/apps.rs crates/traffic/src/injection.rs crates/traffic/src/pattern.rs crates/traffic/src/stats.rs crates/traffic/src/trace.rs
+
+crates/traffic/src/lib.rs:
+crates/traffic/src/apps.rs:
+crates/traffic/src/injection.rs:
+crates/traffic/src/pattern.rs:
+crates/traffic/src/stats.rs:
+crates/traffic/src/trace.rs:

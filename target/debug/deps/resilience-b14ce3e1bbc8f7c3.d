@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/resilience-b14ce3e1bbc8f7c3.d: crates/bench/src/bin/resilience.rs
+
+/root/repo/target/debug/deps/libresilience-b14ce3e1bbc8f7c3.rmeta: crates/bench/src/bin/resilience.rs
+
+crates/bench/src/bin/resilience.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/swmr-8a8e67427b5b9f4e.d: crates/bench/src/bin/swmr.rs
+
+/root/repo/target/debug/deps/libswmr-8a8e67427b5b9f4e.rmeta: crates/bench/src/bin/swmr.rs
+
+crates/bench/src/bin/swmr.rs:

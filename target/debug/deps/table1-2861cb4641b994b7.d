@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table1-2861cb4641b994b7.d: crates/bench/src/bin/table1.rs
+
+/root/repo/target/debug/deps/libtable1-2861cb4641b994b7.rmeta: crates/bench/src/bin/table1.rs
+
+crates/bench/src/bin/table1.rs:
