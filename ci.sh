@@ -1,7 +1,7 @@
 #!/bin/bash
-# Repo CI gate: formatting, lints, and the full test suite.
-# Run before committing; run_harnesses.sh invokes it first so harness
-# results always come from a clean tree.
+# Repo CI gate: formatting, lints, the pnoc-verify correctness gate, and
+# the full test suite. Run before committing; run_harnesses.sh invokes it
+# first so harness results always come from a clean tree.
 set -e
 cd "$(dirname "$0")"
 
@@ -11,7 +11,27 @@ cargo fmt --all -- --check
 echo "== cargo clippy (deny warnings) =="
 cargo clippy --workspace --all-targets --offline -- -D warnings
 
+echo "== cargo clippy pedantic (pnoc-noc) =="
+# The simulator core is held to a stricter bar than the rest of the
+# workspace: crates/noc/src/lib.rs enables clippy::pedantic crate-wide
+# (with a short, justified allow list), and -D warnings makes every
+# pedantic finding an error here. The attribute lives in the crate rather
+# than on this command line so the vendored path dependencies are not
+# swept into the stricter lint set.
+cargo clippy -p pnoc-noc --all-targets --offline -- -D warnings
+
+echo "== pnoc-verify (lints + model check + invariant audit) =="
+# Custom determinism lints (exemptions live in crates/verify/allowlist.txt —
+# additions show up as a diff to that file), bounded model checking of the
+# handshake/credit FSMs, and the cycle-level invariant audit of full runs.
+cargo run --release -q -p pnoc-verify --offline -- --all
+
 echo "== cargo test =="
 cargo test -q --workspace --offline
+
+echo "== cargo test (pnoc-noc with verify-invariants auditor) =="
+# Re-run the simulator core's suite with the per-cycle InvariantAuditor
+# compiled into Network::step.
+cargo test -q -p pnoc-noc --features verify-invariants --offline
 
 echo CI_OK

@@ -185,6 +185,18 @@ impl ChannelInjector {
         false
     }
 
+    /// Append a canonical encoding of everything that determines this
+    /// injector's *future* behavior (RNG state, remaining budgets, stall
+    /// deadline relative to `now`) to `out`. Counters that only report the
+    /// past are excluded. Used by the bounded model checker to fold fault
+    /// state into its state keys.
+    pub fn state_key(&self, now: u64, out: &mut Vec<u64>) {
+        out.extend_from_slice(&self.rng.state());
+        out.push(self.data_budget);
+        out.push(self.ack_budget);
+        out.push(self.stalled_until.saturating_sub(now));
+    }
+
     /// Data flits destroyed in flight so far.
     pub fn data_lost(&self) -> u64 {
         self.data_lost

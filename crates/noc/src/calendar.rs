@@ -67,6 +67,22 @@ impl<T> Calendar<T> {
     pub fn pending(&self) -> usize {
         self.buckets.iter().map(Vec::len).sum()
     }
+
+    /// Iterate pending events as `(cycle, event)` in cycle order (events
+    /// within one cycle come in insertion order). Each bucket index maps to
+    /// exactly one absolute cycle in `[drained_up_to, drained_up_to + h)`,
+    /// so the schedule is fully reconstructible — introspection for the
+    /// invariant auditor and the model checker.
+    pub fn pending_events(&self) -> Vec<(Cycle, &T)> {
+        let h = self.buckets.len() as Cycle;
+        let mut out = Vec::new();
+        for at in self.drained_up_to..self.drained_up_to + h {
+            for ev in &self.buckets[(at % h) as usize] {
+                out.push((at, ev));
+            }
+        }
+        out
+    }
 }
 
 #[cfg(test)]

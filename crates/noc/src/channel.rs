@@ -28,7 +28,7 @@ use crate::topology::Topology;
 use pnoc_faults::{AckFate, ChannelInjector, DataFate, FaultEngine, RecoveryConfig};
 use pnoc_sim::Cycle;
 use std::cmp::Reverse;
-use std::collections::{BinaryHeap, HashSet, VecDeque};
+use std::collections::{BTreeSet, BinaryHeap, VecDeque};
 
 /// A packet handed to the home node's local cores.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -74,7 +74,10 @@ struct AckEvent {
 }
 
 /// One MWSR channel (see module docs).
-#[derive(Debug)]
+///
+/// `Clone` so the bounded model checker ([`crate::fsm`]) can branch a
+/// channel's state when exploring nondeterministic injection choices.
+#[derive(Debug, Clone)]
 pub struct Channel {
     home: usize,
     topo: Topology,
@@ -125,12 +128,19 @@ pub struct Channel {
     ack_timers: BinaryHeap<Reverse<(Cycle, usize, u64)>>,
     /// Packet ids already accepted into the input buffer, kept while
     /// recovery is enabled so a retransmission after a *lost ACK* is
-    /// discarded (and re-ACKed) instead of delivered twice.
-    accepted_ids: HashSet<u64>,
+    /// discarded (and re-ACKed) instead of delivered twice. Ordered so the
+    /// model checker's state keys are canonical (determinism lint
+    /// `no-unordered-collections` bans hash collections in sim state).
+    accepted_ids: BTreeSet<u64>,
     /// Token-slot: reservations destroyed by faults (lost tokens). The home
     /// cannot observe the destruction, so the slots stay committed forever —
     /// this is the credit leak the handshake schemes are immune to.
     lost_reservations: u32,
+    /// Token-channel: credits permanently destroyed by faults on this
+    /// channel (flits lost while holding a reservation, credits riding a
+    /// destroyed token). Balances the credit-conservation invariant:
+    /// `credits + uncommitted + outstanding + leaked == buffer_cap`.
+    leaked_credits: u32,
 }
 
 impl Channel {
@@ -193,8 +203,9 @@ impl Channel {
             injector,
             recovery: cfg.recovery,
             ack_timers: BinaryHeap::new(),
-            accepted_ids: HashSet::new(),
+            accepted_ids: BTreeSet::new(),
             lost_reservations: 0,
+            leaked_credits: 0,
         }
     }
 
@@ -220,7 +231,7 @@ impl Channel {
             && self.draining == 0
             && self.acks.pending() == 0
             && self.active_senders.is_empty()
-            && self.senders.iter().all(|q| q.is_idle())
+            && self.senders.iter().all(super::outqueue::OutQueue::is_idle)
     }
 
     /// Home input-buffer occupancy, including slots held by flits still in
@@ -237,6 +248,15 @@ impl Channel {
         self.ejection_per_cycle = n;
     }
 
+    /// Chaos/test hook: forget every packet id the home has accepted,
+    /// disabling duplicate suppression. A retransmission of an
+    /// already-delivered packet will then be delivered again — the
+    /// intentional bug the model checker's self-test must catch as a
+    /// duplicate-delivery counterexample.
+    pub fn forget_accepted_ids(&mut self) {
+        self.accepted_ids.clear();
+    }
+
     /// Phase 1: light advances one segment.
     pub fn phase_advance(&mut self) {
         self.data.advance();
@@ -245,27 +265,31 @@ impl Channel {
     /// Phase 2: the home inspects the slot at its segment.
     pub fn phase_arrival(&mut self, now: Cycle, m: &mut NetworkMetrics) {
         let home_seg = self.topo.segment_of(self.home);
-        if self.data.at(home_seg).is_none() {
+        // Take the flit once; the circulation path puts it back. (Take-once
+        // keeps this per-cycle path free of unwrap/expect — determinism lint
+        // `no-hot-path-unwrap`.)
+        let Some(mut pkt) = self.data.take(home_seg) else {
             return;
-        }
+        };
         // Fault fate for the flit's whole flight, decided at the observation
         // point (one draw per arrival, compounded over the flight length).
         if let Some(inj) = self.injector.as_mut() {
             if inj.active() {
-                let sent_at = self.data.at(home_seg).expect("checked above").sent_at;
-                let flight = now.saturating_sub(sent_at).max(1);
+                let flight = now.saturating_sub(pkt.sent_at).max(1);
                 match inj.data_fate(flight) {
                     DataFate::Intact => {}
                     DataFate::Lost => {
                         // Destroyed in flight: the home never sees it, so no
                         // handshake fires and no buffer slot is touched.
-                        let _ = self.data.take(home_seg).expect("checked above");
                         m.faults_data_lost += 1;
                         match self.scheme {
                             // The credit reserved for this flit can never be
                             // reimbursed (the slot is never occupied, so it
                             // is never ejected): a permanent leak.
-                            Scheme::TokenChannel => m.credit_leaks += 1,
+                            Scheme::TokenChannel => {
+                                self.leaked_credits += 1;
+                                m.credit_leaks += 1;
+                            }
                             // The in-flight reservation is never returned
                             // (`inflight` stays elevated forever).
                             Scheme::TokenSlot => m.credit_leaks += 1,
@@ -276,7 +300,6 @@ impl Channel {
                         return;
                     }
                     DataFate::Corrupt => {
-                        let pkt = self.data.take(home_seg).expect("checked above");
                         m.arrivals += 1;
                         m.faults_data_corrupt += 1;
                         match self.scheme {
@@ -288,7 +311,7 @@ impl Channel {
                                 self.uncommitted += 1;
                             }
                             Scheme::TokenSlot => {
-                                debug_assert!(self.inflight > 0);
+                                assert!(self.inflight > 0, "inflight underflow");
                                 self.inflight -= 1;
                             }
                             Scheme::Ghs { .. } | Scheme::Dhs { .. } => {
@@ -314,36 +337,33 @@ impl Channel {
         // Duplicate suppression (recovery only): a retransmission whose
         // original was accepted but whose ACK was lost must not be delivered
         // twice. Discard it and re-ACK so the sender can release its copy.
-        if self.recovery.enabled {
-            let id = self.data.at(home_seg).expect("checked above").id;
-            if self.accepted_ids.contains(&id) {
-                let pkt = self.data.take(home_seg).expect("checked above");
-                m.duplicates_suppressed += 1;
-                self.acks.schedule(
-                    pkt.sent_at + self.topo.handshake_delay(),
-                    AckEvent {
-                        sender: pkt.src_node as usize,
-                        id: pkt.id,
-                        ok: true,
-                    },
-                );
-                return;
-            }
+        if self.recovery.enabled && self.accepted_ids.contains(&pkt.id) {
+            m.duplicates_suppressed += 1;
+            self.acks.schedule(
+                pkt.sent_at + self.topo.handshake_delay(),
+                AckEvent {
+                    sender: pkt.src_node as usize,
+                    id: pkt.id,
+                    ok: true,
+                },
+            );
+            return;
         }
         let has_room = self.input_queue.len() + (self.draining as usize) < self.buffer_cap;
         match self.scheme {
             Scheme::TokenChannel | Scheme::TokenSlot => {
                 // Credit-reserved: space is guaranteed by construction.
-                let pkt = self.data.take(home_seg).expect("checked above");
-                debug_assert!(has_room, "reservation accounting violated");
+                // Always-on check: a violation here means corrupted credit
+                // state, which a release-mode harness run must not silently
+                // pass through.
+                assert!(has_room, "reservation accounting violated");
                 if self.scheme == Scheme::TokenSlot {
-                    debug_assert!(self.inflight > 0);
+                    assert!(self.inflight > 0, "inflight underflow");
                     self.inflight -= 1;
                 }
                 self.input_queue.push_back(pkt);
             }
             Scheme::Ghs { .. } | Scheme::Dhs { .. } => {
-                let pkt = self.data.take(home_seg).expect("checked above");
                 let ack_at = pkt.sent_at + self.topo.handshake_delay();
                 debug_assert!(ack_at > now, "handshake must arrive in the future");
                 if has_room {
@@ -374,13 +394,11 @@ impl Channel {
             }
             Scheme::DhsCirculation => {
                 if has_room {
-                    let pkt = self.data.take(home_seg).expect("checked above");
                     self.input_queue.push_back(pkt);
                 } else {
                     // Reinject: the packet stays on the ring for another
                     // loop; the home consumes this cycle's token virtually
                     // (§III-C).
-                    let mut pkt = self.data.take(home_seg).expect("checked above");
                     pkt.sends += 1;
                     pkt.sent_at = now; // next arrival check in R cycles
                     self.data.put(home_seg, pkt);
@@ -418,8 +436,9 @@ impl Channel {
                 } else {
                     // A re-ACK for a suppressed duplicate can land after the
                     // first ACK already released the packet; only recovery
-                    // produces that.
-                    debug_assert!(self.recovery.enabled, "ACK for unknown packet {}", ev.id);
+                    // produces that. Always-on: an unexpected ACK in a
+                    // recovery-free run means the handshake FSM desynced.
+                    assert!(self.recovery.enabled, "ACK for unknown packet {}", ev.id);
                 }
             } else if q.nack(ev.id) {
                 m.retransmissions += 1;
@@ -429,8 +448,9 @@ impl Channel {
                 }
             } else {
                 // The packet already timed out and retransmitted; this NACK
-                // answers a transmission the sender no longer tracks.
-                debug_assert!(self.recovery.enabled, "NACK for unknown packet {}", ev.id);
+                // answers a transmission the sender no longer tracks. Only
+                // recovery can produce that race.
+                assert!(self.recovery.enabled, "NACK for unknown packet {}", ev.id);
             }
         }
         // Expired ACK timers (armed per transmission when recovery is on).
@@ -530,6 +550,7 @@ impl Channel {
                             // die with it — an unrecoverable leak. (The GHS
                             // token carries nothing; it is fully replaced.)
                             m.credit_leaks += u64::from(*c);
+                            self.leaked_credits += *c;
                             *c = 0;
                         }
                         *state = GlobalTokenState::Lost { since: now };
@@ -725,7 +746,7 @@ impl Channel {
         // Flits leaving the ejection router release their buffer slots; only
         // now does a freed slot become a reimbursable credit.
         for () in self.releases.drain(now) {
-            debug_assert!(self.draining > 0);
+            assert!(self.draining > 0, "draining underflow");
             self.draining -= 1;
             if self.scheme == Scheme::TokenChannel {
                 self.uncommitted += 1;
@@ -767,31 +788,230 @@ impl Channel {
         }
     }
 
-    /// Assert the channel's internal invariants (buffer bounds, queue
-    /// accounting, reservation conservation). Tests call this after every
-    /// cycle; it is cheap enough to use while debugging scheme changes.
-    pub fn check_invariants(&self) {
-        assert!(
-            self.input_queue.len() + self.draining as usize <= self.buffer_cap,
-            "buffer overflow"
-        );
-        let queued: usize = self.senders.iter().map(|q| q.backlog()).sum();
-        assert_eq!(queued, self.queued_total, "queued_total drifted");
+    /// Check the channel's internal invariants (buffer bounds, queue
+    /// accounting, reservation conservation), reporting the first violation
+    /// instead of panicking. The runtime [`crate::audit::InvariantAuditor`]
+    /// and the bounded model checker route through this so a violation
+    /// becomes a diagnosable trace rather than an abort.
+    pub fn try_check_invariants(&self) -> Result<(), String> {
+        if self.input_queue.len() + self.draining as usize > self.buffer_cap {
+            return Err(format!(
+                "buffer overflow: {} queued + {} draining > cap {}",
+                self.input_queue.len(),
+                self.draining,
+                self.buffer_cap
+            ));
+        }
+        let queued: usize = self.senders.iter().map(OutQueue::backlog).sum();
+        if queued != self.queued_total {
+            return Err(format!(
+                "queued_total drifted: counted {queued}, cached {}",
+                self.queued_total
+            ));
+        }
         if let Arbiter::Distributed { tokens } = &self.arbiter {
             if self.scheme == Scheme::TokenSlot {
-                assert!(
-                    self.input_queue.len()
-                        + self.draining as usize
-                        + self.inflight as usize
-                        + self.lost_reservations as usize
-                        + tokens.len()
-                        <= self.buffer_cap,
-                    "token-slot reservation accounting violated"
-                );
+                let committed = self.input_queue.len()
+                    + self.draining as usize
+                    + self.inflight as usize
+                    + self.lost_reservations as usize
+                    + tokens.len();
+                if committed > self.buffer_cap {
+                    return Err(format!(
+                        "token-slot reservation accounting violated: \
+                         {committed} committed > cap {}",
+                        self.buffer_cap
+                    ));
+                }
             }
         }
         for &n in &self.active_senders {
-            assert!(self.senders[n].granted() > 0, "stale active sender");
+            if self.senders[n].granted() == 0 {
+                return Err(format!("stale active sender {n}"));
+            }
+        }
+        Ok(())
+    }
+
+    /// Assert the channel's internal invariants. Tests call this after every
+    /// cycle; it is cheap enough to use while debugging scheme changes.
+    ///
+    /// # Panics
+    ///
+    /// Panics on the first violated invariant.
+    pub fn check_invariants(&self) {
+        if let Err(why) = self.try_check_invariants() {
+            panic!("channel {} invariant violated: {why}", self.home);
+        }
+    }
+
+    /// Snapshot the observable state the [`crate::audit::InvariantAuditor`]
+    /// needs for its cross-field conservation checks (flit conservation,
+    /// credit/token conservation, ACK pairing).
+    pub fn audit_view(&self) -> crate::audit::ChannelAuditView {
+        let mut queue_ids = Vec::new();
+        let mut setaside_ids = Vec::new();
+        let mut unresolved_ids = Vec::new();
+        let mut granted_total = 0u32;
+        for q in &self.senders {
+            queue_ids.extend(q.iter_queue().map(|p| p.id));
+            setaside_ids.extend(q.iter_setaside().map(|p| p.id));
+            unresolved_ids.extend(q.unresolved_ids());
+            granted_total += q.granted();
+        }
+        let (credits, outstanding_tokens) = match &self.arbiter {
+            Arbiter::Global { credits, .. } => (*credits, 0),
+            Arbiter::Distributed { tokens } => (None, tokens.len()),
+        };
+        crate::audit::ChannelAuditView {
+            home: self.home,
+            scheme: self.scheme,
+            buffer_cap: self.buffer_cap,
+            input_queue_ids: self.input_queue.iter().map(|p| p.id).collect(),
+            draining: self.draining,
+            ring_ids: self.data.iter_occupied().map(|(_, p)| p.id).collect(),
+            queue_ids,
+            setaside_ids,
+            unresolved_ids,
+            granted_total,
+            pending_acks: self
+                .acks
+                .pending_events()
+                .into_iter()
+                .map(|(_, ev)| (ev.id, ev.ok))
+                .collect(),
+            armed_timer_ids: self
+                .ack_timers
+                .iter()
+                .map(|&Reverse((_, _, id))| id)
+                .collect(),
+            credits,
+            outstanding_tokens,
+            uncommitted: self.uncommitted,
+            inflight: self.inflight,
+            lost_reservations: self.lost_reservations,
+            leaked_credits: self.leaked_credits,
+            recovery_enabled: self.recovery.enabled,
+            faults_active: self.injector.as_ref().is_some_and(ChannelInjector::active),
+        }
+    }
+
+    /// Append a canonical encoding of the channel's complete dynamic state
+    /// to `out`, with every absolute cycle re-based against `now` so two
+    /// states that differ only by a time shift produce identical keys. The
+    /// bounded model checker ([`crate::fsm`]) dedupes its search on this.
+    ///
+    /// Excluded on purpose: static configuration (scheme, topology,
+    /// recovery parameters) and metrics-only packet fields (`generated_at`,
+    /// `enqueued_at`, `measured`, `tag`) — they never influence a future
+    /// transition.
+    pub fn state_key(&self, now: Cycle, out: &mut Vec<u64>) {
+        // Field separator: no id/count collides with it in small-config
+        // model-checking runs.
+        const SEP: u64 = u64::MAX;
+        for q in &self.senders {
+            out.push(SEP);
+            for p in q.iter_queue() {
+                out.push(p.id);
+                out.push(u64::from(p.sends));
+            }
+            out.push(SEP - 1);
+            out.push(u64::from(q.head_is_pending()));
+            for p in q.iter_setaside() {
+                out.push(p.id);
+                out.push(u64::from(p.sends));
+            }
+            out.push(SEP - 1);
+            out.push(u64::from(q.granted()));
+            let (serves, sit_until) = q.fairness_state();
+            out.push(u64::from(serves));
+            out.push(sit_until.saturating_sub(now));
+        }
+        out.push(SEP);
+        for (seg, p) in self.data.iter_occupied() {
+            out.push(seg as u64);
+            out.push(p.id);
+            out.push(u64::from(p.sends));
+            // `sent_at` schedules the handshake (`sent_at + R + 1`), so its
+            // age relative to `now` is behaviorally relevant.
+            out.push(now.saturating_sub(p.sent_at));
+        }
+        out.push(SEP);
+        for p in &self.input_queue {
+            out.push(p.id);
+        }
+        out.push(SEP);
+        out.push(u64::from(self.draining));
+        for (at, ()) in self.releases.pending_events() {
+            out.push(at - now);
+        }
+        out.push(SEP);
+        for (at, ev) in self.acks.pending_events() {
+            out.push(at - now);
+            out.push(ev.sender as u64);
+            out.push(ev.id);
+            out.push(u64::from(ev.ok));
+        }
+        out.push(SEP);
+        match &self.arbiter {
+            Arbiter::Global { state, credits } => {
+                out.push(0);
+                match *state {
+                    GlobalTokenState::Sweeping { next } => {
+                        out.push(0);
+                        out.push(next as u64);
+                    }
+                    GlobalTokenState::Held { node } => {
+                        out.push(1);
+                        out.push(node as u64);
+                    }
+                    GlobalTokenState::Lost { since } => {
+                        out.push(2);
+                        out.push(now.saturating_sub(since));
+                    }
+                }
+                out.push(credits.map_or(SEP, u64::from));
+            }
+            Arbiter::Distributed { tokens } => {
+                out.push(1);
+                for &t in tokens {
+                    out.push(t as u64);
+                }
+            }
+        }
+        out.push(SEP);
+        let mut active = self.active_senders.clone();
+        active.sort_unstable();
+        for n in active {
+            out.push(n as u64);
+        }
+        out.push(SEP);
+        out.push(u64::from(self.uncommitted));
+        out.push(u64::from(self.inflight));
+        out.push(u64::from(self.suppress_token));
+        out.push(u64::from(self.lost_reservations));
+        out.push(u64::from(self.leaked_credits));
+        out.push(SEP);
+        let mut timers: Vec<(u64, u64, u64)> = self
+            .ack_timers
+            .iter()
+            .map(|&Reverse((deadline, sender, id))| {
+                (deadline.saturating_sub(now), sender as u64, id)
+            })
+            .collect();
+        timers.sort_unstable();
+        for (d, s, id) in timers {
+            out.push(d);
+            out.push(s);
+            out.push(id);
+        }
+        out.push(SEP);
+        for &id in &self.accepted_ids {
+            out.push(id);
+        }
+        out.push(SEP);
+        if let Some(inj) = &self.injector {
+            inj.state_key(now, out);
         }
     }
 }
@@ -869,8 +1089,8 @@ mod tests {
         // round-trip time.
         let (d_near, _) = deliver_one(Scheme::Dhs { setaside: 2 }, 15); // 1 hop upstream of home
         let (d_far, _) = deliver_one(Scheme::Dhs { setaside: 2 }, 1); // almost a full loop
-        let lat_near = d_near[0].pkt.latency_at(d_near[0].available_at) as i64;
-        let lat_far = d_far[0].pkt.latency_at(d_far[0].available_at) as i64;
+        let lat_near = i64::try_from(d_near[0].pkt.latency_at(d_near[0].available_at)).unwrap();
+        let lat_far = i64::try_from(d_far[0].pkt.latency_at(d_far[0].available_at)).unwrap();
         assert!(
             (lat_far - lat_near).abs() <= 2,
             "ring latency should be ~flat ({lat_far} vs {lat_near})"
@@ -925,7 +1145,7 @@ mod tests {
         period: u64,
     ) {
         for now in 0..cycles {
-            ch.set_ejection_per_cycle(if now % period == 0 { 1 } else { 0 });
+            ch.set_ejection_per_cycle(usize::from(now % period == 0));
             ch.phase_advance();
             ch.phase_arrival(now, m);
             ch.phase_acks(now, m);

@@ -158,7 +158,7 @@ impl NetworkConfig {
             router_latency: 2,
             scheme,
             fairness: FairnessPolicy::None,
-            seed: 0xC0FFEE,
+            seed: 0x00C0_FFEE,
             faults: FaultConfig::none(),
             recovery: RecoveryConfig::disabled(),
         }
@@ -183,6 +183,7 @@ impl NetworkConfig {
 
     /// Enable fault injection at the given rates, turning on timeout/
     /// retransmit recovery when the scheme has a handshake to arm it on.
+    #[must_use]
     pub fn with_faults(mut self, faults: FaultConfig) -> Self {
         self.faults = faults;
         if self.scheme.uses_handshake() {

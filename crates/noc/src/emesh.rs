@@ -15,7 +15,7 @@
 //!    the 3-cycle credit loop, unlike the ring's `R + 2`-cycle loop,
 //! 2. the price is hop-by-hop latency: ~3 cycles per hop on a 64-node mesh
 //!    versus the ring's 1–8 cycle single photonic hop — the bandwidth/latency
-//!    motivation of every nanophotonic NoC paper.
+//!    motivation of every nanophotonic `NoC` paper.
 
 use crate::calendar::Calendar;
 use crate::channel::Delivery;
@@ -315,9 +315,11 @@ impl MeshNetwork {
                     }
                 }
                 let Some(p) = winner else { continue };
+                let Some(mut pkt) = self.routers[r].inputs[p].pop_front() else {
+                    continue;
+                };
                 input_used[p] = true;
                 self.routers[r].rr[out] = (p + 1) % PORTS;
-                let mut pkt = self.routers[r].inputs[p].pop_front().expect("head exists");
                 if pkt.sends == 0 && pkt.measured {
                     self.metrics
                         .queue_wait
@@ -378,7 +380,7 @@ impl MeshNetwork {
                 gen_buf.clear();
                 source.generate(now, &mut gen_buf);
                 let measured = plan.measures(now);
-                for &(core, dst, kind) in gen_buf.iter() {
+                for &(core, dst, kind) in &gen_buf {
                     self.inject(core, dst, kind, 0, measured);
                 }
             }

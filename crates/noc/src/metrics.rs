@@ -28,7 +28,7 @@ pub struct NetworkMetrics {
     pub delivered_measured: u64,
     /// Ring transmissions (including retransmissions and recirculated loops).
     pub sends: u64,
-    /// Packets that reached a full home buffer and were dropped (NACKed).
+    /// Packets that reached a full home buffer and were dropped (`NACKed`).
     pub drops: u64,
     /// Retransmissions performed after NACKs.
     pub retransmissions: u64,
@@ -246,8 +246,8 @@ mod tests {
     #[test]
     fn rates_with_no_arrivals_are_zero() {
         let m = NetworkMetrics::new();
-        assert_eq!(m.drop_rate(), 0.0);
-        assert_eq!(m.circulation_rate(), 0.0);
+        assert!(m.drop_rate().abs() < f64::EPSILON);
+        assert!(m.circulation_rate().abs() < f64::EPSILON);
     }
 
     #[test]

@@ -33,6 +33,10 @@ pub struct Network {
     deliveries: Vec<Delivery>,
     next_id: u64,
     gen_buf: Vec<InjectionRequest>,
+    /// Cycle-level invariant auditing (`verify-invariants` feature): see
+    /// [`crate::audit::InvariantAuditor`].
+    #[cfg(feature = "verify-invariants")]
+    auditor: crate::audit::InvariantAuditor,
 }
 
 impl Network {
@@ -48,6 +52,8 @@ impl Network {
             deliveries: Vec::new(),
             next_id: 0,
             gen_buf: Vec::new(),
+            #[cfg(feature = "verify-invariants")]
+            auditor: crate::audit::InvariantAuditor::new(cfg.nodes),
         })
     }
 
@@ -128,7 +134,49 @@ impl Network {
             ch.phase_tokens(now, metrics);
             ch.phase_eject(now, metrics, deliveries);
         }
+        #[cfg(feature = "verify-invariants")]
+        self.audit(now);
         self.clock.tick();
+    }
+
+    /// Run the cycle-level invariant auditor against this cycle's end state
+    /// (`verify-invariants` feature). Delivery observation — the
+    /// exactly-once check — runs every cycle; the cross-field structural
+    /// checks are stride-sampled on large configurations.
+    ///
+    /// # Panics
+    ///
+    /// Panics with a diagnostic on the first violated invariant.
+    #[cfg(feature = "verify-invariants")]
+    fn audit(&mut self, now: Cycle) {
+        for d in &self.deliveries {
+            if let Err(why) = self.auditor.observe_delivery(d.pkt.id) {
+                panic!("invariant auditor, cycle {now}: {why}");
+            }
+        }
+        if !self.auditor.due(now) {
+            return;
+        }
+        let (views, pending) = self.audit_snapshot();
+        if let Err(why) = self.auditor.check(&views, &self.metrics, &pending) {
+            panic!("invariant auditor, cycle {now}: {why}");
+        }
+    }
+
+    /// Snapshot the per-channel views plus the ids still in the injection
+    /// pipeline — everything an external
+    /// [`crate::audit::InvariantAuditor`] needs to run its checks against
+    /// this network (the `pnoc-verify` audit pass drives this without the
+    /// `verify-invariants` feature).
+    pub fn audit_snapshot(&self) -> (Vec<crate::audit::ChannelAuditView>, Vec<u64>) {
+        (
+            self.channels.iter().map(Channel::audit_view).collect(),
+            self.inject_cal
+                .pending_events()
+                .into_iter()
+                .map(|(_, p)| p.id)
+                .collect(),
+        )
     }
 
     /// Packets delivered by the most recent [`Network::step`].
@@ -160,7 +208,7 @@ impl Network {
                 gen_buf.clear();
                 source.generate(now, &mut gen_buf);
                 let measured = plan.measures(now);
-                for &(core, dst, kind) in gen_buf.iter() {
+                for &(core, dst, kind) in &gen_buf {
                     self.inject(core, dst, kind, 0, measured);
                 }
             }

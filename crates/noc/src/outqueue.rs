@@ -89,13 +89,7 @@ impl OutQueue {
     pub fn sendable(&self) -> usize {
         let backlog = self.queue.len();
         let limit = match self.mode {
-            SendMode::HoldHead => {
-                if self.head_pending || backlog == 0 {
-                    0
-                } else {
-                    1
-                }
-            }
+            SendMode::HoldHead => usize::from(!(self.head_pending || backlog == 0)),
             SendMode::Setaside(cap) => backlog.min(cap.saturating_sub(self.setaside.len())),
             SendMode::Forget => backlog,
         };
@@ -125,7 +119,7 @@ impl OutQueue {
         {
             self.consecutive_serves += 1;
             if self.consecutive_serves >= serve_quota {
-                self.sit_until = now + sit_out as Cycle;
+                self.sit_until = now + Cycle::from(sit_out);
                 self.consecutive_serves = 0;
             }
         }
@@ -269,6 +263,44 @@ impl OutQueue {
     /// Packets waiting for handshakes in the setaside buffer.
     pub fn setaside_len(&self) -> usize {
         self.setaside.len()
+    }
+
+    /// Iterate queued packets front-to-back (including a pending head).
+    pub fn iter_queue(&self) -> impl Iterator<Item = &Packet> {
+        self.queue.iter()
+    }
+
+    /// Iterate setaside packets in slot order.
+    pub fn iter_setaside(&self) -> impl Iterator<Item = &Packet> {
+        self.setaside.iter()
+    }
+
+    /// Whether the queue head has been transmitted and awaits its handshake.
+    pub fn head_is_pending(&self) -> bool {
+        self.head_pending
+    }
+
+    /// Ids of packets transmitted but not yet resolved by a handshake: the
+    /// pending head (`HoldHead`) or the setaside contents (`Setaside`). Forget
+    /// mode tracks nothing. Used by the ACK-pairing invariant.
+    pub fn unresolved_ids(&self) -> Vec<u64> {
+        match self.mode {
+            SendMode::HoldHead => {
+                if self.head_pending {
+                    self.queue.front().map(|p| p.id).into_iter().collect()
+                } else {
+                    Vec::new()
+                }
+            }
+            SendMode::Setaside(_) => self.setaside.iter().map(|p| p.id).collect(),
+            SendMode::Forget => Vec::new(),
+        }
+    }
+
+    /// Fairness bookkeeping `(consecutive_serves, sit_until)`, for canonical
+    /// state-keying.
+    pub fn fairness_state(&self) -> (u32, Cycle) {
+        (self.consecutive_serves, self.sit_until)
     }
 
     /// Whether the queue holds no state at all (for drain checks).
@@ -512,7 +544,7 @@ mod tests {
     }
 
     #[test]
-    #[should_panic]
+    #[should_panic(expected = "setaside capacity")]
     fn setaside_zero_capacity_rejected() {
         OutQueue::new(SendMode::Setaside(0));
     }

@@ -65,6 +65,12 @@ impl<T> SlotRing<T> {
         self.slots[idx] = Some(value);
     }
 
+    /// Iterate occupied slots as `(segment, payload)` in segment order
+    /// (introspection for the invariant auditor and the model checker).
+    pub fn iter_occupied(&self) -> impl Iterator<Item = (usize, &T)> {
+        (0..self.slots.len()).filter_map(|seg| self.at(seg).map(|v| (seg, v)))
+    }
+
     /// Number of occupied slots.
     pub fn occupied(&self) -> usize {
         self.slots.iter().filter(|s| s.is_some()).count()

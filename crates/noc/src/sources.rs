@@ -186,7 +186,7 @@ mod tests {
     }
 
     #[test]
-    #[should_panic]
+    #[should_panic(expected = "pattern incompatible with node count")]
     fn synthetic_rejects_incompatible_pattern() {
         // Bit complement needs a power-of-two node count.
         SyntheticSource::new(TrafficPattern::BitComplement, 0.1, 12, 2, 1);

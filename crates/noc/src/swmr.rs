@@ -93,7 +93,7 @@ impl SwmrConfig {
             ejection_per_cycle: 1,
             router_latency: 2,
             flow: SwmrFlowControl::Handshake { setaside },
-            seed: 0xC0FFEE,
+            seed: 0x00C0_FFEE,
         }
     }
 
@@ -336,10 +336,9 @@ impl SwmrNetwork {
                 let rx = &mut self.receivers[dst];
                 let has_room =
                     rx.input_queue.len() + (rx.draining as usize) < self.cfg.input_buffer;
-                let pkt = self.channels[src]
-                    .data
-                    .take(seg)
-                    .expect("slot checked above");
+                let Some(pkt) = self.channels[src].data.take(seg) else {
+                    continue;
+                };
                 if handshake {
                     let ack_at = pkt.sent_at + self.topo.handshake_delay();
                     let ok = has_room;
@@ -393,8 +392,7 @@ impl SwmrNetwork {
                     // of partitioned credits).
                     ch.queue
                         .peek_head()
-                        .map(|p| ch.credits[p.dst_node as usize] > 0)
-                        .unwrap_or(false)
+                        .is_some_and(|p| ch.credits[p.dst_node as usize] > 0)
                 }
                 SwmrFlowControl::Handshake { .. } => true,
             };
@@ -483,7 +481,7 @@ impl SwmrNetwork {
                 gen_buf.clear();
                 source.generate(now, &mut gen_buf);
                 let measured = plan.measures(now);
-                for &(core, dst, kind) in gen_buf.iter() {
+                for &(core, dst, kind) in &gen_buf {
                     self.inject(core, dst, kind, 0, measured);
                 }
             }

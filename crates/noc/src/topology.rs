@@ -162,7 +162,7 @@ mod tests {
     }
 
     #[test]
-    #[should_panic]
+    #[should_panic(expected = "must divide nodes")]
     fn rejects_non_dividing_segments() {
         Topology::new(10, 3);
     }

@@ -72,6 +72,13 @@ impl SimRng {
         }
     }
 
+    /// The raw generator state, for canonical state-keying (the bounded
+    /// model checker in `pnoc-verify` folds the RNG state into its state
+    /// hash so that stochastic transitions dedupe correctly).
+    pub fn state(&self) -> [u64; 4] {
+        self.s
+    }
+
     /// Derive an independent child generator (e.g. one per network node) so
     /// that per-component streams do not correlate.
     pub fn fork(&mut self, stream: u64) -> Self {

@@ -1,0 +1,191 @@
+//! Runtime invariant audit of full `Network` simulations.
+//!
+//! The per-cycle [`InvariantAuditor`] normally rides inside
+//! [`Network::step`] behind pnoc-noc's `verify-invariants` feature. This
+//! pass drives it *externally* through [`Network::audit_snapshot`], so the
+//! CI gate exercises the exact same conservation laws on real mixed
+//! traffic — every scheme, with and without fault injection — without
+//! requiring a feature-unified rebuild of the whole workspace.
+
+use pnoc_noc::{
+    FaultConfig, InvariantAuditor, Network, NetworkConfig, Scheme, SyntheticSource, TrafficSource,
+};
+use pnoc_traffic::pattern::TrafficPattern;
+use std::fmt::Write as _;
+
+/// One audited run configuration.
+#[derive(Debug, Clone)]
+pub struct AuditRun {
+    /// Scheme under audit.
+    pub scheme: Scheme,
+    /// Uniform fault rate (0.0 = fault-free).
+    pub fault_rate: f64,
+    /// Injection rate, packets/cycle/core.
+    pub rate: f64,
+    /// Cycles of active injection.
+    pub warm_cycles: u64,
+    /// Additional cycles to drain (fault-free runs must fully drain).
+    pub drain_cycles: u64,
+}
+
+/// Result of one audited run.
+#[derive(Debug)]
+pub struct AuditResult {
+    /// The run.
+    pub run: AuditRun,
+    /// Packets delivered (distinct ids observed).
+    pub delivered: usize,
+    /// First invariant violation, if any.
+    pub violation: Option<String>,
+    /// Whether the network fully drained after injection stopped
+    /// (informational under faults: unrecovered schemes legitimately wedge).
+    pub drained: bool,
+}
+
+/// The shipped audit matrix: all seven schemes fault-free at moderate
+/// load, plus all seven under 1% uniform faults (handshake schemes with
+/// recovery armed, credit schemes running unprotected — exactly the
+/// regime the reliability study simulates).
+pub fn matrix() -> Vec<AuditRun> {
+    let mut out = Vec::new();
+    for &fault_rate in &[0.0, 0.01] {
+        for scheme in Scheme::paper_set(1) {
+            out.push(AuditRun {
+                scheme,
+                fault_rate,
+                rate: 0.04,
+                warm_cycles: 1_500,
+                drain_cycles: 3_000,
+            });
+        }
+    }
+    out
+}
+
+/// Drive one run, feeding every cycle's deliveries to the auditor and
+/// running the structural checks at the auditor's cadence.
+pub fn run_audit(run: &AuditRun) -> AuditResult {
+    let mut cfg = NetworkConfig::paper_default(run.scheme);
+    cfg.nodes = 8;
+    cfg.cores_per_node = 2;
+    cfg.ring_segments = 8;
+    cfg.input_buffer = 4;
+    if run.fault_rate > 0.0 {
+        cfg = cfg.with_faults(FaultConfig::uniform(run.fault_rate));
+    }
+    let mut net = Network::new(cfg).expect("audit config must validate");
+    let mut source = SyntheticSource::new(
+        TrafficPattern::UniformRandom,
+        run.rate,
+        cfg.nodes,
+        cfg.cores_per_node,
+        cfg.seed ^ 0xA0D1_7000,
+    );
+    let mut auditor = InvariantAuditor::new(cfg.nodes);
+    let mut requests = Vec::new();
+    let mut violation = None;
+
+    'outer: for cycle in 0..(run.warm_cycles + run.drain_cycles) {
+        if cycle < run.warm_cycles {
+            requests.clear();
+            source.generate(net.now(), &mut requests);
+            for &(core, dst, kind) in &requests {
+                if core / cfg.cores_per_node == dst {
+                    continue;
+                }
+                let _ = net.inject(core, dst, kind, 0, true);
+            }
+        }
+        net.step();
+        for d in net.deliveries() {
+            if let Err(why) = auditor.observe_delivery(d.pkt.id) {
+                violation = Some(format!("cycle {}: {why}", net.now()));
+                break 'outer;
+            }
+        }
+        if auditor.due(net.now()) {
+            let (views, pending) = net.audit_snapshot();
+            if let Err(why) = auditor.check(&views, net.metrics(), &pending) {
+                violation = Some(format!("cycle {}: {why}", net.now()));
+                break 'outer;
+            }
+        }
+        if cycle >= run.warm_cycles && net.is_drained() {
+            break;
+        }
+    }
+
+    AuditResult {
+        run: run.clone(),
+        delivered: auditor.delivered_count(),
+        violation,
+        drained: net.is_drained(),
+    }
+}
+
+/// Run the full audit matrix; returns `(text, all_ok)`.
+pub fn run_matrix() -> (String, bool) {
+    let mut s = String::new();
+    let mut ok = true;
+    for run in matrix() {
+        let res = run_audit(&run);
+        let status = match &res.violation {
+            None => "PASS",
+            Some(_) => {
+                ok = false;
+                "FAIL"
+            }
+        };
+        let _ = writeln!(
+            s,
+            "  {status}  {:<16} faults {:.2}  [{} delivered, drained: {}]",
+            res.run.scheme.label(),
+            res.run.fault_rate,
+            res.delivered,
+            res.drained
+        );
+        if let Some(why) = &res.violation {
+            ok = false;
+            let _ = writeln!(s, "        {why}");
+        }
+        // Fault-free runs must drain completely once injection stops; a
+        // wedged fault-free network is a liveness bug the checker's tiny
+        // configs might not reach.
+        if res.run.fault_rate == 0.0 && !res.drained {
+            ok = false;
+            let _ = writeln!(s, "        fault-free run failed to drain");
+        }
+    }
+    (s, ok)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fault_free_dhs_audit_passes_and_drains() {
+        let res = run_audit(&AuditRun {
+            scheme: Scheme::Dhs { setaside: 1 },
+            fault_rate: 0.0,
+            rate: 0.04,
+            warm_cycles: 400,
+            drain_cycles: 1_000,
+        });
+        assert!(res.violation.is_none(), "{:?}", res.violation);
+        assert!(res.drained);
+        assert!(res.delivered > 0);
+    }
+
+    #[test]
+    fn faulted_token_channel_audit_passes() {
+        let res = run_audit(&AuditRun {
+            scheme: Scheme::TokenChannel,
+            fault_rate: 0.01,
+            rate: 0.04,
+            warm_cycles: 400,
+            drain_cycles: 1_000,
+        });
+        assert!(res.violation.is_none(), "{:?}", res.violation);
+    }
+}

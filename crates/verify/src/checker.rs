@@ -1,0 +1,326 @@
+//! Bounded model checker over [`CycleFsm`] implementations.
+//!
+//! Explores *every* reachable state of a small configuration by branching
+//! on the environment's injection choices each cycle (the only
+//! nondeterminism — arbitration, handshakes, recovery timers and budgeted
+//! fault schedules are all deterministic functions of the state). On top
+//! of the exhaustive graph it proves three properties:
+//!
+//! * **safety** — no step ever returns an error: channel invariants hold
+//!   and no packet id is delivered twice, in any interleaving;
+//! * **liveness / deadlock-freedom** — from every reachable state, the
+//!   deterministic no-injection run reaches a fully drained state within
+//!   `drain_bound` cycles (this also bounds ACK/handshake resolution
+//!   latency: an unresolved handshake keeps the channel un-drained);
+//! * **completeness** — at every drained state with nothing left to
+//!   inject, every packet is accounted for: delivered exactly once,
+//!   abandoned by recovery, or destroyed by a budgeted fault.
+//!
+//! A violated property yields a [`Counterexample`]: the exact injection
+//! schedule from the initial state, replayed to recover per-cycle events.
+
+use pnoc_noc::CycleFsm;
+use std::collections::HashMap;
+use std::fmt::Write as _;
+
+/// Exploration limits and property toggles.
+#[derive(Debug, Clone, Copy)]
+pub struct CheckConfig {
+    /// Abort (as a failure) if more distinct states than this are found.
+    pub max_states: usize,
+    /// Max cycles a no-injection run may take to drain from any state.
+    pub drain_bound: u64,
+    /// Tolerate unaccounted packets at drained terminal states. No shipped
+    /// scenario needs it (budgeted faults are tracked as destroyed), but it
+    /// lets exploratory runs study lossy configurations.
+    pub allow_lost: bool,
+}
+
+impl Default for CheckConfig {
+    fn default() -> Self {
+        Self {
+            max_states: 300_000,
+            drain_bound: 2_000,
+            allow_lost: false,
+        }
+    }
+}
+
+/// One replayed step of a counterexample trace.
+#[derive(Debug, Clone)]
+pub struct TraceStep {
+    /// Sender indices injected this cycle.
+    pub inject: Vec<usize>,
+    /// Packet ids delivered this cycle.
+    pub delivered: Vec<u64>,
+    /// Packets abandoned / destroyed this cycle.
+    pub abandoned: u64,
+    /// Packets destroyed by faults this cycle.
+    pub destroyed: u64,
+}
+
+/// A concrete schedule that violates a property.
+#[derive(Debug, Clone)]
+pub struct Counterexample {
+    /// What went wrong at the end of the trace.
+    pub error: String,
+    /// The injection schedule from the initial state, with replayed events.
+    pub steps: Vec<TraceStep>,
+}
+
+impl Counterexample {
+    /// Render the trace for humans.
+    pub fn render(&self) -> String {
+        let mut s = String::new();
+        let _ = writeln!(s, "counterexample ({} steps):", self.steps.len());
+        for (i, st) in self.steps.iter().enumerate() {
+            let mut line = format!("  cycle {i:>3}: inject {:?}", st.inject);
+            if !st.delivered.is_empty() {
+                let _ = write!(line, "  delivered {:?}", st.delivered);
+            }
+            if st.abandoned > 0 {
+                let _ = write!(line, "  abandoned {}", st.abandoned);
+            }
+            if st.destroyed > 0 {
+                let _ = write!(line, "  destroyed {}", st.destroyed);
+            }
+            let _ = writeln!(s, "{line}");
+        }
+        let _ = writeln!(s, "  violation: {}", self.error);
+        s
+    }
+}
+
+/// Statistics from a successful exhaustive exploration.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct CheckReport {
+    /// Distinct canonical states reached.
+    pub states: usize,
+    /// Transitions taken (choice edges explored).
+    pub transitions: usize,
+    /// Longest no-injection drain chain encountered (bounds handshake
+    /// resolution latency in cycles).
+    pub max_drain_steps: u64,
+    /// Drained terminal states found.
+    pub terminal_states: usize,
+    /// Maximum packets delivered along any path.
+    pub max_delivered: u64,
+}
+
+/// Outcome of a model-checking run.
+#[derive(Debug, Clone)]
+pub enum CheckOutcome {
+    /// All properties hold over the full reachable space.
+    Verified(CheckReport),
+    /// A property failed; here is the schedule.
+    Violated(Box<Counterexample>),
+    /// `max_states` exceeded before the space closed.
+    Truncated(CheckReport),
+}
+
+impl CheckOutcome {
+    /// Whether this outcome passes the gate.
+    pub fn ok(&self) -> bool {
+        matches!(self, CheckOutcome::Verified(_))
+    }
+}
+
+/// Per-state metadata kept by the search.
+struct Node {
+    /// Predecessor state and the choice that reached this one (None at the
+    /// root); enough to reconstruct any schedule by walking backwards.
+    parent: Option<(usize, Vec<usize>)>,
+    /// Successor under the empty (no-injection) choice; usize::MAX until
+    /// explored.
+    empty_succ: usize,
+    drained: bool,
+    pending: bool,
+    unaccounted: u64,
+    delivered: u64,
+}
+
+/// Reconstruct the choice schedule from the root to `idx`.
+fn schedule_to(nodes: &[Node], idx: usize) -> Vec<Vec<usize>> {
+    let mut rev = Vec::new();
+    let mut at = idx;
+    while let Some((p, choice)) = &nodes[at].parent {
+        rev.push(choice.clone());
+        at = *p;
+    }
+    rev.reverse();
+    rev
+}
+
+/// Replay `schedule` (plus `extra` steps) on a fresh copy of the root,
+/// recording events; the final step may fail, supplying the error.
+fn replay<M: CycleFsm>(
+    root: &M,
+    schedule: &[Vec<usize>],
+    extra: &[Vec<usize>],
+    error: String,
+) -> Counterexample {
+    let mut m = root.clone();
+    let mut steps = Vec::new();
+    for choice in schedule.iter().chain(extra.iter()) {
+        match m.step(choice) {
+            Ok(ev) => steps.push(TraceStep {
+                inject: choice.clone(),
+                delivered: ev.delivered,
+                abandoned: ev.abandoned,
+                destroyed: ev.destroyed,
+            }),
+            Err(e) => {
+                steps.push(TraceStep {
+                    inject: choice.clone(),
+                    delivered: Vec::new(),
+                    abandoned: 0,
+                    destroyed: 0,
+                });
+                return Counterexample { error: e, steps };
+            }
+        }
+    }
+    Counterexample { error, steps }
+}
+
+/// Exhaustively check `root` under `cfg`. See the module docs for the
+/// properties proven.
+pub fn check<M: CycleFsm>(root: &M, cfg: &CheckConfig) -> CheckOutcome {
+    let mut seen: HashMap<Vec<u64>, usize> = HashMap::new();
+    let mut nodes: Vec<Node> = Vec::new();
+    let mut queue: std::collections::VecDeque<(M, usize)> = std::collections::VecDeque::new();
+    let mut report = CheckReport::default();
+
+    let key = root.state_key();
+    seen.insert(key, 0);
+    nodes.push(Node {
+        parent: None,
+        empty_succ: usize::MAX,
+        drained: root.drained(),
+        pending: root.pending_injections(),
+        unaccounted: root.unaccounted_packets(),
+        delivered: 0,
+    });
+    queue.push_back((root.clone(), 0));
+
+    while let Some((state, idx)) = queue.pop_front() {
+        for choice in state.choices() {
+            report.transitions += 1;
+            let mut succ = state.clone();
+            let events = match succ.step(&choice) {
+                Ok(ev) => ev,
+                Err(e) => {
+                    let schedule = schedule_to(&nodes, idx);
+                    return CheckOutcome::Violated(Box::new(replay(root, &schedule, &[choice], e)));
+                }
+            };
+            let key = succ.state_key();
+            let succ_idx = match seen.get(&key) {
+                Some(&existing) => existing,
+                None => {
+                    let new_idx = nodes.len();
+                    if new_idx >= cfg.max_states {
+                        report.states = nodes.len();
+                        return CheckOutcome::Truncated(report);
+                    }
+                    seen.insert(key, new_idx);
+                    nodes.push(Node {
+                        parent: Some((idx, choice.clone())),
+                        empty_succ: usize::MAX,
+                        drained: succ.drained(),
+                        pending: succ.pending_injections(),
+                        unaccounted: succ.unaccounted_packets(),
+                        delivered: nodes[idx].delivered + events.delivered.len() as u64,
+                    });
+                    queue.push_back((succ, new_idx));
+                    new_idx
+                }
+            };
+            if choice.is_empty() {
+                nodes[idx].empty_succ = succ_idx;
+            }
+        }
+    }
+    report.states = nodes.len();
+
+    // Liveness: from every state, the deterministic no-injection run must
+    // reach a drained state within drain_bound cycles. Every empty-choice
+    // successor was explored above, so this is pure graph walking, memoized
+    // across starting points.
+    let mut drain_ok: Vec<Option<bool>> = (0..nodes.len()).map(|_| None).collect();
+    for start in 0..nodes.len() {
+        if drain_ok[start].is_some() {
+            continue;
+        }
+        let mut chain = Vec::new();
+        let mut at = start;
+        let verdict = loop {
+            if let Some(v) = drain_ok[at] {
+                break v;
+            }
+            // Drained is the goal: pending *injections* are the
+            // environment's business, not the machine's obligation.
+            if nodes[at].drained {
+                break true;
+            }
+            if chain.len() as u64 > cfg.drain_bound {
+                break false;
+            }
+            if chain.contains(&at) {
+                // A no-injection cycle that never drains: livelock.
+                break false;
+            }
+            chain.push(at);
+            at = nodes[at].empty_succ;
+            if at == usize::MAX {
+                // Unreachable: every state's empty choice was explored.
+                break false;
+            }
+        };
+        report.max_drain_steps = report.max_drain_steps.max(chain.len() as u64);
+        for &s in &chain {
+            drain_ok[s] = Some(verdict);
+        }
+        drain_ok[start].get_or_insert(verdict);
+        if !verdict {
+            let schedule = schedule_to(&nodes, start);
+            let extra: Vec<Vec<usize>> = (0..chain.len().max(8)).map(|_| Vec::new()).collect();
+            let mut cx = replay(
+                root,
+                &schedule,
+                &extra,
+                format!(
+                    "liveness violated: no-injection run from cycle {} does not \
+                     drain within {} cycles (deadlock or livelock)",
+                    schedule.len(),
+                    cfg.drain_bound
+                ),
+            );
+            cx.steps.truncate(schedule.len() + 8);
+            return CheckOutcome::Violated(Box::new(cx));
+        }
+    }
+
+    // Completeness at drained terminals.
+    for (idx, n) in nodes.iter().enumerate() {
+        if n.drained && !n.pending {
+            report.terminal_states += 1;
+            report.max_delivered = report.max_delivered.max(n.delivered);
+            if n.unaccounted > 0 && !cfg.allow_lost {
+                let schedule = schedule_to(&nodes, idx);
+                return CheckOutcome::Violated(Box::new(replay(
+                    root,
+                    &schedule,
+                    &[],
+                    format!(
+                        "completeness violated: {} packets neither delivered \
+                         nor accounted as destroyed/abandoned",
+                        n.unaccounted
+                    ),
+                )));
+            }
+        }
+    }
+
+    CheckOutcome::Verified(report)
+}

@@ -1,0 +1,294 @@
+//! A minimal token-level scrubber for Rust sources.
+//!
+//! The lint pass matches needles against *code*, so comments and the
+//! contents of string/char literals must not trigger (or mask) a rule.
+//! [`scrub`] blanks them out while preserving line structure, and tags
+//! every line inside a `#[cfg(test)] mod` region so test-only code is
+//! exempt from the hot-path rules.
+//!
+//! This is not a full lexer — just enough of one to be exact about the
+//! three things that matter for line-oriented linting: comments (line and
+//! nested block), string-ish literals (plain, raw, byte, char, with
+//! escapes), and brace depth for test-module extents.
+
+/// One source line after scrubbing.
+#[derive(Debug, Clone)]
+pub struct ScrubbedLine {
+    /// 1-based line number in the original file.
+    pub number: usize,
+    /// The line with comments and literal contents blanked to spaces.
+    pub code: String,
+    /// Original line text (for allowlist keys and diagnostics).
+    pub original: String,
+    /// Whether the line sits inside a `#[cfg(test)] mod` region.
+    pub in_test: bool,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum State {
+    Code,
+    LineComment,
+    BlockComment(u32),
+    Str,
+    RawStr(u32),
+    CharLit,
+}
+
+/// Scrub `source` into per-line code text with test-region tagging.
+pub fn scrub(source: &str) -> Vec<ScrubbedLine> {
+    let chars: Vec<char> = source.chars().collect();
+    let mut code = String::with_capacity(source.len());
+    let mut state = State::Code;
+    let mut escaped = false;
+    let mut i = 0usize;
+    while i < chars.len() {
+        let c = chars[i];
+        let next = chars.get(i + 1).copied();
+        match state {
+            State::Code => match c {
+                '/' if next == Some('/') => {
+                    state = State::LineComment;
+                    code.push(' ');
+                }
+                '/' if next == Some('*') => {
+                    state = State::BlockComment(1);
+                    code.push(' ');
+                }
+                '"' => {
+                    state = State::Str;
+                    escaped = false;
+                    code.push('"');
+                }
+                'r' | 'b' => {
+                    // Possible literal prefix: r", r#", br", b", b'. A prefix
+                    // can't follow an identifier character (`thread_rng` has
+                    // a bare r that must not start a literal).
+                    let prev_ident =
+                        i > 0 && (chars[i - 1].is_alphanumeric() || chars[i - 1] == '_');
+                    let has_r = c == 'r' || (c == 'b' && next == Some('r'));
+                    let mut j = i + 1;
+                    if c == 'b' && next == Some('r') {
+                        j += 1;
+                    }
+                    let mut hashes = 0u32;
+                    while chars.get(j) == Some(&'#') {
+                        hashes += 1;
+                        j += 1;
+                    }
+                    if !prev_ident && has_r && chars.get(j) == Some(&'"') {
+                        // Raw (byte) string: emit the prefix, enter literal.
+                        for &p in &chars[i..=j] {
+                            code.push(p);
+                        }
+                        state = State::RawStr(hashes);
+                        i = j + 1;
+                        continue;
+                    }
+                    if !prev_ident && c == 'b' && next == Some('"') {
+                        code.push('b');
+                        code.push('"');
+                        state = State::Str;
+                        escaped = false;
+                        i += 2;
+                        continue;
+                    }
+                    if !prev_ident && c == 'b' && next == Some('\'') {
+                        code.push('b');
+                        code.push('\'');
+                        state = State::CharLit;
+                        escaped = false;
+                        i += 2;
+                        continue;
+                    }
+                    code.push(c);
+                }
+                '\'' => {
+                    // Char literal vs lifetime: a literal is '\…' or 'X'.
+                    let is_char =
+                        next == Some('\\') || (next.is_some() && chars.get(i + 2) == Some(&'\''));
+                    if is_char {
+                        state = State::CharLit;
+                        escaped = false;
+                    }
+                    code.push('\'');
+                }
+                _ => code.push(c),
+            },
+            State::LineComment => {
+                if c == '\n' {
+                    state = State::Code;
+                    code.push('\n');
+                } else {
+                    code.push(' ');
+                }
+            }
+            State::BlockComment(depth) => {
+                if c == '\n' {
+                    code.push('\n');
+                } else {
+                    code.push(' ');
+                }
+                if c == '/' && next == Some('*') {
+                    state = State::BlockComment(depth + 1);
+                    i += 2;
+                    code.push(' ');
+                    continue;
+                }
+                if c == '*' && next == Some('/') {
+                    state = if depth == 1 {
+                        State::Code
+                    } else {
+                        State::BlockComment(depth - 1)
+                    };
+                    i += 2;
+                    code.push(' ');
+                    continue;
+                }
+            }
+            State::Str => {
+                if c == '\n' {
+                    code.push('\n');
+                } else if !escaped && c == '"' {
+                    code.push('"');
+                    state = State::Code;
+                } else {
+                    code.push(' ');
+                }
+                escaped = !escaped && c == '\\';
+            }
+            State::RawStr(hashes) => {
+                if c == '"' {
+                    let mut ok = true;
+                    for k in 0..hashes as usize {
+                        if chars.get(i + 1 + k) != Some(&'#') {
+                            ok = false;
+                            break;
+                        }
+                    }
+                    if ok {
+                        code.push('"');
+                        for _ in 0..hashes {
+                            code.push('#');
+                        }
+                        i += 1 + hashes as usize;
+                        state = State::Code;
+                        continue;
+                    }
+                }
+                code.push(if c == '\n' { '\n' } else { ' ' });
+            }
+            State::CharLit => {
+                if c == '\n' {
+                    // Malformed; bail back to code to stay line-accurate.
+                    code.push('\n');
+                    state = State::Code;
+                } else if !escaped && c == '\'' {
+                    code.push('\'');
+                    state = State::Code;
+                } else {
+                    code.push(' ');
+                }
+                escaped = !escaped && c == '\\';
+            }
+        }
+        i += 1;
+    }
+
+    tag_test_regions(source, &code)
+}
+
+/// Pair original and scrubbed lines, tracking `#[cfg(test)] mod` extents by
+/// brace depth on the scrubbed text.
+fn tag_test_regions(source: &str, code: &str) -> Vec<ScrubbedLine> {
+    let mut out = Vec::new();
+    let mut depth: i64 = 0;
+    let mut armed = false;
+    let mut test_depth: Option<i64> = None;
+    for (idx, (orig, scrubbed)) in source.lines().zip(code.lines()).enumerate() {
+        let t = scrubbed.trim();
+        if test_depth.is_none() {
+            if t.contains("#[cfg(test)]") {
+                armed = true;
+            } else if armed {
+                if t.starts_with("mod ") || t.starts_with("pub mod ") {
+                    test_depth = Some(depth);
+                    armed = false;
+                } else if !(t.is_empty() || t.starts_with("#[")) {
+                    // The cfg(test) gated something other than a module.
+                    armed = false;
+                }
+            }
+        }
+        let in_test = test_depth.is_some();
+        for ch in scrubbed.chars() {
+            match ch {
+                '{' => depth += 1,
+                '}' => depth -= 1,
+                _ => {}
+            }
+        }
+        if let Some(td) = test_depth {
+            if depth <= td {
+                test_depth = None;
+            }
+        }
+        out.push(ScrubbedLine {
+            number: idx + 1,
+            code: scrubbed.to_string(),
+            original: orig.to_string(),
+            in_test,
+        });
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn comments_and_strings_are_blanked() {
+        let src =
+            "let x = 1; // HashMap here\nlet s = \"Instant::now\";\n/* SystemTime */ let y = 2;\n";
+        let lines = scrub(src);
+        assert!(!lines[0].code.contains("HashMap"));
+        assert!(!lines[1].code.contains("Instant"));
+        assert!(lines[1].code.contains("let s ="));
+        assert!(!lines[2].code.contains("SystemTime"));
+        assert!(lines[2].code.contains("let y = 2;"));
+    }
+
+    #[test]
+    fn raw_strings_and_chars_are_blanked() {
+        let src = "let r = r#\"thread_rng()\"#;\nlet c = 'u'; let l: &'static str = \"x\";\n";
+        let lines = scrub(src);
+        assert!(!lines[0].code.contains("thread_rng"));
+        assert!(lines[1].code.contains("&'static str"), "{}", lines[1].code);
+    }
+
+    #[test]
+    fn nested_block_comments_close_correctly() {
+        let src = "/* outer /* inner */ still comment */ let z = 3;\n";
+        let lines = scrub(src);
+        assert!(lines[0].code.contains("let z = 3;"));
+        assert!(!lines[0].code.contains("outer"));
+    }
+
+    #[test]
+    fn test_modules_are_tagged() {
+        let src = "fn live() { x.unwrap(); }\n#[cfg(test)]\nmod tests {\n    fn t() { y.unwrap(); }\n}\nfn live2() {}\n";
+        let lines = scrub(src);
+        assert!(!lines[0].in_test);
+        assert!(lines[2].in_test);
+        assert!(lines[3].in_test);
+        assert!(lines[4].in_test, "closing brace belongs to the region");
+        assert!(!lines[5].in_test);
+    }
+
+    #[test]
+    fn cfg_test_on_non_module_does_not_arm_a_region() {
+        let src = "#[cfg(test)]\nuse foo::Bar;\nfn live() { x.unwrap(); }\n";
+        let lines = scrub(src);
+        assert!(!lines[2].in_test);
+    }
+}

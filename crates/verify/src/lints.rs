@@ -1,0 +1,292 @@
+//! Custom determinism/robustness lints over the workspace sources.
+//!
+//! Each rule is a set of needle substrings matched against scrubbed code
+//! lines (comments and literal contents removed, `#[cfg(test)] mod`
+//! regions exempt — see [`crate::lexer`]) within a path scope. Hits must
+//! either be fixed or explicitly allowlisted in `crates/verify/allowlist.txt`
+//! — a checked-in file, so every new exemption shows up in review as a
+//! diff to it.
+//!
+//! The rules encode the properties the simulator's claims rest on:
+//! bit-reproducible runs for a given seed (no unordered iteration, no wall
+//! clock, no ambient randomness), honest counters (no silent narrowing
+//! casts on cycle/flit arithmetic), and a panic-free per-cycle hot path.
+
+use crate::lexer::scrub;
+use std::fmt::Write as _;
+use std::fs;
+use std::path::{Path, PathBuf};
+
+/// One lint rule: needles, a path scope, and the reason it exists.
+#[derive(Debug, Clone, Copy)]
+pub struct Rule {
+    /// Stable identifier, used as the allowlist key.
+    pub id: &'static str,
+    /// Substrings that flag a scrubbed code line.
+    pub needles: &'static [&'static str],
+    /// Repo-relative path prefixes the rule applies to.
+    pub scope: &'static [&'static str],
+    /// Why a hit is a problem.
+    pub rationale: &'static str,
+}
+
+/// Crates whose code *is* the simulation semantics: anything
+/// nondeterministic here breaks bit-reproducibility of runs.
+const SIM_STATE: &[&str] = &[
+    "crates/noc/src",
+    "crates/sim/src",
+    "crates/faults/src",
+    "crates/traffic/src",
+    "crates/cmp/src",
+];
+
+/// The rule registry.
+pub const RULES: &[Rule] = &[
+    Rule {
+        id: "no-unordered-collections",
+        needles: &["HashMap", "HashSet"],
+        scope: SIM_STATE,
+        rationale: "iteration order of std hash collections varies across \
+                    runs/platforms; simulation state must use BTreeMap/BTreeSet \
+                    or Vec so identical seeds give identical runs",
+    },
+    Rule {
+        id: "no-wall-clock",
+        needles: &["Instant::now", "SystemTime"],
+        scope: SIM_STATE,
+        rationale: "model code must be a pure function of (config, seed); \
+                    wall-clock reads make runs unreproducible",
+    },
+    Rule {
+        id: "no-ambient-randomness",
+        needles: &[
+            "thread_rng",
+            "from_entropy",
+            "rand::random",
+            "OsRng",
+            "getrandom",
+        ],
+        scope: &["crates", "src", "examples"],
+        rationale: "all randomness must flow through pnoc-sim's seeded \
+                    SimRng streams; ambient entropy sources break replay",
+    },
+    Rule {
+        id: "no-silent-truncation",
+        needles: &[
+            " as u8", " as u16", " as u32", " as i8", " as i16", " as i32",
+        ],
+        scope: &["crates/noc/src", "crates/sim/src", "crates/faults/src"],
+        rationale: "cycle and flit counters are u64/usize; a narrowing `as` \
+                    cast silently wraps on long runs — use try_from or \
+                    allowlist the cast with a justification",
+    },
+    Rule {
+        id: "no-hot-path-unwrap",
+        needles: &[".unwrap(", ".expect("],
+        scope: &["crates/noc/src"],
+        rationale: "per-cycle channel/network code must not contain latent \
+                    panics; restructure with let-else/take patterns, or \
+                    allowlist construction-time validation",
+    },
+];
+
+/// One lint hit.
+#[derive(Debug, Clone)]
+pub struct Violation {
+    /// Rule that fired.
+    pub rule: &'static str,
+    /// Repo-relative path (forward slashes).
+    pub path: String,
+    /// 1-based line number.
+    pub line: usize,
+    /// Trimmed original source line (the allowlist key content).
+    pub content: String,
+    /// The rule's rationale.
+    pub rationale: &'static str,
+}
+
+/// Outcome of a lint run.
+#[derive(Debug, Default)]
+pub struct LintReport {
+    /// Files scanned.
+    pub files_scanned: usize,
+    /// Hits not covered by the allowlist (failures).
+    pub violations: Vec<Violation>,
+    /// Allowlisted hits (informational).
+    pub allowlisted: usize,
+    /// Allowlist entries that matched nothing (failures: stale entries).
+    pub stale_entries: Vec<String>,
+}
+
+impl LintReport {
+    /// Whether the gate passes.
+    pub fn ok(&self) -> bool {
+        self.violations.is_empty() && self.stale_entries.is_empty()
+    }
+
+    /// Human-readable rendering.
+    pub fn render(&self) -> String {
+        let mut s = String::new();
+        for v in &self.violations {
+            let _ = writeln!(
+                s,
+                "{}:{}: [{}] {}\n    {}\n    to exempt: add `{}\t{}\t{}` to crates/verify/allowlist.txt",
+                v.path, v.line, v.rule, v.content, v.rationale, v.rule, v.path, v.content
+            );
+        }
+        for e in &self.stale_entries {
+            let _ = writeln!(s, "stale allowlist entry (matches nothing): {e}");
+        }
+        let _ = writeln!(
+            s,
+            "lints: {} files scanned, {} violations, {} allowlisted, {} stale entries",
+            self.files_scanned,
+            self.violations.len(),
+            self.allowlisted,
+            self.stale_entries.len()
+        );
+        s
+    }
+}
+
+/// Parse `allowlist.txt` content: `rule<TAB>path<TAB>trimmed line`, `#`
+/// comments and blank lines ignored.
+fn parse_allowlist(text: &str) -> Vec<(String, String, String)> {
+    let mut out = Vec::new();
+    for line in text.lines() {
+        let line = line.trim_end();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let mut parts = line.splitn(3, '\t');
+        if let (Some(rule), Some(path), Some(content)) = (parts.next(), parts.next(), parts.next())
+        {
+            out.push((rule.to_string(), path.to_string(), content.to_string()));
+        }
+    }
+    out
+}
+
+/// Recursively collect `.rs` files under `root`, skipping build output,
+/// vendored dependencies, and VCS metadata. Sorted for deterministic
+/// reporting.
+fn collect_rs_files(root: &Path) -> Vec<PathBuf> {
+    let mut out = Vec::new();
+    let mut stack = vec![root.to_path_buf()];
+    while let Some(dir) = stack.pop() {
+        let Ok(entries) = fs::read_dir(&dir) else {
+            continue;
+        };
+        for entry in entries.flatten() {
+            let path = entry.path();
+            let name = entry.file_name();
+            let name = name.to_string_lossy();
+            if path.is_dir() {
+                if name == "target" || name == "vendor" || name.starts_with('.') {
+                    continue;
+                }
+                stack.push(path);
+            } else if name.ends_with(".rs") {
+                out.push(path);
+            }
+        }
+    }
+    out.sort();
+    out
+}
+
+/// Run every rule over the workspace at `root`, applying the allowlist at
+/// `root/crates/verify/allowlist.txt` (missing file = empty allowlist).
+pub fn run_lints(root: &Path) -> LintReport {
+    let allowlist_path = root.join("crates/verify/allowlist.txt");
+    let allowlist = fs::read_to_string(&allowlist_path)
+        .map(|t| parse_allowlist(&t))
+        .unwrap_or_default();
+    let mut used = vec![false; allowlist.len()];
+
+    let mut report = LintReport::default();
+    for file in collect_rs_files(root) {
+        let rel = file
+            .strip_prefix(root)
+            .unwrap_or(&file)
+            .to_string_lossy()
+            .replace('\\', "/");
+        let in_scope: Vec<&Rule> = RULES
+            .iter()
+            .filter(|r| r.scope.iter().any(|s| rel.starts_with(s)))
+            .collect();
+        if in_scope.is_empty() {
+            continue;
+        }
+        let Ok(source) = fs::read_to_string(&file) else {
+            continue;
+        };
+        report.files_scanned += 1;
+        for line in scrub(&source) {
+            if line.in_test {
+                continue;
+            }
+            for rule in &in_scope {
+                if !rule.needles.iter().any(|n| line.code.contains(n)) {
+                    continue;
+                }
+                let content = line.original.trim().to_string();
+                let hit = allowlist
+                    .iter()
+                    .position(|(r, p, c)| r == rule.id && *p == rel && *c == content);
+                if let Some(idx) = hit {
+                    used[idx] = true;
+                    report.allowlisted += 1;
+                } else {
+                    report.violations.push(Violation {
+                        rule: rule.id,
+                        path: rel.clone(),
+                        line: line.number,
+                        content,
+                        rationale: rule.rationale,
+                    });
+                }
+            }
+        }
+    }
+    for (idx, (r, p, c)) in allowlist.iter().enumerate() {
+        if !used[idx] {
+            report.stale_entries.push(format!("{r}\t{p}\t{c}"));
+        }
+    }
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rules_have_unique_ids_and_nonempty_needles() {
+        for (i, a) in RULES.iter().enumerate() {
+            assert!(!a.needles.is_empty());
+            assert!(!a.scope.is_empty());
+            for b in &RULES[i + 1..] {
+                assert_ne!(a.id, b.id);
+            }
+        }
+    }
+
+    #[test]
+    fn allowlist_parser_skips_comments_and_blanks() {
+        let parsed = parse_allowlist(
+            "# comment\n\nno-hot-path-unwrap\tcrates/noc/src/x.rs\tfoo.unwrap();\n",
+        );
+        assert_eq!(parsed.len(), 1);
+        assert_eq!(parsed[0].0, "no-hot-path-unwrap");
+    }
+
+    #[test]
+    fn workspace_passes_its_own_lints() {
+        // The repo root is two levels up from this crate's manifest.
+        let root = Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
+        let report = run_lints(&root);
+        assert!(report.files_scanned > 50, "walker found the workspace");
+        assert!(report.ok(), "\n{}", report.render());
+    }
+}

@@ -1,0 +1,119 @@
+//! `pnoc-verify` CLI — the CI correctness gate.
+//!
+//! ```text
+//! pnoc-verify [--lints] [--model-check] [--audit] [--all] [--root PATH]
+//! ```
+//!
+//! Exit code 0 if every requested pass holds, 1 otherwise.
+
+use pnoc_verify::checker::CheckConfig;
+use pnoc_verify::{audits, lints, scenarios};
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: pnoc-verify [--lints] [--model-check] [--audit] [--all] [--root PATH]\n\
+         \n\
+         --lints        determinism/robustness lints over workspace sources\n\
+         --model-check  bounded model checking of the channel FSMs\n\
+         --audit        cycle-level invariant audit of full Network runs\n\
+         --all          all three passes\n\
+         --root PATH    workspace root (default: crate manifest dir /../..)"
+    );
+    std::process::exit(2);
+}
+
+fn main() -> ExitCode {
+    let mut do_lints = false;
+    let mut do_model = false;
+    let mut do_audit = false;
+    let mut root: Option<PathBuf> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--lints" => do_lints = true,
+            "--model-check" => do_model = true,
+            "--audit" => do_audit = true,
+            "--all" => {
+                do_lints = true;
+                do_model = true;
+                do_audit = true;
+            }
+            "--root" => match args.next() {
+                Some(p) => root = Some(PathBuf::from(p)),
+                None => usage(),
+            },
+            _ => usage(),
+        }
+    }
+    if !(do_lints || do_model || do_audit) {
+        usage();
+    }
+    let root = root.unwrap_or_else(|| PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../.."));
+
+    let mut all_ok = true;
+
+    if do_lints {
+        println!("== determinism lints ==");
+        let report = lints::run_lints(&root);
+        print!("{}", report.render());
+        if !report.ok() {
+            all_ok = false;
+        }
+    }
+
+    if do_model {
+        println!("== bounded model check ==");
+        let results = scenarios::run_matrix(&CheckConfig::default());
+        let (text, ok) = scenarios::render_results(&results);
+        print!("{text}");
+        let states: usize = results
+            .iter()
+            .map(|r| match &r.outcome {
+                pnoc_verify::CheckOutcome::Verified(rep)
+                | pnoc_verify::CheckOutcome::Truncated(rep) => rep.states,
+                pnoc_verify::CheckOutcome::Violated(_) => 0,
+            })
+            .sum();
+        println!(
+            "model check: {} scenarios, {} reachable states explored",
+            results.len(),
+            states
+        );
+        // Self-test: the checker must be able to produce a counterexample.
+        match scenarios::duplicate_bug_counterexample() {
+            pnoc_verify::CheckOutcome::Violated(cx) if cx.error.contains("delivered twice") => {
+                println!(
+                    "self-test: intentional duplicate-suppression bug caught \
+                     ({}-step counterexample)",
+                    cx.steps.len()
+                );
+            }
+            other => {
+                all_ok = false;
+                println!("self-test FAILED: sabotaged model was not caught ({other:?})");
+            }
+        }
+        if !ok {
+            all_ok = false;
+        }
+    }
+
+    if do_audit {
+        println!("== runtime invariant audit ==");
+        let (text, ok) = audits::run_matrix();
+        print!("{text}");
+        if !ok {
+            all_ok = false;
+        }
+    }
+
+    if all_ok {
+        println!("pnoc-verify: all requested passes hold");
+        ExitCode::SUCCESS
+    } else {
+        println!("pnoc-verify: FAILURES (see above)");
+        ExitCode::FAILURE
+    }
+}
