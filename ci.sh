@@ -34,4 +34,13 @@ echo "== cargo test (pnoc-noc with verify-invariants auditor) =="
 # compiled into Network::step.
 cargo test -q -p pnoc-noc --features verify-invariants --offline
 
+echo "== perf baseline (quick sweep vs BENCH_perf.json) =="
+# Simulator-throughput regression gate: re-measure the 64-node sweep at
+# reduced fidelity, validate the report schema, and fail if aggregate
+# cycles/sec dropped more than the tolerance in pnoc_bench::perf against
+# the checked-in baseline. The fresh report lands in BENCH_perf.ci.json
+# (gitignored) for inspection.
+cargo run --release -q -p pnoc-bench --offline --bin perf -- \
+  --quick --json BENCH_perf.ci.json --check BENCH_perf.json
+
 echo CI_OK

@@ -661,7 +661,7 @@ mod tests {
                 m.latency.record(12.0);
                 m.latency_hist.record(12.0);
             }
-            RunSummary::from_metrics(&m, &[], 1000, 4, 0.1)
+            RunSummary::from_metrics::<&[u64]>(&m, &[], 1000, 4, 0.1)
         };
         let c = Curve {
             label: "x".into(),

@@ -32,6 +32,7 @@
 pub mod export;
 pub mod figures;
 pub mod grids;
+pub mod perf;
 pub mod plot;
 pub mod table;
 

@@ -233,7 +233,7 @@ mod tests {
             m.latency.record(lat);
             m.latency_hist.record(lat);
         }
-        RunSummary::from_metrics(&m, &[], 100, 4, 0.1)
+        RunSummary::from_metrics::<&[u64]>(&m, &[], 100, 4, 0.1)
     }
 
     fn curve() -> Curve {

@@ -33,10 +33,11 @@ use pnoc_sim::Cycle;
 use std::collections::BTreeSet;
 
 /// Everything the auditor needs to know about one channel, snapshotted by
-/// [`crate::channel::Channel::audit_view`]. Owning plain vectors keeps the
-/// auditor decoupled from channel internals (and borrow-friendly inside
-/// `Network::step`).
-#[derive(Debug, Clone)]
+/// [`crate::channel::Channel::audit_view_into`]. Owning plain vectors keeps
+/// the auditor decoupled from channel internals (and borrow-friendly inside
+/// `Network::step`); the `_into` form refills a `Default` view in place so
+/// the sampled audit path reuses its allocations.
+#[derive(Debug, Clone, Default)]
 pub struct ChannelAuditView {
     /// Home node id.
     pub home: usize,

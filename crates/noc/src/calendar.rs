@@ -51,8 +51,11 @@ impl<T> Calendar<T> {
     }
 
     /// Drain every event scheduled for cycle `now`. Must be called with
-    /// strictly increasing `now` values (one drain per cycle).
-    pub fn drain(&mut self, now: Cycle) -> Vec<T> {
+    /// strictly increasing `now` values (one drain per cycle). Returns a
+    /// draining iterator over the bucket — its allocation stays with the
+    /// calendar and is reused next time the ring wraps, so the steady-state
+    /// cycle loop never allocates here.
+    pub fn drain(&mut self, now: Cycle) -> std::vec::Drain<'_, T> {
         debug_assert!(
             now >= self.drained_up_to,
             "draining cycle {now} twice (already at {})",
@@ -60,7 +63,7 @@ impl<T> Calendar<T> {
         );
         self.drained_up_to = now + 1;
         let idx = (now % self.buckets.len() as Cycle) as usize;
-        std::mem::take(&mut self.buckets[idx])
+        self.buckets[idx].drain(..)
     }
 
     /// Total scheduled events not yet drained.
@@ -74,14 +77,19 @@ impl<T> Calendar<T> {
     /// so the schedule is fully reconstructible — introspection for the
     /// invariant auditor and the model checker.
     pub fn pending_events(&self) -> Vec<(Cycle, &T)> {
+        self.pending_iter().collect()
+    }
+
+    /// Allocation-free form of [`Calendar::pending_events`]: iterate pending
+    /// events as `(cycle, event)` in cycle order without materialising a
+    /// vector (used by the per-cycle audit snapshot path).
+    pub fn pending_iter(&self) -> impl Iterator<Item = (Cycle, &T)> {
         let h = self.buckets.len() as Cycle;
-        let mut out = Vec::new();
-        for at in self.drained_up_to..self.drained_up_to + h {
-            for ev in &self.buckets[(at % h) as usize] {
-                out.push((at, ev));
-            }
-        }
-        out
+        (self.drained_up_to..self.drained_up_to + h).flat_map(move |at| {
+            self.buckets[(at % h) as usize]
+                .iter()
+                .map(move |ev| (at, ev))
+        })
     }
 }
 
@@ -96,10 +104,10 @@ mod tests {
         c.schedule(1, 10);
         c.schedule(3, 31);
         assert_eq!(c.pending(), 3);
-        assert!(c.drain(0).is_empty());
-        assert_eq!(c.drain(1), vec![10]);
-        assert!(c.drain(2).is_empty());
-        assert_eq!(c.drain(3), vec![30, 31]);
+        assert_eq!(c.drain(0).next(), None);
+        assert_eq!(c.drain(1).collect::<Vec<_>>(), vec![10]);
+        assert_eq!(c.drain(2).next(), None);
+        assert_eq!(c.drain(3).collect::<Vec<_>>(), vec![30, 31]);
         assert_eq!(c.pending(), 0);
     }
 
@@ -108,7 +116,7 @@ mod tests {
         let mut c: Calendar<u32> = Calendar::new(4);
         for t in 0..20 {
             c.schedule(t + 3, t as u32);
-            let drained = c.drain(t);
+            let drained: Vec<u32> = c.drain(t).collect();
             if t >= 3 {
                 assert_eq!(drained, vec![(t - 3) as u32]);
             }
@@ -134,6 +142,20 @@ mod tests {
     fn schedule_at_now_is_legal_before_drain() {
         let mut c: Calendar<u32> = Calendar::new(4);
         c.schedule(0, 5);
-        assert_eq!(c.drain(0), vec![5]);
+        assert_eq!(c.drain(0).collect::<Vec<_>>(), vec![5]);
+    }
+
+    #[test]
+    fn drain_reuses_the_bucket_allocation() {
+        let mut c: Calendar<u32> = Calendar::new(4);
+        c.schedule(1, 7);
+        assert_eq!(c.drain(0).next(), None);
+        assert_eq!(c.drain(1).collect::<Vec<_>>(), vec![7]);
+        // The wrapped-around bucket still works after the borrow ends.
+        c.schedule(5, 8);
+        assert_eq!(c.drain(2).next(), None);
+        assert_eq!(c.drain(3).next(), None);
+        assert_eq!(c.drain(4).next(), None);
+        assert_eq!(c.drain(5).collect::<Vec<_>>(), vec![8]);
     }
 }

@@ -1,10 +1,15 @@
-//! One MWSR data channel: home-node logic, token arbitration, transmission.
+//! One MWSR data channel: ring-segment state plus phase orchestration.
 //!
-//! A [`Channel`] owns everything associated with one destination (home) node:
-//! the wave-pipelined data [`SlotRing`], the per-sender [`OutQueue`]s, the
-//! home input buffer, the handshake calendar, and the scheme-specific token
-//! state. The [`crate::network::Network`] orchestrator calls the `phase_*`
-//! methods in a fixed order each cycle:
+//! A [`Channel`] owns the state physically attached to one destination
+//! (home) node — the wave-pipelined data [`SlotRing`], the per-sender
+//! [`OutQueue`]s, the home input buffer and its ejection pipeline — and
+//! orchestrates the per-cycle phases over it. Everything scheme-specific
+//! lives in the [`crate::schemes`] pipeline, resolved once at construction
+//! into an ([`ArbiterKind`], [`FlowKind`]) pairing: arbitration (token
+//! state machines) in [`crate::schemes::arbiter`], flow control (credit
+//! ledgers, the ACK/NACK handshake, retransmit timers) in
+//! [`crate::schemes::flow`]. The [`crate::network::Network`] orchestrator
+//! calls the `phase_*` methods in a fixed order each cycle:
 //!
 //! 1. `phase_advance`  — light moves one segment,
 //! 2. `phase_arrival`  — the home inspects the slot at its segment
@@ -15,20 +20,25 @@
 //! 5. `phase_tokens`   — token emission, sweeping, grabbing, reimbursement,
 //! 6. `phase_eject`    — the home drains its input buffer to local cores.
 //!
-//! A token granted in cycle *t* is used to transmit in *t + 1* (paper Figs. 3
-//! and 5: the token arrives one cycle before the data flit follows it).
+//! A token granted in cycle *t* is used to transmit in *t + 1* (paper Figs.
+//! 3 and 5: the token arrives one cycle before the data flit follows it).
+//!
+//! The per-cycle path is allocation-free: ring positions come from lookup
+//! tables precomputed at construction, the active-sender list is compacted
+//! in place, and every scratch structure is a persistent field.
 
 use crate::calendar::Calendar;
 use crate::config::{FairnessPolicy, NetworkConfig, Scheme};
 use crate::metrics::NetworkMetrics;
-use crate::outqueue::{OutQueue, SendMode, TimeoutAction};
+use crate::outqueue::{OutQueue, SendMode};
 use crate::packet::Packet;
+use crate::schemes::{ArbiterKind, ArrivalCx, FlowKind, SendableSet, TokenCx};
 use crate::slots::SlotRing;
 use crate::topology::Topology;
-use pnoc_faults::{AckFate, ChannelInjector, DataFate, FaultEngine, RecoveryConfig};
+use pnoc_faults::{ChannelInjector, DataFate, FaultEngine, RecoveryConfig};
 use pnoc_sim::Cycle;
 use std::cmp::Reverse;
-use std::collections::{BTreeSet, BinaryHeap, VecDeque};
+use std::collections::VecDeque;
 
 /// A packet handed to the home node's local cores.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -38,39 +48,6 @@ pub struct Delivery {
     /// Cycle at which the local core sees it (ejection router pipeline
     /// included).
     pub available_at: Cycle,
-}
-
-/// State of the single global-arbitration token (token channel, GHS).
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-enum GlobalTokenState {
-    /// Travelling; `next` is the first downstream distance not yet examined.
-    Sweeping { next: usize },
-    /// Held by the sender at the given node while it transmits.
-    Held { node: usize },
-    /// Destroyed by an injected fault; the home re-emits a replacement after
-    /// a watchdog period of two silent loop times.
-    Lost { since: Cycle },
-}
-
-/// Scheme-specific arbitration state.
-#[derive(Debug, Clone)]
-enum Arbiter {
-    /// Token channel / GHS: one token; `credits` is `None` for GHS.
-    Global {
-        state: GlobalTokenState,
-        credits: Option<u32>,
-    },
-    /// Token slot / DHS / DHS-circulation: tokens indexed oldest-first;
-    /// each holds the first distance not yet examined.
-    Distributed { tokens: VecDeque<usize> },
-}
-
-/// An ACK/NACK in flight on the handshake channel.
-#[derive(Debug, Clone, Copy)]
-struct AckEvent {
-    sender: usize,
-    id: u64,
-    ok: bool,
 }
 
 /// One MWSR channel (see module docs).
@@ -87,6 +64,26 @@ pub struct Channel {
     ejection_per_cycle: usize,
     eject_latency: u64,
 
+    // --- precomputed ring lookups (hot loop: no div/mod per access) ---
+    /// The home's ring segment.
+    home_seg: usize,
+    /// Nodes a token passes per cycle.
+    sweep_step: usize,
+    /// Fixed handshake delay (`segments + 1`).
+    handshake_delay: Cycle,
+    /// Downstream distance → node id (`nodes - 1` entries).
+    by_distance: Vec<usize>,
+    /// Node id → downstream distance from home (`usize::MAX` at the home).
+    dist_of: Vec<usize>,
+    /// Node id → ring segment.
+    seg_of: Vec<usize>,
+    /// Whether a transmission removes the packet from its queue (`Forget`
+    /// and `Setaside` modes; `HoldHead` keeps it queued until the ACK).
+    dec_on_transmit: bool,
+    /// Whether transmissions arm sender-side ACK timers (recovery on a
+    /// handshake scheme).
+    arm_timers: bool,
+
     /// Per-sender output queues, indexed by node id (`senders[home]` unused).
     senders: Vec<OutQueue>,
     /// The wave-pipelined data ring.
@@ -99,19 +96,19 @@ pub struct Channel {
     draining: u32,
     /// Slot-release events for draining flits.
     releases: Calendar<()>,
-    /// Handshake events in flight.
-    acks: Calendar<AckEvent>,
-    arbiter: Arbiter,
+    /// Arbitration state machine (resolved at construction).
+    arbiter: ArbiterKind,
+    /// Flow-control state (resolved at construction).
+    flow: FlowKind,
 
     /// Senders with unconsumed grants (kept sorted by downstream distance).
     active_senders: Vec<usize>,
     /// Total queued packets across senders (cheap idle check).
     queued_total: usize,
-    /// Token-channel: credits freed by ejections, awaiting the token's next
-    /// home pass.
-    uncommitted: u32,
-    /// Token-slot: reservations travelling with granted tokens / flits.
-    inflight: u32,
+    /// Exact mask of senders with sendable work, by downstream distance —
+    /// refreshed after every queue mutation so token sweeps probe only
+    /// senders that could actually take a grant.
+    sendable: SendableSet,
     /// DHS-circulation: a reinjection this cycle suppresses token emission.
     suppress_token: bool,
     /// Measured deliveries per sender (fairness accounting).
@@ -122,25 +119,6 @@ pub struct Channel {
     injector: Option<ChannelInjector>,
     /// Sender-side ACK-timeout retransmission parameters.
     recovery: RecoveryConfig,
-    /// Armed ACK timers, earliest deadline first: `(deadline, sender, id)`.
-    /// Entries are validated lazily against the sender queue when they fire,
-    /// so stale timers (handshake arrived first) are harmless.
-    ack_timers: BinaryHeap<Reverse<(Cycle, usize, u64)>>,
-    /// Packet ids already accepted into the input buffer, kept while
-    /// recovery is enabled so a retransmission after a *lost ACK* is
-    /// discarded (and re-ACKed) instead of delivered twice. Ordered so the
-    /// model checker's state keys are canonical (determinism lint
-    /// `no-unordered-collections` bans hash collections in sim state).
-    accepted_ids: BTreeSet<u64>,
-    /// Token-slot: reservations destroyed by faults (lost tokens). The home
-    /// cannot observe the destruction, so the slots stay committed forever —
-    /// this is the credit leak the handshake schemes are immune to.
-    lost_reservations: u32,
-    /// Token-channel: credits permanently destroyed by faults on this
-    /// channel (flits lost while holding a reservation, credits riding a
-    /// destroyed token). Balances the credit-conservation invariant:
-    /// `credits + uncommitted + outstanding + leaked == buffer_cap`.
-    leaked_credits: u32,
 }
 
 impl Channel {
@@ -157,21 +135,7 @@ impl Channel {
                 }
             }
         };
-        let arbiter = match cfg.scheme {
-            Scheme::TokenChannel => Arbiter::Global {
-                state: GlobalTokenState::Sweeping { next: 0 },
-                credits: Some(cfg.input_buffer as u32),
-            },
-            Scheme::Ghs { .. } => Arbiter::Global {
-                state: GlobalTokenState::Sweeping { next: 0 },
-                credits: None,
-            },
-            Scheme::TokenSlot | Scheme::Dhs { .. } | Scheme::DhsCirculation => {
-                Arbiter::Distributed {
-                    tokens: VecDeque::new(),
-                }
-            }
-        };
+        let (arbiter, flow) = crate::schemes::build(cfg);
         // Each channel forks its own injector stream; forking from a fresh
         // engine per channel is deterministic in (seed, home).
         let injector = if cfg.faults.enabled() {
@@ -179,6 +143,14 @@ impl Channel {
         } else {
             None
         };
+        let mut by_distance = vec![0usize; cfg.nodes - 1];
+        let mut dist_of = vec![usize::MAX; cfg.nodes];
+        for (d, slot) in by_distance.iter_mut().enumerate() {
+            let node = topo.node_at_distance(home, d);
+            *slot = node;
+            dist_of[node] = d;
+        }
+        let seg_of = (0..cfg.nodes).map(|n| topo.segment_of(n)).collect();
         Self {
             home,
             topo,
@@ -187,25 +159,28 @@ impl Channel {
             buffer_cap: cfg.input_buffer,
             ejection_per_cycle: cfg.ejection_per_cycle,
             eject_latency: cfg.router_latency,
+            home_seg: topo.segment_of(home),
+            sweep_step: topo.step(),
+            handshake_delay: topo.handshake_delay(),
+            by_distance,
+            dist_of,
+            seg_of,
+            dec_on_transmit: !matches!(mode, SendMode::HoldHead),
+            arm_timers: cfg.recovery.enabled && cfg.scheme.uses_handshake(),
             senders: (0..cfg.nodes).map(|_| OutQueue::new(mode)).collect(),
             data: SlotRing::new(cfg.ring_segments),
             input_queue: VecDeque::with_capacity(cfg.input_buffer),
             draining: 0,
             releases: Calendar::new(cfg.router_latency as usize + 2),
-            acks: Calendar::new(cfg.ring_segments + 2),
             arbiter,
+            flow,
             active_senders: Vec::new(),
             queued_total: 0,
-            uncommitted: 0,
-            inflight: 0,
+            sendable: SendableSet::new(cfg.nodes - 1),
             suppress_token: false,
             served_by_sender: vec![0; cfg.nodes],
             injector,
             recovery: cfg.recovery,
-            ack_timers: BinaryHeap::new(),
-            accepted_ids: BTreeSet::new(),
-            lost_reservations: 0,
-            leaked_credits: 0,
         }
     }
 
@@ -219,8 +194,11 @@ impl Channel {
     pub fn enqueue(&mut self, pkt: Packet) {
         debug_assert_eq!(pkt.dst_node as usize, self.home);
         debug_assert_ne!(pkt.src_node as usize, self.home, "no self-send");
-        self.senders[pkt.src_node as usize].push(pkt);
+        let src = pkt.src_node as usize;
+        self.senders[src].push(pkt);
         self.queued_total += 1;
+        self.sendable
+            .set(self.dist_of[src], self.senders[src].sendable() > 0);
     }
 
     /// Whether every queue, slot, buffer and grant is empty (drain check).
@@ -229,7 +207,7 @@ impl Channel {
             && self.data.is_empty()
             && self.input_queue.is_empty()
             && self.draining == 0
-            && self.acks.pending() == 0
+            && self.flow.pending_acks() == 0
             && self.active_senders.is_empty()
             && self.senders.iter().all(super::outqueue::OutQueue::is_idle)
     }
@@ -254,7 +232,9 @@ impl Channel {
     /// intentional bug the model checker's self-test must catch as a
     /// duplicate-delivery counterexample.
     pub fn forget_accepted_ids(&mut self) {
-        self.accepted_ids.clear();
+        if let Some(h) = self.flow.handshake_mut() {
+            h.accepted_ids.clear();
+        }
     }
 
     /// Phase 1: light advances one segment.
@@ -264,11 +244,10 @@ impl Channel {
 
     /// Phase 2: the home inspects the slot at its segment.
     pub fn phase_arrival(&mut self, now: Cycle, m: &mut NetworkMetrics) {
-        let home_seg = self.topo.segment_of(self.home);
         // Take the flit once; the circulation path puts it back. (Take-once
         // keeps this per-cycle path free of unwrap/expect — determinism lint
         // `no-hot-path-unwrap`.)
-        let Some(mut pkt) = self.data.take(home_seg) else {
+        let Some(pkt) = self.data.take(self.home_seg) else {
             return;
         };
         // Fault fate for the flit's whole flight, decided at the observation
@@ -282,52 +261,13 @@ impl Channel {
                         // Destroyed in flight: the home never sees it, so no
                         // handshake fires and no buffer slot is touched.
                         m.faults_data_lost += 1;
-                        match self.scheme {
-                            // The credit reserved for this flit can never be
-                            // reimbursed (the slot is never occupied, so it
-                            // is never ejected): a permanent leak.
-                            Scheme::TokenChannel => {
-                                self.leaked_credits += 1;
-                                m.credit_leaks += 1;
-                            }
-                            // The in-flight reservation is never returned
-                            // (`inflight` stays elevated forever).
-                            Scheme::TokenSlot => m.credit_leaks += 1,
-                            // Handshake senders recover by ACK timeout;
-                            // circulation has no sender copy — a true loss.
-                            _ => {}
-                        }
+                        self.flow.on_data_lost(m);
                         return;
                     }
                     DataFate::Corrupt => {
                         m.arrivals += 1;
                         m.faults_data_corrupt += 1;
-                        match self.scheme {
-                            Scheme::TokenChannel => {
-                                // Discarded at the home; generously return
-                                // the credit (the flit itself is still gone
-                                // for good — credit schemes cannot ask for a
-                                // retransmission).
-                                self.uncommitted += 1;
-                            }
-                            Scheme::TokenSlot => {
-                                assert!(self.inflight > 0, "inflight underflow");
-                                self.inflight -= 1;
-                            }
-                            Scheme::Ghs { .. } | Scheme::Dhs { .. } => {
-                                // CRC failure ⇒ NACK; the sender retransmits
-                                // exactly as after a full-buffer drop.
-                                self.acks.schedule(
-                                    pkt.sent_at + self.topo.handshake_delay(),
-                                    AckEvent {
-                                        sender: pkt.src_node as usize,
-                                        id: pkt.id,
-                                        ok: false,
-                                    },
-                                );
-                            }
-                            Scheme::DhsCirculation => {}
-                        }
+                        self.flow.on_data_corrupt(&pkt, self.handshake_delay);
                         return;
                     }
                 }
@@ -337,167 +277,68 @@ impl Channel {
         // Duplicate suppression (recovery only): a retransmission whose
         // original was accepted but whose ACK was lost must not be delivered
         // twice. Discard it and re-ACK so the sender can release its copy.
-        if self.recovery.enabled && self.accepted_ids.contains(&pkt.id) {
-            m.duplicates_suppressed += 1;
-            self.acks.schedule(
-                pkt.sent_at + self.topo.handshake_delay(),
-                AckEvent {
-                    sender: pkt.src_node as usize,
-                    id: pkt.id,
-                    ok: true,
-                },
-            );
-            return;
-        }
-        let has_room = self.input_queue.len() + (self.draining as usize) < self.buffer_cap;
-        match self.scheme {
-            Scheme::TokenChannel | Scheme::TokenSlot => {
-                // Credit-reserved: space is guaranteed by construction.
-                // Always-on check: a violation here means corrupted credit
-                // state, which a release-mode harness run must not silently
-                // pass through.
-                assert!(has_room, "reservation accounting violated");
-                if self.scheme == Scheme::TokenSlot {
-                    assert!(self.inflight > 0, "inflight underflow");
-                    self.inflight -= 1;
-                }
-                self.input_queue.push_back(pkt);
-            }
-            Scheme::Ghs { .. } | Scheme::Dhs { .. } => {
-                let ack_at = pkt.sent_at + self.topo.handshake_delay();
-                debug_assert!(ack_at > now, "handshake must arrive in the future");
-                if has_room {
-                    self.acks.schedule(
-                        ack_at,
-                        AckEvent {
+        if self.recovery.enabled {
+            if let Some(h) = self.flow.handshake_mut() {
+                if h.accepted_ids.contains(pkt.id) {
+                    m.duplicates_suppressed += 1;
+                    h.acks.schedule(
+                        pkt.sent_at + self.handshake_delay,
+                        crate::schemes::AckEvent {
                             sender: pkt.src_node as usize,
                             id: pkt.id,
                             ok: true,
                         },
                     );
-                    if self.recovery.enabled {
-                        self.accepted_ids.insert(pkt.id);
-                    }
-                    self.input_queue.push_back(pkt);
-                } else {
-                    // Drop; the sender retransmits on NACK (§III-A).
-                    m.drops += 1;
-                    self.acks.schedule(
-                        ack_at,
-                        AckEvent {
-                            sender: pkt.src_node as usize,
-                            id: pkt.id,
-                            ok: false,
-                        },
-                    );
-                }
-            }
-            Scheme::DhsCirculation => {
-                if has_room {
-                    self.input_queue.push_back(pkt);
-                } else {
-                    // Reinject: the packet stays on the ring for another
-                    // loop; the home consumes this cycle's token virtually
-                    // (§III-C).
-                    pkt.sends += 1;
-                    pkt.sent_at = now; // next arrival check in R cycles
-                    self.data.put(home_seg, pkt);
-                    self.suppress_token = true;
-                    m.circulations += 1;
+                    return;
                 }
             }
         }
+        let has_room = self.input_queue.len() + (self.draining as usize) < self.buffer_cap;
+        let mut cx = ArrivalCx {
+            now,
+            home_seg: self.home_seg,
+            handshake_delay: self.handshake_delay,
+            recovery_enabled: self.recovery.enabled,
+            has_room,
+            input_queue: &mut self.input_queue,
+            data: &mut self.data,
+            suppress_token: &mut self.suppress_token,
+        };
+        self.flow.accept(pkt, &mut cx, m);
     }
 
     /// Phase 3: handshakes reach their senders, and expired ACK timers fire.
     pub fn phase_acks(&mut self, now: Cycle, m: &mut NetworkMetrics) {
-        for ev in self.acks.drain(now) {
-            // Handshake-channel fault: the pulse never reaches the sender.
-            // The sender learns nothing; with recovery enabled its ACK timer
-            // eventually retransmits, without it the packet wedges.
-            if let Some(inj) = self.injector.as_mut() {
-                if inj.active() && inj.ack_fate(self.topo.handshake_delay()) == AckFate::Lost {
-                    m.faults_acks_lost += 1;
-                    continue;
-                }
-            }
-            let q = &mut self.senders[ev.sender];
-            if ev.ok {
-                if q.ack(ev.id).is_some() {
-                    // HoldHead keeps the packet queued until the ACK: account
-                    // for its departure now. Setaside removed it from the
-                    // queue at transmission time.
-                    if matches!(
-                        self.scheme,
-                        Scheme::Ghs { setaside: 0 } | Scheme::Dhs { setaside: 0 }
-                    ) {
-                        self.queued_total -= 1;
-                    }
-                } else {
-                    // A re-ACK for a suppressed duplicate can land after the
-                    // first ACK already released the packet; only recovery
-                    // produces that. Always-on: an unexpected ACK in a
-                    // recovery-free run means the handshake FSM desynced.
-                    assert!(self.recovery.enabled, "ACK for unknown packet {}", ev.id);
-                }
-            } else if q.nack(ev.id) {
-                m.retransmissions += 1;
-                // Setaside NACK pushes the packet back into the queue.
-                if self.scheme.setaside() > 0 {
-                    self.queued_total += 1;
-                }
-            } else {
-                // The packet already timed out and retransmitted; this NACK
-                // answers a transmission the sender no longer tracks. Only
-                // recovery can produce that race.
-                assert!(self.recovery.enabled, "NACK for unknown packet {}", ev.id);
-            }
-        }
-        // Expired ACK timers (armed per transmission when recovery is on).
-        // A timer firing while the packet still awaits its handshake means
-        // the flit or its ACK was lost: retransmit, like a NACK, under
-        // exponential backoff and a bounded retry budget.
-        while let Some(&Reverse((deadline, sender, id))) = self.ack_timers.peek() {
-            if deadline > now {
-                break;
-            }
-            self.ack_timers.pop();
-            match self.senders[sender].timeout(id, self.recovery.max_retries) {
-                TimeoutAction::Retry => {
-                    m.timeout_retransmissions += 1;
-                    // Setaside: the packet moved back from setaside into the
-                    // queue, mirroring the NACK bookkeeping above.
-                    if self.scheme.setaside() > 0 {
-                        self.queued_total += 1;
-                    }
-                }
-                TimeoutAction::Abandon => {
-                    m.abandoned += 1;
-                    // A HoldHead abandon pops the pending head off the queue.
-                    if self.scheme.setaside() == 0 {
-                        self.queued_total -= 1;
-                    }
-                }
-                TimeoutAction::Stale => {}
-            }
-        }
+        let FlowKind::Handshake(h) = &mut self.flow else {
+            return; // credit/circulation schemes have no handshake channel
+        };
+        h.phase_acks(
+            now,
+            &mut self.senders,
+            &self.dist_of,
+            &mut self.sendable,
+            &mut self.queued_total,
+            self.injector.as_mut(),
+            &self.recovery,
+            self.handshake_delay,
+            m,
+        );
     }
 
     /// Phase 4: senders with grants place flits on free slots at their
-    /// segments (one per sender per cycle).
+    /// segments (one per sender per cycle). The active list is compacted in
+    /// place — no per-cycle scratch allocation.
     pub fn phase_transmit(&mut self, now: Cycle, m: &mut NetworkMetrics) {
         if self.active_senders.is_empty() {
             return;
         }
         // Deterministic service order: by downstream distance from home.
-        let topo = self.topo;
-        let home = self.home;
-        self.active_senders
-            .sort_unstable_by_key(|&n| topo.downstream_distance(home, n));
-        let mut still_active = Vec::new();
+        let dist_of = &self.dist_of;
+        self.active_senders.sort_unstable_by_key(|&n| dist_of[n]);
+        let mut kept = 0;
         for i in 0..self.active_senders.len() {
             let node = self.active_senders[i];
-            let seg = self.topo.segment_of(node);
+            let seg = self.seg_of[node];
             let mut remaining = self.senders[node].granted();
             if remaining > 0 && self.data.is_free(seg) {
                 if let Some(pkt) = self.senders[node].transmit(now) {
@@ -505,234 +346,56 @@ impl Channel {
                         m.queue_wait.record((now - pkt.enqueued_at) as f64);
                     }
                     m.sends += 1;
-                    if matches!(self.scheme, Scheme::TokenChannel | Scheme::TokenSlot)
-                        || self.scheme == Scheme::DhsCirculation
-                        || self.scheme.setaside() > 0
-                    {
+                    if self.dec_on_transmit {
                         // The packet left the queue (Forget or Setaside).
                         self.queued_total -= 1;
                     }
-                    if self.recovery.enabled && self.scheme.uses_handshake() {
+                    if self.arm_timers {
                         // Arm the ACK timer for this attempt. The base
                         // timeout exceeds the handshake round trip, so on a
                         // healthy channel the ACK always wins the race and
                         // the timer goes stale.
-                        let deadline = now + self.recovery.timeout_for_attempt(pkt.sends);
-                        self.ack_timers.push(Reverse((deadline, node, pkt.id)));
+                        if let FlowKind::Handshake(h) = &mut self.flow {
+                            let deadline = now + self.recovery.timeout_for_attempt(pkt.sends);
+                            h.ack_timers.push(Reverse((deadline, node, pkt.id)));
+                        }
                     }
                     self.data.put(seg, pkt);
                     remaining = self.senders[node].granted();
+                    self.sendable
+                        .set(dist_of[node], self.senders[node].sendable() > 0);
                 }
             }
             if remaining > 0 {
-                still_active.push(node);
+                self.active_senders[kept] = node;
+                kept += 1;
             }
         }
-        self.active_senders = still_active;
+        self.active_senders.truncate(kept);
     }
 
-    /// Phase 5: token emission, sweeping, grabbing, reimbursement.
+    /// Phase 5: token emission, sweeping, grabbing, reimbursement — all
+    /// delegated to the arbiter/flow pairing resolved at construction.
     pub fn phase_tokens(&mut self, now: Cycle, m: &mut NetworkMetrics) {
-        // Split-borrow helpers capture everything phase_tokens needs.
-        let fairness = self.fairness;
+        let mut cx = TokenCx {
+            now,
+            fairness: self.fairness,
+            nodes: self.topo.nodes,
+            step: self.sweep_step,
+            watchdog: 2 * self.handshake_delay,
+            by_distance: &self.by_distance,
+            dist_of: &self.dist_of,
+            senders: &mut self.senders,
+            active: &mut self.active_senders,
+            sendable: &mut self.sendable,
+            buffered: self.input_queue.len() + self.draining as usize,
+            buffer_cap: self.buffer_cap,
+            suppress_token: &mut self.suppress_token,
+            injector: self.injector.as_mut(),
+        };
         match &mut self.arbiter {
-            Arbiter::Global { state, credits } => {
-                // Fault: the circulating token is destroyed. Only a sweeping
-                // token is exposed (a held one is latched at its sender).
-                if let Some(inj) = self.injector.as_mut() {
-                    if inj.active()
-                        && matches!(*state, GlobalTokenState::Sweeping { .. })
-                        && inj.token_lost()
-                    {
-                        m.faults_tokens_lost += 1;
-                        if let Some(c) = credits.as_mut() {
-                            // Token-channel credits ride on the token and
-                            // die with it — an unrecoverable leak. (The GHS
-                            // token carries nothing; it is fully replaced.)
-                            m.credit_leaks += u64::from(*c);
-                            self.leaked_credits += *c;
-                            *c = 0;
-                        }
-                        *state = GlobalTokenState::Lost { since: now };
-                    }
-                }
-                match *state {
-                    GlobalTokenState::Lost { since } => {
-                        // Watchdog: after two silent loop times the home
-                        // emits a replacement. It cannot know how many
-                        // credits died with the old token, so the
-                        // replacement starts empty and must live off future
-                        // ejection reimbursements.
-                        if now.saturating_sub(since) >= 2 * self.topo.handshake_delay() {
-                            *state = GlobalTokenState::Sweeping { next: 0 };
-                        }
-                    }
-                    GlobalTokenState::Held { node } => {
-                        let has_credit = credits.is_none_or(|c| c > 0);
-                        let q = &mut self.senders[node];
-                        if q.granted() > 0 {
-                            // Transmission still owed; keep holding.
-                        } else if has_credit && q.eligible(now, fairness) {
-                            q.take_grant(now, fairness);
-                            if let Some(c) = credits.as_mut() {
-                                *c -= 1;
-                            }
-                            if !self.active_senders.contains(&node) {
-                                self.active_senders.push(node);
-                            }
-                        } else {
-                            // Release: the token resumes its sweep from just
-                            // past the holder; downstream nodes see it from
-                            // the next cycle (paper Fig. 3c→d).
-                            let next = self.topo.downstream_distance(self.home, node) + 1;
-                            *state = Self::wrap_or_continue(
-                                next,
-                                self.topo.nodes,
-                                credits,
-                                &mut self.uncommitted,
-                                self.buffer_cap,
-                            );
-                        }
-                    }
-                    GlobalTokenState::Sweeping { next } => {
-                        let step = self.topo.step();
-                        let hi = (next + step).min(self.topo.nodes - 1);
-                        let has_credit = credits.is_none_or(|c| c > 0);
-                        let mut grabbed = None;
-                        if has_credit && self.queued_total > 0 {
-                            for d in next..hi {
-                                let node = self.topo.node_at_distance(self.home, d);
-                                if self.senders[node].eligible(now, fairness) {
-                                    grabbed = Some(node);
-                                    break;
-                                }
-                            }
-                        }
-                        if let Some(node) = grabbed {
-                            self.senders[node].take_grant(now, fairness);
-                            if let Some(c) = credits.as_mut() {
-                                *c -= 1;
-                            }
-                            if !self.active_senders.contains(&node) {
-                                self.active_senders.push(node);
-                            }
-                            *state = GlobalTokenState::Held { node };
-                        } else {
-                            *state = Self::wrap_or_continue(
-                                hi,
-                                self.topo.nodes,
-                                credits,
-                                &mut self.uncommitted,
-                                self.buffer_cap,
-                            );
-                        }
-                    }
-                }
-            }
-            Arbiter::Distributed { tokens } => {
-                // Fault: in-flight tokens are exposed every cycle.
-                if let Some(inj) = self.injector.as_mut() {
-                    if inj.active() && !tokens.is_empty() {
-                        let before = tokens.len();
-                        tokens.retain(|_| !inj.token_lost());
-                        let destroyed = (before - tokens.len()) as u64;
-                        if destroyed > 0 {
-                            m.faults_tokens_lost += destroyed;
-                            if self.scheme == Scheme::TokenSlot {
-                                // The home cannot observe the destruction:
-                                // each lost token's reservation stays
-                                // committed forever — a permanent leak of
-                                // buffer capacity. (DHS re-emits every
-                                // cycle, so a lost token costs one cycle of
-                                // arbitration, nothing more.)
-                                self.lost_reservations += destroyed as u32;
-                                m.credit_leaks += destroyed;
-                            }
-                        }
-                    }
-                }
-                // Emission.
-                let emit = match self.scheme {
-                    Scheme::TokenSlot => {
-                        let committed = self.input_queue.len()
-                            + self.draining as usize
-                            + self.inflight as usize
-                            + self.lost_reservations as usize
-                            + tokens.len();
-                        committed < self.buffer_cap
-                    }
-                    Scheme::Dhs { .. } => true,
-                    Scheme::DhsCirculation => !self.suppress_token,
-                    _ => unreachable!("global schemes use Arbiter::Global"),
-                };
-                self.suppress_token = false;
-                if emit {
-                    tokens.push_back(0);
-                }
-                // Sweep every live token. Windows are disjoint: the token
-                // emitted `a` cycles ago covers distances
-                // [(a)·step, (a+1)·step) this cycle... maintained per token
-                // as `next`.
-                let step = self.topo.step();
-                let nodes = self.topo.nodes;
-                let mut idx = 0;
-                while idx < tokens.len() {
-                    let next = tokens[idx];
-                    let hi = (next + step).min(nodes - 1);
-                    let mut grabbed = false;
-                    if self.queued_total > 0 {
-                        for d in next..hi {
-                            let node = self.topo.node_at_distance(self.home, d);
-                            if self.senders[node].eligible(now, fairness) {
-                                self.senders[node].take_grant(now, fairness);
-                                if !self.active_senders.contains(&node) {
-                                    self.active_senders.push(node);
-                                }
-                                if self.scheme == Scheme::TokenSlot {
-                                    self.inflight += 1;
-                                }
-                                grabbed = true;
-                                break;
-                            }
-                        }
-                    }
-                    if grabbed {
-                        tokens.remove(idx);
-                        // do not advance idx: the next token shifted in
-                    } else {
-                        tokens[idx] = hi;
-                        if hi >= nodes - 1 {
-                            // Token completed the loop un-taken and dies at
-                            // the home (the home re-emits fresh ones; for
-                            // token slot the reservation returns to the pool
-                            // implicitly).
-                            tokens.remove(idx);
-                        } else {
-                            idx += 1;
-                        }
-                    }
-                }
-            }
-        }
-    }
-
-    fn wrap_or_continue(
-        next: usize,
-        nodes: usize,
-        credits: &mut Option<u32>,
-        uncommitted: &mut u32,
-        _buffer_cap: usize,
-    ) -> GlobalTokenState {
-        if next >= nodes - 1 {
-            // Home pass: the token channel reimburses every credit freed
-            // since the last pass (paper Fig. 2a); GHS has nothing to do.
-            if let Some(c) = credits.as_mut() {
-                *c += *uncommitted;
-                *uncommitted = 0;
-            }
-            GlobalTokenState::Sweeping { next: 0 }
-        } else {
-            GlobalTokenState::Sweeping { next }
+            ArbiterKind::Global(g) => g.step(&mut self.flow, &mut cx, m),
+            ArbiterKind::Distributed(d) => d.step(&mut self.flow, &mut cx, m),
         }
     }
 
@@ -748,9 +411,7 @@ impl Channel {
         for () in self.releases.drain(now) {
             assert!(self.draining > 0, "draining underflow");
             self.draining -= 1;
-            if self.scheme == Scheme::TokenChannel {
-                self.uncommitted += 1;
-            }
+            self.flow.on_slot_freed();
         }
         // Fault: transient drain stall — the receiving core stops accepting.
         // Flits already inside the ejection router (above) still complete;
@@ -768,9 +429,7 @@ impl Channel {
             let available_at = now + self.eject_latency;
             if self.eject_latency == 0 {
                 // Zero-latency ejection frees the slot immediately.
-                if self.scheme == Scheme::TokenChannel {
-                    self.uncommitted += 1;
-                }
+                self.flow.on_slot_freed();
             } else {
                 self.draining += 1;
                 self.releases.schedule(available_at, ());
@@ -809,25 +468,33 @@ impl Channel {
                 self.queued_total
             ));
         }
-        if let Arbiter::Distributed { tokens } = &self.arbiter {
-            if self.scheme == Scheme::TokenSlot {
-                let committed = self.input_queue.len()
-                    + self.draining as usize
-                    + self.inflight as usize
-                    + self.lost_reservations as usize
-                    + tokens.len();
-                if committed > self.buffer_cap {
-                    return Err(format!(
-                        "token-slot reservation accounting violated: \
-                         {committed} committed > cap {}",
-                        self.buffer_cap
-                    ));
-                }
+        if let FlowKind::Slot(s) = &self.flow {
+            let committed = self.input_queue.len()
+                + self.draining as usize
+                + s.inflight as usize
+                + s.lost_reservations as usize
+                + self.arbiter.outstanding_tokens();
+            if committed > self.buffer_cap {
+                return Err(format!(
+                    "token-slot reservation accounting violated: \
+                     {committed} committed > cap {}",
+                    self.buffer_cap
+                ));
             }
         }
         for &n in &self.active_senders {
             if self.senders[n].granted() == 0 {
                 return Err(format!("stale active sender {n}"));
+            }
+        }
+        for (d, &n) in self.by_distance.iter().enumerate() {
+            let want = self.senders[n].sendable() > 0;
+            if self.sendable.get(d) != want {
+                return Err(format!(
+                    "sendable mask drifted at distance {d} (node {n}): \
+                     mask {}, queue {want}",
+                    self.sendable.get(d)
+                ));
             }
         }
         Ok(())
@@ -846,54 +513,53 @@ impl Channel {
     }
 
     /// Snapshot the observable state the [`crate::audit::InvariantAuditor`]
-    /// needs for its cross-field conservation checks (flit conservation,
-    /// credit/token conservation, ACK pairing).
-    pub fn audit_view(&self) -> crate::audit::ChannelAuditView {
-        let mut queue_ids = Vec::new();
-        let mut setaside_ids = Vec::new();
-        let mut unresolved_ids = Vec::new();
+    /// needs for its cross-field conservation checks, reusing `out`'s
+    /// allocations (the auditor calls this every sampled cycle).
+    pub fn audit_view_into(&self, out: &mut crate::audit::ChannelAuditView) {
+        out.home = self.home;
+        out.scheme = self.scheme;
+        out.buffer_cap = self.buffer_cap;
+        out.input_queue_ids.clear();
+        out.input_queue_ids
+            .extend(self.input_queue.iter().map(|p| p.id));
+        out.draining = self.draining;
+        out.ring_ids.clear();
+        out.ring_ids
+            .extend(self.data.iter_occupied().map(|(_, p)| p.id));
+        out.queue_ids.clear();
+        out.setaside_ids.clear();
+        out.unresolved_ids.clear();
         let mut granted_total = 0u32;
         for q in &self.senders {
-            queue_ids.extend(q.iter_queue().map(|p| p.id));
-            setaside_ids.extend(q.iter_setaside().map(|p| p.id));
-            unresolved_ids.extend(q.unresolved_ids());
+            out.queue_ids.extend(q.iter_queue().map(|p| p.id));
+            out.setaside_ids.extend(q.iter_setaside().map(|p| p.id));
+            out.unresolved_ids.extend(q.unresolved_ids());
             granted_total += q.granted();
         }
-        let (credits, outstanding_tokens) = match &self.arbiter {
-            Arbiter::Global { credits, .. } => (*credits, 0),
-            Arbiter::Distributed { tokens } => (None, tokens.len()),
-        };
-        crate::audit::ChannelAuditView {
-            home: self.home,
-            scheme: self.scheme,
-            buffer_cap: self.buffer_cap,
-            input_queue_ids: self.input_queue.iter().map(|p| p.id).collect(),
-            draining: self.draining,
-            ring_ids: self.data.iter_occupied().map(|(_, p)| p.id).collect(),
-            queue_ids,
-            setaside_ids,
-            unresolved_ids,
-            granted_total,
-            pending_acks: self
-                .acks
-                .pending_events()
-                .into_iter()
-                .map(|(_, ev)| (ev.id, ev.ok))
-                .collect(),
-            armed_timer_ids: self
-                .ack_timers
-                .iter()
-                .map(|&Reverse((_, _, id))| id)
-                .collect(),
-            credits,
-            outstanding_tokens,
-            uncommitted: self.uncommitted,
-            inflight: self.inflight,
-            lost_reservations: self.lost_reservations,
-            leaked_credits: self.leaked_credits,
-            recovery_enabled: self.recovery.enabled,
-            faults_active: self.injector.as_ref().is_some_and(ChannelInjector::active),
+        out.granted_total = granted_total;
+        out.pending_acks.clear();
+        out.armed_timer_ids.clear();
+        if let Some(h) = self.flow.handshake() {
+            out.pending_acks
+                .extend(h.acks.pending_iter().map(|(_, ev)| (ev.id, ev.ok)));
+            out.armed_timer_ids
+                .extend(h.ack_timers.iter().map(|&Reverse((_, _, id))| id));
         }
+        out.credits = self.flow.credits();
+        out.outstanding_tokens = self.arbiter.outstanding_tokens();
+        out.uncommitted = self.flow.uncommitted();
+        out.inflight = self.flow.inflight();
+        out.lost_reservations = self.flow.lost_reservations();
+        out.leaked_credits = self.flow.leaked_credits();
+        out.recovery_enabled = self.recovery.enabled;
+        out.faults_active = self.injector.as_ref().is_some_and(ChannelInjector::active);
+    }
+
+    /// Allocating convenience wrapper around [`Channel::audit_view_into`].
+    pub fn audit_view(&self) -> crate::audit::ChannelAuditView {
+        let mut out = crate::audit::ChannelAuditView::default();
+        self.audit_view_into(&mut out);
+        out
     }
 
     /// Append a canonical encoding of the channel's complete dynamic state
@@ -942,72 +608,76 @@ impl Channel {
         }
         out.push(SEP);
         out.push(u64::from(self.draining));
-        for (at, ()) in self.releases.pending_events() {
+        for (at, ()) in self.releases.pending_iter() {
             out.push(at - now);
         }
         out.push(SEP);
-        for (at, ev) in self.acks.pending_events() {
-            out.push(at - now);
-            out.push(ev.sender as u64);
-            out.push(ev.id);
-            out.push(u64::from(ev.ok));
+        if let Some(h) = self.flow.handshake() {
+            for (at, ev) in h.acks.pending_iter() {
+                out.push(at - now);
+                out.push(ev.sender as u64);
+                out.push(ev.id);
+                out.push(u64::from(ev.ok));
+            }
         }
         out.push(SEP);
         match &self.arbiter {
-            Arbiter::Global { state, credits } => {
+            ArbiterKind::Global(g) => {
                 out.push(0);
-                match *state {
-                    GlobalTokenState::Sweeping { next } => {
+                match g.state {
+                    crate::schemes::GlobalTokenState::Sweeping { next } => {
                         out.push(0);
                         out.push(next as u64);
                     }
-                    GlobalTokenState::Held { node } => {
+                    crate::schemes::GlobalTokenState::Held { node } => {
                         out.push(1);
                         out.push(node as u64);
                     }
-                    GlobalTokenState::Lost { since } => {
+                    crate::schemes::GlobalTokenState::Lost { since } => {
                         out.push(2);
                         out.push(now.saturating_sub(since));
                     }
                 }
-                out.push(credits.map_or(SEP, u64::from));
+                out.push(self.flow.credits().map_or(SEP, u64::from));
             }
-            Arbiter::Distributed { tokens } => {
+            ArbiterKind::Distributed(d) => {
                 out.push(1);
-                for &t in tokens {
+                for &t in &d.tokens {
                     out.push(t as u64);
                 }
             }
         }
         out.push(SEP);
-        let mut active = self.active_senders.clone();
-        active.sort_unstable();
-        for n in active {
-            out.push(n as u64);
-        }
+        // Canonical order without a scratch vector: sort the freshly
+        // appended suffix in place.
+        let start = out.len();
+        out.extend(self.active_senders.iter().map(|&n| n as u64));
+        out[start..].sort_unstable();
         out.push(SEP);
-        out.push(u64::from(self.uncommitted));
-        out.push(u64::from(self.inflight));
+        out.push(u64::from(self.flow.uncommitted()));
+        out.push(u64::from(self.flow.inflight()));
         out.push(u64::from(self.suppress_token));
-        out.push(u64::from(self.lost_reservations));
-        out.push(u64::from(self.leaked_credits));
+        out.push(u64::from(self.flow.lost_reservations()));
+        out.push(u64::from(self.flow.leaked_credits()));
         out.push(SEP);
-        let mut timers: Vec<(u64, u64, u64)> = self
-            .ack_timers
-            .iter()
-            .map(|&Reverse((deadline, sender, id))| {
-                (deadline.saturating_sub(now), sender as u64, id)
-            })
-            .collect();
-        timers.sort_unstable();
-        for (d, s, id) in timers {
-            out.push(d);
-            out.push(s);
-            out.push(id);
+        if let Some(h) = self.flow.handshake() {
+            let mut timers: Vec<(u64, u64, u64)> = h
+                .ack_timers
+                .iter()
+                .map(|&Reverse((deadline, sender, id))| {
+                    (deadline.saturating_sub(now), sender as u64, id)
+                })
+                .collect();
+            timers.sort_unstable();
+            for (d, s, id) in timers {
+                out.push(d);
+                out.push(s);
+                out.push(id);
+            }
         }
         out.push(SEP);
-        for &id in &self.accepted_ids {
-            out.push(id);
+        if let Some(h) = self.flow.handshake() {
+            out.extend(h.accepted_ids.iter());
         }
         out.push(SEP);
         if let Some(inj) = &self.injector {
@@ -1309,5 +979,28 @@ mod tests {
             with > without,
             "sit-out should help the far node ({with} vs {without})"
         );
+    }
+
+    #[test]
+    fn audit_view_into_reuses_buffers() {
+        let mut ch = Channel::new(0, &cfg(Scheme::Dhs { setaside: 2 }));
+        let mut m = NetworkMetrics::new();
+        let mut d = Vec::new();
+        for i in 0..6 {
+            ch.enqueue(pkt(i, 4, 0, 0));
+        }
+        run(&mut ch, &mut m, &mut d, 0, 5);
+        let mut view = crate::audit::ChannelAuditView::default();
+        ch.audit_view_into(&mut view);
+        let fresh = ch.audit_view();
+        assert_eq!(view.queue_ids, fresh.queue_ids);
+        assert_eq!(view.unresolved_ids, fresh.unresolved_ids);
+        // Refill after more cycles: stale content must be fully replaced.
+        run(&mut ch, &mut m, &mut d, 5, 20);
+        ch.audit_view_into(&mut view);
+        let fresh = ch.audit_view();
+        assert_eq!(view.queue_ids, fresh.queue_ids);
+        assert_eq!(view.input_queue_ids, fresh.input_queue_ids);
+        assert_eq!(view.pending_acks, fresh.pending_acks);
     }
 }

@@ -5,10 +5,11 @@ use pnoc_photonics::SchemeFeatures;
 use serde::{Deserialize, Serialize};
 
 /// Arbitration + flow-control scheme (paper §II-C, §III).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize, Default)]
 pub enum Scheme {
     /// Global arbitration; the single token carries the home's credits,
     /// reimbursed only when the token passes home. Baseline.
+    #[default]
     TokenChannel,
     /// Distributed arbitration; one token = one credit; the home regenerates
     /// tokens only while it has uncommitted buffer space. Baseline.

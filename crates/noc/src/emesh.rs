@@ -394,7 +394,13 @@ impl MeshNetwork {
         self.gen_buf = gen_buf;
         let offered = self.metrics.generated_measured as f64
             / (plan.measure.max(1) as f64 * self.cfg.cores() as f64);
-        RunSummary::from_metrics(&self.metrics, &[], plan.measure, self.cfg.cores(), offered)
+        RunSummary::from_metrics::<&[u64]>(
+            &self.metrics,
+            &[],
+            plan.measure,
+            self.cfg.cores(),
+            offered,
+        )
     }
 }
 

@@ -57,6 +57,7 @@ pub mod metrics;
 pub mod network;
 pub mod outqueue;
 pub mod packet;
+pub mod schemes;
 pub mod slots;
 pub mod sources;
 pub mod swmr;

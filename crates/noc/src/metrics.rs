@@ -178,10 +178,12 @@ pub struct RunSummary {
 }
 
 impl RunSummary {
-    /// Build a summary from metrics plus run geometry.
-    pub fn from_metrics(
+    /// Build a summary from metrics plus run geometry. Service counts are
+    /// accepted as anything slice-of-`u64`-shaped (`&[Vec<u64>]`,
+    /// `&[&[u64]]`) so callers can pass borrows of live counters.
+    pub fn from_metrics<S: AsRef<[u64]>>(
         m: &NetworkMetrics,
-        per_channel_service: &[Vec<u64>],
+        per_channel_service: &[S],
         measure_cycles: Cycle,
         cores: usize,
         offered_per_core: f64,
@@ -190,6 +192,7 @@ impl RunSummary {
         let throughput = m.delivered_measured as f64 / denom;
         let jains: Vec<f64> = per_channel_service
             .iter()
+            .map(AsRef::as_ref)
             .filter(|s| s.iter().any(|&c| c > 0))
             .map(|s| {
                 let v: Vec<f64> = s.iter().map(|&c| c as f64).collect();
@@ -294,7 +297,7 @@ mod tests {
         m.duplicates_suppressed = 3;
         m.credit_leaks = 7;
         assert!((m.retransmit_rate() - 0.05).abs() < 1e-12);
-        let s = RunSummary::from_metrics(&m, &[], 1000, 4, 0.1);
+        let s = RunSummary::from_metrics::<&[u64]>(&m, &[], 1000, 4, 0.1);
         assert_eq!(s.lost_packets, 10);
         assert_eq!(s.duplicates, 3);
         assert_eq!(s.timeout_retransmissions, 4);
@@ -307,7 +310,7 @@ mod tests {
         let mut m = NetworkMetrics::new();
         m.generated_measured = 1000;
         m.delivered_measured = 500; // half never finished
-        let s = RunSummary::from_metrics(&m, &[], 1000, 4, 0.5);
+        let s = RunSummary::from_metrics::<&[u64]>(&m, &[], 1000, 4, 0.5);
         assert!(s.saturated);
     }
 }

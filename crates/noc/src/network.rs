@@ -37,6 +37,13 @@ pub struct Network {
     /// [`crate::audit::InvariantAuditor`].
     #[cfg(feature = "verify-invariants")]
     auditor: crate::audit::InvariantAuditor,
+    /// Scratch channel views for the sampled audit (allocations reused
+    /// across cycles).
+    #[cfg(feature = "verify-invariants")]
+    audit_views: Vec<crate::audit::ChannelAuditView>,
+    /// Scratch pending-injection ids for the sampled audit.
+    #[cfg(feature = "verify-invariants")]
+    audit_pending: Vec<u64>,
 }
 
 impl Network {
@@ -54,6 +61,10 @@ impl Network {
             gen_buf: Vec::new(),
             #[cfg(feature = "verify-invariants")]
             auditor: crate::audit::InvariantAuditor::new(cfg.nodes),
+            #[cfg(feature = "verify-invariants")]
+            audit_views: Vec::new(),
+            #[cfg(feature = "verify-invariants")]
+            audit_pending: Vec::new(),
         })
     }
 
@@ -157,8 +168,15 @@ impl Network {
         if !self.auditor.due(now) {
             return;
         }
-        let (views, pending) = self.audit_snapshot();
-        if let Err(why) = self.auditor.check(&views, &self.metrics, &pending) {
+        // Reuse the scratch snapshot buffers across sampled cycles (taken
+        // out and put back to satisfy the borrow checker alongside `&self`).
+        let mut views = std::mem::take(&mut self.audit_views);
+        let mut pending = std::mem::take(&mut self.audit_pending);
+        self.audit_snapshot_into(&mut views, &mut pending);
+        let verdict = self.auditor.check(&views, &self.metrics, &pending);
+        self.audit_views = views;
+        self.audit_pending = pending;
+        if let Err(why) = verdict {
             panic!("invariant auditor, cycle {now}: {why}");
         }
     }
@@ -167,16 +185,27 @@ impl Network {
     /// pipeline — everything an external
     /// [`crate::audit::InvariantAuditor`] needs to run its checks against
     /// this network (the `pnoc-verify` audit pass drives this without the
-    /// `verify-invariants` feature).
+    /// `verify-invariants` feature). Refills the caller's buffers in place
+    /// so a per-cycle audit loop reuses its allocations.
+    pub fn audit_snapshot_into(
+        &self,
+        views: &mut Vec<crate::audit::ChannelAuditView>,
+        pending: &mut Vec<u64>,
+    ) {
+        views.resize_with(self.channels.len(), Default::default);
+        for (ch, view) in self.channels.iter().zip(views.iter_mut()) {
+            ch.audit_view_into(view);
+        }
+        pending.clear();
+        pending.extend(self.inject_cal.pending_iter().map(|(_, p)| p.id));
+    }
+
+    /// Allocating convenience wrapper around [`Network::audit_snapshot_into`].
     pub fn audit_snapshot(&self) -> (Vec<crate::audit::ChannelAuditView>, Vec<u64>) {
-        (
-            self.channels.iter().map(Channel::audit_view).collect(),
-            self.inject_cal
-                .pending_events()
-                .into_iter()
-                .map(|(_, p)| p.id)
-                .collect(),
-        )
+        let mut views = Vec::new();
+        let mut pending = Vec::new();
+        self.audit_snapshot_into(&mut views, &mut pending);
+        (views, pending)
     }
 
     /// Packets delivered by the most recent [`Network::step`].
@@ -190,10 +219,11 @@ impl Network {
     }
 
     /// Per-channel measured service counts by sender node (fairness).
-    pub fn service_counts(&self) -> Vec<Vec<u64>> {
+    /// Borrows the channels' live counters — no copies.
+    pub fn service_counts(&self) -> Vec<&[u64]> {
         self.channels
             .iter()
-            .map(|c| c.served_by_sender.clone())
+            .map(|c| c.served_by_sender.as_slice())
             .collect()
     }
 

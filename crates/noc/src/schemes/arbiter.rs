@@ -1,0 +1,323 @@
+//! Arbitration: which sender may transmit on a channel next.
+//!
+//! The paper's schemes split along a second axis, orthogonal to flow
+//! control: *global* arbitration (one token relayed among all senders —
+//! token channel, GHS) versus *distributed* arbitration (the home emits a
+//! stream of tokens that sweep the ring — token slot, DHS, DHS with
+//! circulation). This module owns the token state machines:
+//!
+//! * [`GlobalArbiter`] — the single sweeping/held/lost token, including the
+//!   loss watchdog that re-emits a replacement after two silent loop times;
+//! * [`DistributedArbiter`] — the oldest-first token queue, per-cycle
+//!   emission (gated by the flow layer), disjoint window sweeps, and a bulk
+//!   fast path for idle cycles;
+//! * [`ArbiterKind`] — the construction-time dispatch wrapper chosen once
+//!   in [`super::build`].
+//!
+//! Arbiters issue *grants* (via [`crate::outqueue::OutQueue::take_grant`])
+//! and maintain the channel's active-sender list; everything about buffer
+//! space lives in [`super::flow`]. The two layers meet at narrow hooks
+//! ([`FlowKind::has_credit`], [`FlowKind::may_emit`], …) so a new scheme
+//! combination is a new pairing, not a new `Channel`.
+
+use crate::config::FairnessPolicy;
+use crate::metrics::NetworkMetrics;
+use crate::outqueue::OutQueue;
+use pnoc_faults::ChannelInjector;
+use pnoc_sim::Cycle;
+use std::collections::VecDeque;
+
+use super::flow::FlowKind;
+use super::sendable::SendableSet;
+
+/// State of the single global-arbitration token (token channel, GHS).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum GlobalTokenState {
+    /// Travelling; `next` is the first downstream distance not yet examined.
+    Sweeping {
+        /// First downstream distance the token has not yet examined.
+        next: usize,
+    },
+    /// Held by the sender at the given node while it transmits.
+    Held {
+        /// Node currently holding the token.
+        node: usize,
+    },
+    /// Destroyed by an injected fault; the home re-emits a replacement after
+    /// a watchdog period of two silent loop times.
+    Lost {
+        /// Cycle the token was destroyed.
+        since: Cycle,
+    },
+}
+
+/// What the arbiters may touch while sweeping tokens. Field-level borrows
+/// of the owning [`crate::channel::Channel`], plus its precomputed ring
+/// lookup tables — the sweep loops run every cycle and must not divide.
+#[derive(Debug)]
+pub struct TokenCx<'a> {
+    /// Current cycle.
+    pub now: Cycle,
+    /// Fairness policy senders are checked against.
+    pub fairness: FairnessPolicy,
+    /// Node count.
+    pub nodes: usize,
+    /// Nodes a token passes per cycle (`nodes / segments`).
+    pub step: usize,
+    /// Watchdog period for global-token loss (two handshake delays).
+    pub watchdog: Cycle,
+    /// Downstream distance → node id (precomputed, `nodes - 1` entries).
+    pub by_distance: &'a [usize],
+    /// Node id → downstream distance from home (precomputed).
+    pub dist_of: &'a [usize],
+    /// Per-sender output queues.
+    pub senders: &'a mut [OutQueue],
+    /// Senders with unconsumed grants.
+    pub active: &'a mut Vec<usize>,
+    /// Exact mask of senders with sendable work, by distance — the sweep
+    /// loops probe only its set bits, and grants refresh it.
+    pub sendable: &'a mut SendableSet,
+    /// Home buffer occupancy (queued + draining), for the emission gate.
+    pub buffered: usize,
+    /// Home buffer capacity.
+    pub buffer_cap: usize,
+    /// Channel flag: a circulation reinjection suppresses this cycle's
+    /// token emission.
+    pub suppress_token: &'a mut bool,
+    /// Fault injection, if live on this channel.
+    pub injector: Option<&'a mut ChannelInjector>,
+}
+
+impl TokenCx<'_> {
+    /// Grant the channel to `node` and put it on the active list.
+    #[inline]
+    fn grant(&mut self, node: usize) {
+        self.senders[node].take_grant(self.now, self.fairness);
+        if !self.active.contains(&node) {
+            self.active.push(node);
+        }
+        // A grant consumes sendable headroom (the transmission it owes).
+        self.sendable
+            .set(self.dist_of[node], self.senders[node].sendable() > 0);
+    }
+
+    /// First sender in the distance window `[lo, hi)` that may take a token
+    /// right now. The mask prunes to senders with sendable work; `eligible`
+    /// stays authoritative (fairness sit-outs are time-dependent).
+    #[inline]
+    fn first_eligible_in(&self, lo: usize, hi: usize) -> Option<usize> {
+        let mut d = lo;
+        while let Some(hit) = self.sendable.first_in(d, hi) {
+            let node = self.by_distance[hit];
+            if self.senders[node].eligible(self.now, self.fairness) {
+                return Some(node);
+            }
+            d = hit + 1;
+        }
+        None
+    }
+}
+
+/// The single-token state machine (token channel, GHS). Credits, if any,
+/// live in the paired [`FlowKind`]; the arbiter asks before granting.
+#[derive(Debug, Clone)]
+pub struct GlobalArbiter {
+    /// Current token state.
+    pub state: GlobalTokenState,
+}
+
+impl GlobalArbiter {
+    /// A fresh token sweeping from the node just past the home.
+    pub fn new() -> Self {
+        Self {
+            state: GlobalTokenState::Sweeping { next: 0 },
+        }
+    }
+
+    /// One cycle of token relay: fault exposure, watchdog re-emission,
+    /// hold/release, and the sweep window.
+    pub fn step(&mut self, flow: &mut FlowKind, cx: &mut TokenCx<'_>, m: &mut NetworkMetrics) {
+        // Fault: the circulating token is destroyed. Only a sweeping token
+        // is exposed (a held one is latched at its sender).
+        if let Some(inj) = cx.injector.as_deref_mut() {
+            if inj.active()
+                && matches!(self.state, GlobalTokenState::Sweeping { .. })
+                && inj.token_lost()
+            {
+                m.faults_tokens_lost += 1;
+                flow.on_sweeping_token_lost(m);
+                self.state = GlobalTokenState::Lost { since: cx.now };
+            }
+        }
+        match self.state {
+            GlobalTokenState::Lost { since } => {
+                // Watchdog: after two silent loop times the home emits a
+                // replacement. It cannot know how many credits died with
+                // the old token, so the replacement starts empty and must
+                // live off future ejection reimbursements.
+                if cx.now.saturating_sub(since) >= cx.watchdog {
+                    self.state = GlobalTokenState::Sweeping { next: 0 };
+                }
+            }
+            GlobalTokenState::Held { node } => {
+                let has_credit = flow.has_credit();
+                let q = &mut cx.senders[node];
+                if q.granted() > 0 {
+                    // Transmission still owed; keep holding.
+                } else if has_credit && q.eligible(cx.now, cx.fairness) {
+                    cx.grant(node);
+                    flow.spend_credit();
+                } else {
+                    // Release: the token resumes its sweep from just past
+                    // the holder; downstream nodes see it from the next
+                    // cycle (paper Fig. 3c→d).
+                    let next = cx.dist_of[node] + 1;
+                    self.state = Self::wrap_or_continue(next, cx.nodes, flow);
+                }
+            }
+            GlobalTokenState::Sweeping { next } => {
+                let hi = (next + cx.step).min(cx.nodes - 1);
+                let mut grabbed = None;
+                if flow.has_credit() {
+                    grabbed = cx.first_eligible_in(next, hi);
+                }
+                if let Some(node) = grabbed {
+                    cx.grant(node);
+                    flow.spend_credit();
+                    self.state = GlobalTokenState::Held { node };
+                } else {
+                    self.state = Self::wrap_or_continue(hi, cx.nodes, flow);
+                }
+            }
+        }
+    }
+
+    /// Continue the sweep at `next`, wrapping past the home (which
+    /// reimburses credits via [`FlowKind::on_home_pass`]).
+    fn wrap_or_continue(next: usize, nodes: usize, flow: &mut FlowKind) -> GlobalTokenState {
+        if next >= nodes - 1 {
+            flow.on_home_pass();
+            GlobalTokenState::Sweeping { next: 0 }
+        } else {
+            GlobalTokenState::Sweeping { next }
+        }
+    }
+}
+
+impl Default for GlobalArbiter {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// The token-stream state machine (token slot, DHS, DHS with circulation):
+/// tokens indexed oldest-first, each holding the first downstream distance
+/// not yet examined.
+#[derive(Debug, Clone, Default)]
+pub struct DistributedArbiter {
+    /// Live tokens, oldest first (positions strictly decrease toward the
+    /// back: each token advances one window per cycle and new ones start
+    /// at distance 0).
+    pub tokens: VecDeque<usize>,
+}
+
+impl DistributedArbiter {
+    /// An arbiter with no tokens in flight (the home emits from cycle 0).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// One cycle of the token stream: fault exposure, emission (gated by
+    /// the flow layer), and every live token's window sweep.
+    pub fn step(&mut self, flow: &mut FlowKind, cx: &mut TokenCx<'_>, m: &mut NetworkMetrics) {
+        // Fault: in-flight tokens are exposed every cycle.
+        if let Some(inj) = cx.injector.as_deref_mut() {
+            if inj.active() && !self.tokens.is_empty() {
+                let before = self.tokens.len();
+                self.tokens.retain(|_| !inj.token_lost());
+                let destroyed = before - self.tokens.len();
+                if destroyed > 0 {
+                    m.faults_tokens_lost += destroyed as u64;
+                    flow.on_tokens_destroyed(destroyed, m);
+                }
+            }
+        }
+        // Emission.
+        let emit = flow.may_emit(
+            cx.buffered,
+            self.tokens.len(),
+            cx.buffer_cap,
+            *cx.suppress_token,
+        );
+        *cx.suppress_token = false;
+        if emit {
+            self.tokens.push_back(0);
+        }
+        // Sweep every live token. Windows are disjoint: the token emitted
+        // `a` cycles ago covers distances [a·step, (a+1)·step) this cycle,
+        // maintained per token as `next`.
+        if !cx.sendable.any() {
+            // Fast path: with no sender holding sendable work — queues
+            // empty, or (basic GHS/DHS) every head blocked on a pending
+            // handshake — no token can be taken, so every window sweep
+            // trivially fails; advance the whole stream in bulk. Positions
+            // strictly decrease from front to back, so the tokens that die
+            // at the home this cycle (`next + step` reaching the last
+            // distance) are exactly a front prefix.
+            debug_assert!(self.tokens.iter().is_sorted_by(|a, b| a >= b));
+            let die_at = (cx.nodes - 1).saturating_sub(cx.step);
+            while self.tokens.front().is_some_and(|&t| t >= die_at) {
+                self.tokens.pop_front();
+            }
+            for t in &mut self.tokens {
+                *t += cx.step;
+            }
+            return;
+        }
+        let mut idx = 0;
+        while idx < self.tokens.len() {
+            let next = self.tokens[idx];
+            let hi = (next + cx.step).min(cx.nodes - 1);
+            let mut grabbed = false;
+            if let Some(node) = cx.first_eligible_in(next, hi) {
+                cx.grant(node);
+                flow.on_grant();
+                grabbed = true;
+            }
+            if grabbed {
+                self.tokens.remove(idx);
+                // do not advance idx: the next token shifted in
+            } else {
+                self.tokens[idx] = hi;
+                if hi >= cx.nodes - 1 {
+                    // Token completed the loop un-taken and dies at the
+                    // home (the home re-emits fresh ones; for token slot
+                    // the reservation returns to the pool implicitly).
+                    self.tokens.remove(idx);
+                } else {
+                    idx += 1;
+                }
+            }
+        }
+    }
+}
+
+/// Construction-time arbitration dispatch (see module docs).
+#[derive(Debug, Clone)]
+pub enum ArbiterKind {
+    /// One token relayed among all senders (token channel, GHS).
+    Global(GlobalArbiter),
+    /// A stream of tokens swept from the home (token slot, DHS variants).
+    Distributed(DistributedArbiter),
+}
+
+impl ArbiterKind {
+    /// Live distributed tokens (0 under global arbitration).
+    #[inline]
+    pub fn outstanding_tokens(&self) -> usize {
+        match self {
+            ArbiterKind::Global(_) => 0,
+            ArbiterKind::Distributed(d) => d.tokens.len(),
+        }
+    }
+}

@@ -1,0 +1,528 @@
+//! Flow control: how a sender's packet claims (and releases) home buffer
+//! space.
+//!
+//! The paper's schemes split along one axis: *credit reservation* (a token
+//! carries or embodies guaranteed buffer space, so arrivals can never
+//! overflow) versus *handshake* (senders transmit optimistically and the
+//! home answers with an ACK/NACK `R + 1` cycles later). This module owns
+//! everything on that axis:
+//!
+//! * [`CreditFlow`] — the token channel's credit ledger (credits riding the
+//!   token, uncommitted reimbursements, fault leaks);
+//! * [`SlotFlow`] — the token slot's distributed reservations (one token =
+//!   one committed buffer slot, in-flight accounting, lost reservations);
+//! * [`HandshakeFlow`] — GHS/DHS: the ACK/NACK calendar, sender-side
+//!   retransmit timers, and the accepted-id set for duplicate suppression;
+//! * [`FlowKind`] — the construction-time dispatch wrapper. The variant is
+//!   chosen once in [`super::build`]; per-cycle hooks are direct enum
+//!   branches, never a re-match on [`crate::config::Scheme`].
+//!
+//! The arbiter side of a scheme (who may transmit next) lives in
+//! [`super::arbiter`]; a [`crate::channel::Channel`] composes one of each.
+
+use crate::calendar::Calendar;
+use crate::metrics::NetworkMetrics;
+use crate::outqueue::{OutQueue, TimeoutAction};
+use crate::packet::Packet;
+use crate::slots::SlotRing;
+use pnoc_faults::{AckFate, ChannelInjector, RecoveryConfig};
+use pnoc_sim::Cycle;
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, VecDeque};
+
+use super::idset::SortedIdSet;
+use super::sendable::SendableSet;
+
+/// An ACK/NACK in flight on the handshake channel.
+#[derive(Debug, Clone, Copy)]
+pub struct AckEvent {
+    /// Sender node the handshake addresses.
+    pub sender: usize,
+    /// Packet id the handshake resolves.
+    pub id: u64,
+    /// `true` = ACK (accepted), `false` = NACK (dropped or corrupt).
+    pub ok: bool,
+}
+
+/// Token-channel credit ledger: the home's `input_buffer` credits ride the
+/// global token and are reimbursed only when the token passes home.
+#[derive(Debug, Clone)]
+pub struct CreditFlow {
+    /// Credits currently riding the token.
+    pub credits: u32,
+    /// Credits freed by ejections, awaiting the token's next home pass.
+    pub uncommitted: u32,
+    /// Credits permanently destroyed by faults (flits lost while holding a
+    /// reservation, credits riding a destroyed token). Balances the
+    /// conservation invariant `credits + uncommitted + outstanding + leaked
+    /// == buffer_cap`.
+    pub leaked: u32,
+}
+
+impl CreditFlow {
+    /// A fresh ledger holding all `credits`.
+    pub fn new(credits: u32) -> Self {
+        Self {
+            credits,
+            uncommitted: 0,
+            leaked: 0,
+        }
+    }
+}
+
+/// Token-slot reservations: each distributed token embodies one committed
+/// buffer slot.
+#[derive(Debug, Clone, Default)]
+pub struct SlotFlow {
+    /// Reservations travelling with granted tokens / flits in flight.
+    pub inflight: u32,
+    /// Reservations destroyed by token-loss faults. The home cannot observe
+    /// the destruction, so the slots stay committed forever — this is the
+    /// credit leak the handshake schemes are immune to.
+    pub lost_reservations: u32,
+}
+
+/// GHS/DHS handshake state: ACK/NACK events in flight, sender-side
+/// retransmit timers, and the accepted-id set for duplicate suppression.
+#[derive(Debug, Clone)]
+pub struct HandshakeFlow {
+    /// Handshake events in flight.
+    pub acks: Calendar<AckEvent>,
+    /// Armed ACK timers, earliest deadline first: `(deadline, sender, id)`.
+    /// Entries are validated lazily against the sender queue when they
+    /// fire, so stale timers (handshake arrived first) are harmless.
+    pub ack_timers: BinaryHeap<Reverse<(Cycle, usize, u64)>>,
+    /// Packet ids already accepted into the input buffer, kept while
+    /// recovery is enabled so a retransmission after a *lost ACK* is
+    /// discarded (and re-ACKed) instead of delivered twice.
+    pub accepted_ids: SortedIdSet,
+    /// Whether the scheme uses setaside buffers (`setaside > 0`): sent
+    /// packets leave the queue at transmission and return on NACK, instead
+    /// of blocking the head until their handshake resolves.
+    pub setaside: bool,
+}
+
+impl HandshakeFlow {
+    /// Handshake state for a ring of `segments` segments (the calendar
+    /// horizon covers the fixed `segments + 1` handshake delay).
+    pub fn new(segments: usize, setaside: bool) -> Self {
+        Self {
+            acks: Calendar::new(segments + 2),
+            ack_timers: BinaryHeap::new(),
+            accepted_ids: SortedIdSet::new(),
+            setaside,
+        }
+    }
+
+    /// Deliver this cycle's handshakes to their senders, then fire expired
+    /// ACK timers. `queued_total` is the channel's cached cross-sender
+    /// backlog, adjusted here exactly as the send-mode bookkeeping demands;
+    /// `sendable` is the channel's sendable-sender mask, refreshed after
+    /// every queue mutation (ACKs unblock `HoldHead` heads, NACKs and
+    /// timeouts re-queue setaside packets).
+    #[allow(clippy::too_many_arguments)]
+    pub fn phase_acks(
+        &mut self,
+        now: Cycle,
+        senders: &mut [OutQueue],
+        dist_of: &[usize],
+        sendable: &mut SendableSet,
+        queued_total: &mut usize,
+        mut injector: Option<&mut ChannelInjector>,
+        recovery: &RecoveryConfig,
+        handshake_delay: Cycle,
+        m: &mut NetworkMetrics,
+    ) {
+        let setaside = self.setaside;
+        for ev in self.acks.drain(now) {
+            // Handshake-channel fault: the pulse never reaches the sender.
+            // The sender learns nothing; with recovery enabled its ACK timer
+            // eventually retransmits, without it the packet wedges.
+            if let Some(inj) = injector.as_deref_mut() {
+                if inj.active() && inj.ack_fate(handshake_delay) == AckFate::Lost {
+                    m.faults_acks_lost += 1;
+                    continue;
+                }
+            }
+            let q = &mut senders[ev.sender];
+            if ev.ok {
+                if q.ack(ev.id).is_some() {
+                    // HoldHead keeps the packet queued until the ACK:
+                    // account for its departure now. Setaside removed it
+                    // from the queue at transmission time.
+                    if !setaside {
+                        *queued_total -= 1;
+                    }
+                } else {
+                    // A re-ACK for a suppressed duplicate can land after the
+                    // first ACK already released the packet; only recovery
+                    // produces that. Always-on: an unexpected ACK in a
+                    // recovery-free run means the handshake FSM desynced.
+                    assert!(recovery.enabled, "ACK for unknown packet {}", ev.id);
+                }
+            } else if q.nack(ev.id) {
+                m.retransmissions += 1;
+                // Setaside NACK pushes the packet back into the queue.
+                if setaside {
+                    *queued_total += 1;
+                }
+            } else {
+                // The packet already timed out and retransmitted; this NACK
+                // answers a transmission the sender no longer tracks. Only
+                // recovery can produce that race.
+                assert!(recovery.enabled, "NACK for unknown packet {}", ev.id);
+            }
+            sendable.set(dist_of[ev.sender], senders[ev.sender].sendable() > 0);
+        }
+        // Expired ACK timers (armed per transmission when recovery is on).
+        // A timer firing while the packet still awaits its handshake means
+        // the flit or its ACK was lost: retransmit, like a NACK, under
+        // exponential backoff and a bounded retry budget.
+        while let Some(&Reverse((deadline, sender, id))) = self.ack_timers.peek() {
+            if deadline > now {
+                break;
+            }
+            self.ack_timers.pop();
+            match senders[sender].timeout(id, recovery.max_retries) {
+                TimeoutAction::Retry => {
+                    m.timeout_retransmissions += 1;
+                    // Setaside: the packet moved back from setaside into the
+                    // queue, mirroring the NACK bookkeeping above.
+                    if setaside {
+                        *queued_total += 1;
+                    }
+                }
+                TimeoutAction::Abandon => {
+                    m.abandoned += 1;
+                    // A HoldHead abandon pops the pending head off the queue.
+                    if !setaside {
+                        *queued_total -= 1;
+                    }
+                }
+                TimeoutAction::Stale => {}
+            }
+            sendable.set(dist_of[sender], senders[sender].sendable() > 0);
+        }
+    }
+}
+
+/// What the flow-control layer may touch while deciding an arrival's fate.
+/// Field-level borrows keep the hot path free of whole-`Channel` aliasing.
+#[derive(Debug)]
+pub struct ArrivalCx<'a> {
+    /// Current cycle.
+    pub now: Cycle,
+    /// The home's ring segment (for circulation reinjects).
+    pub home_seg: usize,
+    /// Fixed handshake delay (`segments + 1`).
+    pub handshake_delay: Cycle,
+    /// Whether timeout/retransmit recovery is armed.
+    pub recovery_enabled: bool,
+    /// Whether the home buffer has room (queued + draining < capacity).
+    pub has_room: bool,
+    /// The home input buffer.
+    pub input_queue: &'a mut VecDeque<Packet>,
+    /// The data ring (circulation puts rejected flits back).
+    pub data: &'a mut SlotRing<Packet>,
+    /// Channel flag: a reinjection this cycle suppresses token emission.
+    pub suppress_token: &'a mut bool,
+}
+
+/// Construction-time flow-control dispatch (see module docs).
+#[derive(Debug, Clone)]
+pub enum FlowKind {
+    /// Token channel: credits ride the global token.
+    Credit(CreditFlow),
+    /// Token slot: one distributed token = one committed buffer slot.
+    Slot(SlotFlow),
+    /// GHS/DHS: ACK/NACK handshake with optional setaside buffers.
+    Handshake(HandshakeFlow),
+    /// DHS with circulation: no handshake, no reservation — a full home
+    /// reinjects the flit into its own data channel.
+    Circulation,
+}
+
+impl FlowKind {
+    /// The handshake state, if this is a handshake scheme.
+    #[inline]
+    pub fn handshake(&self) -> Option<&HandshakeFlow> {
+        match self {
+            FlowKind::Handshake(h) => Some(h),
+            _ => None,
+        }
+    }
+
+    /// Mutable access to the handshake state.
+    #[inline]
+    pub fn handshake_mut(&mut self) -> Option<&mut HandshakeFlow> {
+        match self {
+            FlowKind::Handshake(h) => Some(h),
+            _ => None,
+        }
+    }
+
+    /// Whether a grant may be issued right now (token channel: a credit
+    /// must ride the token; every other scheme gates elsewhere).
+    #[inline]
+    pub fn has_credit(&self) -> bool {
+        match self {
+            FlowKind::Credit(c) => c.credits > 0,
+            _ => true,
+        }
+    }
+
+    /// A grant was issued by the *global* arbiter: spend the credit it
+    /// carries.
+    #[inline]
+    pub fn spend_credit(&mut self) {
+        if let FlowKind::Credit(c) = self {
+            c.credits -= 1;
+        }
+    }
+
+    /// A grant was issued by the *distributed* arbiter: the token slot's
+    /// reservation starts travelling with the grant.
+    #[inline]
+    pub fn on_grant(&mut self) {
+        if let FlowKind::Slot(s) = self {
+            s.inflight += 1;
+        }
+    }
+
+    /// The global token passed home: the token channel reimburses every
+    /// credit freed since the last pass (paper Fig. 2a); GHS has nothing
+    /// to do.
+    #[inline]
+    pub fn on_home_pass(&mut self) {
+        if let FlowKind::Credit(c) = self {
+            c.credits += c.uncommitted;
+            c.uncommitted = 0;
+        }
+    }
+
+    /// A buffer slot was freed by an ejection; for the token channel it
+    /// becomes a reimbursable credit on the token's next home pass.
+    #[inline]
+    pub fn on_slot_freed(&mut self) {
+        if let FlowKind::Credit(c) = self {
+            c.uncommitted += 1;
+        }
+    }
+
+    /// The sweeping global token was destroyed by a fault. Token-channel
+    /// credits ride on the token and die with it — an unrecoverable leak.
+    /// (The GHS token carries nothing; it is fully replaced.)
+    #[inline]
+    pub fn on_sweeping_token_lost(&mut self, m: &mut NetworkMetrics) {
+        if let FlowKind::Credit(c) = self {
+            m.credit_leaks += u64::from(c.credits);
+            c.leaked += c.credits;
+            c.credits = 0;
+        }
+    }
+
+    /// `destroyed` distributed tokens were lost to faults. The token slot's
+    /// reservations stay committed forever — a permanent leak of buffer
+    /// capacity. (DHS re-emits every cycle, so a lost token costs one cycle
+    /// of arbitration, nothing more.)
+    #[inline]
+    pub fn on_tokens_destroyed(&mut self, destroyed: usize, m: &mut NetworkMetrics) {
+        if let FlowKind::Slot(s) = self {
+            s.lost_reservations += destroyed as u32;
+            m.credit_leaks += destroyed as u64;
+        }
+    }
+
+    /// Whether the home may emit a distributed token this cycle:
+    /// the token slot regenerates only while it has uncommitted buffer
+    /// space; DHS emits unconditionally; circulation skips the cycle a
+    /// reinjection virtually consumed.
+    #[inline]
+    pub fn may_emit(
+        &self,
+        buffered: usize,
+        tokens_out: usize,
+        buffer_cap: usize,
+        suppressed: bool,
+    ) -> bool {
+        match self {
+            FlowKind::Slot(s) => {
+                let committed =
+                    buffered + s.inflight as usize + s.lost_reservations as usize + tokens_out;
+                committed < buffer_cap
+            }
+            FlowKind::Handshake(_) => true,
+            FlowKind::Circulation => !suppressed,
+            FlowKind::Credit(_) => {
+                unreachable!("global credit flow never pairs with distributed arbitration")
+            }
+        }
+    }
+
+    /// A flit was destroyed in flight: the home never sees it, so no
+    /// handshake fires and no buffer slot is touched; reservation-carrying
+    /// schemes leak the space it had claimed.
+    #[inline]
+    pub fn on_data_lost(&mut self, m: &mut NetworkMetrics) {
+        match self {
+            // The credit reserved for this flit can never be reimbursed
+            // (the slot is never occupied, so it is never ejected): a
+            // permanent leak.
+            FlowKind::Credit(c) => {
+                c.leaked += 1;
+                m.credit_leaks += 1;
+            }
+            // The in-flight reservation is never returned (`inflight`
+            // stays elevated forever).
+            FlowKind::Slot(_) => m.credit_leaks += 1,
+            // Handshake senders recover by ACK timeout; circulation has no
+            // sender copy — a true loss.
+            FlowKind::Handshake(_) | FlowKind::Circulation => {}
+        }
+    }
+
+    /// A flit arrived corrupted (CRC failure at the home).
+    #[inline]
+    pub fn on_data_corrupt(&mut self, pkt: &Packet, handshake_delay: Cycle) {
+        match self {
+            // Discarded at the home; generously return the credit (the flit
+            // itself is still gone for good — credit schemes cannot ask for
+            // a retransmission).
+            FlowKind::Credit(c) => c.uncommitted += 1,
+            FlowKind::Slot(s) => {
+                assert!(s.inflight > 0, "inflight underflow");
+                s.inflight -= 1;
+            }
+            // CRC failure ⇒ NACK; the sender retransmits exactly as after a
+            // full-buffer drop.
+            FlowKind::Handshake(h) => {
+                h.acks.schedule(
+                    pkt.sent_at + handshake_delay,
+                    AckEvent {
+                        sender: pkt.src_node as usize,
+                        id: pkt.id,
+                        ok: false,
+                    },
+                );
+            }
+            FlowKind::Circulation => {}
+        }
+    }
+
+    /// An intact, non-duplicate flit reached the home: accept it into the
+    /// buffer, or apply the scheme's rejection behaviour (handshake NACK /
+    /// circulation reinject). Credit-reserved schemes can never reject.
+    pub fn accept(&mut self, mut pkt: Packet, cx: &mut ArrivalCx<'_>, m: &mut NetworkMetrics) {
+        match self {
+            FlowKind::Credit(_) | FlowKind::Slot(_) => {
+                // Credit-reserved: space is guaranteed by construction.
+                // Always-on check: a violation here means corrupted credit
+                // state, which a release-mode harness run must not silently
+                // pass through.
+                assert!(cx.has_room, "reservation accounting violated");
+                if let FlowKind::Slot(s) = self {
+                    assert!(s.inflight > 0, "inflight underflow");
+                    s.inflight -= 1;
+                }
+                cx.input_queue.push_back(pkt);
+            }
+            FlowKind::Handshake(h) => {
+                let ack_at = pkt.sent_at + cx.handshake_delay;
+                debug_assert!(ack_at > cx.now, "handshake must arrive in the future");
+                if cx.has_room {
+                    h.acks.schedule(
+                        ack_at,
+                        AckEvent {
+                            sender: pkt.src_node as usize,
+                            id: pkt.id,
+                            ok: true,
+                        },
+                    );
+                    if cx.recovery_enabled {
+                        h.accepted_ids.insert(pkt.id);
+                    }
+                    cx.input_queue.push_back(pkt);
+                } else {
+                    // Drop; the sender retransmits on NACK (§III-A).
+                    m.drops += 1;
+                    h.acks.schedule(
+                        ack_at,
+                        AckEvent {
+                            sender: pkt.src_node as usize,
+                            id: pkt.id,
+                            ok: false,
+                        },
+                    );
+                }
+            }
+            FlowKind::Circulation => {
+                if cx.has_room {
+                    cx.input_queue.push_back(pkt);
+                } else {
+                    // Reinject: the packet stays on the ring for another
+                    // loop; the home consumes this cycle's token virtually
+                    // (§III-C).
+                    pkt.sends += 1;
+                    pkt.sent_at = cx.now; // next arrival check in R cycles
+                    cx.data.put(cx.home_seg, pkt);
+                    *cx.suppress_token = true;
+                    m.circulations += 1;
+                }
+            }
+        }
+    }
+
+    /// Handshake events still in flight (0 for handshake-free schemes).
+    #[inline]
+    pub fn pending_acks(&self) -> usize {
+        match self {
+            FlowKind::Handshake(h) => h.acks.pending(),
+            _ => 0,
+        }
+    }
+
+    /// Credits riding the global token (token channel only).
+    #[inline]
+    pub fn credits(&self) -> Option<u32> {
+        match self {
+            FlowKind::Credit(c) => Some(c.credits),
+            _ => None,
+        }
+    }
+
+    /// Credits freed by ejections, awaiting the token (token channel only).
+    #[inline]
+    pub fn uncommitted(&self) -> u32 {
+        match self {
+            FlowKind::Credit(c) => c.uncommitted,
+            _ => 0,
+        }
+    }
+
+    /// Reservations travelling with grants / flits (token slot only).
+    #[inline]
+    pub fn inflight(&self) -> u32 {
+        match self {
+            FlowKind::Slot(s) => s.inflight,
+            _ => 0,
+        }
+    }
+
+    /// Reservations destroyed by token-loss faults (token slot only).
+    #[inline]
+    pub fn lost_reservations(&self) -> u32 {
+        match self {
+            FlowKind::Slot(s) => s.lost_reservations,
+            _ => 0,
+        }
+    }
+
+    /// Credits permanently destroyed by faults (token channel only).
+    #[inline]
+    pub fn leaked_credits(&self) -> u32 {
+        match self {
+            FlowKind::Credit(c) => c.leaked,
+            _ => 0,
+        }
+    }
+}

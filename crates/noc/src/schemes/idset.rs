@@ -1,0 +1,121 @@
+//! A deterministic sorted-vec id set for duplicate suppression.
+//!
+//! The home keeps the set of packet ids it has accepted while
+//! timeout/retransmit recovery is enabled, so a retransmission whose
+//! original ACK was lost is discarded instead of delivered twice. The set
+//! must iterate in a canonical order (the model checker's state keys are
+//! built from it, and the determinism lint `no-unordered-collections` bans
+//! hash collections in simulation state), and membership tests sit on the
+//! per-arrival hot path.
+//!
+//! A sorted `Vec<u64>` beats the previous `BTreeSet<u64>` here: membership
+//! is a cache-friendly binary search over contiguous memory, iteration is a
+//! linear scan in id order, and — because packet ids are allocated by a
+//! monotone counter — inserts land at or near the tail, so the amortized
+//! shift cost stays small.
+
+/// A set of `u64` ids stored as a sorted vector (see module docs).
+#[derive(Debug, Clone, Default)]
+pub struct SortedIdSet {
+    ids: Vec<u64>,
+}
+
+impl SortedIdSet {
+    /// An empty set.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Whether `id` is in the set.
+    #[inline]
+    pub fn contains(&self, id: u64) -> bool {
+        // Fast path: ids arrive in roughly increasing order, so most probes
+        // are beyond the current maximum.
+        match self.ids.last() {
+            None => false,
+            Some(&max) if id > max => false,
+            Some(&max) if id == max => true,
+            _ => self.ids.binary_search(&id).is_ok(),
+        }
+    }
+
+    /// Insert `id`; returns `false` if it was already present.
+    pub fn insert(&mut self, id: u64) -> bool {
+        if self.ids.last().is_none_or(|&max| id > max) {
+            self.ids.push(id);
+            return true;
+        }
+        match self.ids.binary_search(&id) {
+            Ok(_) => false,
+            Err(pos) => {
+                self.ids.insert(pos, id);
+                true
+            }
+        }
+    }
+
+    /// Remove every id, keeping the allocation.
+    pub fn clear(&mut self) {
+        self.ids.clear();
+    }
+
+    /// Number of ids in the set.
+    pub fn len(&self) -> usize {
+        self.ids.len()
+    }
+
+    /// Whether the set is empty.
+    pub fn is_empty(&self) -> bool {
+        self.ids.is_empty()
+    }
+
+    /// Iterate the ids in increasing order.
+    pub fn iter(&self) -> impl Iterator<Item = u64> + '_ {
+        self.ids.iter().copied()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_contains_and_order() {
+        let mut s = SortedIdSet::new();
+        assert!(s.is_empty());
+        for id in [5u64, 1, 9, 3, 9, 5] {
+            s.insert(id);
+        }
+        assert_eq!(s.len(), 4, "duplicates are not stored twice");
+        for id in [1u64, 3, 5, 9] {
+            assert!(s.contains(id));
+        }
+        for id in [0u64, 2, 4, 8, 10] {
+            assert!(!s.contains(id));
+        }
+        let ordered: Vec<u64> = s.iter().collect();
+        assert_eq!(ordered, vec![1, 3, 5, 9], "iteration is in id order");
+    }
+
+    #[test]
+    fn insert_reports_novelty_and_clear_resets() {
+        let mut s = SortedIdSet::new();
+        assert!(s.insert(7));
+        assert!(!s.insert(7));
+        assert!(s.insert(2), "out-of-order insert still works");
+        s.clear();
+        assert!(s.is_empty());
+        assert!(!s.contains(7));
+    }
+
+    #[test]
+    fn monotone_appends_use_the_tail_fast_path() {
+        let mut s = SortedIdSet::new();
+        for id in 0..1000u64 {
+            assert!(s.insert(id));
+        }
+        assert_eq!(s.len(), 1000);
+        assert!(s.contains(999));
+        assert!(!s.contains(1000));
+    }
+}

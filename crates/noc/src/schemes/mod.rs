@@ -1,0 +1,318 @@
+//! The scheme pipeline: arbitration × flow control, composed at
+//! construction.
+//!
+//! Every scheme the paper evaluates is a pairing of one [`Arbiter`]
+//! strategy (who may transmit next) with one [`FlowControl`] strategy (how
+//! buffer space is claimed and released):
+//!
+//! | Scheme              | Arbitration                       | Flow control              |
+//! |---------------------|-----------------------------------|---------------------------|
+//! | Token channel       | [`GlobalArbiter`] (one token)     | [`CreditFlow`]            |
+//! | GHS (± setaside)    | [`GlobalArbiter`] (one token)     | [`HandshakeFlow`]         |
+//! | Token slot          | [`DistributedArbiter`] (stream)   | [`SlotFlow`]              |
+//! | DHS (± setaside)    | [`DistributedArbiter`] (stream)   | [`HandshakeFlow`]         |
+//! | DHS w/ circulation  | [`DistributedArbiter`] (stream)   | [`FlowKind::Circulation`] |
+//!
+//! [`build`] resolves a [`Scheme`] into an ([`ArbiterKind`], [`FlowKind`])
+//! pair exactly once, when the channel is constructed. The per-cycle phase
+//! methods then dispatch on the enum variant directly — there is no
+//! re-`match` on [`Scheme`] in the hot loop, and adding a scheme variant
+//! means writing (or reusing) one arbiter and one flow implementation, not
+//! editing every phase of a monolithic channel.
+//!
+//! The layers meet only at the narrow hooks on [`FlowKind`]
+//! (`has_credit`/`spend_credit` for credit-gated grants, `may_emit` for
+//! token regeneration, `on_home_pass` for reimbursement, fault hooks for
+//! leak accounting), so each side can be unit-tested in isolation — see the
+//! tests in [`arbiter`] and [`flow`].
+
+pub mod arbiter;
+pub mod flow;
+pub mod idset;
+pub mod sendable;
+
+pub use arbiter::{ArbiterKind, DistributedArbiter, GlobalArbiter, GlobalTokenState, TokenCx};
+pub use flow::{AckEvent, ArrivalCx, CreditFlow, FlowKind, HandshakeFlow, SlotFlow};
+pub use idset::SortedIdSet;
+pub use sendable::SendableSet;
+
+use crate::config::{NetworkConfig, Scheme};
+
+/// Resolve `cfg.scheme` into its arbitration/flow-control pairing. Called
+/// once per channel at construction; every later dispatch is on the
+/// returned enum variants.
+pub fn build(cfg: &NetworkConfig) -> (ArbiterKind, FlowKind) {
+    let arbiter = if cfg.scheme.is_global() {
+        ArbiterKind::Global(GlobalArbiter::new())
+    } else {
+        ArbiterKind::Distributed(DistributedArbiter::new())
+    };
+    let flow = match cfg.scheme {
+        Scheme::TokenChannel => FlowKind::Credit(CreditFlow::new(cfg.input_buffer as u32)),
+        Scheme::TokenSlot => FlowKind::Slot(SlotFlow::default()),
+        Scheme::Ghs { setaside } | Scheme::Dhs { setaside } => {
+            FlowKind::Handshake(HandshakeFlow::new(cfg.ring_segments, setaside > 0))
+        }
+        Scheme::DhsCirculation => FlowKind::Circulation,
+    };
+    (arbiter, flow)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::FairnessPolicy;
+    use crate::metrics::NetworkMetrics;
+    use crate::outqueue::{OutQueue, SendMode};
+    use crate::packet::{Packet, PacketKind};
+
+    fn pkt(id: u64, src: usize) -> Packet {
+        Packet {
+            id,
+            src_core: (src * 2) as u32,
+            src_node: src as u32,
+            dst_node: 0,
+            kind: PacketKind::Data,
+            generated_at: 0,
+            enqueued_at: 0,
+            sent_at: 0,
+            sends: 0,
+            measured: false,
+            tag: 0,
+        }
+    }
+
+    /// A 16-node, 4-segment test harness around one arbiter/flow pairing.
+    struct Rig {
+        senders: Vec<OutQueue>,
+        active: Vec<usize>,
+        by_distance: Vec<usize>,
+        dist_of: Vec<usize>,
+        suppress: bool,
+        sendable: SendableSet,
+    }
+
+    impl Rig {
+        fn new(mode: SendMode) -> Self {
+            let nodes = 16;
+            let home = 0;
+            let mut by_distance = vec![0; nodes - 1];
+            let mut dist_of = vec![usize::MAX; nodes];
+            for (d, slot) in by_distance.iter_mut().enumerate() {
+                let n = (home + 1 + d) % nodes;
+                *slot = n;
+                dist_of[n] = d;
+            }
+            Self {
+                senders: (0..nodes).map(|_| OutQueue::new(mode)).collect(),
+                active: Vec::new(),
+                by_distance,
+                dist_of,
+                suppress: false,
+                sendable: SendableSet::new(nodes - 1),
+            }
+        }
+
+        fn cx(&mut self, now: u64) -> TokenCx<'_> {
+            TokenCx {
+                now,
+                fairness: FairnessPolicy::None,
+                nodes: 16,
+                step: 4,
+                watchdog: 10,
+                by_distance: &self.by_distance,
+                dist_of: &self.dist_of,
+                senders: &mut self.senders,
+                active: &mut self.active,
+                sendable: &mut self.sendable,
+                buffered: 0,
+                buffer_cap: 4,
+                suppress_token: &mut self.suppress,
+                injector: None,
+            }
+        }
+
+        fn enqueue(&mut self, p: Packet) {
+            let src = p.src_node as usize;
+            self.senders[src].push(p);
+            self.refresh(src);
+        }
+
+        fn refresh(&mut self, node: usize) {
+            self.sendable
+                .set(self.dist_of[node], self.senders[node].sendable() > 0);
+        }
+    }
+
+    #[test]
+    fn build_pairs_every_scheme_correctly() {
+        let check = |scheme: Scheme, global: bool| {
+            let cfg = NetworkConfig::small(scheme);
+            let (a, f) = build(&cfg);
+            assert_eq!(matches!(a, ArbiterKind::Global(_)), global, "{scheme:?}");
+            match scheme {
+                Scheme::TokenChannel => assert!(matches!(f, FlowKind::Credit(_))),
+                Scheme::TokenSlot => assert!(matches!(f, FlowKind::Slot(_))),
+                Scheme::Ghs { .. } | Scheme::Dhs { .. } => {
+                    assert!(matches!(f, FlowKind::Handshake(_)));
+                }
+                Scheme::DhsCirculation => assert!(matches!(f, FlowKind::Circulation)),
+            }
+        };
+        for scheme in Scheme::paper_set(4) {
+            check(scheme, scheme.is_global());
+        }
+    }
+
+    #[test]
+    fn token_slot_regenerates_only_with_uncommitted_space() {
+        // Token regeneration: with buffer_cap 4 the home emits at most 4
+        // concurrent commitments; an idle network just recycles them.
+        let mut rig = Rig::new(SendMode::Forget);
+        let mut d = DistributedArbiter::new();
+        let mut f = FlowKind::Slot(SlotFlow::default());
+        let mut m = NetworkMetrics::new();
+        for now in 0..32u64 {
+            let mut cx = rig.cx(now);
+            d.step(&mut f, &mut cx, &mut m);
+            assert!(
+                d.tokens.len() <= 4,
+                "cycle {now}: {} tokens exceed the 4 buffer commitments",
+                d.tokens.len()
+            );
+        }
+        // DHS has no such gate: one token per cycle until the ring is full
+        // of them (a token lives segments = nodes/step = 4 cycles).
+        let mut rig = Rig::new(SendMode::Forget);
+        let mut d = DistributedArbiter::new();
+        let mut f = FlowKind::Handshake(HandshakeFlow::new(4, false));
+        for now in 0..32u64 {
+            let mut cx = rig.cx(now);
+            d.step(&mut f, &mut cx, &mut m);
+        }
+        assert!(d.tokens.len() >= 3, "DHS keeps the ring saturated");
+    }
+
+    #[test]
+    fn global_token_reimburses_credits_on_home_pass() {
+        // Credit reimbursement: spend both credits, free them via
+        // on_slot_freed, and watch them return only when the sweep wraps.
+        let mut rig = Rig::new(SendMode::Forget);
+        let mut g = GlobalArbiter::new();
+        let mut f = FlowKind::Credit(CreditFlow::new(2));
+        let mut m = NetworkMetrics::new();
+        rig.enqueue(pkt(1, 2));
+        rig.enqueue(pkt(2, 2));
+        // Sweep until both packets are granted (credits hit 0).
+        for now in 0..16u64 {
+            let mut cx = rig.cx(now);
+            g.step(&mut f, &mut cx, &mut m);
+            let granted = rig.senders[2].granted();
+            if granted > 0 {
+                // Consume the grant so the holder releases the token.
+                rig.senders[2].transmit(now);
+                rig.refresh(2);
+            }
+        }
+        assert_eq!(f.credits(), Some(0), "both credits spent");
+        // The ejections free the slots; credits wait as `uncommitted`.
+        f.on_slot_freed();
+        f.on_slot_freed();
+        assert_eq!(f.uncommitted(), 2);
+        assert_eq!(f.credits(), Some(0), "reimbursement waits for home pass");
+        // Let the token finish its loop: the wrap reimburses.
+        for now in 16..32u64 {
+            let mut cx = rig.cx(now);
+            g.step(&mut f, &mut cx, &mut m);
+        }
+        assert_eq!(f.credits(), Some(2), "home pass reimbursed the credits");
+        assert_eq!(f.uncommitted(), 0);
+    }
+
+    #[test]
+    fn global_token_without_credits_never_blocks() {
+        // GHS: the token carries nothing, so has_credit is always true.
+        let f = FlowKind::Handshake(HandshakeFlow::new(4, false));
+        assert!(f.has_credit());
+        let f = FlowKind::Credit(CreditFlow::new(0));
+        assert!(!f.has_credit(), "an empty token channel must block");
+    }
+
+    #[test]
+    fn idle_bulk_advance_matches_the_sweep_loop() {
+        // Run two identical DHS arbiters, one with backlog (scan path) and
+        // one without (bulk path) but where the scan also never grabs
+        // (eligible() is false for empty queues): token streams must match.
+        let mut rig_idle = Rig::new(SendMode::HoldHead);
+        let mut rig_scan = Rig::new(SendMode::HoldHead);
+        // Force the scan path with a deliberately stale mask bit: the probe
+        // at distance 14 finds nothing sendable, so no token is grabbed.
+        rig_scan.sendable.set(14, true);
+        let mut a_idle = DistributedArbiter::new();
+        let mut a_scan = DistributedArbiter::new();
+        let mut f_idle = FlowKind::Handshake(HandshakeFlow::new(4, false));
+        let mut f_scan = FlowKind::Handshake(HandshakeFlow::new(4, false));
+        let mut m = NetworkMetrics::new();
+        for now in 0..40u64 {
+            let mut cx = rig_idle.cx(now);
+            a_idle.step(&mut f_idle, &mut cx, &mut m);
+            let mut cx = rig_scan.cx(now);
+            a_scan.step(&mut f_scan, &mut cx, &mut m);
+            assert_eq!(a_idle.tokens, a_scan.tokens, "cycle {now}");
+        }
+    }
+
+    #[test]
+    fn ack_timer_arms_and_fires_as_a_timeout_retransmission() {
+        // ACK-timer arming: transmit under recovery, never deliver the
+        // handshake, and check the timer retransmits exactly once per
+        // deadline with the timeout metric (not the NACK metric).
+        let mut senders: Vec<OutQueue> =
+            (0..2).map(|_| OutQueue::new(SendMode::HoldHead)).collect();
+        let dist_of = [usize::MAX, 0]; // node 1 sits at distance 0
+        let mut sendable = SendableSet::new(1);
+        let mut queued = 1usize;
+        let mut h = HandshakeFlow::new(4, false);
+        let recovery = pnoc_faults::RecoveryConfig::for_ring(4);
+        assert!(recovery.enabled);
+        let mut m = NetworkMetrics::new();
+        senders[1].push(pkt(7, 1));
+        senders[1].take_grant(0, FairnessPolicy::None);
+        let sent = senders[1].transmit(0);
+        assert!(sent.is_some());
+        let deadline = recovery.timeout_for_attempt(1);
+        h.ack_timers.push(std::cmp::Reverse((deadline, 1, 7)));
+        for now in 0..=deadline {
+            let fired_before = m.timeout_retransmissions;
+            h.phase_acks(
+                now,
+                &mut senders,
+                &dist_of,
+                &mut sendable,
+                &mut queued,
+                None,
+                &recovery,
+                5,
+                &mut m,
+            );
+            if now < deadline {
+                assert_eq!(m.timeout_retransmissions, fired_before, "early fire");
+            }
+        }
+        assert_eq!(m.timeout_retransmissions, 1, "timer fired exactly once");
+        assert_eq!(m.retransmissions, 0, "timeout path, not NACK path");
+        assert_eq!(queued, 1, "HoldHead: the packet is back awaiting resend");
+    }
+
+    #[test]
+    fn duplicate_ids_are_tracked_in_order() {
+        let mut h = HandshakeFlow::new(4, true);
+        for id in [9u64, 3, 12] {
+            h.accepted_ids.insert(id);
+        }
+        assert!(h.accepted_ids.contains(3));
+        assert!(!h.accepted_ids.contains(4));
+        let ids: Vec<u64> = h.accepted_ids.iter().collect();
+        assert_eq!(ids, vec![3, 9, 12]);
+    }
+}

@@ -1,0 +1,128 @@
+//! A dense bitmask of sendable senders, indexed by downstream distance.
+//!
+//! Token sweeps ([`super::arbiter`]) examine a window of senders every
+//! cycle, and on a contended channel almost every examined sender has
+//! nothing it can send — its queue is empty, or (basic GHS/DHS) its head is
+//! blocked awaiting a handshake. The channel maintains this set as an
+//! *exact* mirror of `senders[n].sendable() > 0` (refreshed after every
+//! queue mutation: push, grant, transmit, ACK, NACK, timeout), so a window
+//! scan is a couple of word operations instead of a per-sender probe, and
+//! an all-clear mask lets the distributed arbiter advance its whole token
+//! stream in bulk.
+//!
+//! Exactness matters: the arbiter still calls
+//! [`crate::outqueue::OutQueue::eligible`] on every candidate the mask
+//! yields (fairness sit-outs are time-dependent and not mirrored here), but
+//! a *missing* bit would silently skip an eligible sender and change
+//! arbitration. [`crate::channel::Channel::try_check_invariants`]
+//! cross-checks the mask against the queues.
+
+/// Bitmask over downstream distances `0..len` (see module docs).
+#[derive(Debug, Clone)]
+pub struct SendableSet {
+    words: Vec<u64>,
+    /// Number of set bits (cheap `any()` without scanning words).
+    live: usize,
+}
+
+impl SendableSet {
+    /// An empty set over `len` distances.
+    pub fn new(len: usize) -> Self {
+        Self {
+            words: vec![0; len.div_ceil(64).max(1)],
+            live: 0,
+        }
+    }
+
+    /// Set or clear the bit for distance `d`, keeping the live count exact.
+    #[inline]
+    pub fn set(&mut self, d: usize, on: bool) {
+        let w = &mut self.words[d / 64];
+        let bit = 1u64 << (d % 64);
+        let was = *w & bit != 0;
+        if on && !was {
+            *w |= bit;
+            self.live += 1;
+        } else if !on && was {
+            *w &= !bit;
+            self.live -= 1;
+        }
+    }
+
+    /// Whether distance `d` is marked sendable.
+    #[inline]
+    pub fn get(&self, d: usize) -> bool {
+        self.words[d / 64] & (1u64 << (d % 64)) != 0
+    }
+
+    /// Whether any sender is marked sendable.
+    #[inline]
+    pub fn any(&self) -> bool {
+        self.live > 0
+    }
+
+    /// The smallest marked distance in `[lo, hi)`, if any.
+    #[inline]
+    pub fn first_in(&self, lo: usize, hi: usize) -> Option<usize> {
+        if lo >= hi || self.live == 0 {
+            return None;
+        }
+        let (lo_w, hi_w) = (lo / 64, (hi - 1) / 64);
+        for w in lo_w..=hi_w {
+            let mut bits = self.words[w];
+            if w == lo_w {
+                bits &= !0u64 << (lo % 64);
+            }
+            if bits == 0 {
+                continue;
+            }
+            let d = w * 64 + bits.trailing_zeros() as usize;
+            return (d < hi).then_some(d);
+        }
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn set_get_and_live_count() {
+        let mut s = SendableSet::new(130);
+        assert!(!s.any());
+        s.set(0, true);
+        s.set(129, true);
+        s.set(129, true); // idempotent
+        assert!(s.any());
+        assert!(s.get(0) && s.get(129) && !s.get(64));
+        s.set(0, false);
+        s.set(0, false); // idempotent
+        s.set(129, false);
+        assert!(!s.any());
+    }
+
+    #[test]
+    fn first_in_respects_the_window() {
+        let mut s = SendableSet::new(200);
+        s.set(70, true);
+        s.set(150, true);
+        assert_eq!(s.first_in(0, 200), Some(70));
+        assert_eq!(s.first_in(71, 200), Some(150));
+        assert_eq!(s.first_in(0, 70), None);
+        assert_eq!(s.first_in(70, 71), Some(70));
+        assert_eq!(s.first_in(151, 200), None);
+        assert_eq!(s.first_in(5, 5), None);
+    }
+
+    #[test]
+    fn first_in_scans_within_one_word() {
+        let mut s = SendableSet::new(64);
+        s.set(3, true);
+        s.set(9, true);
+        assert_eq!(s.first_in(0, 64), Some(3));
+        assert_eq!(s.first_in(4, 64), Some(9));
+        assert_eq!(s.first_in(4, 9), None);
+        assert_eq!(s.first_in(10, 64), None);
+    }
+}

@@ -464,11 +464,12 @@ impl SwmrNetwork {
         self.clock.tick();
     }
 
-    /// Per-receiver measured service counts by sender.
-    pub fn service_counts(&self) -> Vec<Vec<u64>> {
+    /// Per-receiver measured service counts by sender. Borrows the live
+    /// counters — no copies.
+    pub fn service_counts(&self) -> Vec<&[u64]> {
         self.receivers
             .iter()
-            .map(|r| r.served_by_sender.clone())
+            .map(|r| r.served_by_sender.as_slice())
             .collect()
     }
 

@@ -84,6 +84,10 @@ pub fn run_audit(run: &AuditRun) -> AuditResult {
     let mut auditor = InvariantAuditor::new(cfg.nodes);
     let mut requests = Vec::new();
     let mut violation = None;
+    // Snapshot scratch reused across sampled cycles (the `_into` form
+    // refills these in place instead of reallocating).
+    let mut views = Vec::new();
+    let mut pending = Vec::new();
 
     'outer: for cycle in 0..(run.warm_cycles + run.drain_cycles) {
         if cycle < run.warm_cycles {
@@ -104,7 +108,7 @@ pub fn run_audit(run: &AuditRun) -> AuditResult {
             }
         }
         if auditor.due(net.now()) {
-            let (views, pending) = net.audit_snapshot();
+            net.audit_snapshot_into(&mut views, &mut pending);
             if let Err(why) = auditor.check(&views, net.metrics(), &pending) {
                 violation = Some(format!("cycle {}: {why}", net.now()));
                 break 'outer;

@@ -44,6 +44,41 @@ fn replay_is_byte_identical_for_every_scheme() {
 }
 
 #[test]
+fn swmr_and_emesh_replays_are_byte_identical() {
+    // The comparison baselines (SWMR ring, electrical mesh) run through
+    // their own network structs and must hold the same replay property as
+    // the MWSR pipeline.
+    use nanophotonic_handshake::noc::{MeshConfig, MeshNetwork, SwmrConfig, SwmrNetwork};
+    let swmr = |cfg: SwmrConfig| {
+        let mut net = SwmrNetwork::new(cfg).expect("valid SWMR config");
+        let mut src = SyntheticSource::new(
+            TrafficPattern::UniformRandom,
+            0.04,
+            cfg.nodes,
+            cfg.cores_per_node,
+            11,
+        );
+        bytes(&net.run_open_loop(&mut src, RunPlan::new(300, 1_200, 400)))
+    };
+    for cfg in [SwmrConfig::paper_handshake(4), SwmrConfig::paper_credit()] {
+        assert_eq!(swmr(cfg), swmr(cfg), "{:?} replay diverged", cfg.flow);
+    }
+    let mesh = || {
+        let cfg = MeshConfig::paper_comparable();
+        let mut net = MeshNetwork::new(cfg).expect("valid mesh config");
+        let mut src = SyntheticSource::new(
+            TrafficPattern::UniformRandom,
+            0.04,
+            cfg.nodes(),
+            cfg.cores_per_node,
+            11,
+        );
+        bytes(&net.run_open_loop(&mut src, RunPlan::new(300, 1_200, 400)))
+    };
+    assert_eq!(mesh(), mesh(), "mesh replay diverged");
+}
+
+#[test]
 fn parallel_sweep_path_matches_sequential_runs() {
     // The same points dispatched through the parallel sweep machinery
     // (thread scheduling, work stealing) must not perturb a single bit of
