@@ -659,7 +659,7 @@ mod tests {
             m.delivered_measured = if saturated { 10 } else { 100 };
             for _ in 0..m.delivered_measured {
                 m.latency.record(12.0);
-                m.latency_hist.record(12.0);
+                m.latency_rec.record(12.0);
             }
             RunSummary::from_metrics::<&[u64]>(&m, &[], 1000, 4, 0.1)
         };

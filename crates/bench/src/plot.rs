@@ -231,7 +231,7 @@ mod tests {
         m.delivered_measured = if saturated { 10 } else { 100 };
         for _ in 0..m.delivered_measured {
             m.latency.record(lat);
-            m.latency_hist.record(lat);
+            m.latency_rec.record(lat);
         }
         RunSummary::from_metrics::<&[u64]>(&m, &[], 100, 4, 0.1)
     }

@@ -33,6 +33,19 @@ pub enum DataFate {
     Corrupt,
 }
 
+impl DataFate {
+    /// The packet-lifecycle event this fate maps to when the arrival is
+    /// traced — keeps the fault vocabulary and the `pnoc-obs` event schema
+    /// in one-to-one correspondence.
+    pub fn trace_kind(self) -> pnoc_obs::EventKind {
+        match self {
+            DataFate::Intact => pnoc_obs::EventKind::Arrival,
+            DataFate::Lost => pnoc_obs::EventKind::DataLost,
+            DataFate::Corrupt => pnoc_obs::EventKind::DataCorrupt,
+        }
+    }
+}
+
 /// What happened to an ACK/NACK pulse on the handshake waveguide.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum AckFate {
@@ -40,6 +53,19 @@ pub enum AckFate {
     Delivered,
     /// The pulse was lost; the sender learns nothing this round trip.
     Lost,
+}
+
+impl AckFate {
+    /// The packet-lifecycle event this fate maps to when the handshake
+    /// round trip is traced. `Delivered` maps to [`pnoc_obs::EventKind::Ack`]
+    /// — whether the pulse carried an ACK or a NACK is the flow layer's
+    /// call, so tracing sites refine it to `Nack` where applicable.
+    pub fn trace_kind(self) -> pnoc_obs::EventKind {
+        match self {
+            AckFate::Delivered => pnoc_obs::EventKind::Ack,
+            AckFate::Lost => pnoc_obs::EventKind::AckLost,
+        }
+    }
 }
 
 /// Per-simulation fault-event source. Fork one [`ChannelInjector`] per MWSR
@@ -221,6 +247,16 @@ impl ChannelInjector {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn fates_map_one_to_one_onto_trace_events() {
+        use pnoc_obs::EventKind;
+        assert_eq!(DataFate::Intact.trace_kind(), EventKind::Arrival);
+        assert_eq!(DataFate::Lost.trace_kind(), EventKind::DataLost);
+        assert_eq!(DataFate::Corrupt.trace_kind(), EventKind::DataCorrupt);
+        assert_eq!(AckFate::Delivered.trace_kind(), EventKind::Ack);
+        assert_eq!(AckFate::Lost.trace_kind(), EventKind::AckLost);
+    }
 
     #[test]
     fn same_seed_same_fault_schedule() {

@@ -36,6 +36,7 @@ use crate::schemes::{ArbiterKind, ArrivalCx, FlowKind, SendableSet, TokenCx};
 use crate::slots::SlotRing;
 use crate::topology::Topology;
 use pnoc_faults::{ChannelInjector, DataFate, FaultEngine, RecoveryConfig};
+use pnoc_obs::EventKind;
 use pnoc_sim::Cycle;
 use std::cmp::Reverse;
 use std::collections::VecDeque;
@@ -218,6 +219,20 @@ impl Channel {
         self.input_queue.len() + self.draining as usize
     }
 
+    /// Snapshot the channel's queue state for the occupancy time-series
+    /// (read-only; usable with or without the `obs-trace` feature).
+    pub fn occupancy_sample(&self, now: Cycle) -> pnoc_obs::ChannelSample {
+        pnoc_obs::ChannelSample::new(
+            now,
+            self.home,
+            self.buffer_occupancy(),
+            self.queued_total,
+            self.senders.iter().map(OutQueue::setaside_len).sum(),
+            self.flow.credits().unwrap_or(0),
+            self.arbiter.outstanding_tokens(),
+        )
+    }
+
     /// Chaos/test hook: throttle the home's ejection bandwidth to force
     /// buffer pressure (drops, retransmissions, circulation). The normal
     /// configuration path validates `ejection_per_cycle ≥ 1`; this setter
@@ -244,6 +259,7 @@ impl Channel {
 
     /// Phase 2: the home inspects the slot at its segment.
     pub fn phase_arrival(&mut self, now: Cycle, m: &mut NetworkMetrics) {
+        let _span = crate::spans::span("phase_arrival");
         // Take the flit once; the circulation path puts it back. (Take-once
         // keeps this per-cycle path free of unwrap/expect — determinism lint
         // `no-hot-path-unwrap`.)
@@ -257,16 +273,30 @@ impl Channel {
                 let flight = now.saturating_sub(pkt.sent_at).max(1);
                 match inj.data_fate(flight) {
                     DataFate::Intact => {}
-                    DataFate::Lost => {
+                    fate @ DataFate::Lost => {
                         // Destroyed in flight: the home never sees it, so no
                         // handshake fires and no buffer slot is touched.
                         m.faults_data_lost += 1;
+                        m.trace(
+                            now,
+                            self.home,
+                            pkt.src_node as usize,
+                            pkt.id,
+                            fate.trace_kind(),
+                        );
                         self.flow.on_data_lost(m);
                         return;
                     }
-                    DataFate::Corrupt => {
+                    fate @ DataFate::Corrupt => {
                         m.arrivals += 1;
                         m.faults_data_corrupt += 1;
+                        m.trace(
+                            now,
+                            self.home,
+                            pkt.src_node as usize,
+                            pkt.id,
+                            fate.trace_kind(),
+                        );
                         self.flow.on_data_corrupt(&pkt, self.handshake_delay);
                         return;
                     }
@@ -274,6 +304,13 @@ impl Channel {
             }
         }
         m.arrivals += 1;
+        m.trace(
+            now,
+            self.home,
+            pkt.src_node as usize,
+            pkt.id,
+            EventKind::Arrival,
+        );
         // Duplicate suppression (recovery only): a retransmission whose
         // original was accepted but whose ACK was lost must not be delivered
         // twice. Discard it and re-ACK so the sender can release its copy.
@@ -281,6 +318,13 @@ impl Channel {
             if let Some(h) = self.flow.handshake_mut() {
                 if h.accepted_ids.contains(pkt.id) {
                     m.duplicates_suppressed += 1;
+                    m.trace(
+                        now,
+                        self.home,
+                        pkt.src_node as usize,
+                        pkt.id,
+                        EventKind::DuplicateSuppressed,
+                    );
                     h.acks.schedule(
                         pkt.sent_at + self.handshake_delay,
                         crate::schemes::AckEvent {
@@ -296,6 +340,7 @@ impl Channel {
         let has_room = self.input_queue.len() + (self.draining as usize) < self.buffer_cap;
         let mut cx = ArrivalCx {
             now,
+            home: self.home,
             home_seg: self.home_seg,
             handshake_delay: self.handshake_delay,
             recovery_enabled: self.recovery.enabled,
@@ -309,11 +354,13 @@ impl Channel {
 
     /// Phase 3: handshakes reach their senders, and expired ACK timers fire.
     pub fn phase_acks(&mut self, now: Cycle, m: &mut NetworkMetrics) {
+        let _span = crate::spans::span("phase_acks");
         let FlowKind::Handshake(h) = &mut self.flow else {
             return; // credit/circulation schemes have no handshake channel
         };
         h.phase_acks(
             now,
+            self.home,
             &mut self.senders,
             &self.dist_of,
             &mut self.sendable,
@@ -329,6 +376,7 @@ impl Channel {
     /// segments (one per sender per cycle). The active list is compacted in
     /// place — no per-cycle scratch allocation.
     pub fn phase_transmit(&mut self, now: Cycle, m: &mut NetworkMetrics) {
+        let _span = crate::spans::span("phase_transmit");
         if self.active_senders.is_empty() {
             return;
         }
@@ -346,6 +394,17 @@ impl Channel {
                         m.queue_wait.record((now - pkt.enqueued_at) as f64);
                     }
                     m.sends += 1;
+                    m.trace(
+                        now,
+                        self.home,
+                        node,
+                        pkt.id,
+                        if pkt.sends > 1 {
+                            EventKind::Retransmit
+                        } else {
+                            EventKind::Send
+                        },
+                    );
                     if self.dec_on_transmit {
                         // The packet left the queue (Forget or Setaside).
                         self.queued_total -= 1;
@@ -377,8 +436,10 @@ impl Channel {
     /// Phase 5: token emission, sweeping, grabbing, reimbursement — all
     /// delegated to the arbiter/flow pairing resolved at construction.
     pub fn phase_tokens(&mut self, now: Cycle, m: &mut NetworkMetrics) {
+        let _span = crate::spans::span("phase_tokens");
         let mut cx = TokenCx {
             now,
+            home: self.home,
             fairness: self.fairness,
             nodes: self.topo.nodes,
             step: self.sweep_step,
@@ -406,6 +467,7 @@ impl Channel {
         m: &mut NetworkMetrics,
         deliveries: &mut Vec<Delivery>,
     ) {
+        let _span = crate::spans::span("phase_eject");
         // Flits leaving the ejection router release their buffer slots; only
         // now does a freed slot become a reimbursable credit.
         for () in self.releases.drain(now) {
@@ -419,6 +481,13 @@ impl Channel {
         if let Some(inj) = self.injector.as_mut() {
             if inj.eject_stalled(now) {
                 m.stall_cycles += 1;
+                m.trace(
+                    now,
+                    self.home,
+                    self.home,
+                    pnoc_obs::NO_PACKET,
+                    EventKind::EjectStall,
+                );
                 return;
             }
         }
@@ -435,11 +504,18 @@ impl Channel {
                 self.releases.schedule(available_at, ());
             }
             m.delivered += 1;
+            m.trace(
+                now,
+                self.home,
+                pkt.src_node as usize,
+                pkt.id,
+                EventKind::Eject,
+            );
             if pkt.measured {
                 m.delivered_measured += 1;
                 let lat = pkt.latency_at(available_at) as f64;
                 m.latency.record(lat);
-                m.latency_hist.record(lat);
+                m.latency_rec.record(lat);
                 m.latency_batches.record(lat);
                 self.served_by_sender[pkt.src_node as usize] += 1;
             }

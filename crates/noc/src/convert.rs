@@ -1,0 +1,35 @@
+//! Checked narrowing conversions for packed simulator fields.
+//!
+//! Several hot structs ([`crate::packet::Packet`], per-channel counters)
+//! pack node/core indices into `u32` to keep cache footprint down, while the
+//! rest of the simulator works in `usize`. The `pnoc-verify`
+//! `no-silent-truncation` lint bans bare `as u32` narrowing at call sites;
+//! this module is the one reviewed place the narrowing happens, and it
+//! panics instead of wrapping if a value ever exceeds the packed range.
+
+/// Narrow a `usize` index to a packed `u32` field, panicking on overflow
+/// (node/core/buffer indices are bounded by configuration validation at a
+/// few thousand, so a failure here is a simulator bug, not a data issue).
+#[inline]
+pub fn narrow_u32(x: usize) -> u32 {
+    u32::try_from(x).expect("value exceeds u32 packed-field range")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn narrows_in_range_values() {
+        assert_eq!(narrow_u32(0), 0);
+        assert_eq!(narrow_u32(4096), 4096);
+        assert_eq!(narrow_u32(u32::MAX as usize), u32::MAX);
+    }
+
+    #[test]
+    #[cfg(target_pointer_width = "64")]
+    fn panics_on_overflow_instead_of_wrapping() {
+        let r = std::panic::catch_unwind(|| narrow_u32(u32::MAX as usize + 1));
+        assert!(r.is_err());
+    }
+}

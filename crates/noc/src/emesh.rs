@@ -140,7 +140,7 @@ impl MeshNetwork {
         let routers = (0..cfg.nodes())
             .map(|_| Router {
                 inputs: Default::default(),
-                credits: [cfg.input_buffer as u32; 4],
+                credits: [crate::convert::narrow_u32(cfg.input_buffer); 4],
                 rr: [0; PORTS],
             })
             .collect();
@@ -230,9 +230,9 @@ impl MeshNetwork {
         self.next_id += 1;
         let pkt = Packet {
             id,
-            src_core: src_core as u32,
-            src_node: src_node as u32,
-            dst_node: dst_node as u32,
+            src_core: crate::convert::narrow_u32(src_core),
+            src_node: crate::convert::narrow_u32(src_node),
+            dst_node: crate::convert::narrow_u32(dst_node),
             kind,
             generated_at: now,
             enqueued_at: now,
@@ -281,7 +281,7 @@ impl MeshNetwork {
         // Credits return to upstream routers.
         for c in self.credit_cal.drain(now) {
             self.routers[c.router].credits[c.dir] += 1;
-            debug_assert!(self.routers[c.router].credits[c.dir] <= self.cfg.input_buffer as u32);
+            debug_assert!(self.routers[c.router].credits[c.dir] as usize <= self.cfg.input_buffer);
         }
         // Injection-pipeline exits join the local input queue (unbounded).
         for mut pkt in self.inject_cal.drain(now) {
@@ -348,7 +348,7 @@ impl MeshNetwork {
                         self.metrics.delivered_measured += 1;
                         let lat = pkt.latency_at(available_at) as f64;
                         self.metrics.latency.record(lat);
-                        self.metrics.latency_hist.record(lat);
+                        self.metrics.latency_rec.record(lat);
                         self.metrics.latency_batches.record(lat);
                     }
                     self.deliveries.push(Delivery { pkt, available_at });

@@ -205,9 +205,9 @@ impl CycleFsm for ChannelModel {
             let src = self.senders[idx];
             self.ch.enqueue(Packet {
                 id: self.packet_id(idx, seq),
-                src_core: (src * 2) as u32,
-                src_node: src as u32,
-                dst_node: self.home as u32,
+                src_core: crate::convert::narrow_u32(src * 2),
+                src_node: crate::convert::narrow_u32(src),
+                dst_node: crate::convert::narrow_u32(self.home),
                 kind: PacketKind::Data,
                 generated_at: self.now,
                 enqueued_at: self.now,

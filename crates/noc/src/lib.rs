@@ -33,8 +33,8 @@
 // warnings for this crate). A few pedantic lints are judgment calls we
 // opt out of wholesale: docs for panics/errors on internal simulation
 // APIs, and numeric-cast pedantry — narrowing casts are policed by the
-// stricter pnoc-verify `no-silent-truncation` lint with a reviewed
-// allowlist instead.
+// stricter pnoc-verify `no-silent-truncation` lint instead, with the few
+// legitimate narrows routed through [`convert::narrow_u32`].
 #![warn(clippy::pedantic)]
 #![allow(
     clippy::cast_possible_truncation,
@@ -51,6 +51,7 @@ pub mod audit;
 pub mod calendar;
 pub mod channel;
 pub mod config;
+pub mod convert;
 pub mod emesh;
 pub mod fsm;
 pub mod metrics;
@@ -60,6 +61,7 @@ pub mod packet;
 pub mod schemes;
 pub mod slots;
 pub mod sources;
+mod spans;
 pub mod swmr;
 pub mod topology;
 

@@ -1,6 +1,7 @@
 //! Measurement: per-run counters and the derived run summary.
 
-use pnoc_sim::stats::{jain_index, Histogram, Running};
+use pnoc_obs::LatencyRecorder;
+use pnoc_sim::stats::{jain_index, Running};
 use pnoc_sim::{BatchMeans, Cycle};
 use serde::Serialize;
 
@@ -9,8 +10,11 @@ use serde::Serialize;
 pub struct NetworkMetrics {
     /// End-to-end latency of measured packets (generation → ejection).
     pub latency: Running,
-    /// Latency histogram (1-cycle bins) for percentiles.
-    pub latency_hist: Histogram,
+    /// Latency distribution for percentiles: exact 1-cycle bins over
+    /// 0..2048 (where the paper's figures live), ~3 % log buckets beyond.
+    /// Replaces the fixed 2048-bin histogram that clipped tail samples into
+    /// an overflow bucket and reported `p99 = +inf` near saturation.
+    pub latency_rec: LatencyRecorder,
     /// Batch-means accumulator for a confidence interval on the mean latency
     /// (consecutive packet latencies are autocorrelated; see
     /// [`pnoc_sim::batch`]).
@@ -60,14 +64,20 @@ pub struct NetworkMetrics {
     /// never be returned. Nonzero here is the credit-leak signature the
     /// handshake schemes are immune to.
     pub credit_leaks: u64,
+
+    /// Packet-lifecycle trace sink (`obs-trace` feature). Disabled by
+    /// default even when compiled in; enable with
+    /// [`crate::Network::attach_trace`].
+    #[cfg(feature = "obs-trace")]
+    pub obs: pnoc_obs::ObsSink,
 }
 
 impl NetworkMetrics {
-    /// Zeroed counters. The histogram covers 0..2048 cycles.
+    /// Zeroed counters. The latency recorder is exact over 0..2048 cycles.
     pub fn new() -> Self {
         Self {
             latency: Running::new(),
-            latency_hist: Histogram::cycles(2048),
+            latency_rec: LatencyRecorder::cycles(),
             latency_batches: BatchMeans::new(256),
             queue_wait: Running::new(),
             generated: 0,
@@ -88,7 +98,40 @@ impl NetworkMetrics {
             duplicates_suppressed: 0,
             abandoned: 0,
             credit_leaks: 0,
+            #[cfg(feature = "obs-trace")]
+            obs: pnoc_obs::ObsSink::default(),
         }
+    }
+
+    /// Record a packet-lifecycle trace event (`obs-trace` builds with a
+    /// trace attached; a no-op branch otherwise).
+    #[cfg(feature = "obs-trace")]
+    #[inline]
+    pub fn trace(
+        &mut self,
+        cycle: Cycle,
+        channel: usize,
+        node: usize,
+        packet: u64,
+        kind: pnoc_obs::EventKind,
+    ) {
+        self.obs
+            .emit(pnoc_obs::Event::new(cycle, channel, node, packet, kind));
+    }
+
+    /// Traces-off twin of [`NetworkMetrics::trace`]: compiles to nothing, so
+    /// hook call sites cost the default build zero cycles.
+    #[cfg(not(feature = "obs-trace"))]
+    #[inline(always)]
+    #[allow(clippy::unused_self)]
+    pub fn trace(
+        &mut self,
+        _cycle: Cycle,
+        _channel: usize,
+        _node: usize,
+        _packet: u64,
+        _kind: pnoc_obs::EventKind,
+    ) {
     }
 
     /// Retransmissions (NACK- plus timeout-triggered) per ring transmission.
@@ -154,8 +197,9 @@ pub struct RunSummary {
     /// Jain index of the *least fair* channel — the number positional
     /// starvation shows up in (hotspot channels dilute out of the average).
     pub jain_worst: f64,
-    /// Whether the run saturated (latency ran away past the histogram or a
-    /// large fraction of measured packets never finished).
+    /// Whether the run saturated (a large fraction of measured packets never
+    /// finished, a heavy latency tail past 2048 cycles, or any sample past
+    /// the recorder's range cap).
     pub saturated: bool,
 
     // --- reliability digest (zero on fault-free runs) ---
@@ -216,14 +260,21 @@ impl RunSummary {
                 },
             );
         let unfinished = m.generated_measured.saturating_sub(m.delivered_measured);
+        // Saturation: too many measured packets never finished, a heavy
+        // latency tail (> 5 % of deliveries past 2048 cycles — the same
+        // threshold the old fixed histogram's overflow bucket encoded), or
+        // *any* sample past the recorder's 2^40-cycle cap (a run that slow
+        // is broken regardless of how few packets hit it — recorder
+        // overflow must never masquerade as a converged figure point).
         let saturated = m.generated_measured > 0
             && (unfinished as f64 > 0.10 * m.generated_measured as f64
-                || m.latency_hist.overflow() > m.delivered_measured / 20);
+                || m.latency_rec.count_ge(2048) > m.delivered_measured / 20
+                || m.latency_rec.overflow() > 0);
         Self {
             offered_per_core,
             avg_latency: m.latency.mean(),
             latency_ci95: m.latency_batches.ci95_half_width(),
-            p99_latency: m.latency_hist.quantile(0.99),
+            p99_latency: m.latency_rec.quantile(0.99),
             avg_queue_wait: m.queue_wait.mean(),
             throughput_per_core: throughput,
             delivered: m.delivered_measured,
@@ -268,7 +319,7 @@ mod tests {
         m.delivered_measured = 1000;
         for _ in 0..1000 {
             m.latency.record(20.0);
-            m.latency_hist.record(20.0);
+            m.latency_rec.record(20.0);
         }
         let service = vec![vec![10, 10, 10, 10], vec![0, 0, 0, 0], vec![20, 0, 0, 0]];
         let s = RunSummary::from_metrics(&m, &service, 1000, 4, 0.25);
@@ -312,5 +363,50 @@ mod tests {
         m.delivered_measured = 500; // half never finished
         let s = RunSummary::from_metrics::<&[u64]>(&m, &[], 1000, 4, 0.5);
         assert!(s.saturated);
+    }
+
+    #[test]
+    fn tail_latency_past_2048_is_finite_and_flags_saturation() {
+        // The headline bug: with the old fixed histogram, a run with > 5 %
+        // of samples past 2048 cycles reported p99 = +inf.
+        let mut m = NetworkMetrics::new();
+        m.generated_measured = 100;
+        m.delivered_measured = 100;
+        for _ in 0..90 {
+            m.latency.record(50.0);
+            m.latency_rec.record(50.0);
+        }
+        for _ in 0..10 {
+            m.latency.record(5000.0);
+            m.latency_rec.record(5000.0);
+        }
+        let s = RunSummary::from_metrics::<&[u64]>(&m, &[], 1000, 4, 0.5);
+        assert!(
+            s.p99_latency.is_finite(),
+            "p99 must never be clipped to inf"
+        );
+        assert!(
+            s.p99_latency >= 5000.0 && s.p99_latency < 5200.0,
+            "p99 {} not within one log bucket of 5000",
+            s.p99_latency
+        );
+        assert!(s.saturated, "a 10 % tail past 2048 cycles is saturation");
+    }
+
+    #[test]
+    fn recorder_overflow_always_flags_saturation() {
+        // A single absurd sample (past the 2^40-cycle cap) must mark the
+        // point unconverged even though unfinished == 0 and the tail is
+        // otherwise tiny.
+        let mut m = NetworkMetrics::new();
+        m.generated_measured = 1000;
+        m.delivered_measured = 1000;
+        for _ in 0..999 {
+            m.latency_rec.record(10.0);
+        }
+        m.latency_rec.record(2.0f64.powi(41));
+        let s = RunSummary::from_metrics::<&[u64]>(&m, &[], 1000, 4, 0.5);
+        assert!(s.saturated, "recorder overflow must flag saturation");
+        assert!(s.p99_latency.is_finite());
     }
 }

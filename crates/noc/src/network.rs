@@ -44,6 +44,10 @@ pub struct Network {
     /// Scratch pending-injection ids for the sampled audit.
     #[cfg(feature = "verify-invariants")]
     audit_pending: Vec<u64>,
+    /// Per-channel occupancy time-series sampler (`obs-trace` feature);
+    /// `None` until [`Network::attach_sampler`] is called.
+    #[cfg(feature = "obs-trace")]
+    sampler: Option<pnoc_obs::OccupancySampler>,
 }
 
 impl Network {
@@ -65,6 +69,8 @@ impl Network {
             audit_views: Vec::new(),
             #[cfg(feature = "verify-invariants")]
             audit_pending: Vec::new(),
+            #[cfg(feature = "obs-trace")]
+            sampler: None,
         })
     }
 
@@ -81,6 +87,33 @@ impl Network {
     /// Accumulated metrics.
     pub fn metrics(&self) -> &NetworkMetrics {
         &self.metrics
+    }
+
+    /// Attach a fixed-capacity packet-lifecycle event trace. Events emitted
+    /// before attachment are not recorded; once `capacity` events are held
+    /// the oldest are overwritten (the drop count is reported on export).
+    #[cfg(feature = "obs-trace")]
+    pub fn attach_trace(&mut self, capacity: usize) {
+        self.metrics.obs.attach(capacity);
+    }
+
+    /// The attached event trace, if any.
+    #[cfg(feature = "obs-trace")]
+    pub fn trace(&self) -> Option<&pnoc_obs::RingTrace> {
+        self.metrics.obs.trace()
+    }
+
+    /// Attach a per-channel occupancy sampler that records every channel's
+    /// occupancy/queue/setaside/credit/token state every `stride` cycles.
+    #[cfg(feature = "obs-trace")]
+    pub fn attach_sampler(&mut self, stride: u64) {
+        self.sampler = Some(pnoc_obs::OccupancySampler::new(stride));
+    }
+
+    /// The attached occupancy sampler, if any.
+    #[cfg(feature = "obs-trace")]
+    pub fn sampler(&self) -> Option<&pnoc_obs::OccupancySampler> {
+        self.sampler.as_ref()
     }
 
     /// Inject a packet from `src_core` to `dst_node` at the current cycle.
@@ -107,9 +140,9 @@ impl Network {
         self.next_id += 1;
         let pkt = Packet {
             id,
-            src_core: src_core as u32,
-            src_node: src_node as u32,
-            dst_node: dst_node as u32,
+            src_core: crate::convert::narrow_u32(src_core),
+            src_node: crate::convert::narrow_u32(src_node),
+            dst_node: crate::convert::narrow_u32(dst_node),
             kind,
             generated_at: now,
             enqueued_at: now, // overwritten when it exits the pipeline
@@ -122,6 +155,8 @@ impl Network {
         if measured {
             self.metrics.generated_measured += 1;
         }
+        self.metrics
+            .trace(now, dst_node, src_node, id, pnoc_obs::EventKind::Inject);
         self.inject_cal.schedule(now + self.cfg.router_latency, pkt);
         id
     }
@@ -144,6 +179,14 @@ impl Network {
             ch.phase_transmit(now, metrics);
             ch.phase_tokens(now, metrics);
             ch.phase_eject(now, metrics, deliveries);
+        }
+        #[cfg(feature = "obs-trace")]
+        if let Some(s) = self.sampler.as_mut() {
+            if s.due(now) {
+                for ch in &self.channels {
+                    s.record(ch.occupancy_sample(now));
+                }
+            }
         }
         #[cfg(feature = "verify-invariants")]
         self.audit(now);

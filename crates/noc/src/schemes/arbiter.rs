@@ -24,6 +24,7 @@ use crate::config::FairnessPolicy;
 use crate::metrics::NetworkMetrics;
 use crate::outqueue::OutQueue;
 use pnoc_faults::ChannelInjector;
+use pnoc_obs::{EventKind, NO_PACKET};
 use pnoc_sim::Cycle;
 use std::collections::VecDeque;
 
@@ -58,6 +59,8 @@ pub enum GlobalTokenState {
 pub struct TokenCx<'a> {
     /// Current cycle.
     pub now: Cycle,
+    /// The home node id (trace-event addressing).
+    pub home: usize,
     /// Fairness policy senders are checked against.
     pub fairness: FairnessPolicy,
     /// Node count.
@@ -91,8 +94,9 @@ pub struct TokenCx<'a> {
 impl TokenCx<'_> {
     /// Grant the channel to `node` and put it on the active list.
     #[inline]
-    fn grant(&mut self, node: usize) {
+    fn grant(&mut self, node: usize, m: &mut NetworkMetrics) {
         self.senders[node].take_grant(self.now, self.fairness);
+        m.trace(self.now, self.home, node, NO_PACKET, EventKind::TokenGrant);
         if !self.active.contains(&node) {
             self.active.push(node);
         }
@@ -145,6 +149,7 @@ impl GlobalArbiter {
                 && inj.token_lost()
             {
                 m.faults_tokens_lost += 1;
+                m.trace(cx.now, cx.home, cx.home, NO_PACKET, EventKind::TokenLost);
                 flow.on_sweeping_token_lost(m);
                 self.state = GlobalTokenState::Lost { since: cx.now };
             }
@@ -165,7 +170,7 @@ impl GlobalArbiter {
                 if q.granted() > 0 {
                     // Transmission still owed; keep holding.
                 } else if has_credit && q.eligible(cx.now, cx.fairness) {
-                    cx.grant(node);
+                    cx.grant(node, m);
                     flow.spend_credit();
                 } else {
                     // Release: the token resumes its sweep from just past
@@ -182,7 +187,7 @@ impl GlobalArbiter {
                     grabbed = cx.first_eligible_in(next, hi);
                 }
                 if let Some(node) = grabbed {
-                    cx.grant(node);
+                    cx.grant(node, m);
                     flow.spend_credit();
                     self.state = GlobalTokenState::Held { node };
                 } else {
@@ -238,6 +243,9 @@ impl DistributedArbiter {
                 let destroyed = before - self.tokens.len();
                 if destroyed > 0 {
                     m.faults_tokens_lost += destroyed as u64;
+                    for _ in 0..destroyed {
+                        m.trace(cx.now, cx.home, cx.home, NO_PACKET, EventKind::TokenLost);
+                    }
                     flow.on_tokens_destroyed(destroyed, m);
                 }
             }
@@ -280,7 +288,7 @@ impl DistributedArbiter {
             let hi = (next + cx.step).min(cx.nodes - 1);
             let mut grabbed = false;
             if let Some(node) = cx.first_eligible_in(next, hi) {
-                cx.grant(node);
+                cx.grant(node, m);
                 flow.on_grant();
                 grabbed = true;
             }

@@ -26,6 +26,7 @@ use crate::outqueue::{OutQueue, TimeoutAction};
 use crate::packet::Packet;
 use crate::slots::SlotRing;
 use pnoc_faults::{AckFate, ChannelInjector, RecoveryConfig};
+use pnoc_obs::EventKind;
 use pnoc_sim::Cycle;
 use std::cmp::Reverse;
 use std::collections::{BinaryHeap, VecDeque};
@@ -124,6 +125,7 @@ impl HandshakeFlow {
     pub fn phase_acks(
         &mut self,
         now: Cycle,
+        home: usize,
         senders: &mut [OutQueue],
         dist_of: &[usize],
         sendable: &mut SendableSet,
@@ -141,12 +143,14 @@ impl HandshakeFlow {
             if let Some(inj) = injector.as_deref_mut() {
                 if inj.active() && inj.ack_fate(handshake_delay) == AckFate::Lost {
                     m.faults_acks_lost += 1;
+                    m.trace(now, home, ev.sender, ev.id, EventKind::AckLost);
                     continue;
                 }
             }
             let q = &mut senders[ev.sender];
             if ev.ok {
                 if q.ack(ev.id).is_some() {
+                    m.trace(now, home, ev.sender, ev.id, EventKind::Ack);
                     // HoldHead keeps the packet queued until the ACK:
                     // account for its departure now. Setaside removed it
                     // from the queue at transmission time.
@@ -162,6 +166,7 @@ impl HandshakeFlow {
                 }
             } else if q.nack(ev.id) {
                 m.retransmissions += 1;
+                m.trace(now, home, ev.sender, ev.id, EventKind::Nack);
                 // Setaside NACK pushes the packet back into the queue.
                 if setaside {
                     *queued_total += 1;
@@ -186,6 +191,7 @@ impl HandshakeFlow {
             match senders[sender].timeout(id, recovery.max_retries) {
                 TimeoutAction::Retry => {
                     m.timeout_retransmissions += 1;
+                    m.trace(now, home, sender, id, EventKind::TimeoutRetransmit);
                     // Setaside: the packet moved back from setaside into the
                     // queue, mirroring the NACK bookkeeping above.
                     if setaside {
@@ -194,6 +200,7 @@ impl HandshakeFlow {
                 }
                 TimeoutAction::Abandon => {
                     m.abandoned += 1;
+                    m.trace(now, home, sender, id, EventKind::Abandon);
                     // A HoldHead abandon pops the pending head off the queue.
                     if !setaside {
                         *queued_total -= 1;
@@ -212,6 +219,8 @@ impl HandshakeFlow {
 pub struct ArrivalCx<'a> {
     /// Current cycle.
     pub now: Cycle,
+    /// The home node id (trace-event addressing).
+    pub home: usize,
     /// The home's ring segment (for circulation reinjects).
     pub home_seg: usize,
     /// Fixed handshake delay (`segments + 1`).
@@ -328,7 +337,7 @@ impl FlowKind {
     #[inline]
     pub fn on_tokens_destroyed(&mut self, destroyed: usize, m: &mut NetworkMetrics) {
         if let FlowKind::Slot(s) = self {
-            s.lost_reservations += destroyed as u32;
+            s.lost_reservations += crate::convert::narrow_u32(destroyed);
             m.credit_leaks += destroyed as u64;
         }
     }
@@ -445,6 +454,13 @@ impl FlowKind {
                 } else {
                     // Drop; the sender retransmits on NACK (§III-A).
                     m.drops += 1;
+                    m.trace(
+                        cx.now,
+                        cx.home,
+                        pkt.src_node as usize,
+                        pkt.id,
+                        EventKind::Drop,
+                    );
                     h.acks.schedule(
                         ack_at,
                         AckEvent {
@@ -462,11 +478,13 @@ impl FlowKind {
                     // Reinject: the packet stays on the ring for another
                     // loop; the home consumes this cycle's token virtually
                     // (§III-C).
+                    let (src, id) = (pkt.src_node as usize, pkt.id);
                     pkt.sends += 1;
                     pkt.sent_at = cx.now; // next arrival check in R cycles
                     cx.data.put(cx.home_seg, pkt);
                     *cx.suppress_token = true;
                     m.circulations += 1;
+                    m.trace(cx.now, cx.home, src, id, EventKind::Circulate);
                 }
             }
         }

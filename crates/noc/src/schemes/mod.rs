@@ -48,7 +48,9 @@ pub fn build(cfg: &NetworkConfig) -> (ArbiterKind, FlowKind) {
         ArbiterKind::Distributed(DistributedArbiter::new())
     };
     let flow = match cfg.scheme {
-        Scheme::TokenChannel => FlowKind::Credit(CreditFlow::new(cfg.input_buffer as u32)),
+        Scheme::TokenChannel => FlowKind::Credit(CreditFlow::new(crate::convert::narrow_u32(
+            cfg.input_buffer,
+        ))),
         Scheme::TokenSlot => FlowKind::Slot(SlotFlow::default()),
         Scheme::Ghs { setaside } | Scheme::Dhs { setaside } => {
             FlowKind::Handshake(HandshakeFlow::new(cfg.ring_segments, setaside > 0))
@@ -116,6 +118,7 @@ mod tests {
         fn cx(&mut self, now: u64) -> TokenCx<'_> {
             TokenCx {
                 now,
+                home: 0,
                 fairness: FairnessPolicy::None,
                 nodes: 16,
                 step: 4,
@@ -286,6 +289,7 @@ mod tests {
             let fired_before = m.timeout_retransmissions;
             h.phase_acks(
                 now,
+                0,
                 &mut senders,
                 &dist_of,
                 &mut sendable,

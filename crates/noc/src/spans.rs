@@ -1,0 +1,24 @@
+//! Phase-profiling span hooks, cfg-twinned on the `obs-trace` feature.
+//!
+//! `obs-trace` builds forward to [`pnoc_obs::prof`], which accumulates
+//! call counts and wall-clock nanoseconds per phase in a thread-local
+//! table. Default builds compile [`span`] to a unit-struct constructor the
+//! optimizer deletes, so the perf-gated hot loop pays nothing.
+
+#[cfg(feature = "obs-trace")]
+#[inline]
+pub(crate) fn span(name: &'static str) -> pnoc_obs::prof::SpanGuard {
+    pnoc_obs::prof::enter(name)
+}
+
+/// Traces-off stand-in for `pnoc_obs::prof::SpanGuard`: zero-sized, no
+/// `Drop`, so `let _span = span(...)` vanishes entirely.
+#[cfg(not(feature = "obs-trace"))]
+pub(crate) struct SpanGuard;
+
+#[cfg(not(feature = "obs-trace"))]
+#[allow(clippy::inline_always)] // the whole point: this must vanish
+#[inline(always)]
+pub(crate) fn span(_name: &'static str) -> SpanGuard {
+    SpanGuard
+}

@@ -195,7 +195,7 @@ impl SwmrNetwork {
             SwmrFlowControl::Handshake { setaside } => SendMode::Setaside(setaside),
         };
         let per_pair_credits = if cfg.flow == SwmrFlowControl::PartitionedCredit {
-            (cfg.input_buffer / (cfg.nodes - 1)).max(1) as u32
+            crate::convert::narrow_u32((cfg.input_buffer / (cfg.nodes - 1)).max(1))
         } else {
             0
         };
@@ -261,9 +261,9 @@ impl SwmrNetwork {
         self.next_id += 1;
         let pkt = Packet {
             id,
-            src_core: src_core as u32,
-            src_node: src_node as u32,
-            dst_node: dst_node as u32,
+            src_core: crate::convert::narrow_u32(src_core),
+            src_node: crate::convert::narrow_u32(src_node),
+            dst_node: crate::convert::narrow_u32(dst_node),
             kind,
             generated_at: now,
             enqueued_at: now,
@@ -453,7 +453,7 @@ impl SwmrNetwork {
                     self.metrics.delivered_measured += 1;
                     let lat = pkt.latency_at(available_at) as f64;
                     self.metrics.latency.record(lat);
-                    self.metrics.latency_hist.record(lat);
+                    self.metrics.latency_rec.record(lat);
                     self.metrics.latency_batches.record(lat);
                     rx.served_by_sender[pkt.src_node as usize] += 1;
                 }

@@ -1,0 +1,168 @@
+//! The packet-lifecycle event vocabulary and the trace record.
+//!
+//! One [`Event`] is emitted per observable step of a packet's life on an
+//! MWSR channel: injection, token grant, transmission, arrival at the home,
+//! the ACK/NACK handshake, and the terminal ejection (or the recovery paths
+//! — retransmission, circulation, duplicate suppression, abandonment).
+//! Fault-engine outcomes map into the same vocabulary so a faulted run's
+//! trace reads as one interleaved story.
+
+use serde::{Deserialize, Serialize};
+
+/// Sentinel packet id for events that concern no specific packet (token
+/// grants, token losses, ejection stalls).
+pub const NO_PACKET: u64 = u64::MAX;
+
+/// What happened. Variants follow the lifecycle order
+/// inject → token-grant → send → arrival → ACK/NACK → eject, with the
+/// recovery and fault paths after the happy path.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum EventKind {
+    /// A core handed a packet to the injection router.
+    Inject,
+    /// The channel's arbiter granted a sender the right to transmit.
+    TokenGrant,
+    /// First transmission of a packet onto the data ring.
+    Send,
+    /// A repeat transmission (after a NACK or an ACK timeout).
+    Retransmit,
+    /// An intact flit reached the home node's ring segment.
+    Arrival,
+    /// The home's ACK reached the sender (packet accepted).
+    Ack,
+    /// The home's NACK reached the sender (packet dropped; will retransmit).
+    Nack,
+    /// The home's buffer was full: the flit was discarded and a NACK
+    /// scheduled (handshake schemes only).
+    Drop,
+    /// The home's buffer was full: the flit was reinjected for another ring
+    /// loop (DHS-circulation only).
+    Circulate,
+    /// The packet left the home's input buffer toward a local core.
+    Eject,
+    /// An injected drain stall blocked ejection this cycle.
+    EjectStall,
+    /// A sender-side ACK timer expired and the packet was retransmitted.
+    TimeoutRetransmit,
+    /// A packet exhausted its retry budget and was abandoned.
+    Abandon,
+    /// The home discarded a duplicate arrival (retransmit after a lost ACK)
+    /// and re-ACKed it.
+    DuplicateSuppressed,
+    /// Fault: a data flit was destroyed in flight.
+    DataLost,
+    /// Fault: a data flit arrived corrupt (failed the home's CRC).
+    DataCorrupt,
+    /// Fault: an ACK/NACK pulse was lost on the handshake channel.
+    AckLost,
+    /// Fault: an arbitration token was destroyed in flight.
+    TokenLost,
+}
+
+impl EventKind {
+    /// Stable lowercase name (CSV column / log rendering).
+    pub fn name(self) -> &'static str {
+        match self {
+            EventKind::Inject => "inject",
+            EventKind::TokenGrant => "token_grant",
+            EventKind::Send => "send",
+            EventKind::Retransmit => "retransmit",
+            EventKind::Arrival => "arrival",
+            EventKind::Ack => "ack",
+            EventKind::Nack => "nack",
+            EventKind::Drop => "drop",
+            EventKind::Circulate => "circulate",
+            EventKind::Eject => "eject",
+            EventKind::EjectStall => "eject_stall",
+            EventKind::TimeoutRetransmit => "timeout_retransmit",
+            EventKind::Abandon => "abandon",
+            EventKind::DuplicateSuppressed => "duplicate_suppressed",
+            EventKind::DataLost => "data_lost",
+            EventKind::DataCorrupt => "data_corrupt",
+            EventKind::AckLost => "ack_lost",
+            EventKind::TokenLost => "token_lost",
+        }
+    }
+}
+
+/// One trace record. `channel` is the home node whose MWSR channel the event
+/// happened on; `node` is the sender node the event concerns (the home
+/// itself for home-side events with no sender, e.g. ejection stalls).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Event {
+    /// Simulation cycle.
+    pub cycle: u64,
+    /// Home node of the channel (one MWSR channel per home).
+    pub channel: u32,
+    /// Sender node the event concerns (or the home).
+    pub node: u32,
+    /// Packet id, or [`NO_PACKET`] for packet-less events.
+    pub packet: u64,
+    /// What happened.
+    pub kind: EventKind,
+}
+
+impl Event {
+    /// Build an event. The `usize` ids come straight from simulator state;
+    /// the narrowing to the packed `u32` representation happens here, inside
+    /// the observability layer, so hook call sites in the simulator stay
+    /// free of numeric casts.
+    #[inline]
+    pub fn new(cycle: u64, channel: usize, node: usize, packet: u64, kind: EventKind) -> Self {
+        Self {
+            cycle,
+            channel: channel as u32,
+            node: node as u32,
+            packet,
+            kind,
+        }
+    }
+
+    /// Render as one CSV row (see [`csv_header`]).
+    pub fn csv_row(&self) -> String {
+        let packet = if self.packet == NO_PACKET {
+            String::from("-")
+        } else {
+            self.packet.to_string()
+        };
+        format!(
+            "{},{},{},{},{}",
+            self.cycle,
+            self.channel,
+            self.node,
+            packet,
+            self.kind.name()
+        )
+    }
+}
+
+/// Header row matching [`Event::csv_row`].
+pub fn csv_header() -> &'static str {
+    "cycle,channel,node,packet,kind"
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn csv_row_matches_header_arity() {
+        let ev = Event::new(12, 3, 7, 42, EventKind::Send);
+        let cols = ev.csv_row().split(',').count();
+        assert_eq!(cols, csv_header().split(',').count());
+    }
+
+    #[test]
+    fn packetless_events_render_a_dash() {
+        let ev = Event::new(0, 0, 0, NO_PACKET, EventKind::TokenGrant);
+        assert!(ev.csv_row().ends_with(",-,token_grant"));
+    }
+
+    #[test]
+    fn kinds_serialize_round_trip() {
+        let ev = Event::new(5, 1, 2, 9, EventKind::DuplicateSuppressed);
+        let json = serde_json::to_string(&ev).unwrap();
+        let back: Event = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, ev);
+    }
+}

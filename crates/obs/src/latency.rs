@@ -1,0 +1,378 @@
+//! Unbounded-range latency recording.
+//!
+//! [`LatencyRecorder`] replaces the fixed-range histogram the simulator
+//! previously used for percentiles. That histogram covered `[0, 2048)`
+//! cycles with 1-cycle bins and shunted everything beyond into a single
+//! overflow bucket, so `quantile(0.99)` returned `+inf` the moment 1 % of
+//! samples crossed 2048 cycles — precisely the near-saturation regime the
+//! paper's figures care about.
+//!
+//! The recorder keeps the exact 1-cycle linear bins over the region where
+//! the paper's figures live, then switches to HDR-histogram-style
+//! logarithmic buckets: every power-of-two octave above the linear region is
+//! split into [`SUB_BUCKETS`] equal sub-buckets, bounding the relative
+//! quantile error at `1/SUB_BUCKETS` (≈ 3.1 %) all the way to the 2^40-cycle
+//! cap. Beyond the cap an explicit overflow counter plus the exact maximum
+//! keep even pathological runs honest: `quantile` reports the tracked
+//! maximum instead of infinity.
+
+use serde::{Deserialize, Serialize};
+
+/// Sub-buckets per power-of-two octave in the logarithmic region. 32 bounds
+/// the relative error of a bucket upper edge at 1/32 ≈ 3.1 %.
+pub const SUB_BUCKETS: u64 = 32;
+
+/// Samples at or above `2^CAP_LOG2` land in the overflow counter. 2^40
+/// cycles is ~3 orders of magnitude beyond any simulated horizon; overflow
+/// is a diagnostic ("this run is broken"), not an expected path.
+pub const CAP_LOG2: u32 = 40;
+
+/// Log-bucketed latency recorder with an exact linear region (see module
+/// docs). The `f64` recording API mirrors the fixed histogram it replaces.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct LatencyRecorder {
+    /// Exact 1-cycle bins over `[0, linear_bins)`.
+    linear: Vec<u64>,
+    /// Octave sub-buckets over `[linear_bins, 2^CAP_LOG2)`.
+    log: Vec<u64>,
+    /// Samples at or beyond the cap.
+    overflow: u64,
+    /// Total samples recorded.
+    total: u64,
+    /// Largest sample seen (exact, even in overflow).
+    max: u64,
+    /// Linear-region width (power of two, ≥ [`SUB_BUCKETS`]).
+    linear_bins: u64,
+    /// `log2(linear_bins)`, the first logarithmic octave.
+    first_octave: u32,
+}
+
+impl LatencyRecorder {
+    /// A recorder with `linear_bins` exact 1-cycle bins. `linear_bins` must
+    /// be a power of two and at least [`SUB_BUCKETS`] (so every logarithmic
+    /// octave is at least sub-bucket wide).
+    pub fn new(linear_bins: u64) -> Self {
+        assert!(
+            linear_bins.is_power_of_two() && linear_bins >= SUB_BUCKETS,
+            "linear region must be a power of two >= {SUB_BUCKETS}"
+        );
+        let first_octave = linear_bins.trailing_zeros();
+        assert!(first_octave < CAP_LOG2, "linear region exceeds the cap");
+        let octaves = CAP_LOG2 - first_octave;
+        Self {
+            linear: vec![0; usize::try_from(linear_bins).expect("linear region fits usize")],
+            log: vec![0; octaves as usize * SUB_BUCKETS as usize],
+            overflow: 0,
+            total: 0,
+            max: 0,
+            linear_bins,
+            first_octave,
+        }
+    }
+
+    /// The standard configuration for packet latencies in cycles: exact over
+    /// `[0, 2048)` (where the paper's figures live), ≈ 3 % buckets beyond.
+    pub fn cycles() -> Self {
+        Self::new(2048)
+    }
+
+    /// Record one observation. Mirrors the old histogram's contract:
+    /// negative values clamp to bin 0 (and `NaN` follows the `as`-cast
+    /// convention of landing at 0).
+    #[inline]
+    pub fn record(&mut self, x: f64) {
+        self.record_cycles(if x < 0.0 { 0 } else { x as u64 });
+    }
+
+    /// Record one observation already expressed in whole cycles.
+    #[inline]
+    pub fn record_cycles(&mut self, v: u64) {
+        self.total += 1;
+        self.max = self.max.max(v);
+        if v < self.linear_bins {
+            self.linear[v as usize] += 1;
+        } else if v >> CAP_LOG2 != 0 {
+            self.overflow += 1;
+        } else {
+            let i = self.log_index(v);
+            self.log[i] += 1;
+        }
+    }
+
+    /// Sub-bucket index for `v` in `[linear_bins, 2^CAP_LOG2)`.
+    #[inline]
+    fn log_index(&self, v: u64) -> usize {
+        debug_assert!(v >= self.linear_bins && v >> CAP_LOG2 == 0);
+        // 2^k <= v < 2^(k+1); sub-bucket width is 2^k / SUB_BUCKETS.
+        let k = 63 - v.leading_zeros();
+        let shift = k - SUB_BUCKETS.trailing_zeros();
+        let sub = (v - (1u64 << k)) >> shift;
+        ((k - self.first_octave) as u64 * SUB_BUCKETS + sub) as usize
+    }
+
+    /// Inclusive lower edge of log bucket `idx`.
+    fn log_lower(&self, idx: usize) -> u64 {
+        let idx = idx as u64;
+        let k = self.first_octave + u32::try_from(idx / SUB_BUCKETS).expect("octave fits u32");
+        let width = (1u64 << k) / SUB_BUCKETS;
+        (1u64 << k) + (idx % SUB_BUCKETS) * width
+    }
+
+    /// Exclusive upper edge of log bucket `idx`.
+    fn log_upper(&self, idx: usize) -> u64 {
+        let idx = idx as u64;
+        let k = self.first_octave + u32::try_from(idx / SUB_BUCKETS).expect("octave fits u32");
+        let width = (1u64 << k) / SUB_BUCKETS;
+        self.log_lower(idx as usize) + width
+    }
+
+    /// Merge another recorder with identical geometry.
+    pub fn merge(&mut self, other: &LatencyRecorder) {
+        assert_eq!(self.linear_bins, other.linear_bins, "geometry mismatch");
+        for (a, b) in self.linear.iter_mut().zip(&other.linear) {
+            *a += b;
+        }
+        for (a, b) in self.log.iter_mut().zip(&other.log) {
+            *a += b;
+        }
+        self.overflow += other.overflow;
+        self.total += other.total;
+        self.max = self.max.max(other.max);
+    }
+
+    /// Total observations recorded (including overflow).
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// Observations at or beyond the 2^[`CAP_LOG2`]-cycle cap. Nonzero means
+    /// the run produced latencies no simulation horizon should — callers
+    /// treat it as a saturation/brokenness flag, never as data.
+    pub fn overflow(&self) -> u64 {
+        self.overflow
+    }
+
+    /// Largest observation (exact); 0 when empty.
+    pub fn max(&self) -> u64 {
+        self.max
+    }
+
+    /// True if nothing was recorded.
+    pub fn is_empty(&self) -> bool {
+        self.total == 0
+    }
+
+    /// Number of observations `>= threshold`. Exact when `threshold` lies on
+    /// a bucket boundary (any value ≤ the linear region's width qualifies,
+    /// as does any power of two); otherwise counts whole buckets from the
+    /// first whose lower edge is ≥ `threshold` (an undercount by at most the
+    /// straddling bucket).
+    pub fn count_ge(&self, threshold: u64) -> u64 {
+        let mut n = self.overflow;
+        for (i, &c) in self.linear.iter().enumerate() {
+            if i as u64 >= threshold {
+                n += c;
+            }
+        }
+        for (i, &c) in self.log.iter().enumerate() {
+            if self.log_lower(i) >= threshold {
+                n += c;
+            }
+        }
+        n
+    }
+
+    /// The `q`-quantile (`0.0..=1.0`) as the upper edge of the bucket that
+    /// contains it — the same convention as the fixed histogram this
+    /// replaces, so values inside the linear region are bit-identical.
+    /// `NaN` when empty. When the quantile falls past the cap, returns the
+    /// exact tracked maximum — always finite, never `+inf`.
+    pub fn quantile(&self, q: f64) -> f64 {
+        assert!((0.0..=1.0).contains(&q), "quantile must be in [0, 1]");
+        if self.total == 0 {
+            return f64::NAN;
+        }
+        let target = (q * self.total as f64).ceil().max(1.0) as u64;
+        let mut seen = 0;
+        for (i, &c) in self.linear.iter().enumerate() {
+            seen += c;
+            if seen >= target {
+                return (i + 1) as f64;
+            }
+        }
+        for (i, &c) in self.log.iter().enumerate() {
+            seen += c;
+            if seen >= target {
+                return self.log_upper(i) as f64;
+            }
+        }
+        self.max as f64
+    }
+
+    /// Median (50th percentile).
+    pub fn median(&self) -> f64 {
+        self.quantile(0.5)
+    }
+
+    /// Non-empty buckets as `(lower, upper, count)` triples in ascending
+    /// order, with overflow rendered as a final `(cap, max + 1, n)` entry —
+    /// the export format for distribution dumps.
+    pub fn nonzero_buckets(&self) -> Vec<(u64, u64, u64)> {
+        let mut out = Vec::new();
+        for (i, &c) in self.linear.iter().enumerate() {
+            if c > 0 {
+                out.push((i as u64, i as u64 + 1, c));
+            }
+        }
+        for (i, &c) in self.log.iter().enumerate() {
+            if c > 0 {
+                out.push((self.log_lower(i), self.log_upper(i), c));
+            }
+        }
+        if self.overflow > 0 {
+            out.push((1u64 << CAP_LOG2, self.max + 1, self.overflow));
+        }
+        out
+    }
+}
+
+impl Default for LatencyRecorder {
+    fn default() -> Self {
+        Self::cycles()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn linear_region_matches_fixed_histogram_semantics() {
+        let mut r = LatencyRecorder::cycles();
+        for i in 0..100 {
+            r.record(i as f64);
+        }
+        assert_eq!(r.total(), 100);
+        assert!((r.median() - 50.0).abs() <= 1.0);
+        assert!((r.quantile(0.99) - 99.0).abs() <= 1.0);
+        assert_eq!(r.quantile(0.0), 1.0, "first bucket's upper edge");
+    }
+
+    #[test]
+    fn log_region_bounds_relative_error() {
+        let mut r = LatencyRecorder::cycles();
+        for v in [3000u64, 50_000, 1_000_000, 123_456_789] {
+            r.record_cycles(v);
+            let idx = r.log_index(v);
+            let (lo, hi) = (r.log_lower(idx), r.log_upper(idx));
+            assert!(lo <= v && v < hi, "{v} outside [{lo}, {hi})");
+            assert!(
+                (hi - lo) as f64 <= v as f64 / SUB_BUCKETS as f64 + 1.0,
+                "bucket [{lo}, {hi}) too wide for {v}"
+            );
+        }
+    }
+
+    #[test]
+    fn octave_boundaries_land_in_their_first_sub_bucket() {
+        let r = LatencyRecorder::cycles();
+        for k in 11..CAP_LOG2 {
+            let v = 1u64 << k;
+            let idx = r.log_index(v);
+            assert_eq!(r.log_lower(idx), v, "2^{k} must open its octave");
+        }
+        // Last representable value before the cap sits in the last bucket.
+        let idx = r.log_index((1u64 << CAP_LOG2) - 1);
+        assert_eq!(idx, r.log.len() - 1);
+    }
+
+    #[test]
+    fn quantile_beyond_linear_region_is_finite_and_close() {
+        // The headline-bug scenario: >1 % of samples past 2048 cycles, so
+        // rank ceil(0.99 * 1000) = 990 lands among the 3000-cycle tail.
+        let mut r = LatencyRecorder::cycles();
+        for _ in 0..985 {
+            r.record(100.0);
+        }
+        for _ in 0..15 {
+            r.record(3000.0);
+        }
+        let p99 = r.quantile(0.99);
+        assert!(p99.is_finite(), "tail percentile must never be +inf");
+        assert!(
+            p99 >= 3000.0 && p99 <= 3000.0 * (1.0 + 1.0 / SUB_BUCKETS as f64),
+            "p99 {p99} not within one bucket of 3000"
+        );
+    }
+
+    #[test]
+    fn overflow_reports_tracked_max_not_infinity() {
+        let mut r = LatencyRecorder::cycles();
+        r.record_cycles(5);
+        r.record_cycles(1u64 << 41);
+        assert_eq!(r.overflow(), 1);
+        assert_eq!(r.max(), 1u64 << 41);
+        assert_eq!(r.quantile(1.0), (1u64 << 41) as f64);
+    }
+
+    #[test]
+    fn count_ge_is_exact_at_the_linear_boundary() {
+        let mut r = LatencyRecorder::cycles();
+        for v in [10u64, 2047, 2048, 2049, 4096, 1u64 << 41] {
+            r.record_cycles(v);
+        }
+        assert_eq!(r.count_ge(2048), 4);
+        assert_eq!(r.count_ge(0), 6);
+        assert_eq!(r.count_ge(4096), 2);
+        assert_eq!(r.overflow(), 1);
+    }
+
+    #[test]
+    fn negative_and_nan_clamp_to_zero() {
+        let mut r = LatencyRecorder::cycles();
+        r.record(-3.0);
+        r.record(f64::NAN);
+        assert_eq!(r.total(), 2);
+        assert_eq!(r.count_ge(1), 0);
+    }
+
+    #[test]
+    fn merge_equals_sequential() {
+        let mut whole = LatencyRecorder::cycles();
+        let mut a = LatencyRecorder::cycles();
+        let mut b = LatencyRecorder::cycles();
+        for v in 0..5000u64 {
+            whole.record_cycles(v * 7);
+            if v % 2 == 0 {
+                a.record_cycles(v * 7);
+            } else {
+                b.record_cycles(v * 7);
+            }
+        }
+        a.merge(&b);
+        assert_eq!(a.total(), whole.total());
+        assert_eq!(a.max(), whole.max());
+        assert_eq!(a.quantile(0.99).to_bits(), whole.quantile(0.99).to_bits());
+    }
+
+    #[test]
+    fn nonzero_buckets_cover_every_sample() {
+        let mut r = LatencyRecorder::cycles();
+        for v in [1u64, 1, 5000, 1u64 << 41] {
+            r.record_cycles(v);
+        }
+        let buckets = r.nonzero_buckets();
+        let counted: u64 = buckets.iter().map(|&(_, _, c)| c).sum();
+        assert_eq!(counted, r.total());
+        for w in buckets.windows(2) {
+            assert!(w[0].1 <= w[1].0, "buckets must be ascending and disjoint");
+        }
+    }
+
+    #[test]
+    fn empty_recorder_is_nan() {
+        let r = LatencyRecorder::cycles();
+        assert!(r.quantile(0.99).is_nan());
+        assert!(r.is_empty());
+    }
+}

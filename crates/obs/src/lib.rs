@@ -1,0 +1,44 @@
+//! # pnoc-obs — observability for the nanophotonic NoC
+//!
+//! The paper's headline figures are latency-vs-load curves that matter most
+//! *near saturation* — exactly where end-to-end averages stop explaining
+//! anything. This crate is the workspace's observability layer: structured
+//! packet-lifecycle traces, per-channel occupancy time-series, a latency
+//! recorder whose range is effectively unbounded (so tail percentiles are
+//! never silently clipped), and scoped profiling counters for the scheme
+//! pipeline's hot phases.
+//!
+//! Design rules:
+//!
+//! * **Zero cost when disabled.** The simulator (`pnoc-noc`) calls into this
+//!   crate through `cfg`-twinned hooks behind its `obs-trace` cargo feature;
+//!   default builds compile the hooks to nothing, and the CI perf gate and
+//!   byte-identical determinism pins run on exactly that build.
+//! * **Observation never feeds back.** Nothing here is read by simulation
+//!   state; traces and samples are append-only outputs. This is also why the
+//!   crate sits *outside* the `pnoc-verify` `no-wall-clock` lint scope: the
+//!   [`prof`] span counters may read `Instant::now` because their output can
+//!   never perturb a run.
+//! * **Bounded memory.** The event trace is a fixed-capacity ring
+//!   ([`RingTrace`]), the occupancy sampler has an explicit sample cap, and
+//!   both count what they drop instead of silently truncating.
+//!
+//! The one component that is *always* on is [`LatencyRecorder`]: it replaces
+//! the fixed 2048-bin histogram `pnoc-noc` used for percentiles, which
+//! clipped every sample ≥ 2048 cycles into an overflow bucket and reported
+//! `p99 = +inf` near saturation.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod event;
+pub mod latency;
+pub mod prof;
+pub mod sampler;
+pub mod svg;
+pub mod trace;
+
+pub use event::{Event, EventKind, NO_PACKET};
+pub use latency::{LatencyRecorder, CAP_LOG2, SUB_BUCKETS};
+pub use sampler::{ChannelSample, OccupancySampler};
+pub use trace::{ObsSink, RingTrace, TraceExport};

@@ -1,0 +1,158 @@
+//! Scoped profiling counters for the scheme pipeline's hot phases.
+//!
+//! `pnoc-noc` wraps each per-cycle channel phase (arrival, ACK handling,
+//! transmit, token rotation, ejection) in a span; every [`enter`]/drop pair
+//! accumulates call count and wall-clock nanoseconds into a thread-local
+//! table keyed by the span's static name. [`snapshot`] dumps the table so
+//! perf work can attribute cycles/sec to phases instead of guessing.
+//!
+//! This is the one place in the workspace allowed to read wall-clock time:
+//! span timings are pure output — nothing in the simulator reads them — so
+//! they cannot perturb determinism (and `pnoc-verify`'s `no-wall-clock` lint
+//! scope deliberately excludes this crate for exactly that reason). In
+//! traces-off builds the simulator compiles its span hooks away entirely,
+//! so none of this code runs on the perf-gated path.
+
+use serde::Serialize;
+use std::cell::RefCell;
+use std::time::Instant;
+
+#[derive(Debug, Clone, Copy)]
+struct Slot {
+    name: &'static str,
+    calls: u64,
+    nanos: u64,
+}
+
+thread_local! {
+    /// Linear table, not a map: span names are a handful of static strings,
+    /// and a scan keeps Drop allocation-free and deterministic in ordering
+    /// (first-entered first).
+    static SPANS: RefCell<Vec<Slot>> = const { RefCell::new(Vec::new()) };
+}
+
+/// Live guard for one span; records on drop.
+#[derive(Debug)]
+pub struct SpanGuard {
+    name: &'static str,
+    start: Instant,
+}
+
+/// Open a span named `name`; timing is recorded when the guard drops.
+#[inline]
+pub fn enter(name: &'static str) -> SpanGuard {
+    SpanGuard {
+        name,
+        start: Instant::now(),
+    }
+}
+
+impl Drop for SpanGuard {
+    fn drop(&mut self) {
+        let nanos = u64::try_from(self.start.elapsed().as_nanos()).unwrap_or(u64::MAX);
+        SPANS.with(|spans| {
+            let mut spans = spans.borrow_mut();
+            if let Some(slot) = spans.iter_mut().find(|s| std::ptr::eq(s.name, self.name)) {
+                slot.calls += 1;
+                slot.nanos = slot.nanos.saturating_add(nanos);
+            } else {
+                spans.push(Slot {
+                    name: self.name,
+                    calls: 1,
+                    nanos,
+                });
+            }
+        });
+    }
+}
+
+/// Accumulated statistics for one span name on this thread.
+#[derive(Debug, Clone, Serialize)]
+pub struct SpanStats {
+    /// Span name as passed to [`enter`].
+    pub name: String,
+    /// Times the span was entered.
+    pub calls: u64,
+    /// Total nanoseconds spent inside (saturating).
+    pub nanos: u64,
+}
+
+/// Snapshot this thread's span table, in first-entered order.
+pub fn snapshot() -> Vec<SpanStats> {
+    SPANS.with(|spans| {
+        spans
+            .borrow()
+            .iter()
+            .map(|s| SpanStats {
+                name: s.name.to_string(),
+                calls: s.calls,
+                nanos: s.nanos,
+            })
+            .collect()
+    })
+}
+
+/// Clear this thread's span table (start of a profiled run).
+pub fn reset() {
+    SPANS.with(|spans| spans.borrow_mut().clear());
+}
+
+/// Render a snapshot as an aligned text table (for demo-bin stdout).
+pub fn render_table(stats: &[SpanStats]) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::from("span                      calls        total ms    ns/call\n");
+    for s in stats {
+        let per_call = s.nanos.checked_div(s.calls).unwrap_or(0);
+        let _ = writeln!(
+            out,
+            "{:<24} {:>8} {:>15.3} {:>10}",
+            s.name,
+            s.calls,
+            s.nanos as f64 / 1e6,
+            per_call
+        );
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn spans_accumulate_calls() {
+        reset();
+        for _ in 0..3 {
+            let _g = enter("test_phase_a");
+        }
+        {
+            let _g = enter("test_phase_b");
+        }
+        let stats = snapshot();
+        assert_eq!(stats.len(), 2);
+        assert_eq!(stats[0].name, "test_phase_a");
+        assert_eq!(stats[0].calls, 3);
+        assert_eq!(stats[1].calls, 1);
+        reset();
+        assert!(snapshot().is_empty());
+    }
+
+    #[test]
+    fn table_renders_one_row_per_span() {
+        let stats = vec![
+            SpanStats {
+                name: "phase_transmit".into(),
+                calls: 10,
+                nanos: 5000,
+            },
+            SpanStats {
+                name: "phase_eject".into(),
+                calls: 0,
+                nanos: 0,
+            },
+        ];
+        let table = render_table(&stats);
+        assert_eq!(table.lines().count(), 3);
+        assert!(table.contains("phase_transmit"));
+    }
+}

@@ -1,0 +1,209 @@
+//! Occupancy-timeline SVG renderer.
+//!
+//! Renders an [`OccupancySampler`](crate::sampler::OccupancySampler) series
+//! as one polyline per channel (cycle on x, input-buffer occupancy on y).
+//! Hand-rolled like `pnoc-bench`'s `plot.rs` — polylines, ticks, a legend,
+//! no plotting dependency — so the two renderers stay stylistically
+//! interchangeable in the figures directory.
+
+use crate::sampler::ChannelSample;
+use std::fmt::Write as _;
+
+/// Series colours (same colour-blind-safe-ish palette as `plot.rs`).
+const COLORS: [&str; 8] = [
+    "#1b6ca8", "#d1495b", "#66a182", "#edae49", "#8d5a97", "#00798c", "#d1903a", "#3d3d3d",
+];
+
+/// Legend entries are capped here; with more channels the legend would
+/// swallow the plot (colours cycle, so series beyond the cap still render).
+const LEGEND_MAX: usize = 8;
+
+/// Render a per-channel occupancy timeline. `y_max` is the occupancy axis
+/// ceiling — pass the home input-buffer capacity so a flat-topped trace
+/// visibly pins to the top of the plot.
+pub fn render_occupancy_svg(title: &str, samples: &[ChannelSample], y_max: u32) -> String {
+    let width: u32 = 820;
+    let height: u32 = 440;
+    let margin_l = 56.0;
+    let margin_r = 16.0;
+    let margin_t = 36.0;
+    let margin_b = 96.0; // room for legend
+    let w = f64::from(width);
+    let h = f64::from(height);
+    let plot_w = w - margin_l - margin_r;
+    let plot_h = h - margin_t - margin_b;
+
+    let x_max = samples.iter().map(|s| s.cycle).max().unwrap_or(1).max(1) as f64;
+    let y_max = f64::from(y_max.max(1));
+    let x_of = |c: u64| margin_l + c as f64 / x_max * plot_w;
+    let y_of = |occ: u32| margin_t + (1.0 - (f64::from(occ).min(y_max) / y_max)) * plot_h;
+
+    let mut channels: Vec<u32> = samples.iter().map(|s| s.channel).collect();
+    channels.sort_unstable();
+    channels.dedup();
+
+    let mut svg = String::new();
+    let _ = write!(
+        svg,
+        r#"<svg xmlns="http://www.w3.org/2000/svg" width="{width}" height="{height}" viewBox="0 0 {w} {h}" font-family="sans-serif" font-size="12">"#,
+    );
+    let _ = write!(
+        svg,
+        r#"<rect width="{w}" height="{h}" fill="white"/><text x="{}" y="20" text-anchor="middle" font-size="14" font-weight="bold">{}</text>"#,
+        w / 2.0,
+        xml_escape(title)
+    );
+
+    // Axes.
+    let _ = write!(
+        svg,
+        r#"<line x1="{margin_l}" y1="{}" x2="{}" y2="{}" stroke="black"/><line x1="{margin_l}" y1="{margin_t}" x2="{margin_l}" y2="{}" stroke="black"/>"#,
+        margin_t + plot_h,
+        margin_l + plot_w,
+        margin_t + plot_h,
+        margin_t + plot_h,
+    );
+    // Y ticks: quarters of the buffer capacity.
+    for i in 0..=4 {
+        let yv = y_max * f64::from(i) / 4.0;
+        let y = margin_t + (1.0 - yv / y_max) * plot_h;
+        let _ = write!(
+            svg,
+            r#"<line x1="{}" y1="{y}" x2="{margin_l}" y2="{y}" stroke="black"/><text x="{}" y="{}" text-anchor="end">{yv:.0}</text>"#,
+            margin_l - 4.0,
+            margin_l - 8.0,
+            y + 4.0,
+        );
+    }
+    // X ticks: 6 divisions of the cycle range.
+    for i in 0..=6 {
+        let xv = x_max * f64::from(i) / 6.0;
+        let x = margin_l + xv / x_max * plot_w;
+        let _ = write!(
+            svg,
+            r#"<line x1="{x}" y1="{}" x2="{x}" y2="{}" stroke="black"/><text x="{x}" y="{}" text-anchor="middle">{xv:.0}</text>"#,
+            margin_t + plot_h,
+            margin_t + plot_h + 4.0,
+            margin_t + plot_h + 18.0,
+        );
+    }
+    // Axis labels.
+    let _ = write!(
+        svg,
+        r#"<text x="{}" y="{}" text-anchor="middle">Cycle</text>"#,
+        margin_l + plot_w / 2.0,
+        margin_t + plot_h + 38.0,
+    );
+    let _ = write!(
+        svg,
+        r#"<text x="16" y="{}" text-anchor="middle" transform="rotate(-90 16 {})">Input-buffer occupancy (flits)</text>"#,
+        margin_t + plot_h / 2.0,
+        margin_t + plot_h / 2.0,
+    );
+
+    // One polyline per channel (samples are already in cycle order per
+    // channel because the network records them in the per-cycle step loop).
+    for (i, &ch) in channels.iter().enumerate() {
+        let color = COLORS[i % COLORS.len()];
+        let mut path = String::new();
+        for s in samples.iter().filter(|s| s.channel == ch) {
+            let _ = write!(path, "{:.1},{:.1} ", x_of(s.cycle), y_of(s.occupancy));
+        }
+        if !path.is_empty() {
+            let _ = write!(
+                svg,
+                r#"<polyline points="{}" fill="none" stroke="{color}" stroke-width="1.5"/>"#,
+                path.trim_end()
+            );
+        }
+        if i < LEGEND_MAX {
+            let col = i % 4;
+            let row = i / 4;
+            let lx = margin_l + col as f64 * 180.0;
+            let ly = margin_t + plot_h + 52.0 + 16.0 * row as f64;
+            let _ = write!(
+                svg,
+                r#"<line x1="{lx}" y1="{ly}" x2="{}" y2="{ly}" stroke="{color}" stroke-width="2"/><text x="{}" y="{}">channel {ch}</text>"#,
+                lx + 24.0,
+                lx + 30.0,
+                ly + 4.0,
+            );
+        }
+    }
+    if channels.len() > LEGEND_MAX {
+        let ly = margin_t + plot_h + 52.0 + 16.0 * 2.0;
+        let _ = write!(
+            svg,
+            r#"<text x="{margin_l}" y="{}" font-style="italic">… and {} more channels (colours cycle)</text>"#,
+            ly + 4.0,
+            channels.len() - LEGEND_MAX
+        );
+    }
+    svg.push_str("</svg>");
+    svg
+}
+
+fn xml_escape(s: &str) -> String {
+    s.replace('&', "&amp;")
+        .replace('<', "&lt;")
+        .replace('>', "&gt;")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn series() -> Vec<ChannelSample> {
+        let mut out = Vec::new();
+        for cycle in (0..200).step_by(16) {
+            for ch in 0..3usize {
+                out.push(ChannelSample::new(
+                    cycle,
+                    ch,
+                    (cycle as usize / 16 + ch) % 9,
+                    0,
+                    0,
+                    0,
+                    0,
+                ));
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn svg_has_one_polyline_per_channel() {
+        let svg = render_occupancy_svg("occupancy <t>", &series(), 8);
+        assert!(svg.starts_with("<svg"));
+        assert!(svg.ends_with("</svg>"));
+        assert_eq!(svg.matches("<polyline").count(), 3);
+        assert!(svg.contains("channel 2"));
+        assert!(svg.contains("occupancy &lt;t&gt;"), "title is XML-escaped");
+    }
+
+    #[test]
+    fn occupancy_clips_at_capacity() {
+        let samples = vec![ChannelSample::new(10, 0, 100, 0, 0, 0, 0)];
+        let svg = render_occupancy_svg("clip", &samples, 8);
+        // y_of(100 clipped to 8) = margin_t exactly (top of plot).
+        assert!(svg.contains("36.0"), "pinned trace renders at the top edge");
+    }
+
+    #[test]
+    fn empty_series_renders_axes_only() {
+        let svg = render_occupancy_svg("empty", &[], 8);
+        assert!(svg.contains("<line"));
+        assert!(!svg.contains("<polyline"));
+    }
+
+    #[test]
+    fn wide_networks_note_the_legend_cap() {
+        let mut samples = Vec::new();
+        for ch in 0..12usize {
+            samples.push(ChannelSample::new(0, ch, 1, 0, 0, 0, 0));
+        }
+        let svg = render_occupancy_svg("wide", &samples, 8);
+        assert_eq!(svg.matches("<polyline").count(), 12, "all series render");
+        assert!(svg.contains("4 more channels"));
+    }
+}

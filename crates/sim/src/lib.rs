@@ -31,5 +31,5 @@ pub use batch::BatchMeans;
 pub use clock::{Clock, Cycle};
 pub use plan::{Phase, RunPlan};
 pub use rng::SimRng;
-pub use stats::{Histogram, RateMeter, Running};
+pub use stats::{exact_quantile, Histogram, RateMeter, Running};
 pub use sweep::run_parallel;

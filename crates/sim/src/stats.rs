@@ -177,6 +177,13 @@ impl Histogram {
     /// The `q`-quantile (`0.0..=1.0`) as the upper edge of the bucket that
     /// contains it; `NaN` when empty, `+inf` when the quantile falls in the
     /// overflow bucket.
+    ///
+    /// The `+inf` case is why packet-latency percentiles no longer use this
+    /// type: any tail past `bins * width` is reported as infinite, which
+    /// silently clips near-saturation p99s. `pnoc_obs::LatencyRecorder`
+    /// keeps the same rank convention (see [`exact_quantile`]) with
+    /// log-bucketed range out to 2^40 and an explicit overflow counter.
+    /// `Histogram` remains correct for bounded-range data.
     pub fn quantile(&self, q: f64) -> f64 {
         assert!((0.0..=1.0).contains(&q), "quantile must be in [0, 1]");
         if self.total == 0 {
@@ -214,6 +221,21 @@ impl Histogram {
     pub fn counts(&self) -> &[u64] {
         &self.counts
     }
+}
+
+/// The exact `q`-quantile of a sample set, by the same rank convention the
+/// binned estimators use: the value of the `ceil(q * n).max(1)`-th smallest
+/// sample. `NaN` when empty. O(n log n) — this is the test oracle the binned
+/// quantiles are property-checked against, not a hot-path statistic.
+pub fn exact_quantile(samples: &[f64], q: f64) -> f64 {
+    assert!((0.0..=1.0).contains(&q), "quantile must be in [0, 1]");
+    if samples.is_empty() {
+        return f64::NAN;
+    }
+    let mut sorted = samples.to_vec();
+    sorted.sort_by(f64::total_cmp);
+    let target = (q * sorted.len() as f64).ceil().max(1.0) as usize;
+    sorted[target - 1]
 }
 
 /// Counts events over a known time window and reports a per-cycle rate.

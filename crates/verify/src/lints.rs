@@ -40,16 +40,33 @@ const SIM_STATE: &[&str] = &[
     "crates/cmp/src",
 ];
 
+/// [`SIM_STATE`] plus the observability crate. `pnoc-obs` never feeds back
+/// into simulation state, but its exports (event traces, occupancy CSVs,
+/// JSON dumps) are diffed in CI, so their ordering must be deterministic
+/// too.
+const SIM_STATE_AND_OBS: &[&str] = &[
+    "crates/noc/src",
+    "crates/sim/src",
+    "crates/faults/src",
+    "crates/traffic/src",
+    "crates/cmp/src",
+    "crates/obs/src",
+];
+
 /// The rule registry.
 pub const RULES: &[Rule] = &[
     Rule {
         id: "no-unordered-collections",
         needles: &["HashMap", "HashSet"],
-        scope: SIM_STATE,
+        scope: SIM_STATE_AND_OBS,
         rationale: "iteration order of std hash collections varies across \
                     runs/platforms; simulation state must use BTreeMap/BTreeSet \
                     or Vec so identical seeds give identical runs",
     },
+    // `crates/obs/src` is deliberately *outside* this scope: pnoc-obs is
+    // append-only output that simulation state never reads, so its span
+    // profiler may time phases with `Instant::now` without threatening
+    // replay. Everything the model itself executes stays in scope.
     Rule {
         id: "no-wall-clock",
         needles: &["Instant::now", "SystemTime"],

@@ -47,6 +47,10 @@ pub use pnoc_noc as noc;
 /// rings, drain stalls) and the timeout/retransmit recovery parameters.
 pub use pnoc_faults as faults;
 
+/// Observability: packet-lifecycle event traces, per-channel occupancy
+/// time-series, the unbounded-range latency recorder, span profiling.
+pub use pnoc_obs as obs;
+
 /// Power and energy models (laser, tuning, conversion, router).
 pub use pnoc_power as power;
 
