@@ -26,6 +26,19 @@ echo "== pnoc-verify (lints + model check + invariant audit) =="
 # handshake/credit FSMs, and the cycle-level invariant audit of full runs.
 cargo run --release -q -p pnoc-verify --offline -- --all
 
+echo "== pnoc-oracle differential smoke (fuzz --quick) =="
+# Differential testing against the independent reference simulator: 200
+# generated cases (override the count with PNOC_FUZZ_CASES) spanning all 7
+# paper schemes, half with fault schedules, must show zero divergences in
+# counters, per-packet ejection logs, and drain state. Then the sabotage
+# self-test: with the sabotage-dup-suppression feature compiled into
+# pnoc-noc (breaking HandshakeFlow duplicate suppression there only), the
+# harness must DETECT the divergence and shrink it — proving the diff is
+# alive, not vacuously green.
+cargo run --release -q -p pnoc-oracle --offline --bin fuzz -- --quick
+cargo run --release -q -p pnoc-oracle --offline \
+  --features sabotage-dup-suppression --bin fuzz -- --sabotage-check
+
 echo "== cargo test =="
 cargo test -q --workspace --offline
 

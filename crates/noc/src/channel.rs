@@ -314,9 +314,14 @@ impl Channel {
         // Duplicate suppression (recovery only): a retransmission whose
         // original was accepted but whose ACK was lost must not be delivered
         // twice. Discard it and re-ACK so the sender can release its copy.
+        //
+        // The `sabotage-dup-suppression` feature turns the accepted-id check
+        // into a constant `false` so the pnoc-oracle differential harness can
+        // prove it detects a real protocol bug; in the default build the
+        // `cfg!` folds away and this line is exactly the suppression check.
         if self.recovery.enabled {
             if let Some(h) = self.flow.handshake_mut() {
-                if h.accepted_ids.contains(pkt.id) {
+                if !cfg!(feature = "sabotage-dup-suppression") && h.accepted_ids.contains(pkt.id) {
                     m.duplicates_suppressed += 1;
                     m.trace(
                         now,

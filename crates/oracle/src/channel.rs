@@ -1,0 +1,409 @@
+//! Shared channel state and scheme-independent mechanics for the reference
+//! interpreters.
+//!
+//! [`RefChannel`] holds *everything* one MWSR channel owns — ring slots,
+//! per-sender queues, the home buffer, handshake events, timers, token
+//! state for both arbitration styles — as plain `Vec`s. The mechanics every
+//! scheme family shares verbatim (ring advance, the transmit phase, the
+//! eject phase, token-window probing) live here; everything a family does
+//! differently (arrival fate, handshake processing, token emission and
+//! accounting) is written out straight-line in the family modules
+//! ([`crate::credit`], [`crate::slot`], [`crate::handshake`],
+//! [`crate::circulation`]).
+
+use crate::diff::Counters;
+use crate::queue::{RefMode, RefQueue};
+use pnoc_faults::{ChannelInjector, DataFate, FaultEngine, RecoveryConfig};
+use pnoc_noc::config::FairnessPolicy;
+use pnoc_noc::{NetworkConfig, Packet, Scheme};
+use pnoc_sim::Cycle;
+
+/// Which straight-line interpreter drives this channel.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RefFamily {
+    /// Token channel: global token carrying the home's credits.
+    Credit,
+    /// Token slot: one distributed token = one committed buffer slot.
+    Slot,
+    /// GHS / DHS: ACK/NACK handshake (global or distributed arbitration).
+    Handshake,
+    /// DHS with circulation: full homes reinject instead of dropping.
+    Circulation,
+}
+
+/// State of the single global-arbitration token.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RefToken {
+    /// Travelling; `next` is the first downstream distance not yet examined.
+    Sweeping {
+        /// First downstream distance not yet examined.
+        next: usize,
+    },
+    /// Latched at a sender while it transmits.
+    Held {
+        /// Node holding the token.
+        node: usize,
+    },
+    /// Destroyed by a fault; the home re-emits after a watchdog period.
+    Lost {
+        /// Cycle of destruction.
+        since: Cycle,
+    },
+}
+
+/// An ACK/NACK pulse in flight on the handshake channel.
+#[derive(Debug, Clone, Copy)]
+pub struct RefAck {
+    /// Sender node the handshake addresses.
+    pub sender: usize,
+    /// Packet id it resolves.
+    pub id: u64,
+    /// `true` = ACK, `false` = NACK.
+    pub ok: bool,
+}
+
+/// One reference MWSR channel (see module docs).
+#[derive(Debug, Clone)]
+pub struct RefChannel {
+    /// The home node id.
+    pub home: usize,
+    /// Interpreter family.
+    pub family: RefFamily,
+    /// Global (single-token) or distributed (token-stream) arbitration.
+    pub global: bool,
+    /// Fairness policy applied at grant time.
+    pub fairness: FairnessPolicy,
+    /// Node count.
+    pub nodes: usize,
+    /// Ring segments (= full-loop traversal cycles).
+    pub segments: usize,
+    /// Nodes a signal passes per cycle (`nodes / segments`).
+    pub step: usize,
+    /// The home's ring segment.
+    pub home_seg: usize,
+    /// Fixed handshake delay (`segments + 1`).
+    pub handshake_delay: Cycle,
+    /// Home input-buffer capacity.
+    pub buffer_cap: usize,
+    /// Packets ejected to local cores per cycle.
+    pub ejection_per_cycle: usize,
+    /// Ejection-router pipeline depth in cycles.
+    pub eject_latency: Cycle,
+    /// Timeout/retransmit recovery parameters.
+    pub recovery: RecoveryConfig,
+    /// Whether transmissions arm sender-side ACK timers.
+    pub arm_timers: bool,
+
+    /// Ring slots indexed by segment; advance rotates toward higher indices.
+    pub ring: Vec<Option<Packet>>,
+    /// Per-sender output queues indexed by node id (`queues[home]` unused).
+    pub queues: Vec<RefQueue>,
+    /// Home input buffer, front first.
+    pub input: Vec<Packet>,
+    /// Release cycles of buffer slots held by flits in the ejection router.
+    pub releases: Vec<Cycle>,
+    /// Handshake pulses in flight, in scheduling order: `(land_at, pulse)`.
+    pub acks: Vec<(Cycle, RefAck)>,
+    /// Armed ACK timers: `(deadline, sender, id)`, fired in ascending order.
+    pub timers: Vec<(Cycle, usize, u64)>,
+    /// Packet ids accepted into the buffer (duplicate suppression).
+    pub accepted: Vec<u64>,
+    /// Senders with unconsumed grants.
+    pub active: Vec<usize>,
+    /// Circulation: a reinjection this cycle suppresses token emission.
+    pub suppress_token: bool,
+
+    /// Global arbitration: the single token's state.
+    pub token: RefToken,
+    /// Token channel: credits riding the token.
+    pub credits: u32,
+    /// Token channel: credits freed by ejections, awaiting a home pass.
+    pub uncommitted: u32,
+    /// Token channel: credits permanently destroyed by faults.
+    pub leaked: u32,
+
+    /// Distributed arbitration: live tokens, oldest first, each holding the
+    /// first downstream distance not yet examined.
+    pub tokens: Vec<usize>,
+    /// Token slot: reservations travelling with grants / flits in flight.
+    pub inflight: u32,
+    /// Token slot: reservations destroyed by token-loss faults.
+    pub lost_reservations: u32,
+
+    /// Fault injection for this channel (`None` on fault-free runs). The
+    /// injector itself is shared with `pnoc-noc` on purpose: both simulators
+    /// must draw the *same* fault schedule for a diff to mean anything.
+    pub injector: Option<ChannelInjector>,
+}
+
+impl RefChannel {
+    /// Build the reference channel homed at `home`.
+    pub fn new(home: usize, cfg: &NetworkConfig) -> Self {
+        let family = match cfg.scheme {
+            Scheme::TokenChannel => RefFamily::Credit,
+            Scheme::TokenSlot => RefFamily::Slot,
+            Scheme::Ghs { .. } | Scheme::Dhs { .. } => RefFamily::Handshake,
+            Scheme::DhsCirculation => RefFamily::Circulation,
+        };
+        let mode = match cfg.scheme {
+            Scheme::TokenChannel | Scheme::TokenSlot | Scheme::DhsCirculation => RefMode::Forget,
+            Scheme::Ghs { setaside } | Scheme::Dhs { setaside } => {
+                if setaside == 0 {
+                    RefMode::HoldHead
+                } else {
+                    RefMode::Setaside(setaside)
+                }
+            }
+        };
+        let step = cfg.nodes / cfg.ring_segments;
+        let injector = if cfg.faults.enabled() {
+            Some(FaultEngine::new(cfg.faults, cfg.seed).channel(home))
+        } else {
+            None
+        };
+        Self {
+            home,
+            family,
+            global: cfg.scheme.is_global(),
+            fairness: cfg.fairness,
+            nodes: cfg.nodes,
+            segments: cfg.ring_segments,
+            step,
+            home_seg: home / step,
+            handshake_delay: cfg.ring_segments as Cycle + 1,
+            buffer_cap: cfg.input_buffer,
+            ejection_per_cycle: cfg.ejection_per_cycle,
+            eject_latency: cfg.router_latency,
+            recovery: cfg.recovery,
+            arm_timers: cfg.recovery.enabled && cfg.scheme.uses_handshake(),
+            ring: vec![None; cfg.ring_segments],
+            queues: (0..cfg.nodes).map(|_| RefQueue::new(mode)).collect(),
+            input: Vec::new(),
+            releases: Vec::new(),
+            acks: Vec::new(),
+            timers: Vec::new(),
+            accepted: Vec::new(),
+            active: Vec::new(),
+            suppress_token: false,
+            token: RefToken::Sweeping { next: 0 },
+            credits: if matches!(family, RefFamily::Credit) {
+                u32::try_from(cfg.input_buffer).expect("buffer fits u32")
+            } else {
+                0
+            },
+            uncommitted: 0,
+            leaked: 0,
+            tokens: Vec::new(),
+            inflight: 0,
+            lost_reservations: 0,
+            injector,
+        }
+    }
+
+    /// Downstream distance of `node` from the home (0 = next node).
+    pub fn dist_of(&self, node: usize) -> usize {
+        debug_assert_ne!(node, self.home);
+        (node + self.nodes - self.home - 1) % self.nodes
+    }
+
+    /// Node at downstream distance `d` from the home.
+    pub fn by_distance(&self, d: usize) -> usize {
+        debug_assert!(d < self.nodes - 1);
+        (self.home + 1 + d) % self.nodes
+    }
+
+    /// Ring segment of `node`.
+    pub fn seg_of(&self, node: usize) -> usize {
+        node / self.step
+    }
+
+    /// Enqueue a packet into its sender's queue (injection pipeline exit).
+    pub fn enqueue(&mut self, pkt: Packet) {
+        debug_assert_eq!(pkt.dst_node as usize, self.home);
+        self.queues[pkt.src_node as usize].queue.push(pkt);
+    }
+
+    /// Whether every queue, slot, buffer and handshake is empty.
+    pub fn is_drained(&self) -> bool {
+        self.ring.iter().all(Option::is_none)
+            && self.input.is_empty()
+            && self.releases.is_empty()
+            && self.acks.is_empty()
+            && self.active.is_empty()
+            && self.queues.iter().all(RefQueue::is_idle)
+    }
+
+    /// Phase 1: light advances one segment (segment `g` feeds `g + 1`).
+    pub fn phase_advance(&mut self) {
+        self.ring.rotate_right(1);
+    }
+
+    /// Take the flit at the home's segment, if any.
+    pub fn take_flit(&mut self) -> Option<Packet> {
+        self.ring[self.home_seg].take()
+    }
+
+    /// Fault fate of an arriving flit (one compounded draw per arrival;
+    /// `Intact` without drawing when no injector is live).
+    pub fn arrival_fate(&mut self, pkt: &Packet, now: Cycle) -> DataFate {
+        if let Some(inj) = self.injector.as_mut() {
+            if inj.active() {
+                let flight = now.saturating_sub(pkt.sent_at).max(1);
+                return inj.data_fate(flight);
+            }
+        }
+        DataFate::Intact
+    }
+
+    /// Whether the home buffer has room (queued + draining < capacity).
+    pub fn has_room(&self) -> bool {
+        self.input.len() + self.releases.len() < self.buffer_cap
+    }
+
+    /// Schedule a handshake pulse.
+    pub fn schedule_ack(&mut self, at: Cycle, sender: usize, id: u64, ok: bool) {
+        self.acks.push((at, RefAck { sender, id, ok }));
+    }
+
+    /// Extract the handshake pulses landing at `now`, in scheduling order.
+    pub fn drain_acks(&mut self, now: Cycle) -> Vec<RefAck> {
+        let mut due = Vec::new();
+        let mut i = 0;
+        while i < self.acks.len() {
+            if self.acks[i].0 == now {
+                due.push(self.acks.remove(i).1);
+            } else {
+                i += 1;
+            }
+        }
+        due
+    }
+
+    /// First sender in the distance window `[lo, hi)` eligible for a token.
+    pub fn first_eligible_in(&self, lo: usize, hi: usize, now: Cycle) -> Option<usize> {
+        for d in lo..hi {
+            let node = self.by_distance(d);
+            if self.queues[node].eligible(now, self.fairness) {
+                return Some(node);
+            }
+        }
+        None
+    }
+
+    /// Grant the channel to `node` and put it on the active list.
+    pub fn grant(&mut self, node: usize, now: Cycle) {
+        self.queues[node].take_grant(now, self.fairness);
+        if !self.active.contains(&node) {
+            self.active.push(node);
+        }
+    }
+
+    /// Phase 4: senders with grants place flits on free slots at their
+    /// segments (one per sender per cycle), in downstream-distance order.
+    pub fn phase_transmit(&mut self, now: Cycle, m: &mut Counters) {
+        if self.active.is_empty() {
+            return;
+        }
+        let mut order = std::mem::take(&mut self.active);
+        order.sort_unstable_by_key(|&n| self.dist_of(n));
+        let mut kept = Vec::new();
+        for node in order {
+            let seg = self.seg_of(node);
+            let mut remaining = self.queues[node].granted;
+            if remaining > 0 && self.ring[seg].is_none() {
+                if let Some(pkt) = self.queues[node].transmit(now) {
+                    m.sends += 1;
+                    if self.arm_timers {
+                        let deadline = now + self.recovery.timeout_for_attempt(pkt.sends);
+                        self.timers.push((deadline, node, pkt.id));
+                    }
+                    self.ring[seg] = Some(pkt);
+                    remaining = self.queues[node].granted;
+                }
+            }
+            if remaining > 0 {
+                kept.push(node);
+            }
+        }
+        self.active = kept;
+    }
+
+    /// Phase 6: the home drains its input buffer toward the local cores.
+    /// Family-specific slot-freed accounting (the token channel's credit
+    /// reimbursement) is the one hook, matched inline.
+    pub fn phase_eject(
+        &mut self,
+        now: Cycle,
+        m: &mut Counters,
+        deliveries: &mut Vec<(Packet, Cycle)>,
+    ) {
+        // Flits leaving the ejection router release their buffer slots.
+        let mut i = 0;
+        while i < self.releases.len() {
+            if self.releases[i] == now {
+                self.releases.remove(i);
+                self.slot_freed();
+            } else {
+                i += 1;
+            }
+        }
+        // Fault: transient drain stall. The injector is consulted every
+        // cycle it exists (mirrors the optimized simulator's draw pattern).
+        if let Some(inj) = self.injector.as_mut() {
+            if inj.eject_stalled(now) {
+                m.stall_cycles += 1;
+                return;
+            }
+        }
+        for _ in 0..self.ejection_per_cycle {
+            if self.input.is_empty() {
+                break;
+            }
+            let pkt = self.input.remove(0);
+            let available_at = now + self.eject_latency;
+            if self.eject_latency == 0 {
+                self.slot_freed();
+            } else {
+                self.releases.push(available_at);
+            }
+            m.delivered += 1;
+            if pkt.measured {
+                m.delivered_measured += 1;
+            }
+            deliveries.push((pkt, available_at));
+        }
+    }
+
+    /// A buffer slot came free; the token channel banks it for reimbursement
+    /// on the token's next home pass.
+    pub fn slot_freed(&mut self) {
+        if matches!(self.family, RefFamily::Credit) {
+            self.uncommitted += 1;
+        }
+    }
+
+    /// Fire expired ACK timers in `(deadline, sender, id)` order (handshake
+    /// schemes with recovery armed; a no-op otherwise — no timers exist).
+    pub fn fire_timers(&mut self, now: Cycle, m: &mut Counters) {
+        loop {
+            let Some(min_idx) = self
+                .timers
+                .iter()
+                .enumerate()
+                .min_by_key(|&(_, t)| *t)
+                .map(|(i, _)| i)
+            else {
+                return;
+            };
+            if self.timers[min_idx].0 > now {
+                return;
+            }
+            let (_, sender, id) = self.timers.remove(min_idx);
+            match self.queues[sender].timeout(id, self.recovery.max_retries) {
+                crate::queue::RefTimeout::Retry => m.timeout_retransmissions += 1,
+                crate::queue::RefTimeout::Abandon => m.abandoned += 1,
+                crate::queue::RefTimeout::Stale => {}
+            }
+        }
+    }
+}

@@ -1,0 +1,89 @@
+//! Reference interpreter for **DHS with circulation**: distributed tokens,
+//! no handshake — an arrival finding the home buffer full re-enters the
+//! ring immediately and comes back a full loop later. The home suppresses
+//! its token emission on circulation cycles so the buffer cannot be
+//! oversubscribed by its own recirculating traffic.
+
+use crate::channel::RefChannel;
+use crate::diff::Counters;
+use pnoc_faults::DataFate;
+use pnoc_noc::Packet;
+use pnoc_sim::Cycle;
+
+/// Advance the channel one cycle.
+pub fn step(
+    ch: &mut RefChannel,
+    now: Cycle,
+    m: &mut Counters,
+    deliveries: &mut Vec<(Packet, Cycle)>,
+) {
+    ch.phase_advance();
+
+    // Arrival: accepted, or sent around again. Senders forget on transmit,
+    // so lost and corrupt flits simply vanish.
+    if let Some(mut pkt) = ch.take_flit() {
+        match ch.arrival_fate(&pkt, now) {
+            DataFate::Lost => {
+                m.faults_data_lost += 1;
+            }
+            DataFate::Corrupt => {
+                m.arrivals += 1;
+                m.faults_data_corrupt += 1;
+            }
+            DataFate::Intact => {
+                m.arrivals += 1;
+                if ch.has_room() {
+                    ch.input.push(pkt);
+                } else {
+                    pkt.sends += 1;
+                    pkt.sent_at = now;
+                    ch.ring[ch.home_seg] = Some(pkt);
+                    ch.suppress_token = true;
+                    m.circulations += 1;
+                }
+            }
+        }
+    }
+
+    ch.phase_transmit(now, m);
+    phase_tokens(ch, now, m);
+    ch.phase_eject(now, m, deliveries);
+}
+
+/// Distributed token stream; emission pauses for one cycle after a
+/// circulation (the recirculating flit *is* that cycle's buffer claim).
+fn phase_tokens(ch: &mut RefChannel, now: Cycle, m: &mut Counters) {
+    if let Some(inj) = ch.injector.as_mut() {
+        if inj.active() && !ch.tokens.is_empty() {
+            let before = ch.tokens.len();
+            ch.tokens.retain(|_| !inj.token_lost());
+            let destroyed = before - ch.tokens.len();
+            if destroyed > 0 {
+                m.faults_tokens_lost += destroyed as u64;
+            }
+        }
+    }
+
+    let emit = !ch.suppress_token;
+    ch.suppress_token = false;
+    if emit {
+        ch.tokens.push(0);
+    }
+
+    let mut idx = 0;
+    while idx < ch.tokens.len() {
+        let next = ch.tokens[idx];
+        let hi = (next + ch.step).min(ch.nodes - 1);
+        if let Some(node) = ch.first_eligible_in(next, hi, now) {
+            ch.grant(node, now);
+            ch.tokens.remove(idx);
+        } else {
+            ch.tokens[idx] = hi;
+            if hi >= ch.nodes - 1 {
+                ch.tokens.remove(idx);
+            } else {
+                idx += 1;
+            }
+        }
+    }
+}

@@ -1,0 +1,114 @@
+//! Reference interpreter for the **token channel** scheme (global
+//! arbitration; the single token carries the home's buffer credits).
+//!
+//! One full channel cycle, written straight-line in phase order: ring
+//! advance → arrival → transmit → token → eject. There is no handshake
+//! phase — a credit-reserved transmission cannot be refused, so the sender
+//! forgets the packet the moment it leaves.
+
+use crate::channel::{RefChannel, RefToken};
+use crate::diff::Counters;
+use pnoc_faults::DataFate;
+use pnoc_noc::Packet;
+use pnoc_sim::Cycle;
+
+/// Advance the channel one cycle.
+pub fn step(
+    ch: &mut RefChannel,
+    now: Cycle,
+    m: &mut Counters,
+    deliveries: &mut Vec<(Packet, Cycle)>,
+) {
+    ch.phase_advance();
+
+    // Arrival: the reservation guarantees room, so an intact flit always
+    // fits. A lost flit leaks its credit forever; a corrupted flit is
+    // discarded but its buffer slot reimburses on the next home pass.
+    if let Some(pkt) = ch.take_flit() {
+        match ch.arrival_fate(&pkt, now) {
+            DataFate::Lost => {
+                m.faults_data_lost += 1;
+                ch.leaked += 1;
+                m.credit_leaks += 1;
+            }
+            DataFate::Corrupt => {
+                m.arrivals += 1;
+                m.faults_data_corrupt += 1;
+                ch.uncommitted += 1;
+            }
+            DataFate::Intact => {
+                m.arrivals += 1;
+                assert!(ch.has_room(), "reservation accounting violated");
+                ch.input.push(pkt);
+            }
+        }
+    }
+
+    ch.phase_transmit(now, m);
+    phase_token(ch, now, m);
+    ch.phase_eject(now, m, deliveries);
+}
+
+/// The global token sweep. The token visits one segment-window of senders
+/// per cycle; a sender with queued traffic grabs it (spending one credit)
+/// and holds it while it has unconsumed grants. Credits freed by ejections
+/// rejoin the token on its next pass over the home.
+fn phase_token(ch: &mut RefChannel, now: Cycle, m: &mut Counters) {
+    let watchdog = 2 * ch.handshake_delay;
+
+    // Fault: the token can only be destroyed while travelling.
+    if let Some(inj) = ch.injector.as_mut() {
+        if inj.active() && matches!(ch.token, RefToken::Sweeping { .. }) && inj.token_lost() {
+            m.faults_tokens_lost += 1;
+            m.credit_leaks += u64::from(ch.credits);
+            ch.leaked += ch.credits;
+            ch.credits = 0;
+            ch.token = RefToken::Lost { since: now };
+        }
+    }
+
+    match ch.token {
+        RefToken::Lost { since } => {
+            if now.saturating_sub(since) >= watchdog {
+                ch.token = RefToken::Sweeping { next: 0 };
+            }
+        }
+        RefToken::Held { node } => {
+            if ch.queues[node].granted > 0 {
+                // Still consuming its grant; keep holding.
+            } else if ch.credits > 0 && ch.queues[node].eligible(now, ch.fairness) {
+                ch.grant(node, now);
+                ch.credits -= 1;
+            } else {
+                release(ch, ch.dist_of(node) + 1);
+            }
+        }
+        RefToken::Sweeping { next } => {
+            let hi = (next + ch.step).min(ch.nodes - 1);
+            let grabbed = if ch.credits > 0 {
+                ch.first_eligible_in(next, hi, now)
+            } else {
+                None
+            };
+            if let Some(node) = grabbed {
+                ch.grant(node, now);
+                ch.credits -= 1;
+                ch.token = RefToken::Held { node };
+            } else {
+                release(ch, hi);
+            }
+        }
+    }
+}
+
+/// Continue sweeping from distance `next`, wrapping at the home (where
+/// freed-slot credits are reimbursed onto the token).
+fn release(ch: &mut RefChannel, next: usize) {
+    if next >= ch.nodes - 1 {
+        ch.credits += ch.uncommitted;
+        ch.uncommitted = 0;
+        ch.token = RefToken::Sweeping { next: 0 };
+    } else {
+        ch.token = RefToken::Sweeping { next };
+    }
+}

@@ -1,0 +1,131 @@
+//! The reference network: one [`RefChannel`] per home plus the injection
+//! pipeline, stepped in the same phase order as `pnoc-noc`'s `Network`.
+
+use crate::channel::{RefChannel, RefFamily};
+use crate::diff::Counters;
+use crate::{circulation, credit, handshake, slot};
+use pnoc_noc::{NetworkConfig, Packet, PacketKind};
+use pnoc_sim::Cycle;
+
+/// A full reference simulator instance.
+#[derive(Debug, Clone)]
+pub struct RefNetwork {
+    cfg: NetworkConfig,
+    now: Cycle,
+    next_id: u64,
+    channels: Vec<RefChannel>,
+    /// Packets in the injection-router pipeline: `(exit cycle, packet)`.
+    pipeline: Vec<(Cycle, Packet)>,
+    metrics: Counters,
+    deliveries: Vec<(Packet, Cycle)>,
+}
+
+impl RefNetwork {
+    /// Build a reference network; fails on invalid configuration.
+    pub fn new(cfg: NetworkConfig) -> Result<Self, String> {
+        cfg.validate()?;
+        Ok(Self {
+            cfg,
+            now: 0,
+            next_id: 0,
+            channels: (0..cfg.nodes).map(|h| RefChannel::new(h, &cfg)).collect(),
+            pipeline: Vec::new(),
+            metrics: Counters::default(),
+            deliveries: Vec::new(),
+        })
+    }
+
+    /// Current cycle.
+    pub fn now(&self) -> Cycle {
+        self.now
+    }
+
+    /// Accumulated counters.
+    pub fn metrics(&self) -> &Counters {
+        &self.metrics
+    }
+
+    /// Ejections completed by the most recent [`RefNetwork::step`]: the
+    /// packet and the cycle its buffer slot frees.
+    pub fn deliveries(&self) -> &[(Packet, Cycle)] {
+        &self.deliveries
+    }
+
+    /// Inject a packet from `src_core` to `dst_node` at the current cycle
+    /// (mirrors `Network::inject`, including its panics on self-node
+    /// traffic and out-of-range indices). Returns the packet id.
+    pub fn inject(
+        &mut self,
+        src_core: usize,
+        dst_node: usize,
+        kind: PacketKind,
+        tag: u64,
+        measured: bool,
+    ) -> u64 {
+        assert!(src_core < self.cfg.cores(), "core {src_core} out of range");
+        assert!(dst_node < self.cfg.nodes, "node {dst_node} out of range");
+        let src_node = src_core / self.cfg.cores_per_node;
+        assert_ne!(
+            src_node, dst_node,
+            "self-node traffic never enters the ring"
+        );
+        let id = self.next_id;
+        self.next_id += 1;
+        let pkt = Packet {
+            id,
+            src_core: u32::try_from(src_core).expect("core id fits u32"),
+            src_node: u32::try_from(src_node).expect("node id fits u32"),
+            dst_node: u32::try_from(dst_node).expect("node id fits u32"),
+            kind,
+            generated_at: self.now,
+            enqueued_at: self.now, // overwritten when it exits the pipeline
+            sent_at: 0,
+            sends: 0,
+            measured,
+            tag,
+        };
+        self.metrics.generated += 1;
+        if measured {
+            self.metrics.generated_measured += 1;
+        }
+        self.pipeline
+            .push((self.now + self.cfg.router_latency, pkt));
+        id
+    }
+
+    /// Advance the network one cycle: release the injection pipeline, then
+    /// run every channel's interpreter in home order.
+    pub fn step(&mut self) {
+        self.deliveries.clear();
+        let now = self.now;
+        let mut i = 0;
+        while i < self.pipeline.len() {
+            if self.pipeline[i].0 == now {
+                let (_, mut pkt) = self.pipeline.remove(i);
+                pkt.enqueued_at = now;
+                self.channels[pkt.dst_node as usize].enqueue(pkt);
+            } else {
+                i += 1;
+            }
+        }
+        for ch in &mut self.channels {
+            match ch.family {
+                RefFamily::Credit => credit::step(ch, now, &mut self.metrics, &mut self.deliveries),
+                RefFamily::Slot => slot::step(ch, now, &mut self.metrics, &mut self.deliveries),
+                RefFamily::Handshake => {
+                    handshake::step(ch, now, &mut self.metrics, &mut self.deliveries);
+                }
+                RefFamily::Circulation => {
+                    circulation::step(ch, now, &mut self.metrics, &mut self.deliveries);
+                }
+            }
+        }
+        self.now += 1;
+    }
+
+    /// Whether no packet is anywhere in the system (pipeline, queues,
+    /// ring, buffers, or handshake state).
+    pub fn is_drained(&self) -> bool {
+        self.pipeline.is_empty() && self.channels.iter().all(RefChannel::is_drained)
+    }
+}

@@ -1,0 +1,230 @@
+//! Naive sender-side output queue — an independent reimplementation of the
+//! `pnoc-noc` `OutQueue` contract over plain `Vec`s.
+//!
+//! The three send disciplines mirror the paper directly: `HoldHead` (basic
+//! GHS/DHS — a transmitted packet blocks the head until its handshake),
+//! `Setaside` (transmitted packets wait in a small side buffer), `Forget`
+//! (credit-reserved schemes and circulation — the sender keeps no copy).
+
+use pnoc_noc::config::FairnessPolicy;
+use pnoc_noc::Packet;
+use pnoc_sim::Cycle;
+
+/// What happens to a packet when it is transmitted.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RefMode {
+    /// Stay at the head, pending, until the handshake arrives.
+    HoldHead,
+    /// Move into a setaside buffer of the given capacity (≥ 1).
+    Setaside(usize),
+    /// Leave the sender immediately.
+    Forget,
+}
+
+/// Outcome of an ACK-timeout expiry against this queue.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RefTimeout {
+    /// Still awaiting its handshake; sendable again.
+    Retry,
+    /// Retry budget exhausted; discarded.
+    Abandon,
+    /// The handshake already resolved it; nothing changed.
+    Stale,
+}
+
+/// One (sender node, destination channel) output queue.
+#[derive(Debug, Clone)]
+pub struct RefQueue {
+    /// Send discipline.
+    pub mode: RefMode,
+    /// Queued packets, front first (index 0 is the head).
+    pub queue: Vec<Packet>,
+    /// Whether the head has been transmitted and awaits its handshake.
+    pub head_pending: bool,
+    /// Transmitted packets awaiting handshakes (`Setaside` mode).
+    pub setaside: Vec<Packet>,
+    /// Tokens taken but not yet used to transmit.
+    pub granted: u32,
+    /// Fairness: consecutive grants since the last sit-out.
+    pub consecutive_serves: u32,
+    /// Fairness: ineligible until this cycle.
+    pub sit_until: Cycle,
+}
+
+impl RefQueue {
+    /// An empty queue with the given send discipline.
+    pub fn new(mode: RefMode) -> Self {
+        if let RefMode::Setaside(cap) = mode {
+            assert!(cap > 0, "setaside capacity must be ≥ 1");
+        }
+        Self {
+            mode,
+            queue: Vec::new(),
+            head_pending: false,
+            setaside: Vec::new(),
+            granted: 0,
+            consecutive_serves: 0,
+            sit_until: 0,
+        }
+    }
+
+    /// Packets that could take a grant right now.
+    pub fn sendable(&self) -> usize {
+        let backlog = self.queue.len();
+        let limit = match self.mode {
+            RefMode::HoldHead => usize::from(!(self.head_pending || backlog == 0)),
+            RefMode::Setaside(cap) => backlog.min(cap.saturating_sub(self.setaside.len())),
+            RefMode::Forget => backlog,
+        };
+        limit.saturating_sub(self.granted as usize)
+    }
+
+    /// Whether this queue may take a token at `now` under `fairness`.
+    pub fn eligible(&self, now: Cycle, fairness: FairnessPolicy) -> bool {
+        if self.sendable() == 0 {
+            return false;
+        }
+        match fairness {
+            FairnessPolicy::None => true,
+            FairnessPolicy::SitOut { .. } => now >= self.sit_until,
+        }
+    }
+
+    /// Take a token; one more transmission is owed.
+    pub fn take_grant(&mut self, now: Cycle, fairness: FairnessPolicy) {
+        assert!(self.sendable() > 0, "grant without a sendable packet");
+        self.granted += 1;
+        if let FairnessPolicy::SitOut {
+            serve_quota,
+            sit_out,
+        } = fairness
+        {
+            self.consecutive_serves += 1;
+            if self.consecutive_serves >= serve_quota {
+                self.sit_until = now + Cycle::from(sit_out);
+                self.consecutive_serves = 0;
+            }
+        }
+    }
+
+    /// Transmit one packet at `now` against an outstanding grant.
+    pub fn transmit(&mut self, now: Cycle) -> Option<Packet> {
+        if self.granted == 0 {
+            return None;
+        }
+        match self.mode {
+            RefMode::HoldHead => {
+                if self.head_pending || self.queue.is_empty() {
+                    return None;
+                }
+                let head = &mut self.queue[0];
+                head.sent_at = now;
+                head.sends += 1;
+                self.head_pending = true;
+                self.granted -= 1;
+                Some(*head)
+            }
+            RefMode::Setaside(_) => {
+                if self.queue.is_empty() {
+                    return None;
+                }
+                let mut pkt = self.queue.remove(0);
+                pkt.sent_at = now;
+                pkt.sends += 1;
+                self.setaside.push(pkt);
+                self.granted -= 1;
+                Some(pkt)
+            }
+            RefMode::Forget => {
+                if self.queue.is_empty() {
+                    return None;
+                }
+                let mut pkt = self.queue.remove(0);
+                pkt.sent_at = now;
+                pkt.sends += 1;
+                self.granted -= 1;
+                Some(pkt)
+            }
+        }
+    }
+
+    /// Positive handshake: release the pending head / the setaside slot.
+    pub fn ack(&mut self, id: u64) -> Option<Packet> {
+        match self.mode {
+            RefMode::HoldHead => {
+                if self.head_pending && self.queue.first().map(|p| p.id) == Some(id) {
+                    self.head_pending = false;
+                    return Some(self.queue.remove(0));
+                }
+                None
+            }
+            RefMode::Setaside(_) => {
+                let idx = self.setaside.iter().position(|p| p.id == id)?;
+                Some(self.setaside.swap_remove(idx))
+            }
+            RefMode::Forget => None,
+        }
+    }
+
+    /// Negative handshake: the packet must be retransmitted.
+    pub fn nack(&mut self, id: u64) -> bool {
+        match self.mode {
+            RefMode::HoldHead => {
+                if self.head_pending && self.queue.first().map(|p| p.id) == Some(id) {
+                    self.head_pending = false; // head stays, sendable again
+                    true
+                } else {
+                    false
+                }
+            }
+            RefMode::Setaside(_) => {
+                if let Some(idx) = self.setaside.iter().position(|p| p.id == id) {
+                    let pkt = self.setaside.remove(idx);
+                    self.queue.insert(0, pkt);
+                    true
+                } else {
+                    false
+                }
+            }
+            RefMode::Forget => false,
+        }
+    }
+
+    /// ACK-timeout expiry for packet `id` after its latest transmission.
+    pub fn timeout(&mut self, id: u64, max_retries: u32) -> RefTimeout {
+        match self.mode {
+            RefMode::HoldHead => {
+                if self.head_pending && self.queue.first().map(|p| p.id) == Some(id) {
+                    self.head_pending = false;
+                    if self.queue.first().is_some_and(|p| p.sends >= max_retries) {
+                        self.queue.remove(0);
+                        RefTimeout::Abandon
+                    } else {
+                        RefTimeout::Retry
+                    }
+                } else {
+                    RefTimeout::Stale
+                }
+            }
+            RefMode::Setaside(_) => {
+                if let Some(idx) = self.setaside.iter().position(|p| p.id == id) {
+                    let pkt = self.setaside.swap_remove(idx);
+                    if pkt.sends >= max_retries {
+                        RefTimeout::Abandon
+                    } else {
+                        self.queue.insert(0, pkt);
+                        RefTimeout::Retry
+                    }
+                } else {
+                    RefTimeout::Stale
+                }
+            }
+            RefMode::Forget => RefTimeout::Stale,
+        }
+    }
+
+    /// Whether the queue holds no state at all (drain check).
+    pub fn is_idle(&self) -> bool {
+        self.queue.is_empty() && self.setaside.is_empty() && self.granted == 0
+    }
+}

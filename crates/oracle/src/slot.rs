@@ -1,0 +1,105 @@
+//! Reference interpreter for the **token slot** scheme (distributed
+//! arbitration; one token = one committed home buffer slot).
+//!
+//! The home emits a token only while `buffered + reservations in flight +
+//! leaked reservations + tokens on the ring` stays under its buffer
+//! capacity, so an intact arrival always finds room. A destroyed token is
+//! a leaked reservation: the slot it committed is never reclaimed.
+
+use crate::channel::RefChannel;
+use crate::diff::Counters;
+use pnoc_faults::DataFate;
+use pnoc_noc::Packet;
+use pnoc_sim::Cycle;
+
+/// Advance the channel one cycle.
+pub fn step(
+    ch: &mut RefChannel,
+    now: Cycle,
+    m: &mut Counters,
+    deliveries: &mut Vec<(Packet, Cycle)>,
+) {
+    ch.phase_advance();
+
+    // Arrival: every flit on the ring carries a reservation; intact or
+    // corrupt, the reservation is consumed. A lost flit keeps its
+    // reservation in flight forever — a permanent leak.
+    if let Some(pkt) = ch.take_flit() {
+        match ch.arrival_fate(&pkt, now) {
+            DataFate::Lost => {
+                m.faults_data_lost += 1;
+                m.credit_leaks += 1;
+            }
+            DataFate::Corrupt => {
+                m.arrivals += 1;
+                m.faults_data_corrupt += 1;
+                assert!(ch.inflight > 0, "inflight underflow");
+                ch.inflight -= 1;
+            }
+            DataFate::Intact => {
+                m.arrivals += 1;
+                assert!(ch.has_room(), "reservation accounting violated");
+                assert!(ch.inflight > 0, "inflight underflow");
+                ch.inflight -= 1;
+                ch.input.push(pkt);
+            }
+        }
+    }
+
+    ch.phase_transmit(now, m);
+    phase_tokens(ch, now, m);
+    ch.phase_eject(now, m, deliveries);
+}
+
+/// Distributed token stream: fault destruction, conservative emission, and
+/// the per-token downstream sweep.
+fn phase_tokens(ch: &mut RefChannel, now: Cycle, m: &mut Counters) {
+    // Fault: each travelling token draws for destruction, oldest first.
+    if let Some(inj) = ch.injector.as_mut() {
+        if inj.active() && !ch.tokens.is_empty() {
+            let before = ch.tokens.len();
+            ch.tokens.retain(|_| !inj.token_lost());
+            let destroyed = before - ch.tokens.len();
+            if destroyed > 0 {
+                m.faults_tokens_lost += destroyed as u64;
+                ch.lost_reservations += u32::try_from(destroyed).expect("token count fits u32");
+                m.credit_leaks += destroyed as u64;
+            }
+        }
+    }
+
+    // Emission: every reservation that could still materialize counts
+    // against the buffer, including leaked ones (the home cannot tell a
+    // destroyed token from a slow one).
+    let committed = ch.input.len()
+        + ch.releases.len()
+        + ch.inflight as usize
+        + ch.lost_reservations as usize
+        + ch.tokens.len();
+    let emit = committed < ch.buffer_cap;
+    ch.suppress_token = false;
+    if emit {
+        ch.tokens.push(0);
+    }
+
+    // Sweep: each token examines one segment-window of senders per cycle;
+    // the first eligible sender in the window takes it (the reservation
+    // goes in flight); an unclaimed token expires at the end of the loop.
+    let mut idx = 0;
+    while idx < ch.tokens.len() {
+        let next = ch.tokens[idx];
+        let hi = (next + ch.step).min(ch.nodes - 1);
+        if let Some(node) = ch.first_eligible_in(next, hi, now) {
+            ch.grant(node, now);
+            ch.inflight += 1;
+            ch.tokens.remove(idx);
+        } else {
+            ch.tokens[idx] = hi;
+            if hi >= ch.nodes - 1 {
+                ch.tokens.remove(idx);
+            } else {
+                idx += 1;
+            }
+        }
+    }
+}

@@ -40,6 +40,15 @@ pub fn stream_seed(master: u64, stream: u64) -> u64 {
     splitmix64(&mut s)
 }
 
+/// Stream id reserved for differential-fuzz case generation (`pnoc-oracle`).
+///
+/// The fuzz harness seeds its case generator from
+/// `stream_seed(master, FUZZ_STREAM)` so the *choice* of scenarios is
+/// independent of the randomness the scenarios themselves consume (traffic
+/// synthesis, fault injection) — regenerating case `i` never disturbs the
+/// simulated runs, and vice versa.
+pub const FUZZ_STREAM: u64 = 0xF0_22;
+
 /// A deterministic xoshiro256** PRNG.
 ///
 /// ```

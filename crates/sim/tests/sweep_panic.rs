@@ -1,0 +1,98 @@
+//! Failure-mode tests for the parallel sweep: a panicking worker must
+//! propagate its panic to the caller (via the scoped-thread join), never
+//! deadlock, and never silently drop sweep points.
+
+use pnoc_sim::sweep::run_parallel_with_threads;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::mpsc;
+use std::time::Duration;
+
+/// Run `f` on a helper thread and panic if it does not finish in time —
+/// turns a would-be deadlock into a clean test failure.
+fn with_deadline<T: Send + 'static>(f: impl FnOnce() -> T + Send + 'static) -> T {
+    let (tx, rx) = mpsc::channel();
+    std::thread::spawn(move || {
+        let _ = tx.send(f());
+    });
+    rx.recv_timeout(Duration::from_secs(60))
+        .expect("sweep did not complete within 60s — deadlock?")
+}
+
+#[test]
+fn panicking_worker_propagates_not_deadlocks() {
+    let result = with_deadline(|| {
+        catch_unwind(AssertUnwindSafe(|| {
+            let inputs: Vec<u32> = (0..64).collect();
+            run_parallel_with_threads(&inputs, 4, |_, &x| {
+                if x == 17 {
+                    panic!("sweep point {x} exploded");
+                }
+                x * 2
+            })
+        }))
+    });
+    let err = result.expect_err("worker panic must propagate to the caller");
+    // std::thread::scope re-raises the panic at join; depending on the std
+    // version the payload is the worker's String or scope's own message, so
+    // accept either as long as *something* unwound out.
+    let msg = err
+        .downcast_ref::<String>()
+        .cloned()
+        .or_else(|| err.downcast_ref::<&str>().map(|s| s.to_string()))
+        .unwrap_or_default();
+    assert!(
+        msg.contains("sweep point 17 exploded") || msg.contains("panick"),
+        "unexpected panic payload: {msg:?}"
+    );
+}
+
+#[test]
+fn panicking_worker_propagates_on_single_thread_path() {
+    let result = with_deadline(|| {
+        catch_unwind(AssertUnwindSafe(|| {
+            let inputs = [1u32, 2, 3];
+            run_parallel_with_threads(&inputs, 1, |_, &x| {
+                if x == 2 {
+                    panic!("inline path panic");
+                }
+                x
+            })
+        }))
+    });
+    assert!(result.is_err(), "single-thread path must also propagate");
+}
+
+#[test]
+fn surviving_workers_still_run_their_jobs() {
+    // One poisoned input among many: every other job still executes
+    // (workers keep draining the queue while the panicked thread unwinds).
+    let result = with_deadline({
+        let inputs: Vec<u32> = (0..200).collect();
+        move || {
+            let ran = AtomicUsize::new(0);
+            let out = catch_unwind(AssertUnwindSafe(|| {
+                run_parallel_with_threads(&inputs, 8, |_, &x| {
+                    if x == 0 {
+                        panic!("first job dies");
+                    }
+                    ran.fetch_add(1, Ordering::Relaxed);
+                    x
+                })
+            }));
+            (out.is_err(), ran.load(Ordering::Relaxed))
+        }
+    });
+    let (panicked, survivors) = result;
+    assert!(panicked, "panic must propagate");
+    assert!(
+        survivors >= 150,
+        "other workers should have kept draining the queue ({survivors} ran)"
+    );
+}
+
+#[test]
+fn threads_above_job_count_are_clamped() {
+    let out = with_deadline(|| run_parallel_with_threads(&[10u32, 20], 64, |_, &x| x + 1));
+    assert_eq!(out, vec![11, 21]);
+}

@@ -38,6 +38,7 @@ const SIM_STATE: &[&str] = &[
     "crates/faults/src",
     "crates/traffic/src",
     "crates/cmp/src",
+    "crates/oracle/src",
 ];
 
 /// [`SIM_STATE`] plus the observability crate. `pnoc-obs` never feeds back
@@ -51,6 +52,7 @@ const SIM_STATE_AND_OBS: &[&str] = &[
     "crates/traffic/src",
     "crates/cmp/src",
     "crates/obs/src",
+    "crates/oracle/src",
 ];
 
 /// The rule registry.
