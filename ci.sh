@@ -39,6 +39,52 @@ cargo run --release -q -p pnoc-oracle --offline --bin fuzz -- --quick
 cargo run --release -q -p pnoc-oracle --offline \
   --features sabotage-dup-suppression --bin fuzz -- --sabotage-check
 
+echo "== pnoc-fleet checkpoint/resume smoke (kill mid-flight, byte-identical) =="
+# The fleet engine's headline guarantee, exercised at the process level:
+# a sweep killed mid-flight (exit code 3) and resumed from its checkpoint
+# journal must produce a report byte-identical to the uninterrupted run.
+# The demo spec is 24 jobs; --kill-after 9 dies with 15 still outstanding,
+# so the resume genuinely recomputes work rather than replaying a
+# fully-complete journal.
+FLEET_DIR=target/fleet-smoke
+rm -rf "$FLEET_DIR" && mkdir -p "$FLEET_DIR"
+cargo run --release -q -p pnoc-bench --offline --bin fleet -- \
+  --out "$FLEET_DIR/ref.json"
+rc=0
+cargo run --release -q -p pnoc-bench --offline --bin fleet -- \
+  --ckpt "$FLEET_DIR/sweep.ckpt" --ckpt-every 4 --kill-after 9 \
+  --out "$FLEET_DIR/never.json" || rc=$?
+if [ "$rc" -ne 3 ]; then
+  echo "fleet smoke: expected kill exit code 3, got $rc" >&2
+  exit 1
+fi
+if [ -e "$FLEET_DIR/never.json" ]; then
+  echo "fleet smoke: killed run must not write its output file" >&2
+  exit 1
+fi
+cargo run --release -q -p pnoc-bench --offline --bin fleet -- \
+  --ckpt "$FLEET_DIR/sweep.ckpt" --ckpt-every 4 \
+  --out "$FLEET_DIR/resumed.json"
+cmp "$FLEET_DIR/ref.json" "$FLEET_DIR/resumed.json"
+echo "fleet smoke: interrupted+resumed report is byte-identical"
+
+echo "== pnoc-bench serve smoke (NDJSON protocol) =="
+# One scripted session: retune ckpt_every via a config epoch, run a small
+# sweep (streams one cell line per aggregation cell, then a done line),
+# survive a malformed request, shut down cleanly.
+printf '%s\n' \
+  '{"set":{"ckpt_every":4}}' \
+  '{"id":"ci","sweep":{"base":"Small","schemes":["TokenSlot"],"patterns":["UniformRandom"],"rates":[0.05,0.1],"replicas":2,"master_seed":7,"warmup":50,"measure":200,"drain":50}}' \
+  'this is not json' \
+  '{"shutdown":true}' \
+  | cargo run --release -q -p pnoc-bench --offline --bin serve \
+  > "$FLEET_DIR/serve.ndjson"
+grep -q '"done":true' "$FLEET_DIR/serve.ndjson"
+grep -q '"complete":true' "$FLEET_DIR/serve.ndjson"
+grep -q '"error":' "$FLEET_DIR/serve.ndjson"
+grep -q '"bye":true' "$FLEET_DIR/serve.ndjson"
+echo "serve smoke: set/sweep/error/shutdown all answered"
+
 echo "== cargo test =="
 cargo test -q --workspace --offline
 

@@ -1,0 +1,152 @@
+//! One-shot fleet sweep runner with resumable checkpointing.
+//!
+//! ```text
+//! fleet [--spec <path|->] [--out <path>] [--ckpt <path>] [--ckpt-every N]
+//!       [--kill-after N] [--threads N] [--verbose]
+//! ```
+//!
+//! Runs a [`SweepSpec`] (JSON from `--spec`, `-` for stdin, or the built-in
+//! demo sweep) on the work-stealing fleet and writes the deterministic
+//! [`pnoc_fleet::SweepReport`] JSON to `--out` (stdout by default). With
+//! `--ckpt`, progress snapshots append to the journal and a re-run of the
+//! same command resumes instead of recomputing; the final report is
+//! byte-identical to an uninterrupted run. `--kill-after N` is the CI kill
+//! hook: after exactly N jobs complete in this process, a snapshot is
+//! forced and the process exits with [`pnoc_fleet::KILL_EXIT_CODE`].
+
+use std::io::Read;
+use std::path::PathBuf;
+use std::process::ExitCode;
+use std::sync::Arc;
+
+use pnoc_fleet::{run_sweep, Fleet, SweepOptions, SweepSpec};
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage: fleet [--spec <path|->] [--out <path>] [--ckpt <path>] \
+         [--ckpt-every N] [--kill-after N] [--threads N] [--verbose]"
+    );
+    ExitCode::FAILURE
+}
+
+fn main() -> ExitCode {
+    if let Err(e) = pnoc_bench::apply_thread_flag() {
+        eprintln!("fleet: {e}");
+        return ExitCode::FAILURE;
+    }
+    let mut spec_path: Option<String> = None;
+    let mut out_path: Option<String> = None;
+    let mut opts = SweepOptions {
+        ckpt_every: 8,
+        ..SweepOptions::default()
+    };
+    let mut verbose = false;
+
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut i = 0;
+    while i < args.len() {
+        let take = |i: &mut usize| -> Option<String> {
+            *i += 1;
+            args.get(*i).cloned()
+        };
+        match args[i].as_str() {
+            "--spec" => match take(&mut i) {
+                Some(v) => spec_path = Some(v),
+                None => return usage(),
+            },
+            "--out" => match take(&mut i) {
+                Some(v) => out_path = Some(v),
+                None => return usage(),
+            },
+            "--ckpt" => match take(&mut i) {
+                Some(v) => opts.checkpoint = Some(PathBuf::from(v)),
+                None => return usage(),
+            },
+            "--ckpt-every" => match take(&mut i).and_then(|v| v.parse().ok()) {
+                Some(n) => opts.ckpt_every = n,
+                None => return usage(),
+            },
+            "--kill-after" => match take(&mut i).and_then(|v| v.parse().ok()) {
+                Some(n) => opts.kill_after = Some(n),
+                None => return usage(),
+            },
+            // Consumed by apply_thread_flag; skip the value here.
+            "--threads" => {
+                i += 1;
+            }
+            "--verbose" => verbose = true,
+            _ => return usage(),
+        }
+        i += 1;
+    }
+
+    let spec = match load_spec(spec_path.as_deref()) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("fleet: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    if opts.kill_after.is_some() && opts.checkpoint.is_none() {
+        eprintln!("fleet: --kill-after without --ckpt would lose all work");
+        return ExitCode::FAILURE;
+    }
+    if verbose {
+        opts.on_cell = Some(Arc::new(|cell| {
+            eprintln!(
+                "cell {} {} @ {:.3}: {} jobs folded",
+                cell.scheme, cell.pattern, cell.rate, cell.jobs
+            );
+        }));
+    }
+
+    let fleet = Fleet::with_default_threads();
+    eprintln!(
+        "fleet: {} jobs across {} cells on {} worker(s)",
+        spec.total_jobs(),
+        spec.cells(),
+        fleet.threads()
+    );
+    let outcome = match run_sweep(&fleet, &spec, opts) {
+        Ok(o) => o,
+        Err(e) => {
+            eprintln!("fleet: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    eprintln!(
+        "fleet: {} resumed, {} executed, complete={}",
+        outcome.resumed_jobs, outcome.executed_jobs, outcome.report.complete
+    );
+
+    let body = serde_json::to_string_pretty(&outcome.report).expect("report serializes");
+    match out_path {
+        Some(p) => {
+            if let Err(e) = std::fs::write(&p, body + "\n") {
+                eprintln!("fleet: writing {p}: {e}");
+                return ExitCode::FAILURE;
+            }
+            eprintln!("wrote {p}");
+        }
+        None => println!("{body}"),
+    }
+    ExitCode::SUCCESS
+}
+
+fn load_spec(path: Option<&str>) -> Result<SweepSpec, String> {
+    let text = match path {
+        None => return Ok(SweepSpec::demo()),
+        Some("-") => {
+            let mut buf = String::new();
+            std::io::stdin()
+                .read_to_string(&mut buf)
+                .map_err(|e| format!("reading spec from stdin: {e}"))?;
+            buf
+        }
+        Some(p) => std::fs::read_to_string(p).map_err(|e| format!("reading spec {p}: {e}"))?,
+    };
+    let spec: SweepSpec =
+        serde_json::from_str(&text).map_err(|e| format!("parsing spec JSON: {e}"))?;
+    spec.validate()?;
+    Ok(spec)
+}

@@ -30,6 +30,10 @@ fn out_dir_from_args() -> PathBuf {
 }
 
 fn main() {
+    if let Err(e) = pnoc_bench::apply_thread_flag() {
+        eprintln!("obs: {e}");
+        std::process::exit(1);
+    }
     let quick = std::env::args().any(|a| a == "--quick");
     let out = out_dir_from_args();
 

@@ -14,6 +14,10 @@ use pnoc_bench::perf::{check_regression, measure, validate, PerfReport};
 use std::process::ExitCode;
 
 fn main() -> ExitCode {
+    if let Err(e) = pnoc_bench::apply_thread_flag() {
+        eprintln!("perf: {e}");
+        return ExitCode::FAILURE;
+    }
     let mut quick = false;
     let mut json_path: Option<String> = None;
     let mut check_path: Option<String> = None;
@@ -39,8 +43,10 @@ fn main() -> ExitCode {
                 i += 1;
                 check_path = Some(args[i].clone());
             }
+            // Value already consumed by apply_thread_flag; skip it here.
+            "--threads" => i += 1,
             other => {
-                eprintln!("unknown flag {other}; usage: perf [--quick] [--json <path>] [--check <baseline.json>]");
+                eprintln!("unknown flag {other}; usage: perf [--quick] [--json <path>] [--check <baseline.json>] [--threads N]");
                 return ExitCode::FAILURE;
             }
         }

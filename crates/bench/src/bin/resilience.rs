@@ -17,6 +17,10 @@ fn main() {
     // aborts the harness with a diagnostic instead of producing a table.
     #[cfg(feature = "verify-invariants")]
     println!("[verify-invariants] cycle-level invariant auditor active\n");
+    if let Err(e) = pnoc_bench::apply_thread_flag() {
+        eprintln!("resilience: {e}");
+        std::process::exit(1);
+    }
     let fid = Fidelity::from_args();
     let curves = pnoc_bench::figures::resilience(fid);
     let mut header = vec!["scheme".to_string()];

@@ -1,0 +1,198 @@
+//! Long-running sweep service: NDJSON requests on stdin, streaming NDJSON
+//! results on stdout.
+//!
+//! ```text
+//! serve [--threads N]
+//! ```
+//!
+//! One JSON object per input line:
+//!
+//! * `{"id": "r1", "sweep": { …SweepSpec… }, "ckpt": "path"?}` — run (or
+//!   resume, with `ckpt`) a sweep. Emits `{"id":"r1","cell":{…}}` as each
+//!   (scheme, pattern, rate) cell completes, then a final
+//!   `{"id":"r1","done":true,…}` line.
+//! * `{"set": {"ckpt_every": 16, "verbose": true}}` — hot-swap the
+//!   operational knobs. Published through an epoch-stamped snapshot
+//!   ([`pnoc_fleet::EpochSnapshot`]): readers (including the per-cell
+//!   callback of a sweep already in flight) revalidate with one atomic load
+//!   and only clone the new config when the epoch moved. Only operational
+//!   knobs are swappable — anything affecting results is pinned inside the
+//!   sweep's spec so a request's output never depends on when a `set`
+//!   arrived relative to its jobs.
+//! * `{"shutdown": true}` — drain and exit (EOF does the same).
+//!
+//! Malformed lines produce an `{"error": …}` line; the service keeps going.
+
+use std::io::{BufRead, Write};
+use std::path::PathBuf;
+use std::sync::{Arc, Mutex};
+
+use pnoc_fleet::{run_sweep, EpochSnapshot, Fleet, SnapshotReader, SweepOptions, SweepSpec};
+use serde_json::Value;
+
+/// Hot-swappable operational knobs (never result-affecting).
+#[derive(Debug, Clone, Copy)]
+struct Knobs {
+    /// Checkpoint cadence for sweeps that request a journal.
+    ckpt_every: u64,
+    /// Echo per-cell progress to stderr as well.
+    verbose: bool,
+}
+
+impl Default for Knobs {
+    fn default() -> Self {
+        Self {
+            ckpt_every: 16,
+            verbose: false,
+        }
+    }
+}
+
+/// Write one NDJSON line and flush (stdout is block-buffered on pipes).
+fn emit(line: &str) {
+    let mut out = std::io::stdout().lock();
+    let _ = writeln!(out, "{line}");
+    let _ = out.flush();
+}
+
+fn emit_error(context: &str, detail: &str) {
+    let msg = serde_json::to_string(&format!("{context}: {detail}")).expect("string serializes");
+    emit(&format!("{{\"error\":{msg}}}"));
+}
+
+/// Look up a key in a JSON object `Value`; `None` for non-objects.
+fn field<'v>(v: &'v Value, key: &str) -> Option<&'v Value> {
+    match v {
+        Value::Map(entries) => entries.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+        _ => None,
+    }
+}
+
+fn main() {
+    if let Err(e) = pnoc_bench::apply_thread_flag() {
+        eprintln!("serve: {e}");
+        std::process::exit(1);
+    }
+    let fleet = Fleet::with_default_threads();
+    let knobs = Arc::new(EpochSnapshot::new(Knobs::default()));
+    eprintln!(
+        "serve: ready on {} worker(s); one JSON request per line",
+        fleet.threads()
+    );
+
+    let stdin = std::io::stdin();
+    for line in stdin.lock().lines() {
+        let line = match line {
+            Ok(l) => l,
+            Err(e) => {
+                emit_error("stdin", &e.to_string());
+                break;
+            }
+        };
+        if line.trim().is_empty() {
+            continue;
+        }
+        let request: Value = match serde_json::from_str(&line) {
+            Ok(v) => v,
+            Err(e) => {
+                emit_error("parse", &e.to_string());
+                continue;
+            }
+        };
+
+        if matches!(field(&request, "shutdown"), Some(Value::Bool(true))) {
+            emit("{\"bye\":true}");
+            return;
+        }
+        if let Some(settings) = field(&request, "set") {
+            apply_set(&knobs, settings);
+            continue;
+        }
+        if field(&request, "sweep").is_some() {
+            handle_sweep(&fleet, &knobs, &request);
+            continue;
+        }
+        emit_error("request", "expected one of: sweep, set, shutdown");
+    }
+}
+
+/// Merge a `set` request into the current knobs and publish a new epoch.
+fn apply_set(knobs: &Arc<EpochSnapshot<Knobs>>, settings: &Value) {
+    let mut next = *knobs.load();
+    if let Some(Value::U64(n)) = field(settings, "ckpt_every") {
+        next.ckpt_every = *n;
+    }
+    if let Some(Value::Bool(b)) = field(settings, "verbose") {
+        next.verbose = *b;
+    }
+    knobs.publish(next);
+    emit(&format!(
+        "{{\"ok\":true,\"epoch\":{},\"ckpt_every\":{},\"verbose\":{}}}",
+        knobs.epoch(),
+        next.ckpt_every,
+        next.verbose
+    ));
+}
+
+fn handle_sweep(fleet: &Fleet, knobs: &Arc<EpochSnapshot<Knobs>>, request: &Value) {
+    let id = match field(request, "id") {
+        Some(Value::Str(s)) => s.clone(),
+        _ => "anonymous".to_string(),
+    };
+    let id_json = serde_json::to_string(&id).expect("string serializes");
+
+    let spec: SweepSpec =
+        match serde_json::from_value(field(request, "sweep").expect("caller checked").clone()) {
+            Ok(s) => s,
+            Err(e) => {
+                emit_error("sweep spec", &e.to_string());
+                return;
+            }
+        };
+    if let Err(e) = spec.validate() {
+        emit_error("sweep spec", &e);
+        return;
+    }
+
+    let checkpoint = match field(request, "ckpt") {
+        Some(Value::Str(p)) => Some(PathBuf::from(p)),
+        Some(_) => {
+            emit_error("ckpt", "must be a string path");
+            return;
+        }
+        None => None,
+    };
+
+    // The result-affecting inputs are pinned here; the streaming callback
+    // consults the snapshot only for verbosity (operational).
+    let reader = Mutex::new(SnapshotReader::new(knobs));
+    let knobs_cb = knobs.clone();
+    let cell_id = id_json.clone();
+    let opts = SweepOptions {
+        checkpoint,
+        ckpt_every: knobs.load().ckpt_every,
+        on_cell: Some(Arc::new(move |cell| {
+            let body = serde_json::to_string(cell).expect("cell serializes");
+            emit(&format!("{{\"id\":{cell_id},\"cell\":{body}}}"));
+            let mut r = reader.lock().expect("knobs reader");
+            if r.get(&knobs_cb).verbose {
+                eprintln!(
+                    "serve[{cell_id}]: cell {} {} @ {:.3} done",
+                    cell.scheme, cell.pattern, cell.rate
+                );
+            }
+        })),
+        ..SweepOptions::default()
+    };
+
+    match run_sweep(fleet, &spec, opts) {
+        Ok(outcome) => emit(&format!(
+            "{{\"id\":{id_json},\"done\":true,\"complete\":{},\"total_jobs\":{},\"resumed\":{},\"executed\":{}}}",
+            outcome.report.complete,
+            outcome.report.total_jobs,
+            outcome.resumed_jobs,
+            outcome.executed_jobs
+        )),
+        Err(e) => emit_error(&format!("sweep {id}"), &e),
+    }
+}

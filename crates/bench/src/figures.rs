@@ -9,7 +9,10 @@ use pnoc_noc::network::run_synthetic_point;
 use pnoc_noc::{Network, NetworkConfig, Scheme, TraceSource};
 use pnoc_photonics::{ComponentBudget, NetworkDims};
 use pnoc_power::{ActivityProfile, PowerBreakdown, PowerReport};
-use pnoc_sim::{run_parallel, RunPlan};
+use pnoc_sim::RunPlan;
+use std::sync::Arc;
+
+use crate::fleet_map;
 use pnoc_traffic::apps::all_paper_apps;
 use pnoc_traffic::pattern::TrafficPattern;
 use serde::Serialize;
@@ -88,21 +91,23 @@ impl Curve {
     }
 }
 
-/// Sweep `schemes × rates` under `pattern`, one simulation per point, in
-/// parallel. `configure` may adjust the per-run config (credits, fairness…).
+/// Sweep `schemes × rates` under `pattern`, one simulation per point, on
+/// the shared fleet. `configure` may adjust the per-run config (credits,
+/// fairness…); it runs on fleet worker threads, hence the `Send + 'static`
+/// bounds.
 pub fn latency_curves(
     schemes: &[(String, Scheme)],
     pattern: TrafficPattern,
     rates: &[f64],
     plan: RunPlan,
-    configure: impl Fn(&mut NetworkConfig) + Sync,
+    configure: impl Fn(&mut NetworkConfig) + Send + Sync + 'static,
 ) -> Vec<Curve> {
     let jobs: Vec<(usize, Scheme, f64)> = schemes
         .iter()
         .enumerate()
         .flat_map(|(i, &(_, s))| rates.iter().map(move |&r| (i, s, r)))
         .collect();
-    let summaries = run_parallel(&jobs, |_, &(_, scheme, rate)| {
+    let summaries = fleet_map(jobs, move |_, &(_, scheme, rate)| {
         let mut cfg = NetworkConfig::paper_default(scheme);
         configure(&mut cfg);
         run_synthetic_point(cfg, pattern, rate, plan)
@@ -137,7 +142,7 @@ pub fn fig2b(fid: Fidelity) -> Vec<Curve> {
         .iter()
         .flat_map(|&c| rates.iter().map(move |&r| (c, r)))
         .collect();
-    let summaries = run_parallel(&jobs, |_, &(c, rate)| {
+    let summaries = fleet_map(jobs, move |_, &(c, rate)| {
         let mut cfg = NetworkConfig::paper_default(Scheme::TokenSlot);
         cfg.input_buffer = c;
         run_synthetic_point(cfg, TrafficPattern::UniformRandom, rate, fid.plan())
@@ -255,10 +260,11 @@ pub fn fig10(fid: Fidelity) -> (Vec<TraceResult>, Vec<TraceResult>) {
     };
     let apps = all_paper_apps();
     let dims = NetworkConfig::paper_default(Scheme::TokenSlot);
-    // Synthesize each trace once, in parallel.
-    let traces = run_parallel(&apps, |_, app| {
+    // Synthesize each trace once, in parallel; traces are shared with the
+    // fleet workers through an `Arc` (workers are persistent threads).
+    let traces: Arc<Vec<_>> = Arc::new(fleet_map(apps, move |_, app| {
         app.synthesize(dims.cores(), dims.nodes, length, 0x00F1_6010)
-    });
+    }));
     let groups: [Vec<(String, Scheme)>; 2] = [global_group(), distributed_group()];
     let mut out: Vec<Vec<TraceResult>> = Vec::new();
     for group in &groups {
@@ -266,10 +272,11 @@ pub fn fig10(fid: Fidelity) -> (Vec<TraceResult>, Vec<TraceResult>) {
             .flat_map(|t| group.iter().map(move |&(_, s)| (t, s)))
             .collect();
         let plan = RunPlan::new(warmup, length - warmup, 2_000);
-        let lat = run_parallel(&jobs, |_, &(t, scheme)| {
+        let shared = traces.clone();
+        let lat = fleet_map(jobs, move |_, &(t, scheme)| {
             let cfg = NetworkConfig::paper_default(scheme);
             let mut net = Network::new(cfg).expect("valid config");
-            let mut src = TraceSource::new(&traces[t], cfg.cores_per_node);
+            let mut src = TraceSource::new(&shared[t], cfg.cores_per_node);
             let summary = net.run_open_loop(&mut src, plan);
             summary.avg_latency
         });
@@ -349,7 +356,7 @@ pub fn fig11_credits(fid: Fidelity) -> Vec<(String, Vec<Curve>)> {
                 .iter()
                 .flat_map(|&c| rates.iter().map(move |&r| (c, r)))
                 .collect();
-            let summaries = run_parallel(&jobs, |_, &(c, rate)| {
+            let summaries = fleet_map(jobs, move |_, &(c, rate)| {
                 let mut cfg = NetworkConfig::paper_default(scheme);
                 cfg.input_buffer = c;
                 run_synthetic_point(cfg, TrafficPattern::UniformRandom, rate, fid.plan())
@@ -383,11 +390,12 @@ pub fn fig11_setaside(fid: Fidelity) -> Vec<(String, Vec<(usize, f64)>)> {
     for (label, make) in [
         (
             "GHS",
-            Box::new(|s: usize| Scheme::Ghs { setaside: s }) as Box<dyn Fn(usize) -> Scheme + Sync>,
+            Box::new(|s: usize| Scheme::Ghs { setaside: s })
+                as Box<dyn Fn(usize) -> Scheme + Send + Sync>,
         ),
         ("DHS", Box::new(|s: usize| Scheme::Dhs { setaside: s })),
     ] {
-        let points = run_parallel(&sizes, |_, &s| {
+        let points = fleet_map(sizes.to_vec(), move |_, &s| {
             let cfg = NetworkConfig::paper_default(make(s));
             let summary = run_synthetic_point(cfg, TrafficPattern::UniformRandom, rate, fid.plan());
             if summary.saturated {
@@ -426,7 +434,7 @@ pub fn fig12(fid: Fidelity) -> Vec<PowerRow> {
     let plan = fid.plan();
     // 0.05 pkt/cycle/core is sustainable by every scheme (Fig. 8/9).
     let rate = 0.05;
-    let rows = run_parallel(&schemes, |_, &scheme| {
+    let rows = fleet_map(schemes, move |_, &scheme| {
         let cfg = NetworkConfig::paper_default(scheme);
         let mut net = Network::new(cfg).expect("valid config");
         let mut src = pnoc_noc::SyntheticSource::new(
@@ -486,7 +494,7 @@ pub fn resilience_curves(
     fault_rates: &[f64],
     load: f64,
     plan: RunPlan,
-    base: impl Fn(Scheme) -> NetworkConfig + Sync,
+    base: impl Fn(Scheme) -> NetworkConfig + Send + Sync + 'static,
 ) -> Vec<Curve> {
     let schemes = resilience_group();
     let jobs: Vec<(usize, Scheme, f64)> = schemes
@@ -494,7 +502,7 @@ pub fn resilience_curves(
         .enumerate()
         .flat_map(|(i, &(_, s))| fault_rates.iter().map(move |&f| (i, s, f)))
         .collect();
-    let summaries = run_parallel(&jobs, |_, &(_, scheme, fault_rate)| {
+    let summaries = fleet_map(jobs, move |_, &(_, scheme, fault_rate)| {
         let cfg = base(scheme).with_faults(pnoc_noc::FaultConfig::uniform(fault_rate));
         run_synthetic_point(cfg, TrafficPattern::UniformRandom, load, plan)
     });
@@ -588,14 +596,16 @@ pub fn ipc(fid: Fidelity) -> Vec<IpcRow> {
             },
         ),
     ];
-    let workloads = all_paper_workloads();
+    let workloads = Arc::new(all_paper_workloads());
     let jobs: Vec<(usize, usize)> = (0..workloads.len())
         .flat_map(|w| (0..schemes.len()).map(move |s| (w, s)))
         .collect();
-    let results = run_parallel(&jobs, |_, &(w, s)| {
-        let mut net_cfg = NetworkConfig::paper_default(schemes[s].1);
+    let scheme_vals: Vec<Scheme> = schemes.iter().map(|(_, s)| *s).collect();
+    let shared = workloads.clone();
+    let results = fleet_map(jobs, move |_, &(w, s)| {
+        let mut net_cfg = NetworkConfig::paper_default(scheme_vals[s]);
         net_cfg.cores_per_node = 2; // 128 cores, as in the paper's CMP
-        let mut sys = CmpSystem::new(net_cfg, CmpConfig::paper_default(), workloads[w].clone());
+        let mut sys = CmpSystem::new(net_cfg, CmpConfig::paper_default(), shared[w].clone());
         sys.run(warmup, measure)
     });
     workloads

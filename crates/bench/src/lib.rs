@@ -29,6 +29,10 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+use std::sync::OnceLock;
+
+use pnoc_fleet::Fleet;
+
 pub mod export;
 pub mod figures;
 pub mod grids;
@@ -39,3 +43,49 @@ pub mod table;
 pub use figures::Fidelity;
 pub use plot::{render_latency_svg, PlotSpec};
 pub use table::Table;
+
+/// The process-wide work-stealing executor every harness sweep runs on.
+///
+/// Created lazily on first use with the default thread policy (`--threads`
+/// override > `PNOC_THREADS` > detected parallelism, cgroup-quota-aware —
+/// see [`pnoc_sim::sweep::default_threads`]). Binaries that accept
+/// `--threads` must call [`apply_thread_flag`] *before* the first sweep so
+/// the override is visible when the fleet spins up.
+pub fn fleet() -> &'static Fleet {
+    static FLEET: OnceLock<Fleet> = OnceLock::new();
+    FLEET.get_or_init(Fleet::with_default_threads)
+}
+
+/// Map `inputs` through the shared [`fleet`], preserving input order — the
+/// drop-in harness replacement for `pnoc_sim::run_parallel`, scheduled by
+/// work stealing instead of a shared job counter.
+pub fn fleet_map<I, O, F>(inputs: Vec<I>, f: F) -> Vec<O>
+where
+    I: Send + Sync + 'static,
+    O: Send + 'static,
+    F: Fn(usize, &I) -> O + Send + Sync + 'static,
+{
+    fleet().map(inputs, f)
+}
+
+/// Parse a `--threads N` flag from the process args and install it as the
+/// global thread override (see [`pnoc_sim::sweep::set_thread_override`]).
+/// Returns an error string for a malformed or missing value.
+pub fn apply_thread_flag() -> Result<(), String> {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    for (i, a) in args.iter().enumerate() {
+        if a == "--threads" {
+            let v = args
+                .get(i + 1)
+                .ok_or("--threads requires a positive integer")?;
+            let n: usize = v
+                .parse()
+                .map_err(|_| format!("--threads: invalid count {v:?}"))?;
+            if n == 0 {
+                return Err("--threads must be ≥ 1".into());
+            }
+            pnoc_sim::sweep::set_thread_override(n);
+        }
+    }
+    Ok(())
+}

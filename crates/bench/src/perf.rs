@@ -96,14 +96,19 @@ fn sweep_once(scheme: Scheme, quick: bool) -> (u64, u64) {
 
 /// Measure simulator throughput for every paper scheme on the 64-node
 /// uniform-random sweep.
+///
+/// The per-scheme timed passes run as jobs on a dedicated **single-worker**
+/// [`pnoc_fleet::Fleet`]: one worker serializes the measurements, so
+/// schemes never contend for cores and the numbers stay comparable with
+/// the checked-in baseline regardless of host parallelism.
 pub fn measure(quick: bool) -> PerfReport {
+    let rig = pnoc_fleet::Fleet::new(1);
     // Untimed warmup: page in code, warm allocator arenas and branch
-    // predictors before the first timed pass.
-    let _ = sweep_once(Scheme::TokenSlot, true);
-    let mut schemes = Vec::new();
-    let mut total_cycles = 0u64;
-    let mut total_ns = 0u64;
-    for scheme in Scheme::paper_set(4) {
+    // predictors — on the same worker thread the timed passes will use.
+    rig.map(vec![Scheme::TokenSlot], |_, &s| {
+        let _ = sweep_once(s, true);
+    });
+    let schemes: Vec<SchemePerf> = rig.map(Scheme::paper_set(4), move |_, &scheme| {
         let mut best_ns = u64::MAX;
         let mut cycles = 0u64;
         let mut delivered = 0u64;
@@ -115,18 +120,18 @@ pub fn measure(quick: bool) -> PerfReport {
             cycles = c;
             delivered = d;
         }
-        total_cycles += cycles;
-        total_ns += best_ns;
         let secs = best_ns as f64 / 1e9;
-        schemes.push(SchemePerf {
+        SchemePerf {
             scheme: scheme.label(),
             simulated_cycles: cycles,
             delivered_packets: delivered,
             wall_ns: best_ns,
             cycles_per_sec: cycles as f64 / secs,
             ns_per_packet: best_ns as f64 / delivered.max(1) as f64,
-        });
-    }
+        }
+    });
+    let total_cycles: u64 = schemes.iter().map(|s| s.simulated_cycles).sum();
+    let total_ns: u64 = schemes.iter().map(|s| s.wall_ns).sum();
     PerfReport {
         schema: SCHEMA.into(),
         nodes: 64,

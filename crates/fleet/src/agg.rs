@@ -1,0 +1,416 @@
+//! Streaming per-cell aggregation.
+//!
+//! Every completed job folds its [`RunSummary`] (plus the full latency
+//! recorder) into the [`MergeSummary`] of its cell, then is dropped — a
+//! sweep's memory is bounded by `cells × sizeof(MergeSummary)` no matter
+//! how many replicas run.
+//!
+//! **Every fold operation is exactly commutative and associative**: `u64`
+//! sums, `u64` max, recorder bin sums ([`LatencyRecorder::merge`]), and
+//! [`ExactSum`] fixed-point accumulation for every `f64` statistic. That is
+//! the whole determinism argument for checkpoint-resume: jobs complete in
+//! scheduler-dependent order, but the final aggregate — and therefore the
+//! serialized report — depends only on the *set* of folded jobs, so a
+//! killed-and-resumed sweep is byte-identical to an uninterrupted one.
+//! Non-finite statistics (`latency_ci95` and the Jain indices can be `NaN`)
+//! are counted by `ExactSum::skipped`, never folded.
+
+use pnoc_noc::metrics::RunSummary;
+use pnoc_obs::LatencyRecorder;
+use pnoc_sim::ExactSum;
+use serde::de::Error as DeError;
+use serde::{Content, Deserialize, Serialize};
+
+use crate::spec::SweepSpec;
+
+/// The streaming aggregate of one (scheme, pattern, rate) cell.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MergeSummary {
+    /// Replicas folded in so far.
+    pub jobs: u64,
+    /// Replicas whose run saturated.
+    pub saturated: u64,
+    /// Sum of measured packets delivered.
+    pub delivered: u64,
+    /// Sum of lost packets (fault runs).
+    pub lost_packets: u64,
+    /// Sum of suppressed duplicate deliveries.
+    pub duplicates: u64,
+    /// Sum of timeout-triggered retransmissions.
+    pub timeout_retransmissions: u64,
+    /// Sum of abandoned packets.
+    pub abandoned: u64,
+    /// Sum of leaked credits.
+    pub credit_leaks: u64,
+    /// Offered load per core (exact mean across replicas).
+    pub offered_per_core: ExactSum,
+    /// Mean packet latency.
+    pub avg_latency: ExactSum,
+    /// Latency CI half-widths (skips `NaN` single-batch replicas).
+    pub latency_ci95: ExactSum,
+    /// Mean output-queue wait.
+    pub avg_queue_wait: ExactSum,
+    /// Accepted throughput per core.
+    pub throughput_per_core: ExactSum,
+    /// NACK drop rate.
+    pub drop_rate: ExactSum,
+    /// Circulation rate.
+    pub circulation_rate: ExactSum,
+    /// Mean Jain fairness (skips `NaN`).
+    pub jain_fairness: ExactSum,
+    /// Worst-channel Jain fairness (skips `NaN`).
+    pub jain_worst: ExactSum,
+    /// Retransmissions per transmission.
+    pub retransmit_rate: ExactSum,
+    /// Pooled latency distribution of every replica.
+    pub latency: LatencyRecorder,
+}
+
+impl Default for MergeSummary {
+    fn default() -> Self {
+        Self {
+            jobs: 0,
+            saturated: 0,
+            delivered: 0,
+            lost_packets: 0,
+            duplicates: 0,
+            timeout_retransmissions: 0,
+            abandoned: 0,
+            credit_leaks: 0,
+            offered_per_core: ExactSum::new(),
+            avg_latency: ExactSum::new(),
+            latency_ci95: ExactSum::new(),
+            avg_queue_wait: ExactSum::new(),
+            throughput_per_core: ExactSum::new(),
+            drop_rate: ExactSum::new(),
+            circulation_rate: ExactSum::new(),
+            jain_fairness: ExactSum::new(),
+            jain_worst: ExactSum::new(),
+            retransmit_rate: ExactSum::new(),
+            latency: LatencyRecorder::cycles(),
+        }
+    }
+}
+
+impl MergeSummary {
+    /// Fold one replica's results in. Exactly commutative: any completion
+    /// order yields a bit-identical aggregate.
+    pub fn fold(&mut self, summary: &RunSummary, latency: &LatencyRecorder) {
+        self.jobs += 1;
+        self.saturated += u64::from(summary.saturated);
+        self.delivered += summary.delivered;
+        self.lost_packets += summary.lost_packets;
+        self.duplicates += summary.duplicates;
+        self.timeout_retransmissions += summary.timeout_retransmissions;
+        self.abandoned += summary.abandoned;
+        self.credit_leaks += summary.credit_leaks;
+        self.offered_per_core.add(summary.offered_per_core);
+        self.avg_latency.add(summary.avg_latency);
+        self.latency_ci95.add(summary.latency_ci95);
+        self.avg_queue_wait.add(summary.avg_queue_wait);
+        self.throughput_per_core.add(summary.throughput_per_core);
+        self.drop_rate.add(summary.drop_rate);
+        self.circulation_rate.add(summary.circulation_rate);
+        self.jain_fairness.add(summary.jain_fairness);
+        self.jain_worst.add(summary.jain_worst);
+        self.retransmit_rate.add(summary.retransmit_rate);
+        self.latency.merge(latency);
+    }
+
+    /// Merge another cell aggregate (used when combining checkpoint shards).
+    pub fn merge(&mut self, other: &Self) {
+        self.jobs += other.jobs;
+        self.saturated += other.saturated;
+        self.delivered += other.delivered;
+        self.lost_packets += other.lost_packets;
+        self.duplicates += other.duplicates;
+        self.timeout_retransmissions += other.timeout_retransmissions;
+        self.abandoned += other.abandoned;
+        self.credit_leaks += other.credit_leaks;
+        self.offered_per_core.merge(&other.offered_per_core);
+        self.avg_latency.merge(&other.avg_latency);
+        self.latency_ci95.merge(&other.latency_ci95);
+        self.avg_queue_wait.merge(&other.avg_queue_wait);
+        self.throughput_per_core.merge(&other.throughput_per_core);
+        self.drop_rate.merge(&other.drop_rate);
+        self.circulation_rate.merge(&other.circulation_rate);
+        self.jain_fairness.merge(&other.jain_fairness);
+        self.jain_worst.merge(&other.jain_worst);
+        self.retransmit_rate.merge(&other.retransmit_rate);
+        self.latency.merge(&other.latency);
+    }
+
+    /// Render the cell's report given its grid coordinates.
+    pub fn report(&self, spec: &SweepSpec, cell: usize) -> CellReport {
+        let (scheme, pattern, rate) = spec.cell_params(cell);
+        CellReport {
+            cell: cell as u64,
+            scheme: scheme.label(),
+            pattern: pattern.label().to_string(),
+            rate,
+            jobs: self.jobs,
+            saturated_fraction: if self.jobs == 0 {
+                0.0
+            } else {
+                self.saturated as f64 / self.jobs as f64
+            },
+            offered_per_core: self.offered_per_core.mean(),
+            avg_latency: self.avg_latency.mean(),
+            latency_ci95: self.latency_ci95.mean(),
+            ci95_missing: self.latency_ci95.skipped(),
+            p99_latency: if self.latency.is_empty() {
+                None
+            } else {
+                Some(self.latency.quantile(0.99))
+            },
+            max_latency: self.latency.max(),
+            avg_queue_wait: self.avg_queue_wait.mean(),
+            throughput_per_core: self.throughput_per_core.mean(),
+            drop_rate: self.drop_rate.mean(),
+            circulation_rate: self.circulation_rate.mean(),
+            jain_fairness: self.jain_fairness.mean(),
+            jain_worst: self.jain_worst.mean(),
+            retransmit_rate: self.retransmit_rate.mean(),
+            delivered: self.delivered,
+            lost_packets: self.lost_packets,
+            duplicates: self.duplicates,
+            timeout_retransmissions: self.timeout_retransmissions,
+            abandoned: self.abandoned,
+            credit_leaks: self.credit_leaks,
+        }
+    }
+}
+
+// Checkpoint wire format: every ExactSum as its (hi, lo, count, skipped)
+// parts, the recorder in sparse form. Hand-written so the journal format is
+// explicit and the dense recorder never hits disk.
+impl Serialize for MergeSummary {
+    fn to_content(&self) -> Content {
+        Content::Map(vec![
+            ("jobs".into(), self.jobs.to_content()),
+            ("saturated".into(), self.saturated.to_content()),
+            ("delivered".into(), self.delivered.to_content()),
+            ("lost_packets".into(), self.lost_packets.to_content()),
+            ("duplicates".into(), self.duplicates.to_content()),
+            (
+                "timeout_retransmissions".into(),
+                self.timeout_retransmissions.to_content(),
+            ),
+            ("abandoned".into(), self.abandoned.to_content()),
+            ("credit_leaks".into(), self.credit_leaks.to_content()),
+            (
+                "offered_per_core".into(),
+                self.offered_per_core.to_content(),
+            ),
+            ("avg_latency".into(), self.avg_latency.to_content()),
+            ("latency_ci95".into(), self.latency_ci95.to_content()),
+            ("avg_queue_wait".into(), self.avg_queue_wait.to_content()),
+            (
+                "throughput_per_core".into(),
+                self.throughput_per_core.to_content(),
+            ),
+            ("drop_rate".into(), self.drop_rate.to_content()),
+            (
+                "circulation_rate".into(),
+                self.circulation_rate.to_content(),
+            ),
+            ("jain_fairness".into(), self.jain_fairness.to_content()),
+            ("jain_worst".into(), self.jain_worst.to_content()),
+            ("retransmit_rate".into(), self.retransmit_rate.to_content()),
+            ("latency".into(), self.latency.to_sparse().to_content()),
+        ])
+    }
+}
+
+impl Deserialize for MergeSummary {
+    fn deserialize(value: &Content) -> Result<Self, DeError> {
+        let sparse = pnoc_obs::SparseLatency::deserialize(&value["latency"])?;
+        let latency = LatencyRecorder::from_sparse(&sparse).map_err(DeError::custom)?;
+        Ok(Self {
+            jobs: u64::deserialize(&value["jobs"])?,
+            saturated: u64::deserialize(&value["saturated"])?,
+            delivered: u64::deserialize(&value["delivered"])?,
+            lost_packets: u64::deserialize(&value["lost_packets"])?,
+            duplicates: u64::deserialize(&value["duplicates"])?,
+            timeout_retransmissions: u64::deserialize(&value["timeout_retransmissions"])?,
+            abandoned: u64::deserialize(&value["abandoned"])?,
+            credit_leaks: u64::deserialize(&value["credit_leaks"])?,
+            offered_per_core: ExactSum::deserialize(&value["offered_per_core"])?,
+            avg_latency: ExactSum::deserialize(&value["avg_latency"])?,
+            latency_ci95: ExactSum::deserialize(&value["latency_ci95"])?,
+            avg_queue_wait: ExactSum::deserialize(&value["avg_queue_wait"])?,
+            throughput_per_core: ExactSum::deserialize(&value["throughput_per_core"])?,
+            drop_rate: ExactSum::deserialize(&value["drop_rate"])?,
+            circulation_rate: ExactSum::deserialize(&value["circulation_rate"])?,
+            jain_fairness: ExactSum::deserialize(&value["jain_fairness"])?,
+            jain_worst: ExactSum::deserialize(&value["jain_worst"])?,
+            retransmit_rate: ExactSum::deserialize(&value["retransmit_rate"])?,
+            latency,
+        })
+    }
+}
+
+/// One cell's rendered results — what `serve` streams and the sweep report
+/// collects. Means over statistics that can be missing (`NaN` CI on
+/// single-batch replicas, Jain on idle channels) are `Option`s, rendered as
+/// JSON `null`, with the skip count surfaced alongside.
+#[derive(Debug, Clone, Serialize)]
+pub struct CellReport {
+    /// Cell index in canonical grid order.
+    pub cell: u64,
+    /// Scheme label (e.g. `"DHS-2"`).
+    pub scheme: String,
+    /// Traffic-pattern label (e.g. `"UR"`).
+    pub pattern: String,
+    /// Injection rate, packets/cycle/core.
+    pub rate: f64,
+    /// Replicas folded into this cell.
+    pub jobs: u64,
+    /// Fraction of replicas that saturated.
+    pub saturated_fraction: f64,
+    /// Mean measured offered load per core.
+    pub offered_per_core: Option<f64>,
+    /// Mean packet latency across replicas, cycles.
+    pub avg_latency: Option<f64>,
+    /// Mean CI half-width across replicas that produced one.
+    pub latency_ci95: Option<f64>,
+    /// Replicas whose CI was undefined.
+    pub ci95_missing: u64,
+    /// Pooled 99th-percentile latency over every replica's samples.
+    pub p99_latency: Option<f64>,
+    /// Exact maximum latency across all replicas, cycles.
+    pub max_latency: u64,
+    /// Mean output-queue wait, cycles.
+    pub avg_queue_wait: Option<f64>,
+    /// Mean accepted throughput per core.
+    pub throughput_per_core: Option<f64>,
+    /// Mean NACK drop rate.
+    pub drop_rate: Option<f64>,
+    /// Mean circulation rate.
+    pub circulation_rate: Option<f64>,
+    /// Mean Jain fairness index.
+    pub jain_fairness: Option<f64>,
+    /// Mean worst-channel Jain index.
+    pub jain_worst: Option<f64>,
+    /// Mean retransmissions per transmission.
+    pub retransmit_rate: Option<f64>,
+    /// Total measured packets delivered.
+    pub delivered: u64,
+    /// Total lost packets.
+    pub lost_packets: u64,
+    /// Total suppressed duplicates.
+    pub duplicates: u64,
+    /// Total timeout retransmissions.
+    pub timeout_retransmissions: u64,
+    /// Total abandoned packets.
+    pub abandoned: u64,
+    /// Total leaked credits.
+    pub credit_leaks: u64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pnoc_sim::SimRng;
+
+    /// A synthetic RunSummary + recorder derived from a seed.
+    fn fake_result(seed: u64) -> (RunSummary, LatencyRecorder) {
+        let mut rng = SimRng::seed_from(seed);
+        let mut rec = LatencyRecorder::cycles();
+        for _ in 0..100 {
+            rec.record_cycles(rng.below(5000));
+        }
+        let summary = RunSummary {
+            offered_per_core: rng.f64(),
+            avg_latency: rng.f64() * 100.0,
+            latency_ci95: if rng.chance(0.3) { f64::NAN } else { rng.f64() },
+            p99_latency: rng.f64() * 1000.0,
+            avg_queue_wait: rng.f64() * 10.0,
+            throughput_per_core: rng.f64(),
+            delivered: rng.below(10_000),
+            drop_rate: rng.f64() * 0.1,
+            circulation_rate: rng.f64() * 0.1,
+            jain_fairness: if rng.chance(0.2) { f64::NAN } else { rng.f64() },
+            jain_worst: rng.f64(),
+            saturated: rng.chance(0.25),
+            lost_packets: rng.below(5),
+            duplicates: rng.below(3),
+            retransmit_rate: rng.f64() * 0.05,
+            timeout_retransmissions: rng.below(7),
+            abandoned: rng.below(2),
+            credit_leaks: rng.below(2),
+        };
+        (summary, rec)
+    }
+
+    #[test]
+    fn fold_is_order_independent() {
+        let results: Vec<_> = (0..50).map(fake_result).collect();
+        let mut fwd = MergeSummary::default();
+        for (s, r) in &results {
+            fwd.fold(s, r);
+        }
+        let mut rev = MergeSummary::default();
+        for (s, r) in results.iter().rev() {
+            rev.fold(s, r);
+        }
+        assert_eq!(fwd, rev);
+        // And the serialized journal bytes agree too.
+        assert_eq!(
+            serde_json::to_string(&fwd).expect("serialize"),
+            serde_json::to_string(&rev).expect("serialize")
+        );
+    }
+
+    #[test]
+    fn merge_of_shards_equals_single_fold() {
+        let results: Vec<_> = (0..60).map(|i| fake_result(1000 + i)).collect();
+        let mut whole = MergeSummary::default();
+        for (s, r) in &results {
+            whole.fold(s, r);
+        }
+        let mut shards: Vec<MergeSummary> = Vec::new();
+        for chunk in results.chunks(17) {
+            let mut m = MergeSummary::default();
+            for (s, r) in chunk {
+                m.fold(s, r);
+            }
+            shards.push(m);
+        }
+        let mut merged = MergeSummary::default();
+        for sh in shards.iter().rev() {
+            merged.merge(sh);
+        }
+        assert_eq!(merged, whole);
+    }
+
+    #[test]
+    fn journal_round_trip_is_exact() {
+        let mut m = MergeSummary::default();
+        for i in 0..20 {
+            let (s, r) = fake_result(7000 + i);
+            m.fold(&s, &r);
+        }
+        let json = serde_json::to_string(&m).expect("serialize");
+        let back: MergeSummary = serde_json::from_str(&json).expect("deserialize");
+        assert_eq!(back, m);
+        // Exactness survives a second trip (no drift).
+        assert_eq!(serde_json::to_string(&back).expect("serialize"), json);
+    }
+
+    #[test]
+    fn nan_statistics_are_counted_not_folded() {
+        let mut m = MergeSummary::default();
+        let (mut s, r) = fake_result(1);
+        s.latency_ci95 = f64::NAN;
+        s.jain_fairness = f64::NAN;
+        m.fold(&s, &r);
+        assert_eq!(m.latency_ci95.skipped(), 1);
+        assert_eq!(m.jain_fairness.skipped(), 1);
+        let spec = crate::spec::SweepSpec::demo();
+        let rep = m.report(&spec, 0);
+        assert_eq!(rep.latency_ci95, None);
+        assert_eq!(rep.ci95_missing, 1);
+        assert!(rep.avg_latency.is_some());
+    }
+}

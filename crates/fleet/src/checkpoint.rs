@@ -1,0 +1,266 @@
+//! The append-only `fleet.ckpt` resume journal.
+//!
+//! Format: JSON lines. The first line is a header binding the journal to a
+//! spec fingerprint; every subsequent line is a full snapshot of the sweep
+//! state — the completed-index [`RangeSet`] plus every cell's
+//! [`MergeSummary`] in compact (sparse-recorder, fixed-point-parts) form.
+//! Snapshots are cumulative, so loading needs only the **last parseable
+//! line**: a write torn by a kill leaves a truncated tail that the loader
+//! skips, falling back to the previous snapshot. Appending never rewrites
+//! history, so a crash can lose at most the jobs since the last snapshot —
+//! which resume simply re-runs (bit-identically, since jobs are pure
+//! functions of `(spec, index)`).
+
+use std::fs::{File, OpenOptions};
+use std::io::Write;
+use std::path::{Path, PathBuf};
+
+use pnoc_sim::rng::splitmix64;
+use pnoc_sim::RangeSet;
+use serde::{Deserialize, Serialize};
+
+use crate::agg::MergeSummary;
+use crate::spec::SweepSpec;
+
+/// Journal format version.
+const FORMAT: u64 = 1;
+
+/// The resumable state of a sweep: which jobs completed, and the streaming
+/// aggregate of each cell.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SweepState {
+    /// Completed job indices.
+    pub completed: RangeSet,
+    /// Per-cell aggregates, indexed by canonical cell order.
+    pub cells: Vec<MergeSummary>,
+    /// Snapshot sequence number (monotonic per journal).
+    pub seq: u64,
+}
+
+impl SweepState {
+    /// Fresh state for `spec`: nothing completed, empty aggregates.
+    pub fn new(spec: &SweepSpec) -> Self {
+        Self {
+            completed: RangeSet::new(),
+            cells: vec![MergeSummary::default(); spec.cells()],
+            seq: 0,
+        }
+    }
+}
+
+/// Header line binding a journal to its spec.
+#[derive(Debug, Serialize, Deserialize)]
+struct Header {
+    /// Journal format version.
+    fleet_ckpt: u64,
+    /// Fingerprint of the serialized spec.
+    fingerprint: u64,
+    /// Total jobs of the sweep (redundant sanity check).
+    total_jobs: u64,
+}
+
+/// One snapshot line.
+#[derive(Debug, Serialize, Deserialize)]
+struct Snapshot {
+    seq: u64,
+    completed: RangeSet,
+    cells: Vec<MergeSummary>,
+}
+
+/// Deterministic fingerprint of a spec: SplitMix64 folded over the bytes of
+/// its canonical JSON form. Not cryptographic — it exists to catch "resumed
+/// with a different spec" mistakes, not adversaries.
+pub fn spec_fingerprint(spec: &SweepSpec) -> u64 {
+    let json = serde_json::to_string(spec).expect("spec serializes");
+    let mut h: u64 = 0x5EED_F1EE_7000_0001;
+    for chunk in json.as_bytes().chunks(8) {
+        let mut word = [0u8; 8];
+        word[..chunk.len()].copy_from_slice(chunk);
+        h ^= u64::from_le_bytes(word);
+        h = splitmix64(&mut h);
+    }
+    h
+}
+
+/// An open, appendable checkpoint journal.
+#[derive(Debug)]
+pub struct Journal {
+    file: File,
+    path: PathBuf,
+}
+
+impl Journal {
+    /// Open (or create) the journal at `path` for `spec`, returning the
+    /// journal plus the recovered state.
+    ///
+    /// * Missing or empty file → fresh journal: writes the header, returns
+    ///   [`SweepState::new`].
+    /// * Existing file → verifies the header fingerprint against `spec`
+    ///   (mismatch is an error: resuming under a different spec would merge
+    ///   incompatible aggregates), then recovers the last parseable
+    ///   snapshot, skipping a torn tail line.
+    pub fn open(path: &Path, spec: &SweepSpec) -> Result<(Self, SweepState), String> {
+        let fingerprint = spec_fingerprint(spec);
+        let existing = std::fs::read_to_string(path).unwrap_or_default();
+        if existing.trim().is_empty() {
+            let mut file = File::create(path)
+                .map_err(|e| format!("create checkpoint {}: {e}", path.display()))?;
+            let header = Header {
+                fleet_ckpt: FORMAT,
+                fingerprint,
+                total_jobs: spec.total_jobs(),
+            };
+            writeln!(file, "{}", serde_json::to_string(&header).expect("header"))
+                .map_err(|e| format!("write checkpoint header: {e}"))?;
+            file.flush().map_err(|e| format!("flush checkpoint: {e}"))?;
+            return Ok((
+                Self {
+                    file,
+                    path: path.to_path_buf(),
+                },
+                SweepState::new(spec),
+            ));
+        }
+
+        let mut lines = existing.lines();
+        let header_line = lines.next().ok_or("checkpoint has no header")?;
+        let header: Header =
+            serde_json::from_str(header_line).map_err(|e| format!("bad checkpoint header: {e}"))?;
+        if header.fleet_ckpt != FORMAT {
+            return Err(format!(
+                "checkpoint format {} unsupported (expected {FORMAT})",
+                header.fleet_ckpt
+            ));
+        }
+        if header.fingerprint != fingerprint {
+            return Err(format!(
+                "checkpoint {} belongs to a different sweep spec \
+                 (fingerprint {:#x}, expected {:#x})",
+                path.display(),
+                header.fingerprint,
+                fingerprint
+            ));
+        }
+
+        // Recover the last parseable snapshot; a torn tail parses as
+        // garbage and is skipped.
+        let mut state = SweepState::new(spec);
+        for line in lines {
+            if line.trim().is_empty() {
+                continue;
+            }
+            if let Ok(snap) = serde_json::from_str::<Snapshot>(line) {
+                if snap.cells.len() == spec.cells() && snap.completed.len() <= spec.total_jobs() {
+                    state = SweepState {
+                        completed: snap.completed,
+                        cells: snap.cells,
+                        seq: snap.seq,
+                    };
+                }
+            }
+        }
+
+        let file = OpenOptions::new()
+            .append(true)
+            .open(path)
+            .map_err(|e| format!("reopen checkpoint {}: {e}", path.display()))?;
+        Ok((
+            Self {
+                file,
+                path: path.to_path_buf(),
+            },
+            state,
+        ))
+    }
+
+    /// Append one snapshot line. The caller bumps `state.seq` first.
+    pub fn append(&mut self, state: &SweepState) -> Result<(), String> {
+        let snap = Snapshot {
+            seq: state.seq,
+            completed: state.completed.clone(),
+            cells: state.cells.clone(),
+        };
+        writeln!(
+            self.file,
+            "{}",
+            serde_json::to_string(&snap).expect("snapshot")
+        )
+        .map_err(|e| format!("append checkpoint {}: {e}", self.path.display()))?;
+        self.file
+            .flush()
+            .map_err(|e| format!("flush checkpoint: {e}"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::SweepSpec;
+
+    fn tmp(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join("pnoc-fleet-tests");
+        std::fs::create_dir_all(&dir).expect("mk tmp dir");
+        dir.join(name)
+    }
+
+    #[test]
+    fn fresh_journal_round_trips_state() {
+        let spec = SweepSpec::demo();
+        let path = tmp("fresh.ckpt");
+        let _ = std::fs::remove_file(&path);
+        let (mut journal, mut state) = Journal::open(&path, &spec).expect("open");
+        assert!(state.completed.is_empty());
+
+        // Fold a few synthetic jobs and snapshot.
+        for i in 0..5u64 {
+            let detail = spec.run_job(i);
+            state.cells[spec.cell_of(i)].fold(&detail.summary, &detail.latency);
+            state.completed.insert(i);
+        }
+        state.seq = 1;
+        journal.append(&state).expect("append");
+        drop(journal);
+
+        let (_, recovered) = Journal::open(&path, &spec).expect("reopen");
+        assert_eq!(recovered, state);
+    }
+
+    #[test]
+    fn torn_tail_falls_back_to_previous_snapshot() {
+        let spec = SweepSpec::demo();
+        let path = tmp("torn.ckpt");
+        let _ = std::fs::remove_file(&path);
+        let (mut journal, mut state) = Journal::open(&path, &spec).expect("open");
+        state.completed.insert_range(0, 3);
+        state.seq = 1;
+        journal.append(&state).expect("append");
+        drop(journal);
+
+        // Simulate a kill mid-write: append half a JSON line.
+        let mut f = OpenOptions::new()
+            .append(true)
+            .open(&path)
+            .expect("open raw");
+        write!(f, "{{\"seq\":2,\"completed\":{{\"ranges\":[{{\"lo\":0,").expect("tear");
+        drop(f);
+
+        let (_, recovered) = Journal::open(&path, &spec).expect("reopen");
+        assert_eq!(recovered.seq, 1);
+        assert_eq!(recovered.completed.len(), 3);
+    }
+
+    #[test]
+    fn fingerprint_mismatch_is_rejected() {
+        let spec = SweepSpec::demo();
+        let path = tmp("mismatch.ckpt");
+        let _ = std::fs::remove_file(&path);
+        let (journal, _) = Journal::open(&path, &spec).expect("open");
+        drop(journal);
+
+        let mut other = spec.clone();
+        other.master_seed ^= 1;
+        let err = Journal::open(&path, &other).expect_err("must reject");
+        assert!(err.contains("different sweep spec"), "got: {err}");
+        assert_ne!(spec_fingerprint(&spec), spec_fingerprint(&other));
+    }
+}

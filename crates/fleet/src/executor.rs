@@ -1,0 +1,534 @@
+//! The persistent work-stealing executor.
+//!
+//! A [`Fleet`] owns a fixed set of worker threads that live for the fleet's
+//! lifetime; batches are submitted to it, not spawned as their own thread
+//! pools. Work is described as half-open **index ranges**, never as
+//! materialized input vectors: a million-job sweep enters the executor as a
+//! single `[0, 1_000_000)` task, so queue memory is proportional to the
+//! number of *fragments* in flight, not the number of jobs.
+//!
+//! Scheduling is classic work stealing:
+//!
+//! * every worker has its own deque; the owner pushes and pops at the back,
+//! * a worker that runs dry scans the other deques round-robin and steals
+//!   from the **front** — the oldest (and therefore usually largest) task,
+//! * stealing takes *half* of the victim's queue: half its tasks when it
+//!   has several, or half of a single task's index range when it has one
+//!   large fragment (ranges split recursively, so one huge range diffuses
+//!   across all workers in `O(log n)` steals),
+//! * workers execute at most [`Batch`]-grain indices of a task at a time,
+//!   pushing the remainder back, so a steal request never waits behind an
+//!   unbounded chunk,
+//! * idle workers park on a condvar and are woken only when new work is
+//!   pushed while somebody is parked.
+
+use std::collections::VecDeque;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+
+/// A contiguous fragment of a batch's index space.
+struct Task {
+    batch: Arc<Batch>,
+    lo: u64,
+    hi: u64,
+}
+
+/// State shared by all fragments of one submitted batch.
+struct Batch {
+    /// The job body, called once per index.
+    run: Box<dyn Fn(u64) + Send + Sync>,
+    /// Indices not yet executed (or skipped); the batch is done at 0.
+    remaining: AtomicU64,
+    /// Max indices a worker executes per task before re-queuing the rest.
+    grain: u64,
+    /// Set when any job panicked; remaining fragments are skipped.
+    poisoned: AtomicBool,
+    /// Completion flag + first panic payload, guarded for the waiter.
+    done: Mutex<BatchDone>,
+    /// Signaled when `remaining` hits zero.
+    done_cv: Condvar,
+}
+
+#[derive(Default)]
+struct BatchDone {
+    finished: bool,
+    panic_msg: Option<String>,
+}
+
+/// Executor state shared between the handle and the workers.
+struct Core {
+    deques: Vec<Mutex<VecDeque<Task>>>,
+    /// Tasks currently sitting in deques (not the jobs inside them).
+    queued: AtomicU64,
+    /// Workers currently parked on `wake`.
+    idle: AtomicUsize,
+    park: Mutex<()>,
+    wake: Condvar,
+    shutdown: AtomicBool,
+    /// Diagnostic: successful steals since construction.
+    stolen: AtomicU64,
+    /// Round-robin cursor for distributing submissions.
+    rr: AtomicUsize,
+}
+
+/// A persistent work-stealing thread pool executing index-range batches.
+///
+/// ```
+/// use std::sync::atomic::{AtomicU64, Ordering};
+/// use std::sync::Arc;
+/// let fleet = pnoc_fleet::Fleet::new(4);
+/// let sum = Arc::new(AtomicU64::new(0));
+/// let s = sum.clone();
+/// fleet
+///     .submit(vec![(0, 1000)], 16, move |i| {
+///         s.fetch_add(i, Ordering::Relaxed);
+///     })
+///     .wait();
+/// assert_eq!(sum.load(Ordering::Relaxed), 499_500);
+/// ```
+pub struct Fleet {
+    core: Arc<Core>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+/// Waitable handle to a submitted batch.
+pub struct BatchHandle {
+    batch: Arc<Batch>,
+}
+
+impl BatchHandle {
+    /// Block until every index of the batch has been executed. If any job
+    /// panicked, re-panics with the first captured payload after the batch
+    /// drains (remaining fragments are skipped, not run).
+    pub fn wait(self) {
+        let mut g = self.batch.done.lock().expect("batch lock poisoned");
+        while !g.finished {
+            g = self.batch.done_cv.wait(g).expect("batch lock poisoned");
+        }
+        if let Some(msg) = g.panic_msg.take() {
+            drop(g);
+            panic!("fleet job panicked: {msg}");
+        }
+    }
+}
+
+impl Fleet {
+    /// A fleet with `threads` persistent workers (at least 1).
+    pub fn new(threads: usize) -> Self {
+        let threads = threads.max(1);
+        let core = Arc::new(Core {
+            deques: (0..threads).map(|_| Mutex::new(VecDeque::new())).collect(),
+            queued: AtomicU64::new(0),
+            idle: AtomicUsize::new(0),
+            park: Mutex::new(()),
+            wake: Condvar::new(),
+            shutdown: AtomicBool::new(false),
+            stolen: AtomicU64::new(0),
+            rr: AtomicUsize::new(0),
+        });
+        let workers = (0..threads)
+            .map(|w| {
+                let core = core.clone();
+                std::thread::Builder::new()
+                    .name(format!("fleet-{w}"))
+                    .spawn(move || worker_loop(&core, w))
+                    .expect("spawn fleet worker")
+            })
+            .collect();
+        Self { core, workers }
+    }
+
+    /// A fleet sized by the process-wide thread policy
+    /// ([`pnoc_sim::sweep::default_threads`]: `--threads` override, then
+    /// `PNOC_THREADS`, then cgroup-capped hardware parallelism).
+    pub fn with_default_threads() -> Self {
+        Self::new(pnoc_sim::sweep::default_threads())
+    }
+
+    /// Number of worker threads.
+    pub fn threads(&self) -> usize {
+        self.core.deques.len()
+    }
+
+    /// Successful steals since construction (diagnostic).
+    pub fn steals(&self) -> u64 {
+        self.core.stolen.load(Ordering::Relaxed)
+    }
+
+    /// Submit a batch: `run(i)` is called exactly once for every index in
+    /// every `[lo, hi)` range (empty ranges are ignored). `grain` bounds how
+    /// many indices a worker executes before re-checking its queue; use 1
+    /// for heavyweight jobs (simulations), larger values to amortize queue
+    /// traffic on micro-jobs.
+    ///
+    /// Ranges may be arbitrarily large — they are split lazily as workers
+    /// execute and steal. Returns immediately; call [`BatchHandle::wait`]
+    /// for completion.
+    pub fn submit<F>(&self, ranges: Vec<(u64, u64)>, grain: u64, run: F) -> BatchHandle
+    where
+        F: Fn(u64) + Send + Sync + 'static,
+    {
+        let total: u64 = ranges.iter().map(|&(lo, hi)| hi.saturating_sub(lo)).sum();
+        let batch = Arc::new(Batch {
+            run: Box::new(run),
+            remaining: AtomicU64::new(total),
+            grain: grain.max(1),
+            poisoned: AtomicBool::new(false),
+            done: Mutex::new(BatchDone {
+                finished: total == 0,
+                panic_msg: None,
+            }),
+            done_cv: Condvar::new(),
+        });
+        if total == 0 {
+            return BatchHandle { batch };
+        }
+
+        // Seed the deques: split the work into ~`threads` pieces so every
+        // worker finds a fragment immediately instead of queueing behind a
+        // single deque; stealing handles any residual imbalance.
+        let threads = self.core.deques.len() as u64;
+        let piece = (total.div_ceil(threads)).max(batch.grain);
+        for (lo, hi) in ranges {
+            let mut lo = lo;
+            while lo < hi {
+                let cut = (lo + piece).min(hi);
+                let slot = self.core.rr.fetch_add(1, Ordering::Relaxed) % self.core.deques.len();
+                self.core.push(
+                    slot,
+                    Task {
+                        batch: batch.clone(),
+                        lo,
+                        hi: cut,
+                    },
+                );
+                lo = cut;
+            }
+        }
+        BatchHandle {
+            batch: batch.clone(),
+        }
+    }
+
+    /// Convenience fork/join: run `f` over every input on the fleet,
+    /// returning outputs in input order. The fleet analogue of
+    /// [`pnoc_sim::run_parallel`], for harnesses whose inputs are already
+    /// materialized. Inputs are moved into the batch (workers are
+    /// persistent threads, so borrows cannot cross into them).
+    pub fn map<I, O, F>(&self, inputs: Vec<I>, f: F) -> Vec<O>
+    where
+        I: Send + Sync + 'static,
+        O: Send + 'static,
+        F: Fn(usize, &I) -> O + Send + Sync + 'static,
+    {
+        let n = inputs.len();
+        if n == 0 {
+            return Vec::new();
+        }
+        let inputs = Arc::new(inputs);
+        let slots: Arc<Vec<Mutex<Option<O>>>> =
+            Arc::new((0..n).map(|_| Mutex::new(None)).collect());
+        let ins = inputs.clone();
+        let outs = slots.clone();
+        self.submit(vec![(0, n as u64)], 1, move |i| {
+            let i = usize::try_from(i).expect("index fits usize");
+            let out = f(i, &ins[i]);
+            *outs[i].lock().expect("map slot poisoned") = Some(out);
+        })
+        .wait();
+        // Workers may still hold their Arc clones for a moment after the
+        // waiter unblocks, so take the outputs through the mutexes instead
+        // of unwrapping the Arc.
+        slots
+            .iter()
+            .map(|slot| {
+                slot.lock()
+                    .expect("map slot poisoned")
+                    .take()
+                    .expect("worker skipped a map index")
+            })
+            .collect()
+    }
+}
+
+impl Drop for Fleet {
+    fn drop(&mut self) {
+        self.core.shutdown.store(true, Ordering::SeqCst);
+        {
+            let _g = self.core.park.lock().expect("park lock poisoned");
+            self.core.wake.notify_all();
+        }
+        for w in self.workers.drain(..) {
+            let _ = w.join();
+        }
+    }
+}
+
+impl Core {
+    /// Push a task onto deque `slot` and wake a parked worker if any.
+    fn push(&self, slot: usize, task: Task) {
+        self.deques[slot]
+            .lock()
+            .expect("deque poisoned")
+            .push_back(task);
+        self.queued.fetch_add(1, Ordering::SeqCst);
+        if self.idle.load(Ordering::SeqCst) > 0 {
+            let _g = self.park.lock().expect("park lock poisoned");
+            self.wake.notify_all();
+        }
+    }
+
+    /// Pop from our own deque (LIFO end, cache-warm fragments first).
+    fn pop_own(&self, me: usize) -> Option<Task> {
+        let task = self.deques[me].lock().expect("deque poisoned").pop_back();
+        if task.is_some() {
+            self.queued.fetch_sub(1, Ordering::SeqCst);
+        }
+        task
+    }
+
+    /// Try to steal half of some victim's queue, scanning round-robin from
+    /// our right-hand neighbour.
+    fn steal(&self, me: usize) -> Option<Task> {
+        let n = self.deques.len();
+        for off in 1..n {
+            let victim = (me + off) % n;
+            let mut dq = self.deques[victim].lock().expect("deque poisoned");
+            match dq.len() {
+                0 => continue,
+                1 => {
+                    let task = dq.front_mut().expect("len checked");
+                    let len = task.hi - task.lo;
+                    if len > task.batch.grain {
+                        // Split the lone fragment: take the front half.
+                        let mid = task.lo + len / 2;
+                        let stolen = Task {
+                            batch: task.batch.clone(),
+                            lo: task.lo,
+                            hi: mid,
+                        };
+                        task.lo = mid;
+                        drop(dq);
+                        // The victim keeps its (shrunk) task queued, and the
+                        // stolen half goes straight to execution, so the
+                        // queued-task count is unchanged.
+                        self.stolen.fetch_add(1, Ordering::Relaxed);
+                        return Some(stolen);
+                    }
+                    let task = dq.pop_front().expect("len checked");
+                    drop(dq);
+                    self.queued.fetch_sub(1, Ordering::SeqCst);
+                    self.stolen.fetch_add(1, Ordering::Relaxed);
+                    return Some(task);
+                }
+                len => {
+                    // Take the front (oldest, largest) half of the queue,
+                    // keep one for ourselves, push the rest to our deque.
+                    let take = len / 2;
+                    let mut grabbed: Vec<Task> = Vec::with_capacity(take);
+                    for _ in 0..take {
+                        grabbed.push(dq.pop_front().expect("len checked"));
+                    }
+                    drop(dq);
+                    self.stolen.fetch_add(1, Ordering::Relaxed);
+                    let first = grabbed.remove(0);
+                    self.queued.fetch_sub(1, Ordering::SeqCst);
+                    if !grabbed.is_empty() {
+                        let mut mine = self.deques[me].lock().expect("deque poisoned");
+                        for t in grabbed {
+                            mine.push_back(t);
+                        }
+                    }
+                    return Some(first);
+                }
+            }
+        }
+        None
+    }
+}
+
+/// Execute up to one grain of `task`, re-queueing the remainder, then
+/// account the completed indices against the batch.
+fn execute(core: &Core, me: usize, task: Task) {
+    let grain = task.batch.grain;
+    let (lo, hi) = (task.lo, task.hi);
+    let cut = (lo + grain).min(hi);
+    if cut < hi {
+        core.push(
+            me,
+            Task {
+                batch: task.batch.clone(),
+                lo: cut,
+                hi,
+            },
+        );
+    }
+    let batch = task.batch;
+    if !batch.poisoned.load(Ordering::Acquire) {
+        for i in lo..cut {
+            let result = catch_unwind(AssertUnwindSafe(|| (batch.run)(i)));
+            if let Err(payload) = result {
+                let msg = payload
+                    .downcast_ref::<&str>()
+                    .map(|s| (*s).to_string())
+                    .or_else(|| payload.downcast_ref::<String>().cloned())
+                    .unwrap_or_else(|| "non-string panic payload".to_string());
+                batch.poisoned.store(true, Ordering::Release);
+                let mut g = batch.done.lock().expect("batch lock poisoned");
+                if g.panic_msg.is_none() {
+                    g.panic_msg = Some(msg);
+                }
+                break;
+            }
+        }
+    }
+    // Count down every index of the chunk, run or skipped, so waiters
+    // always unblock.
+    let done = cut - lo;
+    if batch.remaining.fetch_sub(done, Ordering::AcqRel) == done {
+        let mut g = batch.done.lock().expect("batch lock poisoned");
+        g.finished = true;
+        batch.done_cv.notify_all();
+    }
+}
+
+fn worker_loop(core: &Core, me: usize) {
+    loop {
+        if core.shutdown.load(Ordering::SeqCst) {
+            return;
+        }
+        if let Some(task) = core.pop_own(me).or_else(|| core.steal(me)) {
+            execute(core, me, task);
+            continue;
+        }
+        // Nothing anywhere: park until a push wakes us. The idle counter is
+        // raised *before* re-checking `queued` under the park lock, and
+        // pushers notify under the same lock, so a push between our check
+        // and the wait cannot be missed.
+        core.idle.fetch_add(1, Ordering::SeqCst);
+        let g = core.park.lock().expect("park lock poisoned");
+        if core.queued.load(Ordering::SeqCst) == 0 && !core.shutdown.load(Ordering::SeqCst) {
+            let _g = core.wake.wait(g).expect("park lock poisoned");
+        }
+        core.idle.fetch_sub(1, Ordering::SeqCst);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicU64;
+
+    #[test]
+    fn zero_jobs_completes_immediately() {
+        let fleet = Fleet::new(4);
+        fleet
+            .submit(Vec::new(), 1, |_| panic!("must not run"))
+            .wait();
+        fleet
+            .submit(vec![(5, 5), (10, 3)], 1, |_| panic!("must not run"))
+            .wait();
+        let out: Vec<u8> = fleet.map(Vec::<u8>::new(), |_, &x| x);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn every_index_runs_exactly_once() {
+        let fleet = Fleet::new(8);
+        let hits: Arc<Vec<AtomicU64>> = Arc::new((0..10_000).map(|_| AtomicU64::new(0)).collect());
+        let h = hits.clone();
+        fleet
+            .submit(vec![(0, 10_000)], 7, move |i| {
+                h[i as usize].fetch_add(1, Ordering::Relaxed);
+            })
+            .wait();
+        for (i, h) in hits.iter().enumerate() {
+            assert_eq!(h.load(Ordering::Relaxed), 1, "index {i}");
+        }
+    }
+
+    #[test]
+    fn disjoint_ranges_and_reuse_across_batches() {
+        let fleet = Fleet::new(3);
+        for round in 0..5u64 {
+            let sum = Arc::new(AtomicU64::new(0));
+            let s = sum.clone();
+            fleet
+                .submit(vec![(0, 10), (100, 110), (1000, 1001)], 2, move |i| {
+                    s.fetch_add(i, Ordering::Relaxed);
+                })
+                .wait();
+            let expect: u64 = (0..10).sum::<u64>() + (100..110).sum::<u64>() + 1000;
+            assert_eq!(sum.load(Ordering::Relaxed), expect, "round {round}");
+        }
+    }
+
+    #[test]
+    fn fewer_jobs_than_threads() {
+        let fleet = Fleet::new(16);
+        let out = fleet.map(vec![1u64, 2, 3], |_, &x| x * 10);
+        assert_eq!(out, vec![10, 20, 30]);
+        let out = fleet.map(vec![9u64], |i, &x| (i, x));
+        assert_eq!(out, vec![(0, 9)]);
+    }
+
+    #[test]
+    fn map_preserves_input_order() {
+        let fleet = Fleet::new(4);
+        let inputs: Vec<u64> = (0..2000).collect();
+        let out = fleet.map(inputs.clone(), |i, &x| {
+            assert_eq!(i as u64, x);
+            x * 3
+        });
+        assert_eq!(out, inputs.iter().map(|x| x * 3).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn single_thread_fleet_works() {
+        let fleet = Fleet::new(1);
+        let out = fleet.map((0..100u64).collect::<Vec<_>>(), |_, &x| x + 1);
+        assert_eq!(out.len(), 100);
+        assert_eq!(out[99], 100);
+    }
+
+    #[test]
+    fn panic_propagates_to_waiter() {
+        let fleet = Fleet::new(4);
+        let result = std::panic::catch_unwind(AssertUnwindSafe(|| {
+            fleet
+                .submit(vec![(0, 100)], 1, |i| {
+                    if i == 37 {
+                        panic!("job 37 exploded");
+                    }
+                })
+                .wait();
+        }));
+        let err = result.expect_err("panic must propagate");
+        let msg = err.downcast_ref::<String>().cloned().unwrap_or_default();
+        assert!(msg.contains("job 37 exploded"), "got: {msg}");
+        // The fleet survives a poisoned batch.
+        let out = fleet.map(vec![1u64, 2], |_, &x| x);
+        assert_eq!(out, vec![1, 2]);
+    }
+
+    #[test]
+    fn large_single_range_diffuses_via_stealing() {
+        // One huge range, blocked first worker: the others must steal it
+        // apart. With a tiny grain every worker should end up contributing.
+        let fleet = Fleet::new(4);
+        let hits = Arc::new(AtomicU64::new(0));
+        let h = hits.clone();
+        fleet
+            .submit(vec![(0, 50_000)], 16, move |_| {
+                h.fetch_add(1, Ordering::Relaxed);
+            })
+            .wait();
+        assert_eq!(hits.load(Ordering::Relaxed), 50_000);
+        assert!(
+            fleet.steals() > 0,
+            "a 50k-index range on 4 workers should involve stealing"
+        );
+    }
+}

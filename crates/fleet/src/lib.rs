@@ -1,0 +1,43 @@
+//! # pnoc-fleet — work-stealing, checkpointable sweep engine
+//!
+//! The paper's figures are products of large sweeps (scheme × traffic ×
+//! injection rate × replicas); the ROADMAP's north star is running
+//! *millions* of such simulations as a service. This crate is the execution
+//! subsystem between the deterministic `(seed, index)` job encoding
+//! (`pnoc-oracle` pioneered it for fuzz cases) and the mergeable aggregates
+//! (`pnoc-obs`'s [`LatencyRecorder`], `pnoc-sim`'s `ExactSum`):
+//!
+//! * [`Fleet`] — a persistent work-stealing executor: per-worker deques,
+//!   steal-half, parked idle workers, jobs described as index **ranges**
+//!   (never materialized vectors),
+//! * [`SweepSpec`] — a deterministic sweep description whose jobs are pure
+//!   functions of `(spec, index)`,
+//! * [`MergeSummary`] — streaming per-cell aggregation with **exactly
+//!   commutative** folds, so results are independent of completion order,
+//! * [`checkpoint`] — an append-only `fleet.ckpt` journal; a killed sweep
+//!   resumes without recomputation and produces a byte-identical report,
+//! * [`snapshot`] — epoch-style read-mostly parameter snapshots for the
+//!   `serve` mode's hot-swappable operational knobs.
+//!
+//! See DESIGN.md §13 for the architecture and the determinism argument, and
+//! EXPERIMENTS.md ("Fleet sweeps") for the operational walkthrough.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod agg;
+pub mod checkpoint;
+pub mod executor;
+pub mod runner;
+pub mod snapshot;
+pub mod spec;
+
+pub use agg::{CellReport, MergeSummary};
+pub use checkpoint::{spec_fingerprint, Journal, SweepState};
+pub use executor::{BatchHandle, Fleet};
+pub use runner::{run_sweep, SweepOptions, SweepOutcome, SweepReport, KILL_EXIT_CODE};
+pub use snapshot::{EpochSnapshot, SnapshotReader};
+pub use spec::{SweepBase, SweepSpec};
+
+#[cfg(doc)]
+use pnoc_obs::LatencyRecorder;

@@ -1,0 +1,156 @@
+//! Epoch-style read-mostly configuration snapshots.
+//!
+//! The serve loop lets an operator hot-swap operational parameters (progress
+//! verbosity, checkpoint cadence) while a sweep is running. Workers read the
+//! current parameters once per job; taking a lock per read would serialize
+//! the whole fleet on a value that changes maybe once a session.
+//!
+//! [`EpochSnapshot`] keeps a `Mutex<Arc<T>>` publish slot plus an atomic
+//! epoch counter. Each reader holds a [`SnapshotReader`] caching the `Arc`
+//! it last saw together with the epoch it was read at; on access it compares
+//! epochs with one atomic load and touches the mutex only when a publish has
+//! actually happened. The fast path is a load + pointer deref — no lock, no
+//! allocation, and no `unsafe` — while writers pay the full mutex cost,
+//! which is the right trade for a value written a handful of times per run.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// A read-mostly shared value with epoch-validated reader caches.
+///
+/// ```
+/// use pnoc_fleet::snapshot::{EpochSnapshot, SnapshotReader};
+/// let snap = EpochSnapshot::new(10u64);
+/// let mut reader = SnapshotReader::new(&snap);
+/// assert_eq!(**reader.get(&snap), 10);
+/// snap.publish(20);
+/// assert_eq!(**reader.get(&snap), 20);
+/// ```
+pub struct EpochSnapshot<T> {
+    /// Bumped on every publish; readers revalidate against it.
+    epoch: AtomicU64,
+    /// The current value. Locked only by writers and by readers whose
+    /// cached epoch is stale.
+    slot: Mutex<Arc<T>>,
+}
+
+impl<T> EpochSnapshot<T> {
+    /// A snapshot holding `value` at epoch 0.
+    pub fn new(value: T) -> Self {
+        Self {
+            epoch: AtomicU64::new(0),
+            slot: Mutex::new(Arc::new(value)),
+        }
+    }
+
+    /// Publish a new value, making it visible to every reader's next `get`.
+    pub fn publish(&self, value: T) {
+        let mut g = self.slot.lock().expect("snapshot slot poisoned");
+        *g = Arc::new(value);
+        // Bump inside the critical section so a concurrent reader that sees
+        // the new epoch is guaranteed to find the new Arc under the lock.
+        self.epoch.fetch_add(1, Ordering::Release);
+    }
+
+    /// The current epoch (number of publishes so far).
+    pub fn epoch(&self) -> u64 {
+        self.epoch.load(Ordering::Acquire)
+    }
+
+    /// An uncached read: locks the slot. Prefer [`SnapshotReader::get`] in
+    /// loops.
+    pub fn load(&self) -> Arc<T> {
+        self.slot.lock().expect("snapshot slot poisoned").clone()
+    }
+}
+
+/// A per-reader cache for an [`EpochSnapshot`]; see module docs.
+pub struct SnapshotReader<T> {
+    cached: Arc<T>,
+    seen: u64,
+}
+
+impl<T> SnapshotReader<T> {
+    /// A reader primed with the snapshot's current value.
+    pub fn new(src: &EpochSnapshot<T>) -> Self {
+        let seen = src.epoch();
+        Self {
+            cached: src.load(),
+            seen,
+        }
+    }
+
+    /// The current value: one atomic load on the fast path, re-locking the
+    /// slot only when a publish happened since the last read.
+    pub fn get(&mut self, src: &EpochSnapshot<T>) -> &Arc<T> {
+        let now = src.epoch();
+        if now != self.seen {
+            self.cached = src.load();
+            self.seen = now;
+        }
+        &self.cached
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicBool;
+
+    #[test]
+    fn readers_see_published_values() {
+        let snap = EpochSnapshot::new("v0".to_string());
+        let mut r = SnapshotReader::new(&snap);
+        assert_eq!(r.get(&snap).as_str(), "v0");
+        assert_eq!(snap.epoch(), 0);
+        snap.publish("v1".to_string());
+        snap.publish("v2".to_string());
+        assert_eq!(snap.epoch(), 2);
+        assert_eq!(r.get(&snap).as_str(), "v2");
+    }
+
+    #[test]
+    fn stale_arcs_stay_valid_for_old_readers() {
+        // A reader that never revalidates keeps a usable Arc to the old
+        // value — publishes must not invalidate in-flight references.
+        let snap = EpochSnapshot::new(vec![1u64, 2, 3]);
+        let old = snap.load();
+        snap.publish(vec![9]);
+        assert_eq!(*old, vec![1, 2, 3]);
+        assert_eq!(*snap.load(), vec![9]);
+    }
+
+    #[test]
+    fn concurrent_readers_converge_after_publish() {
+        let snap = Arc::new(EpochSnapshot::new(0u64));
+        let stop = Arc::new(AtomicBool::new(false));
+        std::thread::scope(|scope| {
+            let mut handles = Vec::new();
+            for _ in 0..4 {
+                let snap = snap.clone();
+                let stop = stop.clone();
+                handles.push(scope.spawn(move || {
+                    let mut r = SnapshotReader::new(&snap);
+                    let mut last = **r.get(&snap);
+                    while !stop.load(Ordering::Relaxed) {
+                        let v = **r.get(&snap);
+                        // Values are published in increasing order; a cached
+                        // reader must never observe time going backwards.
+                        assert!(v >= last, "read {v} after {last}");
+                        last = v;
+                    }
+                    last
+                }));
+            }
+            for v in 1..=1000u64 {
+                snap.publish(v);
+            }
+            stop.store(true, Ordering::Relaxed);
+            for h in handles {
+                let last = h.join().expect("reader thread");
+                assert!(last <= 1000);
+            }
+        });
+        assert_eq!(**SnapshotReader::new(&snap).get(&snap), 1000);
+    }
+}

@@ -1,0 +1,213 @@
+//! Deterministic sweep descriptions.
+//!
+//! A fleet sweep is a `(master_seed, index_range, SweepSpec)` triple: the
+//! spec defines a grid of (scheme, pattern, rate) **cells** with a fixed
+//! number of replicas per cell, and every job index maps to exactly one
+//! (cell, replica) pair by arithmetic. Nothing about a job is stored — the
+//! job *is* its index, and the per-job simulation seed is derived from
+//! `stream_seed(master_seed, FLEET_STREAM)` forked at the index (the same
+//! idiom `pnoc-oracle` uses for fuzz cases). A million-job sweep therefore
+//! costs twelve lines of JSON to describe, and any subset of its indices
+//! can be re-run bit-identically on any machine.
+
+use pnoc_noc::config::{NetworkConfig, Scheme};
+use pnoc_noc::network::{run_synthetic_point_detailed, PointDetail};
+use pnoc_sim::rng::{stream_seed, FLEET_STREAM};
+use pnoc_sim::{RunPlan, SimRng};
+use pnoc_traffic::pattern::TrafficPattern;
+use serde::{Deserialize, Serialize};
+
+/// Which base network configuration the sweep perturbs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum SweepBase {
+    /// [`NetworkConfig::paper_default`]: 64 nodes × 4 cores.
+    Paper,
+    /// [`NetworkConfig::small`]: 16 nodes × 2 cores (tests, smokes).
+    Small,
+}
+
+/// A deterministic sweep description; see module docs.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SweepSpec {
+    /// Base network configuration.
+    pub base: SweepBase,
+    /// Schemes axis of the cell grid.
+    pub schemes: Vec<Scheme>,
+    /// Traffic-pattern axis of the cell grid.
+    pub patterns: Vec<TrafficPattern>,
+    /// Injection-rate axis of the cell grid (packets/cycle/core).
+    pub rates: Vec<f64>,
+    /// Independent replicas per cell (distinct seeds, merged aggregates).
+    pub replicas: u64,
+    /// Master seed; every job seed derives from it via [`FLEET_STREAM`].
+    pub master_seed: u64,
+    /// Warmup cycles of each run.
+    pub warmup: u64,
+    /// Measure cycles of each run.
+    pub measure: u64,
+    /// Drain cycles of each run.
+    pub drain: u64,
+}
+
+impl SweepSpec {
+    /// A small built-in sweep used by the `fleet` bin and CI smoke: 3
+    /// schemes × 1 pattern × 4 rates × 2 replicas = 24 jobs on the small
+    /// network with the quick plan.
+    pub fn demo() -> Self {
+        let quick = RunPlan::quick();
+        Self {
+            base: SweepBase::Small,
+            schemes: vec![
+                Scheme::TokenChannel,
+                Scheme::TokenSlot,
+                Scheme::Dhs { setaside: 2 },
+            ],
+            patterns: vec![TrafficPattern::UniformRandom],
+            rates: vec![0.05, 0.10, 0.15, 0.20],
+            replicas: 2,
+            master_seed: 0xF1EE_7001,
+            warmup: quick.warmup,
+            measure: quick.measure,
+            drain: quick.drain,
+        }
+    }
+
+    /// Structural validation; returns a human-readable reason on failure.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.schemes.is_empty() || self.patterns.is_empty() || self.rates.is_empty() {
+            return Err("schemes, patterns, and rates must all be non-empty".into());
+        }
+        if self.replicas == 0 {
+            return Err("replicas must be at least 1".into());
+        }
+        if self.measure == 0 {
+            return Err("measure window must be non-zero".into());
+        }
+        for &r in &self.rates {
+            if !r.is_finite() || r < 0.0 {
+                return Err(format!("invalid injection rate {r}"));
+            }
+        }
+        Ok(())
+    }
+
+    /// Number of (scheme, pattern, rate) cells.
+    pub fn cells(&self) -> usize {
+        self.schemes.len() * self.patterns.len() * self.rates.len()
+    }
+
+    /// Total job count: cells × replicas.
+    pub fn total_jobs(&self) -> u64 {
+        self.cells() as u64 * self.replicas
+    }
+
+    /// The cell a job index belongs to.
+    pub fn cell_of(&self, index: u64) -> usize {
+        usize::try_from(index / self.replicas).expect("cell fits usize")
+    }
+
+    /// The (scheme, pattern, rate) coordinates of cell `cell`.
+    pub fn cell_params(&self, cell: usize) -> (Scheme, TrafficPattern, f64) {
+        let rates = self.rates.len();
+        let patterns = self.patterns.len();
+        let ri = cell % rates;
+        let pi = (cell / rates) % patterns;
+        let si = cell / (rates * patterns);
+        (self.schemes[si], self.patterns[pi], self.rates[ri])
+    }
+
+    /// The simulation seed for job `index`: independent per index, stable
+    /// across machines, and on a dedicated stream so sweeps never share
+    /// randomness with fuzz campaigns run from the same master seed.
+    pub fn job_seed(&self, index: u64) -> u64 {
+        let mut gen = SimRng::seed_from(stream_seed(self.master_seed, FLEET_STREAM));
+        gen.fork(index).next_u64()
+    }
+
+    /// The run plan every job uses.
+    pub fn plan(&self) -> RunPlan {
+        RunPlan::new(self.warmup, self.measure, self.drain)
+    }
+
+    /// Run job `index`: a pure function of `(self, index)`.
+    pub fn run_job(&self, index: u64) -> PointDetail {
+        let (scheme, pattern, rate) = self.cell_params(self.cell_of(index));
+        let mut cfg = match self.base {
+            SweepBase::Paper => NetworkConfig::paper_default(scheme),
+            SweepBase::Small => NetworkConfig::small(scheme),
+        };
+        cfg.seed = self.job_seed(index);
+        run_synthetic_point_detailed(cfg, pattern, rate, self.plan())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn demo_spec_is_valid() {
+        let spec = SweepSpec::demo();
+        spec.validate().expect("demo spec valid");
+        assert_eq!(spec.cells(), 12);
+        assert_eq!(spec.total_jobs(), 24);
+    }
+
+    #[test]
+    fn cell_decomposition_is_a_bijection() {
+        let mut spec = SweepSpec::demo();
+        spec.patterns.push(TrafficPattern::Tornado);
+        let mut seen = vec![false; spec.cells()];
+        for (cell, cell_seen) in seen.iter_mut().enumerate() {
+            let (s, p, r) = spec.cell_params(cell);
+            // Re-encode the coordinates and check they map back.
+            let si = spec.schemes.iter().position(|&x| x == s).expect("scheme");
+            let pi = spec.patterns.iter().position(|&x| x == p).expect("pattern");
+            let ri = spec.rates.iter().position(|&x| x == r).expect("rate");
+            let re = (si * spec.patterns.len() + pi) * spec.rates.len() + ri;
+            assert_eq!(re, cell);
+            assert!(!*cell_seen);
+            *cell_seen = true;
+        }
+        // Jobs of the same cell are consecutive indices.
+        for j in 0..spec.total_jobs() {
+            assert_eq!(spec.cell_of(j), (j / spec.replicas) as usize);
+        }
+    }
+
+    #[test]
+    fn job_seeds_are_distinct_and_stable() {
+        let spec = SweepSpec::demo();
+        let mut seeds: Vec<u64> = (0..spec.total_jobs()).map(|j| spec.job_seed(j)).collect();
+        let again: Vec<u64> = (0..spec.total_jobs()).map(|j| spec.job_seed(j)).collect();
+        assert_eq!(seeds, again, "seeds must be stable");
+        seeds.sort_unstable();
+        seeds.dedup();
+        assert_eq!(
+            seeds.len() as u64,
+            spec.total_jobs(),
+            "seeds must be distinct"
+        );
+    }
+
+    #[test]
+    fn validation_rejects_degenerate_specs() {
+        let mut spec = SweepSpec::demo();
+        spec.replicas = 0;
+        assert!(spec.validate().is_err());
+        let mut spec = SweepSpec::demo();
+        spec.rates.clear();
+        assert!(spec.validate().is_err());
+        let mut spec = SweepSpec::demo();
+        spec.rates.push(f64::NAN);
+        assert!(spec.validate().is_err());
+    }
+
+    #[test]
+    fn spec_round_trips_through_json() {
+        let spec = SweepSpec::demo();
+        let json = serde_json::to_string(&spec).expect("serialize");
+        let back: SweepSpec = serde_json::from_str(&json).expect("deserialize");
+        assert_eq!(back, spec);
+    }
+}

@@ -332,6 +332,41 @@ pub fn run_synthetic_point(
     net.run_open_loop(&mut src, plan)
 }
 
+/// A synthetic point's summary plus the full latency distribution behind it.
+///
+/// The fleet aggregation layer merges the recorders of every replica in a
+/// sweep cell before taking tail quantiles, so the cell's p99 is computed
+/// over the pooled distribution rather than averaged across replicas.
+#[derive(Debug, Clone)]
+pub struct PointDetail {
+    /// The scalar summary, identical to what [`run_synthetic_point`] returns.
+    pub summary: RunSummary,
+    /// The full measured-latency recorder for the run.
+    pub latency: pnoc_obs::LatencyRecorder,
+}
+
+/// [`run_synthetic_point`], but also returning the latency recorder.
+pub fn run_synthetic_point_detailed(
+    cfg: NetworkConfig,
+    pattern: pnoc_traffic::pattern::TrafficPattern,
+    rate: f64,
+    plan: RunPlan,
+) -> PointDetail {
+    let mut net = Network::new(cfg).expect("invalid config");
+    let mut src = crate::sources::SyntheticSource::new(
+        pattern,
+        rate,
+        cfg.nodes,
+        cfg.cores_per_node,
+        cfg.seed ^ 0x5EED_0001,
+    );
+    let summary = net.run_open_loop(&mut src, plan);
+    PointDetail {
+        summary,
+        latency: net.metrics().latency_rec.clone(),
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

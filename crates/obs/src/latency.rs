@@ -29,7 +29,10 @@ pub const CAP_LOG2: u32 = 40;
 
 /// Log-bucketed latency recorder with an exact linear region (see module
 /// docs). The `f64` recording API mirrors the fixed histogram it replaces.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+///
+/// `PartialEq` compares the full state bit-for-bit (every bin, overflow,
+/// total, max) — the equality the fleet checkpoint tests gate on.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub struct LatencyRecorder {
     /// Exact 1-cycle bins over `[0, linear_bins)`.
     linear: Vec<u64>,
@@ -234,6 +237,82 @@ impl LatencyRecorder {
         }
         out
     }
+
+    /// Compact lossless encoding: only the non-zero bins. A sweep cell's
+    /// latencies cluster in a narrow band, so the dense `2048 + 29×32`-bin
+    /// vectors serialize mostly as zeros; the sparse form keeps checkpoint
+    /// journal lines proportional to the *occupied* bins.
+    pub fn to_sparse(&self) -> SparseLatency {
+        let mut bins = Vec::new();
+        for (i, &c) in self.linear.iter().enumerate() {
+            if c > 0 {
+                bins.push((i as u64, c));
+            }
+        }
+        for (i, &c) in self.log.iter().enumerate() {
+            if c > 0 {
+                bins.push((self.linear_bins + i as u64, c));
+            }
+        }
+        SparseLatency {
+            linear_bins: self.linear_bins,
+            bins,
+            overflow: self.overflow,
+            total: self.total,
+            max: self.max,
+        }
+    }
+
+    /// Rebuild a recorder from its sparse encoding. Errors on geometry or
+    /// index corruption (e.g. a truncated or hand-edited journal) rather
+    /// than panicking, so checkpoint loaders can reject bad snapshots.
+    pub fn from_sparse(sparse: &SparseLatency) -> Result<Self, String> {
+        if !sparse.linear_bins.is_power_of_two() || sparse.linear_bins < SUB_BUCKETS {
+            return Err(format!("invalid linear_bins {}", sparse.linear_bins));
+        }
+        let mut r = Self::new(sparse.linear_bins);
+        let mut counted: u64 = 0;
+        for &(idx, count) in &sparse.bins {
+            if idx < r.linear_bins {
+                r.linear[idx as usize] += count;
+            } else {
+                let li = usize::try_from(idx - r.linear_bins)
+                    .ok()
+                    .filter(|&i| i < r.log.len())
+                    .ok_or_else(|| format!("bin index {idx} out of range"))?;
+                r.log[li] += count;
+            }
+            counted += count;
+        }
+        if counted + sparse.overflow != sparse.total {
+            return Err(format!(
+                "bin counts {} + overflow {} != total {}",
+                counted, sparse.overflow, sparse.total
+            ));
+        }
+        r.overflow = sparse.overflow;
+        r.total = sparse.total;
+        r.max = sparse.max;
+        Ok(r)
+    }
+}
+
+/// Lossless sparse encoding of a [`LatencyRecorder`] (see
+/// [`LatencyRecorder::to_sparse`]). Bin indices are dense: `[0,
+/// linear_bins)` addresses the linear region, `linear_bins + i` addresses
+/// log bucket `i`.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SparseLatency {
+    /// Geometry: width of the exact linear region.
+    pub linear_bins: u64,
+    /// `(dense bin index, count)` pairs for every non-zero bin, ascending.
+    pub bins: Vec<(u64, u64)>,
+    /// Samples at or beyond the cap.
+    pub overflow: u64,
+    /// Total samples recorded.
+    pub total: u64,
+    /// Largest sample seen.
+    pub max: u64,
 }
 
 impl Default for LatencyRecorder {

@@ -39,6 +39,6 @@ pub mod svg;
 pub mod trace;
 
 pub use event::{Event, EventKind, NO_PACKET};
-pub use latency::{LatencyRecorder, CAP_LOG2, SUB_BUCKETS};
+pub use latency::{LatencyRecorder, SparseLatency, CAP_LOG2, SUB_BUCKETS};
 pub use sampler::{ChannelSample, OccupancySampler};
 pub use trace::{ObsSink, RingTrace, TraceExport};

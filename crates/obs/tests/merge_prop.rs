@@ -1,0 +1,142 @@
+//! Property tests for [`pnoc_obs::LatencyRecorder::merge`] and the sparse
+//! checkpoint encoding.
+//!
+//! Fleet checkpoint-resume correctness rests on one algebraic fact: folding
+//! any partition of the samples into per-part recorders and merging them
+//! must be *bit-identical* to recording every sample into one recorder —
+//! regardless of how the partition splits the samples or in which order the
+//! parts are merged. These tests state that fact over arbitrary sample
+//! mixes spanning all three recorder regions (exact linear bins, log
+//! buckets, past-the-cap overflow).
+
+use pnoc_obs::{LatencyRecorder, CAP_LOG2};
+use proptest::prelude::*;
+
+/// Samples spanning linear, log, and overflow regions.
+fn sample_vec() -> impl Strategy<Value = Vec<u64>> {
+    proptest::collection::vec(
+        prop_oneof![
+            0u64..2048,
+            2048u64..1_000_000,
+            (1u64 << CAP_LOG2)..(1u64 << (CAP_LOG2 + 2)),
+        ],
+        0..400,
+    )
+}
+
+/// Record `samples[i]` into `parts[assign[i] % parts.len()]`.
+fn record_partition(samples: &[u64], assign: &[u8], parts: usize) -> Vec<LatencyRecorder> {
+    let mut out = vec![LatencyRecorder::cycles(); parts];
+    for (i, &v) in samples.iter().enumerate() {
+        let p = assign.get(i).map_or(0, |&a| a as usize % parts);
+        out[p].record_cycles(v);
+    }
+    out
+}
+
+proptest! {
+    /// Merging any partition of the samples equals recording them all in
+    /// one recorder: identical bins, overflow counter, total, and exact max
+    /// (checked via full structural equality *and* the serialized bytes).
+    #[test]
+    fn merged_partition_is_bit_identical_to_whole(
+        samples in sample_vec(),
+        assign in proptest::collection::vec(any::<u8>(), 0..400),
+        parts in 1usize..6,
+    ) {
+        let mut whole = LatencyRecorder::cycles();
+        for &v in &samples {
+            whole.record_cycles(v);
+        }
+        let part_recs = record_partition(&samples, &assign, parts);
+
+        // Merge left-to-right…
+        let mut fwd = LatencyRecorder::cycles();
+        for p in &part_recs {
+            fwd.merge(p);
+        }
+        // …and right-to-left: merge must also be order-insensitive.
+        let mut rev = LatencyRecorder::cycles();
+        for p in part_recs.iter().rev() {
+            rev.merge(p);
+        }
+
+        prop_assert_eq!(&fwd, &whole);
+        prop_assert_eq!(&rev, &whole);
+        let whole_json = serde_json::to_string(&whole).expect("serialize");
+        prop_assert_eq!(serde_json::to_string(&fwd).expect("serialize"), whole_json);
+    }
+
+    /// Quantiles of the merged recorder are bit-identical to the whole
+    /// recorder's — the form in which the equality reaches reports.
+    #[test]
+    fn merged_quantiles_match_bitwise(
+        samples in sample_vec(),
+        assign in proptest::collection::vec(any::<u8>(), 0..400),
+    ) {
+        let mut whole = LatencyRecorder::cycles();
+        for &v in &samples {
+            whole.record_cycles(v);
+        }
+        let mut merged = LatencyRecorder::cycles();
+        for p in &record_partition(&samples, &assign, 4) {
+            merged.merge(p);
+        }
+        for q in [0.0, 0.5, 0.9, 0.99, 0.999, 1.0] {
+            prop_assert_eq!(
+                merged.quantile(q).to_bits(),
+                whole.quantile(q).to_bits(),
+                "q = {}", q
+            );
+        }
+        prop_assert_eq!(merged.max(), whole.max());
+        prop_assert_eq!(merged.overflow(), whole.overflow());
+    }
+
+    /// The sparse encoding is lossless: `from_sparse(to_sparse(r)) == r`
+    /// structurally, and its JSON form round-trips too.
+    #[test]
+    fn sparse_encoding_round_trips(samples in sample_vec()) {
+        let mut r = LatencyRecorder::cycles();
+        for &v in &samples {
+            r.record_cycles(v);
+        }
+        let sparse = r.to_sparse();
+        let back = LatencyRecorder::from_sparse(&sparse).expect("valid sparse form");
+        prop_assert_eq!(&back, &r);
+
+        let json = serde_json::to_string(&sparse).expect("serialize");
+        let reparsed: pnoc_obs::SparseLatency =
+            serde_json::from_str(&json).expect("deserialize");
+        let back2 = LatencyRecorder::from_sparse(&reparsed).expect("valid sparse form");
+        prop_assert_eq!(&back2, &r);
+    }
+}
+
+/// Merging recorders of different geometry is a programming error and must
+/// fail loudly, not corrupt bins.
+#[test]
+#[should_panic(expected = "geometry mismatch")]
+fn merge_rejects_geometry_mismatch() {
+    let mut a = LatencyRecorder::cycles();
+    let b = LatencyRecorder::new(4096);
+    a.merge(&b);
+}
+
+/// Corrupted sparse forms are rejected with an error, not a panic.
+#[test]
+fn from_sparse_rejects_corruption() {
+    let mut r = LatencyRecorder::cycles();
+    r.record_cycles(7);
+    let mut sparse = r.to_sparse();
+    sparse.total += 1; // bins no longer account for the total
+    assert!(LatencyRecorder::from_sparse(&sparse).is_err());
+
+    let mut sparse = r.to_sparse();
+    sparse.bins[0].0 = u64::MAX; // out-of-range bin index
+    assert!(LatencyRecorder::from_sparse(&sparse).is_err());
+
+    let mut sparse = r.to_sparse();
+    sparse.linear_bins = 3; // not a power of two
+    assert!(LatencyRecorder::from_sparse(&sparse).is_err());
+}

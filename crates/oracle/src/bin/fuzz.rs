@@ -87,20 +87,34 @@ fn parse_u64(args: &[String], i: usize, flag: &str) -> u64 {
 
 /// The normal differential sweep: `n` generated cases, zero divergences
 /// expected.
+///
+/// Cases are independent `(seed, index)` pairs, so they run on a
+/// work-stealing fleet ([`pnoc_fleet::Fleet`]); divergences are reported by
+/// **lowest index** regardless of completion order, so the output is
+/// identical to the old sequential sweep whenever exactly one case
+/// diverges, and deterministic always.
 fn run_fuzz(seed: u64, n: u64) -> i32 {
+    let fleet = pnoc_fleet::Fleet::with_default_threads();
+    let indices: Vec<u64> = (0..n).collect();
+    let outcomes = fleet.map(indices, move |_, &index| {
+        let case = generate_case(seed, index);
+        let divergence = check_case(&case).map(|msg| (index, msg));
+        (case.scheme.label(), case.faults.enabled(), divergence)
+    });
+
     let mut per_scheme: Vec<(String, u64)> = Vec::new();
     let mut faulty = 0u64;
-    for index in 0..n {
-        let case = generate_case(seed, index);
-        let label = case.scheme.label();
+    for (label, has_faults, divergence) in outcomes {
         match per_scheme.iter_mut().find(|(l, _)| *l == label) {
             Some((_, c)) => *c += 1,
             None => per_scheme.push((label, 1)),
         }
-        if case.faults.enabled() {
+        if has_faults {
             faulty += 1;
         }
-        if let Some(msg) = check_case(&case) {
+        // First divergence in index order (outputs preserve input order).
+        if let Some((index, msg)) = divergence {
+            let case = generate_case(seed, index);
             return report_divergence(&case, index, &msg);
         }
     }

@@ -1,0 +1,235 @@
+//! Order-independent exact accumulation of `f64` samples.
+//!
+//! Checkpoint-resume correctness for fleet sweeps requires the merged
+//! aggregate to be **byte-identical** no matter which order jobs complete
+//! in — but naive `f64` summation is not associative, so two interleavings
+//! of the same samples can differ in the last bit. [`ExactSum`] fixes the
+//! fold: each sample is quantized once to a Q96.32 fixed-point integer
+//! (deterministically, per sample), and the integers are summed in `i128`
+//! where addition *is* exactly commutative and associative. The quantization
+//! error (at most 2⁻³² per sample) is identical for every completion order,
+//! so any two runs over the same sample multiset agree exactly.
+//!
+//! Non-finite samples (NaN/∞ — e.g. a confidence interval over a single
+//! replica) are never folded into the sum; they are counted in `skipped` so
+//! reports can surface how many cells lacked the statistic.
+
+use serde::de::Error as DeError;
+use serde::{Content, Deserialize, Serialize};
+
+/// Fractional bits of the fixed-point quantization.
+const FRAC_BITS: u32 = 32;
+
+/// An exactly commutative and associative `f64` accumulator.
+///
+/// ```
+/// use pnoc_sim::exact::ExactSum;
+/// let samples = [0.1, 0.2, 0.3, 1e9, -7.25];
+/// let mut fwd = ExactSum::new();
+/// let mut rev = ExactSum::new();
+/// for &x in &samples { fwd.add(x); }
+/// for &x in samples.iter().rev() { rev.add(x); }
+/// assert_eq!(fwd, rev); // bit-identical regardless of order
+/// assert!((fwd.mean().unwrap() - samples.iter().sum::<f64>() / 5.0).abs() < 1e-9);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ExactSum {
+    /// Q96.32 fixed-point sum of all finite samples.
+    sum: i128,
+    /// Number of finite samples folded in.
+    count: u64,
+    /// Number of non-finite samples that were skipped.
+    skipped: u64,
+}
+
+impl ExactSum {
+    /// The empty accumulator.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Fold in one sample. Non-finite values are counted but not summed.
+    pub fn add(&mut self, x: f64) {
+        if x.is_finite() {
+            // Scaling by a power of two is exact in f64; the `as` cast then
+            // truncates deterministically (and saturates at the i128 range,
+            // which |x| ≤ f64::MAX × 2³² cannot reach... it can, but only
+            // for |x| > 2⁹⁵ — far beyond any simulator statistic).
+            let scaled = x * (1u64 << FRAC_BITS) as f64;
+            self.sum += scaled as i128;
+            self.count += 1;
+        } else {
+            self.skipped += 1;
+        }
+    }
+
+    /// Merge another accumulator into this one (exact, order-independent).
+    pub fn merge(&mut self, other: &Self) {
+        self.sum += other.sum;
+        self.count += other.count;
+        self.skipped += other.skipped;
+    }
+
+    /// Number of finite samples folded in.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Number of non-finite samples skipped.
+    pub fn skipped(&self) -> u64 {
+        self.skipped
+    }
+
+    /// The accumulated sum as `f64` (rounded only at this final read).
+    pub fn total(&self) -> f64 {
+        self.sum as f64 / (1u64 << FRAC_BITS) as f64
+    }
+
+    /// Mean of the finite samples, or `None` if none were recorded.
+    pub fn mean(&self) -> Option<f64> {
+        if self.count == 0 {
+            None
+        } else {
+            Some(self.total() / self.count as f64)
+        }
+    }
+}
+
+// The vendored serde has no i128 support, so the sum is split into (hi, lo)
+// 64-bit parts for the checkpoint journal. Hand-written impls (rather than
+// derive) keep the wire format explicit: {"hi": i64, "lo": u64, "count":
+// u64, "skipped": u64}.
+impl Serialize for ExactSum {
+    fn to_content(&self) -> Content {
+        let hi = (self.sum >> 64) as i64;
+        let lo = self.sum as u64;
+        Content::Map(vec![
+            ("hi".to_string(), hi.to_content()),
+            ("lo".to_string(), lo.to_content()),
+            ("count".to_string(), self.count.to_content()),
+            ("skipped".to_string(), self.skipped.to_content()),
+        ])
+    }
+}
+
+impl Deserialize for ExactSum {
+    fn deserialize(value: &Content) -> Result<Self, DeError> {
+        let hi = i64::deserialize(&value["hi"])?;
+        let lo = u64::deserialize(&value["lo"])?;
+        Ok(Self {
+            sum: ((hi as i128) << 64) | (lo as i128),
+            count: u64::deserialize(&value["count"])?,
+            skipped: u64::deserialize(&value["skipped"])?,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::SimRng;
+
+    #[test]
+    fn empty_sum() {
+        let s = ExactSum::new();
+        assert_eq!(s.count(), 0);
+        assert_eq!(s.total(), 0.0);
+        assert_eq!(s.mean(), None);
+    }
+
+    #[test]
+    fn permutation_invariance() {
+        // Any shuffle of the same samples must produce a bit-identical
+        // accumulator — the property naive f64 summation lacks.
+        let mut rng = SimRng::seed_from(77);
+        let samples: Vec<f64> = (0..500)
+            .map(|_| (rng.f64() - 0.5) * 1e6 + rng.f64())
+            .collect();
+        let mut reference = ExactSum::new();
+        for &x in &samples {
+            reference.add(x);
+        }
+        for round in 0..10 {
+            let mut shuffled = samples.clone();
+            rng.shuffle(&mut shuffled);
+            let mut s = ExactSum::new();
+            for &x in &shuffled {
+                s.add(x);
+            }
+            assert_eq!(s, reference, "round {round}");
+        }
+    }
+
+    #[test]
+    fn merge_equals_single_accumulator() {
+        let mut rng = SimRng::seed_from(12);
+        let samples: Vec<f64> = (0..300).map(|_| rng.f64() * 100.0).collect();
+        let mut whole = ExactSum::new();
+        for &x in &samples {
+            whole.add(x);
+        }
+        // Fold in three parts, merge in a scrambled order.
+        let mut parts: Vec<ExactSum> = samples
+            .chunks(100)
+            .map(|c| {
+                let mut s = ExactSum::new();
+                for &x in c {
+                    s.add(x);
+                }
+                s
+            })
+            .collect();
+        parts.reverse();
+        let mut merged = ExactSum::new();
+        for p in &parts {
+            merged.merge(p);
+        }
+        assert_eq!(merged, whole);
+    }
+
+    #[test]
+    fn quantization_error_is_bounded() {
+        let samples = [0.1, 0.2, 0.7, 123.456, 1e-8];
+        let mut s = ExactSum::new();
+        for &x in &samples {
+            s.add(x);
+        }
+        let naive: f64 = samples.iter().sum();
+        assert!((s.total() - naive).abs() < samples.len() as f64 / (1u64 << 32) as f64);
+    }
+
+    #[test]
+    fn non_finite_samples_are_skipped_not_poisoning() {
+        let mut s = ExactSum::new();
+        s.add(1.0);
+        s.add(f64::NAN);
+        s.add(f64::INFINITY);
+        s.add(2.0);
+        assert_eq!(s.count(), 2);
+        assert_eq!(s.skipped(), 2);
+        assert_eq!(s.mean(), Some(1.5));
+    }
+
+    #[test]
+    fn negative_sums_round_trip_through_parts() {
+        let mut s = ExactSum::new();
+        s.add(-1234.5678);
+        s.add(0.25);
+        s.add(f64::NAN);
+        let content = s.to_content();
+        let back = ExactSum::deserialize(&content).expect("round trip");
+        assert_eq!(back, s);
+        assert!(back.total() < 0.0);
+    }
+
+    #[test]
+    fn large_magnitude_round_trip() {
+        let mut s = ExactSum::new();
+        for _ in 0..1000 {
+            s.add(1e15);
+            s.add(-3e14);
+        }
+        let back = ExactSum::deserialize(&s.to_content()).expect("round trip");
+        assert_eq!(back, s);
+    }
+}

@@ -21,7 +21,9 @@
 
 pub mod batch;
 pub mod clock;
+pub mod exact;
 pub mod plan;
+pub mod rangeset;
 pub mod rng;
 pub mod stats;
 pub mod sweep;
@@ -29,7 +31,9 @@ pub mod util;
 
 pub use batch::BatchMeans;
 pub use clock::{Clock, Cycle};
+pub use exact::ExactSum;
 pub use plan::{Phase, RunPlan};
+pub use rangeset::{IndexRange, RangeSet};
 pub use rng::SimRng;
 pub use stats::{exact_quantile, Histogram, RateMeter, Running};
 pub use sweep::run_parallel;

@@ -1,0 +1,216 @@
+//! Sorted, coalesced sets of `u64` indices.
+//!
+//! The fleet checkpoint journal records *which* job indices of a sweep have
+//! completed. Storing them as sorted disjoint half-open ranges keeps the
+//! journal compact no matter how large the sweep is: an uninterrupted run
+//! collapses to a single `[0, n)` range, and even a heavily interleaved
+//! work-stealing run stays within a few ranges per worker because workers
+//! consume contiguous index blocks.
+
+use serde::{Deserialize, Serialize};
+
+/// One half-open range `[lo, hi)`. Serialized as a two-field struct so the
+/// vendored serde derive can round-trip it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct IndexRange {
+    /// Inclusive lower bound.
+    pub lo: u64,
+    /// Exclusive upper bound.
+    pub hi: u64,
+}
+
+/// A set of `u64` indices stored as sorted, disjoint, coalesced half-open
+/// ranges.
+///
+/// ```
+/// use pnoc_sim::rangeset::RangeSet;
+/// let mut s = RangeSet::new();
+/// s.insert(3);
+/// s.insert(5);
+/// s.insert(4);
+/// assert_eq!(s.ranges().len(), 1); // coalesced to [3, 6)
+/// assert_eq!(s.len(), 3);
+/// assert!(s.contains(4) && !s.contains(6));
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RangeSet {
+    /// Sorted, disjoint, non-adjacent ranges.
+    ranges: Vec<IndexRange>,
+}
+
+impl RangeSet {
+    /// The empty set.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of indices in the set.
+    pub fn len(&self) -> u64 {
+        self.ranges.iter().map(|r| r.hi - r.lo).sum()
+    }
+
+    /// Whether the set is empty.
+    pub fn is_empty(&self) -> bool {
+        self.ranges.is_empty()
+    }
+
+    /// The underlying sorted disjoint ranges.
+    pub fn ranges(&self) -> &[IndexRange] {
+        &self.ranges
+    }
+
+    /// Whether `index` is in the set.
+    pub fn contains(&self, index: u64) -> bool {
+        // Last range with lo <= index, if any.
+        match self.ranges.partition_point(|r| r.lo <= index) {
+            0 => false,
+            p => index < self.ranges[p - 1].hi,
+        }
+    }
+
+    /// Insert a single index.
+    pub fn insert(&mut self, index: u64) {
+        self.insert_range(index, index + 1);
+    }
+
+    /// Insert every index in `[lo, hi)`; empty ranges are ignored.
+    pub fn insert_range(&mut self, lo: u64, hi: u64) {
+        if lo >= hi {
+            return;
+        }
+        // First existing range that could merge with [lo, hi): its hi >= lo.
+        let start = self.ranges.partition_point(|r| r.hi < lo);
+        let mut merged = IndexRange { lo, hi };
+        let mut end = start;
+        while end < self.ranges.len() && self.ranges[end].lo <= merged.hi {
+            merged.lo = merged.lo.min(self.ranges[end].lo);
+            merged.hi = merged.hi.max(self.ranges[end].hi);
+            end += 1;
+        }
+        self.ranges.splice(start..end, std::iter::once(merged));
+    }
+
+    /// The complement of the set within `[0, n)`, as sorted disjoint ranges.
+    /// This is what a resumed sweep still has to run.
+    pub fn complement_within(&self, n: u64) -> Vec<IndexRange> {
+        let mut out = Vec::new();
+        let mut cursor = 0u64;
+        for r in &self.ranges {
+            if cursor >= n {
+                break;
+            }
+            if r.lo > cursor {
+                out.push(IndexRange {
+                    lo: cursor,
+                    hi: r.lo.min(n),
+                });
+            }
+            cursor = cursor.max(r.hi);
+        }
+        if cursor < n {
+            out.push(IndexRange { lo: cursor, hi: n });
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pairs(s: &RangeSet) -> Vec<(u64, u64)> {
+        s.ranges().iter().map(|r| (r.lo, r.hi)).collect()
+    }
+
+    #[test]
+    fn empty_set() {
+        let s = RangeSet::new();
+        assert!(s.is_empty());
+        assert_eq!(s.len(), 0);
+        assert!(!s.contains(0));
+        assert_eq!(s.complement_within(5), vec![IndexRange { lo: 0, hi: 5 }]);
+    }
+
+    #[test]
+    fn coalesces_adjacent_and_overlapping() {
+        let mut s = RangeSet::new();
+        s.insert_range(10, 20);
+        s.insert_range(30, 40);
+        assert_eq!(pairs(&s), vec![(10, 20), (30, 40)]);
+        s.insert_range(20, 30); // bridges the gap exactly
+        assert_eq!(pairs(&s), vec![(10, 40)]);
+        s.insert_range(5, 15); // overlaps the front
+        assert_eq!(pairs(&s), vec![(5, 40)]);
+        s.insert_range(0, 100); // swallows everything
+        assert_eq!(pairs(&s), vec![(0, 100)]);
+        assert_eq!(s.len(), 100);
+    }
+
+    #[test]
+    fn insert_keeps_sorted_disjoint_invariant() {
+        // Insert every index of [0, 200) in a scrambled deterministic order
+        // and check the final structure collapses to one range.
+        let mut order: Vec<u64> = (0..200).collect();
+        let mut rng = crate::SimRng::seed_from(42);
+        rng.shuffle(&mut order);
+        let mut s = RangeSet::new();
+        for (step, &i) in order.iter().enumerate() {
+            s.insert(i);
+            // Invariant check on every step: sorted, disjoint, non-adjacent.
+            for w in s.ranges().windows(2) {
+                assert!(w[0].hi < w[1].lo, "step {step}: {:?}", s.ranges());
+            }
+            assert_eq!(s.len(), step as u64 + 1);
+        }
+        assert_eq!(pairs(&s), vec![(0, 200)]);
+    }
+
+    #[test]
+    fn contains_checks_boundaries() {
+        let mut s = RangeSet::new();
+        s.insert_range(5, 8);
+        s.insert_range(12, 13);
+        for i in 0..20 {
+            let expect = (5..8).contains(&i) || i == 12;
+            assert_eq!(s.contains(i), expect, "index {i}");
+        }
+    }
+
+    #[test]
+    fn complement_walks_gaps() {
+        let mut s = RangeSet::new();
+        s.insert_range(2, 4);
+        s.insert_range(7, 9);
+        let c = s.complement_within(12);
+        let got: Vec<(u64, u64)> = c.iter().map(|r| (r.lo, r.hi)).collect();
+        assert_eq!(got, vec![(0, 2), (4, 7), (9, 12)]);
+        // Complement bounded below the last range.
+        let c = s.complement_within(3);
+        let got: Vec<(u64, u64)> = c.iter().map(|r| (r.lo, r.hi)).collect();
+        assert_eq!(got, vec![(0, 2)]);
+        // Full set has empty complement.
+        let mut full = RangeSet::new();
+        full.insert_range(0, 12);
+        assert!(full.complement_within(12).is_empty());
+    }
+
+    #[test]
+    fn duplicate_inserts_are_idempotent() {
+        let mut s = RangeSet::new();
+        s.insert_range(0, 10);
+        s.insert_range(3, 7);
+        s.insert(5);
+        assert_eq!(pairs(&s), vec![(0, 10)]);
+        assert_eq!(s.len(), 10);
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let mut s = RangeSet::new();
+        s.insert_range(1, 4);
+        s.insert_range(100, 1000);
+        let json = serde_json::to_string(&s).expect("serialize");
+        let back: RangeSet = serde_json::from_str(&json).expect("deserialize");
+        assert_eq!(s, back);
+    }
+}

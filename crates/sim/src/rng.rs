@@ -49,6 +49,15 @@ pub fn stream_seed(master: u64, stream: u64) -> u64 {
 /// simulated runs, and vice versa.
 pub const FUZZ_STREAM: u64 = 0xF0_22;
 
+/// Stream id reserved for fleet sweep job derivation (`pnoc-fleet`).
+///
+/// A fleet job is `(master_seed, index)`; the per-job simulation seed is
+/// drawn from a generator seeded with `stream_seed(master, FLEET_STREAM)`
+/// and forked at `index`, mirroring the fuzz-case idiom. Keeping the stream
+/// distinct from [`FUZZ_STREAM`] means a sweep and a fuzz campaign sharing a
+/// master seed still explore independent randomness.
+pub const FLEET_STREAM: u64 = 0x000F_1EE7;
+
 /// A deterministic xoshiro256** PRNG.
 ///
 /// ```

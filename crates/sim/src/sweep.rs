@@ -2,25 +2,135 @@
 //!
 //! A figure in the paper is a sweep over injection rates (and schemes, and
 //! traffic patterns); each sweep point is an independent simulation, so the
-//! harness fans them out across cores with std scoped threads. Results
-//! come back in input order regardless of completion order.
+//! harness fans them out across cores. Results come back in input order
+//! regardless of completion order.
+//!
+//! Two primitives live here:
+//!
+//! * [`run_parallel`] — a scoped fork/join with a shared atomic job counter
+//!   (each worker grabs the next unclaimed index). This is the original
+//!   harness entry point, kept as a thin compatibility layer; new bulk work
+//!   should go through the `pnoc-fleet` work-stealing executor, which adds
+//!   persistent workers, checkpointing, and streaming aggregation.
+//! * [`run_parallel_fixed`] — a *static* contiguous-chunk partition with no
+//!   rebalancing. It exists as the baseline comparator for scheduling
+//!   experiments and the fleet skew tests; do not use it for real sweeps,
+//!   where per-point cost varies wildly with injection rate.
+//!
+//! Thread-count policy for every harness lives in [`worker_count`]; see its
+//! docs for the override / environment / cgroup fallback order.
 
 use std::num::NonZeroUsize;
+use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 
-/// Number of worker threads to use: the available parallelism, capped by the
-/// number of jobs (and at least 1).
-pub fn worker_count(jobs: usize) -> usize {
+/// Process-wide worker-thread override; 0 means "not set".
+static THREAD_OVERRIDE: AtomicUsize = AtomicUsize::new(0);
+
+/// Set a process-wide worker-thread override (0 clears it).
+///
+/// Bench bins call this when handed `--threads N`; it takes precedence over
+/// the `PNOC_THREADS` environment variable and hardware detection in every
+/// subsequent [`worker_count`] query, including the fleet executor's default
+/// pool size.
+pub fn set_thread_override(threads: usize) {
+    THREAD_OVERRIDE.store(threads, Ordering::Relaxed);
+}
+
+/// The current process-wide override, if any.
+pub fn thread_override() -> Option<usize> {
+    match THREAD_OVERRIDE.load(Ordering::Relaxed) {
+        0 => None,
+        n => Some(n),
+    }
+}
+
+/// Parse a cgroup v2 `cpu.max` payload (`"<quota> <period>"` or
+/// `"max <period>"`) into an effective whole-core cap, rounding up.
+fn parse_cgroup_v2_cpu_max(text: &str) -> Option<usize> {
+    let mut parts = text.split_whitespace();
+    let quota = parts.next()?;
+    let period: u64 = parts.next()?.parse().ok()?;
+    if quota == "max" || period == 0 {
+        return None; // unlimited
+    }
+    let quota: u64 = quota.parse().ok()?;
+    Some(usize::try_from(quota.div_ceil(period)).ok()?.max(1))
+}
+
+/// Parse cgroup v1 `cpu.cfs_quota_us` / `cpu.cfs_period_us` payloads into an
+/// effective whole-core cap. A quota of `-1` means unlimited.
+fn parse_cgroup_v1_cpu_quota(quota: &str, period: &str) -> Option<usize> {
+    let quota: i64 = quota.trim().parse().ok()?;
+    let period: i64 = period.trim().parse().ok()?;
+    if quota <= 0 || period <= 0 {
+        return None; // unlimited or malformed
+    }
+    let cores = (quota as u64).div_ceil(period as u64);
+    Some(usize::try_from(cores).ok()?.max(1))
+}
+
+/// Effective CPU cap imposed by the container's cgroup, if any.
+///
+/// Containers routinely pin a CPU quota while `available_parallelism`
+/// reports every core on the host; sizing a thread pool from the host count
+/// then just multiplies context-switch overhead inside the quota. Checks
+/// cgroup v2 (`/sys/fs/cgroup/cpu.max`) first, then the v1 CFS files.
+fn cgroup_cpu_quota() -> Option<usize> {
+    if let Ok(text) = std::fs::read_to_string("/sys/fs/cgroup/cpu.max") {
+        if let Some(cap) = parse_cgroup_v2_cpu_max(&text) {
+            return Some(cap);
+        }
+    }
+    let quota = std::fs::read_to_string("/sys/fs/cgroup/cpu/cpu.cfs_quota_us").ok()?;
+    let period = std::fs::read_to_string("/sys/fs/cgroup/cpu/cpu.cfs_period_us").ok()?;
+    parse_cgroup_v1_cpu_quota(&quota, &period)
+}
+
+/// Baseline thread count before capping by the number of jobs.
+///
+/// Resolution order (first match wins):
+///
+/// 1. the process-wide [`set_thread_override`] value (`--threads N`),
+/// 2. the `PNOC_THREADS` environment variable (a positive integer),
+/// 3. `available_parallelism`, capped by the cgroup CPU quota when the
+///    process runs in a container whose quota is tighter than the host's
+///    core count,
+/// 4. `1` when detection fails entirely.
+pub fn default_threads() -> usize {
+    if let Some(n) = thread_override() {
+        return n.max(1);
+    }
+    if let Ok(v) = std::env::var("PNOC_THREADS") {
+        if let Ok(n) = v.trim().parse::<usize>() {
+            if n >= 1 {
+                return n;
+            }
+        }
+    }
     let hw = std::thread::available_parallelism()
         .map(NonZeroUsize::get)
         .unwrap_or(1);
-    hw.min(jobs).max(1)
+    match cgroup_cpu_quota() {
+        Some(cap) => hw.min(cap).max(1),
+        None => hw.max(1),
+    }
+}
+
+/// Number of worker threads to use for `jobs` independent jobs: the
+/// [`default_threads`] policy value, capped by the number of jobs (and at
+/// least 1).
+pub fn worker_count(jobs: usize) -> usize {
+    default_threads().min(jobs).max(1)
 }
 
 /// Run `f` over every input in parallel, returning outputs in input order.
 ///
 /// `f` must be `Sync` (it is shared by worker threads) and is handed
 /// `(index, &input)`. Panics in workers propagate after the scope joins.
+/// Jobs are claimed one at a time from a shared counter, so moderate
+/// per-job cost imbalance self-corrects; for persistent pools, huge index
+/// ranges, or checkpointable sweeps use `pnoc-fleet` instead.
 ///
 /// ```
 /// let squares = pnoc_sim::run_parallel(&[1u64, 2, 3, 4], |_, &x| x * x);
@@ -51,7 +161,7 @@ where
         return inputs.iter().enumerate().map(|(i, x)| f(i, x)).collect();
     }
 
-    let next = std::sync::atomic::AtomicUsize::new(0);
+    let next = AtomicUsize::new(0);
     let slots: Vec<Mutex<Option<O>>> = (0..inputs.len()).map(|_| Mutex::new(None)).collect();
     let f = &f;
     let next = &next;
@@ -60,12 +170,62 @@ where
     std::thread::scope(|scope| {
         for _ in 0..threads {
             scope.spawn(move || loop {
-                let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                let i = next.fetch_add(1, Ordering::Relaxed);
                 if i >= inputs.len() {
                     break;
                 }
                 let out = f(i, &inputs[i]);
                 *slots_ref[i].lock().expect("sweep slot poisoned") = Some(out);
+            });
+        }
+    });
+
+    slots
+        .into_iter()
+        .map(|slot| {
+            slot.into_inner()
+                .expect("sweep slot poisoned")
+                .expect("worker skipped a sweep point")
+        })
+        .collect()
+}
+
+/// Static fixed-chunk fork/join: worker `t` of `threads` runs the contiguous
+/// slice `[t*ceil(n/threads), ...)` with **no** rebalancing.
+///
+/// This is the naive partition every scheduling comparison measures against:
+/// if one chunk holds the expensive jobs (e.g. the near-saturation rates of
+/// a sweep, which sit next to each other in input order), every other worker
+/// finishes early and idles. Kept for baselines and tests — real harness
+/// code should use [`run_parallel`] or the `pnoc-fleet` executor.
+pub fn run_parallel_fixed<I, O, F>(inputs: &[I], threads: usize, f: F) -> Vec<O>
+where
+    I: Sync,
+    O: Send,
+    F: Fn(usize, &I) -> O + Sync,
+{
+    if inputs.is_empty() {
+        return Vec::new();
+    }
+    let threads = threads.clamp(1, inputs.len());
+    if threads == 1 {
+        return inputs.iter().enumerate().map(|(i, x)| f(i, x)).collect();
+    }
+
+    let chunk = inputs.len().div_ceil(threads);
+    let slots: Vec<Mutex<Option<O>>> = (0..inputs.len()).map(|_| Mutex::new(None)).collect();
+    let f = &f;
+    let slots_ref = &slots;
+
+    std::thread::scope(|scope| {
+        for t in 0..threads {
+            scope.spawn(move || {
+                let lo = t * chunk;
+                let hi = (lo + chunk).min(inputs.len());
+                for i in lo..hi {
+                    let out = f(i, &inputs[i]);
+                    *slots_ref[i].lock().expect("sweep slot poisoned") = Some(out);
+                }
             });
         }
     });
@@ -132,5 +292,74 @@ mod tests {
         assert_eq!(worker_count(0), 1);
         assert!(worker_count(1) == 1);
         assert!(worker_count(1000) >= 1);
+    }
+
+    #[test]
+    fn fixed_chunk_matches_dynamic_output() {
+        let inputs: Vec<u64> = (0..301).collect();
+        for threads in [1, 2, 3, 8, 64] {
+            let out = run_parallel_fixed(&inputs, threads, |i, &x| (i as u64) * 1000 + x);
+            assert_eq!(out.len(), inputs.len());
+            for (i, &v) in out.iter().enumerate() {
+                assert_eq!(v, (i as u64) * 1000 + i as u64);
+            }
+        }
+    }
+
+    #[test]
+    fn fixed_chunk_runs_every_job_once() {
+        let calls = AtomicUsize::new(0);
+        let inputs: Vec<u32> = (0..97).collect();
+        let out = run_parallel_fixed(&inputs, 5, |_, &x| {
+            calls.fetch_add(1, Ordering::Relaxed);
+            x
+        });
+        assert_eq!(out.len(), 97);
+        assert_eq!(calls.load(Ordering::Relaxed), 97);
+    }
+
+    #[test]
+    fn thread_override_takes_precedence() {
+        // Serialize against other tests touching the global by running the
+        // whole check in one test.
+        set_thread_override(3);
+        assert_eq!(thread_override(), Some(3));
+        assert_eq!(default_threads(), 3);
+        assert_eq!(worker_count(100), 3);
+        assert_eq!(worker_count(2), 2, "job cap still applies");
+        set_thread_override(0);
+        assert_eq!(thread_override(), None);
+    }
+
+    #[test]
+    fn cgroup_v2_parsing() {
+        assert_eq!(parse_cgroup_v2_cpu_max("200000 100000\n"), Some(2));
+        assert_eq!(
+            parse_cgroup_v2_cpu_max("150000 100000"),
+            Some(2),
+            "rounds up"
+        );
+        assert_eq!(parse_cgroup_v2_cpu_max("100000 100000"), Some(1));
+        assert_eq!(
+            parse_cgroup_v2_cpu_max("50000 100000"),
+            Some(1),
+            "floor of 1"
+        );
+        assert_eq!(parse_cgroup_v2_cpu_max("max 100000"), None);
+        assert_eq!(parse_cgroup_v2_cpu_max(""), None);
+        assert_eq!(parse_cgroup_v2_cpu_max("garbage here"), None);
+    }
+
+    #[test]
+    fn cgroup_v1_parsing() {
+        assert_eq!(parse_cgroup_v1_cpu_quota("400000\n", "100000\n"), Some(4));
+        assert_eq!(
+            parse_cgroup_v1_cpu_quota("250000", "100000"),
+            Some(3),
+            "rounds up"
+        );
+        assert_eq!(parse_cgroup_v1_cpu_quota("-1", "100000"), None, "unlimited");
+        assert_eq!(parse_cgroup_v1_cpu_quota("0", "100000"), None);
+        assert_eq!(parse_cgroup_v1_cpu_quota("x", "100000"), None);
     }
 }
