@@ -20,11 +20,44 @@ echo "== cargo clippy pedantic (pnoc-noc) =="
 # swept into the stricter lint set.
 cargo clippy -p pnoc-noc --all-targets --offline -- -D warnings
 
+echo "== cargo clippy pedantic (pnoc-fleet) =="
+# The fleet layer gets the same pedantic treatment as the simulator core
+# (crate-level attribute in crates/fleet/src/lib.rs), in both the normal
+# build and the model-sync build so the model checker itself is held to it.
+cargo clippy -p pnoc-fleet --all-targets --offline -- -D warnings
+cargo clippy -p pnoc-fleet --all-targets --features model-sync --offline -- -D warnings
+
 echo "== pnoc-verify (lints + model check + invariant audit) =="
 # Custom determinism lints (exemptions live in crates/verify/allowlist.txt —
 # additions show up as a diff to that file), bounded model checking of the
 # handshake/credit FSMs, and the cycle-level invariant audit of full runs.
+# The lint set includes the concurrency rules: fleet code must route
+# synchronization through its crate::sync facade, Ordering::Relaxed is
+# allowlist-only, and unsafe blocks require // SAFETY: comments.
 cargo run --release -q -p pnoc-verify --offline -- --all
+
+echo "== pnoc-fleet concurrency model check (mini-loom) =="
+# Exhaustive bounded interleaving exploration of the fleet's three
+# protocols — deque push/steal, the queued/idle park/wake handshake, and
+# the EpochSnapshot writer/reader swap — with the shipping executor and
+# snapshot code compiled against the deterministic model scheduler
+# (modeled weak memory, mandatory spurious wakeups, preemption bounding).
+# Then the sabotage self-test: with sabotage-lost-wake compiled in (the
+# idle decrement moved before the condvar wait in Core::park, reopening
+# the classic check-then-sleep race), the checker must FIND the lost-wakeup
+# interleaving and report it as a deadlock with a trace — proving the model
+# check is alive, not vacuously green.
+cargo test -q -p pnoc-fleet --features model-sync --offline --lib
+cargo test -q -p pnoc-fleet --features "model-sync sabotage-lost-wake" --offline --lib
+
+echo "== pnoc-fleet suite at thread extremes =="
+# The executor must behave identically degenerate (one worker: stealing
+# never fires, parking is pure handshake) and oversubscribed (32 workers on
+# fewer cores: maximal preemption noise). PNOC_THREADS overrides the width
+# of every scenario-agnostic fleet in the suite (Fleet::with_suite_threads);
+# tests whose assertions demand a particular width keep explicit counts.
+PNOC_THREADS=1 cargo test -q -p pnoc-fleet --offline
+PNOC_THREADS=32 cargo test -q -p pnoc-fleet --offline
 
 echo "== pnoc-oracle differential smoke (fuzz --quick) =="
 # Differential testing against the independent reference simulator: 200

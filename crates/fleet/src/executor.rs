@@ -21,12 +21,18 @@
 //!   unbounded chunk,
 //! * idle workers park on a condvar and are woken only when new work is
 //!   pushed while somebody is parked.
+//!
+//! All synchronization goes through the [`crate::sync`] facade so the
+//! `model-sync` build runs this exact code under the model checker; the
+//! per-field memory-ordering arguments are documented on [`Core`] and
+//! [`Batch`] and tabulated in DESIGN.md §14.
 
 use std::collections::VecDeque;
 use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
-use std::sync::{Arc, Condvar, Mutex};
-use std::thread::JoinHandle;
+
+use crate::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use crate::sync::thread::JoinHandle;
+use crate::sync::{Arc, Condvar, Mutex};
 
 /// A contiguous fragment of a batch's index space.
 struct Task {
@@ -40,10 +46,21 @@ struct Batch {
     /// The job body, called once per index.
     run: Box<dyn Fn(u64) + Send + Sync>,
     /// Indices not yet executed (or skipped); the batch is done at 0.
+    ///
+    /// Ordering: `fetch_sub(AcqRel)` in [`execute`]. Release so every
+    /// job's side effects are ordered before the decrement that announces
+    /// them done; Acquire so the worker that observes the count hit zero
+    /// also observes all effects announced by *other* workers' decrements
+    /// before it takes the `done` mutex and wakes the waiter.
     remaining: AtomicU64,
     /// Max indices a worker executes per task before re-queuing the rest.
     grain: u64,
     /// Set when any job panicked; remaining fragments are skipped.
+    ///
+    /// Ordering: Release store / Acquire load. A worker that reads `true`
+    /// must see the panic already recorded under `done` (store is ordered
+    /// after it); a stale `false` merely runs jobs that could have been
+    /// skipped — benign, so nothing stronger is needed.
     poisoned: AtomicBool,
     /// Completion flag + first panic payload, guarded for the waiter.
     done: Mutex<BatchDone>,
@@ -58,18 +75,51 @@ struct BatchDone {
 }
 
 /// Executor state shared between the handle and the workers.
+///
+/// `queued` and `idle` form a Dekker-style store-buffer pair — each side
+/// writes its own flag and then reads the other's ([`Core::push`] does
+/// `queued += 1; read idle`, [`Core::park`] does `idle += 1; read queued`).
+/// Both must be `SeqCst`: with anything weaker, both sides may read the
+/// other's *old* value (pusher sees no idle worker and skips the notify,
+/// parker sees no queued work and sleeps) and a wakeup is lost. The
+/// `sabotage-lost-wake` self-test breaks the protocol deliberately and the
+/// model checker must report exactly that interleaving.
 struct Core {
     deques: Vec<Mutex<VecDeque<Task>>>,
     /// Tasks currently sitting in deques (not the jobs inside them).
+    ///
+    /// Ordering: all accesses `SeqCst` (store-buffer pairing with `idle`,
+    /// see struct docs). The counter is advisory for parking only; the
+    /// deques themselves are mutex-protected.
     queued: AtomicU64,
-    /// Workers currently parked on `wake`.
+    /// Workers currently parked on `wake` (raised slightly early: between
+    /// the increment and the wait the worker holds the park lock, where a
+    /// pusher's notify cannot be missed).
+    ///
+    /// Ordering: all accesses `SeqCst` (store-buffer pairing with
+    /// `queued`, see struct docs).
     idle: AtomicUsize,
     park: Mutex<()>,
     wake: Condvar,
+    /// Ordering: `SeqCst` store in [`Fleet::drop`], `SeqCst` loads in the
+    /// worker loop. The load in [`Core::park`]'s sleep predicate pairs
+    /// with the shutdown broadcast the same way `queued` pairs with a
+    /// push's notify; shutdown is once-per-fleet, so the strongest
+    /// ordering costs nothing.
     shutdown: AtomicBool,
     /// Diagnostic: successful steals since construction.
+    ///
+    /// Ordering: `Relaxed` (allowlisted in `no-relaxed-ordering`). A pure
+    /// statistics counter: monotonic, never read back into control flow,
+    /// only reported by [`Fleet::steals`] after batches complete (the
+    /// batch-completion AcqRel chain orders it for any sane caller).
     stolen: AtomicU64,
     /// Round-robin cursor for distributing submissions.
+    ///
+    /// Ordering: `Relaxed` (allowlisted in `no-relaxed-ordering`). Only
+    /// load *balance* depends on it, never correctness: any interleaving
+    /// of `fetch_add`s yields valid deque slots, and stealing erases
+    /// placement skew anyway.
     rr: AtomicUsize,
 }
 
@@ -131,7 +181,7 @@ impl Fleet {
         let workers = (0..threads)
             .map(|w| {
                 let core = core.clone();
-                std::thread::Builder::new()
+                crate::sync::thread::Builder::new()
                     .name(format!("fleet-{w}"))
                     .spawn(move || worker_loop(&core, w))
                     .expect("spawn fleet worker")
@@ -145,6 +195,16 @@ impl Fleet {
     /// `PNOC_THREADS`, then cgroup-capped hardware parallelism).
     pub fn with_default_threads() -> Self {
         Self::new(pnoc_sim::sweep::default_threads())
+    }
+
+    /// A fleet sized by [`suite_threads`]: `default` workers unless the
+    /// `PNOC_THREADS` environment variable overrides it. The test suites
+    /// build scenario-agnostic fleets through this so CI can run the whole
+    /// suite once degenerate (`PNOC_THREADS=1`: stealing never fires,
+    /// parking is a pure two-party handshake) and once oversubscribed
+    /// (`PNOC_THREADS=32` on fewer cores: maximal preemption noise).
+    pub fn with_suite_threads(default: usize) -> Self {
+        Self::new(suite_threads(default))
     }
 
     /// Number of worker threads.
@@ -253,6 +313,22 @@ impl Fleet {
     }
 }
 
+/// The worker count a test scenario should use when it doesn't demand a
+/// specific width: the `PNOC_THREADS` environment variable when it parses
+/// to a positive integer, else `default`. See
+/// [`Fleet::with_suite_threads`] for why CI varies this.
+pub fn suite_threads(default: usize) -> usize {
+    suite_threads_from(std::env::var("PNOC_THREADS").ok().as_deref(), default)
+}
+
+/// Pure core of [`suite_threads`], split out so the parse-and-fallback
+/// policy is testable without mutating the process environment.
+fn suite_threads_from(var: Option<&str>, default: usize) -> usize {
+    var.and_then(|v| v.trim().parse::<usize>().ok())
+        .filter(|&n| n >= 1)
+        .unwrap_or(default)
+}
+
 impl Drop for Fleet {
     fn drop(&mut self) {
         self.core.shutdown.store(true, Ordering::SeqCst);
@@ -269,11 +345,18 @@ impl Drop for Fleet {
 impl Core {
     /// Push a task onto deque `slot` and wake a parked worker if any.
     fn push(&self, slot: usize, task: Task) {
+        // Announce the work *before* inserting it. The model checker found
+        // the reverse order: a consumer can pop the task in the window
+        // between insert and increment, underflowing `queued` to u64::MAX,
+        // after which no worker ever parks until the counter wraps back.
+        // Incrementing first makes `queued` an over-approximation (never an
+        // under-count): a worker that reads `queued == 0` knows no task is
+        // enqueued and no in-flight push has passed its announcement.
+        self.queued.fetch_add(1, Ordering::SeqCst);
         self.deques[slot]
             .lock()
             .expect("deque poisoned")
             .push_back(task);
-        self.queued.fetch_add(1, Ordering::SeqCst);
         if self.idle.load(Ordering::SeqCst) > 0 {
             let _g = self.park.lock().expect("park lock poisoned");
             self.wake.notify_all();
@@ -297,7 +380,7 @@ impl Core {
             let victim = (me + off) % n;
             let mut dq = self.deques[victim].lock().expect("deque poisoned");
             match dq.len() {
-                0 => continue,
+                0 => {}
                 1 => {
                     let task = dq.front_mut().expect("len checked");
                     let len = task.hi - task.lo;
@@ -346,6 +429,46 @@ impl Core {
             }
         }
         None
+    }
+
+    /// Next task for worker `me`: own deque first, then stealing.
+    fn find_task(&self, me: usize) -> Option<Task> {
+        self.pop_own(me).or_else(|| self.steal(me))
+    }
+
+    /// Park until a push (or shutdown) wakes us. Lost-wakeup argument: the
+    /// idle count is raised *before* taking the park lock and re-checking
+    /// `queued`; a pusher makes work visible (`queued += 1`), then reads
+    /// `idle` — both `SeqCst`, so at least one side of the store-buffer
+    /// pair sees the other (see [`Core`] docs). If the pusher saw
+    /// `idle > 0` it notifies under the park lock, which we either hold
+    /// (the notify waits for our `wait` to release it) or have not taken
+    /// yet (we then re-check `queued` and never sleep). If the pusher saw
+    /// `idle == 0`, SeqCst guarantees our `queued` re-check sees its push
+    /// and we don't sleep. Spurious wakeups are safe: the caller loops.
+    fn park(&self) {
+        self.idle.fetch_add(1, Ordering::SeqCst);
+        let g = self.park.lock().expect("park lock poisoned");
+        // SABOTAGE(sabotage-lost-wake): lowering `idle` before the sleep
+        // reopens the classic race — a push landing between the decrement
+        // and the wait sees no parked worker, skips the notify, and this
+        // worker sleeps with work pending. The model checker must report
+        // this interleaving (ci.sh sabotage self-test).
+        #[cfg(feature = "sabotage-lost-wake")]
+        self.idle.fetch_sub(1, Ordering::SeqCst);
+        if self.queued.load(Ordering::SeqCst) == 0 && !self.shutdown.load(Ordering::SeqCst) {
+            let _g = self.wake.wait(g).expect("park lock poisoned");
+        } else {
+            // Work is announced but not grabbable yet (a push is between
+            // its increment and its deque insert, or a steal raced us).
+            // Sleeping would risk missing a notify that already happened;
+            // spinning without yielding would burn the core — and under the
+            // model checker an unyielding spin is flagged as a livelock.
+            drop(g);
+            crate::sync::thread::yield_now();
+        }
+        #[cfg(not(feature = "sabotage-lost-wake"))]
+        self.idle.fetch_sub(1, Ordering::SeqCst);
     }
 }
 
@@ -399,31 +522,27 @@ fn worker_loop(core: &Core, me: usize) {
         if core.shutdown.load(Ordering::SeqCst) {
             return;
         }
-        if let Some(task) = core.pop_own(me).or_else(|| core.steal(me)) {
+        if let Some(task) = core.find_task(me) {
             execute(core, me, task);
             continue;
         }
-        // Nothing anywhere: park until a push wakes us. The idle counter is
-        // raised *before* re-checking `queued` under the park lock, and
-        // pushers notify under the same lock, so a push between our check
-        // and the wait cannot be missed.
-        core.idle.fetch_add(1, Ordering::SeqCst);
-        let g = core.park.lock().expect("park lock poisoned");
-        if core.queued.load(Ordering::SeqCst) == 0 && !core.shutdown.load(Ordering::SeqCst) {
-            let _g = core.wake.wait(g).expect("park lock poisoned");
-        }
-        core.idle.fetch_sub(1, Ordering::SeqCst);
+        // Nothing anywhere: park until a push wakes us (see Core::park for
+        // the lost-wakeup argument).
+        core.park();
     }
 }
 
-#[cfg(test)]
+// The std-thread suite is meaningless under the model facade (and the
+// model primitives panic outside `model::check`), so it compiles only in
+// normal builds; `model_tests` below is its model-sync counterpart.
+#[cfg(all(test, not(feature = "model-sync")))]
 mod tests {
     use super::*;
     use std::sync::atomic::AtomicU64;
 
     #[test]
     fn zero_jobs_completes_immediately() {
-        let fleet = Fleet::new(4);
+        let fleet = Fleet::with_suite_threads(4);
         fleet
             .submit(Vec::new(), 1, |_| panic!("must not run"))
             .wait();
@@ -436,7 +555,7 @@ mod tests {
 
     #[test]
     fn every_index_runs_exactly_once() {
-        let fleet = Fleet::new(8);
+        let fleet = Fleet::with_suite_threads(8);
         let hits: Arc<Vec<AtomicU64>> = Arc::new((0..10_000).map(|_| AtomicU64::new(0)).collect());
         let h = hits.clone();
         fleet
@@ -451,7 +570,7 @@ mod tests {
 
     #[test]
     fn disjoint_ranges_and_reuse_across_batches() {
-        let fleet = Fleet::new(3);
+        let fleet = Fleet::with_suite_threads(3);
         for round in 0..5u64 {
             let sum = Arc::new(AtomicU64::new(0));
             let s = sum.clone();
@@ -467,7 +586,7 @@ mod tests {
 
     #[test]
     fn fewer_jobs_than_threads() {
-        let fleet = Fleet::new(16);
+        let fleet = Fleet::with_suite_threads(16);
         let out = fleet.map(vec![1u64, 2, 3], |_, &x| x * 10);
         assert_eq!(out, vec![10, 20, 30]);
         let out = fleet.map(vec![9u64], |i, &x| (i, x));
@@ -476,7 +595,7 @@ mod tests {
 
     #[test]
     fn map_preserves_input_order() {
-        let fleet = Fleet::new(4);
+        let fleet = Fleet::with_suite_threads(4);
         let inputs: Vec<u64> = (0..2000).collect();
         let out = fleet.map(inputs.clone(), |i, &x| {
             assert_eq!(i as u64, x);
@@ -495,13 +614,11 @@ mod tests {
 
     #[test]
     fn panic_propagates_to_waiter() {
-        let fleet = Fleet::new(4);
+        let fleet = Fleet::with_suite_threads(4);
         let result = std::panic::catch_unwind(AssertUnwindSafe(|| {
             fleet
                 .submit(vec![(0, 100)], 1, |i| {
-                    if i == 37 {
-                        panic!("job 37 exploded");
-                    }
+                    assert!(i != 37, "job 37 exploded");
                 })
                 .wait();
         }));
@@ -511,6 +628,34 @@ mod tests {
         // The fleet survives a poisoned batch.
         let out = fleet.map(vec![1u64, 2], |_, &x| x);
         assert_eq!(out, vec![1, 2]);
+    }
+
+    #[test]
+    fn park_never_loses_a_wakeup_under_stress() {
+        // Std-thread cousin of the model-checked park/wake test: many tiny
+        // batches force constant park/unpark churn; a lost wakeup shows up
+        // as a hang (caught by the harness timeout).
+        let fleet = Fleet::with_suite_threads(2);
+        for _ in 0..200 {
+            let hits = Arc::new(AtomicU64::new(0));
+            let h = hits.clone();
+            fleet
+                .submit(vec![(0, 1)], 1, move |_| {
+                    h.fetch_add(1, Ordering::Relaxed);
+                })
+                .wait();
+            assert_eq!(hits.load(Ordering::Relaxed), 1);
+        }
+    }
+
+    #[test]
+    fn suite_threads_parses_and_falls_back() {
+        assert_eq!(suite_threads_from(None, 4), 4);
+        assert_eq!(suite_threads_from(Some("1"), 4), 1);
+        assert_eq!(suite_threads_from(Some(" 32 "), 4), 32);
+        assert_eq!(suite_threads_from(Some("0"), 4), 4);
+        assert_eq!(suite_threads_from(Some("lots"), 4), 4);
+        assert_eq!(suite_threads_from(Some(""), 4), 4);
     }
 
     #[test]
@@ -529,6 +674,208 @@ mod tests {
         assert!(
             fleet.steals() > 0,
             "a 50k-index range on 4 workers should involve stealing"
+        );
+    }
+}
+
+/// Model-checked protocol tests (`--features model-sync`): the deque
+/// push/steal-half protocol and the `queued`/`idle`/park/wake handshake,
+/// run against the *real* `Core`/`Batch`/`execute` code via the sync
+/// facade. See DESIGN.md §14 for what the checker explores.
+#[cfg(all(test, feature = "model-sync"))]
+mod model_tests {
+    use super::*;
+    use crate::model::{check_with, Bounds};
+    use std::sync::atomic::{AtomicU64 as StdAtomicU64, Ordering as StdOrdering};
+
+    fn mini_core(threads: usize) -> Arc<Core> {
+        Arc::new(Core {
+            deques: (0..threads).map(|_| Mutex::new(VecDeque::new())).collect(),
+            queued: AtomicU64::new(0),
+            idle: AtomicUsize::new(0),
+            park: Mutex::new(()),
+            wake: Condvar::new(),
+            shutdown: AtomicBool::new(false),
+            stolen: AtomicU64::new(0),
+            rr: AtomicUsize::new(0),
+        })
+    }
+
+    fn mini_batch(total: u64, grain: u64, run: impl Fn(u64) + Send + Sync + 'static) -> Arc<Batch> {
+        Arc::new(Batch {
+            run: Box::new(run),
+            remaining: AtomicU64::new(total),
+            grain,
+            poisoned: AtomicBool::new(false),
+            done: Mutex::new(BatchDone {
+                finished: total == 0,
+                panic_msg: None,
+            }),
+            done_cv: Condvar::new(),
+        })
+    }
+
+    /// Deque protocol: one owner executing from the back, one thief
+    /// stealing (and range-splitting) from the front. Every index must run
+    /// exactly once — no lost and no duplicated task — under every
+    /// schedule within bounds.
+    #[test]
+    fn model_deque_push_steal_half_exactly_once() {
+        const N: u64 = 3;
+        let bounds = Bounds {
+            preemptions: 2,
+            ..Bounds::default()
+        };
+        let report = check_with(bounds, || {
+            let core = mini_core(2);
+            let hits: Arc<Vec<StdAtomicU64>> =
+                Arc::new((0..N).map(|_| StdAtomicU64::new(0)).collect());
+            let h = hits.clone();
+            let batch = mini_batch(N, 1, move |i| {
+                h[usize::try_from(i).expect("index fits")].fetch_add(1, StdOrdering::Relaxed);
+            });
+            core.push(
+                0,
+                Task {
+                    batch: batch.clone(),
+                    lo: 0,
+                    hi: N,
+                },
+            );
+            let owner = {
+                let core = core.clone();
+                crate::sync::thread::spawn(move || {
+                    while let Some(t) = core.find_task(0) {
+                        execute(&core, 0, t);
+                    }
+                })
+            };
+            let thief = {
+                let core = core.clone();
+                crate::sync::thread::spawn(move || {
+                    while let Some(t) = core.find_task(1) {
+                        execute(&core, 1, t);
+                    }
+                })
+            };
+            owner.join().expect("owner");
+            thief.join().expect("thief");
+            assert_eq!(batch.remaining.load(Ordering::SeqCst), 0, "batch drained");
+            assert_eq!(
+                core.queued.load(Ordering::SeqCst),
+                0,
+                "queued count balanced"
+            );
+            for (i, h) in hits.iter().enumerate() {
+                assert_eq!(
+                    h.load(StdOrdering::Relaxed),
+                    1,
+                    "index {i} ran exactly once"
+                );
+            }
+        });
+        assert!(report.exhaustive, "deque protocol explored exhaustively");
+        assert!(report.executions > 1, "more than one schedule explored");
+    }
+
+    /// The park/wake handshake plus the batch-done handshake, end to end:
+    /// a worker that parks when it finds nothing must always be woken by a
+    /// concurrent push (no lost wakeup, no sleeping with work pending),
+    /// and the waiter on the batch condvar must always unblock. A lost
+    /// wakeup manifests as a deadlock, which the checker reports with the
+    /// failing interleaving. Disabled under sabotage-lost-wake — there the
+    /// protocol IS broken and `model_sabotage_lost_wake_is_caught` asserts
+    /// the checker proves it.
+    #[test]
+    #[cfg(not(feature = "sabotage-lost-wake"))]
+    fn model_park_wake_no_lost_wakeup() {
+        let report = check_with(Bounds::default(), || {
+            let (core, batch, hits) = park_wake_scenario();
+            assert_eq!(hits.load(StdOrdering::Relaxed), 1, "job ran exactly once");
+            assert_eq!(batch.remaining.load(Ordering::SeqCst), 0);
+            drop(core);
+        });
+        if let Some(cx) = &report.failure {
+            panic!("counterexample:\n{}", cx.render());
+        }
+        assert!(
+            report.exhaustive,
+            "park/wake protocol explored exhaustively"
+        );
+    }
+
+    /// Shared scenario: a worker thread running the real
+    /// find-task/execute/park loop, a pusher (the root thread) submitting
+    /// one task, waiting on the batch-done condvar via the real
+    /// `BatchHandle::wait`, then shutting down exactly like `Fleet::drop`.
+    fn park_wake_scenario() -> (Arc<Core>, Arc<Batch>, Arc<StdAtomicU64>) {
+        let core = mini_core(1);
+        let hits = Arc::new(StdAtomicU64::new(0));
+        let h = hits.clone();
+        let batch = mini_batch(1, 1, move |_| {
+            h.fetch_add(1, StdOrdering::Relaxed);
+        });
+        let worker = {
+            let core = core.clone();
+            crate::sync::thread::spawn(move || loop {
+                if core.shutdown.load(Ordering::SeqCst) {
+                    return;
+                }
+                if let Some(t) = core.find_task(0) {
+                    execute(&core, 0, t);
+                } else {
+                    core.park();
+                }
+            })
+        };
+        core.push(
+            0,
+            Task {
+                batch: batch.clone(),
+                lo: 0,
+                hi: 1,
+            },
+        );
+        BatchHandle {
+            batch: batch.clone(),
+        }
+        .wait();
+        // Shutdown exactly as Fleet::drop does.
+        core.shutdown.store(true, Ordering::SeqCst);
+        {
+            let _g = core.park.lock().expect("park lock poisoned");
+            core.wake.notify_all();
+        }
+        worker.join().expect("worker");
+        (core, batch, hits)
+    }
+
+    /// Sabotage self-test: with the idle decrement moved before the wait,
+    /// the checker must find the lost-wakeup interleaving and report it as
+    /// a deadlock with a trace. Proves the model check is alive, not
+    /// vacuously green.
+    #[test]
+    #[cfg(feature = "sabotage-lost-wake")]
+    fn model_sabotage_lost_wake_is_caught() {
+        let report = check_with(Bounds::default(), || {
+            let _ = park_wake_scenario();
+        });
+        let cx = report
+            .failure
+            .expect("sabotaged park/wake protocol must produce a counterexample");
+        assert!(
+            cx.message.contains("deadlock"),
+            "lost wakeup should surface as deadlock, got: {}",
+            cx.message
+        );
+        assert!(
+            !cx.trace.is_empty(),
+            "counterexample must carry the failing interleaving"
+        );
+        eprintln!(
+            "sabotage-lost-wake counterexample found after {} executions:\n{}",
+            report.executions,
+            cx.render()
         );
     }
 }

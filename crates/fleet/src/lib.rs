@@ -24,17 +24,37 @@
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
+// The whole crate is held to clippy's pedantic bar, like pnoc-noc (ci.sh
+// denies warnings for this crate specifically). Opt-outs, all judgment
+// calls rather than correctness: panic/error docs on internal APIs,
+// cast pedantry (narrowing is policed by the pnoc-verify lint set), and
+// module-name repetition in re-exports.
+#![warn(clippy::pedantic)]
+#![allow(
+    clippy::cast_possible_truncation,
+    clippy::cast_precision_loss,
+    clippy::cast_sign_loss,
+    clippy::missing_panics_doc,
+    clippy::missing_errors_doc,
+    clippy::module_name_repetitions,
+    clippy::must_use_candidate,
+    clippy::doc_markdown,
+    clippy::similar_names
+)]
 
 pub mod agg;
 pub mod checkpoint;
 pub mod executor;
+#[cfg(feature = "model-sync")]
+pub mod model;
 pub mod runner;
 pub mod snapshot;
 pub mod spec;
+pub mod sync;
 
 pub use agg::{CellReport, MergeSummary};
 pub use checkpoint::{spec_fingerprint, Journal, SweepState};
-pub use executor::{BatchHandle, Fleet};
+pub use executor::{suite_threads, BatchHandle, Fleet};
 pub use runner::{run_sweep, SweepOptions, SweepOutcome, SweepReport, KILL_EXIT_CODE};
 pub use snapshot::{EpochSnapshot, SnapshotReader};
 pub use spec::{SweepBase, SweepSpec};

@@ -1,0 +1,414 @@
+//! The execution engine behind the model checker: cooperative serialized
+//! threads, replayable scheduling/value choices, and vector-clock
+//! happens-before tracking.
+//!
+//! One *execution* runs the checked closure once under a fully controlled
+//! schedule. Model threads are real OS threads, but exactly one is ever
+//! runnable: every visible operation (atomic access, mutex lock/unlock,
+//! condvar wait/notify, spawn/join) funnels through [`op`], which performs
+//! the operation under the engine lock and then hands the schedule token to
+//! the next thread chosen by [`ExecState::decide`]. Because only the active
+//! thread consumes choices, replaying a recorded choice list reproduces an
+//! execution exactly — that is what the DFS in [`super::check_with`] and
+//! counterexample re-tracing rely on.
+
+use std::cell::RefCell;
+use std::fmt::Arguments;
+use std::sync::{Arc, Condvar as StdCondvar, Mutex as StdMutex, MutexGuard as StdMutexGuard};
+
+use super::Bounds;
+
+/// A vector clock; index = model thread id.
+pub(crate) type VClock = Vec<u64>;
+
+/// `a ≤ b` componentwise (missing components are 0).
+pub(crate) fn clock_le(a: &VClock, b: &VClock) -> bool {
+    a.iter()
+        .enumerate()
+        .all(|(i, &v)| v <= b.get(i).copied().unwrap_or(0))
+}
+
+/// `into := into ⊔ other` (componentwise max).
+pub(crate) fn clock_join(into: &mut VClock, other: &VClock) {
+    if into.len() < other.len() {
+        into.resize(other.len(), 0);
+    }
+    for (i, &v) in other.iter().enumerate() {
+        if into[i] < v {
+            into[i] = v;
+        }
+    }
+}
+
+/// What a blocked thread is waiting for.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum BlockOn {
+    /// Mutex with this id is held by somebody else.
+    Mutex(usize),
+    /// Asleep on condvar with this id until a notify (or spurious wake).
+    Condvar(usize),
+    /// Waiting for thread `tid` to finish.
+    Join(usize),
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum Status {
+    Runnable,
+    Blocked(BlockOn),
+    Finished,
+}
+
+pub(crate) struct ThreadState {
+    pub status: Status,
+    /// Set by notify while `Blocked(Condvar(_))`; distinguishes a real wake
+    /// from a spurious one in traces.
+    pub notified: bool,
+    /// Set by `thread::yield_now`: a fairness point. At the next handoff
+    /// the scheduler must switch to some *other* runnable thread (free of
+    /// preemption charge); without it, a spin-wait loop is explored under
+    /// arbitrarily unfair schedules and trips the op budget (same
+    /// convention as loom's `yield_now`).
+    pub yielded: bool,
+}
+
+/// One write in an atomic cell's modification order.
+pub(crate) struct Store {
+    pub value: u64,
+    /// Clock of the writing thread at the store (the release clock when
+    /// `release` is set).
+    pub clock: VClock,
+    /// Store (or release-sequence continuation) with release semantics:
+    /// acquire loads that read it join `clock`.
+    pub release: bool,
+}
+
+/// Modeled atomic cell: full store history plus per-thread coherence floors
+/// (the newest history index each thread has observed; later reads by that
+/// thread may not go behind it).
+pub(crate) struct AtomicCell {
+    pub history: Vec<Store>,
+    pub floor: Vec<usize>,
+}
+
+pub(crate) struct MutexState {
+    pub locked_by: Option<usize>,
+    /// Release clock accumulated across unlocks; joined by the next locker.
+    pub clock: VClock,
+}
+
+/// One recorded nondeterministic choice: `picked` out of `num` alternatives.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Choice {
+    pub(crate) picked: usize,
+    pub(crate) num: usize,
+}
+
+/// Shared state of one execution, behind the engine lock.
+pub(crate) struct ExecState {
+    pub threads: Vec<ThreadState>,
+    pub clocks: Vec<VClock>,
+    pub atomics: Vec<AtomicCell>,
+    pub mutexes: Vec<MutexState>,
+    pub condvars: usize,
+    /// Whose turn it is to run.
+    pub active: usize,
+    /// Replayed prefix + newly recorded choices.
+    pub choices: Vec<Choice>,
+    pub pos: usize,
+    pub preemptions: u32,
+    pub spurious: u32,
+    pub ops: u64,
+    pub bounds: Bounds,
+    /// Record human-readable per-op events (only on counterexample replay).
+    pub tracing: bool,
+    pub trace: Vec<String>,
+    pub failure: Option<String>,
+    pub aborted: bool,
+    pub done: bool,
+}
+
+impl ExecState {
+    /// Consume (replaying) or record the next choice among `num`
+    /// alternatives. Trivial one-alternative points are not recorded, which
+    /// keeps DFS paths compact.
+    pub(crate) fn decide(&mut self, num: usize) -> usize {
+        if num <= 1 || self.aborted {
+            return 0;
+        }
+        let i = self.pos;
+        self.pos += 1;
+        if i < self.choices.len() {
+            assert_eq!(
+                self.choices[i].num, num,
+                "model-sync internal error: schedule replay diverged \
+                 (choice {i} had {} alternatives, now {num})",
+                self.choices[i].num
+            );
+            self.choices[i].picked
+        } else {
+            self.choices.push(Choice { picked: 0, num });
+            0
+        }
+    }
+
+    /// Append a trace line when counterexample tracing is on.
+    pub(crate) fn note(&mut self, me: usize, args: Arguments<'_>) {
+        if self.tracing {
+            self.trace.push(format!("T{me}  {args}"));
+        }
+    }
+
+    /// Record a failure and abort the execution; all threads unwind.
+    pub(crate) fn fail(&mut self, msg: String) {
+        if self.failure.is_none() {
+            use std::fmt::Write as _;
+            let mut m = msg;
+            for (tid, t) in self.threads.iter().enumerate() {
+                let _ = write!(m, "\n  T{tid}: {:?}", t.status);
+            }
+            self.failure = Some(m);
+        }
+        self.aborted = true;
+        self.done = true;
+    }
+
+    pub(crate) fn alloc_atomic(&mut self, init: u64) -> usize {
+        self.atomics.push(AtomicCell {
+            history: vec![Store {
+                value: init,
+                clock: VClock::new(),
+                release: true,
+            }],
+            floor: vec![0; self.threads.len()],
+        });
+        self.atomics.len() - 1
+    }
+
+    pub(crate) fn alloc_mutex(&mut self) -> usize {
+        self.mutexes.push(MutexState {
+            locked_by: None,
+            clock: VClock::new(),
+        });
+        self.mutexes.len() - 1
+    }
+
+    pub(crate) fn alloc_condvar(&mut self) -> usize {
+        self.condvars += 1;
+        self.condvars - 1
+    }
+
+    /// Make every thread blocked on `on` runnable again (they re-contend).
+    pub(crate) fn unblock_all(&mut self, on: BlockOn) {
+        for t in &mut self.threads {
+            if t.status == Status::Blocked(on) {
+                t.status = Status::Runnable;
+            }
+        }
+    }
+}
+
+/// One execution's shared engine: the state plus the token condvar every
+/// model thread parks on.
+pub(crate) struct Execution {
+    pub st: StdMutex<ExecState>,
+    pub cv: StdCondvar,
+    /// OS handles of spawned model threads, joined by the controller.
+    pub os_handles: StdMutex<Vec<std::thread::JoinHandle<()>>>,
+}
+
+/// Panic payload used to unwind model threads of an aborted execution; the
+/// thread wrapper swallows it.
+pub(crate) struct ModelAbort;
+
+thread_local! {
+    /// (execution, model thread id) of the current OS thread, if it is a
+    /// model thread.
+    pub(crate) static CTX: RefCell<Option<(Arc<Execution>, usize)>> = const { RefCell::new(None) };
+}
+
+/// The current model-thread context; panics with a usable message when a
+/// facade primitive is touched outside `model::check`.
+pub(crate) fn ctx() -> (Arc<Execution>, usize) {
+    CTX.with(|c| c.borrow().clone()).unwrap_or_else(|| {
+        panic!(
+            "model-sync sync primitive used outside model::check \
+             (construct and use all state inside the checked closure)"
+        )
+    })
+}
+
+/// Outcome of one visible operation attempt.
+pub(crate) enum Step<R> {
+    /// Operation performed; hand off and return.
+    Ready(R),
+    /// Cannot proceed; block on `0`, get rescheduled, retry the closure.
+    Block(BlockOn),
+    /// Go to sleep (status already set by the closure); when woken and
+    /// rescheduled, return the value *without* retrying.
+    Sleep(R),
+}
+
+impl Execution {
+    pub(crate) fn new(bounds: Bounds, replay: Vec<Choice>, tracing: bool) -> Self {
+        Self {
+            st: StdMutex::new(ExecState {
+                threads: vec![ThreadState {
+                    status: Status::Runnable,
+                    notified: false,
+                    yielded: false,
+                }],
+                clocks: vec![vec![1]],
+                atomics: Vec::new(),
+                mutexes: Vec::new(),
+                condvars: 0,
+                active: 0,
+                choices: replay,
+                pos: 0,
+                preemptions: 0,
+                spurious: 0,
+                ops: 0,
+                bounds,
+                tracing,
+                trace: Vec::new(),
+                failure: None,
+                aborted: false,
+                done: false,
+            }),
+            cv: StdCondvar::new(),
+            os_handles: StdMutex::new(Vec::new()),
+        }
+    }
+
+    /// Park the calling model thread until it holds the schedule token (or
+    /// the execution aborts).
+    pub(crate) fn park_until_active<'a>(
+        &'a self,
+        mut g: StdMutexGuard<'a, ExecState>,
+        me: usize,
+    ) -> StdMutexGuard<'a, ExecState> {
+        while !g.aborted && !g.done && g.active != me {
+            g = self.cv.wait(g).expect("model engine lock");
+        }
+        g
+    }
+
+    /// Pick the next thread to run. Called by the active thread after it
+    /// performed (or blocked on) an operation. Staying on the current
+    /// thread is always choice 0; switching away from a still-runnable
+    /// thread costs one preemption, and the preemption bound prunes those
+    /// branches.
+    pub(crate) fn handoff(&self, st: &mut ExecState, me: usize) {
+        if st.aborted || st.done {
+            return;
+        }
+        let runnable: Vec<usize> = st
+            .threads
+            .iter()
+            .enumerate()
+            .filter(|(_, t)| t.status == Status::Runnable)
+            .map(|(i, _)| i)
+            .collect();
+        if runnable.is_empty() {
+            if st.threads.iter().all(|t| t.status == Status::Finished) {
+                st.done = true;
+            } else {
+                st.fail("deadlock: every live thread is blocked".to_string());
+            }
+            self.cv.notify_all();
+            return;
+        }
+        let me_runnable = st.threads[me].status == Status::Runnable;
+        // One-shot: a yield only constrains the handoff it precedes.
+        let me_yielded = std::mem::take(&mut st.threads[me].yielded);
+        let others: Vec<usize> = runnable.iter().copied().filter(|&t| t != me).collect();
+        let cands: Vec<usize> = if me_runnable {
+            if me_yielded && !others.is_empty() {
+                // Fairness point: must run somebody else, and the voluntary
+                // switch costs no preemption.
+                others
+            } else if st.preemptions >= st.bounds.preemptions {
+                vec![me]
+            } else {
+                let mut c = vec![me];
+                c.extend(others);
+                c
+            }
+        } else {
+            runnable
+        };
+        let next = cands[st.decide(cands.len())];
+        if me_runnable && !me_yielded && next != me {
+            st.preemptions += 1;
+        }
+        st.active = next;
+        if next != me {
+            self.cv.notify_all();
+        }
+    }
+}
+
+/// Run one visible operation on the current model thread: wait for the
+/// schedule token, apply `f` under the engine lock (retrying while it
+/// blocks), then hand off. Panics (`ModelAbort`) if the execution aborted.
+pub(crate) fn op<R>(mut f: impl FnMut(&mut ExecState, usize) -> Step<R>) -> R {
+    let (exec, me) = ctx();
+    let mut g = exec.st.lock().expect("model engine lock");
+    g = exec.park_until_active(g, me);
+    if g.aborted {
+        drop(g);
+        std::panic::panic_any(ModelAbort);
+    }
+    loop {
+        g.ops += 1;
+        if g.ops > g.bounds.max_ops {
+            let b = g.bounds.max_ops;
+            g.fail(format!("op budget ({b}) exhausted: possible livelock"));
+            exec.cv.notify_all();
+            drop(g);
+            std::panic::panic_any(ModelAbort);
+        }
+        g.clocks[me][me] += 1;
+        match f(&mut g, me) {
+            Step::Ready(v) => {
+                exec.handoff(&mut g, me);
+                return v;
+            }
+            Step::Block(on) => {
+                g.threads[me].status = Status::Blocked(on);
+                exec.handoff(&mut g, me);
+                g = exec.park_until_active(g, me);
+                if g.aborted {
+                    drop(g);
+                    std::panic::panic_any(ModelAbort);
+                }
+                // Rescheduled after an unblock: retry the operation.
+            }
+            Step::Sleep(v) => {
+                exec.handoff(&mut g, me);
+                g = exec.park_until_active(g, me);
+                if g.aborted {
+                    drop(g);
+                    std::panic::panic_any(ModelAbort);
+                }
+                return v;
+            }
+        }
+    }
+}
+
+/// [`op`] for destructor paths (mutex-guard drop): must never panic, so an
+/// aborted execution makes it a silent no-op.
+pub(crate) fn drop_op(mut f: impl FnMut(&mut ExecState, usize)) {
+    let Some((exec, me)) = CTX.with(|c| c.borrow().clone()) else {
+        return;
+    };
+    let mut g = exec.st.lock().expect("model engine lock");
+    g = exec.park_until_active(g, me);
+    if g.aborted {
+        return;
+    }
+    g.ops += 1;
+    g.clocks[me][me] += 1;
+    f(&mut g, me);
+    exec.handoff(&mut g, me);
+}

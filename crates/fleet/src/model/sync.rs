@@ -1,0 +1,453 @@
+//! Model replacements for the `std::sync` primitives the fleet uses:
+//! `Mutex`/`Condvar` with mandatory spurious wakeups, and atomics with
+//! modeled memory orderings.
+//!
+//! # Memory-ordering model (and its approximations)
+//!
+//! Each atomic keeps its full modification order (a store history) plus one
+//! vector clock per store. Operations behave as:
+//!
+//! * **`SeqCst` loads** read the latest store. The engine serializes all
+//!   operations, so execution order *is* a valid sequential-consistency
+//!   order and the latest store is the SC-correct value.
+//! * **`Acquire`/`Relaxed` loads** may read *stale* stores: any store not
+//!   ruled out by happens-before (the store's clock ≤ the reader's clock
+//!   forces visibility) or per-thread coherence (a thread never rereads
+//!   older than it already read), within a window of
+//!   [`super::Bounds::weak_window`] recent stores. Which store is read is a
+//!   DFS choice — this is how weakened orderings produce counterexamples.
+//! * **Acquire-ish loads** of a release store join the store's clock
+//!   (synchronizes-with); `Relaxed` loads never synchronize.
+//! * **RMWs** (`fetch_add` etc.) always read the latest store, per the C11
+//!   rule that an RMW reads the last value in modification order, and
+//!   continue release sequences.
+//!
+//! Approximations, on the permissive side (more behaviors than real
+//! hardware, never fewer): stores append in execution order (no write-write
+//! reordering within a cell), and per-thread coherence floors propagate
+//! only across spawn/join edges, not through every release/acquire chain.
+//! Neither affects protocols whose critical loads are `SeqCst`/RMW — which
+//! the `no-relaxed-ordering` lint enforces for the fleet.
+
+use std::sync::atomic::Ordering;
+use std::sync::{LockResult, OnceLock};
+
+use super::exec::{clock_join, clock_le, ctx, drop_op, op, BlockOn, ExecState, Status, Step};
+
+fn acquire_ish(ord: Ordering) -> bool {
+    matches!(ord, Ordering::Acquire | Ordering::AcqRel | Ordering::SeqCst)
+}
+
+fn release_ish(ord: Ordering) -> bool {
+    matches!(ord, Ordering::Release | Ordering::AcqRel | Ordering::SeqCst)
+}
+
+/// Shared cell logic for all modeled atomic widths.
+struct Cell {
+    id: OnceLock<usize>,
+    init: u64,
+}
+
+impl Cell {
+    const fn new(init: u64) -> Self {
+        Self {
+            id: OnceLock::new(),
+            init,
+        }
+    }
+
+    /// Lazily register the cell with the current execution. Only the active
+    /// thread can run, so registration order — and therefore cell ids — is
+    /// deterministic under replay.
+    fn id(&self) -> usize {
+        *self.id.get_or_init(|| {
+            let (exec, _) = ctx();
+            let id = exec
+                .st
+                .lock()
+                .expect("model engine lock")
+                .alloc_atomic(self.init);
+            id
+        })
+    }
+
+    fn load(&self, ord: Ordering) -> u64 {
+        let c = self.id();
+        op(|st: &mut ExecState, me| {
+            let hi = st.atomics[c].history.len() - 1;
+            let idx = if ord == Ordering::SeqCst {
+                hi
+            } else {
+                let cell = &st.atomics[c];
+                let mut hb_floor = 0;
+                for (i, s) in cell.history.iter().enumerate().rev() {
+                    if clock_le(&s.clock, &st.clocks[me]) {
+                        hb_floor = i;
+                        break;
+                    }
+                }
+                let lo = hb_floor
+                    .max(cell.floor.get(me).copied().unwrap_or(0))
+                    .max((hi + 1).saturating_sub(st.bounds.weak_window));
+                lo + st.decide(hi - lo + 1)
+            };
+            let (value, release, clock) = {
+                let s = &st.atomics[c].history[idx];
+                (s.value, s.release, s.clock.clone())
+            };
+            if st.atomics[c].floor.len() <= me {
+                st.atomics[c].floor.resize(me + 1, 0);
+            }
+            let f = &mut st.atomics[c].floor[me];
+            *f = (*f).max(idx);
+            if acquire_ish(ord) && release {
+                clock_join(&mut st.clocks[me], &clock);
+            }
+            let stale = hi - idx;
+            st.note(
+                me,
+                format_args!(
+                    "a{c}.load({ord:?}) -> {value}{}",
+                    if stale > 0 { " (stale)" } else { "" }
+                ),
+            );
+            Step::Ready(value)
+        })
+    }
+
+    fn store(&self, value: u64, ord: Ordering) {
+        let c = self.id();
+        op(|st: &mut ExecState, me| {
+            let clock = st.clocks[me].clone();
+            let cell = &mut st.atomics[c];
+            cell.history.push(super::exec::Store {
+                value,
+                clock,
+                release: release_ish(ord),
+            });
+            let idx = cell.history.len() - 1;
+            if cell.floor.len() <= me {
+                cell.floor.resize(me + 1, 0);
+            }
+            cell.floor[me] = idx;
+            st.note(me, format_args!("a{c}.store({value}, {ord:?})"));
+            Step::Ready(())
+        });
+    }
+
+    fn rmw(&self, ord: Ordering, name: &str, f: impl Fn(u64) -> u64 + Copy) -> u64 {
+        let c = self.id();
+        op(|st: &mut ExecState, me| {
+            let (old, prev_release, prev_clock) = {
+                let s = st.atomics[c].history.last().expect("nonempty history");
+                (s.value, s.release, s.clock.clone())
+            };
+            if acquire_ish(ord) && prev_release {
+                clock_join(&mut st.clocks[me], &prev_clock);
+            }
+            let new = f(old);
+            // Release-sequence continuation: the RMW's store carries the
+            // previous release clock forward so acquire readers of the new
+            // store still synchronize with the original releaser.
+            let mut clock = st.clocks[me].clone();
+            let release = release_ish(ord) || prev_release;
+            if prev_release {
+                clock_join(&mut clock, &prev_clock);
+            }
+            let cell = &mut st.atomics[c];
+            cell.history.push(super::exec::Store {
+                value: new,
+                clock,
+                release,
+            });
+            let idx = cell.history.len() - 1;
+            if cell.floor.len() <= me {
+                cell.floor.resize(me + 1, 0);
+            }
+            cell.floor[me] = idx;
+            st.note(me, format_args!("a{c}.{name}({ord:?}) {old} -> {new}"));
+            Step::Ready(old)
+        })
+    }
+}
+
+/// Modeled `std::sync::atomic::AtomicU64`.
+pub struct AtomicU64(Cell);
+
+impl AtomicU64 {
+    /// See [`std::sync::atomic::AtomicU64::new`].
+    #[must_use]
+    pub const fn new(v: u64) -> Self {
+        Self(Cell::new(v))
+    }
+
+    /// See [`std::sync::atomic::AtomicU64::load`].
+    pub fn load(&self, ord: Ordering) -> u64 {
+        self.0.load(ord)
+    }
+
+    /// See [`std::sync::atomic::AtomicU64::store`].
+    pub fn store(&self, v: u64, ord: Ordering) {
+        self.0.store(v, ord);
+    }
+
+    /// See [`std::sync::atomic::AtomicU64::fetch_add`].
+    pub fn fetch_add(&self, v: u64, ord: Ordering) -> u64 {
+        self.0.rmw(ord, "fetch_add", move |old| old.wrapping_add(v))
+    }
+
+    /// See [`std::sync::atomic::AtomicU64::fetch_sub`].
+    pub fn fetch_sub(&self, v: u64, ord: Ordering) -> u64 {
+        self.0.rmw(ord, "fetch_sub", move |old| old.wrapping_sub(v))
+    }
+}
+
+/// Modeled `std::sync::atomic::AtomicUsize`.
+pub struct AtomicUsize(Cell);
+
+impl AtomicUsize {
+    /// See [`std::sync::atomic::AtomicUsize::new`].
+    #[must_use]
+    pub const fn new(v: usize) -> Self {
+        Self(Cell::new(v as u64))
+    }
+
+    /// See [`std::sync::atomic::AtomicUsize::load`].
+    #[allow(clippy::cast_possible_truncation)]
+    pub fn load(&self, ord: Ordering) -> usize {
+        self.0.load(ord) as usize
+    }
+
+    /// See [`std::sync::atomic::AtomicUsize::store`].
+    pub fn store(&self, v: usize, ord: Ordering) {
+        self.0.store(v as u64, ord);
+    }
+
+    /// See [`std::sync::atomic::AtomicUsize::fetch_add`].
+    #[allow(clippy::cast_possible_truncation)]
+    pub fn fetch_add(&self, v: usize, ord: Ordering) -> usize {
+        self.0
+            .rmw(ord, "fetch_add", move |old| old.wrapping_add(v as u64)) as usize
+    }
+
+    /// See [`std::sync::atomic::AtomicUsize::fetch_sub`].
+    #[allow(clippy::cast_possible_truncation)]
+    pub fn fetch_sub(&self, v: usize, ord: Ordering) -> usize {
+        self.0
+            .rmw(ord, "fetch_sub", move |old| old.wrapping_sub(v as u64)) as usize
+    }
+}
+
+/// Modeled `std::sync::atomic::AtomicBool`.
+pub struct AtomicBool(Cell);
+
+impl AtomicBool {
+    /// See [`std::sync::atomic::AtomicBool::new`].
+    #[must_use]
+    pub const fn new(v: bool) -> Self {
+        Self(Cell::new(v as u64))
+    }
+
+    /// See [`std::sync::atomic::AtomicBool::load`].
+    pub fn load(&self, ord: Ordering) -> bool {
+        self.0.load(ord) != 0
+    }
+
+    /// See [`std::sync::atomic::AtomicBool::store`].
+    pub fn store(&self, v: bool, ord: Ordering) {
+        self.0.store(u64::from(v), ord);
+    }
+}
+
+/// Modeled `std::sync::Mutex`. The payload lives in a real `std` mutex, but
+/// ownership is decided by the model scheduler; the inner lock is therefore
+/// always uncontended when taken.
+pub struct Mutex<T> {
+    id: OnceLock<usize>,
+    data: std::sync::Mutex<T>,
+}
+
+impl<T> Mutex<T> {
+    /// See [`std::sync::Mutex::new`].
+    #[must_use]
+    pub const fn new(value: T) -> Self {
+        Self {
+            id: OnceLock::new(),
+            data: std::sync::Mutex::new(value),
+        }
+    }
+
+    fn mid(&self) -> usize {
+        *self.id.get_or_init(|| {
+            let (exec, _) = ctx();
+            let id = exec.st.lock().expect("model engine lock").alloc_mutex();
+            id
+        })
+    }
+
+    /// See [`std::sync::Mutex::lock`]. Never returns a poison error: a
+    /// panic inside a model execution aborts the whole execution instead.
+    pub fn lock(&self) -> LockResult<MutexGuard<'_, T>> {
+        let m = self.mid();
+        op(|st: &mut ExecState, me| {
+            if let Some(owner) = st.mutexes[m].locked_by {
+                debug_assert_ne!(owner, me, "model mutex is not reentrant");
+                st.note(me, format_args!("m{m}.lock() blocked (held by T{owner})"));
+                Step::Block(BlockOn::Mutex(m))
+            } else {
+                st.mutexes[m].locked_by = Some(me);
+                let clock = st.mutexes[m].clock.clone();
+                clock_join(&mut st.clocks[me], &clock);
+                st.note(me, format_args!("m{m}.lock() acquired"));
+                Step::Ready(())
+            }
+        });
+        Ok(MutexGuard {
+            lock: self,
+            inner: Some(self.data.lock().expect("model mutex payload")),
+        })
+    }
+}
+
+/// Guard for the modeled [`Mutex`].
+pub struct MutexGuard<'a, T> {
+    lock: &'a Mutex<T>,
+    /// Real payload guard; `None` transiently while asleep in a condvar
+    /// wait (the payload must be reachable by the next model owner).
+    inner: Option<std::sync::MutexGuard<'a, T>>,
+}
+
+impl<T> std::ops::Deref for MutexGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        self.inner.as_ref().expect("guard holds payload")
+    }
+}
+
+impl<T> std::ops::DerefMut for MutexGuard<'_, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        self.inner.as_mut().expect("guard holds payload")
+    }
+}
+
+impl<T> Drop for MutexGuard<'_, T> {
+    fn drop(&mut self) {
+        // Release the payload before the model unlock so the next owner the
+        // scheduler picks can take it without contending with us.
+        self.inner = None;
+        let m = self.lock.mid();
+        drop_op(|st: &mut ExecState, me| {
+            debug_assert_eq!(st.mutexes[m].locked_by, Some(me), "unlock by non-owner");
+            st.mutexes[m].locked_by = None;
+            let clock = st.clocks[me].clone();
+            clock_join(&mut st.mutexes[m].clock, &clock);
+            st.unblock_all(BlockOn::Mutex(m));
+            st.note(me, format_args!("m{m}.unlock()"));
+        });
+    }
+}
+
+/// Modeled `std::sync::Condvar` with **mandatory spurious wakeups**: every
+/// `wait` is a DFS choice point that may return without any notify (up to
+/// [`super::Bounds::spurious`] times per execution), so protocols that
+/// don't re-check their predicate in a loop are reported as buggy.
+pub struct Condvar {
+    id: OnceLock<usize>,
+}
+
+impl Condvar {
+    /// See [`std::sync::Condvar::new`].
+    #[must_use]
+    pub const fn new() -> Self {
+        Self {
+            id: OnceLock::new(),
+        }
+    }
+
+    fn cid(&self) -> usize {
+        *self.id.get_or_init(|| {
+            let (exec, _) = ctx();
+            let id = exec.st.lock().expect("model engine lock").alloc_condvar();
+            id
+        })
+    }
+
+    /// See [`std::sync::Condvar::wait`].
+    pub fn wait<'a, T>(&self, mut guard: MutexGuard<'a, T>) -> LockResult<MutexGuard<'a, T>> {
+        let cv = self.cid();
+        let lock = guard.lock;
+        let m = lock.mid();
+        // Atomically (in one engine step) release the mutex and go to
+        // sleep — or spuriously wake, which skips the sleep entirely.
+        guard.inner = None;
+        op(|st: &mut ExecState, me| {
+            debug_assert_eq!(st.mutexes[m].locked_by, Some(me), "wait without the lock");
+            st.mutexes[m].locked_by = None;
+            let clock = st.clocks[me].clone();
+            clock_join(&mut st.mutexes[m].clock, &clock);
+            st.unblock_all(BlockOn::Mutex(m));
+            if st.spurious < st.bounds.spurious && st.decide(2) == 1 {
+                st.spurious += 1;
+                st.note(me, format_args!("cv{cv}.wait() SPURIOUS wake"));
+                return Step::Ready(());
+            }
+            st.threads[me].status = Status::Blocked(BlockOn::Condvar(cv));
+            st.threads[me].notified = false;
+            st.note(me, format_args!("cv{cv}.wait() sleeping"));
+            Step::Sleep(())
+        });
+        // The wait op above already performed the model unlock (and the
+        // real payload guard is gone), so the guard's Drop must not run a
+        // second unlock.
+        std::mem::forget(guard);
+        // Awake (notified or spurious): reacquire the mutex.
+        lock.lock()
+    }
+
+    /// See [`std::sync::Condvar::notify_all`].
+    pub fn notify_all(&self) {
+        let cv = self.cid();
+        op(|st: &mut ExecState, me| {
+            let mut woken = 0;
+            for t in &mut st.threads {
+                if t.status == Status::Blocked(BlockOn::Condvar(cv)) {
+                    t.status = Status::Runnable;
+                    t.notified = true;
+                    woken += 1;
+                }
+            }
+            st.note(me, format_args!("cv{cv}.notify_all() woke {woken}"));
+            Step::Ready(())
+        });
+    }
+
+    /// See [`std::sync::Condvar::notify_one`]. Which waiter wakes is a DFS
+    /// choice point.
+    pub fn notify_one(&self) {
+        let cv = self.cid();
+        op(|st: &mut ExecState, me| {
+            let waiters: Vec<usize> = st
+                .threads
+                .iter()
+                .enumerate()
+                .filter(|(_, t)| t.status == Status::Blocked(BlockOn::Condvar(cv)))
+                .map(|(i, _)| i)
+                .collect();
+            if waiters.is_empty() {
+                st.note(me, format_args!("cv{cv}.notify_one() no waiters"));
+                return Step::Ready(());
+            }
+            let w = waiters[st.decide(waiters.len())];
+            st.threads[w].status = Status::Runnable;
+            st.threads[w].notified = true;
+            st.note(me, format_args!("cv{cv}.notify_one() woke T{w}"));
+            Step::Ready(())
+        });
+    }
+}
+
+impl Default for Condvar {
+    fn default() -> Self {
+        Self::new()
+    }
+}

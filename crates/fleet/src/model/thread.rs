@@ -1,0 +1,194 @@
+//! Model threads: a minimal mirror of the `std::thread` surface the fleet
+//! uses (`Builder::new().name(..).spawn(..)`, `spawn`, `JoinHandle`).
+//!
+//! A model thread is a real OS thread, but it runs only while it holds the
+//! engine's schedule token. Spawn synchronizes-with the child's start
+//! (clock + coherence-floor inheritance); join synchronizes-with the
+//! child's finish.
+
+use std::sync::{Arc, Mutex as StdMutex};
+
+use super::exec::{
+    clock_join, ctx, op, BlockOn, ExecState, ModelAbort, Status, Step, ThreadState, CTX,
+};
+
+/// Handle to a spawned model thread; see [`std::thread::JoinHandle`].
+pub struct JoinHandle<T> {
+    tid: usize,
+    slot: Arc<StdMutex<Option<T>>>,
+}
+
+impl<T> JoinHandle<T> {
+    /// Block until the thread finishes, returning its result. A panicking
+    /// model thread aborts the whole execution (that is the
+    /// counterexample), so unlike `std` this never returns `Err`.
+    pub fn join(self) -> std::thread::Result<T> {
+        let tid = self.tid;
+        op(|st: &mut ExecState, me| {
+            if st.threads[tid].status == Status::Finished {
+                let clock = st.clocks[tid].clone();
+                clock_join(&mut st.clocks[me], &clock);
+                for cell in &mut st.atomics {
+                    let tf = cell.floor.get(tid).copied().unwrap_or(0);
+                    if cell.floor.len() <= me {
+                        cell.floor.resize(me + 1, 0);
+                    }
+                    cell.floor[me] = cell.floor[me].max(tf);
+                }
+                st.note(me, format_args!("join(T{tid})"));
+                Step::Ready(())
+            } else {
+                st.note(me, format_args!("join(T{tid}) blocked"));
+                Step::Block(BlockOn::Join(tid))
+            }
+        });
+        Ok(self
+            .slot
+            .lock()
+            .expect("model thread result slot")
+            .take()
+            .expect("joined thread stored a result"))
+    }
+}
+
+/// See [`std::thread::Builder`].
+#[derive(Default)]
+pub struct Builder {
+    name: Option<String>,
+}
+
+impl Builder {
+    /// See [`std::thread::Builder::new`].
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// See [`std::thread::Builder::name`]. The name is applied to the
+    /// backing OS thread (useful in panic messages).
+    #[must_use]
+    pub fn name(mut self, name: String) -> Self {
+        self.name = Some(name);
+        self
+    }
+
+    /// See [`std::thread::Builder::spawn`].
+    ///
+    /// # Errors
+    ///
+    /// Propagates OS thread-creation failure, as `std` does.
+    pub fn spawn<F, T>(self, f: F) -> std::io::Result<JoinHandle<T>>
+    where
+        F: FnOnce() -> T + Send + 'static,
+        T: Send + 'static,
+    {
+        let (exec, _) = ctx();
+        // Register the child while we (the active thread) hold the token:
+        // ids and clock inheritance are deterministic under replay.
+        let tid = op(|st: &mut ExecState, me| {
+            let tid = st.threads.len();
+            st.threads.push(ThreadState {
+                status: Status::Runnable,
+                notified: false,
+                yielded: false,
+            });
+            let mut clock = st.clocks[me].clone();
+            if clock.len() <= tid {
+                clock.resize(tid + 1, 0);
+            }
+            clock[tid] = 1;
+            st.clocks.push(clock);
+            for cell in &mut st.atomics {
+                let pf = cell.floor.get(me).copied().unwrap_or(0);
+                if cell.floor.len() < tid {
+                    cell.floor.resize(tid, 0);
+                }
+                cell.floor.push(pf);
+            }
+            st.note(me, format_args!("spawn -> T{tid}"));
+            Step::Ready(tid)
+        });
+        let slot = Arc::new(StdMutex::new(None));
+        let slot2 = slot.clone();
+        let exec2 = exec.clone();
+        let mut b = std::thread::Builder::new();
+        if let Some(n) = self.name {
+            b = b.name(n);
+        }
+        let os = b.spawn(move || run_model_thread(&exec2, tid, f, &slot2))?;
+        exec.os_handles
+            .lock()
+            .expect("model os-handle list")
+            .push(os);
+        Ok(JoinHandle { tid, slot })
+    }
+}
+
+/// See [`std::thread::yield_now`]. In the model this is a *fairness
+/// point*: the scheduler must hand off to some other runnable thread
+/// (at no preemption cost). Spin-wait loops must call it — an unyielding
+/// spin is explored under arbitrarily unfair schedules and is reported
+/// as a livelock when the op budget runs out, exactly like loom.
+pub fn yield_now() {
+    op(|st: &mut ExecState, me| {
+        st.threads[me].yielded = true;
+        st.note(me, format_args!("yield"));
+        Step::Ready(())
+    });
+}
+
+/// See [`std::thread::spawn`].
+pub fn spawn<F, T>(f: F) -> JoinHandle<T>
+where
+    F: FnOnce() -> T + Send + 'static,
+    T: Send + 'static,
+{
+    Builder::new().spawn(f).expect("spawn model thread")
+}
+
+/// Body of every model OS thread (including the root closure, spawned the
+/// same way by the controller): park until first scheduled, run the
+/// closure, then finish — unblocking joiners and handing off.
+pub(crate) fn run_model_thread<F, T>(
+    exec: &Arc<super::exec::Execution>,
+    tid: usize,
+    f: F,
+    slot: &Arc<StdMutex<Option<T>>>,
+) where
+    F: FnOnce() -> T,
+{
+    CTX.with(|c| *c.borrow_mut() = Some((exec.clone(), tid)));
+    {
+        // Do not run even pure closure code until scheduled for the first
+        // time; all choice consumption must come from the active thread.
+        let g = exec.st.lock().expect("model engine lock");
+        let g = exec.park_until_active(g, tid);
+        drop(g);
+    }
+    let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(f));
+    let mut g = exec.st.lock().expect("model engine lock");
+    match result {
+        Ok(v) => {
+            if !g.aborted {
+                *slot.lock().expect("model thread result slot") = Some(v);
+                g.threads[tid].status = Status::Finished;
+                g.unblock_all(BlockOn::Join(tid));
+                g.note(tid, format_args!("finished"));
+                exec.handoff(&mut g, tid);
+            }
+        }
+        Err(payload) => {
+            if !payload.is::<ModelAbort>() && !g.aborted {
+                let msg = payload
+                    .downcast_ref::<&str>()
+                    .map(|s| (*s).to_string())
+                    .or_else(|| payload.downcast_ref::<String>().cloned())
+                    .unwrap_or_else(|| "non-string panic payload".to_string());
+                g.fail(format!("thread T{tid} panicked: {msg}"));
+            }
+        }
+    }
+    exec.cv.notify_all();
+    drop(g);
+    CTX.with(|c| *c.borrow_mut() = None);
+}

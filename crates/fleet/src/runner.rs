@@ -11,7 +11,8 @@
 //! JSON to an uninterrupted one.
 
 use std::path::PathBuf;
-use std::sync::{Arc, Mutex};
+
+use crate::sync::{Arc, Mutex};
 
 use serde::Serialize;
 
@@ -70,6 +71,33 @@ pub struct SweepOutcome {
     pub executed_jobs: u64,
 }
 
+/// Per-cell outstanding-job counts, derived from the completed set.
+fn cell_remaining(spec: &SweepSpec, state: &SweepState) -> Vec<u64> {
+    let mut remaining = vec![spec.replicas; spec.cells()];
+    for r in state.completed.ranges() {
+        let first = spec.cell_of(r.lo);
+        let last = spec.cell_of(r.hi - 1);
+        for (cell, slot) in remaining.iter_mut().enumerate().take(last + 1).skip(first) {
+            let cell_lo = cell as u64 * spec.replicas;
+            let cell_hi = cell_lo + spec.replicas;
+            let overlap = r.hi.min(cell_hi).saturating_sub(r.lo.max(cell_lo));
+            *slot -= overlap;
+        }
+    }
+    remaining
+}
+
+/// Bump the sequence number and append a snapshot of the current state to
+/// the journal (caller has checked one is configured).
+fn append_snapshot(g: &mut Shared) -> Result<(), String> {
+    g.state.seq += 1;
+    let snap_state = g.state.clone();
+    g.journal
+        .as_mut()
+        .expect("journal checked")
+        .append(&snap_state)
+}
+
 /// State shared between workers through one mutex.
 struct Shared {
     state: SweepState,
@@ -92,8 +120,18 @@ pub fn run_sweep(
 ) -> Result<SweepOutcome, String> {
     spec.validate()?;
     let total = spec.total_jobs();
+    // Consume the options up front (they are plain knobs plus one shared
+    // callback); the closure below captures the pieces it needs.
+    let SweepOptions {
+        checkpoint,
+        ckpt_every,
+        kill_after,
+        stop_after,
+        grain,
+        on_cell,
+    } = opts;
 
-    let (journal, state) = match &opts.checkpoint {
+    let (journal, state) = match &checkpoint {
         Some(path) => {
             let (j, s) = Journal::open(path, spec)?;
             (Some(j), s)
@@ -108,28 +146,10 @@ pub fn run_sweep(
         .map(|r| (r.lo, r.hi))
         .collect();
 
-    // Per-cell outstanding counts, derived from the completed set.
-    let mut cell_remaining = vec![spec.replicas; spec.cells()];
-    for r in state.completed.ranges() {
-        let first = spec.cell_of(r.lo);
-        let last = spec.cell_of(r.hi - 1);
-        for (cell, slot) in cell_remaining
-            .iter_mut()
-            .enumerate()
-            .take(last + 1)
-            .skip(first)
-        {
-            let cell_lo = cell as u64 * spec.replicas;
-            let cell_hi = cell_lo + spec.replicas;
-            let overlap = r.hi.min(cell_hi).saturating_sub(r.lo.max(cell_lo));
-            *slot -= overlap;
-        }
-    }
-
     let shared = Arc::new(Mutex::new(Shared {
+        cell_remaining: cell_remaining(spec, &state),
         state,
         journal,
-        cell_remaining,
         executed: 0,
         stopped: false,
         io_error: None,
@@ -138,10 +158,6 @@ pub fn run_sweep(
     if !remaining.is_empty() {
         let spec_arc = Arc::new(spec.clone());
         let shared_job = shared.clone();
-        let on_cell = opts.on_cell.clone();
-        let ckpt_every = opts.ckpt_every;
-        let kill_after = opts.kill_after;
-        let stop_after = opts.stop_after;
         let job = move |index: u64| {
             // Cheap pre-check so a stopped sweep drains fast.
             if shared_job.lock().expect("sweep state poisoned").stopped {
@@ -172,14 +188,7 @@ pub fn run_sweep(
             let killing = kill_after == Some(n);
             let stopping = stop_after == Some(n);
             if (snapshot_due || killing || stopping) && g.journal.is_some() {
-                g.state.seq += 1;
-                let snap_state = g.state.clone();
-                if let Err(e) = g
-                    .journal
-                    .as_mut()
-                    .expect("journal checked")
-                    .append(&snap_state)
-                {
+                if let Err(e) = append_snapshot(&mut g) {
                     if g.io_error.is_none() {
                         g.io_error = Some(e);
                     }
@@ -194,7 +203,7 @@ pub fn run_sweep(
                 g.stopped = true;
             }
         };
-        fleet.submit(remaining, opts.grain.max(1), job).wait();
+        fleet.submit(remaining, grain.max(1), job).wait();
     }
 
     let mut g = shared.lock().expect("sweep state poisoned");
@@ -204,12 +213,7 @@ pub fn run_sweep(
     let complete = g.state.completed.len() == total;
     // Terminal snapshot so a completed (or stopped) journal resumes exactly.
     if g.journal.is_some() {
-        g.state.seq += 1;
-        let snap_state = g.state.clone();
-        g.journal
-            .as_mut()
-            .expect("journal checked")
-            .append(&snap_state)?;
+        append_snapshot(&mut g)?;
     }
     let cells = (0..spec.cells())
         .map(|c| g.state.cells[c].report(spec, c))

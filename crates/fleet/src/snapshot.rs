@@ -13,8 +13,8 @@
 //! allocation, and no `unsafe` — while writers pay the full mutex cost,
 //! which is the right trade for a value written a handful of times per run.
 
-use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, Mutex};
+use crate::sync::atomic::{AtomicU64, Ordering};
+use crate::sync::{Arc, Mutex};
 
 /// A read-mostly shared value with epoch-validated reader caches.
 ///
@@ -44,6 +44,13 @@ impl<T> EpochSnapshot<T> {
     }
 
     /// Publish a new value, making it visible to every reader's next `get`.
+    ///
+    /// Ordering: the Release increment is ordered after the slot store and
+    /// sits inside the critical section, so a reader whose Acquire load of
+    /// [`Self::epoch`] observes epoch `e` is guaranteed to find the value
+    /// of publish `e` (or newer) when it takes the lock — never an older
+    /// one. The pairing is epoch-store(Release) → epoch-load(Acquire) →
+    /// slot-lock; the mutex orders the slot contents themselves.
     pub fn publish(&self, value: T) {
         let mut g = self.slot.lock().expect("snapshot slot poisoned");
         *g = Arc::new(value);
@@ -53,6 +60,9 @@ impl<T> EpochSnapshot<T> {
     }
 
     /// The current epoch (number of publishes so far).
+    ///
+    /// Ordering: Acquire, pairing with the Release bump in
+    /// [`Self::publish`] — see there for the staleness argument.
     pub fn epoch(&self) -> u64 {
         self.epoch.load(Ordering::Acquire)
     }
@@ -92,7 +102,53 @@ impl<T> SnapshotReader<T> {
     }
 }
 
-#[cfg(test)]
+/// Model-checked writer/reader swap protocol (`--features model-sync`):
+/// a reader must never observe a torn or stale-epoch snapshot — once its
+/// epoch load returns `e`, `get` must yield the value of publish `e` or
+/// newer, under every bounded schedule (including stale Acquire loads the
+/// memory model is allowed to serve).
+#[cfg(all(test, feature = "model-sync"))]
+mod model_tests {
+    use super::*;
+    use crate::model::{check_with, Bounds};
+
+    #[test]
+    fn model_reader_never_sees_stale_epoch_snapshot() {
+        let report = check_with(Bounds::default(), || {
+            // Values mirror the epoch: publish k stores k, so "value >=
+            // epoch observed before the read" is exactly no-staleness.
+            let snap = Arc::new(EpochSnapshot::new(0u64));
+            let reader = {
+                let snap = snap.clone();
+                crate::sync::thread::spawn(move || {
+                    let mut r = SnapshotReader::new(&snap);
+                    let mut last = 0u64;
+                    for _ in 0..2 {
+                        let before = snap.epoch();
+                        let v = **r.get(&snap);
+                        assert!(
+                            v >= before,
+                            "stale snapshot: read value {v} after observing epoch {before}"
+                        );
+                        assert!(v >= last, "reader went backwards: {v} after {last}");
+                        last = v;
+                    }
+                    last
+                })
+            };
+            for k in 1..=2u64 {
+                snap.publish(k);
+            }
+            let last = reader.join().expect("reader");
+            assert!(last <= 2);
+            // A fresh reader after all publishes must see the final value.
+            assert_eq!(**SnapshotReader::new(&snap).get(&snap), 2);
+        });
+        assert!(report.exhaustive, "snapshot protocol explored exhaustively");
+    }
+}
+
+#[cfg(all(test, not(feature = "model-sync")))]
 mod tests {
     use super::*;
     use std::sync::atomic::AtomicBool;

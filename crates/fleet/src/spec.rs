@@ -163,7 +163,12 @@ mod tests {
             // Re-encode the coordinates and check they map back.
             let si = spec.schemes.iter().position(|&x| x == s).expect("scheme");
             let pi = spec.patterns.iter().position(|&x| x == p).expect("pattern");
-            let ri = spec.rates.iter().position(|&x| x == r).expect("rate");
+            // Bit-exact match: `r` came out of this same vec.
+            let ri = spec
+                .rates
+                .iter()
+                .position(|&x| x.to_bits() == r.to_bits())
+                .expect("rate");
             let re = (si * spec.patterns.len() + pi) * spec.rates.len() + ri;
             assert_eq!(re, cell);
             assert!(!*cell_seen);

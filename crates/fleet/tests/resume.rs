@@ -25,7 +25,7 @@ fn report_json(spec: &SweepSpec, opts: SweepOptions, fleet: &Fleet) -> String {
 #[test]
 fn interrupted_resume_is_byte_identical_to_uninterrupted() {
     let spec = SweepSpec::demo();
-    let fleet = Fleet::new(4);
+    let fleet = Fleet::with_suite_threads(4);
 
     // Reference: one uninterrupted, checkpoint-free run.
     let reference = report_json(&spec, SweepOptions::default(), &fleet);
@@ -77,7 +77,7 @@ fn interrupted_resume_is_byte_identical_to_uninterrupted() {
 #[test]
 fn double_interruption_still_converges_exactly() {
     let spec = SweepSpec::demo();
-    let fleet = Fleet::new(3);
+    let fleet = Fleet::with_suite_threads(3);
     let reference = report_json(&spec, SweepOptions::default(), &fleet);
 
     let ckpt = tmp("double-stop.ckpt");
@@ -110,7 +110,7 @@ fn double_interruption_still_converges_exactly() {
 #[test]
 fn resuming_a_complete_journal_recomputes_nothing() {
     let spec = SweepSpec::demo();
-    let fleet = Fleet::new(4);
+    let fleet = Fleet::with_suite_threads(4);
     let ckpt = tmp("complete.ckpt");
     let first = run_sweep(
         &fleet,
@@ -147,7 +147,7 @@ fn resuming_a_complete_journal_recomputes_nothing() {
 #[test]
 fn streaming_callback_fires_once_per_cell() {
     let spec = SweepSpec::demo();
-    let fleet = Fleet::new(4);
+    let fleet = Fleet::with_suite_threads(4);
     let fired = Arc::new(AtomicUsize::new(0));
     let f = fired.clone();
     let outcome = run_sweep(

@@ -1,0 +1,89 @@
+//! Stress companion to the model-checked `EpochSnapshot` protocol test:
+//! the model check proves the protocol under small exhaustive bounds
+//! (2 publishes, 2 reads); this test hammers the same invariants at real
+//! scale — many readers racing one writer on OS threads — so regressions
+//! that only show up under genuine parallelism (or beyond the model's
+//! bounds) still have a tripwire.
+//!
+//! Invariants checked per read, with values mirroring the epoch (publish
+//! `k` stores `k`):
+//!
+//! * **no staleness**: a read that starts after observing epoch `e`
+//!   returns the value of publish `e` or newer;
+//! * **per-reader monotonicity**: a cached reader never sees the value go
+//!   backwards.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Barrier};
+
+use pnoc_fleet::snapshot::{EpochSnapshot, SnapshotReader};
+
+#[test]
+fn readers_racing_writer_never_observe_stale_epochs() {
+    const PUBLISHES: u64 = 20_000;
+    // Reader count follows the suite-wide PNOC_THREADS knob (CI runs the
+    // suite degenerate and oversubscribed); default to the hardware width.
+    let readers = pnoc_fleet::suite_threads(
+        std::thread::available_parallelism().map_or(4, std::num::NonZeroUsize::get),
+    )
+    .clamp(1, 32);
+
+    let snap = Arc::new(EpochSnapshot::new(0u64));
+    let stop = Arc::new(AtomicBool::new(false));
+    // Publishing only starts once every reader is in its loop, so each
+    // reader races the writer for real instead of observing a finished run.
+    let start = Arc::new(Barrier::new(readers + 1));
+    // Per-reader progress, so the writer side can keep the race open until
+    // every reader has validated a meaningful number of reads.
+    const MIN_READS: u64 = 1_000;
+    let progress: Vec<Arc<AtomicU64>> = (0..readers).map(|_| Arc::new(AtomicU64::new(0))).collect();
+    std::thread::scope(|scope| {
+        let mut handles = Vec::new();
+        for counter in &progress {
+            let snap = Arc::clone(&snap);
+            let stop = Arc::clone(&stop);
+            let start = Arc::clone(&start);
+            let counter = Arc::clone(counter);
+            handles.push(scope.spawn(move || {
+                let mut r = SnapshotReader::new(&snap);
+                let mut last = 0u64;
+                let mut reads = 0u64;
+                start.wait();
+                while !stop.load(Ordering::Relaxed) {
+                    // Observe the epoch first, then read: the value must be
+                    // at least as new as the observed epoch.
+                    let before = snap.epoch();
+                    let v = **r.get(&snap);
+                    assert!(
+                        v >= before,
+                        "stale snapshot: value {v} after observing epoch {before}"
+                    );
+                    assert!(v >= last, "reader went backwards: {v} after {last}");
+                    last = v;
+                    reads += 1;
+                    counter.store(reads, Ordering::Relaxed);
+                }
+                reads
+            }));
+        }
+        start.wait();
+        for k in 1..=PUBLISHES {
+            snap.publish(k);
+        }
+        // Keep readers spinning (validating against the final value) until
+        // each has crossed the floor, then release them.
+        while progress
+            .iter()
+            .any(|c| c.load(Ordering::Relaxed) < MIN_READS)
+        {
+            std::thread::yield_now();
+        }
+        stop.store(true, Ordering::Relaxed);
+        for h in handles {
+            let reads = h.join().expect("reader thread");
+            assert!(reads >= MIN_READS, "reader under-validated: {reads} reads");
+        }
+    });
+    assert_eq!(snap.epoch(), PUBLISHES);
+    assert_eq!(**SnapshotReader::new(&snap).get(&snap), PUBLISHES);
+}

@@ -207,7 +207,15 @@ fn tag_test_regions(source: &str, code: &str) -> Vec<ScrubbedLine> {
     for (idx, (orig, scrubbed)) in source.lines().zip(code.lines()).enumerate() {
         let t = scrubbed.trim();
         if test_depth.is_none() {
-            if t.contains("#[cfg(test)]") {
+            // `#[cfg(test)]` plus compound gates whose first conjunct is
+            // `test` (`#[cfg(all(test, feature = "..."))]`). Matching on the
+            // *scrubbed* line means a `feature = "test-utils"` string can't
+            // fake it; `#[cfg(not(test))]` deliberately does not arm.
+            let compact: String = t.chars().filter(|c| !c.is_whitespace()).collect();
+            if compact.contains("#[cfg(test)]")
+                || compact.contains("cfg(all(test,")
+                || compact.contains("cfg(any(test,")
+            {
                 armed = true;
             } else if armed {
                 if t.starts_with("mod ") || t.starts_with("pub mod ") {
@@ -283,6 +291,22 @@ mod tests {
         assert!(lines[3].in_test);
         assert!(lines[4].in_test, "closing brace belongs to the region");
         assert!(!lines[5].in_test);
+    }
+
+    #[test]
+    fn compound_cfg_test_gates_are_tagged() {
+        let src = "#[cfg(all(test, feature = \"model-sync\"))]\nmod model_tests {\n    fn t() { y.unwrap(); }\n}\nfn live() {}\n";
+        let lines = scrub(src);
+        assert!(lines[1].in_test);
+        assert!(lines[2].in_test);
+        assert!(!lines[4].in_test);
+    }
+
+    #[test]
+    fn cfg_not_test_does_not_arm_a_region() {
+        let src = "#[cfg(not(test))]\nmod live {\n    fn f() { x.unwrap(); }\n}\n";
+        let lines = scrub(src);
+        assert!(!lines[2].in_test);
     }
 
     #[test]

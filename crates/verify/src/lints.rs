@@ -11,6 +11,16 @@
 //! bit-reproducible runs for a given seed (no unordered iteration, no wall
 //! clock, no ambient randomness), honest counters (no silent narrowing
 //! casts on cycle/flit arithmetic), and a panic-free per-cycle hot path.
+//! Three concurrency rules guard the fleet layer's model-checkability
+//! (DESIGN.md §14): all synchronization must flow through the
+//! `crate::sync` facade (`no-raw-std-sync-in-fleet`), `Ordering::Relaxed`
+//! is reserved for allowlisted pure-diagnostic counters
+//! (`no-relaxed-ordering`), and every `unsafe` block workspace-wide must
+//! carry an adjacent `// SAFETY:` comment ([`UNSAFE_RULE_ID`]).
+//!
+//! Test code is exempt throughout: `#[cfg(test)]`-gated modules (including
+//! compound gates like `#[cfg(all(test, ...))]`) via line tags, and
+//! integration-test files under a `tests/` directory via their path.
 
 use crate::lexer::scrub;
 use std::fmt::Write as _;
@@ -26,6 +36,9 @@ pub struct Rule {
     pub needles: &'static [&'static str],
     /// Repo-relative path prefixes the rule applies to.
     pub scope: &'static [&'static str],
+    /// Path prefixes carved out of `scope` (e.g. the one module that is
+    /// allowed to hold the pattern everything else must route through).
+    pub exempt: &'static [&'static str],
     /// Why a hit is a problem.
     pub rationale: &'static str,
 }
@@ -61,6 +74,7 @@ pub const RULES: &[Rule] = &[
         id: "no-unordered-collections",
         needles: &["HashMap", "HashSet"],
         scope: SIM_STATE_AND_OBS,
+        exempt: &[],
         rationale: "iteration order of std hash collections varies across \
                     runs/platforms; simulation state must use BTreeMap/BTreeSet \
                     or Vec so identical seeds give identical runs",
@@ -73,6 +87,7 @@ pub const RULES: &[Rule] = &[
         id: "no-wall-clock",
         needles: &["Instant::now", "SystemTime"],
         scope: SIM_STATE,
+        exempt: &[],
         rationale: "model code must be a pure function of (config, seed); \
                     wall-clock reads make runs unreproducible",
     },
@@ -86,6 +101,7 @@ pub const RULES: &[Rule] = &[
             "getrandom",
         ],
         scope: &["crates", "src", "examples"],
+        exempt: &[],
         rationale: "all randomness must flow through pnoc-sim's seeded \
                     SimRng streams; ambient entropy sources break replay",
     },
@@ -95,6 +111,7 @@ pub const RULES: &[Rule] = &[
             " as u8", " as u16", " as u32", " as i8", " as i16", " as i32",
         ],
         scope: &["crates/noc/src", "crates/sim/src", "crates/faults/src"],
+        exempt: &[],
         rationale: "cycle and flit counters are u64/usize; a narrowing `as` \
                     cast silently wraps on long runs — use try_from or \
                     allowlist the cast with a justification",
@@ -103,11 +120,74 @@ pub const RULES: &[Rule] = &[
         id: "no-hot-path-unwrap",
         needles: &[".unwrap(", ".expect("],
         scope: &["crates/noc/src"],
+        exempt: &[],
         rationale: "per-cycle channel/network code must not contain latent \
                     panics; restructure with let-else/take patterns, or \
                     allowlist construction-time validation",
     },
+    Rule {
+        id: "no-raw-std-sync-in-fleet",
+        needles: &["std::sync", "std::thread"],
+        scope: &["crates/fleet/src"],
+        // The facade itself and the model checker behind it are the two
+        // places that must name the std primitives.
+        exempt: &["crates/fleet/src/sync.rs", "crates/fleet/src/model"],
+        rationale: "fleet code must reach synchronization through the \
+                    crate::sync facade so `--features model-sync` runs the \
+                    shipping executor/snapshot code under the model checker; \
+                    a raw std::sync/std::thread import bypasses it",
+    },
+    Rule {
+        id: "no-relaxed-ordering",
+        needles: &["Ordering::Relaxed"],
+        scope: &["crates", "src", "examples"],
+        exempt: &[],
+        rationale: "Relaxed is reserved for pure-diagnostic counters that \
+                    no control flow depends on; anything that guards a \
+                    protocol needs Acquire/Release or SeqCst — every \
+                    exemption carries its justification in the allowlist",
+    },
 ];
+
+/// Rule id of the `unsafe`-needs-`// SAFETY:` check. Not needle-driven (it
+/// must inspect the *comments* the scrubber blanks), so it lives beside
+/// [`RULES`] rather than in it, but shares the allowlist machinery.
+pub const UNSAFE_RULE_ID: &str = "unsafe-needs-safety-comment";
+
+const UNSAFE_RULE_RATIONALE: &str =
+    "every unsafe block must state its soundness argument in a `// SAFETY:` \
+     comment on the same or an immediately preceding comment line";
+
+/// Scope of [`UNSAFE_RULE_ID`]: the whole workspace.
+const UNSAFE_RULE_SCOPE: &[&str] = &["crates", "src", "examples"];
+
+/// Does the scrubbed code line use the `unsafe` keyword? Token-exact, so
+/// `#![forbid(unsafe_code)]` and identifiers containing "unsafe" don't hit.
+fn has_unsafe_token(code: &str) -> bool {
+    code.split(|c: char| !(c.is_alphanumeric() || c == '_'))
+        .any(|tok| tok == "unsafe")
+}
+
+/// Is the `unsafe` at `idx` covered by a `SAFETY:` comment — on the same
+/// line, or on the contiguous run of `//` comment lines directly above?
+fn has_safety_comment(lines: &[crate::lexer::ScrubbedLine], idx: usize) -> bool {
+    if lines[idx].original.contains("SAFETY:") {
+        return true;
+    }
+    let mut j = idx;
+    while j > 0 {
+        j -= 1;
+        let t = lines[j].original.trim_start();
+        if t.starts_with("//") {
+            if t.contains("SAFETY:") {
+                return true;
+            }
+        } else {
+            break;
+        }
+    }
+    false
+}
 
 /// One lint hit.
 #[derive(Debug, Clone)]
@@ -230,18 +310,49 @@ pub fn run_lints(root: &Path) -> LintReport {
             .unwrap_or(&file)
             .to_string_lossy()
             .replace('\\', "/");
+        // Integration-test files are test code, same as `#[cfg(test)] mod`
+        // regions (the line-level tag cannot see them, so exempt by path).
+        if rel.contains("/tests/") {
+            continue;
+        }
+        let applies = |scope: &[&str], exempt: &[&str]| {
+            scope.iter().any(|s| rel.starts_with(s)) && !exempt.iter().any(|e| rel.starts_with(e))
+        };
         let in_scope: Vec<&Rule> = RULES
             .iter()
-            .filter(|r| r.scope.iter().any(|s| rel.starts_with(s)))
+            .filter(|r| applies(r.scope, r.exempt))
             .collect();
-        if in_scope.is_empty() {
+        let check_unsafe = applies(UNSAFE_RULE_SCOPE, &[]);
+        if in_scope.is_empty() && !check_unsafe {
             continue;
         }
         let Ok(source) = fs::read_to_string(&file) else {
             continue;
         };
         report.files_scanned += 1;
-        for line in scrub(&source) {
+        let lines = scrub(&source);
+        let mut record = |rule: &'static str,
+                          rationale: &'static str,
+                          number: usize,
+                          content: String,
+                          report: &mut LintReport| {
+            let hit = allowlist
+                .iter()
+                .position(|(r, p, c)| r == rule && *p == rel && *c == content);
+            if let Some(idx) = hit {
+                used[idx] = true;
+                report.allowlisted += 1;
+            } else {
+                report.violations.push(Violation {
+                    rule,
+                    path: rel.clone(),
+                    line: number,
+                    content,
+                    rationale,
+                });
+            }
+        };
+        for (i, line) in lines.iter().enumerate() {
             if line.in_test {
                 continue;
             }
@@ -250,21 +361,17 @@ pub fn run_lints(root: &Path) -> LintReport {
                     continue;
                 }
                 let content = line.original.trim().to_string();
-                let hit = allowlist
-                    .iter()
-                    .position(|(r, p, c)| r == rule.id && *p == rel && *c == content);
-                if let Some(idx) = hit {
-                    used[idx] = true;
-                    report.allowlisted += 1;
-                } else {
-                    report.violations.push(Violation {
-                        rule: rule.id,
-                        path: rel.clone(),
-                        line: line.number,
-                        content,
-                        rationale: rule.rationale,
-                    });
-                }
+                record(rule.id, rule.rationale, line.number, content, &mut report);
+            }
+            if check_unsafe && has_unsafe_token(&line.code) && !has_safety_comment(&lines, i) {
+                let content = line.original.trim().to_string();
+                record(
+                    UNSAFE_RULE_ID,
+                    UNSAFE_RULE_RATIONALE,
+                    line.number,
+                    content,
+                    &mut report,
+                );
             }
         }
     }
@@ -307,5 +414,75 @@ mod tests {
         let report = run_lints(&root);
         assert!(report.files_scanned > 50, "walker found the workspace");
         assert!(report.ok(), "\n{}", report.render());
+    }
+
+    #[test]
+    fn unsafe_token_is_word_exact() {
+        assert!(has_unsafe_token("unsafe {"));
+        assert!(has_unsafe_token("pub unsafe fn f()"));
+        assert!(!has_unsafe_token("#![forbid(unsafe_code)]"));
+        assert!(!has_unsafe_token("let unsafety = 1;"));
+    }
+
+    #[test]
+    fn safety_comment_covers_same_line_and_comment_run_above() {
+        let src = "// SAFETY: fine\nunsafe { a() }\n\nunsafe { b() } // SAFETY: also fine\n// unrelated\n// comment\nunsafe { c() }\n";
+        let lines = scrub(src);
+        assert!(has_safety_comment(&lines, 1), "comment line above");
+        assert!(has_safety_comment(&lines, 3), "same line");
+        assert!(!has_safety_comment(&lines, 6), "no SAFETY in the run above");
+    }
+
+    /// The concurrency rules must actually fire — build a throwaway mini
+    /// workspace and lint it (the self-lint above only proves the absence
+    /// of hits, which a vacuous rule would also pass).
+    #[test]
+    fn concurrency_rules_fire_on_violations() {
+        let root = std::env::temp_dir().join(format!("pnoc-lint-selftest-{}", std::process::id()));
+        let fleet = root.join("crates/fleet/src");
+        fs::create_dir_all(&fleet).expect("mk test tree");
+        fs::write(
+            fleet.join("bad.rs"),
+            "use std::sync::Mutex;\nfn f(x: &std::sync::atomic::AtomicU64) { x.load(Ordering::Relaxed); }\nfn g() { unsafe { h() } }\n",
+        )
+        .expect("write bad.rs");
+        // The facade file may name std::sync freely.
+        fs::write(fleet.join("sync.rs"), "pub use std::sync::Mutex;\n").expect("write sync.rs");
+        // SAFETY-commented unsafe is clean.
+        fs::write(
+            fleet.join("ok.rs"),
+            "fn g() {\n    // SAFETY: test fixture\n    unsafe { h() }\n}\n",
+        )
+        .expect("write ok.rs");
+        let report = run_lints(&root);
+        fs::remove_dir_all(&root).expect("rm test tree");
+
+        let fired: Vec<(&str, &str)> = report
+            .violations
+            .iter()
+            .map(|v| (v.rule, v.path.as_str()))
+            .collect();
+        assert!(
+            fired.contains(&("no-raw-std-sync-in-fleet", "crates/fleet/src/bad.rs")),
+            "{fired:?}"
+        );
+        assert!(
+            fired.contains(&("no-relaxed-ordering", "crates/fleet/src/bad.rs")),
+            "{fired:?}"
+        );
+        assert!(
+            fired.contains(&(UNSAFE_RULE_ID, "crates/fleet/src/bad.rs")),
+            "{fired:?}"
+        );
+        assert!(
+            !fired.iter().any(|(_, p)| p.ends_with("sync.rs")),
+            "facade must be exempt: {fired:?}"
+        );
+        assert!(
+            !fired
+                .iter()
+                .any(|(r, p)| *r == UNSAFE_RULE_ID && p.ends_with("ok.rs")),
+            "SAFETY-commented unsafe must pass: {fired:?}"
+        );
     }
 }
