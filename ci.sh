@@ -5,6 +5,21 @@
 set -e
 cd "$(dirname "$0")"
 
+# --deep: append the pre-merge deep-fuzz job (10k differential cases unless
+# PNOC_FUZZ_CASES says otherwise) after the standard gate. The default quick
+# gate is unchanged; see EXPERIMENTS.md "Pre-merge deep fuzz" for when a PR
+# must run this.
+DEEP=0
+for arg in "$@"; do
+  case "$arg" in
+    --deep) DEEP=1 ;;
+    *)
+      echo "ci.sh: unknown argument '$arg' (supported: --deep)" >&2
+      exit 2
+      ;;
+  esac
+done
+
 echo "== cargo fmt --check =="
 cargo fmt --all -- --check
 
@@ -158,5 +173,15 @@ echo "== perf baseline (quick sweep vs BENCH_perf.json) =="
 # "zero cost when disabled" means operationally.
 cargo run --release -q -p pnoc-bench --offline --bin perf -- \
   --quick --json BENCH_perf.ci.json --check BENCH_perf.json
+
+if [ "$DEEP" -eq 1 ]; then
+  echo "== pnoc-oracle deep fuzz (${PNOC_FUZZ_CASES:-10000} cases) =="
+  # Pre-merge depth for PRs that touch the simulator hot path: the same
+  # differential harness as the smoke gate above, at 50x the case count.
+  # PNOC_FUZZ_CASES overrides the depth (the harness reads it only under
+  # --quick, so pass an explicit --cases here).
+  cargo run --release -q -p pnoc-oracle --offline --bin fuzz -- \
+    --cases "${PNOC_FUZZ_CASES:-10000}"
+fi
 
 echo CI_OK

@@ -25,13 +25,31 @@ use serde::{Deserialize, Serialize};
 use std::time::Instant;
 
 /// Report schema identifier (bump on layout changes).
-pub const SCHEMA: &str = "pnoc-perf/1";
+pub const SCHEMA: &str = "pnoc-perf/2";
 
-/// Relative aggregate-throughput loss that fails the CI gate.
+/// Relative throughput loss that fails the CI gate — applied to the
+/// aggregate *and* to every individual scheme, so a regression localized
+/// to one scheme's hot path cannot hide behind gains elsewhere.
 pub const REGRESSION_TOLERANCE: f64 = 0.10;
 
 /// Offered loads (packets/cycle/core) swept per scheme.
 pub const RATES: [f64; 3] = [0.02, 0.05, 0.08];
+
+/// Wall-clock attribution for one channel phase (`phase_arrival`,
+/// `phase_acks`, …), captured by the `pnoc_obs::prof` span profiler.
+///
+/// Populated only when the `obs-trace` feature is compiled in; the span
+/// hooks are deleted from default builds, so the CI gate's timed numbers
+/// never carry profiling overhead and its reports have empty phase lists.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct PhaseStat {
+    /// Span name as declared at the instrumentation site.
+    pub name: String,
+    /// Times the span was entered across the profiling sweep.
+    pub calls: u64,
+    /// Total nanoseconds inside the span (saturating).
+    pub nanos: u64,
+}
 
 /// One scheme's measured simulator throughput.
 #[derive(Debug, Clone, Serialize, Deserialize)]
@@ -48,6 +66,9 @@ pub struct SchemePerf {
     pub cycles_per_sec: f64,
     /// Wall-clock nanoseconds per delivered packet.
     pub ns_per_packet: f64,
+    /// Per-phase wall-clock attribution from a separate *untimed* profiling
+    /// pass (see [`PhaseStat`]); empty unless built with `obs-trace`.
+    pub phases: Vec<PhaseStat>,
 }
 
 /// The full perf report written to `BENCH_perf.json`.
@@ -120,6 +141,24 @@ pub fn measure(quick: bool) -> PerfReport {
             cycles = c;
             delivered = d;
         }
+        // Phase attribution runs as its own pass *after* the timed ones, on
+        // the same worker thread (the span table is thread-local), so the
+        // profiler's bookkeeping never leaks into the gated numbers.
+        #[cfg(feature = "obs-trace")]
+        let phases = {
+            pnoc_obs::prof::reset();
+            let _ = sweep_once(scheme, quick);
+            pnoc_obs::prof::snapshot()
+                .into_iter()
+                .map(|s| PhaseStat {
+                    name: s.name,
+                    calls: s.calls,
+                    nanos: s.nanos,
+                })
+                .collect()
+        };
+        #[cfg(not(feature = "obs-trace"))]
+        let phases = Vec::new();
         let secs = best_ns as f64 / 1e9;
         SchemePerf {
             scheme: scheme.label(),
@@ -128,6 +167,7 @@ pub fn measure(quick: bool) -> PerfReport {
             wall_ns: best_ns,
             cycles_per_sec: cycles as f64 / secs,
             ns_per_packet: best_ns as f64 / delivered.max(1) as f64,
+            phases,
         }
     });
     let total_cycles: u64 = schemes.iter().map(|s| s.simulated_cycles).sum();
@@ -170,12 +210,19 @@ pub fn validate(report: &PerfReport) -> Result<(), String> {
         if s.simulated_cycles == 0 || s.delivered_packets == 0 {
             return Err(format!("{}: empty sweep", s.scheme));
         }
+        for p in &s.phases {
+            if p.name.is_empty() || p.calls == 0 {
+                return Err(format!("{}: malformed phase entry", s.scheme));
+            }
+        }
     }
     Ok(())
 }
 
-/// Compare a fresh run against the checked-in baseline. `Err` describes a
-/// regression beyond [`REGRESSION_TOLERANCE`] on aggregate throughput.
+/// Compare a fresh run against the checked-in baseline. `Err` describes
+/// the first regression beyond [`REGRESSION_TOLERANCE`] — on aggregate
+/// throughput, or on any single scheme (matched by label, so a baseline
+/// scheme missing from the current run is itself a failure).
 pub fn check_regression(baseline: &PerfReport, current: &PerfReport) -> Result<String, String> {
     let ratio = current.total_cycles_per_sec / baseline.total_cycles_per_sec;
     let verdict = format!(
@@ -186,10 +233,24 @@ pub fn check_regression(baseline: &PerfReport, current: &PerfReport) -> Result<S
         (ratio - 1.0) * 100.0
     );
     if ratio < 1.0 - REGRESSION_TOLERANCE {
-        Err(format!("throughput regression: {verdict}"))
-    } else {
-        Ok(verdict)
+        return Err(format!("throughput regression: {verdict}"));
     }
+    for base in &baseline.schemes {
+        let Some(cur) = current.schemes.iter().find(|s| s.scheme == base.scheme) else {
+            return Err(format!("scheme {} missing from current run", base.scheme));
+        };
+        let r = cur.cycles_per_sec / base.cycles_per_sec;
+        if r < 1.0 - REGRESSION_TOLERANCE {
+            return Err(format!(
+                "throughput regression in {}: {:.2e} cycles/s vs baseline {:.2e} ({:.1}%)",
+                base.scheme,
+                cur.cycles_per_sec,
+                base.cycles_per_sec,
+                (r - 1.0) * 100.0
+            ));
+        }
+    }
+    Ok(verdict)
 }
 
 #[cfg(test)]
@@ -210,6 +271,7 @@ mod tests {
                 wall_ns: 1000,
                 cycles_per_sec: total,
                 ns_per_packet: 100.0,
+                phases: Vec::new(),
             }],
         }
     }
@@ -234,6 +296,34 @@ mod tests {
         assert!(check_regression(&base, &dummy(1.05e6)).is_ok(), "faster");
         assert!(check_regression(&base, &dummy(0.95e6)).is_ok(), "within");
         assert!(check_regression(&base, &dummy(0.85e6)).is_err(), "beyond");
+    }
+
+    #[test]
+    fn regression_gate_catches_single_scheme_drop() {
+        let base = dummy(1e6);
+        // Aggregate holds steady, but the one scheme craters: the
+        // per-scheme clause must fire.
+        let mut cur = dummy(1e6);
+        cur.schemes[0].cycles_per_sec = 0.85e6;
+        let err = check_regression(&base, &cur).unwrap_err();
+        assert!(err.contains("regression in DHS"), "{err}");
+        // A scheme disappearing from the report is also a failure.
+        let mut cur = dummy(1e6);
+        cur.schemes[0].scheme = "renamed".into();
+        assert!(check_regression(&base, &cur)
+            .unwrap_err()
+            .contains("missing"));
+    }
+
+    #[test]
+    fn validate_rejects_malformed_phase_entries() {
+        let mut r = dummy(1e6);
+        r.schemes[0].phases.push(PhaseStat {
+            name: "phase_arrival".into(),
+            calls: 0,
+            nanos: 12,
+        });
+        assert!(validate(&r).is_err());
     }
 
     #[test]

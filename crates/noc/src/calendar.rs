@@ -8,12 +8,23 @@
 use pnoc_sim::Cycle;
 
 /// Events scheduled at absolute cycles within a bounded horizon.
+///
+/// The bucket for an absolute cycle is located cursor-relative: `cursor`
+/// tracks the bucket holding `drained_up_to`, so the per-cycle hot path
+/// (`schedule` and `drain`) finds its bucket with an add and one
+/// conditional wrap — no integer division or modulo.
 #[derive(Debug, Clone)]
 pub struct Calendar<T> {
     buckets: Vec<Vec<T>>,
     /// The earliest cycle that may still hold events; buckets before it are
     /// drained. Used to catch horizon violations.
     drained_up_to: Cycle,
+    /// Bucket index of `drained_up_to`; always `< buckets.len()`.
+    cursor: usize,
+    /// Total events across all buckets — O(1) emptiness for per-cycle
+    /// callers, which skip the drain entirely on quiet cycles (see
+    /// [`Calendar::fast_forward`]).
+    len: usize,
 }
 
 impl<T> Calendar<T> {
@@ -23,12 +34,35 @@ impl<T> Calendar<T> {
         Self {
             buckets: (0..horizon).map(|_| Vec::new()).collect(),
             drained_up_to: 0,
+            cursor: 0,
+            len: 0,
         }
     }
 
     /// Maximum look-ahead in cycles.
     pub fn horizon(&self) -> usize {
         self.buckets.len()
+    }
+
+    /// Bucket index for an absolute cycle `at >= drained_up_to` within the
+    /// horizon: `cursor` steps forward by the cycle delta, wrapped once
+    /// (the delta is `< horizon`, so a single conditional subtract lands
+    /// back in range).
+    #[inline]
+    fn bucket_of(&self, at: Cycle) -> usize {
+        let h = self.buckets.len();
+        let mut delta = (at - self.drained_up_to) as usize;
+        if delta >= h {
+            // Cold: only a drain that skips a full horizon ahead (schedule
+            // asserts the delta is within the horizon).
+            delta %= h;
+        }
+        let idx = self.cursor + delta;
+        if idx >= h {
+            idx - h
+        } else {
+            idx
+        }
     }
 
     /// Schedule `event` at absolute cycle `at`. `at` must be within
@@ -46,8 +80,9 @@ impl<T> Calendar<T> {
             at,
             self.buckets.len()
         );
-        let idx = (at % self.buckets.len() as Cycle) as usize;
+        let idx = self.bucket_of(at);
         self.buckets[idx].push(event);
+        self.len += 1;
     }
 
     /// Drain every event scheduled for cycle `now`. Must be called with
@@ -61,14 +96,50 @@ impl<T> Calendar<T> {
             "draining cycle {now} twice (already at {})",
             self.drained_up_to
         );
+        let idx = if now >= self.drained_up_to {
+            self.bucket_of(now)
+        } else {
+            // Contract violation (debug builds assert above); stay in
+            // bounds rather than underflow.
+            self.cursor
+        };
         self.drained_up_to = now + 1;
-        let idx = (now % self.buckets.len() as Cycle) as usize;
+        self.cursor = if idx + 1 >= self.buckets.len() {
+            0
+        } else {
+            idx + 1
+        };
+        self.len -= self.buckets[idx].len();
         self.buckets[idx].drain(..)
+    }
+
+    /// O(1) stand-in for [`Calendar::drain`] on a calendar known to be
+    /// empty: advances the drain frontier to `now + 1` without touching any
+    /// bucket. Per-cycle callers pair it with [`Calendar::is_empty`] so
+    /// quiet cycles cost two loads instead of a bucket lookup — and the
+    /// frontier stays current, which keeps [`Calendar::schedule`]'s horizon
+    /// check meaningful.
+    pub fn fast_forward(&mut self, now: Cycle) {
+        debug_assert!(self.len == 0, "fast_forward on a non-empty calendar");
+        debug_assert!(
+            now >= self.drained_up_to,
+            "fast-forwarding cycle {now} twice (already at {})",
+            self.drained_up_to
+        );
+        // With every bucket empty the cursor↔cycle pairing is
+        // unconstrained; re-anchor at bucket 0 deterministically.
+        self.drained_up_to = now + 1;
+        self.cursor = 0;
     }
 
     /// Total scheduled events not yet drained.
     pub fn pending(&self) -> usize {
-        self.buckets.iter().map(Vec::len).sum()
+        self.len
+    }
+
+    /// Whether no events are scheduled (O(1)).
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
     }
 
     /// Iterate pending events as `(cycle, event)` in cycle order (events
@@ -84,11 +155,16 @@ impl<T> Calendar<T> {
     /// events as `(cycle, event)` in cycle order without materialising a
     /// vector (used by the per-cycle audit snapshot path).
     pub fn pending_iter(&self) -> impl Iterator<Item = (Cycle, &T)> {
-        let h = self.buckets.len() as Cycle;
-        (self.drained_up_to..self.drained_up_to + h).flat_map(move |at| {
-            self.buckets[(at % h) as usize]
+        let h = self.buckets.len();
+        (0..h).flat_map(move |off| {
+            let idx = if self.cursor + off >= h {
+                self.cursor + off - h
+            } else {
+                self.cursor + off
+            };
+            self.buckets[idx]
                 .iter()
-                .map(move |ev| (at, ev))
+                .map(move |ev| (self.drained_up_to + off as Cycle, ev))
         })
     }
 }
@@ -143,6 +219,31 @@ mod tests {
         let mut c: Calendar<u32> = Calendar::new(4);
         c.schedule(0, 5);
         assert_eq!(c.drain(0).collect::<Vec<_>>(), vec![5]);
+    }
+
+    #[test]
+    fn fast_forward_matches_a_run_of_empty_drains() {
+        let mut a: Calendar<u32> = Calendar::new(8);
+        let mut b: Calendar<u32> = Calendar::new(8);
+        for t in 0..20 {
+            assert_eq!(a.drain(t).next(), None);
+        }
+        assert!(b.is_empty());
+        b.fast_forward(19);
+        // Same frontier: both accept exactly [20, 28) and reject 19.
+        a.schedule(27, 1);
+        b.schedule(27, 1);
+        assert_eq!(a.drain(27).collect::<Vec<_>>(), vec![1]);
+        assert_eq!(b.drain(27).collect::<Vec<_>>(), vec![1]);
+        assert!(a.is_empty() && b.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "beyond calendar horizon")]
+    fn fast_forward_keeps_horizon_check_live() {
+        let mut c: Calendar<u32> = Calendar::new(4);
+        c.fast_forward(10);
+        c.schedule(15, 1);
     }
 
     #[test]

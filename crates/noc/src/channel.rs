@@ -4,11 +4,14 @@
 //! (home) node — the wave-pipelined data [`SlotRing`], the per-sender
 //! [`OutQueue`]s, the home input buffer and its ejection pipeline — and
 //! orchestrates the per-cycle phases over it. Everything scheme-specific
-//! lives in the [`crate::schemes`] pipeline, resolved once at construction
-//! into an ([`ArbiterKind`], [`FlowKind`]) pairing: arbitration (token
-//! state machines) in [`crate::schemes::arbiter`], flow control (credit
-//! ledgers, the ACK/NACK handshake, retransmit timers) in
-//! [`crate::schemes::flow`]. The [`crate::network::Network`] orchestrator
+//! lives in the [`crate::schemes`] pipeline: arbitration (token state
+//! machines) in [`crate::schemes::arbiter`], flow control (credit ledgers,
+//! the ACK/NACK handshake, retransmit timers) in [`crate::schemes::flow`].
+//! The channel is generic over that pairing — `Channel<A: Arbiter, F:
+//! Flow>` — so [`crate::network::Network`] compiles one fully inlined step
+//! loop per scheme family, while the type defaults (`ArbiterKind`,
+//! `FlowKind`) keep a runtime-dispatched `Channel` available for the model
+//! checker and unit rigs. The [`crate::network::Network`] orchestrator
 //! calls the `phase_*` methods in a fixed order each cycle:
 //!
 //! 1. `phase_advance`  — light moves one segment,
@@ -23,16 +26,17 @@
 //! A token granted in cycle *t* is used to transmit in *t + 1* (paper Figs.
 //! 3 and 5: the token arrives one cycle before the data flit follows it).
 //!
-//! The per-cycle path is allocation-free: ring positions come from lookup
-//! tables precomputed at construction, the active-sender list is compacted
-//! in place, and every scratch structure is a persistent field.
+//! The per-cycle path is allocation-free and branch-light: ring positions
+//! come from lookup tables precomputed at construction, and per-sender
+//! predicates live in packed [`Planes`] bitmasks, so the transmit and token
+//! phases scan words with `trailing_zeros` instead of probing every node.
 
 use crate::calendar::Calendar;
 use crate::config::{FairnessPolicy, NetworkConfig, Scheme};
 use crate::metrics::NetworkMetrics;
 use crate::outqueue::{OutQueue, SendMode};
-use crate::packet::Packet;
-use crate::schemes::{ArbiterKind, ArrivalCx, FlowKind, SendableSet, TokenCx};
+use crate::packet::{FlitRef, Packet, PacketArena, PacketRef};
+use crate::schemes::{Arbiter, ArbiterKind, ArrivalCx, Flow, FlowKind, Planes, TokenCx};
 use crate::slots::SlotRing;
 use crate::topology::Topology;
 use pnoc_faults::{ChannelInjector, DataFate, FaultEngine, RecoveryConfig};
@@ -53,10 +57,15 @@ pub struct Delivery {
 
 /// One MWSR channel (see module docs).
 ///
+/// The type parameters select the scheme pairing at compile time; the
+/// defaults are the runtime-dispatched wrappers so `Channel` written plain
+/// (the model checker, unit rigs) behaves exactly as before.
+///
 /// `Clone` so the bounded model checker ([`crate::fsm`]) can branch a
 /// channel's state when exploring nondeterministic injection choices.
 #[derive(Debug, Clone)]
-pub struct Channel {
+#[allow(clippy::struct_excessive_bools)] // construction-time scheme predicates, not a state machine
+pub struct Channel<A = ArbiterKind, F = FlowKind> {
     home: usize,
     topo: Topology,
     scheme: Scheme,
@@ -84,11 +93,20 @@ pub struct Channel {
     /// Whether transmissions arm sender-side ACK timers (recovery on a
     /// handshake scheme).
     arm_timers: bool,
+    /// Whether a flit on the ring *owns* its arena slot (`Forget` mode:
+    /// the sender forgot it at transmission). Handshake modes put an
+    /// aliased handle on the ring — the sender retains ownership until the
+    /// handshake resolves — so arrival-side fates must not free it.
+    ring_owns_flits: bool,
 
+    /// Packet payload arena: queues and ring slots move `u32` handles; the
+    /// 72-byte payload is written once at injection and read back at
+    /// delivery (or freed at its fault/abandon fate).
+    arena: PacketArena,
     /// Per-sender output queues, indexed by node id (`senders[home]` unused).
-    senders: Vec<OutQueue>,
-    /// The wave-pipelined data ring.
-    data: SlotRing<Packet>,
+    senders: Vec<OutQueue<PacketRef>>,
+    /// The wave-pipelined data ring (arena handles).
+    data: SlotRing<FlitRef>,
     /// The home input buffer (≤ `buffer_cap` entries including draining).
     input_queue: VecDeque<Packet>,
     /// Buffer slots still held by flits traversing the ejection router
@@ -98,18 +116,16 @@ pub struct Channel {
     /// Slot-release events for draining flits.
     releases: Calendar<()>,
     /// Arbitration state machine (resolved at construction).
-    arbiter: ArbiterKind,
+    arbiter: A,
     /// Flow-control state (resolved at construction).
-    flow: FlowKind,
+    flow: F,
 
-    /// Senders with unconsumed grants (kept sorted by downstream distance).
-    active_senders: Vec<usize>,
     /// Total queued packets across senders (cheap idle check).
     queued_total: usize,
-    /// Exact mask of senders with sendable work, by downstream distance —
-    /// refreshed after every queue mutation so token sweeps probe only
-    /// senders that could actually take a grant.
-    sendable: SendableSet,
+    /// Per-sender predicate bit-planes, indexed by downstream distance —
+    /// refreshed after every queue mutation so phase loops scan packed
+    /// words instead of probing every node.
+    planes: Planes,
     /// DHS-circulation: a reinjection this cycle suppresses token emission.
     suppress_token: bool,
     /// Measured deliveries per sender (fairness accounting).
@@ -123,8 +139,20 @@ pub struct Channel {
 }
 
 impl Channel {
-    /// Build the channel homed at `home`.
+    /// Build the channel homed at `home` with the scheme pairing resolved
+    /// at runtime ([`ArbiterKind`]/[`FlowKind`] dispatch). The network's
+    /// hot path uses [`Channel::with_pipeline`] with concrete types.
     pub fn new(home: usize, cfg: &NetworkConfig) -> Self {
+        let (arbiter, flow) = crate::schemes::build(cfg);
+        Channel::with_pipeline(home, cfg, arbiter, flow)
+    }
+}
+
+impl<A: Arbiter, F: Flow> Channel<A, F> {
+    /// Build the channel homed at `home` over a concrete (arbiter, flow)
+    /// pairing. The pairing must match `cfg.scheme` — [`crate::schemes::build`]
+    /// is the canonical constructor of matched pairs.
+    pub fn with_pipeline(home: usize, cfg: &NetworkConfig, arbiter: A, flow: F) -> Self {
         let topo = Topology::new(cfg.nodes, cfg.ring_segments);
         let mode = match cfg.scheme {
             Scheme::TokenChannel | Scheme::TokenSlot | Scheme::DhsCirculation => SendMode::Forget,
@@ -136,7 +164,6 @@ impl Channel {
                 }
             }
         };
-        let (arbiter, flow) = crate::schemes::build(cfg);
         // Each channel forks its own injector stream; forking from a fresh
         // engine per channel is deterministic in (seed, home).
         let injector = if cfg.faults.enabled() {
@@ -168,6 +195,8 @@ impl Channel {
             seg_of,
             dec_on_transmit: !matches!(mode, SendMode::HoldHead),
             arm_timers: cfg.recovery.enabled && cfg.scheme.uses_handshake(),
+            ring_owns_flits: matches!(mode, SendMode::Forget),
+            arena: PacketArena::new(),
             senders: (0..cfg.nodes).map(|_| OutQueue::new(mode)).collect(),
             data: SlotRing::new(cfg.ring_segments),
             input_queue: VecDeque::with_capacity(cfg.input_buffer),
@@ -175,9 +204,8 @@ impl Channel {
             releases: Calendar::new(cfg.router_latency as usize + 2),
             arbiter,
             flow,
-            active_senders: Vec::new(),
             queued_total: 0,
-            sendable: SendableSet::new(cfg.nodes - 1),
+            planes: Planes::new(cfg.nodes - 1),
             suppress_token: false,
             served_by_sender: vec![0; cfg.nodes],
             injector,
@@ -196,21 +224,27 @@ impl Channel {
         debug_assert_eq!(pkt.dst_node as usize, self.home);
         debug_assert_ne!(pkt.src_node as usize, self.home, "no self-send");
         let src = pkt.src_node as usize;
-        self.senders[src].push(pkt);
+        let id = pkt.id;
+        let handle = self.arena.alloc(pkt);
+        self.senders[src].push(PacketRef {
+            id,
+            handle,
+            sends: 0,
+        });
         self.queued_total += 1;
-        self.sendable
-            .set(self.dist_of[src], self.senders[src].sendable() > 0);
+        self.planes.refresh(self.dist_of[src], &self.senders[src]);
     }
 
     /// Whether every queue, slot, buffer and grant is empty (drain check).
     pub fn is_drained(&self) -> bool {
         self.queued_total == 0
+            && self.arena.live() == 0
             && self.data.is_empty()
             && self.input_queue.is_empty()
             && self.draining == 0
             && self.flow.pending_acks() == 0
-            && self.active_senders.is_empty()
-            && self.senders.iter().all(super::outqueue::OutQueue::is_idle)
+            && !self.planes.granted.any()
+            && self.senders.iter().all(OutQueue::is_idle)
     }
 
     /// Home input-buffer occupancy, including slots held by flits still in
@@ -263,41 +297,57 @@ impl Channel {
         // Take the flit once; the circulation path puts it back. (Take-once
         // keeps this per-cycle path free of unwrap/expect — determinism lint
         // `no-hot-path-unwrap`.)
-        let Some(pkt) = self.data.take(self.home_seg) else {
+        let Some(flit) = self.data.take(self.home_seg) else {
             return;
         };
+        // Everything up to the accept decision reads only the flit snapshot,
+        // never the arena: under ACK loss a duplicate flit can arrive after
+        // the sender's (re-)ACK already freed the slot, and such a stale flit
+        // is guaranteed to exit through one of the early returns below (its
+        // id is in `accepted_ids` — see [`FlitRef`]). The accept path, which
+        // stale flits never reach, is the single arena dereference.
+        //
         // Fault fate for the flit's whole flight, decided at the observation
         // point (one draw per arrival, compounded over the flight length).
         if let Some(inj) = self.injector.as_mut() {
             if inj.active() {
-                let flight = now.saturating_sub(pkt.sent_at).max(1);
+                let flight = now.saturating_sub(flit.sent_at).max(1);
                 match inj.data_fate(flight) {
                     DataFate::Intact => {}
                     fate @ DataFate::Lost => {
                         // Destroyed in flight: the home never sees it, so no
-                        // handshake fires and no buffer slot is touched.
+                        // handshake fires and no buffer slot is touched. A
+                        // Forget-mode flit was the payload's last owner.
+                        if self.ring_owns_flits {
+                            self.arena.free(flit.handle);
+                        }
                         m.faults_data_lost += 1;
                         m.trace(
                             now,
                             self.home,
-                            pkt.src_node as usize,
-                            pkt.id,
+                            flit.src as usize,
+                            flit.id,
                             fate.trace_kind(),
                         );
                         self.flow.on_data_lost(m);
                         return;
                     }
                     fate @ DataFate::Corrupt => {
+                        // Discarded at the home (handshake schemes NACK it;
+                        // the sender's copy stays for the retransmission).
+                        if self.ring_owns_flits {
+                            self.arena.free(flit.handle);
+                        }
                         m.arrivals += 1;
                         m.faults_data_corrupt += 1;
                         m.trace(
                             now,
                             self.home,
-                            pkt.src_node as usize,
-                            pkt.id,
+                            flit.src as usize,
+                            flit.id,
                             fate.trace_kind(),
                         );
-                        self.flow.on_data_corrupt(&pkt, self.handshake_delay);
+                        self.flow.on_data_corrupt(&flit, self.handshake_delay);
                         return;
                     }
                 }
@@ -307,8 +357,8 @@ impl Channel {
         m.trace(
             now,
             self.home,
-            pkt.src_node as usize,
-            pkt.id,
+            flit.src as usize,
+            flit.id,
             EventKind::Arrival,
         );
         // Duplicate suppression (recovery only): a retransmission whose
@@ -321,20 +371,20 @@ impl Channel {
         // `cfg!` folds away and this line is exactly the suppression check.
         if self.recovery.enabled {
             if let Some(h) = self.flow.handshake_mut() {
-                if !cfg!(feature = "sabotage-dup-suppression") && h.accepted_ids.contains(pkt.id) {
+                if !cfg!(feature = "sabotage-dup-suppression") && h.accepted_ids.contains(flit.id) {
                     m.duplicates_suppressed += 1;
                     m.trace(
                         now,
                         self.home,
-                        pkt.src_node as usize,
-                        pkt.id,
+                        flit.src as usize,
+                        flit.id,
                         EventKind::DuplicateSuppressed,
                     );
                     h.acks.schedule(
-                        pkt.sent_at + self.handshake_delay,
+                        flit.sent_at + self.handshake_delay,
                         crate::schemes::AckEvent {
-                            sender: pkt.src_node as usize,
-                            id: pkt.id,
+                            sender: flit.src as usize,
+                            id: flit.id,
                             ok: true,
                         },
                     );
@@ -342,6 +392,14 @@ impl Channel {
                 }
             }
         }
+        // Accept path: the slot is live (not stale, and handshake senders
+        // retain their copy until ACK/abandon). The transmission stamps come
+        // from the flit, not the arena — a handshake retransmission restamps
+        // the shared payload while an older flit is still in flight, and the
+        // delivered copy must carry the stamps of the send that produced it.
+        let mut pkt = *self.arena.get(flit.handle);
+        pkt.sent_at = flit.sent_at;
+        pkt.sends = flit.sends;
         let has_room = self.input_queue.len() + (self.draining as usize) < self.buffer_cap;
         let mut cx = ArrivalCx {
             now,
@@ -350,6 +408,8 @@ impl Channel {
             handshake_delay: self.handshake_delay,
             recovery_enabled: self.recovery.enabled,
             has_room,
+            handle: flit.handle,
+            arena: &mut self.arena,
             input_queue: &mut self.input_queue,
             data: &mut self.data,
             suppress_token: &mut self.suppress_token,
@@ -358,17 +418,16 @@ impl Channel {
     }
 
     /// Phase 3: handshakes reach their senders, and expired ACK timers fire.
+    /// A statically-folded no-op for schemes without a handshake channel.
     pub fn phase_acks(&mut self, now: Cycle, m: &mut NetworkMetrics) {
         let _span = crate::spans::span("phase_acks");
-        let FlowKind::Handshake(h) = &mut self.flow else {
-            return; // credit/circulation schemes have no handshake channel
-        };
-        h.phase_acks(
+        self.flow.phase_acks(
             now,
             self.home,
             &mut self.senders,
+            &mut self.arena,
             &self.dist_of,
-            &mut self.sendable,
+            &mut self.planes,
             &mut self.queued_total,
             self.injector.as_mut(),
             &self.recovery,
@@ -378,24 +437,33 @@ impl Channel {
     }
 
     /// Phase 4: senders with grants place flits on free slots at their
-    /// segments (one per sender per cycle). The active list is compacted in
-    /// place — no per-cycle scratch allocation.
+    /// segments (one per sender per cycle). The granted bit-plane *is* the
+    /// active-sender list, pre-sorted by downstream distance — the loop is
+    /// a word scan, with no per-cycle sort and no compaction.
     pub fn phase_transmit(&mut self, now: Cycle, m: &mut NetworkMetrics) {
         let _span = crate::spans::span("phase_transmit");
-        if self.active_senders.is_empty() {
+        if !self.planes.granted.any() {
             return;
         }
-        // Deterministic service order: by downstream distance from home.
-        let dist_of = &self.dist_of;
-        self.active_senders.sort_unstable_by_key(|&n| dist_of[n]);
-        let mut kept = 0;
-        for i in 0..self.active_senders.len() {
-            let node = self.active_senders[i];
+        // Deterministic service order: ascending downstream distance from
+        // home (bit index order). Transmitting at distance `d` only mutates
+        // that sender's own predicate bits, so rescanning from `d + 1` sees
+        // exactly the grant set that existed at phase entry.
+        let len = self.by_distance.len();
+        let mut next = self.planes.granted.first_in(0, len);
+        while let Some(d) = next {
+            let node = self.by_distance[d];
             let seg = self.seg_of[node];
-            let mut remaining = self.senders[node].granted();
-            if remaining > 0 && self.data.is_free(seg) {
-                if let Some(pkt) = self.senders[node].transmit(now) {
-                    if pkt.sends == 1 && pkt.measured {
+            if self.data.is_free(seg) {
+                if let Some(sent) = self.senders[node].transmit(now) {
+                    // Sync the arena payload with this transmission; the
+                    // ring slot carries the handle plus the home-side
+                    // snapshot (see [`FlitRef`]).
+                    let pkt = self.arena.get_mut(sent.handle);
+                    pkt.sent_at = now;
+                    pkt.sends = sent.sends;
+                    let src_node = pkt.src_node;
+                    if sent.sends == 1 && pkt.measured {
                         m.queue_wait.record((now - pkt.enqueued_at) as f64);
                     }
                     m.sends += 1;
@@ -403,8 +471,8 @@ impl Channel {
                         now,
                         self.home,
                         node,
-                        pkt.id,
-                        if pkt.sends > 1 {
+                        sent.id,
+                        if sent.sends > 1 {
                             EventKind::Retransmit
                         } else {
                             EventKind::Send
@@ -419,23 +487,26 @@ impl Channel {
                         // timeout exceeds the handshake round trip, so on a
                         // healthy channel the ACK always wins the race and
                         // the timer goes stale.
-                        if let FlowKind::Handshake(h) = &mut self.flow {
-                            let deadline = now + self.recovery.timeout_for_attempt(pkt.sends);
-                            h.ack_timers.push(Reverse((deadline, node, pkt.id)));
+                        if let Some(h) = self.flow.handshake_mut() {
+                            let deadline = now + self.recovery.timeout_for_attempt(sent.sends);
+                            h.ack_timers.push(Reverse((deadline, node, sent.id)));
                         }
                     }
-                    self.data.put(seg, pkt);
-                    remaining = self.senders[node].granted();
-                    self.sendable
-                        .set(dist_of[node], self.senders[node].sendable() > 0);
+                    self.data.put(
+                        seg,
+                        FlitRef {
+                            id: sent.id,
+                            handle: sent.handle,
+                            sends: sent.sends,
+                            src: src_node,
+                            sent_at: now,
+                        },
+                    );
+                    self.planes.refresh(d, &self.senders[node]);
                 }
             }
-            if remaining > 0 {
-                self.active_senders[kept] = node;
-                kept += 1;
-            }
+            next = self.planes.granted.first_in(d + 1, len);
         }
-        self.active_senders.truncate(kept);
     }
 
     /// Phase 5: token emission, sweeping, grabbing, reimbursement — all
@@ -452,17 +523,13 @@ impl Channel {
             by_distance: &self.by_distance,
             dist_of: &self.dist_of,
             senders: &mut self.senders,
-            active: &mut self.active_senders,
-            sendable: &mut self.sendable,
+            planes: &mut self.planes,
             buffered: self.input_queue.len() + self.draining as usize,
             buffer_cap: self.buffer_cap,
             suppress_token: &mut self.suppress_token,
             injector: self.injector.as_mut(),
         };
-        match &mut self.arbiter {
-            ArbiterKind::Global(g) => g.step(&mut self.flow, &mut cx, m),
-            ArbiterKind::Distributed(d) => d.step(&mut self.flow, &mut cx, m),
-        }
+        self.arbiter.step(&mut self.flow, &mut cx, m);
     }
 
     /// Phase 6: the home drains its input buffer toward the local cores.
@@ -475,10 +542,14 @@ impl Channel {
         let _span = crate::spans::span("phase_eject");
         // Flits leaving the ejection router release their buffer slots; only
         // now does a freed slot become a reimbursable credit.
-        for () in self.releases.drain(now) {
-            assert!(self.draining > 0, "draining underflow");
-            self.draining -= 1;
-            self.flow.on_slot_freed();
+        if self.releases.is_empty() {
+            self.releases.fast_forward(now);
+        } else {
+            for () in self.releases.drain(now) {
+                assert!(self.draining > 0, "draining underflow");
+                self.draining -= 1;
+                self.flow.on_slot_freed();
+            }
         }
         // Fault: transient drain stall — the receiving core stops accepting.
         // Flits already inside the ejection router (above) still complete;
@@ -518,10 +589,7 @@ impl Channel {
             );
             if pkt.measured {
                 m.delivered_measured += 1;
-                let lat = pkt.latency_at(available_at) as f64;
-                m.latency.record(lat);
-                m.latency_rec.record(lat);
-                m.latency_batches.record(lat);
+                m.record_latency(pkt.latency_at(available_at) as f64);
                 self.served_by_sender[pkt.src_node as usize] += 1;
             }
             deliveries.push(Delivery { pkt, available_at });
@@ -529,10 +597,11 @@ impl Channel {
     }
 
     /// Check the channel's internal invariants (buffer bounds, queue
-    /// accounting, reservation conservation), reporting the first violation
-    /// instead of panicking. The runtime [`crate::audit::InvariantAuditor`]
-    /// and the bounded model checker route through this so a violation
-    /// becomes a diagnosable trace rather than an abort.
+    /// accounting, reservation conservation, bit-plane exactness),
+    /// reporting the first violation instead of panicking. The runtime
+    /// [`crate::audit::InvariantAuditor`] and the bounded model checker
+    /// route through this so a violation becomes a diagnosable trace rather
+    /// than an abort.
     pub fn try_check_invariants(&self) -> Result<(), String> {
         if self.input_queue.len() + self.draining as usize > self.buffer_cap {
             return Err(format!(
@@ -549,11 +618,33 @@ impl Channel {
                 self.queued_total
             ));
         }
-        if let FlowKind::Slot(s) = &self.flow {
+        // Packet-payload conservation: every live arena slot is owned by
+        // exactly one queue entry, setaside entry, or (Forget mode)
+        // in-flight ring slot. Handshake flits on the ring alias their
+        // sender's retained copy and must not be counted twice.
+        let setaside_total: usize = self.senders.iter().map(OutQueue::setaside_len).sum();
+        let ring_owned = if self.ring_owns_flits {
+            self.data.occupied()
+        } else {
+            0
+        };
+        let expected_live = self.queued_total + setaside_total + ring_owned;
+        if self.arena.live() != expected_live {
+            return Err(format!(
+                "arena leak: {} live payloads, {} owners \
+                 ({} queued + {} setaside + {} ring-owned)",
+                self.arena.live(),
+                expected_live,
+                self.queued_total,
+                setaside_total,
+                ring_owned
+            ));
+        }
+        if matches!(self.scheme, Scheme::TokenSlot) {
             let committed = self.input_queue.len()
                 + self.draining as usize
-                + s.inflight as usize
-                + s.lost_reservations as usize
+                + self.flow.inflight() as usize
+                + self.flow.lost_reservations() as usize
                 + self.arbiter.outstanding_tokens();
             if committed > self.buffer_cap {
                 return Err(format!(
@@ -563,19 +654,27 @@ impl Channel {
                 ));
             }
         }
-        for &n in &self.active_senders {
-            if self.senders[n].granted() == 0 {
-                return Err(format!("stale active sender {n}"));
-            }
-        }
+        // Every bit-plane must equal its scalar predicate exactly — the
+        // phase loops trust the planes without re-probing the queues.
         for (d, &n) in self.by_distance.iter().enumerate() {
-            let want = self.senders[n].sendable() > 0;
-            if self.sendable.get(d) != want {
-                return Err(format!(
-                    "sendable mask drifted at distance {d} (node {n}): \
-                     mask {}, queue {want}",
-                    self.sendable.get(d)
-                ));
+            let q = &self.senders[n];
+            let checks = [
+                ("sendable", self.planes.sendable.get(d), q.sendable() > 0),
+                ("granted", self.planes.granted.get(d), q.granted() > 0),
+                ("backlogged", self.planes.backlogged.get(d), q.backlog() > 0),
+                (
+                    "unresolved",
+                    self.planes.unresolved.get(d),
+                    q.unresolved_len() > 0,
+                ),
+            ];
+            for (plane, got, want) in checks {
+                if got != want {
+                    return Err(format!(
+                        "{plane} plane drifted at distance {d} (node {n}): \
+                         plane {got}, queue {want}"
+                    ));
+                }
             }
         }
         Ok(())
@@ -606,7 +705,7 @@ impl Channel {
         out.draining = self.draining;
         out.ring_ids.clear();
         out.ring_ids
-            .extend(self.data.iter_occupied().map(|(_, p)| p.id));
+            .extend(self.data.iter_occupied().map(|(_, &f)| f.id));
         out.queue_ids.clear();
         out.setaside_ids.clear();
         out.unresolved_ids.clear();
@@ -675,13 +774,13 @@ impl Channel {
             out.push(sit_until.saturating_sub(now));
         }
         out.push(SEP);
-        for (seg, p) in self.data.iter_occupied() {
+        for (seg, &f) in self.data.iter_occupied() {
             out.push(seg as u64);
-            out.push(p.id);
-            out.push(u64::from(p.sends));
+            out.push(f.id);
+            out.push(u64::from(f.sends));
             // `sent_at` schedules the handshake (`sent_at + R + 1`), so its
             // age relative to `now` is behaviorally relevant.
-            out.push(now.saturating_sub(p.sent_at));
+            out.push(now.saturating_sub(f.sent_at));
         }
         out.push(SEP);
         for p in &self.input_queue {
@@ -702,37 +801,19 @@ impl Channel {
             }
         }
         out.push(SEP);
-        match &self.arbiter {
-            ArbiterKind::Global(g) => {
-                out.push(0);
-                match g.state {
-                    crate::schemes::GlobalTokenState::Sweeping { next } => {
-                        out.push(0);
-                        out.push(next as u64);
-                    }
-                    crate::schemes::GlobalTokenState::Held { node } => {
-                        out.push(1);
-                        out.push(node as u64);
-                    }
-                    crate::schemes::GlobalTokenState::Lost { since } => {
-                        out.push(2);
-                        out.push(now.saturating_sub(since));
-                    }
-                }
-                out.push(self.flow.credits().map_or(SEP, u64::from));
-            }
-            ArbiterKind::Distributed(d) => {
-                out.push(1);
-                for &t in &d.tokens {
-                    out.push(t as u64);
-                }
-            }
-        }
+        self.arbiter
+            .state_key_into(now, self.flow.credits().map_or(SEP, u64::from), out);
         out.push(SEP);
-        // Canonical order without a scratch vector: sort the freshly
-        // appended suffix in place.
+        // The granted plane iterates by distance; encode the node ids in
+        // canonical (sorted) order by sorting the appended suffix in place
+        // — no scratch vector.
         let start = out.len();
-        out.extend(self.active_senders.iter().map(|&n| n as u64));
+        out.extend(
+            self.planes
+                .granted
+                .iter()
+                .map(|d| self.by_distance[d] as u64),
+        );
         out[start..].sort_unstable();
         out.push(SEP);
         out.push(u64::from(self.flow.uncommitted()));

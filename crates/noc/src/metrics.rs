@@ -103,6 +103,20 @@ impl NetworkMetrics {
         }
     }
 
+    /// Record one measured end-to-end latency sample into all three
+    /// estimators at once: the running mean/variance, the percentile
+    /// recorder, and the batch-means CI accumulator. The single entry
+    /// point keeps the three views of the distribution in lockstep across
+    /// every network implementation (MWSR channel, SWMR ring, electrical
+    /// mesh) — a sample recorded into one but not the others would let a
+    /// reported mean and its confidence interval disagree about the data.
+    #[inline]
+    pub fn record_latency(&mut self, lat: f64) {
+        self.latency.record(lat);
+        self.latency_rec.record(lat);
+        self.latency_batches.record(lat);
+    }
+
     /// Record a packet-lifecycle trace event (`obs-trace` builds with a
     /// trace attached; a no-op branch otherwise).
     #[cfg(feature = "obs-trace")]

@@ -2,11 +2,104 @@
 
 use crate::calendar::Calendar;
 use crate::channel::{Channel, Delivery};
-use crate::config::NetworkConfig;
+use crate::config::{NetworkConfig, Scheme};
 use crate::metrics::{NetworkMetrics, RunSummary};
 use crate::packet::{Packet, PacketKind};
+use crate::schemes::{
+    CirculationFlow, CreditFlow, DistributedArbiter, GlobalArbiter, HandshakeFlow, SlotFlow,
+};
 use crate::sources::{InjectionRequest, TrafficSource};
 use pnoc_sim::{Clock, Cycle, RunPlan};
+
+/// Monomorphized channel storage: one variant per scheme family, each
+/// holding fully concrete `Channel<A, F>` values. The variant is chosen
+/// once in [`build_channels`]; every per-cycle loop then runs a compiled
+/// step body with both scheme layers inlined — the enum dispatch happens
+/// once per *phase sweep*, not once per channel per hook.
+#[derive(Debug)]
+enum Channels {
+    /// Token channel: global token carrying credits.
+    Credit(Vec<Channel<GlobalArbiter, CreditFlow>>),
+    /// GHS (± setaside): global token, ACK/NACK handshake.
+    GlobalHandshake(Vec<Channel<GlobalArbiter, HandshakeFlow>>),
+    /// Token slot: distributed tokens embodying buffer slots.
+    Slot(Vec<Channel<DistributedArbiter, SlotFlow>>),
+    /// DHS (± setaside): distributed tokens, ACK/NACK handshake.
+    DistHandshake(Vec<Channel<DistributedArbiter, HandshakeFlow>>),
+    /// DHS with circulation: distributed tokens, reinjection on overflow.
+    Circulation(Vec<Channel<DistributedArbiter, CirculationFlow>>),
+}
+
+/// Run `$body` with `$c` bound to whichever concrete channel vector the
+/// network holds. Each arm compiles separately, so `$body` monomorphizes
+/// per scheme family.
+macro_rules! for_channels {
+    ($chs:expr, $c:ident => $body:expr) => {
+        match $chs {
+            Channels::Credit($c) => $body,
+            Channels::GlobalHandshake($c) => $body,
+            Channels::Slot($c) => $body,
+            Channels::DistHandshake($c) => $body,
+            Channels::Circulation($c) => $body,
+        }
+    };
+}
+
+/// Resolve `cfg.scheme` into its monomorphized channel vector. Mirrors
+/// [`crate::schemes::build`] — the runtime-dispatched pairing and this
+/// concrete one must pick identical (arbiter, flow) states.
+fn build_channels(cfg: &NetworkConfig) -> Channels {
+    match cfg.scheme {
+        Scheme::TokenChannel => Channels::Credit(
+            (0..cfg.nodes)
+                .map(|h| {
+                    Channel::with_pipeline(
+                        h,
+                        cfg,
+                        GlobalArbiter::new(),
+                        CreditFlow::new(crate::convert::narrow_u32(cfg.input_buffer)),
+                    )
+                })
+                .collect(),
+        ),
+        Scheme::Ghs { setaside } => Channels::GlobalHandshake(
+            (0..cfg.nodes)
+                .map(|h| {
+                    Channel::with_pipeline(
+                        h,
+                        cfg,
+                        GlobalArbiter::new(),
+                        HandshakeFlow::new(cfg.ring_segments, setaside > 0),
+                    )
+                })
+                .collect(),
+        ),
+        Scheme::TokenSlot => Channels::Slot(
+            (0..cfg.nodes)
+                .map(|h| {
+                    Channel::with_pipeline(h, cfg, DistributedArbiter::new(), SlotFlow::default())
+                })
+                .collect(),
+        ),
+        Scheme::Dhs { setaside } => Channels::DistHandshake(
+            (0..cfg.nodes)
+                .map(|h| {
+                    Channel::with_pipeline(
+                        h,
+                        cfg,
+                        DistributedArbiter::new(),
+                        HandshakeFlow::new(cfg.ring_segments, setaside > 0),
+                    )
+                })
+                .collect(),
+        ),
+        Scheme::DhsCirculation => Channels::Circulation(
+            (0..cfg.nodes)
+                .map(|h| Channel::with_pipeline(h, cfg, DistributedArbiter::new(), CirculationFlow))
+                .collect(),
+        ),
+    }
+}
 
 /// A complete ring network: one MWSR channel per node, an injection-router
 /// pipeline, and run-level measurement.
@@ -27,7 +120,7 @@ use pnoc_sim::{Clock, Cycle, RunPlan};
 pub struct Network {
     cfg: NetworkConfig,
     clock: Clock,
-    channels: Vec<Channel>,
+    channels: Channels,
     inject_cal: Calendar<Packet>,
     metrics: NetworkMetrics,
     deliveries: Vec<Delivery>,
@@ -57,7 +150,7 @@ impl Network {
         Ok(Self {
             cfg,
             clock: Clock::new(),
-            channels: (0..cfg.nodes).map(|h| Channel::new(h, &cfg)).collect(),
+            channels: build_channels(&cfg),
             inject_cal: Calendar::new(cfg.router_latency as usize + 1),
             metrics: NetworkMetrics::new(),
             deliveries: Vec::new(),
@@ -166,26 +259,35 @@ impl Network {
     pub fn step(&mut self) {
         let now = self.clock.now();
         self.deliveries.clear();
-        for mut pkt in self.inject_cal.drain(now) {
-            pkt.enqueued_at = now;
-            self.channels[pkt.dst_node as usize].enqueue(pkt);
-        }
         let metrics = &mut self.metrics;
         let deliveries = &mut self.deliveries;
-        for ch in &mut self.channels {
-            ch.phase_advance();
-            ch.phase_arrival(now, metrics);
-            ch.phase_acks(now, metrics);
-            ch.phase_transmit(now, metrics);
-            ch.phase_tokens(now, metrics);
-            ch.phase_eject(now, metrics, deliveries);
-        }
+        let inject_cal = &mut self.inject_cal;
+        // One monomorphization branch for the whole cycle: inject drain plus
+        // all six phases run over the concrete channel type.
+        for_channels!(&mut self.channels, chs => {
+            if inject_cal.is_empty() {
+                inject_cal.fast_forward(now);
+            } else {
+                for mut pkt in inject_cal.drain(now) {
+                    pkt.enqueued_at = now;
+                    chs[pkt.dst_node as usize].enqueue(pkt);
+                }
+            }
+            for ch in chs.iter_mut() {
+                ch.phase_advance();
+                ch.phase_arrival(now, metrics);
+                ch.phase_acks(now, metrics);
+                ch.phase_transmit(now, metrics);
+                ch.phase_tokens(now, metrics);
+                ch.phase_eject(now, metrics, deliveries);
+            }
+        });
         #[cfg(feature = "obs-trace")]
         if let Some(s) = self.sampler.as_mut() {
             if s.due(now) {
-                for ch in &self.channels {
+                for_channels!(&self.channels, chs => for ch in chs.iter() {
                     s.record(ch.occupancy_sample(now));
-                }
+                });
             }
         }
         #[cfg(feature = "verify-invariants")]
@@ -208,9 +310,16 @@ impl Network {
                 panic!("invariant auditor, cycle {now}: {why}");
             }
         }
+        // The bit-planes must track their scalar predicates exactly: check
+        // every channel's internal invariants on sampled cycles.
         if !self.auditor.due(now) {
             return;
         }
+        for_channels!(&self.channels, chs => for ch in chs.iter() {
+            if let Err(why) = ch.try_check_invariants() {
+                panic!("invariant auditor, cycle {now}, channel {}: {why}", ch.home());
+            }
+        });
         // Reuse the scratch snapshot buffers across sampled cycles (taken
         // out and put back to satisfy the borrow checker alongside `&self`).
         let mut views = std::mem::take(&mut self.audit_views);
@@ -235,10 +344,12 @@ impl Network {
         views: &mut Vec<crate::audit::ChannelAuditView>,
         pending: &mut Vec<u64>,
     ) {
-        views.resize_with(self.channels.len(), Default::default);
-        for (ch, view) in self.channels.iter().zip(views.iter_mut()) {
-            ch.audit_view_into(view);
-        }
+        views.resize_with(self.cfg.nodes, Default::default);
+        for_channels!(&self.channels, chs => {
+            for (ch, view) in chs.iter().zip(views.iter_mut()) {
+                ch.audit_view_into(view);
+            }
+        });
         pending.clear();
         pending.extend(self.inject_cal.pending_iter().map(|(_, p)| p.id));
     }
@@ -258,16 +369,17 @@ impl Network {
 
     /// Whether every queue, ring slot, buffer and handshake is empty.
     pub fn is_drained(&self) -> bool {
-        self.inject_cal.pending() == 0 && self.channels.iter().all(Channel::is_drained)
+        self.inject_cal.pending() == 0
+            && for_channels!(&self.channels, chs => chs.iter().all(Channel::is_drained))
     }
 
     /// Per-channel measured service counts by sender node (fairness).
     /// Borrows the channels' live counters — no copies.
     pub fn service_counts(&self) -> Vec<&[u64]> {
-        self.channels
+        for_channels!(&self.channels, chs => chs
             .iter()
             .map(|c| c.served_by_sender.as_slice())
-            .collect()
+            .collect())
     }
 
     /// Run the standard open-loop experiment: warmup, measure, drain, then
@@ -370,7 +482,6 @@ pub fn run_synthetic_point_detailed(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::config::Scheme;
     use crate::sources::SyntheticSource;
     use pnoc_traffic::pattern::TrafficPattern;
 

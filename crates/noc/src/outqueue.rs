@@ -13,9 +13,60 @@
 //!   immediately.
 
 use crate::config::FairnessPolicy;
-use crate::packet::Packet;
+use crate::packet::{Packet, PacketRef};
 use pnoc_sim::Cycle;
 use std::collections::VecDeque;
+
+/// The contract a queue entry must satisfy: an id for handshake matching
+/// and a send counter bumped at transmission. The channel hot path queues
+/// [`PacketRef`] handles (16 bytes) against a [`crate::packet::PacketArena`];
+/// the SWMR baseline and unit rigs queue whole [`Packet`]s (the default type
+/// parameter), where `on_transmit` also stamps `sent_at`.
+pub trait QueueItem: Copy {
+    /// The packet's unique id.
+    fn id(&self) -> u64;
+    /// Transmissions so far.
+    fn sends(&self) -> u32;
+    /// Record one transmission at `now`.
+    fn on_transmit(&mut self, now: Cycle);
+}
+
+impl QueueItem for Packet {
+    #[inline]
+    fn id(&self) -> u64 {
+        self.id
+    }
+
+    #[inline]
+    fn sends(&self) -> u32 {
+        self.sends
+    }
+
+    #[inline]
+    fn on_transmit(&mut self, now: Cycle) {
+        self.sent_at = now;
+        self.sends += 1;
+    }
+}
+
+impl QueueItem for PacketRef {
+    #[inline]
+    fn id(&self) -> u64 {
+        self.id
+    }
+
+    #[inline]
+    fn sends(&self) -> u32 {
+        self.sends
+    }
+
+    /// Only the mirror counter lives here; the channel stamps `sent_at` on
+    /// the arena payload when it places the flit on the ring.
+    #[inline]
+    fn on_transmit(&mut self, _now: Cycle) {
+        self.sends += 1;
+    }
+}
 
 /// What happens to a packet when it is transmitted.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -32,12 +83,13 @@ pub enum SendMode {
 /// extension: recovery from *lost* flits and handshakes, where no NACK will
 /// ever arrive).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub enum TimeoutAction {
+pub enum TimeoutAction<T> {
     /// The packet was still awaiting its handshake; it is sendable again and
     /// will be retransmitted under the next grant.
     Retry,
-    /// The packet exhausted its retry budget and was discarded.
-    Abandon,
+    /// The packet exhausted its retry budget and was discarded; the caller
+    /// receives the evicted entry (to release its arena payload).
+    Abandon(T),
     /// The timer was stale — the packet's handshake already arrived (or a
     /// NACK already requeued it). Nothing changed.
     Stale,
@@ -45,11 +97,11 @@ pub enum TimeoutAction {
 
 /// Per-(sender, channel) output queue.
 #[derive(Debug, Clone)]
-pub struct OutQueue {
+pub struct OutQueue<T: QueueItem = Packet> {
     mode: SendMode,
-    queue: VecDeque<Packet>,
+    queue: VecDeque<T>,
     head_pending: bool,
-    setaside: Vec<Packet>,
+    setaside: Vec<T>,
     /// Tokens taken but not yet used to transmit.
     granted: u32,
     /// Fairness: consecutive grants since the last sit-out.
@@ -58,7 +110,7 @@ pub struct OutQueue {
     sit_until: Cycle,
 }
 
-impl OutQueue {
+impl<T: QueueItem> OutQueue<T> {
     /// An empty queue with the given send discipline.
     pub fn new(mode: SendMode) -> Self {
         if let SendMode::Setaside(cap) = mode {
@@ -80,7 +132,7 @@ impl OutQueue {
 
     /// Enqueue a packet (source queues are unbounded — open-loop
     /// methodology; saturation shows up as unbounded latency).
-    pub fn push(&mut self, pkt: Packet) {
+    pub fn push(&mut self, pkt: T) {
         self.queue.push_back(pkt);
     }
 
@@ -133,7 +185,7 @@ impl OutQueue {
     /// Transmit one packet at `now` against an outstanding grant. Returns
     /// the flit to place on the ring, or `None` when no grant/packet is
     /// ready. The queue-side copy is updated per the send discipline.
-    pub fn transmit(&mut self, now: Cycle) -> Option<Packet> {
+    pub fn transmit(&mut self, now: Cycle) -> Option<T> {
         if self.granted == 0 {
             return None;
         }
@@ -143,24 +195,21 @@ impl OutQueue {
                     return None;
                 }
                 let head = self.queue.front_mut()?;
-                head.sent_at = now;
-                head.sends += 1;
+                head.on_transmit(now);
                 self.head_pending = true;
                 self.granted -= 1;
                 Some(*head)
             }
             SendMode::Setaside(_) => {
                 let mut pkt = self.queue.pop_front()?;
-                pkt.sent_at = now;
-                pkt.sends += 1;
+                pkt.on_transmit(now);
                 self.setaside.push(pkt);
                 self.granted -= 1;
                 Some(pkt)
             }
             SendMode::Forget => {
                 let mut pkt = self.queue.pop_front()?;
-                pkt.sent_at = now;
-                pkt.sends += 1;
+                pkt.on_transmit(now);
                 self.granted -= 1;
                 Some(pkt)
             }
@@ -169,17 +218,17 @@ impl OutQueue {
 
     /// Positive handshake: the packet reached the home. Releases the pending
     /// head or the setaside slot. Returns the acknowledged packet.
-    pub fn ack(&mut self, id: u64) -> Option<Packet> {
+    pub fn ack(&mut self, id: u64) -> Option<T> {
         match self.mode {
             SendMode::HoldHead => {
-                if self.head_pending && self.queue.front().map(|p| p.id) == Some(id) {
+                if self.head_pending && self.queue.front().map(QueueItem::id) == Some(id) {
                     self.head_pending = false;
                     return self.queue.pop_front();
                 }
                 None
             }
             SendMode::Setaside(_) => {
-                let idx = self.setaside.iter().position(|p| p.id == id)?;
+                let idx = self.setaside.iter().position(|p| p.id() == id)?;
                 Some(self.setaside.swap_remove(idx))
             }
             SendMode::Forget => None,
@@ -191,7 +240,7 @@ impl OutQueue {
     pub fn nack(&mut self, id: u64) -> bool {
         match self.mode {
             SendMode::HoldHead => {
-                if self.head_pending && self.queue.front().map(|p| p.id) == Some(id) {
+                if self.head_pending && self.queue.front().map(QueueItem::id) == Some(id) {
                     self.head_pending = false; // head stays; becomes sendable again
                     true
                 } else {
@@ -199,7 +248,7 @@ impl OutQueue {
                 }
             }
             SendMode::Setaside(_) => {
-                if let Some(idx) = self.setaside.iter().position(|p| p.id == id) {
+                if let Some(idx) = self.setaside.iter().position(|p| p.id() == id) {
                     let pkt = self.setaside.remove(idx);
                     self.queue.push_front(pkt);
                     true
@@ -217,14 +266,16 @@ impl OutQueue {
     /// `max_retries` times, in which case it is dropped for good. Timers are
     /// validated lazily, so expiries for packets whose handshake already
     /// arrived return [`TimeoutAction::Stale`].
-    pub fn timeout(&mut self, id: u64, max_retries: u32) -> TimeoutAction {
+    pub fn timeout(&mut self, id: u64, max_retries: u32) -> TimeoutAction<T> {
         match self.mode {
             SendMode::HoldHead => {
-                if self.head_pending && self.queue.front().map(|p| p.id) == Some(id) {
+                if self.head_pending && self.queue.front().map(QueueItem::id) == Some(id) {
                     self.head_pending = false;
-                    if self.queue.front().is_some_and(|p| p.sends >= max_retries) {
-                        self.queue.pop_front();
-                        TimeoutAction::Abandon
+                    if self.queue.front().is_some_and(|p| p.sends() >= max_retries) {
+                        match self.queue.pop_front() {
+                            Some(pkt) => TimeoutAction::Abandon(pkt),
+                            None => TimeoutAction::Stale,
+                        }
                     } else {
                         TimeoutAction::Retry
                     }
@@ -233,10 +284,10 @@ impl OutQueue {
                 }
             }
             SendMode::Setaside(_) => {
-                if let Some(idx) = self.setaside.iter().position(|p| p.id == id) {
+                if let Some(idx) = self.setaside.iter().position(|p| p.id() == id) {
                     let pkt = self.setaside.swap_remove(idx);
-                    if pkt.sends >= max_retries {
-                        TimeoutAction::Abandon
+                    if pkt.sends() >= max_retries {
+                        TimeoutAction::Abandon(pkt)
                     } else {
                         self.queue.push_front(pkt);
                         TimeoutAction::Retry
@@ -256,7 +307,7 @@ impl OutQueue {
 
     /// The packet at the queue head, if any (used by flow controls that gate
     /// on the head's destination, e.g. SWMR partitioned credits).
-    pub fn peek_head(&self) -> Option<&Packet> {
+    pub fn peek_head(&self) -> Option<&T> {
         self.queue.front()
     }
 
@@ -266,18 +317,30 @@ impl OutQueue {
     }
 
     /// Iterate queued packets front-to-back (including a pending head).
-    pub fn iter_queue(&self) -> impl Iterator<Item = &Packet> {
+    pub fn iter_queue(&self) -> impl Iterator<Item = &T> {
         self.queue.iter()
     }
 
     /// Iterate setaside packets in slot order.
-    pub fn iter_setaside(&self) -> impl Iterator<Item = &Packet> {
+    pub fn iter_setaside(&self) -> impl Iterator<Item = &T> {
         self.setaside.iter()
     }
 
     /// Whether the queue head has been transmitted and awaits its handshake.
     pub fn head_is_pending(&self) -> bool {
         self.head_pending
+    }
+
+    /// Number of transmitted copies still awaiting a handshake verdict: the
+    /// pending head (`HoldHead`) or the occupied setaside slots. Forget mode
+    /// tracks nothing. Mirrored into the `unresolved` bit-plane.
+    #[inline]
+    pub fn unresolved_len(&self) -> usize {
+        match self.mode {
+            SendMode::HoldHead => usize::from(self.head_pending),
+            SendMode::Setaside(_) => self.setaside.len(),
+            SendMode::Forget => 0,
+        }
     }
 
     /// Ids of packets transmitted but not yet resolved by a handshake: the
@@ -287,12 +350,12 @@ impl OutQueue {
         match self.mode {
             SendMode::HoldHead => {
                 if self.head_pending {
-                    self.queue.front().map(|p| p.id).into_iter().collect()
+                    self.queue.front().map(QueueItem::id).into_iter().collect()
                 } else {
                     Vec::new()
                 }
             }
-            SendMode::Setaside(_) => self.setaside.iter().map(|p| p.id).collect(),
+            SendMode::Setaside(_) => self.setaside.iter().map(QueueItem::id).collect(),
             SendMode::Forget => Vec::new(),
         }
     }
@@ -502,7 +565,10 @@ mod tests {
             if attempt < 3 {
                 assert_eq!(action, TimeoutAction::Retry);
             } else {
-                assert_eq!(action, TimeoutAction::Abandon);
+                assert!(
+                    matches!(action, TimeoutAction::Abandon(p) if p.id == 1),
+                    "expected abandon of packet 1, got {action:?}"
+                );
             }
         }
         assert!(q.is_idle(), "abandoned packet leaves the queue");
@@ -546,6 +612,6 @@ mod tests {
     #[test]
     #[should_panic(expected = "setaside capacity")]
     fn setaside_zero_capacity_rejected() {
-        OutQueue::new(SendMode::Setaside(0));
+        OutQueue::<Packet>::new(SendMode::Setaside(0));
     }
 }

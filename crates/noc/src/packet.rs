@@ -60,6 +60,157 @@ impl Packet {
     }
 }
 
+/// Queue-side stand-in for a [`Packet`] parked in a [`PacketArena`]: the id
+/// (handshake matching), the arena handle, and a mirror of the send count
+/// (retry budgets, state keys). 16 bytes instead of 72 — sender queues,
+/// setaside buffers and the data ring shuffle these, never whole packets.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PacketRef {
+    /// The packet's unique id (mirror of `Packet::id`).
+    pub id: u64,
+    /// Arena handle of the full payload.
+    pub handle: u32,
+    /// Mirror of `Packet::sends`, bumped at transmission; the arena copy is
+    /// synced by the channel when the flit goes on the ring.
+    pub sends: u32,
+}
+
+/// An in-flight flit on the data ring: the arena handle plus a snapshot of
+/// everything the home inspects *before* committing to accept the packet.
+///
+/// The snapshot matters for handshake modes, where the ring flit aliases a
+/// sender-owned arena slot:
+///
+/// - A timeout retransmission restamps `Packet::{sent_at, sends}` while an
+///   earlier flit of the same packet may still be in flight; the delivered
+///   copy must carry the stamps of the send that produced *this* flit.
+/// - Under ACK loss, a duplicate retransmission can still be in flight when
+///   the original's (re-)ACK reaches the sender and frees the arena slot.
+///   Such a stale flit must traverse the fault draw, the arrival trace and
+///   duplicate suppression without touching the arena at all — everything
+///   those paths read (`id`, `src`, `sent_at`, `sends`) lives here.
+///
+/// The arena is dereferenced only on the accept path, which stale flits
+/// never reach: a slot freed while its flit is in flight was freed by an
+/// ACK, an ACK implies the id is in `accepted_ids`, and suppression runs
+/// before the payload copy-out. (Abandon cannot strand a flit: the timeout
+/// exceeds the flight time, so every flit of an abandoned packet has
+/// already arrived when the timer fires.)
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FlitRef {
+    /// The packet's unique id (duplicate suppression, traces, NACKs).
+    pub id: u64,
+    /// Arena handle of the full payload. Only valid to dereference on the
+    /// accept path — see the type-level docs.
+    pub handle: u32,
+    /// `Packet::sends` as of this flit's transmission.
+    pub sends: u32,
+    /// Mirror of `Packet::src_node` (handshake addressing, traces).
+    pub src: u32,
+    /// Cycle this flit was put on the ring.
+    pub sent_at: Cycle,
+}
+
+/// Slab allocator for in-network packet payloads.
+///
+/// One arena per channel: [`crate::channel::Channel::enqueue`] allocates,
+/// the hot path moves `u32` handles through queues and ring slots, and the
+/// payload is freed at its last use (delivery copy-out, handshake ACK,
+/// abandon, or fault loss). The free list is LIFO, so allocation order —
+/// and with it every downstream iteration order — is deterministic.
+///
+/// Debug builds shadow the slots with an occupancy mask and panic on
+/// double-free or use-after-free; release builds carry no overhead.
+#[derive(Debug, Clone, Default)]
+pub struct PacketArena {
+    slots: Vec<Packet>,
+    free: Vec<u32>,
+    live: usize,
+    #[cfg(debug_assertions)]
+    occupied: Vec<bool>,
+}
+
+impl PacketArena {
+    /// An empty arena.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Park `pkt` and return its handle. Reuses the most recently freed
+    /// slot, growing only when the free list is empty.
+    #[inline]
+    pub fn alloc(&mut self, pkt: Packet) -> u32 {
+        self.live += 1;
+        if let Some(h) = self.free.pop() {
+            self.slots[h as usize] = pkt;
+            #[cfg(debug_assertions)]
+            {
+                debug_assert!(
+                    !self.occupied[h as usize],
+                    "arena slot reallocated while live"
+                );
+                self.occupied[h as usize] = true;
+            }
+            h
+        } else {
+            let h = crate::convert::narrow_u32(self.slots.len());
+            self.slots.push(pkt);
+            #[cfg(debug_assertions)]
+            self.occupied.push(true);
+            h
+        }
+    }
+
+    /// The payload behind `handle`.
+    #[inline]
+    pub fn get(&self, handle: u32) -> &Packet {
+        #[cfg(debug_assertions)]
+        debug_assert!(
+            self.occupied[handle as usize],
+            "arena read of freed handle {handle}"
+        );
+        &self.slots[handle as usize]
+    }
+
+    /// Mutable payload access (the channel syncs `sent_at`/`sends` here at
+    /// transmission).
+    #[inline]
+    pub fn get_mut(&mut self, handle: u32) -> &mut Packet {
+        #[cfg(debug_assertions)]
+        debug_assert!(
+            self.occupied[handle as usize],
+            "arena write to freed handle {handle}"
+        );
+        &mut self.slots[handle as usize]
+    }
+
+    /// Release `handle` back to the free list. The payload bits stay in
+    /// place until the slot is reallocated; debug builds reject any further
+    /// access.
+    #[inline]
+    pub fn free(&mut self, handle: u32) {
+        #[cfg(debug_assertions)]
+        {
+            debug_assert!(
+                self.occupied[handle as usize],
+                "arena double-free of handle {handle}"
+            );
+            self.occupied[handle as usize] = false;
+        }
+        debug_assert!(self.live > 0, "arena live-count underflow");
+        self.live -= 1;
+        self.free.push(handle);
+    }
+
+    /// Number of live (allocated, not yet freed) payloads — the channel's
+    /// packet-conservation invariant checks this against its queue and ring
+    /// occupancy.
+    #[inline]
+    pub fn live(&self) -> usize {
+        self.live
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -95,5 +246,52 @@ mod tests {
         assert_eq!(p.retransmissions(), 0);
         p.sends = 3;
         assert_eq!(p.retransmissions(), 2);
+    }
+
+    #[test]
+    fn arena_reuses_freed_slots_lifo() {
+        let mut a = PacketArena::new();
+        let h0 = a.alloc(pkt());
+        let h1 = a.alloc(Packet { id: 2, ..pkt() });
+        assert_eq!((h0, h1), (0, 1));
+        assert_eq!(a.live(), 2);
+        assert_eq!(a.get(h1).id, 2);
+        a.free(h0);
+        assert_eq!(a.live(), 1);
+        // LIFO: the most recently freed slot is handed out next.
+        let h2 = a.alloc(Packet { id: 3, ..pkt() });
+        assert_eq!(h2, h0);
+        assert_eq!(a.get(h2).id, 3);
+        assert_eq!(a.live(), 2);
+    }
+
+    #[test]
+    fn arena_mutation_is_visible_through_the_handle() {
+        let mut a = PacketArena::new();
+        let h = a.alloc(pkt());
+        a.get_mut(h).sends = 7;
+        a.get_mut(h).sent_at = 40;
+        assert_eq!(a.get(h).sends, 7);
+        assert_eq!(a.get(h).sent_at, 40);
+    }
+
+    #[cfg(debug_assertions)]
+    #[test]
+    #[should_panic(expected = "double-free")]
+    fn arena_debug_build_catches_double_free() {
+        let mut a = PacketArena::new();
+        let h = a.alloc(pkt());
+        a.free(h);
+        a.free(h);
+    }
+
+    #[cfg(debug_assertions)]
+    #[test]
+    #[should_panic(expected = "freed handle")]
+    fn arena_debug_build_catches_use_after_free() {
+        let mut a = PacketArena::new();
+        let h = a.alloc(pkt());
+        a.free(h);
+        let _ = a.get(h).id;
     }
 }

@@ -11,25 +11,29 @@
 //! * [`DistributedArbiter`] — the oldest-first token queue, per-cycle
 //!   emission (gated by the flow layer), disjoint window sweeps, and a bulk
 //!   fast path for idle cycles;
-//! * [`ArbiterKind`] — the construction-time dispatch wrapper chosen once
-//!   in [`super::build`].
+//! * [`ArbiterKind`] — the runtime dispatch wrapper for callers that pick
+//!   the scheme at runtime (the model checker, unit rigs); the network's
+//!   hot path monomorphizes over the concrete arbiters instead.
 //!
 //! Arbiters issue *grants* (via [`crate::outqueue::OutQueue::take_grant`])
-//! and maintain the channel's active-sender list; everything about buffer
+//! and refresh the channel's predicate bit-planes; everything about buffer
 //! space lives in [`super::flow`]. The two layers meet at narrow hooks
-//! ([`FlowKind::has_credit`], [`FlowKind::may_emit`], …) so a new scheme
-//! combination is a new pairing, not a new `Channel`.
+//! ([`Flow::has_credit`], [`Flow::may_emit`], …) so a new scheme
+//! combination is a new pairing, not a new `Channel`. The sweep loops are
+//! generic over [`Flow`], so a monomorphized channel compiles them with the
+//! concrete flow's hooks inlined — the per-cycle path has zero enum
+//! dispatch.
 
 use crate::config::FairnessPolicy;
 use crate::metrics::NetworkMetrics;
 use crate::outqueue::OutQueue;
+use crate::packet::PacketRef;
 use pnoc_faults::ChannelInjector;
 use pnoc_obs::{EventKind, NO_PACKET};
 use pnoc_sim::Cycle;
-use std::collections::VecDeque;
 
-use super::flow::FlowKind;
-use super::sendable::SendableSet;
+use super::bitplane::{AgeSet, Planes};
+use super::flow::Flow;
 
 /// State of the single global-arbitration token (token channel, GHS).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -73,13 +77,12 @@ pub struct TokenCx<'a> {
     pub by_distance: &'a [usize],
     /// Node id → downstream distance from home (precomputed).
     pub dist_of: &'a [usize],
-    /// Per-sender output queues.
-    pub senders: &'a mut [OutQueue],
-    /// Senders with unconsumed grants.
-    pub active: &'a mut Vec<usize>,
-    /// Exact mask of senders with sendable work, by distance — the sweep
-    /// loops probe only its set bits, and grants refresh it.
-    pub sendable: &'a mut SendableSet,
+    /// Per-sender output queues (arena-handle entries; see
+    /// [`crate::packet::PacketArena`]).
+    pub senders: &'a mut [OutQueue<PacketRef>],
+    /// Per-node predicate bit-planes, by downstream distance — the sweep
+    /// loops probe only set `sendable` bits, and grants refresh all planes.
+    pub planes: &'a mut Planes,
     /// Home buffer occupancy (queued + draining), for the emission gate.
     pub buffered: usize,
     /// Home buffer capacity.
@@ -92,26 +95,24 @@ pub struct TokenCx<'a> {
 }
 
 impl TokenCx<'_> {
-    /// Grant the channel to `node` and put it on the active list.
+    /// Grant the channel to `node`. The refreshed `granted` plane is what
+    /// puts the node on the transmit phase's scan path.
     #[inline]
     fn grant(&mut self, node: usize, m: &mut NetworkMetrics) {
         self.senders[node].take_grant(self.now, self.fairness);
         m.trace(self.now, self.home, node, NO_PACKET, EventKind::TokenGrant);
-        if !self.active.contains(&node) {
-            self.active.push(node);
-        }
-        // A grant consumes sendable headroom (the transmission it owes).
-        self.sendable
-            .set(self.dist_of[node], self.senders[node].sendable() > 0);
+        // A grant consumes sendable headroom (the transmission it owes) and
+        // raises the granted bit.
+        self.planes.refresh(self.dist_of[node], &self.senders[node]);
     }
 
     /// First sender in the distance window `[lo, hi)` that may take a token
-    /// right now. The mask prunes to senders with sendable work; `eligible`
-    /// stays authoritative (fairness sit-outs are time-dependent).
+    /// right now. The sendable plane prunes to senders with sendable work;
+    /// `eligible` stays authoritative (fairness sit-outs are time-dependent).
     #[inline]
     fn first_eligible_in(&self, lo: usize, hi: usize) -> Option<usize> {
         let mut d = lo;
-        while let Some(hit) = self.sendable.first_in(d, hi) {
+        while let Some(hit) = self.planes.sendable.first_in(d, hi) {
             let node = self.by_distance[hit];
             if self.senders[node].eligible(self.now, self.fairness) {
                 return Some(node);
@@ -122,8 +123,28 @@ impl TokenCx<'_> {
     }
 }
 
+/// The arbitration side of a scheme: one cycle of token motion, plus the
+/// state the channel's audit/model-checking hooks need. `step` is generic
+/// over the paired [`Flow`] so the monomorphized channel inlines both
+/// layers into one compiled loop.
+pub trait Arbiter {
+    /// One cycle of token relay/streaming: fault exposure, emission or
+    /// watchdog, window sweeps, grants.
+    fn step<F: Flow>(&mut self, flow: &mut F, cx: &mut TokenCx<'_>, m: &mut NetworkMetrics);
+
+    /// Live distributed tokens (0 under global arbitration).
+    fn outstanding_tokens(&self) -> usize;
+
+    /// Append the arbiter's canonical state encoding for
+    /// [`crate::channel::Channel::state_key`]. `credits_word` is the paired
+    /// flow's credit count (or the caller's separator sentinel) — the global
+    /// token carries it, so it is part of the token's state; distributed
+    /// arbiters ignore it.
+    fn state_key_into(&self, now: Cycle, credits_word: u64, out: &mut Vec<u64>);
+}
+
 /// The single-token state machine (token channel, GHS). Credits, if any,
-/// live in the paired [`FlowKind`]; the arbiter asks before granting.
+/// live in the paired flow; the arbiter asks before granting.
 #[derive(Debug, Clone)]
 pub struct GlobalArbiter {
     /// Current token state.
@@ -138,9 +159,22 @@ impl GlobalArbiter {
         }
     }
 
+    /// Continue the sweep at `next`, wrapping past the home (which
+    /// reimburses credits via [`Flow::on_home_pass`]).
+    fn wrap_or_continue<F: Flow>(next: usize, nodes: usize, flow: &mut F) -> GlobalTokenState {
+        if next >= nodes - 1 {
+            flow.on_home_pass();
+            GlobalTokenState::Sweeping { next: 0 }
+        } else {
+            GlobalTokenState::Sweeping { next }
+        }
+    }
+}
+
+impl Arbiter for GlobalArbiter {
     /// One cycle of token relay: fault exposure, watchdog re-emission,
     /// hold/release, and the sweep window.
-    pub fn step(&mut self, flow: &mut FlowKind, cx: &mut TokenCx<'_>, m: &mut NetworkMetrics) {
+    fn step<F: Flow>(&mut self, flow: &mut F, cx: &mut TokenCx<'_>, m: &mut NetworkMetrics) {
         // Fault: the circulating token is destroyed. Only a sweeping token
         // is exposed (a held one is latched at its sender).
         if let Some(inj) = cx.injector.as_deref_mut() {
@@ -197,15 +231,28 @@ impl GlobalArbiter {
         }
     }
 
-    /// Continue the sweep at `next`, wrapping past the home (which
-    /// reimburses credits via [`FlowKind::on_home_pass`]).
-    fn wrap_or_continue(next: usize, nodes: usize, flow: &mut FlowKind) -> GlobalTokenState {
-        if next >= nodes - 1 {
-            flow.on_home_pass();
-            GlobalTokenState::Sweeping { next: 0 }
-        } else {
-            GlobalTokenState::Sweeping { next }
+    #[inline]
+    fn outstanding_tokens(&self) -> usize {
+        0
+    }
+
+    fn state_key_into(&self, now: Cycle, credits_word: u64, out: &mut Vec<u64>) {
+        out.push(0);
+        match self.state {
+            GlobalTokenState::Sweeping { next } => {
+                out.push(0);
+                out.push(next as u64);
+            }
+            GlobalTokenState::Held { node } => {
+                out.push(1);
+                out.push(node as u64);
+            }
+            GlobalTokenState::Lost { since } => {
+                out.push(2);
+                out.push(now.saturating_sub(since));
+            }
         }
+        out.push(credits_word);
     }
 }
 
@@ -215,15 +262,20 @@ impl Default for GlobalArbiter {
     }
 }
 
-/// The token-stream state machine (token slot, DHS, DHS with circulation):
-/// tokens indexed oldest-first, each holding the first downstream distance
-/// not yet examined.
+/// The token-stream state machine (token slot, DHS, DHS with circulation).
+///
+/// A live token's sweep window is a pure function of its age — a token
+/// emitted `a` cycles ago covers distances `[a·step, (a+1)·step)` — so the
+/// stream is stored as an [`AgeSet`]: one bit per live age. Advancing every
+/// token is a word shift, membership is a bit test, and grants/faults are
+/// bit clears. (The first representation stored positions and re-wrote
+/// every token each cycle — an O(loop-time) walk per channel per cycle; a
+/// sorted emission-cycle deque fixed the walk but left a binary search per
+/// probed window.)
 #[derive(Debug, Clone, Default)]
 pub struct DistributedArbiter {
-    /// Live tokens, oldest first (positions strictly decrease toward the
-    /// back: each token advances one window per cycle and new ones start
-    /// at distance 0).
-    pub tokens: VecDeque<usize>,
+    /// Live tokens, one bit per age.
+    pub tokens: AgeSet,
 }
 
 impl DistributedArbiter {
@@ -231,16 +283,19 @@ impl DistributedArbiter {
     pub fn new() -> Self {
         Self::default()
     }
+}
 
-    /// One cycle of the token stream: fault exposure, emission (gated by
-    /// the flow layer), and every live token's window sweep.
-    pub fn step(&mut self, flow: &mut FlowKind, cx: &mut TokenCx<'_>, m: &mut NetworkMetrics) {
-        // Fault: in-flight tokens are exposed every cycle.
+impl Arbiter for DistributedArbiter {
+    /// One cycle of the token stream: ageing, fault exposure, emission
+    /// (gated by the flow layer), and the window sweep.
+    fn step<F: Flow>(&mut self, flow: &mut F, cx: &mut TokenCx<'_>, m: &mut NetworkMetrics) {
+        // Age the stream: every live token advances one window.
+        self.tokens.tick();
+        // Fault: in-flight tokens are exposed every cycle, oldest first
+        // (the emission order, so fault draws replay identically).
         if let Some(inj) = cx.injector.as_deref_mut() {
-            if inj.active() && !self.tokens.is_empty() {
-                let before = self.tokens.len();
-                self.tokens.retain(|_| !inj.token_lost());
-                let destroyed = before - self.tokens.len();
+            if inj.active() && self.tokens.any() {
+                let destroyed = self.tokens.retain_oldest_first(|| !inj.token_lost());
                 if destroyed > 0 {
                     m.faults_tokens_lost += destroyed as u64;
                     for _ in 0..destroyed {
@@ -253,64 +308,61 @@ impl DistributedArbiter {
         // Emission.
         let emit = flow.may_emit(
             cx.buffered,
-            self.tokens.len(),
+            self.tokens.count(),
             cx.buffer_cap,
             *cx.suppress_token,
         );
         *cx.suppress_token = false;
         if emit {
-            self.tokens.push_back(0);
+            self.tokens.emit();
         }
-        // Sweep every live token. Windows are disjoint: the token emitted
-        // `a` cycles ago covers distances [a·step, (a+1)·step) this cycle,
-        // maintained per token as `next`.
-        if !cx.sendable.any() {
-            // Fast path: with no sender holding sendable work — queues
-            // empty, or (basic GHS/DHS) every head blocked on a pending
-            // handshake — no token can be taken, so every window sweep
-            // trivially fails; advance the whole stream in bulk. Positions
-            // strictly decrease from front to back, so the tokens that die
-            // at the home this cycle (`next + step` reaching the last
-            // distance) are exactly a front prefix.
-            debug_assert!(self.tokens.iter().is_sorted_by(|a, b| a >= b));
-            let die_at = (cx.nodes - 1).saturating_sub(cx.step);
-            while self.tokens.front().is_some_and(|&t| t >= die_at) {
-                self.tokens.pop_front();
-            }
-            for t in &mut self.tokens {
-                *t += cx.step;
-            }
-            return;
-        }
-        let mut idx = 0;
-        while idx < self.tokens.len() {
-            let next = self.tokens[idx];
-            let hi = (next + cx.step).min(cx.nodes - 1);
-            let mut grabbed = false;
-            if let Some(node) = cx.first_eligible_in(next, hi) {
-                cx.grant(node, m);
-                flow.on_grant();
-                grabbed = true;
-            }
-            if grabbed {
-                self.tokens.remove(idx);
-                // do not advance idx: the next token shifted in
-            } else {
-                self.tokens[idx] = hi;
-                if hi >= cx.nodes - 1 {
-                    // Token completed the loop un-taken and dies at the
-                    // home (the home re-emits fresh ones; for token slot
-                    // the reservation returns to the pool implicitly).
-                    self.tokens.remove(idx);
-                } else {
-                    idx += 1;
+        // Sweep the token stream. Windows are disjoint: the token of age
+        // `a` covers distances [a·step, (a+1)·step) this cycle, so instead
+        // of probing every live token's window (O(loop-time) per busy
+        // cycle), scan the set `sendable` bits — usually a handful — and
+        // bit-test the one age whose window covers each. Grants touch only
+        // their own window's sender, so windows never interact and scan
+        // order is immaterial.
+        let last = cx.nodes - 1;
+        let mut d = 0;
+        while let Some(hit) = cx.planes.sendable.first_in(d, last) {
+            let age = hit / cx.step;
+            let hi = (age * cx.step + cx.step).min(last);
+            if self.tokens.contains(age) {
+                if let Some(node) = cx.first_eligible_in(hit, hi) {
+                    cx.grant(node, m);
+                    flow.on_grant();
+                    self.tokens.clear(age);
                 }
             }
+            d = hi;
+        }
+        // Retire the tokens whose window reached the last distance: they
+        // completed the loop un-taken and die at the home (the home
+        // re-emits fresh ones; for token slot the reservation returns to
+        // the pool implicitly).
+        let die_at = last.saturating_sub(cx.step);
+        self.tokens.retire(die_at.div_ceil(cx.step));
+    }
+
+    #[inline]
+    fn outstanding_tokens(&self) -> usize {
+        self.tokens.count()
+    }
+
+    fn state_key_into(&self, _now: Cycle, _credits_word: u64, out: &mut Vec<u64>) {
+        out.push(1);
+        // Token ages, oldest first: time-translation invariant, so
+        // recurring channel states key identically.
+        for age in self.tokens.iter_oldest_first() {
+            out.push(age as u64);
         }
     }
 }
 
-/// Construction-time arbitration dispatch (see module docs).
+/// Runtime arbitration dispatch for callers that pick the scheme at
+/// runtime (the bounded model checker, unit rigs). The network's hot path
+/// uses the concrete arbiters directly — see the module docs.
 #[derive(Debug, Clone)]
 pub enum ArbiterKind {
     /// One token relayed among all senders (token channel, GHS).
@@ -319,13 +371,28 @@ pub enum ArbiterKind {
     Distributed(DistributedArbiter),
 }
 
-impl ArbiterKind {
-    /// Live distributed tokens (0 under global arbitration).
+impl Arbiter for ArbiterKind {
     #[inline]
-    pub fn outstanding_tokens(&self) -> usize {
+    fn step<F: Flow>(&mut self, flow: &mut F, cx: &mut TokenCx<'_>, m: &mut NetworkMetrics) {
         match self {
-            ArbiterKind::Global(_) => 0,
-            ArbiterKind::Distributed(d) => d.tokens.len(),
+            ArbiterKind::Global(g) => g.step(flow, cx, m),
+            ArbiterKind::Distributed(d) => d.step(flow, cx, m),
+        }
+    }
+
+    #[inline]
+    fn outstanding_tokens(&self) -> usize {
+        match self {
+            ArbiterKind::Global(g) => g.outstanding_tokens(),
+            ArbiterKind::Distributed(d) => d.outstanding_tokens(),
+        }
+    }
+
+    #[inline]
+    fn state_key_into(&self, now: Cycle, credits_word: u64, out: &mut Vec<u64>) {
+        match self {
+            ArbiterKind::Global(g) => g.state_key_into(now, credits_word, out),
+            ArbiterKind::Distributed(d) => d.state_key_into(now, credits_word, out),
         }
     }
 }

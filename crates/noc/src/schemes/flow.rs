@@ -13,9 +13,17 @@
 //!   one committed buffer slot, in-flight accounting, lost reservations);
 //! * [`HandshakeFlow`] — GHS/DHS: the ACK/NACK calendar, sender-side
 //!   retransmit timers, and the accepted-id set for duplicate suppression;
-//! * [`FlowKind`] — the construction-time dispatch wrapper. The variant is
-//!   chosen once in [`super::build`]; per-cycle hooks are direct enum
-//!   branches, never a re-match on [`crate::config::Scheme`].
+//! * [`CirculationFlow`] — DHS with circulation: no handshake, no
+//!   reservation — a full home reinjects the flit into its own channel;
+//! * [`FlowKind`] — the runtime dispatch wrapper over the four, for
+//!   callers that hold a scheme chosen at runtime (the bounded model
+//!   checker, unit rigs).
+//!
+//! Every concrete flow implements the [`Flow`] trait. The hot path never
+//! sees `FlowKind`: [`crate::network::Network`] builds each channel as a
+//! monomorphized `Channel<A, F>` over the concrete pairing, so the per-cycle
+//! hooks below inline with zero enum dispatch — a hook that is a no-op for
+//! the scheme (most of them are, for most schemes) folds away entirely.
 //!
 //! The arbiter side of a scheme (who may transmit next) lives in
 //! [`super::arbiter`]; a [`crate::channel::Channel`] composes one of each.
@@ -23,7 +31,7 @@
 use crate::calendar::Calendar;
 use crate::metrics::NetworkMetrics;
 use crate::outqueue::{OutQueue, TimeoutAction};
-use crate::packet::Packet;
+use crate::packet::{FlitRef, Packet, PacketArena, PacketRef};
 use crate::slots::SlotRing;
 use pnoc_faults::{AckFate, ChannelInjector, RecoveryConfig};
 use pnoc_obs::EventKind;
@@ -31,8 +39,7 @@ use pnoc_sim::Cycle;
 use std::cmp::Reverse;
 use std::collections::{BinaryHeap, VecDeque};
 
-use super::idset::SortedIdSet;
-use super::sendable::SendableSet;
+use super::bitplane::{Planes, SortedIdSet};
 
 /// An ACK/NACK in flight on the handshake channel.
 #[derive(Debug, Clone, Copy)]
@@ -43,6 +50,186 @@ pub struct AckEvent {
     pub id: u64,
     /// `true` = ACK (accepted), `false` = NACK (dropped or corrupt).
     pub ok: bool,
+}
+
+/// What the flow-control layer may touch while deciding an arrival's fate.
+/// Field-level borrows keep the hot path free of whole-`Channel` aliasing.
+///
+/// Arena ownership at arrival: for the credit-reserved schemes the ring
+/// *owned* the flit's arena slot, so `accept` frees `handle` when it copies
+/// the payload into the input buffer (or reinjects the bare handle, for
+/// circulation). Handshake schemes transmit an aliased handle — the sender
+/// keeps ownership until its ACK — so their `accept` never frees.
+#[derive(Debug)]
+pub struct ArrivalCx<'a> {
+    /// Current cycle.
+    pub now: Cycle,
+    /// The home node id (trace-event addressing).
+    pub home: usize,
+    /// The home's ring segment (for circulation reinjects).
+    pub home_seg: usize,
+    /// Fixed handshake delay (`segments + 1`).
+    pub handshake_delay: Cycle,
+    /// Whether timeout/retransmit recovery is armed.
+    pub recovery_enabled: bool,
+    /// Whether the home buffer has room (queued + draining < capacity).
+    pub has_room: bool,
+    /// Arena handle of the arriving flit.
+    pub handle: u32,
+    /// The channel's packet arena.
+    pub arena: &'a mut PacketArena,
+    /// The home input buffer.
+    pub input_queue: &'a mut VecDeque<Packet>,
+    /// The data ring (circulation puts rejected flits back).
+    pub data: &'a mut SlotRing<FlitRef>,
+    /// Channel flag: a reinjection this cycle suppresses token emission.
+    pub suppress_token: &'a mut bool,
+}
+
+/// The flow-control side of a scheme: buffer-space hooks called by the
+/// channel phases and the arbiter sweeps. Every method except
+/// [`Flow::may_emit`] and [`Flow::accept`] has a no-op (or constant)
+/// default, so a concrete flow implements only the hooks its scheme uses
+/// and a monomorphized channel pays nothing for the rest.
+pub trait Flow {
+    /// The handshake state, if this is a handshake scheme.
+    #[inline]
+    fn handshake(&self) -> Option<&HandshakeFlow> {
+        None
+    }
+
+    /// Mutable access to the handshake state.
+    #[inline]
+    fn handshake_mut(&mut self) -> Option<&mut HandshakeFlow> {
+        None
+    }
+
+    /// Whether a grant may be issued right now (token channel: a credit
+    /// must ride the token; every other scheme gates elsewhere).
+    #[inline]
+    fn has_credit(&self) -> bool {
+        true
+    }
+
+    /// A grant was issued by the *global* arbiter: spend the credit it
+    /// carries.
+    #[inline]
+    fn spend_credit(&mut self) {}
+
+    /// A grant was issued by the *distributed* arbiter: the token slot's
+    /// reservation starts travelling with the grant.
+    #[inline]
+    fn on_grant(&mut self) {}
+
+    /// The global token passed home: the token channel reimburses every
+    /// credit freed since the last pass (paper Fig. 2a); GHS has nothing
+    /// to do.
+    #[inline]
+    fn on_home_pass(&mut self) {}
+
+    /// A buffer slot was freed by an ejection; for the token channel it
+    /// becomes a reimbursable credit on the token's next home pass.
+    #[inline]
+    fn on_slot_freed(&mut self) {}
+
+    /// The sweeping global token was destroyed by a fault. Token-channel
+    /// credits ride on the token and die with it — an unrecoverable leak.
+    /// (The GHS token carries nothing; it is fully replaced.)
+    #[inline]
+    fn on_sweeping_token_lost(&mut self, _m: &mut NetworkMetrics) {}
+
+    /// `destroyed` distributed tokens were lost to faults. The token slot's
+    /// reservations stay committed forever — a permanent leak of buffer
+    /// capacity. (DHS re-emits every cycle, so a lost token costs one cycle
+    /// of arbitration, nothing more.)
+    #[inline]
+    fn on_tokens_destroyed(&mut self, _destroyed: usize, _m: &mut NetworkMetrics) {}
+
+    /// Whether the home may emit a distributed token this cycle:
+    /// the token slot regenerates only while it has uncommitted buffer
+    /// space; DHS emits unconditionally; circulation skips the cycle a
+    /// reinjection virtually consumed.
+    fn may_emit(
+        &self,
+        buffered: usize,
+        tokens_out: usize,
+        buffer_cap: usize,
+        suppressed: bool,
+    ) -> bool;
+
+    /// A flit was destroyed in flight: the home never sees it, so no
+    /// handshake fires and no buffer slot is touched; reservation-carrying
+    /// schemes leak the space it had claimed.
+    #[inline]
+    fn on_data_lost(&mut self, _m: &mut NetworkMetrics) {}
+
+    /// A flit arrived corrupted (CRC failure at the home). Receives the
+    /// ring-side snapshot, not the payload: the flit may be a stale
+    /// duplicate whose arena slot has already been released.
+    #[inline]
+    fn on_data_corrupt(&mut self, _flit: &FlitRef, _handshake_delay: Cycle) {}
+
+    /// An intact, non-duplicate flit reached the home: accept it into the
+    /// buffer, or apply the scheme's rejection behaviour (handshake NACK /
+    /// circulation reinject). Credit-reserved schemes can never reject.
+    fn accept(&mut self, pkt: Packet, cx: &mut ArrivalCx<'_>, m: &mut NetworkMetrics);
+
+    /// Deliver this cycle's handshakes and fire expired ACK timers.
+    /// A no-op for every scheme without a handshake channel; see
+    /// [`HandshakeFlow::phase_acks`] for the real one.
+    #[allow(clippy::too_many_arguments)]
+    #[inline]
+    fn phase_acks(
+        &mut self,
+        _now: Cycle,
+        _home: usize,
+        _senders: &mut [OutQueue<PacketRef>],
+        _arena: &mut PacketArena,
+        _dist_of: &[usize],
+        _planes: &mut Planes,
+        _queued_total: &mut usize,
+        _injector: Option<&mut ChannelInjector>,
+        _recovery: &RecoveryConfig,
+        _handshake_delay: Cycle,
+        _m: &mut NetworkMetrics,
+    ) {
+    }
+
+    /// Handshake events still in flight (0 for handshake-free schemes).
+    #[inline]
+    fn pending_acks(&self) -> usize {
+        0
+    }
+
+    /// Credits riding the global token (token channel only).
+    #[inline]
+    fn credits(&self) -> Option<u32> {
+        None
+    }
+
+    /// Credits freed by ejections, awaiting the token (token channel only).
+    #[inline]
+    fn uncommitted(&self) -> u32 {
+        0
+    }
+
+    /// Reservations travelling with grants / flits (token slot only).
+    #[inline]
+    fn inflight(&self) -> u32 {
+        0
+    }
+
+    /// Reservations destroyed by token-loss faults (token slot only).
+    #[inline]
+    fn lost_reservations(&self) -> u32 {
+        0
+    }
+
+    /// Credits permanently destroyed by faults (token channel only).
+    #[inline]
+    fn leaked_credits(&self) -> u32 {
+        0
+    }
 }
 
 /// Token-channel credit ledger: the home's `input_buffer` credits ride the
@@ -71,6 +258,80 @@ impl CreditFlow {
     }
 }
 
+impl Flow for CreditFlow {
+    #[inline]
+    fn has_credit(&self) -> bool {
+        self.credits > 0
+    }
+
+    #[inline]
+    fn spend_credit(&mut self) {
+        self.credits -= 1;
+    }
+
+    #[inline]
+    fn on_home_pass(&mut self) {
+        self.credits += self.uncommitted;
+        self.uncommitted = 0;
+    }
+
+    #[inline]
+    fn on_slot_freed(&mut self) {
+        self.uncommitted += 1;
+    }
+
+    #[inline]
+    fn on_sweeping_token_lost(&mut self, m: &mut NetworkMetrics) {
+        m.credit_leaks += u64::from(self.credits);
+        self.leaked += self.credits;
+        self.credits = 0;
+    }
+
+    fn may_emit(&self, _: usize, _: usize, _: usize, _: bool) -> bool {
+        unreachable!("global credit flow never pairs with distributed arbitration")
+    }
+
+    /// The credit reserved for this flit can never be reimbursed (the slot
+    /// is never occupied, so it is never ejected): a permanent leak.
+    #[inline]
+    fn on_data_lost(&mut self, m: &mut NetworkMetrics) {
+        self.leaked += 1;
+        m.credit_leaks += 1;
+    }
+
+    /// Discarded at the home; generously return the credit (the flit
+    /// itself is still gone for good — credit schemes cannot ask for a
+    /// retransmission).
+    #[inline]
+    fn on_data_corrupt(&mut self, _flit: &FlitRef, _handshake_delay: Cycle) {
+        self.uncommitted += 1;
+    }
+
+    fn accept(&mut self, pkt: Packet, cx: &mut ArrivalCx<'_>, _m: &mut NetworkMetrics) {
+        // Credit-reserved: space is guaranteed by construction. Always-on
+        // check: a violation here means corrupted credit state, which a
+        // release-mode harness run must not silently pass through.
+        assert!(cx.has_room, "reservation accounting violated");
+        cx.arena.free(cx.handle);
+        cx.input_queue.push_back(pkt);
+    }
+
+    #[inline]
+    fn credits(&self) -> Option<u32> {
+        Some(self.credits)
+    }
+
+    #[inline]
+    fn uncommitted(&self) -> u32 {
+        self.uncommitted
+    }
+
+    #[inline]
+    fn leaked_credits(&self) -> u32 {
+        self.leaked
+    }
+}
+
 /// Token-slot reservations: each distributed token embodies one committed
 /// buffer slot.
 #[derive(Debug, Clone, Default)]
@@ -81,6 +342,63 @@ pub struct SlotFlow {
     /// the destruction, so the slots stay committed forever — this is the
     /// credit leak the handshake schemes are immune to.
     pub lost_reservations: u32,
+}
+
+impl Flow for SlotFlow {
+    #[inline]
+    fn on_grant(&mut self) {
+        self.inflight += 1;
+    }
+
+    #[inline]
+    fn on_tokens_destroyed(&mut self, destroyed: usize, m: &mut NetworkMetrics) {
+        self.lost_reservations += crate::convert::narrow_u32(destroyed);
+        m.credit_leaks += destroyed as u64;
+    }
+
+    #[inline]
+    fn may_emit(
+        &self,
+        buffered: usize,
+        tokens_out: usize,
+        buffer_cap: usize,
+        _suppressed: bool,
+    ) -> bool {
+        let committed =
+            buffered + self.inflight as usize + self.lost_reservations as usize + tokens_out;
+        committed < buffer_cap
+    }
+
+    /// The in-flight reservation is never returned (`inflight` stays
+    /// elevated forever).
+    #[inline]
+    fn on_data_lost(&mut self, m: &mut NetworkMetrics) {
+        m.credit_leaks += 1;
+    }
+
+    #[inline]
+    fn on_data_corrupt(&mut self, _flit: &FlitRef, _handshake_delay: Cycle) {
+        assert!(self.inflight > 0, "inflight underflow");
+        self.inflight -= 1;
+    }
+
+    fn accept(&mut self, pkt: Packet, cx: &mut ArrivalCx<'_>, _m: &mut NetworkMetrics) {
+        assert!(cx.has_room, "reservation accounting violated");
+        assert!(self.inflight > 0, "inflight underflow");
+        self.inflight -= 1;
+        cx.arena.free(cx.handle);
+        cx.input_queue.push_back(pkt);
+    }
+
+    #[inline]
+    fn inflight(&self) -> u32 {
+        self.inflight
+    }
+
+    #[inline]
+    fn lost_reservations(&self) -> u32 {
+        self.lost_reservations
+    }
 }
 
 /// GHS/DHS handshake state: ACK/NACK events in flight, sender-side
@@ -118,23 +436,33 @@ impl HandshakeFlow {
     /// Deliver this cycle's handshakes to their senders, then fire expired
     /// ACK timers. `queued_total` is the channel's cached cross-sender
     /// backlog, adjusted here exactly as the send-mode bookkeeping demands;
-    /// `sendable` is the channel's sendable-sender mask, refreshed after
-    /// every queue mutation (ACKs unblock `HoldHead` heads, NACKs and
-    /// timeouts re-queue setaside packets).
+    /// `planes` are the channel's per-node predicate planes, refreshed
+    /// after every queue mutation (ACKs unblock `HoldHead` heads, NACKs and
+    /// timeouts re-queue setaside packets). An ACK or abandon retires the
+    /// sender's retained copy — the last owner of the arena payload — so
+    /// both release the handle here.
     #[allow(clippy::too_many_arguments)]
     pub fn phase_acks(
         &mut self,
         now: Cycle,
         home: usize,
-        senders: &mut [OutQueue],
+        senders: &mut [OutQueue<PacketRef>],
+        arena: &mut PacketArena,
         dist_of: &[usize],
-        sendable: &mut SendableSet,
+        planes: &mut Planes,
         queued_total: &mut usize,
         mut injector: Option<&mut ChannelInjector>,
         recovery: &RecoveryConfig,
         handshake_delay: Cycle,
         m: &mut NetworkMetrics,
     ) {
+        // Quiet-cycle early-out: no handshakes in flight and no armed
+        // timers. The calendar frontier still advances (O(1)) so a later
+        // schedule sees a current horizon.
+        if self.acks.is_empty() && self.ack_timers.is_empty() {
+            self.acks.fast_forward(now);
+            return;
+        }
         let setaside = self.setaside;
         for ev in self.acks.drain(now) {
             // Handshake-channel fault: the pulse never reaches the sender.
@@ -149,7 +477,8 @@ impl HandshakeFlow {
             }
             let q = &mut senders[ev.sender];
             if ev.ok {
-                if q.ack(ev.id).is_some() {
+                if let Some(released) = q.ack(ev.id) {
+                    arena.free(released.handle);
                     m.trace(now, home, ev.sender, ev.id, EventKind::Ack);
                     // HoldHead keeps the packet queued until the ACK:
                     // account for its departure now. Setaside removed it
@@ -177,7 +506,7 @@ impl HandshakeFlow {
                 // recovery can produce that race.
                 assert!(recovery.enabled, "NACK for unknown packet {}", ev.id);
             }
-            sendable.set(dist_of[ev.sender], senders[ev.sender].sendable() > 0);
+            planes.refresh(dist_of[ev.sender], &senders[ev.sender]);
         }
         // Expired ACK timers (armed per transmission when recovery is on).
         // A timer firing while the packet still awaits its handshake means
@@ -198,7 +527,8 @@ impl HandshakeFlow {
                         *queued_total += 1;
                     }
                 }
-                TimeoutAction::Abandon => {
+                TimeoutAction::Abandon(dropped) => {
+                    arena.free(dropped.handle);
                     m.abandoned += 1;
                     m.trace(now, home, sender, id, EventKind::Abandon);
                     // A HoldHead abandon pops the pending head off the queue.
@@ -208,36 +538,164 @@ impl HandshakeFlow {
                 }
                 TimeoutAction::Stale => {}
             }
-            sendable.set(dist_of[sender], senders[sender].sendable() > 0);
+            planes.refresh(dist_of[sender], &senders[sender]);
         }
     }
 }
 
-/// What the flow-control layer may touch while deciding an arrival's fate.
-/// Field-level borrows keep the hot path free of whole-`Channel` aliasing.
-#[derive(Debug)]
-pub struct ArrivalCx<'a> {
-    /// Current cycle.
-    pub now: Cycle,
-    /// The home node id (trace-event addressing).
-    pub home: usize,
-    /// The home's ring segment (for circulation reinjects).
-    pub home_seg: usize,
-    /// Fixed handshake delay (`segments + 1`).
-    pub handshake_delay: Cycle,
-    /// Whether timeout/retransmit recovery is armed.
-    pub recovery_enabled: bool,
-    /// Whether the home buffer has room (queued + draining < capacity).
-    pub has_room: bool,
-    /// The home input buffer.
-    pub input_queue: &'a mut VecDeque<Packet>,
-    /// The data ring (circulation puts rejected flits back).
-    pub data: &'a mut SlotRing<Packet>,
-    /// Channel flag: a reinjection this cycle suppresses token emission.
-    pub suppress_token: &'a mut bool,
+impl Flow for HandshakeFlow {
+    #[inline]
+    fn handshake(&self) -> Option<&HandshakeFlow> {
+        Some(self)
+    }
+
+    #[inline]
+    fn handshake_mut(&mut self) -> Option<&mut HandshakeFlow> {
+        Some(self)
+    }
+
+    #[inline]
+    fn may_emit(&self, _: usize, _: usize, _: usize, _: bool) -> bool {
+        true
+    }
+
+    /// CRC failure ⇒ NACK; the sender retransmits exactly as after a
+    /// full-buffer drop.
+    #[inline]
+    fn on_data_corrupt(&mut self, flit: &FlitRef, handshake_delay: Cycle) {
+        self.acks.schedule(
+            flit.sent_at + handshake_delay,
+            AckEvent {
+                sender: flit.src as usize,
+                id: flit.id,
+                ok: false,
+            },
+        );
+    }
+
+    fn accept(&mut self, pkt: Packet, cx: &mut ArrivalCx<'_>, m: &mut NetworkMetrics) {
+        let ack_at = pkt.sent_at + cx.handshake_delay;
+        debug_assert!(ack_at > cx.now, "handshake must arrive in the future");
+        if cx.has_room {
+            self.acks.schedule(
+                ack_at,
+                AckEvent {
+                    sender: pkt.src_node as usize,
+                    id: pkt.id,
+                    ok: true,
+                },
+            );
+            if cx.recovery_enabled {
+                self.accepted_ids.insert(pkt.id);
+            }
+            cx.input_queue.push_back(pkt);
+        } else {
+            // Drop; the sender retransmits on NACK (§III-A).
+            m.drops += 1;
+            m.trace(
+                cx.now,
+                cx.home,
+                pkt.src_node as usize,
+                pkt.id,
+                EventKind::Drop,
+            );
+            self.acks.schedule(
+                ack_at,
+                AckEvent {
+                    sender: pkt.src_node as usize,
+                    id: pkt.id,
+                    ok: false,
+                },
+            );
+        }
+    }
+
+    #[inline]
+    fn phase_acks(
+        &mut self,
+        now: Cycle,
+        home: usize,
+        senders: &mut [OutQueue<PacketRef>],
+        arena: &mut PacketArena,
+        dist_of: &[usize],
+        planes: &mut Planes,
+        queued_total: &mut usize,
+        injector: Option<&mut ChannelInjector>,
+        recovery: &RecoveryConfig,
+        handshake_delay: Cycle,
+        m: &mut NetworkMetrics,
+    ) {
+        HandshakeFlow::phase_acks(
+            self,
+            now,
+            home,
+            senders,
+            arena,
+            dist_of,
+            planes,
+            queued_total,
+            injector,
+            recovery,
+            handshake_delay,
+            m,
+        );
+    }
+
+    #[inline]
+    fn pending_acks(&self) -> usize {
+        self.acks.pending()
+    }
 }
 
-/// Construction-time flow-control dispatch (see module docs).
+/// DHS with circulation: no handshake, no reservation — a full home
+/// reinjects the flit into its own data channel (§III-C). Stateless; the
+/// per-cycle suppression flag lives on the channel.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct CirculationFlow;
+
+impl Flow for CirculationFlow {
+    #[inline]
+    fn may_emit(&self, _: usize, _: usize, _: usize, suppressed: bool) -> bool {
+        !suppressed
+    }
+
+    fn accept(&mut self, pkt: Packet, cx: &mut ArrivalCx<'_>, m: &mut NetworkMetrics) {
+        if cx.has_room {
+            cx.arena.free(cx.handle);
+            cx.input_queue.push_back(pkt);
+        } else {
+            // Reinject: the packet stays on the ring for another loop; the
+            // home consumes this cycle's token virtually (§III-C). Only the
+            // handle goes back on the ring — the payload never moves.
+            let live = cx.arena.get_mut(cx.handle);
+            live.sends += 1;
+            live.sent_at = cx.now; // next arrival check in R cycles
+            cx.data.put(
+                cx.home_seg,
+                FlitRef {
+                    id: live.id,
+                    handle: cx.handle,
+                    sends: live.sends,
+                    src: live.src_node,
+                    sent_at: cx.now,
+                },
+            );
+            *cx.suppress_token = true;
+            m.circulations += 1;
+            m.trace(
+                cx.now,
+                cx.home,
+                pkt.src_node as usize,
+                pkt.id,
+                EventKind::Circulate,
+            );
+        }
+    }
+}
+
+/// Runtime flow-control dispatch for callers that pick the scheme at
+/// runtime (the bounded model checker, unit rigs). The network's hot path
+/// uses the concrete types directly — see the module docs.
 #[derive(Debug, Clone)]
 pub enum FlowKind {
     /// Token channel: credits ride the global token.
@@ -246,301 +704,152 @@ pub enum FlowKind {
     Slot(SlotFlow),
     /// GHS/DHS: ACK/NACK handshake with optional setaside buffers.
     Handshake(HandshakeFlow),
-    /// DHS with circulation: no handshake, no reservation — a full home
-    /// reinjects the flit into its own data channel.
-    Circulation,
+    /// DHS with circulation: no handshake, no reservation.
+    Circulation(CirculationFlow),
 }
 
-impl FlowKind {
-    /// The handshake state, if this is a handshake scheme.
-    #[inline]
-    pub fn handshake(&self) -> Option<&HandshakeFlow> {
-        match self {
-            FlowKind::Handshake(h) => Some(h),
-            _ => None,
+/// Delegate one `Flow` call to whichever concrete flow the kind wraps.
+macro_rules! each_flow {
+    ($self:expr, $f:ident => $body:expr) => {
+        match $self {
+            FlowKind::Credit($f) => $body,
+            FlowKind::Slot($f) => $body,
+            FlowKind::Handshake($f) => $body,
+            FlowKind::Circulation($f) => $body,
         }
+    };
+}
+
+impl Flow for FlowKind {
+    #[inline]
+    fn handshake(&self) -> Option<&HandshakeFlow> {
+        each_flow!(self, f => f.handshake())
     }
 
-    /// Mutable access to the handshake state.
     #[inline]
-    pub fn handshake_mut(&mut self) -> Option<&mut HandshakeFlow> {
-        match self {
-            FlowKind::Handshake(h) => Some(h),
-            _ => None,
-        }
+    fn handshake_mut(&mut self) -> Option<&mut HandshakeFlow> {
+        each_flow!(self, f => f.handshake_mut())
     }
 
-    /// Whether a grant may be issued right now (token channel: a credit
-    /// must ride the token; every other scheme gates elsewhere).
     #[inline]
-    pub fn has_credit(&self) -> bool {
-        match self {
-            FlowKind::Credit(c) => c.credits > 0,
-            _ => true,
-        }
+    fn has_credit(&self) -> bool {
+        each_flow!(self, f => f.has_credit())
     }
 
-    /// A grant was issued by the *global* arbiter: spend the credit it
-    /// carries.
     #[inline]
-    pub fn spend_credit(&mut self) {
-        if let FlowKind::Credit(c) = self {
-            c.credits -= 1;
-        }
+    fn spend_credit(&mut self) {
+        each_flow!(self, f => f.spend_credit());
     }
 
-    /// A grant was issued by the *distributed* arbiter: the token slot's
-    /// reservation starts travelling with the grant.
     #[inline]
-    pub fn on_grant(&mut self) {
-        if let FlowKind::Slot(s) = self {
-            s.inflight += 1;
-        }
+    fn on_grant(&mut self) {
+        each_flow!(self, f => f.on_grant());
     }
 
-    /// The global token passed home: the token channel reimburses every
-    /// credit freed since the last pass (paper Fig. 2a); GHS has nothing
-    /// to do.
     #[inline]
-    pub fn on_home_pass(&mut self) {
-        if let FlowKind::Credit(c) = self {
-            c.credits += c.uncommitted;
-            c.uncommitted = 0;
-        }
+    fn on_home_pass(&mut self) {
+        each_flow!(self, f => f.on_home_pass());
     }
 
-    /// A buffer slot was freed by an ejection; for the token channel it
-    /// becomes a reimbursable credit on the token's next home pass.
     #[inline]
-    pub fn on_slot_freed(&mut self) {
-        if let FlowKind::Credit(c) = self {
-            c.uncommitted += 1;
-        }
+    fn on_slot_freed(&mut self) {
+        each_flow!(self, f => f.on_slot_freed());
     }
 
-    /// The sweeping global token was destroyed by a fault. Token-channel
-    /// credits ride on the token and die with it — an unrecoverable leak.
-    /// (The GHS token carries nothing; it is fully replaced.)
     #[inline]
-    pub fn on_sweeping_token_lost(&mut self, m: &mut NetworkMetrics) {
-        if let FlowKind::Credit(c) = self {
-            m.credit_leaks += u64::from(c.credits);
-            c.leaked += c.credits;
-            c.credits = 0;
-        }
+    fn on_sweeping_token_lost(&mut self, m: &mut NetworkMetrics) {
+        each_flow!(self, f => f.on_sweeping_token_lost(m));
     }
 
-    /// `destroyed` distributed tokens were lost to faults. The token slot's
-    /// reservations stay committed forever — a permanent leak of buffer
-    /// capacity. (DHS re-emits every cycle, so a lost token costs one cycle
-    /// of arbitration, nothing more.)
     #[inline]
-    pub fn on_tokens_destroyed(&mut self, destroyed: usize, m: &mut NetworkMetrics) {
-        if let FlowKind::Slot(s) = self {
-            s.lost_reservations += crate::convert::narrow_u32(destroyed);
-            m.credit_leaks += destroyed as u64;
-        }
+    fn on_tokens_destroyed(&mut self, destroyed: usize, m: &mut NetworkMetrics) {
+        each_flow!(self, f => f.on_tokens_destroyed(destroyed, m));
     }
 
-    /// Whether the home may emit a distributed token this cycle:
-    /// the token slot regenerates only while it has uncommitted buffer
-    /// space; DHS emits unconditionally; circulation skips the cycle a
-    /// reinjection virtually consumed.
     #[inline]
-    pub fn may_emit(
+    fn may_emit(
         &self,
         buffered: usize,
         tokens_out: usize,
         buffer_cap: usize,
         suppressed: bool,
     ) -> bool {
-        match self {
-            FlowKind::Slot(s) => {
-                let committed =
-                    buffered + s.inflight as usize + s.lost_reservations as usize + tokens_out;
-                committed < buffer_cap
-            }
-            FlowKind::Handshake(_) => true,
-            FlowKind::Circulation => !suppressed,
-            FlowKind::Credit(_) => {
-                unreachable!("global credit flow never pairs with distributed arbitration")
-            }
-        }
+        each_flow!(self, f => f.may_emit(buffered, tokens_out, buffer_cap, suppressed))
     }
 
-    /// A flit was destroyed in flight: the home never sees it, so no
-    /// handshake fires and no buffer slot is touched; reservation-carrying
-    /// schemes leak the space it had claimed.
     #[inline]
-    pub fn on_data_lost(&mut self, m: &mut NetworkMetrics) {
-        match self {
-            // The credit reserved for this flit can never be reimbursed
-            // (the slot is never occupied, so it is never ejected): a
-            // permanent leak.
-            FlowKind::Credit(c) => {
-                c.leaked += 1;
-                m.credit_leaks += 1;
-            }
-            // The in-flight reservation is never returned (`inflight`
-            // stays elevated forever).
-            FlowKind::Slot(_) => m.credit_leaks += 1,
-            // Handshake senders recover by ACK timeout; circulation has no
-            // sender copy — a true loss.
-            FlowKind::Handshake(_) | FlowKind::Circulation => {}
-        }
+    fn on_data_lost(&mut self, m: &mut NetworkMetrics) {
+        each_flow!(self, f => f.on_data_lost(m));
     }
 
-    /// A flit arrived corrupted (CRC failure at the home).
     #[inline]
-    pub fn on_data_corrupt(&mut self, pkt: &Packet, handshake_delay: Cycle) {
-        match self {
-            // Discarded at the home; generously return the credit (the flit
-            // itself is still gone for good — credit schemes cannot ask for
-            // a retransmission).
-            FlowKind::Credit(c) => c.uncommitted += 1,
-            FlowKind::Slot(s) => {
-                assert!(s.inflight > 0, "inflight underflow");
-                s.inflight -= 1;
-            }
-            // CRC failure ⇒ NACK; the sender retransmits exactly as after a
-            // full-buffer drop.
-            FlowKind::Handshake(h) => {
-                h.acks.schedule(
-                    pkt.sent_at + handshake_delay,
-                    AckEvent {
-                        sender: pkt.src_node as usize,
-                        id: pkt.id,
-                        ok: false,
-                    },
-                );
-            }
-            FlowKind::Circulation => {}
-        }
+    fn on_data_corrupt(&mut self, flit: &FlitRef, handshake_delay: Cycle) {
+        each_flow!(self, f => f.on_data_corrupt(flit, handshake_delay));
     }
 
-    /// An intact, non-duplicate flit reached the home: accept it into the
-    /// buffer, or apply the scheme's rejection behaviour (handshake NACK /
-    /// circulation reinject). Credit-reserved schemes can never reject.
-    pub fn accept(&mut self, mut pkt: Packet, cx: &mut ArrivalCx<'_>, m: &mut NetworkMetrics) {
-        match self {
-            FlowKind::Credit(_) | FlowKind::Slot(_) => {
-                // Credit-reserved: space is guaranteed by construction.
-                // Always-on check: a violation here means corrupted credit
-                // state, which a release-mode harness run must not silently
-                // pass through.
-                assert!(cx.has_room, "reservation accounting violated");
-                if let FlowKind::Slot(s) = self {
-                    assert!(s.inflight > 0, "inflight underflow");
-                    s.inflight -= 1;
-                }
-                cx.input_queue.push_back(pkt);
-            }
-            FlowKind::Handshake(h) => {
-                let ack_at = pkt.sent_at + cx.handshake_delay;
-                debug_assert!(ack_at > cx.now, "handshake must arrive in the future");
-                if cx.has_room {
-                    h.acks.schedule(
-                        ack_at,
-                        AckEvent {
-                            sender: pkt.src_node as usize,
-                            id: pkt.id,
-                            ok: true,
-                        },
-                    );
-                    if cx.recovery_enabled {
-                        h.accepted_ids.insert(pkt.id);
-                    }
-                    cx.input_queue.push_back(pkt);
-                } else {
-                    // Drop; the sender retransmits on NACK (§III-A).
-                    m.drops += 1;
-                    m.trace(
-                        cx.now,
-                        cx.home,
-                        pkt.src_node as usize,
-                        pkt.id,
-                        EventKind::Drop,
-                    );
-                    h.acks.schedule(
-                        ack_at,
-                        AckEvent {
-                            sender: pkt.src_node as usize,
-                            id: pkt.id,
-                            ok: false,
-                        },
-                    );
-                }
-            }
-            FlowKind::Circulation => {
-                if cx.has_room {
-                    cx.input_queue.push_back(pkt);
-                } else {
-                    // Reinject: the packet stays on the ring for another
-                    // loop; the home consumes this cycle's token virtually
-                    // (§III-C).
-                    let (src, id) = (pkt.src_node as usize, pkt.id);
-                    pkt.sends += 1;
-                    pkt.sent_at = cx.now; // next arrival check in R cycles
-                    cx.data.put(cx.home_seg, pkt);
-                    *cx.suppress_token = true;
-                    m.circulations += 1;
-                    m.trace(cx.now, cx.home, src, id, EventKind::Circulate);
-                }
-            }
-        }
-    }
-
-    /// Handshake events still in flight (0 for handshake-free schemes).
     #[inline]
-    pub fn pending_acks(&self) -> usize {
-        match self {
-            FlowKind::Handshake(h) => h.acks.pending(),
-            _ => 0,
-        }
+    fn accept(&mut self, pkt: Packet, cx: &mut ArrivalCx<'_>, m: &mut NetworkMetrics) {
+        each_flow!(self, f => f.accept(pkt, cx, m));
     }
 
-    /// Credits riding the global token (token channel only).
     #[inline]
-    pub fn credits(&self) -> Option<u32> {
-        match self {
-            FlowKind::Credit(c) => Some(c.credits),
-            _ => None,
-        }
+    fn phase_acks(
+        &mut self,
+        now: Cycle,
+        home: usize,
+        senders: &mut [OutQueue<PacketRef>],
+        arena: &mut PacketArena,
+        dist_of: &[usize],
+        planes: &mut Planes,
+        queued_total: &mut usize,
+        injector: Option<&mut ChannelInjector>,
+        recovery: &RecoveryConfig,
+        handshake_delay: Cycle,
+        m: &mut NetworkMetrics,
+    ) {
+        each_flow!(self, f => Flow::phase_acks(
+            f,
+            now,
+            home,
+            senders,
+            arena,
+            dist_of,
+            planes,
+            queued_total,
+            injector,
+            recovery,
+            handshake_delay,
+            m,
+        ));
     }
 
-    /// Credits freed by ejections, awaiting the token (token channel only).
     #[inline]
-    pub fn uncommitted(&self) -> u32 {
-        match self {
-            FlowKind::Credit(c) => c.uncommitted,
-            _ => 0,
-        }
+    fn pending_acks(&self) -> usize {
+        each_flow!(self, f => f.pending_acks())
     }
 
-    /// Reservations travelling with grants / flits (token slot only).
     #[inline]
-    pub fn inflight(&self) -> u32 {
-        match self {
-            FlowKind::Slot(s) => s.inflight,
-            _ => 0,
-        }
+    fn credits(&self) -> Option<u32> {
+        each_flow!(self, f => f.credits())
     }
 
-    /// Reservations destroyed by token-loss faults (token slot only).
     #[inline]
-    pub fn lost_reservations(&self) -> u32 {
-        match self {
-            FlowKind::Slot(s) => s.lost_reservations,
-            _ => 0,
-        }
+    fn uncommitted(&self) -> u32 {
+        each_flow!(self, f => f.uncommitted())
     }
 
-    /// Credits permanently destroyed by faults (token channel only).
     #[inline]
-    pub fn leaked_credits(&self) -> u32 {
-        match self {
-            FlowKind::Credit(c) => c.leaked,
-            _ => 0,
-        }
+    fn inflight(&self) -> u32 {
+        each_flow!(self, f => f.inflight())
+    }
+
+    #[inline]
+    fn lost_reservations(&self) -> u32 {
+        each_flow!(self, f => f.lost_reservations())
+    }
+
+    #[inline]
+    fn leaked_credits(&self) -> u32 {
+        each_flow!(self, f => f.leaked_credits())
     }
 }

@@ -2,45 +2,52 @@
 //! construction.
 //!
 //! Every scheme the paper evaluates is a pairing of one [`Arbiter`]
-//! strategy (who may transmit next) with one [`FlowControl`] strategy (how
+//! strategy (who may transmit next) with one [`Flow`] strategy (how
 //! buffer space is claimed and released):
 //!
-//! | Scheme              | Arbitration                       | Flow control              |
-//! |---------------------|-----------------------------------|---------------------------|
-//! | Token channel       | [`GlobalArbiter`] (one token)     | [`CreditFlow`]            |
-//! | GHS (± setaside)    | [`GlobalArbiter`] (one token)     | [`HandshakeFlow`]         |
-//! | Token slot          | [`DistributedArbiter`] (stream)   | [`SlotFlow`]              |
-//! | DHS (± setaside)    | [`DistributedArbiter`] (stream)   | [`HandshakeFlow`]         |
-//! | DHS w/ circulation  | [`DistributedArbiter`] (stream)   | [`FlowKind::Circulation`] |
+//! | Scheme              | Arbitration                       | Flow control        |
+//! |---------------------|-----------------------------------|---------------------|
+//! | Token channel       | [`GlobalArbiter`] (one token)     | [`CreditFlow`]      |
+//! | GHS (± setaside)    | [`GlobalArbiter`] (one token)     | [`HandshakeFlow`]   |
+//! | Token slot          | [`DistributedArbiter`] (stream)   | [`SlotFlow`]        |
+//! | DHS (± setaside)    | [`DistributedArbiter`] (stream)   | [`HandshakeFlow`]   |
+//! | DHS w/ circulation  | [`DistributedArbiter`] (stream)   | [`CirculationFlow`] |
 //!
 //! [`build`] resolves a [`Scheme`] into an ([`ArbiterKind`], [`FlowKind`])
-//! pair exactly once, when the channel is constructed. The per-cycle phase
-//! methods then dispatch on the enum variant directly — there is no
-//! re-`match` on [`Scheme`] in the hot loop, and adding a scheme variant
-//! means writing (or reusing) one arbiter and one flow implementation, not
-//! editing every phase of a monolithic channel.
+//! pair exactly once, when a runtime-dispatched channel is constructed (the
+//! model checker, unit rigs). The network's hot path goes further: it
+//! monomorphizes [`crate::channel::Channel`] over the concrete pairing, so
+//! the per-cycle phase bodies compile with both layers' hooks inlined and
+//! zero enum dispatch — adding a scheme variant means writing (or reusing)
+//! one arbiter and one flow implementation, not editing every phase of a
+//! monolithic channel.
 //!
-//! The layers meet only at the narrow hooks on [`FlowKind`]
+//! The layers meet only at the narrow hooks on [`Flow`]
 //! (`has_credit`/`spend_credit` for credit-gated grants, `may_emit` for
 //! token regeneration, `on_home_pass` for reimbursement, fault hooks for
 //! leak accounting), so each side can be unit-tested in isolation — see the
-//! tests in [`arbiter`] and [`flow`].
+//! tests in [`arbiter`] and [`flow`]. Per-node predicates (sendable,
+//! granted, …) live in the packed [`bitplane`] layer both sides scan and
+//! refresh.
 
 pub mod arbiter;
+pub mod bitplane;
 pub mod flow;
-pub mod idset;
-pub mod sendable;
 
-pub use arbiter::{ArbiterKind, DistributedArbiter, GlobalArbiter, GlobalTokenState, TokenCx};
-pub use flow::{AckEvent, ArrivalCx, CreditFlow, FlowKind, HandshakeFlow, SlotFlow};
-pub use idset::SortedIdSet;
-pub use sendable::SendableSet;
+pub use arbiter::{
+    Arbiter, ArbiterKind, DistributedArbiter, GlobalArbiter, GlobalTokenState, TokenCx,
+};
+pub use bitplane::{BitPlane, Planes, SortedIdSet};
+pub use flow::{
+    AckEvent, ArrivalCx, CirculationFlow, CreditFlow, Flow, FlowKind, HandshakeFlow, SlotFlow,
+};
 
 use crate::config::{NetworkConfig, Scheme};
 
 /// Resolve `cfg.scheme` into its arbitration/flow-control pairing. Called
-/// once per channel at construction; every later dispatch is on the
-/// returned enum variants.
+/// once per channel at construction; the runtime-dispatched channel matches
+/// on the returned enum variants, the monomorphized network destructures
+/// them into concrete types.
 pub fn build(cfg: &NetworkConfig) -> (ArbiterKind, FlowKind) {
     let arbiter = if cfg.scheme.is_global() {
         ArbiterKind::Global(GlobalArbiter::new())
@@ -55,7 +62,7 @@ pub fn build(cfg: &NetworkConfig) -> (ArbiterKind, FlowKind) {
         Scheme::Ghs { setaside } | Scheme::Dhs { setaside } => {
             FlowKind::Handshake(HandshakeFlow::new(cfg.ring_segments, setaside > 0))
         }
-        Scheme::DhsCirculation => FlowKind::Circulation,
+        Scheme::DhsCirculation => FlowKind::Circulation(CirculationFlow),
     };
     (arbiter, flow)
 }
@@ -66,7 +73,7 @@ mod tests {
     use crate::config::FairnessPolicy;
     use crate::metrics::NetworkMetrics;
     use crate::outqueue::{OutQueue, SendMode};
-    use crate::packet::{Packet, PacketKind};
+    use crate::packet::{Packet, PacketArena, PacketKind, PacketRef};
 
     fn pkt(id: u64, src: usize) -> Packet {
         Packet {
@@ -86,12 +93,11 @@ mod tests {
 
     /// A 16-node, 4-segment test harness around one arbiter/flow pairing.
     struct Rig {
-        senders: Vec<OutQueue>,
-        active: Vec<usize>,
+        senders: Vec<OutQueue<PacketRef>>,
         by_distance: Vec<usize>,
         dist_of: Vec<usize>,
         suppress: bool,
-        sendable: SendableSet,
+        planes: Planes,
     }
 
     impl Rig {
@@ -107,11 +113,10 @@ mod tests {
             }
             Self {
                 senders: (0..nodes).map(|_| OutQueue::new(mode)).collect(),
-                active: Vec::new(),
                 by_distance,
                 dist_of,
                 suppress: false,
-                sendable: SendableSet::new(nodes - 1),
+                planes: Planes::new(nodes - 1),
             }
         }
 
@@ -126,8 +131,7 @@ mod tests {
                 by_distance: &self.by_distance,
                 dist_of: &self.dist_of,
                 senders: &mut self.senders,
-                active: &mut self.active,
-                sendable: &mut self.sendable,
+                planes: &mut self.planes,
                 buffered: 0,
                 buffer_cap: 4,
                 suppress_token: &mut self.suppress,
@@ -137,13 +141,18 @@ mod tests {
 
         fn enqueue(&mut self, p: Packet) {
             let src = p.src_node as usize;
-            self.senders[src].push(p);
+            // The rig exercises arbitration only — a dummy handle stands in
+            // for the arena the real channel owns.
+            self.senders[src].push(PacketRef {
+                id: p.id,
+                handle: 0,
+                sends: 0,
+            });
             self.refresh(src);
         }
 
         fn refresh(&mut self, node: usize) {
-            self.sendable
-                .set(self.dist_of[node], self.senders[node].sendable() > 0);
+            self.planes.refresh(self.dist_of[node], &self.senders[node]);
         }
     }
 
@@ -159,7 +168,7 @@ mod tests {
                 Scheme::Ghs { .. } | Scheme::Dhs { .. } => {
                     assert!(matches!(f, FlowKind::Handshake(_)));
                 }
-                Scheme::DhsCirculation => assert!(matches!(f, FlowKind::Circulation)),
+                Scheme::DhsCirculation => assert!(matches!(f, FlowKind::Circulation(_))),
             }
         };
         for scheme in Scheme::paper_set(4) {
@@ -179,9 +188,9 @@ mod tests {
             let mut cx = rig.cx(now);
             d.step(&mut f, &mut cx, &mut m);
             assert!(
-                d.tokens.len() <= 4,
+                d.tokens.count() <= 4,
                 "cycle {now}: {} tokens exceed the 4 buffer commitments",
-                d.tokens.len()
+                d.tokens.count()
             );
         }
         // DHS has no such gate: one token per cycle until the ring is full
@@ -193,7 +202,7 @@ mod tests {
             let mut cx = rig.cx(now);
             d.step(&mut f, &mut cx, &mut m);
         }
-        assert!(d.tokens.len() >= 3, "DHS keeps the ring saturated");
+        assert!(d.tokens.count() >= 3, "DHS keeps the ring saturated");
     }
 
     #[test]
@@ -248,9 +257,9 @@ mod tests {
         // (eligible() is false for empty queues): token streams must match.
         let mut rig_idle = Rig::new(SendMode::HoldHead);
         let mut rig_scan = Rig::new(SendMode::HoldHead);
-        // Force the scan path with a deliberately stale mask bit: the probe
+        // Force the scan path with a deliberately stale plane bit: the probe
         // at distance 14 finds nothing sendable, so no token is grabbed.
-        rig_scan.sendable.set(14, true);
+        rig_scan.planes.sendable.set(14, true);
         let mut a_idle = DistributedArbiter::new();
         let mut a_scan = DistributedArbiter::new();
         let mut f_idle = FlowKind::Handshake(HandshakeFlow::new(4, false));
@@ -270,16 +279,22 @@ mod tests {
         // ACK-timer arming: transmit under recovery, never deliver the
         // handshake, and check the timer retransmits exactly once per
         // deadline with the timeout metric (not the NACK metric).
-        let mut senders: Vec<OutQueue> =
+        let mut senders: Vec<OutQueue<PacketRef>> =
             (0..2).map(|_| OutQueue::new(SendMode::HoldHead)).collect();
         let dist_of = [usize::MAX, 0]; // node 1 sits at distance 0
-        let mut sendable = SendableSet::new(1);
+        let mut planes = Planes::new(1);
         let mut queued = 1usize;
         let mut h = HandshakeFlow::new(4, false);
         let recovery = pnoc_faults::RecoveryConfig::for_ring(4);
         assert!(recovery.enabled);
         let mut m = NetworkMetrics::new();
-        senders[1].push(pkt(7, 1));
+        let mut arena = PacketArena::new();
+        let handle = arena.alloc(pkt(7, 1));
+        senders[1].push(PacketRef {
+            id: 7,
+            handle,
+            sends: 0,
+        });
         senders[1].take_grant(0, FairnessPolicy::None);
         let sent = senders[1].transmit(0);
         assert!(sent.is_some());
@@ -291,8 +306,9 @@ mod tests {
                 now,
                 0,
                 &mut senders,
+                &mut arena,
                 &dist_of,
-                &mut sendable,
+                &mut planes,
                 &mut queued,
                 None,
                 &recovery,

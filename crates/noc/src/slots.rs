@@ -5,10 +5,17 @@
 //! a given cycle — the channel's physical bandwidth of one flit per cycle.
 
 /// A rotating ring of `R` optional payloads.
+///
+/// Indexing keeps `base` — the physical index of logical segment 0 — in
+/// `[0, R)` so the per-cycle hot path (`advance` plus every `index_of`)
+/// is branch-predictable adds and compares with no integer division.
 #[derive(Debug, Clone)]
 pub struct SlotRing<T> {
     slots: Vec<Option<T>>,
-    offset: usize,
+    /// Physical index of logical segment 0; always `< slots.len()`.
+    base: usize,
+    /// Occupied-slot count — O(1) emptiness for per-cycle drain checks.
+    count: usize,
 }
 
 impl<T> SlotRing<T> {
@@ -17,7 +24,8 @@ impl<T> SlotRing<T> {
         assert!(segments > 0, "ring needs at least one segment");
         Self {
             slots: (0..segments).map(|_| None).collect(),
-            offset: 0,
+            base: 0,
+            count: 0,
         }
     }
 
@@ -29,13 +37,21 @@ impl<T> SlotRing<T> {
     /// Advance the ring one segment (contents at segment `g` move to
     /// segment `g + 1 mod R`).
     pub fn advance(&mut self) {
-        self.offset = (self.offset + 1) % self.slots.len();
+        self.base = match self.base.checked_sub(1) {
+            Some(b) => b,
+            None => self.slots.len() - 1,
+        };
     }
 
     #[inline]
     fn index_of(&self, segment: usize) -> usize {
         debug_assert!(segment < self.slots.len());
-        (segment + self.slots.len() - self.offset) % self.slots.len()
+        let idx = self.base + segment;
+        if idx >= self.slots.len() {
+            idx - self.slots.len()
+        } else {
+            idx
+        }
     }
 
     /// Shared access to the slot currently at `segment`.
@@ -51,7 +67,9 @@ impl<T> SlotRing<T> {
     /// Take the payload at `segment`, leaving the slot empty.
     pub fn take(&mut self, segment: usize) -> Option<T> {
         let idx = self.index_of(segment);
-        self.slots[idx].take()
+        let taken = self.slots[idx].take();
+        self.count -= usize::from(taken.is_some());
+        taken
     }
 
     /// Place a payload into the slot at `segment`. Panics if occupied — the
@@ -63,6 +81,7 @@ impl<T> SlotRing<T> {
             "slot collision at segment {segment}"
         );
         self.slots[idx] = Some(value);
+        self.count += 1;
     }
 
     /// Iterate occupied slots as `(segment, payload)` in segment order
@@ -71,14 +90,14 @@ impl<T> SlotRing<T> {
         (0..self.slots.len()).filter_map(|seg| self.at(seg).map(|v| (seg, v)))
     }
 
-    /// Number of occupied slots.
+    /// Number of occupied slots (O(1)).
     pub fn occupied(&self) -> usize {
-        self.slots.iter().filter(|s| s.is_some()).count()
+        self.count
     }
 
-    /// True when no slot is occupied.
+    /// True when no slot is occupied (O(1)).
     pub fn is_empty(&self) -> bool {
-        self.occupied() == 0
+        self.count == 0
     }
 }
 

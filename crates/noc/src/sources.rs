@@ -23,12 +23,20 @@ pub trait TrafficSource {
 /// Synthetic traffic: every core runs an independent Bernoulli process at the
 /// given rate; destinations follow a [`TrafficPattern`] applied at node
 /// granularity (the paper's methodology, §V-A).
+///
+/// Fires are dispatched from a min-heap keyed on `(next_fire, core)` rather
+/// than polling all `nodes × cores` injectors every cycle: the per-cycle
+/// cost is O(fires), not O(cores). The heap key is a total order, so pops
+/// within one cycle come out in ascending core order — exactly the order
+/// the old polling loop visited them — and the RNG draw sequence (gap, then
+/// destination, per firing core) is bit-identical to polling.
 #[derive(Debug, Clone)]
 pub struct SyntheticSource {
     pattern: TrafficPattern,
     nodes: usize,
     cores_per_node: usize,
     injectors: Vec<BernoulliInjector>,
+    fires: std::collections::BinaryHeap<std::cmp::Reverse<(Cycle, usize)>>,
     rng: SimRng,
 }
 
@@ -46,14 +54,21 @@ impl SyntheticSource {
             .validate(nodes)
             .expect("pattern incompatible with node count");
         let mut rng = SimRng::seed_from(seed);
-        let injectors = (0..nodes * cores_per_node)
+        let injectors: Vec<BernoulliInjector> = (0..nodes * cores_per_node)
             .map(|_| BernoulliInjector::new(rate, &mut rng))
+            .collect();
+        let fires = injectors
+            .iter()
+            .enumerate()
+            .filter(|(_, inj)| inj.next_fire() != Cycle::MAX)
+            .map(|(core, inj)| std::cmp::Reverse((inj.next_fire(), core)))
             .collect();
         Self {
             pattern,
             nodes,
             cores_per_node,
             injectors,
+            fires,
             rng,
         }
     }
@@ -66,13 +81,21 @@ impl SyntheticSource {
 
 impl TrafficSource for SyntheticSource {
     fn generate(&mut self, now: Cycle, out: &mut Vec<InjectionRequest>) {
-        for (core, inj) in self.injectors.iter_mut().enumerate() {
+        while let Some(&std::cmp::Reverse((at, core))) = self.fires.peek() {
+            if at > now {
+                break;
+            }
+            self.fires.pop();
+            let inj = &mut self.injectors[core];
             for _ in 0..inj.fire(now, &mut self.rng) {
                 let src_node = core / self.cores_per_node;
                 let dst = self
                     .pattern
                     .destination(src_node, self.nodes, &mut self.rng);
                 out.push((core, dst, PacketKind::Data));
+            }
+            if inj.next_fire() != Cycle::MAX {
+                self.fires.push(std::cmp::Reverse((inj.next_fire(), core)));
             }
         }
     }

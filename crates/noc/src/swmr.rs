@@ -451,10 +451,8 @@ impl SwmrNetwork {
                 self.metrics.delivered += 1;
                 if pkt.measured {
                     self.metrics.delivered_measured += 1;
-                    let lat = pkt.latency_at(available_at) as f64;
-                    self.metrics.latency.record(lat);
-                    self.metrics.latency_rec.record(lat);
-                    self.metrics.latency_batches.record(lat);
+                    self.metrics
+                        .record_latency(pkt.latency_at(available_at) as f64);
                     rx.served_by_sender[pkt.src_node as usize] += 1;
                 }
                 self.deliveries.push(Delivery { pkt, available_at });

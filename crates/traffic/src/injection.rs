@@ -37,6 +37,15 @@ impl BernoulliInjector {
         self.rate
     }
 
+    /// The next cycle this injector will fire ([`Cycle::MAX`] = never).
+    /// Callers that index many injectors can schedule around this instead
+    /// of polling [`BernoulliInjector::fire`] every cycle — the geometric
+    /// gap is already sampled, so skipping the quiet cycles draws exactly
+    /// the same random sequence.
+    pub fn next_fire(&self) -> Cycle {
+        self.next_fire
+    }
+
     /// Number of packets generated at cycle `now` (0 or more — at most one
     /// per call for Bernoulli, but the API allows burstier processes).
     /// `now` must be queried for every cycle in increasing order.

@@ -126,6 +126,18 @@ pub const RULES: &[Rule] = &[
                     allowlist construction-time validation",
     },
     Rule {
+        id: "no-hot-path-alloc",
+        needles: &["Vec::new", "vec!", "Box::new", ".to_vec("],
+        scope: &["crates/noc/src"],
+        exempt: &[],
+        rationale: "the per-cycle kernel shuffles indices through \
+                    preallocated arenas, planes, and calendars; a heap \
+                    allocation token in phase code is a regression to the \
+                    struct-shuffling design. Construction-time allocation \
+                    (new/with_capacity bodies, audit snapshots) is fine — \
+                    allowlist it with a justification",
+    },
+    Rule {
         id: "no-raw-std-sync-in-fleet",
         needles: &["std::sync", "std::thread"],
         scope: &["crates/fleet/src"],
@@ -484,5 +496,44 @@ mod tests {
                 .any(|(r, p)| *r == UNSAFE_RULE_ID && p.ends_with("ok.rs")),
             "SAFETY-commented unsafe must pass: {fired:?}"
         );
+    }
+
+    /// The hot-path allocation rule must fire on every needle inside
+    /// crates/noc/src, skip `#[cfg(test)]` regions, and leave other crates
+    /// alone.
+    #[test]
+    fn hot_path_alloc_rule_fires_in_noc_only() {
+        let root = std::env::temp_dir().join(format!("pnoc-alloc-selftest-{}", std::process::id()));
+        let noc = root.join("crates/noc/src");
+        let sim = root.join("crates/sim/src");
+        fs::create_dir_all(&noc).expect("mk noc tree");
+        fs::create_dir_all(&sim).expect("mk sim tree");
+        fs::write(
+            noc.join("hot.rs"),
+            "fn phase() {\n    let a = Vec::new();\n    let b = vec![0; 4];\n    let c = Box::new(1);\n    let d = s.to_vec();\n}\n#[cfg(test)]\nmod tests {\n    fn t() { let v = Vec::new(); }\n}\n",
+        )
+        .expect("write hot.rs");
+        fs::write(sim.join("elsewhere.rs"), "fn f() { let v = Vec::new(); }\n")
+            .expect("write elsewhere.rs");
+        let report = run_lints(&root);
+        fs::remove_dir_all(&root).expect("rm test tree");
+
+        let alloc_hits: Vec<&str> = report
+            .violations
+            .iter()
+            .filter(|v| v.rule == "no-hot-path-alloc")
+            .map(|v| v.content.as_str())
+            .collect();
+        assert_eq!(
+            alloc_hits.len(),
+            4,
+            "one hit per needle, none from the test region or other crates: {alloc_hits:?}"
+        );
+        for needle in ["Vec::new", "vec!", "Box::new", ".to_vec("] {
+            assert!(
+                alloc_hits.iter().any(|c| c.contains(needle)),
+                "needle {needle} did not fire: {alloc_hits:?}"
+            );
+        }
     }
 }
