@@ -46,6 +46,9 @@ echo "== pnoc-verify (lints + model check + invariant audit) =="
 # Custom determinism lints (exemptions live in crates/verify/allowlist.txt —
 # additions show up as a diff to that file), bounded model checking of the
 # handshake/credit FSMs, and the cycle-level invariant audit of full runs.
+# The audit matrix includes admission-enabled multi-tenant runs, where the
+# per-class starvation audit (no backlogged class unserved for a full
+# refill window) is chained onto the conservation checks.
 # The lint set includes the concurrency rules: fleet code must route
 # synchronization through its crate::sync facade, Ordering::Relaxed is
 # allowlist-only, and unsafe blocks require // SAFETY: comments.
@@ -77,8 +80,11 @@ PNOC_THREADS=32 cargo test -q -p pnoc-fleet --offline
 echo "== pnoc-oracle differential smoke (fuzz --quick) =="
 # Differential testing against the independent reference simulator: 200
 # generated cases (override the count with PNOC_FUZZ_CASES) spanning all 7
-# paper schemes, half with fault schedules, must show zero divergences in
-# counters, per-packet ejection logs, and drain state. Then the sabotage
+# paper schemes, half with fault schedules and roughly a third with
+# multi-tenant QoS configs (tenant mixes + per-class token-bucket
+# admission — the oracle carries its own independent admission mirror),
+# must show zero divergences in counters, per-packet ejection logs, and
+# drain state. Then the sabotage
 # self-test: with the sabotage-dup-suppression feature compiled into
 # pnoc-noc (breaking HandshakeFlow duplicate suppression there only), the
 # harness must DETECT the divergence and shrink it — proving the diff is
@@ -182,6 +188,18 @@ if [ "$DEEP" -eq 1 ]; then
   # --quick, so pass an explicit --cases here).
   cargo run --release -q -p pnoc-oracle --offline --bin fuzz -- \
     --cases "${PNOC_FUZZ_CASES:-10000}"
+
+  echo "== multi-tenant QoS sweep sample (fleet --qos) =="
+  # The built-in QoS demo: every tenant mix crossed with the demo grid
+  # under token-bucket admission. Checks the tenant axis end to end —
+  # spec decomposition, classed sources, admission in the arbiters, and
+  # the per-class fairness column in the streamed report.
+  cargo run --release -q -p pnoc-bench --offline --bin fleet -- \
+    --qos --out "$FLEET_DIR/qos.json"
+  grep -q '"mix": "EM"' "$FLEET_DIR/qos.json"
+  grep -q '"mix": "HT"' "$FLEET_DIR/qos.json"
+  grep -q '"class_jain"' "$FLEET_DIR/qos.json"
+  echo "qos sweep sample: tenant mixes and per-class fairness present"
 fi
 
 echo CI_OK

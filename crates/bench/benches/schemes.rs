@@ -23,7 +23,7 @@ fn bench_network_step(c: &mut Criterion) {
         for _ in 0..5_000 {
             buf.clear();
             src.generate(net.now(), &mut buf);
-            for &(core, dst, kind) in &buf {
+            for &(core, dst, kind, _) in &buf {
                 net.inject(core, dst, kind, 0, false);
             }
             net.step();
@@ -32,7 +32,7 @@ fn bench_network_step(c: &mut Criterion) {
             b.iter(|| {
                 buf.clear();
                 src.generate(net.now(), &mut buf);
-                for &(core, dst, _) in &buf {
+                for &(core, dst, _, _) in &buf {
                     net.inject(core, dst, PacketKind::Data, 0, false);
                 }
                 net.step();
@@ -61,7 +61,7 @@ fn bench_other_fabrics(c: &mut Criterion) {
         for _ in 0..5_000 {
             buf.clear();
             src.generate(net.now(), &mut buf);
-            for &(core, dst, kind) in &buf {
+            for &(core, dst, kind, _) in &buf {
                 net.inject(core, dst, kind, 0, false);
             }
             net.step();
@@ -70,7 +70,7 @@ fn bench_other_fabrics(c: &mut Criterion) {
             b.iter(|| {
                 buf.clear();
                 src.generate(net.now(), &mut buf);
-                for &(core, dst, _) in &buf {
+                for &(core, dst, _, _) in &buf {
                     net.inject(core, dst, PacketKind::Data, 0, false);
                 }
                 net.step();
@@ -93,7 +93,7 @@ fn bench_other_fabrics(c: &mut Criterion) {
         for _ in 0..5_000 {
             buf.clear();
             src.generate(net.now(), &mut buf);
-            for &(core, dst, kind) in &buf {
+            for &(core, dst, kind, _) in &buf {
                 net.inject(core, dst, kind, 0, false);
             }
             net.step();
@@ -102,7 +102,7 @@ fn bench_other_fabrics(c: &mut Criterion) {
             b.iter(|| {
                 buf.clear();
                 src.generate(net.now(), &mut buf);
-                for &(core, dst, _) in &buf {
+                for &(core, dst, _, _) in &buf {
                     net.inject(core, dst, PacketKind::Data, 0, false);
                 }
                 net.step();

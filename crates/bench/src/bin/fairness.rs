@@ -1,0 +1,62 @@
+//! Fairness vs load: multi-tenant mixes (elephant/mice, bursty adversary,
+//! hotspot tenant) through every paper scheme, with and without the
+//! token-bucket admission stage.
+//!
+//! Shapes to reproduce: without admission, the aggressive tenant (the
+//! elephants, the burster, the hotspot flow) monopolizes grants as load
+//! rises and per-class Jain fairness decays; with admission armed, grant
+//! credits are rationed per class, so fairness holds near 1.0 and the
+//! quiet class's p99 stops tracking the aggressor's backlog.
+
+use pnoc_bench::{Fidelity, Table};
+
+fn main() {
+    let fid = Fidelity::from_args();
+    let groups = pnoc_bench::figures::fairness_vs_load(fid);
+    for (mix, curves) in &groups {
+        let rates: Vec<f64> = curves[0].points.iter().map(|(r, _)| *r).collect();
+        let mut header = vec!["scheme".to_string()];
+        header.extend(rates.iter().map(|r| format!("{r}")));
+        let mut t = Table::new(header);
+        for c in curves {
+            let jains: Vec<f64> = c.points.iter().map(|(_, s)| s.class_jain).collect();
+            t.row_f64(&c.label, &jains, 3);
+        }
+        println!("Fairness ({mix}) — per-class Jain index vs load (pkt/cycle/core)");
+        println!("{}", t.render());
+        // Per-class tail latency at the highest unsaturated point of each
+        // curve: the quiet class's p99 is where admission shows up.
+        for c in curves {
+            let Some((rate, s)) = c
+                .points
+                .iter()
+                .rev()
+                .find(|(_, s)| !s.saturated && s.delivered > 0)
+            else {
+                continue;
+            };
+            let classes: Vec<String> = s
+                .class_summaries
+                .iter()
+                .map(|cs| format!("c{} p99 {:.0}", cs.class, cs.p99_latency))
+                .collect();
+            println!(
+                "  {:<24} @{rate:.2}  jain {:.3}  [{}]",
+                c.label,
+                s.class_jain,
+                classes.join(", ")
+            );
+        }
+        println!();
+    }
+    pnoc_bench::export::maybe_export("fairness", &groups);
+    if let Some(dir) = pnoc_bench::plot::svg_dir_from_args() {
+        std::fs::create_dir_all(&dir).expect("create svg dir");
+        for (mix, curves) in &groups {
+            let spec = pnoc_bench::PlotSpec::jain(format!("Fairness vs load — {mix} tenant mix"));
+            let path = dir.join(format!("fairness_{mix}.svg"));
+            std::fs::write(&path, pnoc_bench::render_jain_svg(&spec, curves)).expect("write svg");
+            println!("wrote {}", path.display());
+        }
+    }
+}

@@ -1,12 +1,14 @@
 //! One-shot fleet sweep runner with resumable checkpointing.
 //!
 //! ```text
-//! fleet [--spec <path|->] [--out <path>] [--ckpt <path>] [--ckpt-every N]
-//!       [--kill-after N] [--threads N] [--verbose]
+//! fleet [--spec <path|->] [--qos] [--out <path>] [--ckpt <path>]
+//!       [--ckpt-every N] [--kill-after N] [--threads N] [--verbose]
 //! ```
 //!
-//! Runs a [`SweepSpec`] (JSON from `--spec`, `-` for stdin, or the built-in
-//! demo sweep) on the work-stealing fleet and writes the deterministic
+//! Runs a [`SweepSpec`] (JSON from `--spec`, `-` for stdin, or a built-in
+//! sweep: the single-tenant demo by default, the multi-tenant QoS demo —
+//! every tenant mix under token-bucket admission — with `--qos`) on the
+//! work-stealing fleet and writes the deterministic
 //! [`pnoc_fleet::SweepReport`] JSON to `--out` (stdout by default). With
 //! `--ckpt`, progress snapshots append to the journal and a re-run of the
 //! same command resumes instead of recomputing; the final report is
@@ -23,7 +25,7 @@ use pnoc_fleet::{run_sweep, Fleet, SweepOptions, SweepSpec};
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage: fleet [--spec <path|->] [--out <path>] [--ckpt <path>] \
+        "usage: fleet [--spec <path|->] [--qos] [--out <path>] [--ckpt <path>] \
          [--ckpt-every N] [--kill-after N] [--threads N] [--verbose]"
     );
     ExitCode::FAILURE
@@ -41,6 +43,7 @@ fn main() -> ExitCode {
         ..SweepOptions::default()
     };
     let mut verbose = false;
+    let mut qos = false;
 
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut i = 0;
@@ -75,12 +78,19 @@ fn main() -> ExitCode {
                 i += 1;
             }
             "--verbose" => verbose = true,
+            "--qos" => qos = true,
             _ => return usage(),
         }
         i += 1;
     }
 
-    let spec = match load_spec(spec_path.as_deref()) {
+    if qos && spec_path.is_some() {
+        eprintln!(
+            "fleet: --qos selects the built-in QoS demo; drop --spec or encode the axis there"
+        );
+        return ExitCode::FAILURE;
+    }
+    let spec = match load_spec(spec_path.as_deref(), qos) {
         Ok(s) => s,
         Err(e) => {
             eprintln!("fleet: {e}");
@@ -94,8 +104,8 @@ fn main() -> ExitCode {
     if verbose {
         opts.on_cell = Some(Arc::new(|cell| {
             eprintln!(
-                "cell {} {} @ {:.3}: {} jobs folded",
-                cell.scheme, cell.pattern, cell.rate, cell.jobs
+                "cell {} {} {} @ {:.3}: {} jobs folded",
+                cell.scheme, cell.pattern, cell.mix, cell.rate, cell.jobs
             );
         }));
     }
@@ -133,8 +143,9 @@ fn main() -> ExitCode {
     ExitCode::SUCCESS
 }
 
-fn load_spec(path: Option<&str>) -> Result<SweepSpec, String> {
+fn load_spec(path: Option<&str>, qos: bool) -> Result<SweepSpec, String> {
     let text = match path {
+        None if qos => return Ok(SweepSpec::demo_qos()),
         None => return Ok(SweepSpec::demo()),
         Some("-") => {
             let mut buf = String::new();

@@ -5,11 +5,12 @@
 
 use pnoc_cmp::{workload::all_paper_workloads, CmpConfig, CmpSystem, IpcSummary};
 use pnoc_noc::metrics::RunSummary;
-use pnoc_noc::network::run_synthetic_point;
-use pnoc_noc::{Network, NetworkConfig, Scheme, TraceSource};
+use pnoc_noc::network::{run_classed_point_detailed, run_synthetic_point};
+use pnoc_noc::{AdmissionPolicy, Network, NetworkConfig, Scheme, TraceSource, MAX_CLASSES};
 use pnoc_photonics::{ComponentBudget, NetworkDims};
 use pnoc_power::{ActivityProfile, PowerBreakdown, PowerReport};
 use pnoc_sim::RunPlan;
+use pnoc_traffic::classes::TenantMixKind;
 use std::sync::Arc;
 
 use crate::fleet_map;
@@ -236,6 +237,97 @@ pub fn fig9(fid: Fidelity) -> Vec<(String, Vec<Curve>)> {
             (p.label().to_string(), curves)
         })
         .collect()
+}
+
+// ---------------------------------------------------------------------------
+// Fairness vs load: multi-tenant mixes with and without admission control.
+// ---------------------------------------------------------------------------
+
+/// All seven paper schemes — the fairness study spans both arbitration
+/// families.
+pub fn fairness_group() -> Vec<(String, Scheme)> {
+    let mut g = global_group();
+    g.extend(distributed_group());
+    g
+}
+
+/// The admission policy the fairness figures arm: a tight-but-live token
+/// bucket (every class refills ≥ 1 per period, so the starvation audit's
+/// liveness precondition holds by construction).
+pub fn fairness_admission() -> AdmissionPolicy {
+    AdmissionPolicy::TokenBucket {
+        period: 4,
+        refill: [1; MAX_CLASSES],
+        burst: [2; MAX_CLASSES],
+    }
+}
+
+/// The multi-tenant mixes the fairness figures sweep (everything except
+/// the degenerate single-class mix, which is the pre-QoS baseline the
+/// latency figures already cover).
+pub fn fairness_mixes() -> Vec<TenantMixKind> {
+    vec![
+        TenantMixKind::ElephantMice,
+        TenantMixKind::BurstyAdversary,
+        TenantMixKind::HotspotTenant,
+    ]
+}
+
+/// Fairness vs load: for each tenant mix, one baseline (no admission) and
+/// one QoS (token-bucket admission) curve per scheme over the UR rate
+/// grid. The interesting columns of each point's [`RunSummary`] are
+/// `class_jain` (per-class Jain fairness over delivered counts) and
+/// `class_summaries` (per-class p99).
+pub fn fairness_vs_load(fid: Fidelity) -> Vec<(String, Vec<Curve>)> {
+    let rates = fid.rates(crate::grids::ur_rates());
+    let schemes = fairness_group();
+    let mixes = fairness_mixes();
+    let plan = fid.plan();
+    // Job grid: mix-major, then scheme, then admission, then rate —
+    // mirrors the curve layout below so results slice back contiguously.
+    let jobs: Vec<(TenantMixKind, Scheme, bool, f64)> = mixes
+        .iter()
+        .flat_map(|&mix| {
+            let rates = &rates;
+            schemes.iter().flat_map(move |&(_, scheme)| {
+                [false, true]
+                    .into_iter()
+                    .flat_map(move |qos| rates.iter().map(move |&rate| (mix, scheme, qos, rate)))
+            })
+        })
+        .collect();
+    let summaries = fleet_map(jobs, move |_, &(mix, scheme, qos, rate)| {
+        let mut cfg = NetworkConfig::paper_default(scheme);
+        if qos {
+            cfg.admission = fairness_admission();
+        }
+        run_classed_point_detailed(cfg, mix, TrafficPattern::UniformRandom, rate, plan).summary
+    });
+    let mut out = Vec::new();
+    let mut cursor = 0usize;
+    for mix in &mixes {
+        let mut curves = Vec::new();
+        for (label, _) in &schemes {
+            for qos in [false, true] {
+                let points: Vec<(f64, RunSummary)> = rates
+                    .iter()
+                    .copied()
+                    .zip(summaries[cursor..cursor + rates.len()].iter().cloned())
+                    .collect();
+                cursor += rates.len();
+                curves.push(Curve {
+                    label: if qos {
+                        format!("{label} +QoS")
+                    } else {
+                        label.clone()
+                    },
+                    points,
+                });
+            }
+        }
+        out.push((mix.label().to_string(), curves));
+    }
+    out
 }
 
 // ---------------------------------------------------------------------------

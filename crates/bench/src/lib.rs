@@ -41,7 +41,7 @@ pub mod plot;
 pub mod table;
 
 pub use figures::Fidelity;
-pub use plot::{render_latency_svg, PlotSpec};
+pub use plot::{render_jain_svg, render_latency_svg, PlotSpec};
 pub use table::Table;
 
 /// The process-wide work-stealing executor every harness sweep runs on.

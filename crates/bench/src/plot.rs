@@ -6,6 +6,7 @@
 //! simple: polylines, ticks, a legend.
 
 use crate::figures::Curve;
+use pnoc_noc::metrics::RunSummary;
 use std::fmt::Write as _;
 
 /// Chart geometry and axes.
@@ -37,6 +38,18 @@ impl PlotSpec {
             height: 420,
         }
     }
+
+    /// Per-class fairness plot: Jain index lives in (0, 1].
+    pub fn jain(title: impl Into<String>) -> Self {
+        Self {
+            title: title.into(),
+            x_label: "Workload (packets/cycle/core)".into(),
+            y_label: "Jain fairness index".into(),
+            y_max: 1.0,
+            width: 640,
+            height: 420,
+        }
+    }
 }
 
 /// Series colours (colour-blind-safe-ish palette).
@@ -47,12 +60,34 @@ const COLORS: [&str; 8] = [
 /// Render `curves` (offered rate → latency; saturated points are drawn as a
 /// vertical run-off at the clip line) into an SVG document.
 pub fn render_latency_svg(spec: &PlotSpec, curves: &[Curve]) -> String {
+    render_metric_svg(spec, curves, &|s: &RunSummary| s.avg_latency, true)
+}
+
+/// Render per-class Jain fairness (y ∈ (0, 1]) vs load. Saturated points
+/// still carry a meaningful fairness value, so the series runs through them
+/// instead of cutting off at the clip line.
+pub fn render_jain_svg(spec: &PlotSpec, curves: &[Curve]) -> String {
+    render_metric_svg(spec, curves, &|s: &RunSummary| s.class_jain, false)
+}
+
+/// Shared chart body: `value` picks the y metric out of each point summary;
+/// `runoff` draws saturated points at the clip line and ends the series
+/// there (the paper's latency-plot convention).
+fn render_metric_svg(
+    spec: &PlotSpec,
+    curves: &[Curve],
+    value: &dyn Fn(&RunSummary) -> f64,
+    runoff: bool,
+) -> String {
     let margin_l = 64.0;
     let margin_r = 16.0;
     let margin_t = 36.0;
-    let margin_b = 110.0; // room for legend
+    // Room for the legend: one 16 px row per series. Charts with many
+    // series grow the canvas downward rather than squeezing the plot.
+    let legend_extra = (60.0 + 16.0 * curves.len() as f64 - 110.0).max(0.0);
+    let margin_b = 110.0 + legend_extra;
     let w = spec.width as f64;
-    let h = spec.height as f64;
+    let h = spec.height as f64 + legend_extra;
     let plot_w = w - margin_l - margin_r;
     let plot_h = h - margin_t - margin_b;
 
@@ -67,8 +102,8 @@ pub fn render_latency_svg(spec: &PlotSpec, curves: &[Curve]) -> String {
     let mut svg = String::new();
     let _ = write!(
         svg,
-        r#"<svg xmlns="http://www.w3.org/2000/svg" width="{}" height="{}" viewBox="0 0 {w} {h}" font-family="sans-serif" font-size="12">"#,
-        spec.width, spec.height
+        r#"<svg xmlns="http://www.w3.org/2000/svg" width="{}" height="{h:.0}" viewBox="0 0 {w} {h}" font-family="sans-serif" font-size="12">"#,
+        spec.width
     );
     let _ = write!(
         svg,
@@ -86,17 +121,17 @@ pub fn render_latency_svg(spec: &PlotSpec, curves: &[Curve]) -> String {
         margin_t + plot_h,
         margin_t + plot_h,
     );
-    // Y ticks every y_max/5.
+    // Y ticks every y_max/5; decimal labels when the axis is fractional.
+    let tick_prec = usize::from(spec.y_max <= 5.0);
     for i in 0..=5 {
         let yv = spec.y_max * i as f64 / 5.0;
         let y = y_of(yv);
         let _ = write!(
             svg,
-            r#"<line x1="{}" y1="{y}" x2="{margin_l}" y2="{y}" stroke="black"/><text x="{}" y="{}" text-anchor="end">{:.0}</text>"#,
+            r#"<line x1="{}" y1="{y}" x2="{margin_l}" y2="{y}" stroke="black"/><text x="{}" y="{}" text-anchor="end">{yv:.tick_prec$}</text>"#,
             margin_l - 4.0,
             margin_l - 8.0,
             y + 4.0,
-            yv
         );
     }
     // X ticks: 6 divisions.
@@ -134,17 +169,17 @@ pub fn render_latency_svg(spec: &PlotSpec, curves: &[Curve]) -> String {
         let mut path = String::new();
         let mut started = false;
         for (rate, summary) in &curve.points {
-            let y = if summary.saturated {
+            let y = if runoff && summary.saturated {
                 spec.y_max
             } else {
-                summary.avg_latency
+                value(summary)
             };
             if !y.is_finite() {
                 continue;
             }
             let _ = write!(path, "{:.1},{:.1} ", x_of(*rate), y_of(y));
             started = true;
-            if summary.saturated {
+            if runoff && summary.saturated {
                 break; // run-off: stop the series at saturation
             }
         }
@@ -157,10 +192,10 @@ pub fn render_latency_svg(spec: &PlotSpec, curves: &[Curve]) -> String {
         }
         // Point markers.
         for (rate, summary) in &curve.points {
-            let y = if summary.saturated {
+            let y = if runoff && summary.saturated {
                 spec.y_max
             } else {
-                summary.avg_latency
+                value(summary)
             };
             if !y.is_finite() {
                 continue;
@@ -171,7 +206,7 @@ pub fn render_latency_svg(spec: &PlotSpec, curves: &[Curve]) -> String {
                 x_of(*rate),
                 y_of(y)
             );
-            if summary.saturated {
+            if runoff && summary.saturated {
                 break;
             }
         }

@@ -62,6 +62,9 @@ pub struct MergeSummary {
     pub jain_worst: ExactSum,
     /// Retransmissions per transmission.
     pub retransmit_rate: ExactSum,
+    /// Per-class Jain fairness over delivered counts (1.0 on untagged
+    /// runs — single-tenant cells report vacuous fairness, not `NaN`).
+    pub class_jain: ExactSum,
     /// Pooled latency distribution of every replica.
     pub latency: LatencyRecorder,
 }
@@ -87,6 +90,7 @@ impl Default for MergeSummary {
             jain_fairness: ExactSum::new(),
             jain_worst: ExactSum::new(),
             retransmit_rate: ExactSum::new(),
+            class_jain: ExactSum::new(),
             latency: LatencyRecorder::cycles(),
         }
     }
@@ -114,6 +118,7 @@ impl MergeSummary {
         self.jain_fairness.add(summary.jain_fairness);
         self.jain_worst.add(summary.jain_worst);
         self.retransmit_rate.add(summary.retransmit_rate);
+        self.class_jain.add(summary.class_jain);
         self.latency.merge(latency);
     }
 
@@ -137,17 +142,19 @@ impl MergeSummary {
         self.jain_fairness.merge(&other.jain_fairness);
         self.jain_worst.merge(&other.jain_worst);
         self.retransmit_rate.merge(&other.retransmit_rate);
+        self.class_jain.merge(&other.class_jain);
         self.latency.merge(&other.latency);
     }
 
     /// Render the cell's report given its grid coordinates.
     pub fn report(&self, spec: &SweepSpec, cell: usize) -> CellReport {
-        let (scheme, pattern, rate) = spec.cell_params(cell);
+        let (scheme, pattern, rate, mix) = spec.cell_params(cell);
         CellReport {
             cell: cell as u64,
             scheme: scheme.label(),
             pattern: pattern.label().to_string(),
             rate,
+            mix: mix.label().to_string(),
             jobs: self.jobs,
             saturated_fraction: if self.jobs == 0 {
                 0.0
@@ -170,6 +177,7 @@ impl MergeSummary {
             circulation_rate: self.circulation_rate.mean(),
             jain_fairness: self.jain_fairness.mean(),
             jain_worst: self.jain_worst.mean(),
+            class_jain: self.class_jain.mean(),
             retransmit_rate: self.retransmit_rate.mean(),
             delivered: self.delivered,
             lost_packets: self.lost_packets,
@@ -217,6 +225,7 @@ impl Serialize for MergeSummary {
             ("jain_fairness".into(), self.jain_fairness.to_content()),
             ("jain_worst".into(), self.jain_worst.to_content()),
             ("retransmit_rate".into(), self.retransmit_rate.to_content()),
+            ("class_jain".into(), self.class_jain.to_content()),
             ("latency".into(), self.latency.to_sparse().to_content()),
         ])
     }
@@ -245,6 +254,13 @@ impl Deserialize for MergeSummary {
             jain_fairness: ExactSum::deserialize(&value["jain_fairness"])?,
             jain_worst: ExactSum::deserialize(&value["jain_worst"])?,
             retransmit_rate: ExactSum::deserialize(&value["retransmit_rate"])?,
+            // Absent in journals written before the tenant axis existed:
+            // those runs were all untagged, so an empty sum (rendered as
+            // the vacuous 1.0 only once jobs fold in) is the right resume.
+            class_jain: match value.get("class_jain") {
+                Some(v) => ExactSum::deserialize(v)?,
+                None => ExactSum::new(),
+            },
             latency,
         })
     }
@@ -264,6 +280,8 @@ pub struct CellReport {
     pub pattern: String,
     /// Injection rate, packets/cycle/core.
     pub rate: f64,
+    /// Tenant-mix label (e.g. `"EM"`; `"1C"` on single-tenant cells).
+    pub mix: String,
     /// Replicas folded into this cell.
     pub jobs: u64,
     /// Fraction of replicas that saturated.
@@ -292,6 +310,8 @@ pub struct CellReport {
     pub jain_fairness: Option<f64>,
     /// Mean worst-channel Jain index.
     pub jain_worst: Option<f64>,
+    /// Mean per-class Jain fairness over delivered counts.
+    pub class_jain: Option<f64>,
     /// Mean retransmissions per transmission.
     pub retransmit_rate: Option<f64>,
     /// Total measured packets delivered.
@@ -332,6 +352,8 @@ mod tests {
             circulation_rate: rng.f64() * 0.1,
             jain_fairness: if rng.chance(0.2) { f64::NAN } else { rng.f64() },
             jain_worst: rng.f64(),
+            class_jain: rng.f64(),
+            class_summaries: Vec::new(),
             saturated: rng.chance(0.25),
             lost_packets: rng.below(5),
             duplicates: rng.below(3),
@@ -396,6 +418,26 @@ mod tests {
         assert_eq!(back, m);
         // Exactness survives a second trip (no drift).
         assert_eq!(serde_json::to_string(&back).expect("serialize"), json);
+    }
+
+    #[test]
+    fn pre_qos_journal_resumes_with_empty_class_jain() {
+        let mut m = MergeSummary::default();
+        for i in 0..5 {
+            let (s, r) = fake_result(9000 + i);
+            m.fold(&s, &r);
+        }
+        let json = serde_json::to_string(&m).expect("serialize");
+        // A journal written before the tenant axis carries no class_jain.
+        let legacy = {
+            let start = json.find(",\"class_jain\":").expect("field present");
+            let end = json[start + 1..].find(",\"latency\":").expect("next field") + start + 1;
+            format!("{}{}", &json[..start], &json[end..])
+        };
+        let back: MergeSummary = serde_json::from_str(&legacy).expect("legacy journal loads");
+        assert_eq!(back.class_jain.count(), 0);
+        assert_eq!(back.jobs, m.jobs);
+        assert_eq!(back.latency, m.latency);
     }
 
     #[test]

@@ -10,10 +10,11 @@
 //! costs twelve lines of JSON to describe, and any subset of its indices
 //! can be re-run bit-identically on any machine.
 
-use pnoc_noc::config::{NetworkConfig, Scheme};
-use pnoc_noc::network::{run_synthetic_point_detailed, PointDetail};
+use pnoc_noc::config::{AdmissionPolicy, NetworkConfig, Scheme};
+use pnoc_noc::network::{run_classed_point_detailed, PointDetail};
 use pnoc_sim::rng::{stream_seed, FLEET_STREAM};
 use pnoc_sim::{RunPlan, SimRng};
+use pnoc_traffic::classes::TenantMixKind;
 use pnoc_traffic::pattern::TrafficPattern;
 use serde::{Deserialize, Serialize};
 
@@ -47,6 +48,15 @@ pub struct SweepSpec {
     pub measure: u64,
     /// Drain cycles of each run.
     pub drain: u64,
+    /// Tenant-mix axis of the cell grid. Empty (the default, and what any
+    /// pre-QoS spec deserializes to) means one implicit
+    /// [`TenantMixKind::SingleClass`] mix, so old sweep JSON keeps its
+    /// exact cell numbering and per-job seeds.
+    #[serde(default)]
+    pub mixes: Vec<TenantMixKind>,
+    /// Admission policy applied to every cell (`None` = pre-QoS grants).
+    #[serde(default)]
+    pub admission: AdmissionPolicy,
 }
 
 impl SweepSpec {
@@ -69,7 +79,23 @@ impl SweepSpec {
             warmup: quick.warmup,
             measure: quick.measure,
             drain: quick.drain,
+            mixes: Vec::new(),
+            admission: AdmissionPolicy::None,
         }
+    }
+
+    /// The demo sweep with the multi-tenant axis armed: every tenant mix
+    /// crossed with the demo grid, under a tight-but-live token bucket.
+    pub fn demo_qos() -> Self {
+        let mut spec = Self::demo();
+        spec.mixes = TenantMixKind::all().to_vec();
+        spec.admission = AdmissionPolicy::TokenBucket {
+            period: 4,
+            refill: [1; pnoc_noc::MAX_CLASSES],
+            burst: [2; pnoc_noc::MAX_CLASSES],
+        };
+        spec.master_seed = 0xF1EE_7002;
+        spec
     }
 
     /// Structural validation; returns a human-readable reason on failure.
@@ -91,9 +117,23 @@ impl SweepSpec {
         Ok(())
     }
 
-    /// Number of (scheme, pattern, rate) cells.
+    /// Number of mixes on the tenant axis (an empty `mixes` vec is the
+    /// implicit single-class axis of pre-QoS specs).
+    pub fn mix_count(&self) -> usize {
+        self.mixes.len().max(1)
+    }
+
+    /// The mix at tenant-axis index `mi`.
+    pub fn mix_at(&self, mi: usize) -> TenantMixKind {
+        self.mixes
+            .get(mi)
+            .copied()
+            .unwrap_or(TenantMixKind::SingleClass)
+    }
+
+    /// Number of (scheme, pattern, rate, mix) cells.
     pub fn cells(&self) -> usize {
-        self.schemes.len() * self.patterns.len() * self.rates.len()
+        self.schemes.len() * self.patterns.len() * self.rates.len() * self.mix_count()
     }
 
     /// Total job count: cells × replicas.
@@ -106,14 +146,23 @@ impl SweepSpec {
         usize::try_from(index / self.replicas).expect("cell fits usize")
     }
 
-    /// The (scheme, pattern, rate) coordinates of cell `cell`.
-    pub fn cell_params(&self, cell: usize) -> (Scheme, TrafficPattern, f64) {
+    /// The (scheme, pattern, rate, mix) coordinates of cell `cell`. The
+    /// mix is the outermost axis, so with `mixes` empty the inner three
+    /// decompose exactly as they did before the tenant axis existed.
+    pub fn cell_params(&self, cell: usize) -> (Scheme, TrafficPattern, f64, TenantMixKind) {
         let rates = self.rates.len();
         let patterns = self.patterns.len();
+        let schemes = self.schemes.len();
         let ri = cell % rates;
         let pi = (cell / rates) % patterns;
-        let si = cell / (rates * patterns);
-        (self.schemes[si], self.patterns[pi], self.rates[ri])
+        let si = (cell / (rates * patterns)) % schemes;
+        let mi = cell / (rates * patterns * schemes);
+        (
+            self.schemes[si],
+            self.patterns[pi],
+            self.rates[ri],
+            self.mix_at(mi),
+        )
     }
 
     /// The simulation seed for job `index`: independent per index, stable
@@ -131,13 +180,14 @@ impl SweepSpec {
 
     /// Run job `index`: a pure function of `(self, index)`.
     pub fn run_job(&self, index: u64) -> PointDetail {
-        let (scheme, pattern, rate) = self.cell_params(self.cell_of(index));
+        let (scheme, pattern, rate, mix) = self.cell_params(self.cell_of(index));
         let mut cfg = match self.base {
             SweepBase::Paper => NetworkConfig::paper_default(scheme),
             SweepBase::Small => NetworkConfig::small(scheme),
         };
         cfg.seed = self.job_seed(index);
-        run_synthetic_point_detailed(cfg, pattern, rate, self.plan())
+        cfg.admission = self.admission;
+        run_classed_point_detailed(cfg, mix, pattern, rate, self.plan())
     }
 }
 
@@ -157,19 +207,22 @@ mod tests {
     fn cell_decomposition_is_a_bijection() {
         let mut spec = SweepSpec::demo();
         spec.patterns.push(TrafficPattern::Tornado);
+        spec.mixes = TenantMixKind::all().to_vec();
         let mut seen = vec![false; spec.cells()];
         for (cell, cell_seen) in seen.iter_mut().enumerate() {
-            let (s, p, r) = spec.cell_params(cell);
+            let (s, p, r, m) = spec.cell_params(cell);
             // Re-encode the coordinates and check they map back.
             let si = spec.schemes.iter().position(|&x| x == s).expect("scheme");
             let pi = spec.patterns.iter().position(|&x| x == p).expect("pattern");
+            let mi = spec.mixes.iter().position(|&x| x == m).expect("mix");
             // Bit-exact match: `r` came out of this same vec.
             let ri = spec
                 .rates
                 .iter()
                 .position(|&x| x.to_bits() == r.to_bits())
                 .expect("rate");
-            let re = (si * spec.patterns.len() + pi) * spec.rates.len() + ri;
+            let re =
+                ((mi * spec.schemes.len() + si) * spec.patterns.len() + pi) * spec.rates.len() + ri;
             assert_eq!(re, cell);
             assert!(!*cell_seen);
             *cell_seen = true;
@@ -206,6 +259,35 @@ mod tests {
         let mut spec = SweepSpec::demo();
         spec.rates.push(f64::NAN);
         assert!(spec.validate().is_err());
+    }
+
+    #[test]
+    fn pre_qos_spec_json_still_loads_with_identical_grid() {
+        // A sweep description written before the tenant axis existed must
+        // deserialize (serde defaults), keep its cell count, and keep its
+        // per-job seeds — resumed checkpoints depend on both.
+        let spec = SweepSpec::demo();
+        let json = serde_json::to_string(&spec).expect("serialize");
+        let legacy = json
+            .replace(",\"mixes\":[]", "")
+            .replace(",\"admission\":\"None\"", "");
+        assert_ne!(legacy, json, "test must actually strip the new fields");
+        let back: SweepSpec = serde_json::from_str(&legacy).expect("legacy spec loads");
+        assert_eq!(back, spec);
+        assert_eq!(back.cells(), spec.cells());
+        assert_eq!(back.job_seed(7), spec.job_seed(7));
+    }
+
+    #[test]
+    fn qos_demo_crosses_every_mix() {
+        let spec = SweepSpec::demo_qos();
+        spec.validate().expect("qos demo valid");
+        assert_eq!(spec.cells(), SweepSpec::demo().cells() * 4);
+        let mut mixes_seen = std::collections::BTreeSet::new();
+        for cell in 0..spec.cells() {
+            mixes_seen.insert(spec.cell_params(cell).3.label());
+        }
+        assert_eq!(mixes_seen.len(), 4);
     }
 
     #[test]

@@ -20,7 +20,13 @@
 //!   reservations never exceed capacity;
 //! * **ACK pairing** — for handshake schemes, every transmitted-but-
 //!   unresolved packet has something that will eventually resolve it: a
-//!   copy still on the ring, a handshake in flight, or an armed ACK timer.
+//!   copy still on the ring, a handshake in flight, or an armed ACK timer;
+//! * **no class starvation** — under admission control, a traffic class
+//!   with queued packets keeps receiving grants: because every class
+//!   refills at ≥ 1 credit per period, a backlogged class whose grant
+//!   counter stops advancing for many refill periods is a liveness bug in
+//!   the admission/arbitration pipeline, not a tuning artifact
+//!   ([`InvariantAuditor::check_starvation`]).
 //!
 //! The auditor is wired into [`crate::network::Network::step`] behind the
 //! `verify-invariants` cargo feature; structural checks are stride-sampled
@@ -30,6 +36,7 @@
 use crate::config::Scheme;
 use crate::metrics::NetworkMetrics;
 use pnoc_sim::Cycle;
+use pnoc_traffic::MAX_CLASSES;
 use std::collections::BTreeSet;
 
 /// Everything the auditor needs to know about one channel, snapshotted by
@@ -80,6 +87,19 @@ pub struct ChannelAuditView {
     pub recovery_enabled: bool,
     /// Whether fault injection is live on this channel.
     pub faults_active: bool,
+    /// Whether per-class admission control is configured.
+    pub admission_enabled: bool,
+    /// Admission refill period in cycles (0 when admission is off).
+    pub admission_period: u32,
+    /// Current admission bucket levels, per class.
+    pub admission_tokens: [u8; MAX_CLASSES],
+    /// Admission bucket capacities, per class.
+    pub admission_burst: [u8; MAX_CLASSES],
+    /// Queued packets per class, summed over senders.
+    pub class_backlog: [usize; MAX_CLASSES],
+    /// Cumulative grants per class (the starvation audit's progress
+    /// witness).
+    pub class_granted: [u64; MAX_CLASSES],
 }
 
 /// Network-wide invariant auditor (see module docs). One instance lives for
@@ -89,6 +109,20 @@ pub struct ChannelAuditView {
 pub struct InvariantAuditor {
     delivered_ids: BTreeSet<u64>,
     stride: u64,
+    /// Starvation tracking, indexed `[channel][class]`: the grant count at
+    /// the last sample and how long the class has been backlogged without
+    /// a single new grant. Grown lazily to the view count.
+    starvation: Vec<[StarveCell; MAX_CLASSES]>,
+}
+
+/// Per-(channel, class) starvation-progress cell.
+#[derive(Debug, Clone, Copy, Default)]
+struct StarveCell {
+    /// `class_granted` at the last observation.
+    last_granted: u64,
+    /// Cycle the class became backlogged with no grant progress since
+    /// (`None` while idle or progressing).
+    stalled_since: Option<Cycle>,
 }
 
 /// Full structural checks run every cycle up to this many nodes; larger
@@ -108,6 +142,7 @@ impl InvariantAuditor {
             } else {
                 SAMPLED_STRIDE
             },
+            starvation: Vec::new(),
         }
     }
 
@@ -145,12 +180,55 @@ impl InvariantAuditor {
             Self::check_ack_pairing(v)?;
         }
         self.check_flit_conservation(views, m, pending_inject_ids)?;
+        // (Starvation is checked separately — it needs `&mut self` to track
+        // progress across samples; see [`InvariantAuditor::check_starvation`].)
         if self.delivered_ids.len() as u64 != m.delivered {
             return Err(format!(
                 "delivered counter ({}) disagrees with observed deliveries ({})",
                 m.delivered,
                 self.delivered_ids.len()
             ));
+        }
+        Ok(())
+    }
+
+    /// Liveness across samples: under admission control, a backlogged class
+    /// must keep receiving grants. The tolerance is many refill periods (and
+    /// never under 4096 cycles), so transient contention — another class
+    /// bursting, a fairness sit-out, a full buffer — cannot trip it; only a
+    /// class that is genuinely wedged can. Call once per sampled cycle,
+    /// after [`InvariantAuditor::check`].
+    pub fn check_starvation(
+        &mut self,
+        now: Cycle,
+        views: &[ChannelAuditView],
+    ) -> Result<(), String> {
+        if self.starvation.len() < views.len() {
+            self.starvation
+                .resize(views.len(), [StarveCell::default(); MAX_CLASSES]);
+        }
+        for (i, v) in views.iter().enumerate() {
+            if !v.admission_enabled {
+                continue;
+            }
+            let window = (u64::from(v.admission_period) * 64).max(4096);
+            for c in 0..MAX_CLASSES {
+                let cell = &mut self.starvation[i][c];
+                let progressed = v.class_granted[c] != cell.last_granted;
+                cell.last_granted = v.class_granted[c];
+                if v.class_backlog[c] == 0 || progressed {
+                    cell.stalled_since = None;
+                    continue;
+                }
+                let since = *cell.stalled_since.get_or_insert(now);
+                if now.saturating_sub(since) > window {
+                    return Err(format!(
+                        "home {}: class {c} starved — backlog {} with no \
+                         grant since cycle {since} (now {now}, tolerance {window})",
+                        v.home, v.class_backlog[c]
+                    ));
+                }
+            }
         }
         Ok(())
     }

@@ -36,7 +36,9 @@ use crate::config::{FairnessPolicy, NetworkConfig, Scheme};
 use crate::metrics::NetworkMetrics;
 use crate::outqueue::{OutQueue, SendMode};
 use crate::packet::{FlitRef, Packet, PacketArena, PacketRef};
-use crate::schemes::{Arbiter, ArbiterKind, ArrivalCx, Flow, FlowKind, Planes, TokenCx};
+use crate::schemes::{
+    AdmissionCtl, Arbiter, ArbiterKind, ArrivalCx, Flow, FlowKind, Planes, TokenCx,
+};
 use crate::slots::SlotRing;
 use crate::topology::Topology;
 use pnoc_faults::{ChannelInjector, DataFate, FaultEngine, RecoveryConfig};
@@ -128,6 +130,8 @@ pub struct Channel<A = ArbiterKind, F = FlowKind> {
     planes: Planes,
     /// DHS-circulation: a reinjection this cycle suppresses token emission.
     suppress_token: bool,
+    /// Per-class admission buckets (`None` when `QoS` is off).
+    admission: Option<AdmissionCtl>,
     /// Measured deliveries per sender (fairness accounting).
     pub served_by_sender: Vec<u64>,
 
@@ -205,8 +209,13 @@ impl<A: Arbiter, F: Flow> Channel<A, F> {
             arbiter,
             flow,
             queued_total: 0,
-            planes: Planes::new(cfg.nodes - 1),
+            planes: if cfg.admission.enabled() {
+                Planes::with_classes(cfg.nodes - 1)
+            } else {
+                Planes::new(cfg.nodes - 1)
+            },
             suppress_token: false,
+            admission: AdmissionCtl::from_policy(&cfg.admission),
             served_by_sender: vec![0; cfg.nodes],
             injector,
             recovery: cfg.recovery,
@@ -225,11 +234,13 @@ impl<A: Arbiter, F: Flow> Channel<A, F> {
         debug_assert_ne!(pkt.src_node as usize, self.home, "no self-send");
         let src = pkt.src_node as usize;
         let id = pkt.id;
+        let class = pkt.class;
         let handle = self.arena.alloc(pkt);
         self.senders[src].push(PacketRef {
             id,
             handle,
             sends: 0,
+            class,
         });
         self.queued_total += 1;
         self.planes.refresh(self.dist_of[src], &self.senders[src]);
@@ -513,6 +524,9 @@ impl<A: Arbiter, F: Flow> Channel<A, F> {
     /// delegated to the arbiter/flow pairing resolved at construction.
     pub fn phase_tokens(&mut self, now: Cycle, m: &mut NetworkMetrics) {
         let _span = crate::spans::span("phase_tokens");
+        if let Some(ctl) = self.admission.as_mut() {
+            ctl.tick(now);
+        }
         let mut cx = TokenCx {
             now,
             home: self.home,
@@ -527,6 +541,7 @@ impl<A: Arbiter, F: Flow> Channel<A, F> {
             buffered: self.input_queue.len() + self.draining as usize,
             buffer_cap: self.buffer_cap,
             suppress_token: &mut self.suppress_token,
+            admission: self.admission.as_mut(),
             injector: self.injector.as_mut(),
         };
         self.arbiter.step(&mut self.flow, &mut cx, m);
@@ -589,7 +604,7 @@ impl<A: Arbiter, F: Flow> Channel<A, F> {
             );
             if pkt.measured {
                 m.delivered_measured += 1;
-                m.record_latency(pkt.latency_at(available_at) as f64);
+                m.record_latency_class(pkt.class, pkt.latency_at(available_at) as f64);
                 self.served_by_sender[pkt.src_node as usize] += 1;
             }
             deliveries.push(Delivery { pkt, available_at });
@@ -676,6 +691,54 @@ impl<A: Arbiter, F: Flow> Channel<A, F> {
                     ));
                 }
             }
+            // Per-class views (admission only): head-class predicates must
+            // partition the parent plane, and backlog bits must match the
+            // queue's class mask.
+            if let Some(cp) = self.planes.classes.as_deref() {
+                let head = q.head_class();
+                let mask = q.class_backlog_mask();
+                for c in 0..pnoc_traffic::MAX_CLASSES {
+                    let is_head = head == Some(u8::try_from(c).unwrap_or(u8::MAX));
+                    let class_checks = [
+                        (
+                            "class-sendable",
+                            cp.sendable[c].get(d),
+                            q.sendable() > 0 && is_head,
+                        ),
+                        (
+                            "class-granted",
+                            cp.granted[c].get(d),
+                            q.granted() > 0 && is_head,
+                        ),
+                        (
+                            "class-backlogged",
+                            cp.backlogged[c].get(d),
+                            mask & (1 << c) != 0,
+                        ),
+                    ];
+                    for (plane, got, want) in class_checks {
+                        if got != want {
+                            return Err(format!(
+                                "{plane} plane drifted at distance {d} (node {n}) \
+                                 class {c}: plane {got}, queue {want}"
+                            ));
+                        }
+                    }
+                }
+            }
+        }
+        // Admission buckets can never exceed their burst capacity.
+        if let Some(ctl) = &self.admission {
+            let (tokens, burst) = (ctl.tokens(), ctl.burst());
+            for c in 0..pnoc_traffic::MAX_CLASSES {
+                if tokens[c] > burst[c] {
+                    return Err(format!(
+                        "admission bucket overflow for class {c}: \
+                         {} tokens > burst {}",
+                        tokens[c], burst[c]
+                    ));
+                }
+            }
         }
         Ok(())
     }
@@ -733,6 +796,28 @@ impl<A: Arbiter, F: Flow> Channel<A, F> {
         out.leaked_credits = self.flow.leaked_credits();
         out.recovery_enabled = self.recovery.enabled;
         out.faults_active = self.injector.as_ref().is_some_and(ChannelInjector::active);
+        out.admission_enabled = self.admission.is_some();
+        out.class_backlog = [0; pnoc_traffic::MAX_CLASSES];
+        if let Some(ctl) = &self.admission {
+            out.admission_period = ctl.period();
+            out.admission_tokens = ctl.tokens();
+            out.admission_burst = ctl.burst();
+            out.class_granted = ctl.granted_by_class;
+            for q in &self.senders {
+                let mask = q.class_backlog_mask();
+                for c in 0..pnoc_traffic::MAX_CLASSES {
+                    if mask & (1 << c) != 0 {
+                        out.class_backlog[c] +=
+                            q.iter_queue().filter(|p| usize::from(p.class) == c).count();
+                    }
+                }
+            }
+        } else {
+            out.admission_period = 0;
+            out.admission_tokens = [0; pnoc_traffic::MAX_CLASSES];
+            out.admission_burst = [0; pnoc_traffic::MAX_CLASSES];
+            out.class_granted = [0; pnoc_traffic::MAX_CLASSES];
+        }
     }
 
     /// Allocating convenience wrapper around [`Channel::audit_view_into`].
@@ -842,6 +927,16 @@ impl<A: Arbiter, F: Flow> Channel<A, F> {
             out.extend(h.accepted_ids.iter());
         }
         out.push(SEP);
+        if let Some(ctl) = &self.admission {
+            // Bucket levels plus the phase within the refill period: two
+            // states with the same levels but different distances to the
+            // next refill behave differently.
+            out.push(now % u64::from(ctl.period()));
+            for t in ctl.tokens() {
+                out.push(u64::from(t));
+            }
+        }
+        out.push(SEP);
         if let Some(inj) = &self.injector {
             inj.state_key(now, out);
         }
@@ -870,6 +965,7 @@ mod tests {
             sends: 0,
             measured: true,
             tag: 0,
+            class: 0,
         }
     }
 

@@ -1,7 +1,9 @@
-//! Network configuration: dimensions, scheme selection, fairness policy.
+//! Network configuration: dimensions, scheme selection, fairness and
+//! admission policies.
 
 use pnoc_faults::{FaultConfig, RecoveryConfig};
 use pnoc_photonics::SchemeFeatures;
+use pnoc_traffic::MAX_CLASSES;
 use serde::{Deserialize, Serialize};
 
 /// Arbitration + flow-control scheme (paper §II-C, §III).
@@ -116,6 +118,73 @@ pub enum FairnessPolicy {
     },
 }
 
+/// Per-class fair admission control (after Mirsadeghi et al.'s fair
+/// admission control for nanophotonic crossbars, arXiv:1512.04106): token
+/// *grants* — not injections — are rate-limited per traffic class at each
+/// home channel, so a well-behaved class keeps its share of the home's
+/// arbitration bandwidth no matter how hard another class pushes.
+///
+/// `Copy` by design (it rides on [`NetworkConfig`]): per-class parameters
+/// live in fixed [`MAX_CLASSES`]-sized arrays.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub enum AdmissionPolicy {
+    /// No admission control: grants go to whoever arbitration picks.
+    #[default]
+    None,
+    /// A deterministic token bucket per `(home channel, class)`: at every
+    /// cycle divisible by `period`, class `c`'s bucket gains `refill[c]`
+    /// grant credits, saturating at `burst[c]`. A sender whose head packet
+    /// belongs to a class with an empty bucket is skipped by arbitration
+    /// until the next refill; every class refills at ≥ 1 per period, so no
+    /// class can be starved forever (the liveness half of the starvation
+    /// audit).
+    TokenBucket {
+        /// Refill interval in cycles.
+        period: u32,
+        /// Credits added to each class's bucket per refill.
+        refill: [u8; MAX_CLASSES],
+        /// Bucket capacity per class (burst tolerance).
+        burst: [u8; MAX_CLASSES],
+    },
+}
+
+impl AdmissionPolicy {
+    /// Whether admission control is active.
+    pub fn enabled(&self) -> bool {
+        !matches!(self, AdmissionPolicy::None)
+    }
+
+    /// Structural validation.
+    pub fn validate(&self) -> Result<(), String> {
+        if let AdmissionPolicy::TokenBucket {
+            period,
+            refill,
+            burst,
+        } = self
+        {
+            if *period == 0 {
+                return Err("admission refill period must be positive".into());
+            }
+            for c in 0..MAX_CLASSES {
+                if refill[c] == 0 {
+                    return Err(format!(
+                        "admission refill for class {c} must be at least 1 \
+                         (a zero-refill class would starve forever)"
+                    ));
+                }
+                if burst[c] < refill[c] {
+                    return Err(format!(
+                        "admission burst for class {c} ({}) must hold a full \
+                         refill ({})",
+                        burst[c], refill[c]
+                    ));
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
 /// Full network configuration.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct NetworkConfig {
@@ -136,6 +205,11 @@ pub struct NetworkConfig {
     pub scheme: Scheme,
     /// Fairness policy.
     pub fairness: FairnessPolicy,
+    /// Per-class admission control (`QoS`). Defaults to [`AdmissionPolicy::None`],
+    /// under which the simulator's hot path is bit-identical to the
+    /// pre-`QoS` network.
+    #[serde(default)]
+    pub admission: AdmissionPolicy,
     /// Master RNG seed.
     pub seed: u64,
     /// Fault-injection rates (default: all zero — no fault engine is built
@@ -159,6 +233,7 @@ impl NetworkConfig {
             router_latency: 2,
             scheme,
             fairness: FairnessPolicy::None,
+            admission: AdmissionPolicy::None,
             seed: 0x00C0_FFEE,
             faults: FaultConfig::none(),
             recovery: RecoveryConfig::disabled(),
@@ -176,6 +251,7 @@ impl NetworkConfig {
             router_latency: 2,
             scheme,
             fairness: FairnessPolicy::None,
+            admission: AdmissionPolicy::None,
             seed: 0xBEEF,
             faults: FaultConfig::none(),
             recovery: RecoveryConfig::disabled(),
@@ -228,6 +304,7 @@ impl NetworkConfig {
                 return Err("serve_quota must be positive".into());
             }
         }
+        self.admission.validate()?;
         self.faults.validate()?;
         self.recovery.validate(self.ring_segments)?;
         Ok(())

@@ -130,7 +130,7 @@ pub struct MeshNetwork {
     metrics: NetworkMetrics,
     deliveries: Vec<Delivery>,
     next_id: u64,
-    gen_buf: Vec<(usize, usize, PacketKind)>,
+    gen_buf: Vec<crate::sources::InjectionRequest>,
 }
 
 impl MeshNetwork {
@@ -221,6 +221,24 @@ impl MeshNetwork {
         tag: u64,
         measured: bool,
     ) -> u64 {
+        self.inject_classed(src_core, dst_node, kind, tag, 0, measured)
+    }
+
+    /// [`MeshNetwork::inject`] with an explicit traffic class, so classed
+    /// workloads digest per-class latency on the electrical baseline too.
+    pub fn inject_classed(
+        &mut self,
+        src_core: usize,
+        dst_node: usize,
+        kind: PacketKind,
+        tag: u64,
+        class: u8,
+        measured: bool,
+    ) -> u64 {
+        assert!(
+            usize::from(class) < pnoc_traffic::MAX_CLASSES,
+            "class {class} out of range"
+        );
         assert!(src_core < self.cfg.cores());
         assert!(dst_node < self.cfg.nodes());
         let src_node = src_core / self.cfg.cores_per_node;
@@ -240,6 +258,7 @@ impl MeshNetwork {
             sends: 0,
             measured,
             tag,
+            class,
         };
         self.metrics.generated += 1;
         if measured {
@@ -347,7 +366,7 @@ impl MeshNetwork {
                     if pkt.measured {
                         self.metrics.delivered_measured += 1;
                         self.metrics
-                            .record_latency(pkt.latency_at(available_at) as f64);
+                            .record_latency_class(pkt.class, pkt.latency_at(available_at) as f64);
                     }
                     self.deliveries.push(Delivery { pkt, available_at });
                 } else {
@@ -378,8 +397,8 @@ impl MeshNetwork {
                 gen_buf.clear();
                 source.generate(now, &mut gen_buf);
                 let measured = plan.measures(now);
-                for &(core, dst, kind) in &gen_buf {
-                    self.inject(core, dst, kind, 0, measured);
+                for &(core, dst, kind, class) in &gen_buf {
+                    self.inject_classed(core, dst, kind, 0, class, measured);
                 }
             }
             self.step();

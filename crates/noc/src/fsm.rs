@@ -215,6 +215,7 @@ impl CycleFsm for ChannelModel {
                 sends: 0,
                 measured: false,
                 tag: 0,
+                class: 0,
             });
             self.remaining[idx] -= 1;
             self.metrics.generated += 1;

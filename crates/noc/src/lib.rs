@@ -66,13 +66,14 @@ pub mod swmr;
 pub mod topology;
 
 pub use audit::{ChannelAuditView, InvariantAuditor};
-pub use config::{FairnessPolicy, NetworkConfig, Scheme};
+pub use config::{AdmissionPolicy, FairnessPolicy, NetworkConfig, Scheme};
 pub use emesh::{MeshConfig, MeshNetwork};
 pub use fsm::{ChannelModel, CycleEvents, CycleFsm};
 pub use metrics::{NetworkMetrics, RunSummary};
 pub use network::Network;
 pub use packet::{Packet, PacketKind};
 pub use pnoc_faults::{FaultConfig, RecoveryConfig};
-pub use sources::{SyntheticSource, TraceSource, TrafficSource};
+pub use pnoc_traffic::{ClassId, MAX_CLASSES};
+pub use sources::{ClassedSource, SyntheticSource, TraceSource, TrafficSource};
 pub use swmr::{SwmrConfig, SwmrFlowControl, SwmrNetwork};
 pub use topology::Topology;

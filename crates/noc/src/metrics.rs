@@ -3,6 +3,7 @@
 use pnoc_obs::LatencyRecorder;
 use pnoc_sim::stats::{jain_index, Running};
 use pnoc_sim::{BatchMeans, Cycle};
+use pnoc_traffic::MAX_CLASSES;
 use serde::Serialize;
 
 /// Raw counters accumulated while the network runs.
@@ -40,6 +41,17 @@ pub struct NetworkMetrics {
     pub circulations: u64,
     /// Packets that arrived at a home (pre-buffer-check).
     pub arrivals: u64,
+
+    // --- multi-tenant (per-class) counters ---
+    /// Measured deliveries per traffic class. Class 0 is the default:
+    /// untagged traffic (every pre-`QoS` call site) lands there, so these
+    /// always sum to the global measured delivery count.
+    pub class_delivered: [u64; MAX_CLASSES],
+    /// Per-class end-to-end latency running mean/variance.
+    pub class_latency: [Running; MAX_CLASSES],
+    /// Per-class latency distributions (same binning as `latency_rec`, so
+    /// the class recorders partition the global one bin-for-bin).
+    pub class_latency_rec: [LatencyRecorder; MAX_CLASSES],
 
     // --- reliability counters (all zero on fault-free runs) ---
     /// Data flits destroyed in flight by the fault engine.
@@ -89,6 +101,9 @@ impl NetworkMetrics {
             retransmissions: 0,
             circulations: 0,
             arrivals: 0,
+            class_delivered: [0; MAX_CLASSES],
+            class_latency: std::array::from_fn(|_| Running::new()),
+            class_latency_rec: std::array::from_fn(|_| LatencyRecorder::cycles()),
             faults_data_lost: 0,
             faults_data_corrupt: 0,
             faults_acks_lost: 0,
@@ -112,9 +127,24 @@ impl NetworkMetrics {
     /// reported mean and its confidence interval disagree about the data.
     #[inline]
     pub fn record_latency(&mut self, lat: f64) {
+        self.record_latency_class(0, lat);
+    }
+
+    /// Class-tagged variant of [`NetworkMetrics::record_latency`]: records
+    /// the same three global estimators *plus* the class's own recorder,
+    /// running stats, and delivery counter. Because the untagged path
+    /// delegates here with class 0, the per-class views partition the
+    /// global distribution on every network implementation — per-bin
+    /// recorder counts and delivery totals sum exactly to the global ones.
+    #[inline]
+    pub fn record_latency_class(&mut self, class: u8, lat: f64) {
         self.latency.record(lat);
         self.latency_rec.record(lat);
         self.latency_batches.record(lat);
+        let c = usize::from(class);
+        self.class_delivered[c] += 1;
+        self.class_latency[c].record(lat);
+        self.class_latency_rec[c].record(lat);
     }
 
     /// Record a packet-lifecycle trace event (`obs-trace` builds with a
@@ -183,6 +213,33 @@ impl Default for NetworkMetrics {
     }
 }
 
+/// Per-class digest of one run — the `QoS` view of a figure point.
+#[derive(Debug, Clone, Serialize)]
+pub struct ClassSummary {
+    /// Traffic class (0 = default/untagged).
+    pub class: u8,
+    /// Measured packets delivered for this class.
+    pub delivered: u64,
+    /// Mean end-to-end latency, cycles; 0.0 when the class saw no traffic
+    /// (a defined value, never NaN — see [`defined`]).
+    pub avg_latency: f64,
+    /// 99th-percentile latency, cycles; 0.0 when the class saw no traffic.
+    pub p99_latency: f64,
+}
+
+/// Zero-sample guard for summary statistics: the underlying estimators
+/// report NaN when they hold no samples, but a *summary* of a degenerate
+/// run must stay defined — a figure point with zero packets has zero
+/// latency, not an undefined one, and the JSON writer serializes NaN as
+/// `null`, which breaks downstream aggregation and plotting.
+fn defined(x: f64) -> f64 {
+    if x.is_nan() {
+        0.0
+    } else {
+        x
+    }
+}
+
 /// Digest of one open-loop run — one point on a paper figure.
 #[derive(Debug, Clone, Serialize)]
 pub struct RunSummary {
@@ -206,11 +263,21 @@ pub struct RunSummary {
     /// Circulation rate per arrival.
     pub circulation_rate: f64,
     /// Jain fairness index over sender service counts, averaged across
-    /// channels that saw traffic.
+    /// channels that saw traffic; 1.0 (vacuously fair) when no channel saw
+    /// any — a defined value, never NaN.
     pub jain_fairness: f64,
     /// Jain index of the *least fair* channel — the number positional
     /// starvation shows up in (hotspot channels dilute out of the average).
+    /// 1.0 when no channel saw traffic.
     pub jain_worst: f64,
+    /// Jain fairness index over per-class measured delivery counts
+    /// (classes `0..=` the highest active class); 1.0 when at most one
+    /// class is active (vacuously fair).
+    pub class_jain: f64,
+    /// Per-class latency/throughput digest. Empty when all traffic is
+    /// untagged class 0 (single-tenant runs keep their JSON unchanged);
+    /// populated for classes `0..=` the highest active class otherwise.
+    pub class_summaries: Vec<ClassSummary>,
     /// Whether the run saturated (a large fraction of measured packets never
     /// finished, a heavy latency tail past 2048 cycles, or any sample past
     /// the recorder's range cap).
@@ -257,22 +324,36 @@ impl RunSummary {
                 jain_index(&v)
             })
             .collect();
-        let jain = if jains.is_empty() {
-            f64::NAN
+        // No channel saw traffic → vacuously fair, matching `jain_index`'s
+        // all-zero convention. The old NaN here poisoned fleet-level sums.
+        let (jain, jain_worst) = if jains.is_empty() {
+            (1.0, 1.0)
         } else {
-            jains.iter().sum::<f64>() / jains.len() as f64
+            let avg = jains.iter().sum::<f64>() / jains.len() as f64;
+            let worst = jains.iter().copied().fold(f64::INFINITY, f64::min);
+            (avg, worst)
         };
-        let jain_worst =
-            jains.iter().copied().fold(
-                f64::NAN,
-                |acc, j| {
-                    if acc.is_nan() {
-                        j
-                    } else {
-                        acc.min(j)
-                    }
-                },
-            );
+        let top_class = (0..MAX_CLASSES).rev().find(|&c| m.class_delivered[c] > 0);
+        let (class_jain, class_summaries) = match top_class {
+            // Tagged traffic present: digest every class up to the highest
+            // active one (idle classes in between report defined zeros).
+            Some(top) if top > 0 => {
+                let counts: Vec<f64> = m.class_delivered[..=top]
+                    .iter()
+                    .map(|&d| d as f64)
+                    .collect();
+                let summaries = (0..=top)
+                    .map(|c| ClassSummary {
+                        class: u8::try_from(c).expect("MAX_CLASSES fits in u8"),
+                        delivered: m.class_delivered[c],
+                        avg_latency: defined(m.class_latency[c].mean()),
+                        p99_latency: defined(m.class_latency_rec[c].quantile(0.99)),
+                    })
+                    .collect();
+                (jain_index(&counts), summaries)
+            }
+            _ => (1.0, Vec::new()),
+        };
         let unfinished = m.generated_measured.saturating_sub(m.delivered_measured);
         // Saturation: too many measured packets never finished, a heavy
         // latency tail (> 5 % of deliveries past 2048 cycles — the same
@@ -286,16 +367,18 @@ impl RunSummary {
                 || m.latency_rec.overflow() > 0);
         Self {
             offered_per_core,
-            avg_latency: m.latency.mean(),
+            avg_latency: defined(m.latency.mean()),
             latency_ci95: m.latency_batches.ci95_half_width(),
-            p99_latency: m.latency_rec.quantile(0.99),
-            avg_queue_wait: m.queue_wait.mean(),
+            p99_latency: defined(m.latency_rec.quantile(0.99)),
+            avg_queue_wait: defined(m.queue_wait.mean()),
             throughput_per_core: throughput,
             delivered: m.delivered_measured,
             drop_rate: m.drop_rate(),
             circulation_rate: m.circulation_rate(),
             jain_fairness: jain,
             jain_worst,
+            class_jain,
+            class_summaries,
             saturated,
             lost_packets: m.generated.saturating_sub(m.delivered),
             duplicates: m.duplicates_suppressed,
@@ -368,6 +451,70 @@ mod tests {
         assert_eq!(s.timeout_retransmissions, 4);
         assert_eq!(s.credit_leaks, 7);
         assert!((s.retransmit_rate - 0.05).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zero_packet_summary_is_fully_defined() {
+        // The degenerate-statistics contract: a run that delivered nothing
+        // reports defined numbers everywhere (no NaN Jain, no 0/0 means),
+        // so fleet aggregation and JSON plotting never see `null`.
+        let m = NetworkMetrics::new();
+        let s = RunSummary::from_metrics::<&[u64]>(&m, &[], 1000, 4, 0.0);
+        assert!(s.avg_latency.abs() < 1e-12);
+        assert!(s.p99_latency.abs() < 1e-12);
+        assert!(s.avg_queue_wait.abs() < 1e-12);
+        assert!((s.jain_fairness - 1.0).abs() < 1e-12, "vacuously fair");
+        assert!((s.jain_worst - 1.0).abs() < 1e-12);
+        assert!((s.class_jain - 1.0).abs() < 1e-12);
+        assert!(s.class_summaries.is_empty());
+        assert!(!s.saturated);
+    }
+
+    #[test]
+    fn untagged_runs_keep_class_summaries_empty() {
+        let mut m = NetworkMetrics::new();
+        m.generated_measured = 10;
+        m.delivered_measured = 10;
+        for _ in 0..10 {
+            m.record_latency(12.0);
+        }
+        assert_eq!(m.class_delivered[0], 10, "untagged samples land in class 0");
+        let s = RunSummary::from_metrics::<&[u64]>(&m, &[], 1000, 4, 0.1);
+        assert!(
+            s.class_summaries.is_empty(),
+            "single-class JSON stays compact"
+        );
+        assert!((s.class_jain - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn classed_runs_partition_and_digest_per_class() {
+        let mut m = NetworkMetrics::new();
+        for _ in 0..30 {
+            m.record_latency_class(0, 10.0);
+        }
+        for _ in 0..10 {
+            m.record_latency_class(2, 40.0);
+        }
+        m.generated_measured = 40;
+        m.delivered_measured = 40;
+        assert_eq!(m.latency.count(), 40, "global estimator sees every class");
+        let s = RunSummary::from_metrics::<&[u64]>(&m, &[], 1000, 4, 0.1);
+        assert_eq!(s.class_summaries.len(), 3, "classes 0..=top active class");
+        assert_eq!(s.class_summaries[0].delivered, 30);
+        assert_eq!(s.class_summaries[1].delivered, 0);
+        assert_eq!(s.class_summaries[2].delivered, 10);
+        assert!((s.class_summaries[0].avg_latency - 10.0).abs() < 1e-12);
+        assert!(
+            s.class_summaries[1].avg_latency.abs() < 1e-12,
+            "idle class reports defined zeros"
+        );
+        assert!(s.class_summaries[2].p99_latency >= 40.0);
+        assert!((s.class_jain - jain_index(&[30.0, 0.0, 10.0])).abs() < 1e-12);
+        assert!(
+            (s.avg_latency - 17.5).abs() < 1e-12,
+            "global mean is blended"
+        );
     }
 
     #[test]

@@ -221,6 +221,25 @@ impl Network {
         tag: u64,
         measured: bool,
     ) -> u64 {
+        self.inject_classed(src_core, dst_node, kind, tag, 0, measured)
+    }
+
+    /// [`Network::inject`] with an explicit traffic class (multi-tenant
+    /// `QoS`). Class 0 is the default class; classes must be below
+    /// [`pnoc_traffic::MAX_CLASSES`].
+    pub fn inject_classed(
+        &mut self,
+        src_core: usize,
+        dst_node: usize,
+        kind: PacketKind,
+        tag: u64,
+        class: u8,
+        measured: bool,
+    ) -> u64 {
+        assert!(
+            usize::from(class) < pnoc_traffic::MAX_CLASSES,
+            "class {class} out of range"
+        );
         assert!(src_core < self.cfg.cores(), "core {src_core} out of range");
         assert!(dst_node < self.cfg.nodes, "node {dst_node} out of range");
         let src_node = src_core / self.cfg.cores_per_node;
@@ -243,6 +262,7 @@ impl Network {
             sends: 0,
             measured,
             tag,
+            class,
         };
         self.metrics.generated += 1;
         if measured {
@@ -325,7 +345,10 @@ impl Network {
         let mut views = std::mem::take(&mut self.audit_views);
         let mut pending = std::mem::take(&mut self.audit_pending);
         self.audit_snapshot_into(&mut views, &mut pending);
-        let verdict = self.auditor.check(&views, &self.metrics, &pending);
+        let verdict = self
+            .auditor
+            .check(&views, &self.metrics, &pending)
+            .and_then(|()| self.auditor.check_starvation(now, &views));
         self.audit_views = views;
         self.audit_pending = pending;
         if let Err(why) = verdict {
@@ -393,8 +416,8 @@ impl Network {
                 gen_buf.clear();
                 source.generate(now, &mut gen_buf);
                 let measured = plan.measures(now);
-                for &(core, dst, kind) in &gen_buf {
-                    self.inject(core, dst, kind, 0, measured);
+                for &(core, dst, kind, class) in &gen_buf {
+                    self.inject_classed(core, dst, kind, 0, class, measured);
                 }
             }
             self.step();
@@ -468,6 +491,34 @@ pub fn run_synthetic_point_detailed(
     let mut src = crate::sources::SyntheticSource::new(
         pattern,
         rate,
+        cfg.nodes,
+        cfg.cores_per_node,
+        cfg.seed ^ 0x5EED_0001,
+    );
+    let summary = net.run_open_loop(&mut src, plan);
+    PointDetail {
+        summary,
+        latency: net.metrics().latency_rec.clone(),
+    }
+}
+
+/// [`run_synthetic_point_detailed`] with a multi-tenant source: the mix's
+/// tenants split the offered rate and tag packets with their traffic
+/// classes. [`pnoc_traffic::classes::TenantMixKind::SingleClass`]
+/// reproduces the plain synthetic run bit-for-bit (same seed derivation,
+/// same injection stream).
+pub fn run_classed_point_detailed(
+    cfg: NetworkConfig,
+    mix: pnoc_traffic::classes::TenantMixKind,
+    pattern: pnoc_traffic::pattern::TrafficPattern,
+    rate: f64,
+    plan: RunPlan,
+) -> PointDetail {
+    let mut net = Network::new(cfg).expect("invalid config");
+    let mut src = crate::sources::ClassedSource::new(
+        mix,
+        rate,
+        pattern,
         cfg.nodes,
         cfg.cores_per_node,
         cfg.seed ^ 0x5EED_0001,

@@ -29,6 +29,12 @@ pub trait QueueItem: Copy {
     fn sends(&self) -> u32;
     /// Record one transmission at `now`.
     fn on_transmit(&mut self, now: Cycle);
+    /// Traffic class the packet belongs to (admission control, per-class
+    /// observability). Items without a class notion report class 0.
+    #[inline]
+    fn class(&self) -> u8 {
+        0
+    }
 }
 
 impl QueueItem for Packet {
@@ -46,6 +52,11 @@ impl QueueItem for Packet {
     fn on_transmit(&mut self, now: Cycle) {
         self.sent_at = now;
         self.sends += 1;
+    }
+
+    #[inline]
+    fn class(&self) -> u8 {
+        self.class
     }
 }
 
@@ -65,6 +76,11 @@ impl QueueItem for PacketRef {
     #[inline]
     fn on_transmit(&mut self, _now: Cycle) {
         self.sends += 1;
+    }
+
+    #[inline]
+    fn class(&self) -> u8 {
+        self.class
     }
 }
 
@@ -360,6 +376,26 @@ impl<T: QueueItem> OutQueue<T> {
         }
     }
 
+    /// Class of the packet the next transmission would send (the queue
+    /// head), or `None` when the queue is empty. All three send modes
+    /// transmit from the queue front, so this is *the* class an admission
+    /// decision at grant time applies to.
+    #[inline]
+    pub fn head_class(&self) -> Option<u8> {
+        self.queue.front().map(QueueItem::class)
+    }
+
+    /// Bit-mask over [`pnoc_traffic::MAX_CLASSES`] of the classes present
+    /// anywhere in the queue (including a pending head). Feeds the
+    /// per-class backlogged bit-planes; only computed when `QoS` is active.
+    pub fn class_backlog_mask(&self) -> u8 {
+        let mut mask = 0u8;
+        for p in &self.queue {
+            mask |= 1 << p.class();
+        }
+        mask
+    }
+
     /// Fairness bookkeeping `(consecutive_serves, sit_until)`, for canonical
     /// state-keying.
     pub fn fairness_state(&self) -> (u32, Cycle) {
@@ -390,6 +426,7 @@ mod tests {
             sends: 0,
             measured: false,
             tag: 0,
+            class: 0,
         }
     }
 

@@ -46,6 +46,10 @@ pub struct Packet {
     pub measured: bool,
     /// Caller-provided correlation tag (the CMP model stores MSHR ids here).
     pub tag: u64,
+    /// Traffic class (multi-tenant `QoS`; 0 = the default class). Drives
+    /// per-class admission control and per-class latency recording.
+    #[serde(default)]
+    pub class: u8,
 }
 
 impl Packet {
@@ -73,6 +77,9 @@ pub struct PacketRef {
     /// Mirror of `Packet::sends`, bumped at transmission; the arena copy is
     /// synced by the channel when the flit goes on the ring.
     pub sends: u32,
+    /// Mirror of `Packet::class` — admission control reads the head class
+    /// at grant time without dereferencing the arena.
+    pub class: u8,
 }
 
 /// An in-flight flit on the data ring: the arena handle plus a snapshot of
@@ -228,6 +235,7 @@ mod tests {
             sends: 0,
             measured: true,
             tag: 0,
+            class: 0,
         }
     }
 

@@ -32,6 +32,7 @@ use pnoc_faults::ChannelInjector;
 use pnoc_obs::{EventKind, NO_PACKET};
 use pnoc_sim::Cycle;
 
+use super::admission::AdmissionCtl;
 use super::bitplane::{AgeSet, Planes};
 use super::flow::Flow;
 
@@ -90,15 +91,24 @@ pub struct TokenCx<'a> {
     /// Channel flag: a circulation reinjection suppresses this cycle's
     /// token emission.
     pub suppress_token: &'a mut bool,
+    /// Per-class admission buckets (`None` when `QoS` is off — the admission
+    /// probes below fold away).
+    pub admission: Option<&'a mut AdmissionCtl>,
     /// Fault injection, if live on this channel.
     pub injector: Option<&'a mut ChannelInjector>,
 }
 
 impl TokenCx<'_> {
     /// Grant the channel to `node`. The refreshed `granted` plane is what
-    /// puts the node on the transmit phase's scan path.
+    /// puts the node on the transmit phase's scan path. Under admission
+    /// control the grant is also charged to the head packet's class.
     #[inline]
     fn grant(&mut self, node: usize, m: &mut NetworkMetrics) {
+        if let Some(ctl) = self.admission.as_deref_mut() {
+            if let Some(class) = self.senders[node].head_class() {
+                ctl.on_grant(class);
+            }
+        }
         self.senders[node].take_grant(self.now, self.fairness);
         m.trace(self.now, self.home, node, NO_PACKET, EventKind::TokenGrant);
         // A grant consumes sendable headroom (the transmission it owes) and
@@ -106,15 +116,29 @@ impl TokenCx<'_> {
         self.planes.refresh(self.dist_of[node], &self.senders[node]);
     }
 
+    /// Whether admission control lets `node` take a grant right now: its
+    /// head packet's class must have a non-empty bucket. Vacuously true
+    /// with `QoS` off or an empty queue.
+    #[inline]
+    fn admits(&self, node: usize) -> bool {
+        match self.admission.as_deref() {
+            None => true,
+            Some(ctl) => self.senders[node]
+                .head_class()
+                .is_none_or(|class| ctl.admits(class)),
+        }
+    }
+
     /// First sender in the distance window `[lo, hi)` that may take a token
     /// right now. The sendable plane prunes to senders with sendable work;
-    /// `eligible` stays authoritative (fairness sit-outs are time-dependent).
+    /// `eligible` stays authoritative (fairness sit-outs are time-dependent),
+    /// and admission buckets gate by the head packet's class.
     #[inline]
     fn first_eligible_in(&self, lo: usize, hi: usize) -> Option<usize> {
         let mut d = lo;
         while let Some(hit) = self.planes.sendable.first_in(d, hi) {
             let node = self.by_distance[hit];
-            if self.senders[node].eligible(self.now, self.fairness) {
+            if self.senders[node].eligible(self.now, self.fairness) && self.admits(node) {
                 return Some(node);
             }
             d = hit + 1;
@@ -200,10 +224,10 @@ impl Arbiter for GlobalArbiter {
             }
             GlobalTokenState::Held { node } => {
                 let has_credit = flow.has_credit();
-                let q = &mut cx.senders[node];
+                let q = &cx.senders[node];
                 if q.granted() > 0 {
                     // Transmission still owed; keep holding.
-                } else if has_credit && q.eligible(cx.now, cx.fairness) {
+                } else if has_credit && q.eligible(cx.now, cx.fairness) && cx.admits(node) {
                     cx.grant(node, m);
                     flow.spend_credit();
                 } else {

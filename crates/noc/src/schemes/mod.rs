@@ -30,14 +30,16 @@
 //! granted, …) live in the packed [`bitplane`] layer both sides scan and
 //! refresh.
 
+pub mod admission;
 pub mod arbiter;
 pub mod bitplane;
 pub mod flow;
 
+pub use admission::AdmissionCtl;
 pub use arbiter::{
     Arbiter, ArbiterKind, DistributedArbiter, GlobalArbiter, GlobalTokenState, TokenCx,
 };
-pub use bitplane::{BitPlane, Planes, SortedIdSet};
+pub use bitplane::{BitPlane, ClassPlanes, Planes, SortedIdSet};
 pub use flow::{
     AckEvent, ArrivalCx, CirculationFlow, CreditFlow, Flow, FlowKind, HandshakeFlow, SlotFlow,
 };
@@ -88,6 +90,7 @@ mod tests {
             sends: 0,
             measured: false,
             tag: 0,
+            class: 0,
         }
     }
 
@@ -135,6 +138,7 @@ mod tests {
                 buffered: 0,
                 buffer_cap: 4,
                 suppress_token: &mut self.suppress,
+                admission: None,
                 injector: None,
             }
         }
@@ -147,6 +151,7 @@ mod tests {
                 id: p.id,
                 handle: 0,
                 sends: 0,
+                class: p.class,
             });
             self.refresh(src);
         }
@@ -294,6 +299,7 @@ mod tests {
             id: 7,
             handle,
             sends: 0,
+            class: 0,
         });
         senders[1].take_grant(0, FairnessPolicy::None);
         let sent = senders[1].transmit(0);

@@ -181,7 +181,7 @@ pub struct SwmrNetwork {
     metrics: NetworkMetrics,
     deliveries: Vec<Delivery>,
     next_id: u64,
-    gen_buf: Vec<(usize, usize, PacketKind)>,
+    gen_buf: Vec<crate::sources::InjectionRequest>,
 }
 
 impl SwmrNetwork {
@@ -249,6 +249,24 @@ impl SwmrNetwork {
         tag: u64,
         measured: bool,
     ) -> u64 {
+        self.inject_classed(src_core, dst_node, kind, tag, 0, measured)
+    }
+
+    /// [`SwmrNetwork::inject`] with an explicit traffic class, so classed
+    /// workloads digest per-class latency on the SWMR baseline too.
+    pub fn inject_classed(
+        &mut self,
+        src_core: usize,
+        dst_node: usize,
+        kind: PacketKind,
+        tag: u64,
+        class: u8,
+        measured: bool,
+    ) -> u64 {
+        assert!(
+            usize::from(class) < pnoc_traffic::MAX_CLASSES,
+            "class {class} out of range"
+        );
         assert!(src_core < self.cfg.cores());
         assert!(dst_node < self.cfg.nodes);
         let src_node = src_core / self.cfg.cores_per_node;
@@ -271,6 +289,7 @@ impl SwmrNetwork {
             sends: 0,
             measured,
             tag,
+            class,
         };
         self.metrics.generated += 1;
         if measured {
@@ -452,7 +471,7 @@ impl SwmrNetwork {
                 if pkt.measured {
                     self.metrics.delivered_measured += 1;
                     self.metrics
-                        .record_latency(pkt.latency_at(available_at) as f64);
+                        .record_latency_class(pkt.class, pkt.latency_at(available_at) as f64);
                     rx.served_by_sender[pkt.src_node as usize] += 1;
                 }
                 self.deliveries.push(Delivery { pkt, available_at });
@@ -480,8 +499,8 @@ impl SwmrNetwork {
                 gen_buf.clear();
                 source.generate(now, &mut gen_buf);
                 let measured = plan.measures(now);
-                for &(core, dst, kind) in &gen_buf {
-                    self.inject(core, dst, kind, 0, measured);
+                for &(core, dst, kind, class) in &gen_buf {
+                    self.inject_classed(core, dst, kind, 0, class, measured);
                 }
             }
             self.step();

@@ -24,6 +24,7 @@ fn pkt(id: u64, src: usize) -> Packet {
         sends: 0,
         measured: true,
         tag: 0,
+        class: 0,
     }
 }
 

@@ -1,0 +1,115 @@
+//! Property tests for the per-class metrics views: the per-class latency
+//! recorders are an exact *partition* of the global recorder (bin-for-bin,
+//! not approximately), and merging recorders commutes with splitting
+//! traffic into classes — the algebra the fleet's streaming aggregation
+//! and the per-class figure columns both lean on.
+
+use pnoc_noc::metrics::NetworkMetrics;
+use pnoc_noc::MAX_CLASSES;
+use pnoc_obs::LatencyRecorder;
+use proptest::prelude::*;
+
+/// Record a tagged sample stream into a fresh metrics block.
+fn record_all(samples: &[(u8, u32)]) -> NetworkMetrics {
+    let mut m = NetworkMetrics::new();
+    for &(class, lat) in samples {
+        m.record_latency_class(class % MAX_CLASSES as u8, f64::from(lat));
+    }
+    m
+}
+
+proptest! {
+    /// The per-class recorders partition the global recorder: merging the
+    /// class views back together reproduces the global histogram exactly,
+    /// and the per-class delivered/mean tallies partition the global ones.
+    #[test]
+    fn class_recorders_partition_the_global_recorder(
+        samples in proptest::collection::vec((0u8..MAX_CLASSES as u8, 0u32..2_000_000), 0..300),
+    ) {
+        let m = record_all(&samples);
+
+        let mut rebuilt = LatencyRecorder::cycles();
+        for rec in &m.class_latency_rec {
+            rebuilt.merge(rec);
+        }
+        prop_assert_eq!(rebuilt.to_sparse(), m.latency_rec.to_sparse());
+
+        let delivered: u64 = m.class_delivered.iter().sum();
+        prop_assert_eq!(delivered, m.latency.count());
+        let class_count: u64 = m.class_latency.iter().map(|r| r.count()).sum();
+        prop_assert_eq!(class_count, m.latency.count());
+        // Sample totals agree too, so the class means are a weighted
+        // decomposition of the global mean.
+        let class_sum: f64 = m
+            .class_latency
+            .iter()
+            .filter(|r| r.count() > 0)
+            .map(|r| r.mean() * r.count() as f64)
+            .sum();
+        let global_sum = if m.latency.count() == 0 {
+            0.0
+        } else {
+            m.latency.mean() * m.latency.count() as f64
+        };
+        prop_assert!((class_sum - global_sum).abs() < 1e-6 * class_sum.abs().max(1.0));
+    }
+
+    /// Merging commutes with class splitting: fold two tagged streams into
+    /// separate metrics blocks, then either (a) merge the global recorders
+    /// or (b) merge per class and then across classes — identical bins.
+    #[test]
+    fn merge_commutes_with_class_splitting(
+        a in proptest::collection::vec((0u8..MAX_CLASSES as u8, 0u32..2_000_000), 0..200),
+        b in proptest::collection::vec((0u8..MAX_CLASSES as u8, 0u32..2_000_000), 0..200),
+    ) {
+        let ma = record_all(&a);
+        let mb = record_all(&b);
+
+        // (a) merge the globals.
+        let mut globals = LatencyRecorder::cycles();
+        globals.merge(&ma.latency_rec);
+        globals.merge(&mb.latency_rec);
+
+        // (b) merge class-wise, then across classes.
+        let mut class_wise = LatencyRecorder::cycles();
+        for c in 0..MAX_CLASSES {
+            let mut per_class = LatencyRecorder::cycles();
+            per_class.merge(&ma.class_latency_rec[c]);
+            per_class.merge(&mb.class_latency_rec[c]);
+            class_wise.merge(&per_class);
+        }
+        prop_assert_eq!(class_wise.to_sparse(), globals.to_sparse());
+
+        // Delivered counts split the same way.
+        for c in 0..MAX_CLASSES {
+            prop_assert_eq!(
+                ma.class_delivered[c] + mb.class_delivered[c],
+                ma.class_latency_rec[c].total() + mb.class_latency_rec[c].total()
+            );
+        }
+    }
+
+    /// Untagged recording is exactly class-0 recording: the legacy
+    /// `record_latency` entry point and an explicit class-0 stream are
+    /// indistinguishable, globally and per class.
+    #[test]
+    fn untagged_recording_is_class_zero(
+        lats in proptest::collection::vec(0u32..2_000_000, 0..200),
+    ) {
+        let mut legacy = NetworkMetrics::new();
+        let mut tagged = NetworkMetrics::new();
+        for &lat in &lats {
+            legacy.record_latency(f64::from(lat));
+            tagged.record_latency_class(0, f64::from(lat));
+        }
+        prop_assert_eq!(legacy.latency_rec.to_sparse(), tagged.latency_rec.to_sparse());
+        prop_assert_eq!(legacy.class_delivered, tagged.class_delivered);
+        prop_assert_eq!(
+            legacy.class_latency_rec[0].to_sparse(),
+            tagged.class_latency_rec[0].to_sparse()
+        );
+        for c in 1..MAX_CLASSES {
+            prop_assert_eq!(legacy.class_latency_rec[c].total(), 0);
+        }
+    }
+}

@@ -23,6 +23,7 @@ fn pkt(id: u64, src: usize, dst: usize) -> Packet {
         sends: 0,
         measured: true,
         tag: 0,
+        class: 0,
     }
 }
 

@@ -23,6 +23,7 @@ fn pkt(id: u64) -> Packet {
         sends: 0,
         measured: false,
         tag: 0,
+        class: 0,
     }
 }
 

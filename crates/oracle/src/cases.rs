@@ -10,10 +10,10 @@
 
 use crate::diff::check_case;
 use pnoc_faults::{FaultConfig, RecoveryConfig};
-use pnoc_noc::config::FairnessPolicy;
+use pnoc_noc::config::{AdmissionPolicy, FairnessPolicy};
 use pnoc_noc::{NetworkConfig, Scheme};
 use pnoc_sim::rng::{stream_seed, SimRng, FUZZ_STREAM};
-use pnoc_traffic::TrafficPattern;
+use pnoc_traffic::{TenantMixKind, TrafficPattern, MAX_CLASSES};
 use std::fmt::Write as _;
 
 /// `(nodes, ring segments)` pairs the generator samples from, smallest
@@ -40,7 +40,11 @@ pub struct FuzzCase {
     pub router_latency: u64,
     /// Arbitration fairness policy.
     pub fairness: FairnessPolicy,
-    /// Traffic pattern.
+    /// Per-class admission control.
+    pub admission: AdmissionPolicy,
+    /// Tenant mix: how the offered load is split into traffic classes.
+    pub mix: TenantMixKind,
+    /// Traffic pattern (the mix's majority pattern).
     pub pattern: TrafficPattern,
     /// Offered load, packets/cycle/core.
     pub rate: f64,
@@ -70,6 +74,7 @@ impl FuzzCase {
             router_latency: self.router_latency,
             scheme: self.scheme,
             fairness: self.fairness,
+            admission: self.admission,
             seed: self.seed,
             faults: FaultConfig::none(),
             recovery: RecoveryConfig::disabled(),
@@ -110,6 +115,17 @@ impl FuzzCase {
             }
             TrafficPattern::NearestNeighbor => "TrafficPattern::NearestNeighbor".to_string(),
         };
+        let admission = match self.admission {
+            AdmissionPolicy::None => "AdmissionPolicy::None".to_string(),
+            AdmissionPolicy::TokenBucket {
+                period,
+                refill,
+                burst,
+            } => format!(
+                "AdmissionPolicy::TokenBucket {{ period: {period}, refill: {refill:?}, \
+                 burst: {burst:?} }}"
+            ),
+        };
         let f = &self.faults;
         let mut s = String::new();
         let _ = writeln!(s, "#[test]");
@@ -127,6 +143,8 @@ impl FuzzCase {
         );
         let _ = writeln!(s, "        router_latency: {},", self.router_latency);
         let _ = writeln!(s, "        fairness: {fairness},");
+        let _ = writeln!(s, "        admission: {admission},");
+        let _ = writeln!(s, "        mix: TenantMixKind::{:?},", self.mix);
         let _ = writeln!(s, "        pattern: {pattern},");
         let _ = writeln!(s, "        rate: {:?},", self.rate);
         let _ = writeln!(s, "        warmup: {},", self.warmup);
@@ -171,12 +189,41 @@ pub fn generate_case(master: u64, index: u64) -> FuzzCase {
             sit_out: 4 + u32::try_from(rng.below(28)).expect("small"),
         }
     };
+    // Admission and tenant mixes ride on ~1 case in 3. Buckets are sampled
+    // generous (short periods, refill >= 1) so fuzz runs still drain inside
+    // the grace window; admission shapes *when* grants happen, not whether.
+    let mix = if rng.chance(0.65) {
+        TenantMixKind::SingleClass
+    } else {
+        TenantMixKind::all()[1 + rng.index(3)]
+    };
+    let admission = if rng.chance(0.65) {
+        AdmissionPolicy::None
+    } else {
+        let mut refill = [0u8; MAX_CLASSES];
+        let mut burst = [0u8; MAX_CLASSES];
+        for c in 0..MAX_CLASSES {
+            refill[c] = 1 + u8::try_from(rng.below(4)).expect("small");
+            burst[c] = refill[c] + u8::try_from(rng.below(8)).expect("small");
+        }
+        AdmissionPolicy::TokenBucket {
+            period: 1 + u32::try_from(rng.below(8)).expect("small"),
+            refill,
+            burst,
+        }
+    };
     let pattern = [
         TrafficPattern::UniformRandom,
         TrafficPattern::BitComplement,
         TrafficPattern::Tornado,
     ][rng.index(3)];
-    let rate = 0.01 + rng.f64() * 0.5;
+    // Rationed grants drain slower: keep classed/admitted cases lighter.
+    let rate_cap = if admission.enabled() || mix != TenantMixKind::SingleClass {
+        0.3
+    } else {
+        0.5
+    };
+    let rate = 0.01 + rng.f64() * rate_cap;
     let warmup = 10 + rng.below(40);
     let measure = 50 + rng.below(200);
     let drain = 20 + rng.below(60);
@@ -221,6 +268,8 @@ pub fn generate_case(master: u64, index: u64) -> FuzzCase {
         ejection_per_cycle,
         router_latency,
         fairness,
+        admission,
+        mix,
         pattern,
         rate,
         warmup,
@@ -254,6 +303,13 @@ fn candidates(case: &FuzzCase) -> Vec<FuzzCase> {
         }
         push(c);
     }
+    // Drop the QoS dimensions.
+    let mut c = *case;
+    c.admission = AdmissionPolicy::None;
+    push(c);
+    let mut c = *case;
+    c.mix = TenantMixKind::SingleClass;
+    push(c);
     // Shorter run, lighter load.
     let mut c = *case;
     c.measure = (case.measure / 2).max(1);

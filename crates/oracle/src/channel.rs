@@ -15,8 +15,9 @@ use crate::diff::Counters;
 use crate::queue::{RefMode, RefQueue};
 use pnoc_faults::{ChannelInjector, DataFate, FaultEngine, RecoveryConfig};
 use pnoc_noc::config::FairnessPolicy;
-use pnoc_noc::{NetworkConfig, Packet, Scheme};
+use pnoc_noc::{AdmissionPolicy, NetworkConfig, Packet, Scheme};
 use pnoc_sim::Cycle;
+use pnoc_traffic::MAX_CLASSES;
 
 /// Which straight-line interpreter drives this channel.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -49,6 +50,24 @@ pub enum RefToken {
         /// Cycle of destruction.
         since: Cycle,
     },
+}
+
+/// Straight-line mirror of the optimized simulator's per-class admission
+/// token bucket, written out independently (only the fault engine is
+/// deliberately shared between the two simulators). Buckets refill on
+/// period boundaries at the top of the token phase, before any sweep; a
+/// sender whose head packet's class has an empty bucket is skipped by
+/// arbitration, and every grant drains one credit from the head class.
+#[derive(Debug, Clone)]
+pub struct RefAdmission {
+    /// Refill interval in cycles.
+    pub period: u32,
+    /// Credits added per refill, per class.
+    pub refill: [u8; MAX_CLASSES],
+    /// Bucket capacity, per class.
+    pub burst: [u8; MAX_CLASSES],
+    /// Current bucket levels, per class (start full).
+    pub tokens: [u8; MAX_CLASSES],
 }
 
 /// An ACK/NACK pulse in flight on the handshake channel.
@@ -134,6 +153,9 @@ pub struct RefChannel {
     /// injector itself is shared with `pnoc-noc` on purpose: both simulators
     /// must draw the *same* fault schedule for a diff to mean anything.
     pub injector: Option<ChannelInjector>,
+
+    /// Per-class admission buckets (`None` when QoS is off).
+    pub admission: Option<RefAdmission>,
 }
 
 impl RefChannel {
@@ -197,6 +219,45 @@ impl RefChannel {
             inflight: 0,
             lost_reservations: 0,
             injector,
+            admission: match cfg.admission {
+                AdmissionPolicy::None => None,
+                AdmissionPolicy::TokenBucket {
+                    period,
+                    refill,
+                    burst,
+                } => Some(RefAdmission {
+                    period,
+                    refill,
+                    burst,
+                    tokens: burst,
+                }),
+            },
+        }
+    }
+
+    /// Refill the admission buckets if `now` is on a period boundary.
+    /// Called once per cycle at the top of the token phase (a no-op when
+    /// admission is off).
+    pub fn tick_admission(&mut self, now: Cycle) {
+        if let Some(a) = self.admission.as_mut() {
+            if now.is_multiple_of(Cycle::from(a.period)) {
+                for c in 0..MAX_CLASSES {
+                    a.tokens[c] = a.tokens[c].saturating_add(a.refill[c]).min(a.burst[c]);
+                }
+            }
+        }
+    }
+
+    /// Whether admission lets `node` take a grant: the bucket of its head
+    /// packet's class must be non-empty. Vacuously true with admission off
+    /// or an empty queue.
+    pub fn admits(&self, node: usize) -> bool {
+        match &self.admission {
+            None => true,
+            Some(a) => self.queues[node]
+                .queue
+                .first()
+                .is_none_or(|p| a.tokens[usize::from(p.class)] > 0),
         }
     }
 
@@ -279,19 +340,28 @@ impl RefChannel {
         due
     }
 
-    /// First sender in the distance window `[lo, hi)` eligible for a token.
+    /// First sender in the distance window `[lo, hi)` eligible for a token
+    /// and admitted by its head class's bucket.
     pub fn first_eligible_in(&self, lo: usize, hi: usize, now: Cycle) -> Option<usize> {
         for d in lo..hi {
             let node = self.by_distance(d);
-            if self.queues[node].eligible(now, self.fairness) {
+            if self.queues[node].eligible(now, self.fairness) && self.admits(node) {
                 return Some(node);
             }
         }
         None
     }
 
-    /// Grant the channel to `node` and put it on the active list.
+    /// Grant the channel to `node` and put it on the active list, charging
+    /// the head packet's class bucket when admission is on.
     pub fn grant(&mut self, node: usize, now: Cycle) {
+        if let Some(a) = self.admission.as_mut() {
+            if let Some(class) = self.queues[node].queue.first().map(|p| p.class) {
+                let c = usize::from(class);
+                debug_assert!(a.tokens[c] > 0, "grant admitted with an empty bucket");
+                a.tokens[c] -= 1;
+            }
+        }
         self.queues[node].take_grant(now, self.fairness);
         if !self.active.contains(&node) {
             self.active.push(node);

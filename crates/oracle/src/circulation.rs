@@ -53,6 +53,7 @@ pub fn step(
 /// Distributed token stream; emission pauses for one cycle after a
 /// circulation (the recirculating flit *is* that cycle's buffer claim).
 fn phase_tokens(ch: &mut RefChannel, now: Cycle, m: &mut Counters) {
+    ch.tick_admission(now);
     if let Some(inj) = ch.injector.as_mut() {
         if inj.active() && !ch.tokens.is_empty() {
             let before = ch.tokens.len();
@@ -70,8 +71,15 @@ fn phase_tokens(ch: &mut RefChannel, now: Cycle, m: &mut Counters) {
         ch.tokens.push(0);
     }
 
-    let mut idx = 0;
-    while idx < ch.tokens.len() {
+    // Windows are disjoint, but the admission buckets are *shared* state
+    // across windows: sweep in ascending downstream distance (newest token
+    // first), the same order the optimized simulator scans its sendable
+    // bit-plane, so a bucket's last credit goes to the same window in both
+    // simulators. The token vec is oldest-first (largest window start
+    // first), hence the descending index walk.
+    let mut idx = ch.tokens.len();
+    while idx > 0 {
+        idx -= 1;
         let next = ch.tokens[idx];
         let hi = (next + ch.step).min(ch.nodes - 1);
         if let Some(node) = ch.first_eligible_in(next, hi, now) {
@@ -81,8 +89,6 @@ fn phase_tokens(ch: &mut RefChannel, now: Cycle, m: &mut Counters) {
             ch.tokens[idx] = hi;
             if hi >= ch.nodes - 1 {
                 ch.tokens.remove(idx);
-            } else {
-                idx += 1;
             }
         }
     }

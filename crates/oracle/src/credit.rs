@@ -54,6 +54,7 @@ pub fn step(
 /// and holds it while it has unconsumed grants. Credits freed by ejections
 /// rejoin the token on its next pass over the home.
 fn phase_token(ch: &mut RefChannel, now: Cycle, m: &mut Counters) {
+    ch.tick_admission(now);
     let watchdog = 2 * ch.handshake_delay;
 
     // Fault: the token can only be destroyed while travelling.
@@ -76,7 +77,10 @@ fn phase_token(ch: &mut RefChannel, now: Cycle, m: &mut Counters) {
         RefToken::Held { node } => {
             if ch.queues[node].granted > 0 {
                 // Still consuming its grant; keep holding.
-            } else if ch.credits > 0 && ch.queues[node].eligible(now, ch.fairness) {
+            } else if ch.credits > 0
+                && ch.queues[node].eligible(now, ch.fairness)
+                && ch.admits(node)
+            {
                 ch.grant(node, now);
                 ch.credits -= 1;
             } else {

@@ -11,7 +11,7 @@
 use crate::cases::FuzzCase;
 use crate::net::RefNetwork;
 use pnoc_noc::sources::TrafficSource;
-use pnoc_noc::{Network, NetworkMetrics, Packet, PacketKind, SyntheticSource};
+use pnoc_noc::{ClassedSource, Network, NetworkMetrics, Packet, PacketKind};
 use pnoc_sim::{Cycle, RunPlan};
 
 /// Stream-XOR applied to the config seed before seeding traffic (the
@@ -164,7 +164,12 @@ pub struct RunArtifacts {
 /// Grace cycles granted after the planned run for in-flight packets (and,
 /// under faults, timeout/retransmit recovery) to finish.
 fn grace_cycles(case: &FuzzCase) -> u64 {
-    if case.faults.enabled() {
+    if case.admission.enabled() {
+        // Admission throttles drain to refill/period grants per class:
+        // a backlogged queue may legitimately take thousands of cycles to
+        // empty even though every class is guaranteed progress.
+        20_000
+    } else if case.faults.enabled() {
         10_000
     } else {
         4 * case.segments as u64 + 64
@@ -183,21 +188,24 @@ pub fn run_pair(case: &FuzzCase) -> Result<(RunArtifacts, RunArtifacts), String>
     let plan = RunPlan::new(case.warmup, case.measure, case.drain);
 
     // Precompute the injection schedule so both simulators observe the
-    // exact same traffic regardless of their internal call patterns.
-    let mut source = SyntheticSource::new(
-        case.pattern,
+    // exact same traffic regardless of their internal call patterns. The
+    // classed source covers the tenant-mix dimension; a SingleClass mix is
+    // bit-identical to the plain synthetic source it replaced.
+    let mut source = ClassedSource::new(
+        case.mix,
         case.rate,
+        case.pattern,
         cfg.nodes,
         cfg.cores_per_node,
         cfg.seed ^ TRAFFIC_SEED_XOR,
     );
-    let mut schedule: Vec<(Cycle, usize, usize, PacketKind, bool)> = Vec::new();
+    let mut schedule: Vec<(Cycle, usize, usize, PacketKind, u8, bool)> = Vec::new();
     let mut buf = Vec::new();
     for now in 0..(plan.warmup + plan.measure) {
         buf.clear();
         source.generate(now, &mut buf);
-        for &(core, dst, kind) in &buf {
-            schedule.push((now, core, dst, kind, plan.measures(now)));
+        for &(core, dst, kind, class) in &buf {
+            schedule.push((now, core, dst, kind, class, plan.measures(now)));
         }
     }
 
@@ -221,9 +229,9 @@ pub fn run_pair(case: &FuzzCase) -> Result<(RunArtifacts, RunArtifacts), String>
 
     for now in 0..plan.total() {
         while cursor < schedule.len() && schedule[cursor].0 == now {
-            let (_, core, dst, kind, measured) = schedule[cursor];
-            noc.inject(core, dst, kind, 0, measured);
-            oracle.inject(core, dst, kind, 0, measured);
+            let (_, core, dst, kind, class, measured) = schedule[cursor];
+            noc.inject_classed(core, dst, kind, 0, class, measured);
+            oracle.inject_classed(core, dst, kind, 0, class, measured);
             cursor += 1;
         }
         step_both(&mut noc, &mut oracle, &mut noc_log, &mut oracle_log);

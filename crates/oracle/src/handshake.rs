@@ -105,6 +105,7 @@ fn phase_acks(ch: &mut RefChannel, now: Cycle, m: &mut Counters) {
 /// GHS: the single global token sweeps downstream windows; handshake
 /// senders need no credit, so eligibility alone decides grabs.
 fn phase_token_global(ch: &mut RefChannel, now: Cycle, m: &mut Counters) {
+    ch.tick_admission(now);
     let watchdog = 2 * ch.handshake_delay;
 
     if let Some(inj) = ch.injector.as_mut() {
@@ -123,7 +124,7 @@ fn phase_token_global(ch: &mut RefChannel, now: Cycle, m: &mut Counters) {
         RefToken::Held { node } => {
             if ch.queues[node].granted > 0 {
                 // Still consuming its grant; keep holding.
-            } else if ch.queues[node].eligible(now, ch.fairness) {
+            } else if ch.queues[node].eligible(now, ch.fairness) && ch.admits(node) {
                 ch.grant(node, now);
             } else {
                 release(ch, ch.dist_of(node) + 1);
@@ -154,6 +155,7 @@ fn release(ch: &mut RefChannel, next: usize) {
 /// not the token, protects the buffer); each travelling token sweeps
 /// downstream windows until claimed or expired.
 fn phase_tokens_distributed(ch: &mut RefChannel, now: Cycle, m: &mut Counters) {
+    ch.tick_admission(now);
     if let Some(inj) = ch.injector.as_mut() {
         if inj.active() && !ch.tokens.is_empty() {
             let before = ch.tokens.len();
@@ -168,8 +170,15 @@ fn phase_tokens_distributed(ch: &mut RefChannel, now: Cycle, m: &mut Counters) {
     ch.suppress_token = false;
     ch.tokens.push(0);
 
-    let mut idx = 0;
-    while idx < ch.tokens.len() {
+    // Windows are disjoint, but the admission buckets are *shared* state
+    // across windows: sweep in ascending downstream distance (newest token
+    // first), the same order the optimized simulator scans its sendable
+    // bit-plane, so a bucket's last credit goes to the same window in both
+    // simulators. The token vec is oldest-first (largest window start
+    // first), hence the descending index walk.
+    let mut idx = ch.tokens.len();
+    while idx > 0 {
+        idx -= 1;
         let next = ch.tokens[idx];
         let hi = (next + ch.step).min(ch.nodes - 1);
         if let Some(node) = ch.first_eligible_in(next, hi, now) {
@@ -179,8 +188,6 @@ fn phase_tokens_distributed(ch: &mut RefChannel, now: Cycle, m: &mut Counters) {
             ch.tokens[idx] = hi;
             if hi >= ch.nodes - 1 {
                 ch.tokens.remove(idx);
-            } else {
-                idx += 1;
             }
         }
     }

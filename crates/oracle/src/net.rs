@@ -62,6 +62,20 @@ impl RefNetwork {
         tag: u64,
         measured: bool,
     ) -> u64 {
+        self.inject_classed(src_core, dst_node, kind, tag, 0, measured)
+    }
+
+    /// [`RefNetwork::inject`] with an explicit traffic class (mirrors
+    /// `Network::inject_classed`).
+    pub fn inject_classed(
+        &mut self,
+        src_core: usize,
+        dst_node: usize,
+        kind: PacketKind,
+        tag: u64,
+        class: u8,
+        measured: bool,
+    ) -> u64 {
         assert!(src_core < self.cfg.cores(), "core {src_core} out of range");
         assert!(dst_node < self.cfg.nodes, "node {dst_node} out of range");
         let src_node = src_core / self.cfg.cores_per_node;
@@ -83,6 +97,7 @@ impl RefNetwork {
             sends: 0,
             measured,
             tag,
+            class,
         };
         self.metrics.generated += 1;
         if measured {

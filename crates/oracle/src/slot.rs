@@ -54,6 +54,7 @@ pub fn step(
 /// Distributed token stream: fault destruction, conservative emission, and
 /// the per-token downstream sweep.
 fn phase_tokens(ch: &mut RefChannel, now: Cycle, m: &mut Counters) {
+    ch.tick_admission(now);
     // Fault: each travelling token draws for destruction, oldest first.
     if let Some(inj) = ch.injector.as_mut() {
         if inj.active() && !ch.tokens.is_empty() {
@@ -85,8 +86,15 @@ fn phase_tokens(ch: &mut RefChannel, now: Cycle, m: &mut Counters) {
     // Sweep: each token examines one segment-window of senders per cycle;
     // the first eligible sender in the window takes it (the reservation
     // goes in flight); an unclaimed token expires at the end of the loop.
-    let mut idx = 0;
-    while idx < ch.tokens.len() {
+    // Windows are disjoint, but the admission buckets are *shared* state
+    // across windows: sweep in ascending downstream distance (newest token
+    // first), the same order the optimized simulator scans its sendable
+    // bit-plane, so a bucket's last credit goes to the same window in both
+    // simulators. The token vec is oldest-first (largest window start
+    // first), hence the descending index walk.
+    let mut idx = ch.tokens.len();
+    while idx > 0 {
+        idx -= 1;
         let next = ch.tokens[idx];
         let hi = (next + ch.step).min(ch.nodes - 1);
         if let Some(node) = ch.first_eligible_in(next, hi, now) {
@@ -97,8 +105,6 @@ fn phase_tokens(ch: &mut RefChannel, now: Cycle, m: &mut Counters) {
             ch.tokens[idx] = hi;
             if hi >= ch.nodes - 1 {
                 ch.tokens.remove(idx);
-            } else {
-                idx += 1;
             }
         }
     }

@@ -4,9 +4,9 @@
 
 use pnoc_faults::FaultConfig;
 use pnoc_noc::config::FairnessPolicy;
-use pnoc_noc::Scheme;
+use pnoc_noc::{AdmissionPolicy, Scheme};
 use pnoc_oracle::{check_case, generate_case, shrink, FuzzCase};
-use pnoc_traffic::TrafficPattern;
+use pnoc_traffic::{classes::TenantMixKind, TrafficPattern};
 
 #[test]
 fn generator_is_deterministic() {
@@ -57,6 +57,8 @@ fn pinned(scheme: Scheme) -> FuzzCase {
         drain: 40,
         seed: 0x0DDB_A115,
         faults: FaultConfig::none(),
+        admission: AdmissionPolicy::None,
+        mix: TenantMixKind::SingleClass,
     }
 }
 

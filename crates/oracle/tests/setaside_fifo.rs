@@ -10,10 +10,10 @@
 
 use pnoc_faults::FaultConfig;
 use pnoc_noc::config::FairnessPolicy;
-use pnoc_noc::{Packet, Scheme};
+use pnoc_noc::{AdmissionPolicy, Packet, Scheme};
 use pnoc_oracle::{run_pair, FuzzCase, RunArtifacts};
 use pnoc_sim::Cycle;
-use pnoc_traffic::TrafficPattern;
+use pnoc_traffic::{classes::TenantMixKind, TrafficPattern};
 use proptest::prelude::*;
 
 /// Assert first-send deliveries of each `(src_node, dst_node)` flow appear
@@ -90,6 +90,8 @@ proptest! {
             drain: 30,
             seed,
             faults,
+            admission: AdmissionPolicy::None,
+            mix: TenantMixKind::SingleClass,
         };
         let (noc, oracle) = run_pair(&case).expect("case is valid");
 

@@ -291,7 +291,10 @@ impl RateMeter {
 /// unless the sit-out policy is active.
 pub fn jain_index(service: &[f64]) -> f64 {
     if service.is_empty() {
-        return f64::NAN;
+        // No entities is vacuously fair, like the all-zero case below: a
+        // defined 1.0, never NaN, so summary aggregation (which sums Jain
+        // values across runs) cannot be poisoned by a degenerate run.
+        return 1.0;
     }
     let sum: f64 = service.iter().sum();
     let sq: f64 = service.iter().map(|x| x * x).sum();
@@ -441,7 +444,7 @@ mod tests {
 
     #[test]
     fn jain_edge_cases() {
-        assert!(jain_index(&[]).is_nan());
+        assert_eq!(jain_index(&[]), 1.0, "no entities is vacuously fair");
         assert_eq!(jain_index(&[0.0, 0.0]), 1.0);
     }
 }

@@ -60,15 +60,18 @@ impl TraceStats {
     }
 }
 
-/// Variance-to-mean ratio of counts (≈ 1 for a Poisson stream).
+/// Variance-to-mean ratio of counts (≈ 1 for a Poisson stream). A silent
+/// stream (no windows, or all-zero windows) has no variability to report:
+/// 0.0, a defined value rather than the 0/0 NaN it used to produce, so
+/// serialized stats never carry `null` into downstream tooling.
 fn index_of_dispersion(counts: &[u64]) -> f64 {
     if counts.is_empty() {
-        return f64::NAN;
+        return 0.0;
     }
     let n = counts.len() as f64;
     let mean = counts.iter().sum::<u64>() as f64 / n;
     if mean == 0.0 {
-        return f64::NAN;
+        return 0.0;
     }
     let var = counts
         .iter()
@@ -81,10 +84,13 @@ fn index_of_dispersion(counts: &[u64]) -> f64 {
     var / mean
 }
 
-/// `(normalized entropy, hottest-destination factor)`.
+/// `(normalized entropy, hottest-destination factor)`. Degenerate inputs
+/// (no messages, or a single possible destination) carry no skew evidence
+/// and report the vacuously-uniform `(1.0, 1.0)` — defined values,
+/// matching the Jain-index convention for empty service vectors.
 fn destination_skew(dest_counts: &[u64], total: usize) -> (f64, f64) {
     if total == 0 || dest_counts.len() < 2 {
-        return (f64::NAN, f64::NAN);
+        return (1.0, 1.0);
     }
     let total_f = total as f64;
     let mut entropy = 0.0;
@@ -162,11 +168,31 @@ mod tests {
     }
 
     #[test]
-    fn empty_trace_degenerates_gracefully() {
+    fn empty_trace_degenerates_to_defined_values() {
+        // Zero-packet statistics must be defined, not NaN: NaN serializes
+        // as `null` and poisons any sum it is folded into downstream.
         let t = Trace::new("e", 4, 4, 100);
         let s = TraceStats::analyze(&t, 10);
         assert_eq!(s.messages, 0);
-        assert!(s.burstiness.is_nan());
-        assert!(s.destination_entropy.is_nan());
+        assert_eq!(s.burstiness, 0.0, "a silent stream is not bursty");
+        assert_eq!(s.destination_entropy, 1.0, "vacuously uniform");
+        assert_eq!(s.hotspot_factor, 1.0);
+        assert_eq!(s.request_fraction, 0.0);
+    }
+
+    #[test]
+    fn single_destination_skew_is_defined() {
+        let mut t = Trace::new("one", 1, 1, 10);
+        for i in 0..10u64 {
+            t.push(TraceEvent {
+                cycle: i,
+                src_core: 0,
+                dst_node: 0,
+                kind: MessageKind::Data,
+            });
+        }
+        let s = TraceStats::analyze(&t, 10);
+        assert_eq!(s.destination_entropy, 1.0, "one node is trivially uniform");
+        assert_eq!(s.hotspot_factor, 1.0);
     }
 }

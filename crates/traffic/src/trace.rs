@@ -118,7 +118,45 @@ impl Trace {
         Ok(())
     }
 
+    /// Why an event is inconsistent with the trace it is being added to.
+    /// `None` means the event is admissible as the next event.
+    fn event_defect(&self, ev: &TraceEvent) -> Option<String> {
+        if ev.src_core >= self.cores {
+            return Some(format!(
+                "src_core {} out of range (trace has {} cores)",
+                ev.src_core, self.cores
+            ));
+        }
+        if ev.dst_node >= self.nodes {
+            return Some(format!(
+                "dst_node {} out of range (trace has {} nodes)",
+                ev.dst_node, self.nodes
+            ));
+        }
+        if ev.cycle >= self.length {
+            return Some(format!(
+                "cycle {} beyond trace length {}",
+                ev.cycle, self.length
+            ));
+        }
+        if let Some(last) = self.events.last() {
+            if ev.cycle < last.cycle {
+                return Some(format!(
+                    "cycle {} after an event at cycle {} (events must be cycle-ordered)",
+                    ev.cycle, last.cycle
+                ));
+            }
+        }
+        None
+    }
+
     /// Deserialize from the JSON-lines format written by [`Trace::save`].
+    ///
+    /// The input is untrusted: every defect a well-formed writer cannot
+    /// produce — zero dimensions, out-of-range `src_core`/`dst_node`,
+    /// `cycle >= length`, cycle-unordered events — is reported as an
+    /// [`std::io::ErrorKind::InvalidData`] error instead of reaching
+    /// [`Trace::push`]'s asserts.
     pub fn load<R: BufRead>(r: R) -> std::io::Result<Self> {
         #[derive(Deserialize)]
         struct Header {
@@ -127,18 +165,28 @@ impl Trace {
             nodes: usize,
             length: Cycle,
         }
+        let invalid = |why: String| std::io::Error::new(std::io::ErrorKind::InvalidData, why);
         let mut lines = r.lines();
         let header_line = lines.next().ok_or_else(|| {
             std::io::Error::new(std::io::ErrorKind::UnexpectedEof, "empty trace")
         })??;
         let header: Header = serde_json::from_str(&header_line)?;
+        if header.cores == 0 || header.nodes == 0 {
+            return Err(invalid(format!(
+                "trace dimensions must be positive (cores {}, nodes {})",
+                header.cores, header.nodes
+            )));
+        }
         let mut trace = Trace::new(header.name, header.cores, header.nodes, header.length);
-        for line in lines {
+        for (lineno, line) in lines.enumerate() {
             let line = line?;
             if line.trim().is_empty() {
                 continue;
             }
             let ev: TraceEvent = serde_json::from_str(&line)?;
+            if let Some(why) = trace.event_defect(&ev) {
+                return Err(invalid(format!("event on line {}: {why}", lineno + 2)));
+            }
             trace.push(ev);
         }
         Ok(trace)
@@ -266,6 +314,75 @@ mod tests {
     fn load_rejects_empty() {
         let r = std::io::BufReader::new(&b""[..]);
         assert!(Trace::load(r).is_err());
+    }
+
+    /// Run a corrupt fixture through `load` and assert it is *rejected* as
+    /// `InvalidData` — never a panic, which is what `Trace::push` would do.
+    fn assert_invalid(fixture: &str, expect: &str) {
+        let err = Trace::load(std::io::BufReader::new(fixture.as_bytes()))
+            .expect_err("corrupt fixture must be rejected");
+        assert_eq!(err.kind(), std::io::ErrorKind::InvalidData, "{err}");
+        let msg = err.to_string();
+        assert!(
+            msg.contains(expect),
+            "error {msg:?} should mention {expect:?}"
+        );
+    }
+
+    const FIXTURE_HEADER: &str = r#"{"name":"corrupt","cores":8,"nodes":4,"length":100}"#;
+
+    #[test]
+    fn load_rejects_out_of_range_core() {
+        let fixture = format!(
+            "{FIXTURE_HEADER}\n{}\n",
+            r#"{"cycle":1,"src_core":8,"dst_node":0,"kind":"Request"}"#
+        );
+        assert_invalid(&fixture, "src_core 8 out of range");
+    }
+
+    #[test]
+    fn load_rejects_out_of_range_node() {
+        let fixture = format!(
+            "{FIXTURE_HEADER}\n{}\n",
+            r#"{"cycle":1,"src_core":0,"dst_node":4,"kind":"Reply"}"#
+        );
+        assert_invalid(&fixture, "dst_node 4 out of range");
+    }
+
+    #[test]
+    fn load_rejects_event_beyond_length() {
+        let fixture = format!(
+            "{FIXTURE_HEADER}\n{}\n",
+            r#"{"cycle":100,"src_core":0,"dst_node":0,"kind":"Data"}"#
+        );
+        assert_invalid(&fixture, "cycle 100 beyond trace length 100");
+    }
+
+    #[test]
+    fn load_rejects_cycle_disorder() {
+        let fixture = format!(
+            "{FIXTURE_HEADER}\n{}\n{}\n",
+            r#"{"cycle":5,"src_core":0,"dst_node":0,"kind":"Request"}"#,
+            r#"{"cycle":4,"src_core":1,"dst_node":1,"kind":"Request"}"#
+        );
+        assert_invalid(&fixture, "cycle-ordered");
+    }
+
+    #[test]
+    fn load_rejects_zero_dimensions() {
+        let fixture = r#"{"name":"corrupt","cores":0,"nodes":4,"length":10}"#;
+        assert_invalid(fixture, "dimensions must be positive");
+    }
+
+    #[test]
+    fn load_reports_the_offending_line() {
+        // First event is fine; the defect is on JSON line 3.
+        let fixture = format!(
+            "{FIXTURE_HEADER}\n{}\n{}\n",
+            r#"{"cycle":5,"src_core":0,"dst_node":0,"kind":"Request"}"#,
+            r#"{"cycle":5,"src_core":9,"dst_node":0,"kind":"Request"}"#
+        );
+        assert_invalid(&fixture, "line 3");
     }
 
     #[test]

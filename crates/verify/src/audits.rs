@@ -8,8 +8,10 @@
 //! requiring a feature-unified rebuild of the whole workspace.
 
 use pnoc_noc::{
-    FaultConfig, InvariantAuditor, Network, NetworkConfig, Scheme, SyntheticSource, TrafficSource,
+    AdmissionPolicy, ClassedSource, FaultConfig, InvariantAuditor, Network, NetworkConfig, Scheme,
+    TrafficSource, MAX_CLASSES,
 };
+use pnoc_traffic::classes::TenantMixKind;
 use pnoc_traffic::pattern::TrafficPattern;
 use std::fmt::Write as _;
 
@@ -26,6 +28,11 @@ pub struct AuditRun {
     pub warm_cycles: u64,
     /// Additional cycles to drain (fault-free runs must fully drain).
     pub drain_cycles: u64,
+    /// Whether per-class admission control is armed (and with it the
+    /// starvation audit).
+    pub admission: bool,
+    /// Tenant mix driving the run (`SingleClass` = the classic audit).
+    pub mix: TenantMixKind,
 }
 
 /// Result of one audited run.
@@ -45,7 +52,9 @@ pub struct AuditResult {
 /// The shipped audit matrix: all seven schemes fault-free at moderate
 /// load, plus all seven under 1% uniform faults (handshake schemes with
 /// recovery armed, credit schemes running unprotected — exactly the
-/// regime the reliability study simulates).
+/// regime the reliability study simulates), plus all seven multi-tenant
+/// with admission control armed — which additionally turns on the
+/// no-class-starvation audit.
 pub fn matrix() -> Vec<AuditRun> {
     let mut out = Vec::new();
     for &fault_rate in &[0.0, 0.01] {
@@ -56,8 +65,26 @@ pub fn matrix() -> Vec<AuditRun> {
                 rate: 0.04,
                 warm_cycles: 1_500,
                 drain_cycles: 3_000,
+                admission: false,
+                mix: TenantMixKind::SingleClass,
             });
         }
+    }
+    let mixes = [
+        TenantMixKind::ElephantMice,
+        TenantMixKind::BurstyAdversary,
+        TenantMixKind::HotspotTenant,
+    ];
+    for (i, scheme) in Scheme::paper_set(1).into_iter().enumerate() {
+        out.push(AuditRun {
+            scheme,
+            fault_rate: 0.0,
+            rate: 0.04,
+            warm_cycles: 1_500,
+            drain_cycles: 3_000,
+            admission: true,
+            mix: mixes[i % mixes.len()],
+        });
     }
     out
 }
@@ -73,10 +100,20 @@ pub fn run_audit(run: &AuditRun) -> AuditResult {
     if run.fault_rate > 0.0 {
         cfg = cfg.with_faults(FaultConfig::uniform(run.fault_rate));
     }
+    if run.admission {
+        // Tight-but-live buckets: every class refills ≥ 1 per period, so
+        // the starvation audit must stay quiet no matter the mix.
+        cfg.admission = AdmissionPolicy::TokenBucket {
+            period: 4,
+            refill: [1; MAX_CLASSES],
+            burst: [2; MAX_CLASSES],
+        };
+    }
     let mut net = Network::new(cfg).expect("audit config must validate");
-    let mut source = SyntheticSource::new(
-        TrafficPattern::UniformRandom,
+    let mut source = ClassedSource::new(
+        run.mix,
         run.rate,
+        TrafficPattern::UniformRandom,
         cfg.nodes,
         cfg.cores_per_node,
         cfg.seed ^ 0xA0D1_7000,
@@ -93,11 +130,11 @@ pub fn run_audit(run: &AuditRun) -> AuditResult {
         if cycle < run.warm_cycles {
             requests.clear();
             source.generate(net.now(), &mut requests);
-            for &(core, dst, kind) in &requests {
+            for &(core, dst, kind, class) in &requests {
                 if core / cfg.cores_per_node == dst {
                     continue;
                 }
-                let _ = net.inject(core, dst, kind, 0, true);
+                let _ = net.inject_classed(core, dst, kind, 0, class, true);
             }
         }
         net.step();
@@ -109,7 +146,10 @@ pub fn run_audit(run: &AuditRun) -> AuditResult {
         }
         if auditor.due(net.now()) {
             net.audit_snapshot_into(&mut views, &mut pending);
-            if let Err(why) = auditor.check(&views, net.metrics(), &pending) {
+            let verdict = auditor
+                .check(&views, net.metrics(), &pending)
+                .and_then(|()| auditor.check_starvation(net.now(), &views));
+            if let Err(why) = verdict {
                 violation = Some(format!("cycle {}: {why}", net.now()));
                 break 'outer;
             }
@@ -142,9 +182,11 @@ pub fn run_matrix() -> (String, bool) {
         };
         let _ = writeln!(
             s,
-            "  {status}  {:<16} faults {:.2}  [{} delivered, drained: {}]",
+            "  {status}  {:<16} faults {:.2}  mix {}{}  [{} delivered, drained: {}]",
             res.run.scheme.label(),
             res.run.fault_rate,
+            res.run.mix.label(),
+            if res.run.admission { "+qos" } else { "" },
             res.delivered,
             res.drained
         );
@@ -175,6 +217,27 @@ mod tests {
             rate: 0.04,
             warm_cycles: 400,
             drain_cycles: 1_000,
+            admission: false,
+            mix: TenantMixKind::SingleClass,
+        });
+        assert!(res.violation.is_none(), "{:?}", res.violation);
+        assert!(res.drained);
+        assert!(res.delivered > 0);
+    }
+
+    #[test]
+    fn admitted_tenant_mix_audit_passes_and_drains() {
+        // QoS on: the conservation laws and the starvation audit both run,
+        // and the network must still drain (refill >= 1 per class per
+        // period guarantees liveness).
+        let res = run_audit(&AuditRun {
+            scheme: Scheme::Dhs { setaside: 1 },
+            fault_rate: 0.0,
+            rate: 0.04,
+            warm_cycles: 600,
+            drain_cycles: 2_000,
+            admission: true,
+            mix: TenantMixKind::ElephantMice,
         });
         assert!(res.violation.is_none(), "{:?}", res.violation);
         assert!(res.drained);
@@ -189,6 +252,8 @@ mod tests {
             rate: 0.04,
             warm_cycles: 400,
             drain_cycles: 1_000,
+            admission: false,
+            mix: TenantMixKind::SingleClass,
         });
         assert!(res.violation.is_none(), "{:?}", res.violation);
     }

@@ -29,8 +29,8 @@ fn main() {
     for _ in 0..warmup {
         buf.clear();
         src.generate(net.now(), &mut buf);
-        for &(core, dst, kind) in &buf {
-            net.inject(core, dst, kind, 0, false);
+        for &(core, dst, kind, class) in &buf {
+            net.inject_classed(core, dst, kind, 0, class, false);
         }
         net.step();
     }
@@ -50,8 +50,8 @@ fn main() {
         for _ in 0..chunk {
             buf.clear();
             src.generate(net.now(), &mut buf);
-            for &(core, dst, kind) in &buf {
-                net.inject(core, dst, kind, 0, true);
+            for &(core, dst, kind, class) in &buf {
+                net.inject_classed(core, dst, kind, 0, class, true);
             }
             net.step();
         }

@@ -45,3 +45,16 @@ pub fn field<T: Deserialize>(entries: &[(String, Content)], name: &str) -> Resul
         None => Err(Error::custom(format!("missing field `{name}`"))),
     }
 }
+
+/// Like [`field`], but a missing field falls back to `Default::default()`.
+/// Backs `#[serde(default)]` in the derive expansion, so structs can grow
+/// fields without invalidating JSON written before the field existed.
+pub fn field_or_default<T: Deserialize + Default>(
+    entries: &[(String, Content)],
+    name: &str,
+) -> Result<T, Error> {
+    match entries.iter().find(|(k, _)| k == name) {
+        Some((_, v)) => T::deserialize(v),
+        None => Ok(T::default()),
+    }
+}

@@ -12,19 +12,23 @@
 //! * enums whose variants are unit or struct-like (serialized serde-style:
 //!   `"Variant"` / `{"Variant": {fields…}}`).
 //!
-//! `#[serde(...)]` attributes are not supported and anything unparsable is
-//! reported with `compile_error!` rather than silently mis-serialized.
+//! The only supported `#[serde(...)]` attribute is `#[serde(default)]` on a
+//! named field: a missing field deserializes via `Default::default()` instead
+//! of erroring, which is how newer config fields stay readable from JSON
+//! written before they existed. Any other `#[serde(...)]` attribute and
+//! anything unparsable is reported with `compile_error!` rather than silently
+//! mis-serialized.
 
 use proc_macro::{Delimiter, TokenStream, TokenTree};
 
 /// Derive `serde::Serialize`.
-#[proc_macro_derive(Serialize)]
+#[proc_macro_derive(Serialize, attributes(serde))]
 pub fn derive_serialize(input: TokenStream) -> TokenStream {
     expand(input, Trait::Serialize)
 }
 
 /// Derive `serde::Deserialize`.
-#[proc_macro_derive(Deserialize)]
+#[proc_macro_derive(Deserialize, attributes(serde))]
 pub fn derive_deserialize(input: TokenStream) -> TokenStream {
     expand(input, Trait::Deserialize)
 }
@@ -64,16 +68,22 @@ struct Item {
 }
 
 enum ItemKind {
-    NamedStruct { fields: Vec<String> },
+    NamedStruct { fields: Vec<Field> },
     TupleStruct { arity: usize },
     UnitStruct,
     Enum { variants: Vec<Variant> },
 }
 
+struct Field {
+    name: String,
+    /// `#[serde(default)]`: tolerate the field missing on deserialize.
+    default: bool,
+}
+
 struct Variant {
     name: String,
     /// `None` for unit variants, `Some(fields)` for struct variants.
-    fields: Option<Vec<String>>,
+    fields: Option<Vec<Field>>,
 }
 
 impl Item {
@@ -132,6 +142,44 @@ impl Parser {
                 _ => break, // malformed; let rustc complain
             }
         }
+    }
+
+    /// Consume field attributes, returning whether `#[serde(default)]` was
+    /// among them. Any other `#[serde(...)]` content is an error; non-serde
+    /// attributes (doc comments etc.) are skipped.
+    fn take_field_attributes(&mut self) -> Result<bool, String> {
+        let mut default = false;
+        while let Some(TokenTree::Punct(p)) = self.peek() {
+            if p.as_char() != '#' {
+                break;
+            }
+            self.pos += 1; // '#'
+            let group = match self.next() {
+                Some(TokenTree::Group(g)) => g,
+                _ => break, // malformed; let rustc complain
+            };
+            let toks: Vec<TokenTree> = group.stream().into_iter().collect();
+            let is_serde =
+                matches!(toks.first(), Some(TokenTree::Ident(id)) if id.to_string() == "serde");
+            if !is_serde {
+                continue;
+            }
+            let body = match toks.get(1) {
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                    g.stream().to_string()
+                }
+                _ => String::new(),
+            };
+            if body.trim() == "default" {
+                default = true;
+            } else {
+                return Err(format!(
+                    "unsupported serde attribute `#[serde({body})]` — the vendored derive \
+                     only understands `#[serde(default)]` on named fields"
+                ));
+            }
+        }
+        Ok(default)
     }
 
     fn skip_visibility(&mut self) {
@@ -274,12 +322,13 @@ impl Parser {
     }
 }
 
-/// Parse `name: Type, ...` field lists, returning the field names.
-fn parse_named_fields(stream: TokenStream) -> Result<Vec<String>, String> {
+/// Parse `name: Type, ...` field lists, returning the fields with their
+/// `#[serde(default)]` markers.
+fn parse_named_fields(stream: TokenStream) -> Result<Vec<Field>, String> {
     let mut p = Parser::new(stream);
     let mut fields = Vec::new();
     loop {
-        p.skip_attributes();
+        let default = p.take_field_attributes()?;
         p.skip_visibility();
         let name = match p.next() {
             Some(TokenTree::Ident(id)) => id.to_string(),
@@ -308,7 +357,7 @@ fn parse_named_fields(stream: TokenStream) -> Result<Vec<String>, String> {
             }
             p.pos += 1;
         }
-        fields.push(name);
+        fields.push(Field { name, default });
     }
     Ok(fields)
 }
@@ -355,6 +404,7 @@ fn gen_serialize(item: &Item) -> Result<String, String> {
             let entries: Vec<String> = fields
                 .iter()
                 .map(|f| {
+                    let f = &f.name;
                     format!(
                         "(::std::string::String::from({f:?}), \
                          ::serde::Serialize::to_content(&self.{f}))"
@@ -385,10 +435,15 @@ fn gen_serialize(item: &Item) -> Result<String, String> {
                              ::serde::Content::Str(::std::string::String::from({vname:?})),"
                         ),
                         Some(fields) => {
-                            let binds = fields.join(", ");
+                            let binds = fields
+                                .iter()
+                                .map(|f| f.name.as_str())
+                                .collect::<Vec<_>>()
+                                .join(", ");
                             let entries: Vec<String> = fields
                                 .iter()
                                 .map(|f| {
+                                    let f = &f.name;
                                     format!(
                                         "(::std::string::String::from({f:?}), \
                                          ::serde::Serialize::to_content({f}))"
@@ -414,6 +469,15 @@ fn gen_serialize(item: &Item) -> Result<String, String> {
     ))
 }
 
+fn deserialize_field_init(f: &Field) -> String {
+    let name = &f.name;
+    if f.default {
+        format!("{name}: ::serde::de::field_or_default(entries, {name:?})?,")
+    } else {
+        format!("{name}: ::serde::de::field(entries, {name:?})?,")
+    }
+}
+
 fn gen_deserialize(item: &Item) -> Result<String, String> {
     let name = &item.name;
     if !item.lifetimes.is_empty() {
@@ -423,10 +487,7 @@ fn gen_deserialize(item: &Item) -> Result<String, String> {
     }
     let body = match &item.kind {
         ItemKind::NamedStruct { fields } => {
-            let inits: Vec<String> = fields
-                .iter()
-                .map(|f| format!("{f}: ::serde::de::field(entries, {f:?})?,"))
-                .collect();
+            let inits: Vec<String> = fields.iter().map(deserialize_field_init).collect();
             format!(
                 "let entries = value.as_map().ok_or_else(|| \
                  ::serde::de::Error::unexpected(\"struct {name}\", value))?;\n\
@@ -465,10 +526,7 @@ fn gen_deserialize(item: &Item) -> Result<String, String> {
                 .iter()
                 .filter_map(|v| v.fields.as_ref().map(|fields| (&v.name, fields)))
                 .map(|(vname, fields)| {
-                    let inits: Vec<String> = fields
-                        .iter()
-                        .map(|f| format!("{f}: ::serde::de::field(entries, {f:?})?,"))
-                        .collect();
+                    let inits: Vec<String> = fields.iter().map(deserialize_field_init).collect();
                     format!(
                         "{vname:?} => {{\n\
                          let entries = inner.as_map().ok_or_else(|| \
