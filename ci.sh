@@ -159,6 +159,42 @@ cargo test -q -p pnoc-noc --features obs-trace --offline
 cargo run --release -q -p pnoc-bench --features obs-trace --offline --bin obs -- \
   --quick --out target/obs-smoke
 
+echo "== trace gate (PTRC round-trip, corruption fuzz, replay pin, RSS smoke) =="
+# The streaming-trace subsystem's correctness contract (DESIGN.md §17):
+#  1. property + corruption suites: write→read identity across chunk sizes,
+#     every single-byte flip / truncation / chunk reorder rejected as
+#     InvalidData with no phantom events, and the frozen golden.ptrc
+#     fixture still byte-exact;
+#  2. the replay-exactness pin: record a live run per scheme under
+#     obs-trace, replay the PTRC stream, require a byte-identical
+#     RunSummary (fault schedules included);
+#  3. bounded-memory smoke: generate a multi-chunk trace with the
+#     streaming generator and re-ingest it under a peak-RSS ceiling far
+#     below the trace's decoded size — the operational proof that
+#     ingestion is O(chunk), not O(trace).
+cargo test -q -p pnoc-trace --offline
+cargo test -q --features obs-trace --offline --test replay_identical
+TRACE_DIR=target/trace-smoke
+rm -rf "$TRACE_DIR" && mkdir -p "$TRACE_DIR"
+cargo run --release -q -p pnoc-bench --offline --bin trace -- \
+  gen --app nas.is --cores 256 --nodes 64 --length 60000 --seed 7 \
+  --out "$TRACE_DIR/smoke.ptrc"
+cargo run --release -q -p pnoc-bench --offline --bin trace -- \
+  ingest "$TRACE_DIR/smoke.ptrc" --max-rss-mb 64
+echo "trace gate: format, replay, and bounded-memory ingestion hold"
+
+echo "== trace-ingestion baseline (quick vs BENCH_trace.json) =="
+# Trace data-path regression gate, the sibling of the perf gate below:
+# re-measure PTRC encode (streaming synthesis) and decode (streaming
+# ingest, CRC checked) throughput at reduced length and fail if either
+# dropped more than the tolerance in pnoc_bench::trace_bench against the
+# checked-in BENCH_trace.json. Same baseline bookkeeping as BENCH_perf:
+# refresh deliberately with `cargo run --release -p pnoc-bench --bin trace
+# -- bench --quick --json BENCH_trace.json`; BENCH_trace.ci.json is
+# gitignored per-run scratch.
+cargo run --release -q -p pnoc-bench --offline --bin trace -- \
+  bench --quick --json BENCH_trace.ci.json --check BENCH_trace.json
+
 echo "== perf baseline (quick sweep vs BENCH_perf.json) =="
 # Simulator-throughput regression gate: re-measure the 64-node sweep at
 # reduced fidelity, validate the report schema, and fail if aggregate

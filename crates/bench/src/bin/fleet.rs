@@ -1,8 +1,9 @@
 //! One-shot fleet sweep runner with resumable checkpointing.
 //!
 //! ```text
-//! fleet [--spec <path|->] [--qos] [--out <path>] [--ckpt <path>]
-//!       [--ckpt-every N] [--kill-after N] [--threads N] [--verbose]
+//! fleet [--spec <path|->] [--qos] [--replay <path|->] [--out <path>]
+//!       [--ckpt <path>] [--ckpt-every N] [--kill-after N] [--threads N]
+//!       [--verbose]
 //! ```
 //!
 //! Runs a [`SweepSpec`] (JSON from `--spec`, `-` for stdin, or a built-in
@@ -15,18 +16,24 @@
 //! byte-identical to an uninterrupted run. `--kill-after N` is the CI kill
 //! hook: after exactly N jobs complete in this process, a snapshot is
 //! forced and the process exits with [`pnoc_fleet::KILL_EXIT_CODE`].
+//!
+//! `--replay` switches the job kind from synthetic sweeps to trace replay:
+//! the JSON is a [`pnoc_fleet::ReplaySpec`] naming PTRC shards, every
+//! (scheme, shard) pair replays as one fleet job, and the output is the
+//! deterministic [`pnoc_fleet::ReplayReport`]. Replay sweeps are
+//! recompute-cheap (streamed from disk), so they have no checkpoint path.
 
 use std::io::Read;
 use std::path::PathBuf;
 use std::process::ExitCode;
 use std::sync::Arc;
 
-use pnoc_fleet::{run_sweep, Fleet, SweepOptions, SweepSpec};
+use pnoc_fleet::{run_replay, run_sweep, Fleet, ReplaySpec, SweepOptions, SweepSpec};
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage: fleet [--spec <path|->] [--qos] [--out <path>] [--ckpt <path>] \
-         [--ckpt-every N] [--kill-after N] [--threads N] [--verbose]"
+        "usage: fleet [--spec <path|->] [--qos] [--replay <path|->] [--out <path>] \
+         [--ckpt <path>] [--ckpt-every N] [--kill-after N] [--threads N] [--verbose]"
     );
     ExitCode::FAILURE
 }
@@ -37,6 +44,7 @@ fn main() -> ExitCode {
         return ExitCode::FAILURE;
     }
     let mut spec_path: Option<String> = None;
+    let mut replay_path: Option<String> = None;
     let mut out_path: Option<String> = None;
     let mut opts = SweepOptions {
         ckpt_every: 8,
@@ -55,6 +63,10 @@ fn main() -> ExitCode {
         match args[i].as_str() {
             "--spec" => match take(&mut i) {
                 Some(v) => spec_path = Some(v),
+                None => return usage(),
+            },
+            "--replay" => match take(&mut i) {
+                Some(v) => replay_path = Some(v),
                 None => return usage(),
             },
             "--out" => match take(&mut i) {
@@ -84,6 +96,13 @@ fn main() -> ExitCode {
         i += 1;
     }
 
+    if let Some(rp) = replay_path {
+        if spec_path.is_some() || qos || opts.checkpoint.is_some() || opts.kill_after.is_some() {
+            eprintln!("fleet: --replay is its own job kind; drop --spec/--qos/--ckpt/--kill-after");
+            return ExitCode::FAILURE;
+        }
+        return run_replay_mode(&rp, out_path.as_deref());
+    }
     if qos && spec_path.is_some() {
         eprintln!(
             "fleet: --qos selects the built-in QoS demo; drop --spec or encode the axis there"
@@ -141,6 +160,61 @@ fn main() -> ExitCode {
         None => println!("{body}"),
     }
     ExitCode::SUCCESS
+}
+
+/// Load a [`ReplaySpec`], fan its (scheme, shard) jobs across the fleet,
+/// and write the deterministic [`pnoc_fleet::ReplayReport`].
+fn run_replay_mode(path: &str, out_path: Option<&str>) -> ExitCode {
+    let text = match read_input(path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("fleet: reading replay spec {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let spec: ReplaySpec = match serde_json::from_str(&text) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("fleet: parsing replay spec JSON: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let fleet = Fleet::with_default_threads();
+    eprintln!(
+        "fleet: replaying {} shard(s) through {} scheme(s) = {} job(s) on {} worker(s)",
+        spec.shards.len(),
+        spec.schemes.len(),
+        spec.total_jobs(),
+        fleet.threads()
+    );
+    let report = match run_replay(&fleet, &spec) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("fleet: replay failed: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let body = serde_json::to_string_pretty(&report).expect("report serializes");
+    match out_path {
+        Some(p) => {
+            if let Err(e) = std::fs::write(p, body + "\n") {
+                eprintln!("fleet: writing {p}: {e}");
+                return ExitCode::FAILURE;
+            }
+            eprintln!("wrote {p}");
+        }
+        None => println!("{body}"),
+    }
+    ExitCode::SUCCESS
+}
+
+fn read_input(path: &str) -> std::io::Result<String> {
+    if path == "-" {
+        let mut buf = String::new();
+        std::io::stdin().read_to_string(&mut buf)?;
+        return Ok(buf);
+    }
+    std::fs::read_to_string(path)
 }
 
 fn load_spec(path: Option<&str>, qos: bool) -> Result<SweepSpec, String> {

@@ -39,6 +39,7 @@ pub mod grids;
 pub mod perf;
 pub mod plot;
 pub mod table;
+pub mod trace_bench;
 
 pub use figures::Fidelity;
 pub use plot::{render_jain_svg, render_latency_svg, PlotSpec};

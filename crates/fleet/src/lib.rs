@@ -47,6 +47,7 @@ pub mod checkpoint;
 pub mod executor;
 #[cfg(feature = "model-sync")]
 pub mod model;
+pub mod replay;
 pub mod runner;
 pub mod snapshot;
 pub mod spec;
@@ -55,6 +56,7 @@ pub mod sync;
 pub use agg::{CellReport, MergeSummary};
 pub use checkpoint::{spec_fingerprint, Journal, SweepState};
 pub use executor::{suite_threads, BatchHandle, Fleet};
+pub use replay::{run_replay, ReplayPoint, ReplayReport, ReplaySpec};
 pub use runner::{run_sweep, SweepOptions, SweepOutcome, SweepReport, KILL_EXIT_CODE};
 pub use snapshot::{EpochSnapshot, SnapshotReader};
 pub use spec::{SweepBase, SweepSpec};

@@ -141,6 +141,11 @@ pub struct Network {
     /// `None` until [`Network::attach_sampler`] is called.
     #[cfg(feature = "obs-trace")]
     sampler: Option<pnoc_obs::OccupancySampler>,
+    /// Live injection subscriber (`obs-trace` feature); `None` until
+    /// [`Network::attach_recorder`] is called. Sees every injection in
+    /// simulation order — the capture surface for trace recording.
+    #[cfg(feature = "obs-trace")]
+    recorder: Option<Box<dyn pnoc_obs::InjectSubscriber>>,
 }
 
 impl Network {
@@ -164,6 +169,8 @@ impl Network {
             audit_pending: Vec::new(),
             #[cfg(feature = "obs-trace")]
             sampler: None,
+            #[cfg(feature = "obs-trace")]
+            recorder: None,
         })
     }
 
@@ -207,6 +214,26 @@ impl Network {
     #[cfg(feature = "obs-trace")]
     pub fn sampler(&self) -> Option<&pnoc_obs::OccupancySampler> {
         self.sampler.as_ref()
+    }
+
+    /// Attach a live injection subscriber. From now until
+    /// [`Network::detach_recorder`], every injection is forwarded to the
+    /// subscriber synchronously, in simulation order. Replaces any
+    /// previously attached subscriber (returned to the caller).
+    #[cfg(feature = "obs-trace")]
+    pub fn attach_recorder(
+        &mut self,
+        recorder: Box<dyn pnoc_obs::InjectSubscriber>,
+    ) -> Option<Box<dyn pnoc_obs::InjectSubscriber>> {
+        self.recorder.replace(recorder)
+    }
+
+    /// Detach and return the attached injection subscriber, if any (use
+    /// [`pnoc_obs::InjectSubscriber::into_any`] to recover the concrete
+    /// type and finish its output).
+    #[cfg(feature = "obs-trace")]
+    pub fn detach_recorder(&mut self) -> Option<Box<dyn pnoc_obs::InjectSubscriber>> {
+        self.recorder.take()
     }
 
     /// Inject a packet from `src_core` to `dst_node` at the current cycle.
@@ -270,6 +297,20 @@ impl Network {
         }
         self.metrics
             .trace(now, dst_node, src_node, id, pnoc_obs::EventKind::Inject);
+        #[cfg(feature = "obs-trace")]
+        if let Some(rec) = self.recorder.as_mut() {
+            rec.on_inject(pnoc_obs::InjectRecord {
+                cycle: now,
+                src_core: crate::convert::narrow_u32(src_core),
+                dst_node: crate::convert::narrow_u32(dst_node),
+                kind: match kind {
+                    PacketKind::Request => pnoc_obs::InjectKind::Request,
+                    PacketKind::Reply => pnoc_obs::InjectKind::Reply,
+                    PacketKind::Data => pnoc_obs::InjectKind::Data,
+                },
+                class,
+            });
+        }
         self.inject_cal.schedule(now + self.cfg.router_latency, pkt);
         id
     }
@@ -305,7 +346,7 @@ impl Network {
         #[cfg(feature = "obs-trace")]
         if let Some(s) = self.sampler.as_mut() {
             if s.due(now) {
-                for_channels!(&self.channels, chs => for ch in chs.iter() {
+                for_channels!(&self.channels, chs => for ch in chs {
                     s.record(ch.occupancy_sample(now));
                 });
             }

@@ -135,7 +135,7 @@ impl TrafficSource for TraceSource<'_> {
                 MessageKind::Reply => PacketKind::Reply,
                 MessageKind::Data => PacketKind::Data,
             };
-            out.push((ev.src_core, ev.dst_node, kind, 0));
+            out.push((ev.src_core, ev.dst_node, kind, ev.class));
         }
     }
 
@@ -268,18 +268,21 @@ mod tests {
             src_core: 0,
             dst_node: 0,
             kind: MessageKind::Request,
+            class: 0,
         });
         trace.push(TraceEvent {
             cycle: 3,
             src_core: 0,
             dst_node: 2,
             kind: MessageKind::Request,
+            class: 0,
         });
         trace.push(TraceEvent {
             cycle: 7,
             src_core: 5,
             dst_node: 1,
             kind: MessageKind::Reply,
+            class: 0,
         });
         let mut src = TraceSource::new(&trace, 2);
         let mut out = Vec::new();

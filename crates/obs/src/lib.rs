@@ -35,10 +35,12 @@ pub mod event;
 pub mod latency;
 pub mod prof;
 pub mod sampler;
+pub mod subscribe;
 pub mod svg;
 pub mod trace;
 
 pub use event::{Event, EventKind, NO_PACKET};
 pub use latency::{LatencyRecorder, SparseLatency, CAP_LOG2, SUB_BUCKETS};
 pub use sampler::{ChannelSample, OccupancySampler};
+pub use subscribe::{InjectKind, InjectRecord, InjectSubscriber};
 pub use trace::{ObsSink, RingTrace, TraceExport};

@@ -1,0 +1,99 @@
+//! Live-run event subscription: the surface a trace recorder plugs into.
+//!
+//! The [`crate::trace::RingTrace`] is a bounded, drop-counting diagnostic
+//! buffer — fine for inspecting a window of a run, wrong for *recording*
+//! one: a recorder must see every injection, in order, with the fields a
+//! replay needs (`src_core`, protocol kind, traffic class), none of which
+//! fit the generic [`crate::event::Event`] record. [`InjectSubscriber`] is
+//! the push-based alternative: the simulator calls [`InjectSubscriber::on_inject`]
+//! once per injection, synchronously, and the subscriber owns whatever
+//! buffering or encoding happens next.
+//!
+//! The capture boundary is deliberate: subscribers see **injections, not
+//! deliveries**. A recorded stream is the network's *input*; replaying it
+//! re-simulates everything downstream (arbitration, faults, retries), which
+//! is what makes bit-identical replay possible without recording any
+//! internal state.
+
+use pnoc_sim::Cycle;
+
+/// Protocol role of an injected packet, as seen by a subscriber.
+///
+/// A standalone mirror of the simulator's packet-kind enum: `pnoc-obs` sits
+/// below `pnoc-noc` in the dependency order, so it cannot name that type.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum InjectKind {
+    /// Cache-miss request (core → L2 bank).
+    Request,
+    /// Data reply (L2 bank → core).
+    Reply,
+    /// Anything else.
+    Data,
+}
+
+/// One injection, with exactly the fields a replay needs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct InjectRecord {
+    /// Cycle the core generated the packet.
+    pub cycle: Cycle,
+    /// Injecting core (global index).
+    pub src_core: u32,
+    /// Destination (home) node.
+    pub dst_node: u32,
+    /// Protocol role.
+    pub kind: InjectKind,
+    /// Traffic class (multi-tenant `QoS`; 0 = the default class).
+    pub class: u8,
+}
+
+/// A sink for live injection events.
+///
+/// Attached to a network for the duration of a run; receives every
+/// injection in simulation order. Implementations must not feed anything
+/// back into the simulation (the observability ground rule), and should
+/// defer I/O error reporting to their own finish step — `on_inject` has no
+/// error channel because the simulator cannot meaningfully handle one
+/// mid-cycle.
+pub trait InjectSubscriber: std::fmt::Debug {
+    /// Called once per injection, synchronously, in simulation order.
+    fn on_inject(&mut self, rec: InjectRecord);
+
+    /// Recover the concrete subscriber after detaching it from the network
+    /// (e.g. to finish and close an underlying writer).
+    fn into_any(self: Box<Self>) -> Box<dyn std::any::Any>;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[derive(Debug, Default)]
+    struct Collect(Vec<InjectRecord>);
+
+    impl InjectSubscriber for Collect {
+        fn on_inject(&mut self, rec: InjectRecord) {
+            self.0.push(rec);
+        }
+        fn into_any(self: Box<Self>) -> Box<dyn std::any::Any> {
+            self
+        }
+    }
+
+    #[test]
+    fn subscriber_round_trips_through_any() {
+        let mut sub: Box<dyn InjectSubscriber> = Box::<Collect>::default();
+        let rec = InjectRecord {
+            cycle: 7,
+            src_core: 3,
+            dst_node: 1,
+            kind: InjectKind::Request,
+            class: 2,
+        };
+        sub.on_inject(rec);
+        let collect = sub
+            .into_any()
+            .downcast::<Collect>()
+            .expect("concrete type is recoverable");
+        assert_eq!(collect.0, vec![rec]);
+    }
+}

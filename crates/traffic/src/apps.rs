@@ -133,6 +133,7 @@ impl AppProfile {
                         src_core: core,
                         dst_node: dst,
                         kind: MessageKind::Request,
+                        class: 0,
                     });
                     // Matching reply from the bank back to the requester's
                     // node, issued by a core co-located with the bank.
@@ -144,6 +145,7 @@ impl AppProfile {
                             src_core: bank_core,
                             dst_node: src_node,
                             kind: MessageKind::Reply,
+                            class: 0,
                         });
                     }
                 }
@@ -155,6 +157,131 @@ impl AppProfile {
             trace.push(ev);
         }
         trace
+    }
+
+    /// Streaming [`AppProfile::synthesize`]: emits events cycle-by-cycle to a
+    /// callback instead of materializing a [`Trace`], holding only O(cores)
+    /// generator state plus the in-flight reply window — a multi-GB trace
+    /// costs the same memory as a toy one.
+    ///
+    /// Draws the *same RNG streams* as `synthesize` (same root, same phase
+    /// gate, same per-core forks), so the two produce the identical multiset
+    /// of events per cycle; only within-cycle emission order differs
+    /// (streaming emits due replies first, then cores in index order, where
+    /// `synthesize`'s stable sort keeps per-core blocks). Events reach the
+    /// callback in non-decreasing cycle order. Returns the event count.
+    pub fn synthesize_streaming<E>(
+        &self,
+        cores: usize,
+        nodes: usize,
+        length: Cycle,
+        seed: u64,
+        mut emit: E,
+    ) -> std::io::Result<u64>
+    where
+        E: FnMut(TraceEvent) -> std::io::Result<()>,
+    {
+        use std::cmp::Reverse;
+        use std::collections::BinaryHeap;
+
+        assert!(cores >= nodes, "expect concentration: cores >= nodes");
+        let mut root = SimRng::seed_from(seed ^ hash_name(self.name));
+        // Setup draws in the exact order `synthesize` makes them.
+        let mut hot: Vec<usize> = Vec::with_capacity(self.hot_nodes);
+        while hot.len() < self.hot_nodes.min(nodes) {
+            let candidate = root.index(nodes);
+            if !hot.contains(&candidate) {
+                hot.push(candidate);
+            }
+        }
+        // `fork` advances the parent stream, so the phase fork must stay
+        // conditional exactly as in `synthesize` or the per-core forks of
+        // non-phased apps would diverge.
+        let mut phase_gate = if self.phase_on > 0.0 && self.phase_off > 0.0 {
+            let mut rng = root.fork(u64::MAX);
+            let gate =
+                crate::injection::OnOffInjector::new(1.0, self.phase_on, self.phase_off, &mut rng);
+            Some((rng, gate))
+        } else {
+            None
+        };
+        let mut per_core: Vec<(SimRng, crate::injection::OnOffInjector)> = (0..cores)
+            .map(|core| {
+                let mut rng = root.fork(core as u64);
+                let inj = crate::injection::OnOffInjector::new(
+                    self.burst_rate,
+                    self.mean_on,
+                    self.mean_off,
+                    &mut rng,
+                );
+                (rng, inj)
+            })
+            .collect();
+
+        // Replies in flight: (due cycle, issue seq, bank core, dst node).
+        // Bounded by the l2_service window, not the trace length.
+        let mut replies: BinaryHeap<Reverse<(Cycle, u64, usize, usize)>> = BinaryHeap::new();
+        let mut reply_seq = 0u64;
+        let mut emitted = 0u64;
+        for cycle in 0..length {
+            let open = match phase_gate.as_mut() {
+                Some((rng, gate)) => gate.fire(rng) > 0,
+                None => true,
+            };
+            while let Some(&Reverse((due, _, bank_core, dst))) = replies.peek() {
+                if due > cycle {
+                    break;
+                }
+                replies.pop();
+                emit(TraceEvent {
+                    cycle: due,
+                    src_core: bank_core,
+                    dst_node: dst,
+                    kind: MessageKind::Reply,
+                    class: 0,
+                })?;
+                emitted += 1;
+            }
+            if !open {
+                continue;
+            }
+            for (core, (rng, inj)) in per_core.iter_mut().enumerate() {
+                let src_node = core * nodes / cores;
+                for _ in 0..inj.fire(rng) {
+                    let dst = self.pick_destination(src_node, nodes, &hot, rng);
+                    emit(TraceEvent {
+                        cycle,
+                        src_core: core,
+                        dst_node: dst,
+                        kind: MessageKind::Request,
+                        class: 0,
+                    })?;
+                    emitted += 1;
+                    let reply_cycle = cycle + self.l2_service;
+                    if reply_cycle < length && dst != src_node {
+                        let bank_core = dst * cores / nodes;
+                        replies.push(Reverse((reply_cycle, reply_seq, bank_core, src_node)));
+                        reply_seq += 1;
+                    }
+                }
+            }
+            // Zero-latency L2 service: drain replies issued this very cycle.
+            while let Some(&Reverse((due, _, bank_core, dst))) = replies.peek() {
+                if due > cycle {
+                    break;
+                }
+                replies.pop();
+                emit(TraceEvent {
+                    cycle: due,
+                    src_core: bank_core,
+                    dst_node: dst,
+                    kind: MessageKind::Reply,
+                    class: 0,
+                })?;
+                emitted += 1;
+            }
+        }
+        Ok(emitted)
     }
 
     fn pick_destination(
@@ -349,6 +476,51 @@ mod tests {
     #[test]
     fn unknown_app_is_none() {
         assert!(paper_app("doom").is_none());
+    }
+
+    /// `synthesize_streaming` draws the same RNG streams as `synthesize`,
+    /// so the event *multisets* are identical; only within-cycle emission
+    /// order differs. Pin that for a phased and a non-phased app (the phase
+    /// fork is conditional, and skew there would silently shift every
+    /// per-core stream).
+    #[test]
+    fn streaming_matches_synthesize_as_multiset() {
+        fn key(e: &TraceEvent) -> (Cycle, usize, usize, u8) {
+            let kind = match e.kind {
+                MessageKind::Request => 0u8,
+                MessageKind::Reply => 1,
+                MessageKind::Data => 2,
+            };
+            (e.cycle, e.src_core, e.dst_node, kind)
+        }
+        for name in ["fft", "blackscholes"] {
+            let app = paper_app(name).unwrap();
+            let materialized = app.synthesize(32, 8, 3_000, 9);
+            let mut streamed: Vec<TraceEvent> = Vec::new();
+            let mut last = 0;
+            let n = app
+                .synthesize_streaming(32, 8, 3_000, 9, |ev| {
+                    assert!(ev.cycle >= last, "{name}: stream must be cycle-ordered");
+                    last = ev.cycle;
+                    streamed.push(ev);
+                    Ok(())
+                })
+                .unwrap();
+            assert_eq!(n as usize, materialized.len(), "{name}: event count");
+            let mut a: Vec<_> = materialized.events().to_vec();
+            a.sort_by_key(key);
+            streamed.sort_by_key(key);
+            assert_eq!(a, streamed, "{name}: event multisets must agree");
+        }
+    }
+
+    #[test]
+    fn streaming_propagates_emit_errors() {
+        let app = paper_app("fft").unwrap();
+        let err = app
+            .synthesize_streaming(32, 8, 3_000, 9, |_| Err(std::io::Error::other("sink full")))
+            .unwrap_err();
+        assert_eq!(err.kind(), std::io::ErrorKind::Other);
     }
 
     #[test]

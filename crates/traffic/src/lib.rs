@@ -27,9 +27,9 @@ pub mod pattern;
 pub mod stats;
 pub mod trace;
 
-pub use apps::{all_paper_apps, AppProfile, Suite};
+pub use apps::{all_paper_apps, paper_app, AppProfile, Suite};
 pub use classes::{BurstCfg, ClassId, TenantMixKind, TenantSpec, MAX_CLASSES};
 pub use injection::{BernoulliInjector, OnOffInjector};
 pub use pattern::TrafficPattern;
-pub use stats::TraceStats;
-pub use trace::{Trace, TraceCursor, TraceEvent};
+pub use stats::{StatsAccumulator, TraceStats};
+pub use trace::{MessageKind, Trace, TraceCursor, TraceEvent};

@@ -1,7 +1,8 @@
 //! Workload characterization: the summary numbers evaluation sections print
 //! about their traces (rate, burstiness, destination skew).
 
-use crate::trace::{MessageKind, Trace};
+use crate::trace::{MessageKind, Trace, TraceEvent};
+use pnoc_sim::Cycle;
 use serde::Serialize;
 
 /// Digest of one trace's traffic characteristics.
@@ -28,30 +29,82 @@ pub struct TraceStats {
 impl TraceStats {
     /// Characterize `trace` using `window`-cycle bins for burstiness.
     pub fn analyze(trace: &Trace, window: u64) -> Self {
-        assert!(window > 0, "window must be positive");
-        let messages = trace.len();
-        let mut requests = 0usize;
-        let mut dest_counts = vec![0u64; trace.nodes];
-        let windows = trace.length.div_ceil(window) as usize;
-        let mut window_counts = vec![0u64; windows.max(1)];
+        let mut acc = StatsAccumulator::new(trace.cores, trace.nodes, trace.length, window);
         for ev in trace.events() {
-            if ev.kind == MessageKind::Request {
-                requests += 1;
-            }
-            dest_counts[ev.dst_node] += 1;
-            window_counts[(ev.cycle / window) as usize] += 1;
+            acc.record(ev);
         }
+        acc.finalize(trace.name.clone())
+    }
+}
 
-        let burstiness = index_of_dispersion(&window_counts);
-        let (entropy, hotspot) = destination_skew(&dest_counts, messages);
+/// Single-pass [`TraceStats`] builder for streamed traces.
+///
+/// Holds O(nodes + length/window) state independent of the event count, so
+/// a multi-GB trace can be characterized without materializing a [`Trace`].
+/// `analyze` over a materialized trace and an accumulator fed the same
+/// event stream produce identical statistics (pinned in the tests).
+#[derive(Debug, Clone)]
+pub struct StatsAccumulator {
+    cores: usize,
+    length: Cycle,
+    window: u64,
+    messages: usize,
+    requests: usize,
+    dest_counts: Vec<u64>,
+    window_counts: Vec<u64>,
+}
+
+impl StatsAccumulator {
+    /// An accumulator for a trace of the given dimensions, using
+    /// `window`-cycle bins for burstiness.
+    pub fn new(cores: usize, nodes: usize, length: Cycle, window: u64) -> Self {
+        assert!(window > 0, "window must be positive");
+        let windows = length.div_ceil(window) as usize;
         Self {
-            name: trace.name.clone(),
+            cores,
+            length,
+            window,
+            messages: 0,
+            requests: 0,
+            dest_counts: vec![0u64; nodes],
+            window_counts: vec![0u64; windows.max(1)],
+        }
+    }
+
+    /// Fold one event in. Events must respect the dimensions given to
+    /// [`StatsAccumulator::new`] (same contract as [`Trace::push`]).
+    pub fn record(&mut self, ev: &TraceEvent) {
+        if ev.kind == MessageKind::Request {
+            self.requests += 1;
+        }
+        self.dest_counts[ev.dst_node] += 1;
+        self.window_counts[(ev.cycle / self.window) as usize] += 1;
+        self.messages += 1;
+    }
+
+    /// Number of events recorded so far.
+    pub fn messages(&self) -> usize {
+        self.messages
+    }
+
+    /// The finished statistics.
+    pub fn finalize(&self, name: impl Into<String>) -> TraceStats {
+        let messages = self.messages;
+        let burstiness = index_of_dispersion(&self.window_counts);
+        let (entropy, hotspot) = destination_skew(&self.dest_counts, messages);
+        let rate_per_core = if self.length == 0 || self.cores == 0 {
+            0.0
+        } else {
+            messages as f64 / self.length as f64 / self.cores as f64
+        };
+        TraceStats {
+            name: name.into(),
             messages,
-            rate_per_core: trace.rate_per_core(),
+            rate_per_core,
             request_fraction: if messages == 0 {
                 0.0
             } else {
-                requests as f64 / messages as f64
+                self.requests as f64 / messages as f64
             },
             burstiness,
             destination_entropy: entropy,
@@ -123,6 +176,7 @@ mod tests {
                 src_core: (i % 16) as usize,
                 dst_node: (i % 8) as usize,
                 kind: MessageKind::Data,
+                class: 0,
             });
         }
         let s = TraceStats::analyze(&t, 100);
@@ -145,6 +199,7 @@ mod tests {
                 src_core: 0,
                 dst_node: 7,
                 kind: MessageKind::Request,
+                class: 0,
             });
         }
         let s = TraceStats::analyze(&t, 100);
@@ -180,6 +235,29 @@ mod tests {
         assert_eq!(s.request_fraction, 0.0);
     }
 
+    /// Streaming pin: an accumulator fed event-by-event (never holding the
+    /// full trace) produces byte-identical statistics to `analyze` over the
+    /// materialized trace.
+    #[test]
+    fn streamed_stats_equal_materialized_stats() {
+        let app = paper_app("fft").unwrap();
+        let trace = app.synthesize(32, 8, 5_000, 11);
+        let materialized = TraceStats::analyze(&trace, 50);
+
+        let mut acc = StatsAccumulator::new(trace.cores, trace.nodes, trace.length, 50);
+        for ev in trace.events() {
+            acc.record(ev);
+        }
+        assert_eq!(acc.messages(), trace.len());
+        let streamed = acc.finalize(trace.name.clone());
+
+        assert_eq!(
+            serde_json::to_string(&streamed).unwrap(),
+            serde_json::to_string(&materialized).unwrap(),
+            "streamed and materialized stats must agree exactly"
+        );
+    }
+
     #[test]
     fn single_destination_skew_is_defined() {
         let mut t = Trace::new("one", 1, 1, 10);
@@ -189,6 +267,7 @@ mod tests {
                 src_core: 0,
                 dst_node: 0,
                 kind: MessageKind::Data,
+                class: 0,
             });
         }
         let s = TraceStats::analyze(&t, 10);

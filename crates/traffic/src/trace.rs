@@ -5,6 +5,7 @@
 //! be inspected, diffed, and replayed; [`TraceCursor`] feeds them to the
 //! simulator cycle by cycle.
 
+use crate::classes::{ClassId, MAX_CLASSES};
 use pnoc_sim::Cycle;
 use serde::{Deserialize, Serialize};
 use std::io::{BufRead, Write};
@@ -32,6 +33,10 @@ pub struct TraceEvent {
     pub dst_node: usize,
     /// Protocol role.
     pub kind: MessageKind,
+    /// Traffic class (multi-tenant `QoS`; 0 = the default class). Defaulted
+    /// on deserialization so pre-class traces keep loading.
+    #[serde(default)]
+    pub class: ClassId,
 }
 
 /// A cycle-ordered message trace plus the dimensions it was generated for.
@@ -67,6 +72,7 @@ impl Trace {
         assert!(ev.src_core < self.cores, "src core out of range");
         assert!(ev.dst_node < self.nodes, "dst node out of range");
         assert!(ev.cycle < self.length, "event beyond trace length");
+        assert!(usize::from(ev.class) < MAX_CLASSES, "class out of range");
         if let Some(last) = self.events.last() {
             assert!(ev.cycle >= last.cycle, "events must be cycle-ordered");
         }
@@ -89,8 +95,13 @@ impl Trace {
     }
 
     /// Average injection rate in packets/cycle/core.
+    ///
+    /// Degenerate traces (zero length or — via deserialization — zero
+    /// cores) report `0.0`, never NaN/inf, per the degenerate-statistics
+    /// policy: summaries carry defined values so downstream JSON and
+    /// aggregation stay well-formed.
     pub fn rate_per_core(&self) -> f64 {
-        if self.length == 0 {
+        if self.length == 0 || self.cores == 0 {
             return 0.0;
         }
         self.events.len() as f64 / self.length as f64 / self.cores as f64
@@ -137,6 +148,12 @@ impl Trace {
             return Some(format!(
                 "cycle {} beyond trace length {}",
                 ev.cycle, self.length
+            ));
+        }
+        if usize::from(ev.class) >= MAX_CLASSES {
+            return Some(format!(
+                "class {} out of range (max {} classes)",
+                ev.class, MAX_CLASSES
             ));
         }
         if let Some(last) = self.events.last() {
@@ -192,6 +209,44 @@ impl Trace {
         Ok(trace)
     }
 
+    /// Collect a streamed event sequence into a materialized trace.
+    ///
+    /// This is the compatibility bridge between streaming readers (which
+    /// yield `io::Result<TraceEvent>` in bounded memory) and in-memory
+    /// consumers ([`TraceCursor`], [`crate::stats::analyze`]). Events are
+    /// validated with the same defect checks as [`Trace::load`]: any
+    /// out-of-range field or cycle disorder is an
+    /// [`std::io::ErrorKind::InvalidData`] error, never a panic.
+    pub fn from_stream<I>(
+        name: impl Into<String>,
+        cores: usize,
+        nodes: usize,
+        length: Cycle,
+        events: I,
+    ) -> std::io::Result<Self>
+    where
+        I: IntoIterator<Item = std::io::Result<TraceEvent>>,
+    {
+        if cores == 0 || nodes == 0 {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::InvalidData,
+                format!("trace dimensions must be positive (cores {cores}, nodes {nodes})"),
+            ));
+        }
+        let mut trace = Trace::new(name, cores, nodes, length);
+        for (index, ev) in events.into_iter().enumerate() {
+            let ev = ev?;
+            if let Some(why) = trace.event_defect(&ev) {
+                return Err(std::io::Error::new(
+                    std::io::ErrorKind::InvalidData,
+                    format!("streamed event {index}: {why}"),
+                ));
+            }
+            trace.push(ev);
+        }
+        Ok(trace)
+    }
+
     /// A replay cursor positioned at the start.
     pub fn cursor(&self) -> TraceCursor<'_> {
         TraceCursor {
@@ -240,6 +295,7 @@ mod tests {
             src_core,
             dst_node,
             kind: MessageKind::Request,
+            class: 0,
         }
     }
 
@@ -386,10 +442,72 @@ mod tests {
     }
 
     #[test]
+    fn load_rejects_out_of_range_class() {
+        let fixture = format!(
+            "{FIXTURE_HEADER}\n{}\n",
+            r#"{"cycle":1,"src_core":0,"dst_node":0,"kind":"Request","class":4}"#
+        );
+        assert_invalid(&fixture, "class 4 out of range");
+    }
+
+    #[test]
+    fn load_defaults_missing_class_to_zero() {
+        let fixture = format!(
+            "{FIXTURE_HEADER}\n{}\n",
+            r#"{"cycle":1,"src_core":0,"dst_node":0,"kind":"Request"}"#
+        );
+        let t = Trace::load(std::io::BufReader::new(fixture.as_bytes())).unwrap();
+        assert_eq!(t.events()[0].class, 0);
+    }
+
+    #[test]
     fn empty_trace() {
         let t = Trace::new("e", 1, 1, 0);
         assert!(t.is_empty());
         assert_eq!(t.rate_per_core(), 0.0);
         assert!(t.cursor().exhausted());
+    }
+
+    /// Degenerate-statistics pin: `rate_per_core` is 0.0 — never NaN or
+    /// inf — on zero-length traces *and* on zero-core traces (which only
+    /// deserialization can construct; `Trace::new` asserts cores > 0).
+    #[test]
+    fn rate_per_core_is_defined_on_degenerate_traces() {
+        let zero_len = Trace::new("z", 4, 2, 0);
+        assert_eq!(zero_len.rate_per_core(), 0.0);
+
+        let zero_cores: Trace =
+            serde_json::from_str(r#"{"name":"z","cores":0,"nodes":2,"length":10,"events":[]}"#)
+                .unwrap();
+        let rate = zero_cores.rate_per_core();
+        assert_eq!(rate, 0.0, "zero-core trace must not divide by zero");
+        assert!(rate.is_finite());
+    }
+
+    #[test]
+    fn from_stream_collects_and_matches_push() {
+        let streamed =
+            Trace::from_stream("unit", 8, 4, 100, sample().events().iter().copied().map(Ok))
+                .unwrap();
+        assert_eq!(streamed, sample());
+    }
+
+    #[test]
+    fn from_stream_rejects_defects_as_invalid_data() {
+        let bad = Trace::from_stream("bad", 8, 4, 100, [Ok(ev(1, 8, 0))])
+            .expect_err("out-of-range core must be rejected");
+        assert_eq!(bad.kind(), std::io::ErrorKind::InvalidData);
+        assert!(bad.to_string().contains("streamed event 0"));
+
+        let dims = Trace::from_stream("bad", 0, 4, 100, std::iter::empty())
+            .expect_err("zero cores must be rejected");
+        assert_eq!(dims.kind(), std::io::ErrorKind::InvalidData);
+    }
+
+    #[test]
+    fn from_stream_propagates_io_errors() {
+        let events = [Ok(ev(1, 0, 0)), Err(std::io::Error::other("boom"))];
+        let err = Trace::from_stream("bad", 8, 4, 100, events).unwrap_err();
+        assert_eq!(err.kind(), std::io::ErrorKind::Other);
     }
 }

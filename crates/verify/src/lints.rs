@@ -50,6 +50,7 @@ const SIM_STATE: &[&str] = &[
     "crates/sim/src",
     "crates/faults/src",
     "crates/traffic/src",
+    "crates/trace/src",
     "crates/cmp/src",
     "crates/oracle/src",
 ];
@@ -63,6 +64,7 @@ const SIM_STATE_AND_OBS: &[&str] = &[
     "crates/sim/src",
     "crates/faults/src",
     "crates/traffic/src",
+    "crates/trace/src",
     "crates/cmp/src",
     "crates/obs/src",
     "crates/oracle/src",

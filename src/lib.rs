@@ -51,6 +51,10 @@ pub use pnoc_faults as faults;
 /// time-series, the unbounded-range latency recorder, span profiling.
 pub use pnoc_obs as obs;
 
+/// Streaming trace ingestion: the PTRC binary trace format, bounded-memory
+/// writer/reader, live-run recorder, and bit-identical replay.
+pub use pnoc_trace as trace;
+
 /// Power and energy models (laser, tuning, conversion, router).
 pub use pnoc_power as power;
 
